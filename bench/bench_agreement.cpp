@@ -1,0 +1,76 @@
+//===- bench/bench_agreement.cpp -------------------------------*- C++ -*-===//
+//
+// Experiment E4 (paper section 3.3): checker agreement at scale. The
+// paper validated agreement between RockSalt and Google's checker on
+// >2000 Csmith-compiled programs plus hand-crafted unsafe programs. This
+// harness measures agreement-sweep throughput and prints a live
+// agreement summary across a generated+mutated corpus (expected
+// disagreements: 0).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BaselineChecker.h"
+#include "core/Verifier.h"
+#include "nacl/Mutator.h"
+#include "nacl/WorkloadGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rocksalt;
+
+static void benchAgreementSweep(benchmark::State &State) {
+  core::RockSalt V;
+  Rng R(4242);
+  nacl::WorkloadOptions Opts;
+  Opts.TargetBytes = 2048;
+  uint64_t Checked = 0, Disagreements = 0, Seed = 1;
+  for (auto _ : State) {
+    Opts.Seed = Seed++;
+    std::vector<uint8_t> Code = nacl::generateWorkload(Opts);
+    for (int I = 0; I < 16; ++I) {
+      std::vector<uint8_t> M = nacl::mutateRandom(Code, R);
+      Disagreements += V.verify(M) != core::baselineVerify(M);
+      ++Checked;
+    }
+  }
+  State.counters["images/s"] =
+      benchmark::Counter(double(Checked), benchmark::Counter::kIsRate);
+  State.counters["disagreements"] = double(Disagreements);
+}
+BENCHMARK(benchAgreementSweep)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // E4 summary sweep: >2000 programs (positive) + mutated negatives.
+  core::RockSalt V;
+  Rng R(2012);
+  nacl::WorkloadOptions Opts;
+  Opts.TargetBytes = 1024;
+  uint64_t Positives = 0, Accepted = 0, Rejected = 0, Disagree = 0;
+  for (uint64_t Seed = 1; Seed <= 2100; ++Seed) {
+    Opts.Seed = Seed;
+    std::vector<uint8_t> Code = nacl::generateWorkload(Opts);
+    bool Rs = V.verify(Code);
+    bool Bl = core::baselineVerify(Code);
+    Positives += Rs;
+    Disagree += Rs != Bl;
+    // One mutated variant per program.
+    std::vector<uint8_t> M = nacl::mutateRandom(Code, R);
+    bool Rs2 = V.verify(M);
+    bool Bl2 = core::baselineVerify(M);
+    (Rs2 ? Accepted : Rejected) += 1;
+    Disagree += Rs2 != Bl2;
+  }
+  std::printf("\n--- E4: checker agreement (paper: >2000 programs, full "
+              "agreement) ---\n");
+  std::printf("compliant programs accepted by both: %llu / 2100\n",
+              static_cast<unsigned long long>(Positives));
+  std::printf("mutated variants: %llu accepted, %llu rejected\n",
+              static_cast<unsigned long long>(Accepted),
+              static_cast<unsigned long long>(Rejected));
+  std::printf("disagreements: %llu (expected 0)\n",
+              static_cast<unsigned long long>(Disagree));
+  return Disagree == 0 ? 0 : 1;
+}

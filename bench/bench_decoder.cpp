@@ -1,0 +1,111 @@
+//===- bench/bench_decoder.cpp ---------------------------------*- C++ -*-===//
+//
+// Decoder ablation (supports E3 and the paper's "reasonably efficient
+// parser" claim in section 2.2): throughput of the derivative-based
+// reference decoder vs the table-driven production decoder on the same
+// instruction stream, plus the cost split of the reference path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nacl/WorkloadGen.h"
+#include "x86/Encoder.h"
+#include "x86/FastDecoder.h"
+#include "x86/GrammarDecoder.h"
+#include "x86/InstrGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rocksalt;
+
+namespace {
+
+/// A corpus of encoded instructions (concatenated, plus an index).
+struct Corpus {
+  std::vector<uint8_t> Bytes;
+  std::vector<uint32_t> Starts;
+};
+
+const Corpus &corpus() {
+  static const Corpus C = [] {
+    Corpus Out;
+    Rng R(12);
+    for (int I = 0; I < 2000; ++I) {
+      x86::Instr Ins = x86::randomInstr(R);
+      auto B = x86::encode(Ins);
+      if (!B)
+        continue;
+      Out.Starts.push_back(static_cast<uint32_t>(Out.Bytes.size()));
+      Out.Bytes.insert(Out.Bytes.end(), B->begin(), B->end());
+    }
+    return Out;
+  }();
+  return C;
+}
+
+void benchFastDecoder(benchmark::State &State) {
+  const Corpus &C = corpus();
+  uint64_t Decoded = 0;
+  for (auto _ : State) {
+    for (uint32_t S : C.Starts) {
+      auto D = x86::fastDecode(C.Bytes.data() + S, C.Bytes.size() - S);
+      benchmark::DoNotOptimize(D);
+      ++Decoded;
+    }
+  }
+  State.counters["instr/s"] =
+      benchmark::Counter(double(Decoded), benchmark::Counter::kIsRate);
+}
+BENCHMARK(benchFastDecoder);
+
+void benchGrammarDecoder(benchmark::State &State) {
+  const Corpus &C = corpus();
+  uint64_t Decoded = 0;
+  for (auto _ : State) {
+    // The reference decoder is ~1000x slower; sample every 40th site.
+    for (size_t I = 0; I < C.Starts.size(); I += 40) {
+      uint32_t S = C.Starts[I];
+      auto D = x86::grammarDecode(C.Bytes.data() + S, C.Bytes.size() - S);
+      benchmark::DoNotOptimize(D);
+      ++Decoded;
+    }
+  }
+  State.counters["instr/s"] =
+      benchmark::Counter(double(Decoded), benchmark::Counter::kIsRate);
+}
+BENCHMARK(benchGrammarDecoder)->Unit(benchmark::kMillisecond);
+
+void benchEncoder(benchmark::State &State) {
+  Rng R(13);
+  std::vector<x86::Instr> Instrs;
+  for (int I = 0; I < 2000; ++I)
+    Instrs.push_back(x86::randomInstr(R));
+  uint64_t Encoded = 0;
+  for (auto _ : State) {
+    for (const x86::Instr &I : Instrs) {
+      auto B = x86::encode(I);
+      benchmark::DoNotOptimize(B);
+      ++Encoded;
+    }
+  }
+  State.counters["instr/s"] =
+      benchmark::Counter(double(Encoded), benchmark::Counter::kIsRate);
+}
+BENCHMARK(benchEncoder);
+
+void benchWorkloadGen(benchmark::State &State) {
+  uint64_t Bytes = 0, Seed = 1;
+  for (auto _ : State) {
+    nacl::WorkloadOptions Opts;
+    Opts.TargetBytes = 65536;
+    Opts.Seed = Seed++;
+    std::vector<uint8_t> Code = nacl::generateWorkload(Opts);
+    Bytes += Code.size();
+    benchmark::DoNotOptimize(Code.data());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(Bytes));
+}
+BENCHMARK(benchWorkloadGen)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+//===- examples/quickstart.cpp ---------------------------------*- C++ -*-===//
+//
+// Quickstart: the whole RockSalt pipeline in one page.
+//
+//  1. Assemble a small sandbox-compliant program with the NaCl-izing
+//     assembler (bundles, masked jumps, label fixups).
+//  2. Verify it with the RockSalt checker (DFA tables + <100-line core).
+//  3. Load it into the segmented x86 model and execute it under the
+//     trusted runtime, which services hypercalls (HLT + EAX).
+//
+// Build & run:  ./examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "nacl/Assembler.h"
+#include "nacl/TrustedRuntime.h"
+#include "sem/Cpu.h"
+
+#include <cstdio>
+
+using namespace rocksalt;
+using x86::Addr;
+using x86::Instr;
+using x86::Opcode;
+using x86::Operand;
+using x86::Reg;
+
+namespace {
+
+Instr movImm(Reg R, uint32_t V) {
+  Instr I;
+  I.Op = Opcode::MOV;
+  I.Op1 = Operand::reg(R);
+  I.Op2 = Operand::imm(V);
+  return I;
+}
+
+Instr binop(Opcode Op, Operand A, Operand B) {
+  Instr I;
+  I.Op = Op;
+  I.Op1 = A;
+  I.Op2 = B;
+  return I;
+}
+
+/// emit "putchar(C)": mov eax, 1 ; mov ebx, C ; hlt.
+void putChar(nacl::Assembler &A, char C) {
+  A.emit(movImm(Reg::EAX, nacl::TrustedRuntime::SvcPutChar));
+  A.emit(movImm(Reg::EBX, static_cast<uint8_t>(C)));
+  A.hlt();
+}
+
+} // namespace
+
+int main() {
+  // --- 1. assemble ---------------------------------------------------------
+  nacl::Assembler A;
+
+  // Compute 6 * 7 into EDX the long way (a loop), then print "42\n" by
+  // converting the two digits.
+  A.emit(movImm(Reg::EDX, 0)); // accumulator
+  A.emit(movImm(Reg::ECX, 6)); // counter
+  A.alignedLabel("loop");
+  A.emit(binop(Opcode::ADD, Operand::reg(Reg::EDX), Operand::imm(7)));
+  {
+    Instr Dec;
+    Dec.Op = Opcode::DEC;
+    Dec.Op1 = Operand::reg(Reg::ECX);
+    A.emit(Dec);
+  }
+  A.jccTo(x86::Cond::NE, "loop");
+
+  // Save 42 to data memory, then print its decimal digits.
+  A.emit(binop(Opcode::MOV, Operand::mem(Addr::disp(0x100)),
+               Operand::reg(Reg::EDX)));
+  putChar(A, '0' + 4); // (we know the digits; a real program would divide)
+  putChar(A, '0' + 2);
+  putChar(A, '\n');
+
+  // exit(42): mov eax, 0 ; mov ebx, edx... ebx must hold the code.
+  A.emit(binop(Opcode::MOV, Operand::reg(Reg::EBX),
+               Operand::mem(Addr::disp(0x100))));
+  A.emit(movImm(Reg::EAX, nacl::TrustedRuntime::SvcExit));
+  A.hlt();
+
+  std::vector<uint8_t> Code = A.finish();
+  std::printf("assembled %zu bytes (%zu bundles)\n", Code.size(),
+              Code.size() / core::BundleSize);
+
+  // --- 2. verify ------------------------------------------------------------
+  core::RockSalt Checker;
+  bool Ok = Checker.verify(Code);
+  std::printf("rocksalt verdict: %s\n", Ok ? "ACCEPT" : "REJECT");
+  if (!Ok)
+    return 1;
+
+  // --- 3. execute in the sandbox --------------------------------------------
+  sem::Cpu Cpu;
+  Cpu.configureSandbox(/*CodeBase=*/0x10000,
+                       static_cast<uint32_t>(Code.size()),
+                       /*DataBase=*/0x400000, /*DataSize=*/0x10000, Code);
+
+  nacl::TrustedRuntime Runtime;
+  nacl::TrustedRuntime::RunResult R = Runtime.run(Cpu, 100000);
+
+  std::printf("program output: %s", R.Output.c_str());
+  std::printf("exit code: %u after %llu instructions\n", R.ExitCode,
+              static_cast<unsigned long long>(R.Steps));
+  return R.Exited && R.ExitCode == 42 ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+//===- examples/validator_cli.cpp ------------------------------*- C++ -*-===//
+//
+// An ncval-style command-line validator — the form RockSalt ships in
+// for the NaCl runtime (paper section 3.3 modified the ncval tool to
+// call RockSalt's verifier). Reads a raw code image and reports the
+// verdicts of all three verifiers in this repository, with optional
+// disassembly of the checker's parse.
+//
+// Usage:
+//   validator_cli <image.bin> [--disassemble]
+//   validator_cli --selftest          # generate, verify, mutate, verify
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BaselineChecker.h"
+#include "core/Verifier.h"
+#include "nacl/Mutator.h"
+#include "nacl/WorkloadGen.h"
+#include "x86/FastDecoder.h"
+#include "x86/Printer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace rocksalt;
+
+namespace {
+
+void disassemble(const std::vector<uint8_t> &Code,
+                 const core::CheckResult &R) {
+  uint32_t Pos = 0;
+  while (Pos < Code.size()) {
+    if (R.PairJmp.size() > Pos && R.PairJmp[Pos])
+      std::printf("        %04x:   (jump half of the masked pair)\n", Pos);
+    auto D = x86::fastDecode(Code.data() + Pos, Code.size() - Pos);
+    const char *Mark = (Pos % core::BundleSize == 0) ? "|" : " ";
+    if (!D) {
+      std::printf("      %s %04x:   .byte 0x%02x   <- not decodable\n",
+                  Mark, Pos, Code[Pos]);
+      Pos += 1;
+      continue;
+    }
+    std::printf("      %s %04x:   %s\n", Mark, Pos,
+                x86::printInstr(D->I).c_str());
+    Pos += D->Length;
+  }
+}
+
+int validate(const std::vector<uint8_t> &Code, bool Disasm) {
+  core::RockSalt V;
+  auto T0 = std::chrono::steady_clock::now();
+  core::CheckResult R = V.check(Code);
+  auto T1 = std::chrono::steady_clock::now();
+  bool Baseline = core::baselineVerify(Code);
+  auto T2 = std::chrono::steady_clock::now();
+
+  double RockMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  double BaseMs = std::chrono::duration<double, std::milli>(T2 - T1).count();
+
+  std::printf("image: %zu bytes (%zu bundles)\n", Code.size(),
+              Code.size() / core::BundleSize);
+  std::printf("  rocksalt:  %s  (%.3f ms)\n", R.Ok ? "ACCEPT" : "REJECT",
+              RockMs);
+  std::printf("  baseline:  %s  (%.3f ms)\n",
+              Baseline ? "ACCEPT" : "REJECT", BaseMs);
+  if (R.Ok != Baseline)
+    std::printf("  *** CHECKER DISAGREEMENT — please report ***\n");
+  if (Disasm && !Code.empty())
+    disassemble(Code, R);
+  return R.Ok ? 0 : 1;
+}
+
+int selftest() {
+  nacl::WorkloadOptions Opts;
+  Opts.TargetBytes = 512;
+  Opts.Seed = 42;
+  std::vector<uint8_t> Code = nacl::generateWorkload(Opts);
+  std::printf("== generated compliant workload ==\n");
+  int Rc = validate(Code, /*Disasm=*/true);
+
+  Rng R(7);
+  auto Bad = nacl::applyAttack(Code, nacl::Attack::InsertRet, R);
+  if (Bad) {
+    std::printf("\n== after inserting a RET ==\n");
+    validate(*Bad, /*Disasm=*/false);
+  }
+  return Rc;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0)
+    return selftest();
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <image.bin> [--disassemble] | --selftest\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(argv[1], std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::vector<uint8_t> Code((std::istreambuf_iterator<char>(In)),
+                            std::istreambuf_iterator<char>());
+  bool Disasm = argc >= 3 && std::strcmp(argv[2], "--disassemble") == 0;
+  return validate(Code, Disasm);
+}

@@ -1,0 +1,39 @@
+//===- core/BaselineChecker.h - ncval-style hand checker -------*- C++ -*-===//
+///
+/// \file
+/// A from-scratch reimplementation of the *style* of Google's original
+/// NaCl validator (paper section 3.1): a hand-written partial decoder
+/// whose opcode/length logic is intertwined with the policy checks. It
+/// enforces the same aligned sandbox policy as the RockSalt checker and
+/// is used two ways, both from the paper's evaluation:
+///
+///  * agreement testing (E4): RockSalt and this checker must return the
+///    same verdict on large generated and mutated corpora;
+///  * performance baseline (E1): the checker-throughput bench compares
+///    the two implementations.
+///
+/// Everything in this file is exactly the kind of code the paper argues
+/// is hard to trust — which is the point of keeping it around.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_CORE_BASELINECHECKER_H
+#define ROCKSALT_CORE_BASELINECHECKER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rocksalt {
+namespace core {
+
+/// Returns true iff the image satisfies the aligned sandbox policy.
+bool baselineVerify(const uint8_t *Code, uint32_t Size);
+
+inline bool baselineVerify(const std::vector<uint8_t> &Code) {
+  return baselineVerify(Code.data(), static_cast<uint32_t>(Code.size()));
+}
+
+} // namespace core
+} // namespace rocksalt
+
+#endif // ROCKSALT_CORE_BASELINECHECKER_H

@@ -1,0 +1,177 @@
+//===- core/Policy.cpp ----------------------------------------*- C++ -*-===//
+
+#include "core/Policy.h"
+
+using namespace rocksalt;
+using namespace rocksalt::core;
+using re::Factory;
+using re::Regex;
+
+namespace {
+
+/// 3-bit register encoding as a bit string.
+std::string reg3(unsigned Enc) {
+  std::string S(3, '0');
+  for (int I = 0; I < 3; ++I)
+    if ((Enc >> (2 - I)) & 1)
+      S[I] = '1';
+  return S;
+}
+
+/// nacl_MASK_p: AND r, $-32 — "1000 0011 11 100 reg" ++ safeMask
+/// (paper section 3.2, verbatim transliteration).
+Regex naclMaskP(Factory &F, unsigned R) {
+  return F.cat(F.byteLit(0x83),
+               F.cat(F.bits("11100"), F.cat(F.bits(reg3(R)),
+                                            F.byteLit(SafeMaskByte))));
+}
+
+/// nacl_JMP_p: JMP *r — "1111 1111 11 100 reg".
+Regex naclJmpP(Factory &F, unsigned R) {
+  return F.cat(F.byteLit(0xFF), F.cat(F.bits("11100"), F.bits(reg3(R))));
+}
+
+/// nacl_CALL_p: CALL *r — "1111 1111 11 010 reg".
+Regex naclCallP(Factory &F, unsigned R) {
+  return F.cat(F.byteLit(0xFF), F.cat(F.bits("11010"), F.bits(reg3(R))));
+}
+
+/// nacljmp_p: mask followed by jump/call through the same register.
+Regex nacljmpP(Factory &F, unsigned R) {
+  return F.cat(naclMaskP(F, R), F.alt(naclJmpP(F, R), naclCallP(F, R)));
+}
+
+/// Every register except ESP (encoding 4), as in the paper.
+Regex nacljmpMask(Factory &F) {
+  std::vector<Regex> Alts;
+  for (unsigned R = 0; R < 8; ++R)
+    if (R != 4)
+      Alts.push_back(nacljmpP(F, R));
+  return F.altN(std::move(Alts));
+}
+
+/// String-instruction forms (rep-prefixable).
+const std::vector<std::string> &stringFormNames() {
+  static const std::vector<std::string> Names = {"movs", "cmps", "stos",
+                                                 "lods", "scas"};
+  return Names;
+}
+
+/// Forms that may carry the lock prefix (memory read-modify-writes; the
+/// policy over-approximates by not inspecting the mod bits, which is
+/// sound because lock is semantically inert in the model).
+const std::vector<std::string> &lockableFormNames() {
+  static const std::vector<std::string> Names = {
+      "add.rm_r", "add.rm_i8", "add.rm_iW", "add.rm_i8sx",
+      "or.rm_r",  "or.rm_i8",  "or.rm_iW",  "or.rm_i8sx",
+      "adc.rm_r", "adc.rm_i8", "adc.rm_iW", "adc.rm_i8sx",
+      "sbb.rm_r", "sbb.rm_i8", "sbb.rm_iW", "sbb.rm_i8sx",
+      "and.rm_r", "and.rm_i8", "and.rm_iW", "and.rm_i8sx",
+      "sub.rm_r", "sub.rm_i8", "sub.rm_iW", "sub.rm_i8sx",
+      "xor.rm_r", "xor.rm_i8", "xor.rm_iW", "xor.rm_i8sx",
+      "inc.rm",   "dec.rm",    "not.rm",    "neg.rm",
+      "xchg.rm_r", "xadd",     "cmpxchg",
+      "bts.rm_r", "bts.rm_i8", "btr.rm_r",  "btr.rm_i8",
+      "btc.rm_r", "btc.rm_i8"};
+  return Names;
+}
+
+} // namespace
+
+const std::vector<std::string> &core::noControlFlowFormNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> N;
+    // The eight-op ALU family, all forms.
+    for (const char *Op : {"add", "or", "adc", "sbb", "and", "sub", "xor",
+                           "cmp"})
+      for (const char *Form : {".rm_r", ".r_rm", ".al_i", ".eax_i",
+                               ".rm_i8", ".rm_iW", ".rm_i8sx"})
+        N.push_back(std::string(Op) + Form);
+    // Moves.
+    for (const char *Form :
+         {"mov.rm_r", "mov.r_rm", "mov.r_i8", "mov.r_iW", "mov.rm_i8",
+          "mov.rm_iW", "mov.al_moffs", "mov.eax_moffs", "mov.moffs_al",
+          "mov.moffs_eax", "lea"})
+      N.push_back(Form);
+    // Inc/dec/stack.
+    for (const char *Form :
+         {"inc.r", "dec.r", "inc.rm", "dec.rm", "push.r", "pop.r",
+          "push.i8", "push.iW", "push.rm", "pop.rm", "pusha", "popa",
+          "pushf", "popf", "leave"})
+      N.push_back(Form);
+    // Unary group + test + multiplies.
+    for (const char *Form :
+         {"not.rm", "neg.rm", "mul.rm", "imul1.rm", "div.rm", "idiv.rm",
+          "test.rm8_i8", "test.rm_iW", "test.rm_r", "test.al_i8",
+          "test.eax_iW", "imul.r_rm", "imul.r_rm_iW", "imul.r_rm_i8"})
+      N.push_back(Form);
+    // Exchanges.
+    for (const char *Form : {"xchg.rm_r", "xchg.eax_r", "nop", "xadd",
+                             "cmpxchg"})
+      N.push_back(Form);
+    // Shifts and rotates.
+    for (const char *Op : {"rol", "ror", "rcl", "rcr", "shl", "shr", "sar"})
+      for (const char *Form : {".rm_i8", ".rm_1", ".rm_cl"})
+        N.push_back(std::string(Op) + Form);
+    for (const char *Form : {"shld.i8", "shld.cl", "shrd.i8", "shrd.cl"})
+      N.push_back(Form);
+    // Conditional data ops and widening moves.
+    for (const char *Form : {"setcc", "cmovcc", "movzx", "movsx"})
+      N.push_back(Form);
+    // Bit instructions.
+    for (const char *Form :
+         {"bsf", "bsr", "bswap", "bt.rm_r", "bt.rm_i8", "bts.rm_r",
+          "bts.rm_i8", "btr.rm_r", "btr.rm_i8", "btc.rm_r", "btc.rm_i8"})
+      N.push_back(Form);
+    // String ops (unprefixed forms; rep variants are added separately).
+    for (const std::string &S : stringFormNames())
+      N.push_back(S);
+    // Flags, BCD, conversions, misc. CLI/STI, IN/OUT, INT*, RET, and all
+    // segment-register operations are deliberately absent.
+    for (const char *Form :
+         {"cmc", "clc", "stc", "cld", "std", "lahf", "sahf", "cwde", "cdq",
+          "xlat", "hlt", "aaa", "aas", "daa", "das", "aam", "aad"})
+      N.push_back(Form);
+    return N;
+  }();
+  return Names;
+}
+
+PolicyGrammars core::buildPolicyGrammars(Factory &F) {
+  PolicyGrammars P;
+  P.NoControlFlow = x86::formsUnion(noControlFlowFormNames());
+
+  // The regex is layered with the allowed prefixes.
+  Regex Plain = P.NoControlFlow.strip(F);
+  Regex With66 =
+      F.cat(F.byteLit(0x66),
+            x86::formsUnion(noControlFlowFormNames(), /*Op16=*/true)
+                .strip(F));
+  Regex Reps = F.cat(F.alt(F.byteLit(0xF3), F.byteLit(0xF2)),
+                     x86::formsUnion(stringFormNames()).strip(F));
+  Regex Locked = F.cat(F.byteLit(0xF0),
+                       x86::formsUnion(lockableFormNames()).strip(F));
+  P.NoControlFlowRe = F.altN({Plain, With66, Reps, Locked});
+
+  P.DirectJumpRe = x86::formsUnion({"jmp.rel8", "jmp.rel32", "jcc.rel8",
+                                    "jcc.rel32", "call.rel"})
+                       .strip(F);
+
+  P.MaskedJumpRe = nacljmpMask(F);
+  return P;
+}
+
+PolicyTables core::buildPolicyTables() {
+  Factory F;
+  PolicyGrammars P = buildPolicyGrammars(F);
+  PolicyTables T;
+  T.NoControlFlow = re::buildDfa(F, P.NoControlFlowRe);
+  T.DirectJump = re::buildDfa(F, P.DirectJumpRe);
+  T.MaskedJump = re::buildDfa(F, P.MaskedJumpRe);
+  return T;
+}
+
+const PolicyTables &core::policyTables() {
+  static const PolicyTables T = buildPolicyTables();
+  return T;
+}

@@ -1,0 +1,74 @@
+//===- core/Policy.h - The NaCl sandbox policy grammars --------*- C++ -*-===//
+///
+/// \file
+/// The declarative heart of RockSalt (paper section 3.2): the aligned
+/// NaCl sandbox policy is captured by three grammars, reusing the decoder
+/// DSL, and compiled offline to DFA tables. The verifier's trusted core
+/// (core/Verifier.h) then consists of those tables plus a few tens of
+/// lines of table-walking code.
+///
+///  * MaskedJump — the two-instruction "nacljmp": AND r, $-32 followed
+///    immediately by JMP/CALL *r through the same register (ESP
+///    excluded), transliterated from the paper's nacl_MASK_p /
+///    nacl_JMP_p / nacl_CALL_p definitions;
+///  * DirectJump — JMP rel8/rel32, Jcc rel8/rel32, CALL rel32;
+///  * NoControlFlow — the legal straight-line instructions, with the
+///    prefix discipline NaCl allows (operand-size override on data ops,
+///    rep on string ops, lock on memory read-modify-writes; segment
+///    overrides are always rejected).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_CORE_POLICY_H
+#define ROCKSALT_CORE_POLICY_H
+
+#include "regex/Dfa.h"
+#include "x86/Grammars.h"
+
+namespace rocksalt {
+namespace core {
+
+/// The bundle size of the aligned policy (the paper's 32).
+constexpr uint32_t BundleSize = 32;
+
+/// The mask immediate: AND r, 0xFFFFFFE0 keeps addresses bundle-aligned
+/// (encoded as the sign-extended imm8 0xE0).
+constexpr uint8_t SafeMaskByte = 0xE0;
+
+/// The three policy grammars, still carrying semantic actions (useful for
+/// the inversion-principle tests), plus their stripped regexes.
+struct PolicyGrammars {
+  gram::Grammar<x86::Instr> NoControlFlow;
+  /// MaskedJump spans two instructions, so its semantic value is the pair
+  /// (mask, jump); we expose only the stripped regex plus a recognizer.
+  re::Regex NoControlFlowRe = nullptr;
+  re::Regex DirectJumpRe = nullptr;
+  re::Regex MaskedJumpRe = nullptr;
+};
+
+/// The generated DFA tables the trusted verifier core consumes.
+struct PolicyTables {
+  re::Dfa NoControlFlow;
+  re::Dfa DirectJump;
+  re::Dfa MaskedJump;
+};
+
+/// Builds the policy grammars in \p F. (Regexes are interned in F, so the
+/// factory must outlive the result.)
+PolicyGrammars buildPolicyGrammars(re::Factory &F);
+
+/// Compiles the policy DFAs. Deterministic; called once and cached by the
+/// verifier.
+PolicyTables buildPolicyTables();
+
+/// Returns a shared, lazily built instance of the tables.
+const PolicyTables &policyTables();
+
+/// The form names included in NoControlFlow (exposed for the workload
+/// generator, which emits only policy-legal instructions, and for tests).
+const std::vector<std::string> &noControlFlowFormNames();
+
+} // namespace core
+} // namespace rocksalt
+
+#endif // ROCKSALT_CORE_POLICY_H

@@ -1,0 +1,40 @@
+//===- core/SlowVerifier.h - Theorem-prover-shaped baseline ----*- C++ -*-===//
+///
+/// \file
+/// A deliberately naive verifier reproducing the *shape* of Zhao et
+/// al.'s ARMor (paper section 1): instead of precompiled DFA tables, it
+/// symbolically re-derives the policy per instruction — rebuilding the
+/// policy grammars in a fresh factory and matching by regex derivatives
+/// for every instruction it checks, the way a proof assistant replays a
+/// verification-condition proof. Decision-equivalent to RockSalt, but
+/// orders of magnitude slower; the bench_slow_verifier harness measures
+/// the throughput gap (the paper reports ~2.5 h for 300 instructions vs
+/// ~1M instructions/second).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_CORE_SLOWVERIFIER_H
+#define ROCKSALT_CORE_SLOWVERIFIER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rocksalt {
+namespace core {
+
+/// Verifies the image, re-deriving the policy per instruction. When
+/// \p InstrCount is non-null it receives the number of instructions
+/// checked (for throughput reporting).
+bool slowVerify(const uint8_t *Code, uint32_t Size,
+                uint64_t *InstrCount = nullptr);
+
+inline bool slowVerify(const std::vector<uint8_t> &Code,
+                       uint64_t *InstrCount = nullptr) {
+  return slowVerify(Code.data(), static_cast<uint32_t>(Code.size()),
+                    InstrCount);
+}
+
+} // namespace core
+} // namespace rocksalt
+
+#endif // ROCKSALT_CORE_SLOWVERIFIER_H

@@ -1,0 +1,118 @@
+//===- core/Verifier.cpp - The trusted checker core ------------*- C++ -*-===//
+//
+// This file is the run-time trusted computing base of the checker, kept
+// deliberately close to the C of the paper's Figures 5 and 6. The
+// `extractTarget` helper is the paper's `extract`: it reads the relative
+// displacement out of a just-matched DirectJump instruction and marks the
+// target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+
+using namespace rocksalt;
+using namespace rocksalt::core;
+
+bool core::dfaMatch(const re::Dfa &A, const uint8_t *Code, uint32_t *Pos,
+                    uint32_t Size) {
+  uint16_t State = static_cast<uint16_t>(A.Start);
+  uint32_t Off = 0;
+
+  while (*Pos + Off < Size) {
+    State = A.Table[State][Code[*Pos + Off]];
+    Off++;
+    if (A.Rejects[State])
+      break;
+    if (A.Accepts[State]) {
+      *Pos += Off;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// The paper's `extract`: pulls the pc-relative displacement out of the
+/// DirectJump instruction spanning [Start, End) and marks its target.
+/// Fails when the target lies outside the image.
+bool extractTarget(const uint8_t *Code, uint32_t Start, uint32_t End,
+                   std::vector<uint8_t> &Target) {
+  uint8_t B0 = Code[Start];
+  int32_t Disp;
+  if (B0 == 0xEB || (B0 >= 0x70 && B0 <= 0x7F)) {
+    Disp = static_cast<int8_t>(Code[End - 1]);
+  } else {
+    // E8/E9 rel32 or 0F 8x rel32: the displacement is the last 4 bytes.
+    uint32_t Raw = uint32_t(Code[End - 4]) | (uint32_t(Code[End - 3]) << 8) |
+                   (uint32_t(Code[End - 2]) << 16) |
+                   (uint32_t(Code[End - 1]) << 24);
+    Disp = static_cast<int32_t>(Raw);
+  }
+  int64_t Dest = int64_t(End) + Disp;
+  if (Dest < 0 || Dest >= int64_t(Target.size()))
+    return false;
+  Target[static_cast<size_t>(Dest)] = 1;
+  return true;
+}
+
+} // namespace
+
+bool core::verifyImage(const PolicyTables &T, const uint8_t *Code,
+                       uint32_t Size) {
+  uint32_t Pos = 0;
+  bool Ok = true;
+  std::vector<uint8_t> Valid(Size, 0);
+  std::vector<uint8_t> Target(Size, 0);
+
+  while (Pos < Size) {
+    Valid[Pos] = 1;
+    uint32_t SavedPos = Pos;
+    if (dfaMatch(T.MaskedJump, Code, &Pos, Size))
+      continue;
+    if (dfaMatch(T.NoControlFlow, Code, &Pos, Size))
+      continue;
+    if (dfaMatch(T.DirectJump, Code, &Pos, Size) &&
+        extractTarget(Code, SavedPos, Pos, Target))
+      continue;
+    return false;
+  }
+
+  for (uint32_t I = 0; I < Size; ++I)
+    Ok = Ok && (!Target[I] || Valid[I]) && ((I & (BundleSize - 1)) || Valid[I]);
+
+  return Ok;
+}
+
+CheckResult RockSalt::check(const uint8_t *Code, uint32_t Size) const {
+  CheckResult R;
+  R.Valid.assign(Size, 0);
+  R.Target.assign(Size, 0);
+  R.PairJmp.assign(Size, 0);
+
+  uint32_t Pos = 0;
+  while (Pos < Size) {
+    R.Valid[Pos] = 1;
+    uint32_t SavedPos = Pos;
+    if (dfaMatch(Tables.MaskedJump, Code, &Pos, Size)) {
+      // The mask half (AND r, imm8) is always 3 bytes; the jump half
+      // starts right after it.
+      R.PairJmp[SavedPos + 3] = 1;
+      continue;
+    }
+    if (dfaMatch(Tables.NoControlFlow, Code, &Pos, Size))
+      continue;
+    if (dfaMatch(Tables.DirectJump, Code, &Pos, Size) &&
+        extractTarget(Code, SavedPos, Pos, R.Target)) {
+      continue;
+    }
+    R.Ok = false;
+    return R;
+  }
+
+  R.Ok = true;
+  for (uint32_t I = 0; I < Size; ++I)
+    R.Ok = R.Ok && (!R.Target[I] || R.Valid[I]) &&
+           ((I & (BundleSize - 1)) || R.Valid[I]);
+  return R;
+}

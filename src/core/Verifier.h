@@ -1,0 +1,71 @@
+//===- core/Verifier.h - The RockSalt NaCl checker -------------*- C++ -*-===//
+///
+/// \file
+/// The RockSalt verifier: a direct port of the paper's Figures 5 and 6.
+/// The run-time trusted computing base is `dfaMatch` plus `verifyImage` —
+/// under a hundred lines of table-walking code; everything interesting
+/// lives in the generated DFA tables (core/Policy.h).
+///
+/// `check` is an instrumented variant returning the `valid` and `target`
+/// arrays plus the positions of the jump halves of masked-jump pairs;
+/// the sandbox monitor and the proofs-as-tests use it. `verify` is the
+/// bare boolean of Figure 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_CORE_VERIFIER_H
+#define ROCKSALT_CORE_VERIFIER_H
+
+#include "core/Policy.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rocksalt {
+namespace core {
+
+/// Figure 6: executes DFA transitions over code[*Pos..Size); on an accept
+/// advances *Pos past the shortest accepted prefix and returns true; on a
+/// reject state or exhaustion leaves *Pos unchanged and returns false.
+bool dfaMatch(const re::Dfa &A, const uint8_t *Code, uint32_t *Pos,
+              uint32_t Size);
+
+/// Figure 5: returns true iff the image respects the aligned sandbox
+/// policy.
+bool verifyImage(const PolicyTables &T, const uint8_t *Code, uint32_t Size);
+
+/// Instrumented result for monitors and tests.
+struct CheckResult {
+  bool Ok = false;
+  std::vector<uint8_t> Valid;   ///< instruction-start positions
+  std::vector<uint8_t> Target;  ///< direct-jump target positions
+  std::vector<uint8_t> PairJmp; ///< jump halves of masked-jump pairs
+};
+
+/// The checker with its cached tables.
+class RockSalt {
+  const PolicyTables &Tables;
+
+public:
+  RockSalt() : Tables(policyTables()) {}
+  explicit RockSalt(const PolicyTables &T) : Tables(T) {}
+
+  /// The production entry point (Figure 5).
+  bool verify(const uint8_t *Code, uint32_t Size) const {
+    return verifyImage(Tables, Code, Size);
+  }
+  bool verify(const std::vector<uint8_t> &Code) const {
+    return verify(Code.data(), static_cast<uint32_t>(Code.size()));
+  }
+
+  /// Instrumented variant (same decisions, richer result).
+  CheckResult check(const uint8_t *Code, uint32_t Size) const;
+  CheckResult check(const std::vector<uint8_t> &Code) const {
+    return check(Code.data(), static_cast<uint32_t>(Code.size()));
+  }
+};
+
+} // namespace core
+} // namespace rocksalt
+
+#endif // ROCKSALT_CORE_VERIFIER_H

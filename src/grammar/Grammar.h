@@ -1,0 +1,464 @@
+//===- grammar/Grammar.h - Typed parsing combinators -----------*- C++ -*-===//
+///
+/// \file
+/// The Decoder DSL of paper section 2.1: typed grammars over the binary
+/// alphabet with semantic actions. A value of type Grammar<T> denotes a
+/// relation between bit strings and semantic values of type T, built from
+/// the constructors
+///
+///   Void  Eps  Bit  Any  Cat  Alt  Star  Map
+///
+/// Parsing is executable through Brzozowski derivatives exactly as in
+/// section 2.2: `derivBit` strips a leading bit and adjusts the semantic
+/// actions with Maps so the residual grammar computes the same values;
+/// `extract` reads off the values associated with the empty string. The
+/// smart constructors perform the Void-propagation reductions, which keep
+/// iterated derivatives from blowing up.
+///
+/// `strip` erases the semantic actions, producing the untyped regex the
+/// DFA generator (regex/Dfa.h) and the ambiguity analysis (section 4.1)
+/// consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_GRAMMAR_GRAMMAR_H
+#define ROCKSALT_GRAMMAR_GRAMMAR_H
+
+#include "regex/Regex.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rocksalt {
+namespace gram {
+
+/// The unit semantic value (Coq's tt).
+struct Unit {
+  bool operator==(const Unit &) const { return true; }
+};
+
+template <typename T> class Grammar;
+
+namespace detail {
+
+/// Base node. Each node knows how to differentiate itself, how to
+/// "nullify" itself (the paper's `null g`: a grammar matching only the
+/// empty string but computing the same values), how to extract the values
+/// it associates with the empty string, and how to strip to a regex.
+template <typename T> class Node {
+public:
+  virtual ~Node() = default;
+  virtual Grammar<T> derivBit(bool Bit) const = 0;
+  virtual Grammar<T> nullify() const = 0;
+  virtual void extract(std::vector<T> &Out) const = 0;
+  virtual re::Regex strip(re::Factory &F) const = 0;
+  virtual bool isVoid() const { return false; }
+};
+
+} // namespace detail
+
+/// A value-semantic handle on an immutable grammar node.
+template <typename T> class Grammar {
+  std::shared_ptr<const detail::Node<T>> Impl;
+
+public:
+  Grammar() = default;
+  explicit Grammar(std::shared_ptr<const detail::Node<T>> N)
+      : Impl(std::move(N)) {}
+
+  bool valid() const { return Impl != nullptr; }
+  bool isVoid() const { return Impl->isVoid(); }
+
+  /// The Brzozowski derivative with respect to one bit.
+  Grammar<T> derivBit(bool Bit) const { return Impl->derivBit(Bit); }
+
+  /// Derivative with respect to the 8 bits of \p Byte, MSB first (the
+  /// order in which the Intel manual writes opcode patterns).
+  Grammar<T> derivByte(uint8_t Byte) const {
+    Grammar<T> G = *this;
+    for (int I = 7; I >= 0; --I)
+      G = G.derivBit((Byte >> I) & 1);
+    return G;
+  }
+
+  /// The paper's `null g`: equivalent to Eps when this grammar accepts
+  /// the empty string (retaining the associated values), Void otherwise.
+  Grammar<T> nullify() const { return Impl->nullify(); }
+
+  /// Values associated with the empty string; nonempty iff the grammar
+  /// accepts the empty string.
+  std::vector<T> extract() const {
+    std::vector<T> Out;
+    Impl->extract(Out);
+    return Out;
+  }
+
+  /// Erases semantic actions, yielding the underlying regex.
+  re::Regex strip(re::Factory &F) const { return Impl->strip(F); }
+};
+
+//===----------------------------------------------------------------------===//
+// Node implementations.
+//===----------------------------------------------------------------------===//
+
+template <typename T> Grammar<T> voidG();
+template <typename T> Grammar<T> pure(T V);
+template <typename A, typename B>
+Grammar<std::pair<A, B>> cat(Grammar<A> GA, Grammar<B> GB);
+template <typename T> Grammar<T> alt(Grammar<T> GA, Grammar<T> GB);
+template <typename A, typename B>
+Grammar<B> mapG(Grammar<A> G, std::function<B(const A &)> F);
+template <typename T> Grammar<std::vector<T>> star(Grammar<T> G);
+
+namespace detail {
+
+template <typename T> class VoidNode final : public Node<T> {
+public:
+  Grammar<T> derivBit(bool) const override { return voidG<T>(); }
+  Grammar<T> nullify() const override { return voidG<T>(); }
+  void extract(std::vector<T> &) const override {}
+  re::Regex strip(re::Factory &F) const override { return F.voidRe(); }
+  bool isVoid() const override { return true; }
+};
+
+/// Matches only the empty string and yields exactly one value. Eps is
+/// PureNode<Unit>; derivatives of Any/Bit also produce Pure nodes, which
+/// is how consumed input flows into semantic values.
+template <typename T> class PureNode final : public Node<T> {
+  T Value;
+
+public:
+  explicit PureNode(T V) : Value(std::move(V)) {}
+  Grammar<T> derivBit(bool) const override { return voidG<T>(); }
+  Grammar<T> nullify() const override { return pure(Value); }
+  void extract(std::vector<T> &Out) const override { Out.push_back(Value); }
+  re::Regex strip(re::Factory &F) const override { return F.epsRe(); }
+};
+
+class BitNode final : public Node<Unit> {
+  bool Expected;
+
+public:
+  explicit BitNode(bool B) : Expected(B) {}
+  Grammar<Unit> derivBit(bool Bit) const override {
+    return Bit == Expected ? pure(Unit{}) : voidG<Unit>();
+  }
+  Grammar<Unit> nullify() const override { return voidG<Unit>(); }
+  void extract(std::vector<Unit> &) const override {}
+  re::Regex strip(re::Factory &F) const override { return F.bit(Expected); }
+};
+
+class AnyNode final : public Node<bool> {
+public:
+  Grammar<bool> derivBit(bool Bit) const override { return pure(Bit); }
+  Grammar<bool> nullify() const override { return voidG<bool>(); }
+  void extract(std::vector<bool> &) const override {}
+  re::Regex strip(re::Factory &F) const override { return F.any(); }
+};
+
+template <typename A, typename B>
+class CatNode final : public Node<std::pair<A, B>> {
+  Grammar<A> GA;
+  Grammar<B> GB;
+
+public:
+  CatNode(Grammar<A> A_, Grammar<B> B_)
+      : GA(std::move(A_)), GB(std::move(B_)) {}
+
+  Grammar<std::pair<A, B>> derivBit(bool Bit) const override {
+    // deriv(Cat g1 g2) = Alt (Cat (deriv g1) g2) (Cat (null g1) (deriv g2)).
+    // Only differentiate g2 when g1 is nullable — otherwise the second
+    // branch is Void and recursing into g2 would make derivatives of
+    // right-nested Cat chains quadratic.
+    Grammar<A> NullA = GA.nullify();
+    Grammar<std::pair<A, B>> Left = cat(GA.derivBit(Bit), GB);
+    if (NullA.isVoid())
+      return Left;
+    return alt(Left, cat(NullA, GB.derivBit(Bit)));
+  }
+
+  Grammar<std::pair<A, B>> nullify() const override {
+    return cat(GA.nullify(), GB.nullify());
+  }
+
+  void extract(std::vector<std::pair<A, B>> &Out) const override {
+    std::vector<A> As = GA.extract();
+    if (As.empty())
+      return;
+    std::vector<B> Bs = GB.extract();
+    for (const A &VA : As)
+      for (const B &VB : Bs)
+        Out.emplace_back(VA, VB);
+  }
+
+  re::Regex strip(re::Factory &F) const override {
+    return F.cat(GA.strip(F), GB.strip(F));
+  }
+};
+
+template <typename T> class AltNode final : public Node<T> {
+  Grammar<T> GA;
+  Grammar<T> GB;
+
+public:
+  AltNode(Grammar<T> A_, Grammar<T> B_)
+      : GA(std::move(A_)), GB(std::move(B_)) {}
+
+  Grammar<T> derivBit(bool Bit) const override {
+    return alt(GA.derivBit(Bit), GB.derivBit(Bit));
+  }
+  Grammar<T> nullify() const override {
+    return alt(GA.nullify(), GB.nullify());
+  }
+  void extract(std::vector<T> &Out) const override {
+    for (T &V : GA.extract())
+      Out.push_back(std::move(V));
+    for (T &V : GB.extract())
+      Out.push_back(std::move(V));
+  }
+  re::Regex strip(re::Factory &F) const override {
+    return F.alt(GA.strip(F), GB.strip(F));
+  }
+};
+
+template <typename A, typename B> class MapNode final : public Node<B> {
+  Grammar<A> G;
+  std::function<B(const A &)> F;
+
+public:
+  MapNode(Grammar<A> G_, std::function<B(const A &)> F_)
+      : G(std::move(G_)), F(std::move(F_)) {}
+
+  Grammar<B> derivBit(bool Bit) const override {
+    return mapG<A, B>(G.derivBit(Bit), F);
+  }
+  Grammar<B> nullify() const override { return mapG<A, B>(G.nullify(), F); }
+  void extract(std::vector<B> &Out) const override {
+    for (const A &V : G.extract())
+      Out.push_back(F(V));
+  }
+  re::Regex strip(re::Factory &Fac) const override { return G.strip(Fac); }
+};
+
+template <typename T> class StarNode final : public Node<std::vector<T>> {
+  Grammar<T> G;
+
+public:
+  explicit StarNode(Grammar<T> G_) : G(std::move(G_)) {}
+
+  Grammar<std::vector<T>> derivBit(bool Bit) const override {
+    // deriv(Star g) = Map (::) (Cat (deriv g) (Star g))
+    Grammar<std::pair<T, std::vector<T>>> D = cat(G.derivBit(Bit), star(G));
+    return mapG<std::pair<T, std::vector<T>>, std::vector<T>>(
+        D, [](const std::pair<T, std::vector<T>> &P) {
+          std::vector<T> Out;
+          Out.reserve(P.second.size() + 1);
+          Out.push_back(P.first);
+          Out.insert(Out.end(), P.second.begin(), P.second.end());
+          return Out;
+        });
+  }
+  Grammar<std::vector<T>> nullify() const override {
+    return pure(std::vector<T>{});
+  }
+  void extract(std::vector<std::vector<T>> &Out) const override {
+    Out.push_back({});
+  }
+  re::Regex strip(re::Factory &F) const override {
+    return F.star(G.strip(F));
+  }
+};
+
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Smart constructors.
+//===----------------------------------------------------------------------===//
+
+/// The empty grammar (matches nothing).
+template <typename T> Grammar<T> voidG() {
+  static const Grammar<T> Singleton(std::make_shared<detail::VoidNode<T>>());
+  return Singleton;
+}
+
+/// Matches the empty string, producing \p V.
+template <typename T> Grammar<T> pure(T V) {
+  return Grammar<T>(std::make_shared<detail::PureNode<T>>(std::move(V)));
+}
+
+/// Matches the empty string, producing Unit (the paper's Eps).
+inline Grammar<Unit> eps() { return pure(Unit{}); }
+
+/// Matches the single bit \p B.
+inline Grammar<Unit> bitLit(bool B) {
+  return Grammar<Unit>(std::make_shared<detail::BitNode>(B));
+}
+
+/// Matches any single bit, producing it.
+inline Grammar<bool> anyBit() {
+  return Grammar<bool>(std::make_shared<detail::AnyNode>());
+}
+
+/// Concatenation with Void propagation.
+template <typename A, typename B>
+Grammar<std::pair<A, B>> cat(Grammar<A> GA, Grammar<B> GB) {
+  if (GA.isVoid() || GB.isVoid())
+    return voidG<std::pair<A, B>>();
+  return Grammar<std::pair<A, B>>(
+      std::make_shared<detail::CatNode<A, B>>(std::move(GA), std::move(GB)));
+}
+
+/// Alternation with Void pruning.
+template <typename T> Grammar<T> alt(Grammar<T> GA, Grammar<T> GB) {
+  if (GA.isVoid())
+    return GB;
+  if (GB.isVoid())
+    return GA;
+  return Grammar<T>(
+      std::make_shared<detail::AltNode<T>>(std::move(GA), std::move(GB)));
+}
+
+/// Semantic action (the paper's `g @ f`).
+template <typename A, typename B>
+Grammar<B> mapG(Grammar<A> G, std::function<B(const A &)> F) {
+  if (G.isVoid())
+    return voidG<B>();
+  return Grammar<B>(
+      std::make_shared<detail::MapNode<A, B>>(std::move(G), std::move(F)));
+}
+
+/// mapG with the result type deduced from the callable.
+template <typename F, typename A>
+auto mapWith(Grammar<A> G, F Fn) -> Grammar<decltype(Fn(std::declval<A>()))> {
+  using B = decltype(Fn(std::declval<A>()));
+  return mapG<A, B>(std::move(G), std::function<B(const A &)>(std::move(Fn)));
+}
+
+/// Kleene star.
+template <typename T> Grammar<std::vector<T>> star(Grammar<T> G) {
+  return Grammar<std::vector<T>>(
+      std::make_shared<detail::StarNode<T>>(std::move(G)));
+}
+
+//===----------------------------------------------------------------------===//
+// Derived forms used throughout the instruction grammars.
+//===----------------------------------------------------------------------===//
+
+/// Sequencing that keeps only the right value (the paper's `$$`).
+template <typename A, typename B>
+Grammar<B> then(Grammar<A> GA, Grammar<B> GB) {
+  return mapWith(cat(std::move(GA), std::move(GB)),
+                 [](const std::pair<A, B> &P) { return P.second; });
+}
+
+/// Sequencing that keeps only the left value.
+template <typename A, typename B>
+Grammar<A> before(Grammar<A> GA, Grammar<B> GB) {
+  return mapWith(cat(std::move(GA), std::move(GB)),
+                 [](const std::pair<A, B> &P) { return P.first; });
+}
+
+/// A literal bit string such as "1110" (MSB first), yielding Unit.
+inline Grammar<Unit> bitsG(std::string_view Pattern) {
+  Grammar<Unit> Out = eps();
+  for (size_t I = Pattern.size(); I > 0; --I) {
+    char C = Pattern[I - 1];
+    assert((C == '0' || C == '1') && "bit pattern must be 0s and 1s");
+    Out = then(bitLit(C == '1'), Out);
+  }
+  return Out;
+}
+
+/// Exactly \p N arbitrary bits interpreted MSB-first as an unsigned
+/// integer (N <= 32).
+inline Grammar<uint32_t> field(unsigned N) {
+  assert(N <= 32 && "field too wide");
+  if (N == 0)
+    return pure<uint32_t>(0);
+  Grammar<uint32_t> Rest = field(N - 1);
+  return mapWith(cat(anyBit(), Rest),
+                 [N](const std::pair<bool, uint32_t> &P) -> uint32_t {
+                   return (uint32_t(P.first) << (N - 1)) | P.second;
+                 });
+}
+
+/// One arbitrary byte (8 bits, MSB first).
+inline Grammar<uint8_t> byteG() {
+  return mapWith(field(8),
+                 [](uint32_t V) { return static_cast<uint8_t>(V); });
+}
+
+/// A 16-bit little-endian immediate ("halfword" in the paper).
+inline Grammar<uint16_t> halfwordLE() {
+  return mapWith(cat(byteG(), byteG()),
+                 [](const std::pair<uint8_t, uint8_t> &P) {
+                   return static_cast<uint16_t>(P.first |
+                                                (uint16_t(P.second) << 8));
+                 });
+}
+
+/// A 32-bit little-endian immediate ("word" in the paper).
+inline Grammar<uint32_t> wordLE() {
+  return mapWith(cat(halfwordLE(), halfwordLE()),
+                 [](const std::pair<uint16_t, uint16_t> &P) {
+                   return uint32_t(P.first) | (uint32_t(P.second) << 16);
+                 });
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing driver.
+//===----------------------------------------------------------------------===//
+
+/// Result of decoding a prefix of a byte stream.
+template <typename T> struct ParseResult {
+  bool Matched = false;
+  T Value{};
+  size_t Length = 0; ///< bytes consumed
+};
+
+/// Finds the shortest byte prefix of [Data, Data+Size) accepted by \p G
+/// and returns its (unique, for unambiguous grammars) semantic value.
+/// Fails if the derivative becomes Void or \p MaxLen bytes pass without
+/// acceptance.
+template <typename T>
+ParseResult<T> parsePrefix(const Grammar<T> &G, const uint8_t *Data,
+                           size_t Size, size_t MaxLen = 15) {
+  ParseResult<T> R;
+  Grammar<T> Cur = G;
+  size_t Limit = Size < MaxLen ? Size : MaxLen;
+  for (size_t I = 0; I < Limit; ++I) {
+    Cur = Cur.derivByte(Data[I]);
+    if (Cur.isVoid())
+      return R;
+    std::vector<T> Vals = Cur.extract();
+    if (!Vals.empty()) {
+      R.Matched = true;
+      R.Value = std::move(Vals.front());
+      R.Length = I + 1;
+      return R;
+    }
+  }
+  return R;
+}
+
+/// True iff \p G accepts exactly the whole byte string.
+template <typename T>
+bool matchesExactly(const Grammar<T> &G, const std::vector<uint8_t> &Bytes) {
+  Grammar<T> Cur = G;
+  for (uint8_t B : Bytes) {
+    Cur = Cur.derivByte(B);
+    if (Cur.isVoid())
+      return false;
+  }
+  return !Cur.extract().empty();
+}
+
+} // namespace gram
+} // namespace rocksalt
+
+#endif // ROCKSALT_GRAMMAR_GRAMMAR_H

@@ -1,0 +1,301 @@
+//===- mips/Mips.cpp ------------------------------------------*- C++ -*-===//
+
+#include "mips/Mips.h"
+
+#include <cassert>
+
+using namespace rocksalt;
+using namespace rocksalt::mips;
+using namespace rocksalt::gram;
+
+const char *mips::opName(Op O) {
+  static const char *Names[] = {"addu", "subu", "and",  "or",   "xor",
+                                "nor",  "slt",  "sltu", "sll",  "srl",
+                                "sra",  "jr",   "addiu", "andi", "ori",
+                                "xori", "slti", "sltiu", "lui",  "lw",
+                                "sw",   "beq",  "bne",   "j",    "jal"};
+  return Names[static_cast<unsigned>(O)];
+}
+
+namespace {
+
+std::string bitString(uint32_t V, int N) {
+  std::string S(N, '0');
+  for (int I = 0; I < N; ++I)
+    if ((V >> (N - 1 - I)) & 1)
+      S[I] = '1';
+  return S;
+}
+
+Grammar<uint32_t> reg5() { return field(5); }
+Grammar<uint32_t> imm16() { return field(16); }
+
+/// R-type: 000000 rs rt rd shamt funct.
+Grammar<Instr> rType(Op O, uint8_t Funct) {
+  return mapWith(
+      then(bitsG("000000"),
+           cat(reg5(), cat(reg5(), cat(reg5(),
+                                       before(field(5),
+                                              bitsG(bitString(Funct, 6))))))),
+      [O](const std::pair<uint32_t,
+                          std::pair<uint32_t,
+                                    std::pair<uint32_t, uint32_t>>> &P) {
+        Instr I;
+        I.Opc = O;
+        I.Rs = uint8_t(P.first);
+        I.Rt = uint8_t(P.second.first);
+        I.Rd = uint8_t(P.second.second.first);
+        I.Shamt = uint8_t(P.second.second.second);
+        return I;
+      });
+}
+
+/// I-type: opcode rs rt imm16.
+Grammar<Instr> iType(Op O, uint8_t Opcode) {
+  return mapWith(
+      then(bitsG(bitString(Opcode, 6)), cat(reg5(), cat(reg5(), imm16()))),
+      [O](const std::pair<uint32_t, std::pair<uint32_t, uint32_t>> &P) {
+        Instr I;
+        I.Opc = O;
+        I.Rs = uint8_t(P.first);
+        I.Rt = uint8_t(P.second.first);
+        I.Imm = uint16_t(P.second.second);
+        return I;
+      });
+}
+
+/// J-type: opcode target26.
+Grammar<Instr> jType(Op O, uint8_t Opcode) {
+  return mapWith(then(bitsG(bitString(Opcode, 6)), field(26)),
+                 [O](uint32_t T) {
+                   Instr I;
+                   I.Opc = O;
+                   I.Target = T;
+                   return I;
+                 });
+}
+
+const MipsGrammars *buildGrammars() {
+  auto *G = new MipsGrammars;
+  auto Add = [G](const char *Name, Grammar<Instr> Gr) {
+    G->Forms.emplace_back(Name, std::move(Gr));
+  };
+
+  // R-type funct codes from the MIPS-I manual.
+  Add("sll", rType(Op::SLL, 0x00));
+  Add("srl", rType(Op::SRL, 0x02));
+  Add("sra", rType(Op::SRA, 0x03));
+  Add("jr", rType(Op::JR, 0x08));
+  Add("addu", rType(Op::ADDU, 0x21));
+  Add("subu", rType(Op::SUBU, 0x23));
+  Add("and", rType(Op::AND, 0x24));
+  Add("or", rType(Op::OR, 0x25));
+  Add("xor", rType(Op::XOR, 0x26));
+  Add("nor", rType(Op::NOR, 0x27));
+  Add("slt", rType(Op::SLT, 0x2A));
+  Add("sltu", rType(Op::SLTU, 0x2B));
+
+  Add("beq", iType(Op::BEQ, 0x04));
+  Add("bne", iType(Op::BNE, 0x05));
+  Add("addiu", iType(Op::ADDIU, 0x09));
+  Add("slti", iType(Op::SLTI, 0x0A));
+  Add("sltiu", iType(Op::SLTIU, 0x0B));
+  Add("andi", iType(Op::ANDI, 0x0C));
+  Add("ori", iType(Op::ORI, 0x0D));
+  Add("xori", iType(Op::XORI, 0x0E));
+  Add("lui", iType(Op::LUI, 0x0F));
+  Add("lw", iType(Op::LW, 0x23));
+  Add("sw", iType(Op::SW, 0x2B));
+
+  Add("j", jType(Op::J, 0x02));
+  Add("jal", jType(Op::JAL, 0x03));
+
+  Grammar<Instr> Full = voidG<Instr>();
+  for (auto &[Name, Gr] : G->Forms)
+    Full = alt(Full, Gr);
+  G->Full = Full;
+  return G;
+}
+
+} // namespace
+
+const MipsGrammars &mips::mipsGrammars() {
+  static const MipsGrammars *G = buildGrammars();
+  return *G;
+}
+
+std::optional<Instr> mips::decode(uint32_t Word) {
+  uint8_t Bytes[4] = {uint8_t(Word >> 24), uint8_t(Word >> 16),
+                      uint8_t(Word >> 8), uint8_t(Word)};
+  gram::ParseResult<Instr> R =
+      gram::parsePrefix(mipsGrammars().Full, Bytes, 4, 4);
+  if (!R.Matched || R.Length != 4)
+    return std::nullopt;
+  return R.Value;
+}
+
+uint32_t mips::encode(const Instr &I) {
+  auto R = [&](uint8_t Funct) {
+    return (uint32_t(I.Rs) << 21) | (uint32_t(I.Rt) << 16) |
+           (uint32_t(I.Rd) << 11) | (uint32_t(I.Shamt) << 6) | Funct;
+  };
+  auto Itype = [&](uint8_t Opc) {
+    return (uint32_t(Opc) << 26) | (uint32_t(I.Rs) << 21) |
+           (uint32_t(I.Rt) << 16) | I.Imm;
+  };
+  switch (I.Opc) {
+  case Op::SLL: return R(0x00);
+  case Op::SRL: return R(0x02);
+  case Op::SRA: return R(0x03);
+  case Op::JR: return R(0x08);
+  case Op::ADDU: return R(0x21);
+  case Op::SUBU: return R(0x23);
+  case Op::AND: return R(0x24);
+  case Op::OR: return R(0x25);
+  case Op::XOR: return R(0x26);
+  case Op::NOR: return R(0x27);
+  case Op::SLT: return R(0x2A);
+  case Op::SLTU: return R(0x2B);
+  case Op::BEQ: return Itype(0x04);
+  case Op::BNE: return Itype(0x05);
+  case Op::ADDIU: return Itype(0x09);
+  case Op::SLTI: return Itype(0x0A);
+  case Op::SLTIU: return Itype(0x0B);
+  case Op::ANDI: return Itype(0x0C);
+  case Op::ORI: return Itype(0x0D);
+  case Op::XORI: return Itype(0x0E);
+  case Op::LUI: return Itype(0x0F);
+  case Op::LW: return Itype(0x23);
+  case Op::SW: return Itype(0x2B);
+  case Op::J: return (0x02u << 26) | (I.Target & 0x03FFFFFF);
+  case Op::JAL: return (0x03u << 26) | (I.Target & 0x03FFFFFF);
+  }
+  return 0;
+}
+
+std::string mips::printInstr(const Instr &I) {
+  char Buf[64];
+  switch (I.Opc) {
+  case Op::SLL: case Op::SRL: case Op::SRA:
+    std::snprintf(Buf, sizeof(Buf), "%s $%u, $%u, %u", opName(I.Opc), I.Rd,
+                  I.Rt, I.Shamt);
+    break;
+  case Op::JR:
+    std::snprintf(Buf, sizeof(Buf), "jr $%u", I.Rs);
+    break;
+  case Op::J: case Op::JAL:
+    std::snprintf(Buf, sizeof(Buf), "%s 0x%x", opName(I.Opc), I.Target << 2);
+    break;
+  case Op::ADDU: case Op::SUBU: case Op::AND: case Op::OR: case Op::XOR:
+  case Op::NOR: case Op::SLT: case Op::SLTU:
+    std::snprintf(Buf, sizeof(Buf), "%s $%u, $%u, $%u", opName(I.Opc), I.Rd,
+                  I.Rs, I.Rt);
+    break;
+  default:
+    std::snprintf(Buf, sizeof(Buf), "%s $%u, $%u, 0x%x", opName(I.Opc),
+                  I.Rt, I.Rs, I.Imm);
+    break;
+  }
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter.
+//===----------------------------------------------------------------------===//
+
+uint32_t Machine::loadWord(uint32_t Addr) const {
+  if (Addr + 3 >= Mem.size())
+    return 0;
+  return (uint32_t(Mem[Addr]) << 24) | (uint32_t(Mem[Addr + 1]) << 16) |
+         (uint32_t(Mem[Addr + 2]) << 8) | Mem[Addr + 3];
+}
+
+void Machine::storeWord(uint32_t Addr, uint32_t V) {
+  if (Addr + 3 >= Mem.size())
+    return;
+  Mem[Addr] = uint8_t(V >> 24);
+  Mem[Addr + 1] = uint8_t(V >> 16);
+  Mem[Addr + 2] = uint8_t(V >> 8);
+  Mem[Addr + 3] = uint8_t(V);
+}
+
+void Machine::loadProgram(const std::vector<uint32_t> &Words) {
+  for (size_t I = 0; I < Words.size(); ++I)
+    storeWord(uint32_t(I * 4), Words[I]);
+  Pc = 0;
+  Halted = false;
+}
+
+bool Machine::step() {
+  if (Halted || Pc + 3 >= Mem.size()) {
+    Halted = true;
+    return false;
+  }
+  std::optional<Instr> D = decode(loadWord(Pc));
+  if (!D) {
+    Halted = true;
+    return false;
+  }
+  const Instr &I = *D;
+  uint32_t Next = Pc + 4;
+  auto SxImm = [&] { return uint32_t(int32_t(int16_t(I.Imm))); };
+
+  switch (I.Opc) {
+  case Op::ADDU: Regs[I.Rd] = Regs[I.Rs] + Regs[I.Rt]; break;
+  case Op::SUBU: Regs[I.Rd] = Regs[I.Rs] - Regs[I.Rt]; break;
+  case Op::AND: Regs[I.Rd] = Regs[I.Rs] & Regs[I.Rt]; break;
+  case Op::OR: Regs[I.Rd] = Regs[I.Rs] | Regs[I.Rt]; break;
+  case Op::XOR: Regs[I.Rd] = Regs[I.Rs] ^ Regs[I.Rt]; break;
+  case Op::NOR: Regs[I.Rd] = ~(Regs[I.Rs] | Regs[I.Rt]); break;
+  case Op::SLT:
+    Regs[I.Rd] = int32_t(Regs[I.Rs]) < int32_t(Regs[I.Rt]);
+    break;
+  case Op::SLTU: Regs[I.Rd] = Regs[I.Rs] < Regs[I.Rt]; break;
+  case Op::SLL: Regs[I.Rd] = Regs[I.Rt] << I.Shamt; break;
+  case Op::SRL: Regs[I.Rd] = Regs[I.Rt] >> I.Shamt; break;
+  case Op::SRA:
+    Regs[I.Rd] = uint32_t(int32_t(Regs[I.Rt]) >> I.Shamt);
+    break;
+  case Op::JR:
+    if (Regs[I.Rs] == 0 && I.Rs == 0) {
+      Halted = true; // `jr $zero`: the halt convention
+      return false;
+    }
+    Next = Regs[I.Rs];
+    break;
+  case Op::ADDIU: Regs[I.Rt] = Regs[I.Rs] + SxImm(); break;
+  case Op::ANDI: Regs[I.Rt] = Regs[I.Rs] & I.Imm; break;
+  case Op::ORI: Regs[I.Rt] = Regs[I.Rs] | I.Imm; break;
+  case Op::XORI: Regs[I.Rt] = Regs[I.Rs] ^ I.Imm; break;
+  case Op::SLTI:
+    Regs[I.Rt] = int32_t(Regs[I.Rs]) < int32_t(SxImm());
+    break;
+  case Op::SLTIU: Regs[I.Rt] = Regs[I.Rs] < SxImm(); break;
+  case Op::LUI: Regs[I.Rt] = uint32_t(I.Imm) << 16; break;
+  case Op::LW: Regs[I.Rt] = loadWord(Regs[I.Rs] + SxImm()); break;
+  case Op::SW: storeWord(Regs[I.Rs] + SxImm(), Regs[I.Rt]); break;
+  case Op::BEQ:
+    if (Regs[I.Rs] == Regs[I.Rt])
+      Next = Pc + 4 + (SxImm() << 2);
+    break;
+  case Op::BNE:
+    if (Regs[I.Rs] != Regs[I.Rt])
+      Next = Pc + 4 + (SxImm() << 2);
+    break;
+  case Op::J: Next = I.Target << 2; break;
+  case Op::JAL:
+    Regs[31] = Pc + 4;
+    Next = I.Target << 2;
+    break;
+  }
+  Regs[0] = 0; // $zero is hard-wired
+  Pc = Next;
+  return true;
+}
+
+uint64_t Machine::run(uint64_t MaxSteps) {
+  uint64_t N = 0;
+  while (N < MaxSteps && step())
+    ++N;
+  return N;
+}

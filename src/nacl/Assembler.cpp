@@ -1,0 +1,110 @@
+//===- nacl/Assembler.cpp -------------------------------------*- C++ -*-===//
+
+#include "nacl/Assembler.h"
+
+#include <cassert>
+
+using namespace rocksalt;
+using namespace rocksalt::nacl;
+using core::BundleSize;
+using x86::Instr;
+using x86::Reg;
+
+void Assembler::raw(const std::vector<uint8_t> &Bytes) {
+  assert(!Finished && "assembler already finished");
+  Code.insert(Code.end(), Bytes.begin(), Bytes.end());
+}
+
+void Assembler::fit(uint32_t Len) {
+  assert(Len <= BundleSize && "instruction longer than a bundle");
+  uint32_t Used = here() % BundleSize;
+  if (Used + Len > BundleSize)
+    padToBundle();
+}
+
+void Assembler::padToBundle() {
+  while (here() % BundleSize != 0)
+    Code.push_back(0x90); // NOP
+}
+
+void Assembler::emit(const Instr &I) {
+  std::vector<uint8_t> Bytes = x86::encodeOrDie(I);
+  fit(static_cast<uint32_t>(Bytes.size()));
+  raw(Bytes);
+}
+
+void Assembler::label(const std::string &Name) {
+  assert(!Labels.count(Name) && "duplicate label");
+  Labels[Name] = here();
+}
+
+void Assembler::alignedLabel(const std::string &Name) {
+  padToBundle();
+  label(Name);
+}
+
+void Assembler::jmpTo(const std::string &Label) {
+  fit(5);
+  Code.push_back(0xE9);
+  Fixups.push_back({here(), here() + 4, Label});
+  Code.insert(Code.end(), 4, 0);
+}
+
+void Assembler::jccTo(x86::Cond CC, const std::string &Label) {
+  fit(6);
+  Code.push_back(0x0F);
+  Code.push_back(static_cast<uint8_t>(0x80 + x86::encodingOf(CC)));
+  Fixups.push_back({here(), here() + 4, Label});
+  Code.insert(Code.end(), 4, 0);
+}
+
+void Assembler::callTo(const std::string &Label) {
+  fit(5);
+  Code.push_back(0xE8);
+  Fixups.push_back({here(), here() + 4, Label});
+  Code.insert(Code.end(), 4, 0);
+}
+
+void Assembler::callToAligned(const std::string &Label) {
+  while ((here() + 5) % BundleSize != 0)
+    Code.push_back(0x90);
+  callTo(Label);
+}
+
+void Assembler::maskedJump(Reg R) {
+  assert(R != Reg::ESP && "nacljmp through ESP is not expressible");
+  fit(5);
+  uint8_t Enc = x86::encodingOf(R);
+  // and r, $-32 ; jmp *r
+  raw({0x83, static_cast<uint8_t>(0xE0 | Enc), core::SafeMaskByte, 0xFF,
+       static_cast<uint8_t>(0xE0 | Enc)});
+}
+
+void Assembler::maskedCall(Reg R) {
+  assert(R != Reg::ESP && "nacljmp through ESP is not expressible");
+  fit(5);
+  uint8_t Enc = x86::encodingOf(R);
+  // and r, $-32 ; call *r
+  raw({0x83, static_cast<uint8_t>(0xE0 | Enc), core::SafeMaskByte, 0xFF,
+       static_cast<uint8_t>(0xD0 | Enc)});
+}
+
+void Assembler::hlt() {
+  fit(1);
+  Code.push_back(0xF4);
+}
+
+std::vector<uint8_t> Assembler::finish() {
+  assert(!Finished && "finish called twice");
+  Finished = true;
+  padToBundle();
+  for (const Fixup &F : Fixups) {
+    auto It = Labels.find(F.Label);
+    assert(It != Labels.end() && "undefined label");
+    (void)It;
+    uint32_t Disp = It->second - F.NextAddr;
+    for (int I = 0; I < 4; ++I)
+      Code[F.DispPos + I] = static_cast<uint8_t>(Disp >> (8 * I));
+  }
+  return std::move(Code);
+}

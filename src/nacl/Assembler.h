@@ -1,0 +1,93 @@
+//===- nacl/Assembler.h - NaCl-izing assembler -----------------*- C++ -*-===//
+///
+/// \file
+/// Emits machine code that respects the aligned sandbox policy — the
+/// role the modified NaCl GCC plays in the paper (section 3: inserting
+/// mask instructions before computed jumps and no-ops so that potential
+/// jump targets are 32-byte aligned). Guarantees, by construction:
+///
+///  * no instruction straddles a 32-byte bundle boundary (NOP padding is
+///    inserted first), so every 32nd byte is an instruction start;
+///  * every indirect transfer is emitted as the nacljmp pair (AND r,$-32
+///    directly followed by JMP/CALL *r), never split across bundles;
+///  * labels resolve to instruction starts; direct jumps are rel32/rel8
+///    pc-relative fixups against them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_NACL_ASSEMBLER_H
+#define ROCKSALT_NACL_ASSEMBLER_H
+
+#include "core/Policy.h"
+#include "x86/Encoder.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rocksalt {
+namespace nacl {
+
+class Assembler {
+  std::vector<uint8_t> Code;
+
+  struct Fixup {
+    uint32_t DispPos;  ///< where the rel32 field lives
+    uint32_t NextAddr; ///< address after the branch instruction
+    std::string Label;
+  };
+  std::map<std::string, uint32_t> Labels;
+  std::vector<Fixup> Fixups;
+  bool Finished = false;
+
+  void raw(const std::vector<uint8_t> &Bytes);
+
+public:
+  /// Current emit position (== size so far).
+  uint32_t here() const { return static_cast<uint32_t>(Code.size()); }
+
+  /// Pads with NOPs so the next \p Len bytes fit inside one bundle.
+  void fit(uint32_t Len);
+
+  /// Pads with NOPs to the next bundle boundary (no-op when aligned).
+  void padToBundle();
+
+  /// Encodes and appends one straight-line instruction, bundle-fitted.
+  void emit(const x86::Instr &I);
+
+  /// Binds \p Name to the current position.
+  void label(const std::string &Name);
+
+  /// Binds \p Name to the current position after aligning it to a bundle
+  /// boundary (required for targets of indirect jumps).
+  void alignedLabel(const std::string &Name);
+
+  /// Direct jump / conditional jump / call to a label (rel32, fixed up at
+  /// finish()).
+  void jmpTo(const std::string &Label);
+  void jccTo(x86::Cond CC, const std::string &Label);
+  void callTo(const std::string &Label);
+
+  /// Call padded so the instruction *ends* on a bundle boundary — the
+  /// NaCl discipline that makes return addresses bundle-aligned, so the
+  /// callee's masked return (pop r; nacljmp r) comes back exactly.
+  void callToAligned(const std::string &Label);
+
+  /// The nacljmp pseudo-instruction: AND r, $-32 ; JMP/CALL *r — kept
+  /// within one bundle. \p R must not be ESP.
+  void maskedJump(x86::Reg R);
+  void maskedCall(x86::Reg R);
+
+  /// Stops execution safely (HLT), typically used as a bundle filler at
+  /// the end of a function.
+  void hlt();
+
+  /// Resolves fixups, pads the image to a whole number of bundles, and
+  /// returns the code. The assembler must not be reused afterwards.
+  std::vector<uint8_t> finish();
+};
+
+} // namespace nacl
+} // namespace rocksalt
+
+#endif // ROCKSALT_NACL_ASSEMBLER_H

@@ -1,0 +1,67 @@
+//===- nacl/Mutator.cpp ---------------------------------------*- C++ -*-===//
+
+#include "nacl/Mutator.h"
+
+using namespace rocksalt;
+using namespace rocksalt::nacl;
+
+std::optional<std::vector<uint8_t>>
+nacl::applyAttack(const std::vector<uint8_t> &Code, Attack Kind, Rng &R) {
+  if (Code.size() < 8)
+    return std::nullopt;
+  std::vector<uint8_t> Out = Code;
+  uint32_t Pos = static_cast<uint32_t>(R.below(Out.size() - 4));
+
+  switch (Kind) {
+  case Attack::BareIndirectJump:
+    Out[Pos] = 0xFF;
+    Out[Pos + 1] = 0xE0; // jmp *eax
+    return Out;
+  case Attack::InsertRet:
+    Out[Pos] = 0xC3;
+    return Out;
+  case Attack::InsertInt:
+    Out[Pos] = 0xCD;
+    Out[Pos + 1] = 0x80; // int 0x80
+    return Out;
+  case Attack::StripMask: {
+    // Find a masked-jump pair (83 Ex E0 FF Ex|Dx) and erase the mask.
+    for (size_t I = 0; I + 4 < Out.size(); ++I) {
+      if (Out[I] != 0x83 || (Out[I + 1] & 0xF8) != 0xE0 ||
+          Out[I + 2] != 0xE0 || Out[I + 3] != 0xFF)
+        continue;
+      Out[I] = 0x90;
+      Out[I + 1] = 0x90;
+      Out[I + 2] = 0x90;
+      return Out;
+    }
+    return std::nullopt;
+  }
+  case Attack::SegmentOverride: {
+    static const uint8_t SegBytes[] = {0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65};
+    Out[Pos] = SegBytes[R.below(6)];
+    return Out;
+  }
+  case Attack::FarCall:
+    Out[Pos] = 0x9A;
+    return Out;
+  case Attack::WriteSegReg:
+    Out[Pos] = 0x8E;
+    Out[Pos + 1] = 0xD8; // mov ds, eax
+    return Out;
+  }
+  return std::nullopt;
+}
+
+std::vector<uint8_t> nacl::mutateRandom(const std::vector<uint8_t> &Code,
+                                        Rng &R) {
+  std::vector<uint8_t> Out = Code;
+  if (Out.empty())
+    return Out;
+  uint32_t Pos = static_cast<uint32_t>(R.below(Out.size()));
+  if (R.flip())
+    Out[Pos] ^= static_cast<uint8_t>(1u << R.below(8));
+  else
+    Out[Pos] = static_cast<uint8_t>(R.next());
+  return Out;
+}

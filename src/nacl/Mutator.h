@@ -1,0 +1,49 @@
+//===- nacl/Mutator.h - Adversarial corpus generation ----------*- C++ -*-===//
+///
+/// \file
+/// Produces corrupted variants of compliant binaries, standing in for the
+/// paper's hand-crafted unsafe programs (section 3.3). Targeted
+/// mutations introduce specific policy violations (a bare indirect jump,
+/// a RET, an INT, a stripped mask); random mutations flip bytes anywhere,
+/// producing a mix of still-valid and invalid images for checker
+/// agreement testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_NACL_MUTATOR_H
+#define ROCKSALT_NACL_MUTATOR_H
+
+#include "support/Oracle.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rocksalt {
+namespace nacl {
+
+/// Targeted, guaranteed-violation mutations.
+enum class Attack {
+  BareIndirectJump, ///< overwrite two bytes with FF E0 (jmp *eax)
+  InsertRet,        ///< overwrite one byte with C3
+  InsertInt,        ///< overwrite two bytes with CD 80 (int 0x80)
+  StripMask,        ///< NOP out the AND of a masked-jump pair
+  SegmentOverride,  ///< overwrite one byte with a segment prefix
+  FarCall,          ///< overwrite one byte with 9A (far call)
+  WriteSegReg       ///< overwrite two bytes with 8E D8 (mov ds, eax)
+};
+
+/// Applies \p Kind at a random position. Returns std::nullopt when the
+/// attack does not apply (e.g. StripMask on an image with no masked
+/// jump).
+std::optional<std::vector<uint8_t>>
+applyAttack(const std::vector<uint8_t> &Code, Attack Kind, Rng &R);
+
+/// Random single-site corruption (bit flip or byte rewrite); the result
+/// may or may not still satisfy the policy.
+std::vector<uint8_t> mutateRandom(const std::vector<uint8_t> &Code, Rng &R);
+
+} // namespace nacl
+} // namespace rocksalt
+
+#endif // ROCKSALT_NACL_MUTATOR_H

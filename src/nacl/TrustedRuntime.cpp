@@ -1,0 +1,55 @@
+//===- nacl/TrustedRuntime.cpp --------------------------------*- C++ -*-===//
+
+#include "nacl/TrustedRuntime.h"
+
+using namespace rocksalt;
+using namespace rocksalt::nacl;
+using rtl::Status;
+
+TrustedRuntime::RunResult TrustedRuntime::run(sem::Cpu &C,
+                                              uint64_t MaxSteps) {
+  RunResult R;
+  while (R.Steps < MaxSteps) {
+    if (C.M.St == Status::Running) {
+      C.step();
+      ++R.Steps;
+      continue;
+    }
+    if (C.M.St != Status::Halted)
+      break; // fault or error: stop
+
+    // Hypercall dispatch.
+    uint32_t Svc = C.M.Regs[0];
+    uint32_t Arg = C.M.Regs[3]; // EBX
+    switch (Svc) {
+    case SvcExit:
+      R.Exited = true;
+      R.ExitCode = Arg;
+      R.Final = Status::Halted;
+      return R;
+    case SvcPutChar:
+      R.Output.push_back(static_cast<char>(Arg));
+      break;
+    case SvcWrite: {
+      uint32_t Len = C.M.Regs[1]; // ECX
+      uint8_t Ds = static_cast<uint8_t>(x86::SegReg::DS);
+      for (uint32_t I = 0; I < Len && I < 65536; ++I) {
+        if (!C.M.inSegment(Ds, Arg + I))
+          break;
+        R.Output.push_back(
+            static_cast<char>(C.M.Mem.load8(C.M.physAddr(Ds, Arg + I))));
+      }
+      break;
+    }
+    default:
+      // Unknown service: treat as abnormal exit.
+      R.Exited = true;
+      R.ExitCode = 0xFFFFFFFF;
+      R.Final = Status::Halted;
+      return R;
+    }
+    C.M.St = Status::Running; // resume after the hypercall
+  }
+  R.Final = C.M.St;
+  return R;
+}

@@ -1,0 +1,47 @@
+//===- nacl/TrustedRuntime.h - Trusted service interface -------*- C++ -*-===//
+///
+/// \file
+/// The "well-defined set of entry points" of the sandbox policy (paper
+/// section 1, item d), modeled as a hypercall interface: untrusted code
+/// executes HLT (a safe, policy-legal trap) with a service number in EAX;
+/// the trusted runtime performs the service and resumes execution. This
+/// plays the role of NaCl's trampolines for the examples and tests.
+///
+/// Services:
+///   EAX=0: exit(EBX)           — stop the program
+///   EAX=1: putchar(EBX)        — append a character to the output
+///   EAX=2: write(EBX=data-segment offset, ECX=length)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_NACL_TRUSTEDRUNTIME_H
+#define ROCKSALT_NACL_TRUSTEDRUNTIME_H
+
+#include "sem/Cpu.h"
+
+#include <string>
+
+namespace rocksalt {
+namespace nacl {
+
+class TrustedRuntime {
+public:
+  enum Service : uint32_t { SvcExit = 0, SvcPutChar = 1, SvcWrite = 2 };
+
+  struct RunResult {
+    bool Exited = false;      ///< program called exit
+    uint32_t ExitCode = 0;
+    std::string Output;       ///< bytes written via the services
+    rtl::Status Final = rtl::Status::Running;
+    uint64_t Steps = 0;
+  };
+
+  /// Runs the sandboxed program, servicing hypercalls, until exit, a
+  /// fault, or \p MaxSteps.
+  RunResult run(sem::Cpu &C, uint64_t MaxSteps);
+};
+
+} // namespace nacl
+} // namespace rocksalt
+
+#endif // ROCKSALT_NACL_TRUSTEDRUNTIME_H

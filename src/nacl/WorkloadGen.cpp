@@ -1,0 +1,110 @@
+//===- nacl/WorkloadGen.cpp -----------------------------------*- C++ -*-===//
+
+#include "nacl/WorkloadGen.h"
+
+#include "nacl/Assembler.h"
+
+#include <deque>
+
+using namespace rocksalt;
+using namespace rocksalt::nacl;
+using x86::Instr;
+using x86::Opcode;
+using x86::Reg;
+
+x86::Instr nacl::randomSafeInstr(Rng &R) {
+  x86::GenOptions Opts;
+  Opts.AllowControlFlow = false;
+  Opts.AllowPrivileged = false;
+  Opts.AllowSegmentOps = false;
+  Instr I = x86::randomInstr(R, Opts);
+  // ENTER's nesting levels are outside both the policy and the model.
+  while (I.Op == Opcode::ENTER)
+    I = x86::randomInstr(R, Opts);
+
+  // The policy's prefix discipline: rep only on plain-width string ops.
+  bool IsString = I.Op == Opcode::MOVS || I.Op == Opcode::CMPS ||
+                  I.Op == Opcode::STOS || I.Op == Opcode::LODS ||
+                  I.Op == Opcode::SCAS;
+  if (IsString && I.Pfx.Rep != x86::Prefix::RepKind::None)
+    I.Pfx.OpSize = false;
+
+  // Sprinkle lock prefixes over the lockable read-modify-write family.
+  if (I.Op1.isMem() && R.chance(1, 12)) {
+    switch (I.Op) {
+    case Opcode::ADD: case Opcode::OR: case Opcode::ADC: case Opcode::SBB:
+    case Opcode::AND: case Opcode::SUB: case Opcode::XOR: case Opcode::INC:
+    case Opcode::DEC: case Opcode::NOT: case Opcode::NEG: case Opcode::XCHG:
+    case Opcode::XADD: case Opcode::CMPXCHG: case Opcode::BTS:
+    case Opcode::BTR: case Opcode::BTC:
+      if (!I.Op2.isMem() && !I.Pfx.OpSize)
+        I.Pfx.Lock = true;
+      break;
+    default:
+      break;
+    }
+  }
+  return I;
+}
+
+std::vector<uint8_t> nacl::generateWorkload(const WorkloadOptions &Opts) {
+  Rng R(Opts.Seed);
+  Assembler A;
+
+  unsigned NextLabel = 0;
+  std::deque<std::string> Pending;   // issued, not yet bound
+  std::vector<std::string> Bound;    // usable as backward targets
+
+  auto FreshLabel = [&] {
+    std::string L = "L" + std::to_string(NextLabel++);
+    Pending.push_back(L);
+    return L;
+  };
+  auto PickTarget = [&]() -> std::string {
+    // Forward by default; occasionally a backward target.
+    if (!Bound.empty() && R.chance(1, 4))
+      return Bound[R.below(Bound.size())];
+    return FreshLabel();
+  };
+
+  while (A.here() < Opts.TargetBytes) {
+    // Bind a pending label with some probability so forward jumps stay
+    // short and plentiful.
+    if (!Pending.empty() && R.chance(1, 6)) {
+      A.label(Pending.front());
+      Bound.push_back(Pending.front());
+      Pending.pop_front();
+    }
+
+    uint32_t Roll = static_cast<uint32_t>(R.below(1000));
+    if (Roll < Opts.DirectJumpRate) {
+      if (R.flip())
+        A.jmpTo(PickTarget());
+      else
+        A.jccTo(x86::condFromEncoding(uint8_t(R.below(16))), PickTarget());
+    } else if (Roll < Opts.DirectJumpRate + Opts.CallRate) {
+      A.callTo(PickTarget());
+    } else if (Roll <
+               Opts.DirectJumpRate + Opts.CallRate + Opts.MaskedJumpRate) {
+      static const Reg Regs[] = {Reg::EAX, Reg::ECX, Reg::EDX, Reg::EBX,
+                                 Reg::EBP, Reg::ESI, Reg::EDI};
+      Reg Target = Regs[R.below(7)];
+      if (R.flip())
+        A.maskedJump(Target);
+      else
+        A.maskedCall(Target);
+    } else {
+      A.emit(randomSafeInstr(R));
+    }
+  }
+
+  // Bind any labels still outstanding.
+  while (!Pending.empty()) {
+    A.label(Pending.front());
+    Pending.pop_front();
+    A.emit(Instr{}); // NOP
+  }
+  if (Opts.EndWithHlt)
+    A.hlt();
+  return A.finish();
+}

@@ -1,0 +1,44 @@
+//===- nacl/WorkloadGen.h - Compliant program generation -------*- C++ -*-===//
+///
+/// \file
+/// Generates random sandbox-compliant binaries — the role Csmith + the
+/// NaCl GCC play in the paper's evaluation (sections 2.5 and 3.3): large
+/// positive corpora for checker agreement and throughput measurements,
+/// with a realistic mix of straight-line code, direct branches, calls,
+/// and masked indirect jumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_NACL_WORKLOADGEN_H
+#define ROCKSALT_NACL_WORKLOADGEN_H
+
+#include "support/Oracle.h"
+#include "x86/InstrGen.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rocksalt {
+namespace nacl {
+
+struct WorkloadOptions {
+  uint32_t TargetBytes = 4096; ///< approximate image size
+  uint64_t Seed = 1;
+  /// Per-mille rates of the non-straight-line constructs.
+  uint32_t DirectJumpRate = 40;
+  uint32_t CallRate = 20;
+  uint32_t MaskedJumpRate = 15;
+  bool EndWithHlt = true;
+};
+
+/// Generates a policy-compliant image of roughly TargetBytes bytes.
+std::vector<uint8_t> generateWorkload(const WorkloadOptions &Opts);
+
+/// A random instruction drawn from the policy's NoControlFlow set (used
+/// by the generator and by tests needing single legal instructions).
+x86::Instr randomSafeInstr(Rng &R);
+
+} // namespace nacl
+} // namespace rocksalt
+
+#endif // ROCKSALT_NACL_WORKLOADGEN_H

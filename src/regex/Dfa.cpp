@@ -1,0 +1,43 @@
+//===- regex/Dfa.cpp ------------------------------------------*- C++ -*-===//
+
+#include "regex/Dfa.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace rocksalt;
+using namespace rocksalt::re;
+
+Dfa re::buildDfa(Factory &F, Regex Root, [[maybe_unused]] size_t MaxStates) {
+  Dfa D;
+  std::unordered_map<Regex, uint16_t> StateOf;
+  std::deque<Regex> Worklist;
+
+  auto StateFor = [&](Regex R) -> uint16_t {
+    auto It = StateOf.find(R);
+    if (It != StateOf.end())
+      return It->second;
+    assert(StateOf.size() < MaxStates && "DFA state explosion");
+    assert(StateOf.size() < 65535 && "DFA state id overflows uint16_t");
+    uint16_t Id = static_cast<uint16_t>(StateOf.size());
+    StateOf.emplace(R, Id);
+    D.Table.emplace_back();
+    D.Accepts.push_back(F.nullable(R));
+    D.Rejects.push_back(R == F.voidRe());
+    Worklist.push_back(R);
+    return Id;
+  };
+
+  D.Start = StateFor(Root);
+  while (!Worklist.empty()) {
+    Regex R = Worklist.front();
+    Worklist.pop_front();
+    uint16_t Id = StateOf.at(R);
+    for (unsigned Byte = 0; Byte < 256; ++Byte) {
+      Regex Next = F.derivByte(R, static_cast<uint8_t>(Byte));
+      D.Table[Id][Byte] = StateFor(Next);
+    }
+  }
+  return D;
+}

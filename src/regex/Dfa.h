@@ -1,0 +1,53 @@
+//===- regex/Dfa.h - Derivative-based DFA construction ---------*- C++ -*-===//
+///
+/// \file
+/// Offline DFA table generation from a regex (paper section 3.2): the
+/// start state is the regex itself; transitions are iterated Brzozowski
+/// derivatives with respect to all 256 input bytes; states are the
+/// distinct canonical derivatives. A state accepts iff its regex is
+/// nullable, and rejects iff its regex is the (canonical) Void — i.e.
+/// denotes the empty language, so no extension can ever match.
+///
+/// Brzozowski proved the number of derivatives is finite up to the
+/// reductions our smart constructors perform, so construction terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_REGEX_DFA_H
+#define ROCKSALT_REGEX_DFA_H
+
+#include "regex/Regex.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rocksalt {
+namespace re {
+
+/// The table representation consumed by the verifier's match routine
+/// (paper Figure 6): a start state, a transition table indexed by
+/// [state][byte], and boolean accept/reject vectors.
+struct Dfa {
+  uint32_t Start = 0;
+  std::vector<std::array<uint16_t, 256>> Table;
+  std::vector<uint8_t> Accepts;
+  std::vector<uint8_t> Rejects;
+
+  size_t numStates() const { return Table.size(); }
+
+  /// Executes one transition.
+  uint16_t step(uint16_t State, uint8_t Byte) const {
+    return Table[State][Byte];
+  }
+};
+
+/// Builds the DFA for \p Root by derivative closure. Asserts if more than
+/// \p MaxStates states are generated (the paper's policy DFAs have at most
+/// 61 states, so the default bound is generous).
+Dfa buildDfa(Factory &F, Regex Root, size_t MaxStates = 65000);
+
+} // namespace re
+} // namespace rocksalt
+
+#endif // ROCKSALT_REGEX_DFA_H

@@ -1,0 +1,439 @@
+//===- regex/Regex.cpp ----------------------------------------*- C++ -*-===//
+
+#include "regex/Regex.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rocksalt;
+using namespace rocksalt::re;
+
+Regex Factory::intern(Kind K, bool BitVal, Regex L, Regex R,
+                      std::vector<Regex> Alts) {
+  std::string Key;
+  Key.reserve(16 + Alts.size() * 8);
+  auto AppendId = [&Key](Regex N) {
+    Key += std::to_string(N->Id);
+    Key += ',';
+  };
+  switch (K) {
+  case Kind::Void:
+    Key = "V";
+    break;
+  case Kind::Eps:
+    Key = "E";
+    break;
+  case Kind::Any:
+    Key = "Y";
+    break;
+  case Kind::Bit:
+    Key = BitVal ? "B1" : "B0";
+    break;
+  case Kind::Cat:
+    Key = "C:";
+    AppendId(L);
+    AppendId(R);
+    break;
+  case Kind::Star:
+    Key = "S:";
+    AppendId(L);
+    break;
+  case Kind::Alt:
+    Key = "A:";
+    for (Regex A : Alts)
+      AppendId(A);
+    break;
+  }
+
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+
+  Arena.emplace_back(Node(K, static_cast<uint32_t>(Arena.size())));
+  Node &N = Arena.back();
+  N.BitVal = BitVal;
+  N.L = L;
+  N.R = R;
+  N.Alts = std::move(Alts);
+  Interned.emplace(std::move(Key), &N);
+  return &N;
+}
+
+Factory::Factory() {
+  VoidRe_ = intern(Kind::Void, false, nullptr, nullptr, {});
+  EpsRe_ = intern(Kind::Eps, false, nullptr, nullptr, {});
+  BitRe_[0] = intern(Kind::Bit, false, nullptr, nullptr, {});
+  BitRe_[1] = intern(Kind::Bit, true, nullptr, nullptr, {});
+  AnyRe_ = intern(Kind::Any, false, nullptr, nullptr, {});
+}
+
+Regex Factory::cat(Regex A, Regex B) {
+  assert(A && B && "null regex");
+  if (A == VoidRe_ || B == VoidRe_)
+    return VoidRe_;
+  if (A == EpsRe_)
+    return B;
+  if (B == EpsRe_)
+    return A;
+  // Right-nest so that canonical forms are unique.
+  if (A->kind() == Kind::Cat)
+    return cat(A->lhs(), cat(A->rhs(), B));
+  return intern(Kind::Cat, false, A, B, {});
+}
+
+Regex Factory::alt(Regex A, Regex B) { return altN({A, B}); }
+
+Regex Factory::altN(std::vector<Regex> Rs) {
+  std::vector<Regex> Leaves;
+  Leaves.reserve(Rs.size());
+  // Flatten nested Alts and drop Void.
+  for (Regex R : Rs) {
+    assert(R && "null regex");
+    if (R == VoidRe_)
+      continue;
+    if (R->kind() == Kind::Alt) {
+      for (Regex C : R->alternatives())
+        Leaves.push_back(C);
+      continue;
+    }
+    Leaves.push_back(R);
+  }
+  std::sort(Leaves.begin(), Leaves.end(),
+            [](Regex X, Regex Y) { return X->id() < Y->id(); });
+  Leaves.erase(std::unique(Leaves.begin(), Leaves.end()), Leaves.end());
+  if (Leaves.empty())
+    return VoidRe_;
+  if (Leaves.size() == 1)
+    return Leaves.front();
+  return intern(Kind::Alt, false, nullptr, nullptr, std::move(Leaves));
+}
+
+Regex Factory::star(Regex A) {
+  assert(A && "null regex");
+  if (A == VoidRe_ || A == EpsRe_)
+    return EpsRe_;
+  if (A->kind() == Kind::Star)
+    return A;
+  return intern(Kind::Star, false, A, nullptr, {});
+}
+
+Regex Factory::bits(std::string_view Pattern) {
+  Regex Out = EpsRe_;
+  // Build right-to-left so cat right-nests without re-association.
+  for (size_t I = Pattern.size(); I > 0; --I) {
+    char C = Pattern[I - 1];
+    assert((C == '0' || C == '1') && "bit pattern must be 0s and 1s");
+    Out = cat(bit(C == '1'), Out);
+  }
+  return Out;
+}
+
+Regex Factory::anyBits(unsigned N) {
+  Regex Out = EpsRe_;
+  for (unsigned I = 0; I < N; ++I)
+    Out = cat(AnyRe_, Out);
+  return Out;
+}
+
+Regex Factory::byteLit(uint8_t Byte) {
+  Regex Out = EpsRe_;
+  for (unsigned I = 0; I < 8; ++I)
+    Out = cat(bit((Byte >> I) & 1), Out); // LSB appended last => MSB first
+  return Out;
+}
+
+Regex Factory::anyByte() { return anyBits(8); }
+
+Regex Factory::seq(std::initializer_list<Regex> Rs) {
+  std::vector<Regex> V(Rs);
+  Regex Out = EpsRe_;
+  for (size_t I = V.size(); I > 0; --I)
+    Out = cat(V[I - 1], Out);
+  return Out;
+}
+
+bool Factory::nullable(Regex A) {
+  if (A->NullableCache >= 0)
+    return A->NullableCache != 0;
+  bool Result = false;
+  switch (A->kind()) {
+  case Kind::Void:
+  case Kind::Bit:
+  case Kind::Any:
+    Result = false;
+    break;
+  case Kind::Eps:
+  case Kind::Star:
+    Result = true;
+    break;
+  case Kind::Cat:
+    Result = nullable(A->lhs()) && nullable(A->rhs());
+    break;
+  case Kind::Alt:
+    for (Regex C : A->alternatives())
+      if (nullable(C)) {
+        Result = true;
+        break;
+      }
+    break;
+  }
+  A->NullableCache = Result;
+  return Result;
+}
+
+Regex Factory::deriv(Regex A, bool Bit) {
+  if (Regex Cached = A->DerivCache[Bit])
+    return Cached;
+  Regex Result = VoidRe_;
+  switch (A->kind()) {
+  case Kind::Void:
+  case Kind::Eps:
+    Result = VoidRe_;
+    break;
+  case Kind::Bit:
+    Result = A->bitValue() == Bit ? EpsRe_ : VoidRe_;
+    break;
+  case Kind::Any:
+    Result = EpsRe_;
+    break;
+  case Kind::Cat: {
+    Regex FromL = cat(deriv(A->lhs(), Bit), A->rhs());
+    if (nullable(A->lhs()))
+      Result = alt(FromL, deriv(A->rhs(), Bit));
+    else
+      Result = FromL;
+    break;
+  }
+  case Kind::Alt: {
+    std::vector<Regex> Ds;
+    Ds.reserve(A->alternatives().size());
+    for (Regex C : A->alternatives())
+      Ds.push_back(deriv(C, Bit));
+    Result = altN(std::move(Ds));
+    break;
+  }
+  case Kind::Star:
+    Result = cat(deriv(A->body(), Bit), A);
+    break;
+  }
+  A->DerivCache[Bit] = Result;
+  return Result;
+}
+
+Regex Factory::derivByte(Regex A, uint8_t Byte) {
+  Regex Out = A;
+  for (int I = 7; I >= 0; --I)
+    Out = deriv(Out, (Byte >> I) & 1);
+  return Out;
+}
+
+static bool isStarFree(Regex A) {
+  switch (A->kind()) {
+  case Kind::Star:
+    return false;
+  case Kind::Cat:
+    return isStarFree(A->lhs()) && isStarFree(A->rhs());
+  case Kind::Alt:
+    for (Regex C : A->alternatives())
+      if (!isStarFree(C))
+        return false;
+    return true;
+  default:
+    return true;
+  }
+}
+
+std::optional<Regex> Factory::derivRe(Regex A, Regex By) {
+  if (!isStarFree(By))
+    return std::nullopt;
+
+  // Inner worker; By is known star-free from here on.
+  struct Worker {
+    Factory &F;
+    Regex run(Regex A, Regex By) {
+      uint64_t Key = (uint64_t(A->id()) << 32) | By->id();
+      auto It = F.DerivPairMemo.find(Key);
+      if (It != F.DerivPairMemo.end())
+        return It->second;
+      Regex Result = F.voidRe();
+      switch (By->kind()) {
+      case Kind::Eps:
+        Result = A;
+        break;
+      case Kind::Void:
+        Result = F.voidRe();
+        break;
+      case Kind::Bit:
+        Result = F.deriv(A, By->bitValue());
+        break;
+      case Kind::Any:
+        Result = F.alt(F.deriv(A, false), F.deriv(A, true));
+        break;
+      case Kind::Alt: {
+        std::vector<Regex> Ds;
+        Ds.reserve(By->alternatives().size());
+        for (Regex C : By->alternatives())
+          Ds.push_back(run(A, C));
+        Result = F.altN(std::move(Ds));
+        break;
+      }
+      case Kind::Cat:
+        Result = run(run(A, By->lhs()), By->rhs());
+        break;
+      case Kind::Star:
+        assert(false && "star checked above");
+        break;
+      }
+      F.DerivPairMemo.emplace(Key, Result);
+      return Result;
+    }
+  };
+  return Worker{*this}.run(A, By);
+}
+
+std::optional<bool> Factory::prefixDisjoint(Regex A, Regex B) {
+  std::optional<Regex> DA = derivRe(A, B);
+  if (!DA)
+    return std::nullopt;
+  if (*DA != VoidRe_)
+    return false;
+  std::optional<Regex> DB = derivRe(B, A);
+  if (!DB)
+    return std::nullopt;
+  return *DB == VoidRe_;
+}
+
+Factory::AmbiguityReport Factory::checkUnambiguous(Regex A) {
+  struct Walker {
+    Factory &F;
+    std::string Failure;
+
+    bool walk(Regex N) {
+      switch (N->kind()) {
+      case Kind::Void:
+      case Kind::Eps:
+      case Kind::Bit:
+      case Kind::Any:
+        return true;
+      case Kind::Star:
+        return walk(N->body());
+      case Kind::Cat:
+        return walk(N->lhs()) && walk(N->rhs());
+      case Kind::Alt: {
+        const auto &Cs = N->alternatives();
+        for (size_t I = 0; I < Cs.size(); ++I)
+          for (size_t J = I + 1; J < Cs.size(); ++J) {
+            std::optional<bool> Ok = F.prefixDisjoint(Cs[I], Cs[J]);
+            if (!Ok) {
+              Failure = "star-containing alternative; Deriv undefined";
+              return false;
+            }
+            if (!*Ok) {
+              Failure = "overlapping alternatives: " + print(Cs[I]) +
+                        "  vs  " + print(Cs[J]);
+              return false;
+            }
+          }
+        for (Regex C : Cs)
+          if (!walk(C))
+            return false;
+        return true;
+      }
+      }
+      return true;
+    }
+  };
+  Walker W{*this, {}};
+  bool Ok = W.walk(A);
+  return AmbiguityReport{Ok, std::move(W.Failure)};
+}
+
+std::optional<std::vector<bool>>
+Factory::sampleBits(Regex A, uint64_t &RngState, unsigned MaxBits,
+                    unsigned StopNum, unsigned StopDen) {
+  auto Next = [&RngState] {
+    RngState ^= RngState >> 12;
+    RngState ^= RngState << 25;
+    RngState ^= RngState >> 27;
+    return RngState * 0x2545F4914F6CDD1Dull;
+  };
+  std::vector<bool> Out;
+  Regex Cur = A;
+  for (unsigned Step = 0; Step <= MaxBits; ++Step) {
+    if (nullable(Cur)) {
+      Regex D0 = deriv(Cur, false);
+      Regex D1 = deriv(Cur, true);
+      bool CanContinue = D0 != voidRe() || D1 != voidRe();
+      if (!CanContinue || Next() % StopDen < StopNum)
+        return Out;
+    }
+    if (Out.size() >= MaxBits)
+      return std::nullopt;
+    Regex D0 = deriv(Cur, false);
+    Regex D1 = deriv(Cur, true);
+    if (D0 == voidRe() && D1 == voidRe())
+      return std::nullopt; // stuck (only possible on Void itself)
+    bool Bit;
+    if (D0 == voidRe())
+      Bit = true;
+    else if (D1 == voidRe())
+      Bit = false;
+    else
+      Bit = Next() & 1;
+    Out.push_back(Bit);
+    Cur = Bit ? D1 : D0;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint8_t>>
+Factory::sampleBytes(Regex A, uint64_t &RngState, unsigned MaxBytes) {
+  std::optional<std::vector<bool>> Bits =
+      sampleBits(A, RngState, MaxBytes * 8);
+  if (!Bits || Bits->size() % 8 != 0)
+    return std::nullopt;
+  std::vector<uint8_t> Out(Bits->size() / 8, 0);
+  for (size_t I = 0; I < Bits->size(); ++I)
+    if ((*Bits)[I])
+      Out[I / 8] |= uint8_t(1u << (7 - I % 8));
+  return Out;
+}
+
+std::string Factory::print(Regex A) {
+  switch (A->kind()) {
+  case Kind::Void:
+    return "0";
+  case Kind::Eps:
+    return "e";
+  case Kind::Any:
+    return ".";
+  case Kind::Bit:
+    return A->bitValue() ? "1" : "0b";
+  case Kind::Star:
+    return "(" + print(A->body()) + ")*";
+  case Kind::Cat: {
+    // Compress runs of literal bits for readability.
+    std::string Out;
+    Regex N = A;
+    while (N->kind() == Kind::Cat) {
+      Out += print(N->lhs());
+      N = N->rhs();
+    }
+    Out += print(N);
+    return Out;
+  }
+  case Kind::Alt: {
+    std::string Out = "(";
+    bool First = true;
+    for (Regex C : A->alternatives()) {
+      if (!First)
+        Out += "|";
+      First = false;
+      Out += print(C);
+    }
+    Out += ")";
+    return Out;
+  }
+  }
+  return "?";
+}

@@ -1,0 +1,196 @@
+//===- regex/Regex.h - Bit-level regular expressions -----------*- C++ -*-===//
+///
+/// \file
+/// Untyped regular expressions over the binary alphabet {0,1}, obtained
+/// from the decoder grammars by stripping semantic actions (paper
+/// section 3.2). These are the objects the checker's DFAs are generated
+/// from, and the objects the determinism/ambiguity analysis of section
+/// 4.1 operates on.
+///
+/// Nodes are hash-consed through a Factory so that structural equality is
+/// pointer equality. The smart constructors perform the local reductions
+/// listed in section 2.2:
+///
+///   Cat g Eps -> g        Cat Eps g -> g
+///   Cat g Void -> Void    Cat Void g -> Void
+///   Alt g Void -> g       Alt Void g -> g
+///   Star (Star g) -> Star g    Alt g g -> g
+///
+/// plus flattening/sorting of Alt and right-nesting of Cat, so that
+/// canonical forms are unique. A consequence used by the DFA builder: a
+/// canonical regex denotes the empty language iff it is the Void node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_REGEX_REGEX_H
+#define ROCKSALT_REGEX_REGEX_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rocksalt {
+namespace re {
+
+enum class Kind : uint8_t {
+  Void, ///< matches nothing
+  Eps,  ///< matches the empty string
+  Bit,  ///< matches a single literal bit
+  Any,  ///< matches any single bit
+  Cat,  ///< concatenation (right-nested in canonical form)
+  Alt,  ///< n-ary alternation (flattened, sorted, deduplicated)
+  Star  ///< Kleene star
+};
+
+class Factory;
+
+/// A single hash-consed regex node. Instances are created and owned by a
+/// Factory; clients hold `Regex` (= const Node *) handles and compare them
+/// with pointer equality.
+class Node {
+  friend class Factory;
+
+  Kind K;
+  bool BitVal = false;              // for Kind::Bit
+  const Node *L = nullptr;          // Cat lhs / Star body
+  const Node *R = nullptr;          // Cat rhs
+  std::vector<const Node *> Alts;   // for Kind::Alt
+  uint32_t Id;                      // creation index, used for ordering
+
+  // Lazily computed, cached analyses.
+  mutable int8_t NullableCache = -1;
+  mutable const Node *DerivCache[2] = {nullptr, nullptr};
+
+  Node(Kind K, uint32_t Id) : K(K), Id(Id) {}
+
+public:
+  Kind kind() const { return K; }
+  bool bitValue() const { return BitVal; }
+  const Node *lhs() const { return L; }
+  const Node *rhs() const { return R; }
+  const Node *body() const { return L; }
+  const std::vector<const Node *> &alternatives() const { return Alts; }
+  uint32_t id() const { return Id; }
+};
+
+using Regex = const Node *;
+
+/// Creates, interns, and analyzes regexes. All regexes combined together
+/// must come from the same Factory.
+class Factory {
+  std::deque<Node> Arena;
+  std::unordered_map<std::string, Regex> Interned;
+  Regex VoidRe_ = nullptr;
+  Regex EpsRe_ = nullptr;
+  Regex BitRe_[2] = {nullptr, nullptr};
+  Regex AnyRe_ = nullptr;
+  std::unordered_map<uint64_t, Regex> DerivPairMemo;
+
+  Regex intern(Kind K, bool BitVal, Regex L, Regex R,
+               std::vector<Regex> Alts);
+
+public:
+  Factory();
+
+  Regex voidRe() const { return VoidRe_; }
+  Regex epsRe() const { return EpsRe_; }
+  Regex bit(bool B) const { return BitRe_[B]; }
+  Regex any() const { return AnyRe_; }
+
+  /// Smart concatenation (performs the Void/Eps reductions and
+  /// right-nests).
+  Regex cat(Regex A, Regex B);
+
+  /// Smart alternation (flattens, drops Void, dedups, sorts).
+  Regex alt(Regex A, Regex B);
+  Regex altN(std::vector<Regex> Rs);
+
+  /// Smart star.
+  Regex star(Regex A);
+
+  //===--------------------------------------------------------------------===//
+  // Convenience constructors for the bit patterns the decoder grammars use.
+  //===--------------------------------------------------------------------===//
+
+  /// A literal bit string such as "1110"; bits are consumed most
+  /// significant first within a byte.
+  Regex bits(std::string_view Pattern);
+
+  /// Exactly \p N arbitrary bits.
+  Regex anyBits(unsigned N);
+
+  /// A full literal byte, MSB-first.
+  Regex byteLit(uint8_t Byte);
+
+  /// Any single byte (8 arbitrary bits).
+  Regex anyByte();
+
+  /// Concatenation of a sequence.
+  Regex seq(std::initializer_list<Regex> Rs);
+
+  //===--------------------------------------------------------------------===//
+  // Analyses.
+  //===--------------------------------------------------------------------===//
+
+  /// Does \p A accept the empty string?
+  bool nullable(Regex A);
+
+  /// Brzozowski derivative with respect to one bit.
+  Regex deriv(Regex A, bool Bit);
+
+  /// Iterated derivative with respect to the 8 bits of \p Byte,
+  /// MSB-first.
+  Regex derivByte(Regex A, uint8_t Byte);
+
+  /// The generalized derivative of section 4.1: the set of suffixes s2
+  /// such that some s1 in \p By has s1++s2 in \p A. Defined only when
+  /// \p By is star-free; returns std::nullopt otherwise.
+  std::optional<Regex> derivRe(Regex A, Regex By);
+
+  /// True iff no string of \p B is a prefix of (or equal to) a string of
+  /// \p A and vice versa. This is the unambiguity obligation the paper
+  /// discharges at each Alt node. Requires both star-free.
+  std::optional<bool> prefixDisjoint(Regex A, Regex B);
+
+  /// Recursively verifies that every Alt node inside \p A has pairwise
+  /// prefix-disjoint children. On failure returns the pair of child
+  /// indices of the offending Alt (found during a preorder walk).
+  struct AmbiguityReport {
+    bool Unambiguous;
+    std::string Detail; // empty when unambiguous
+  };
+  AmbiguityReport checkUnambiguous(Regex A);
+
+  /// Renders the regex for diagnostics.
+  static std::string print(Regex A);
+
+  /// Samples a random member of [[A]] by walking derivatives: at each
+  /// step, a random non-Void branch is taken; at nullable states the walk
+  /// stops with probability \p StopNum/StopDen (always stopping once
+  /// \p MaxBits is reached, and always continuing while not nullable).
+  /// Returns std::nullopt if the walk gets stuck (empty language) or
+  /// exceeds MaxBits without acceptance. This powers the paper's
+  /// generative fuzzing (section 2.5): sampling the instruction grammars
+  /// yields byte sequences for exactly the encodings they specify.
+  std::optional<std::vector<bool>> sampleBits(Regex A, uint64_t &RngState,
+                                              unsigned MaxBits = 160,
+                                              unsigned StopNum = 1,
+                                              unsigned StopDen = 2);
+
+  /// sampleBits packed MSB-first into bytes; fails (nullopt) unless the
+  /// sampled string is byte-aligned, as instruction encodings are.
+  std::optional<std::vector<uint8_t>> sampleBytes(Regex A,
+                                                  uint64_t &RngState,
+                                                  unsigned MaxBytes = 20);
+
+  size_t numNodes() const { return Arena.size(); }
+};
+
+} // namespace re
+} // namespace rocksalt
+
+#endif // ROCKSALT_REGEX_REGEX_H

@@ -1,0 +1,125 @@
+//===- rtl/Interp.cpp -----------------------------------------*- C++ -*-===//
+
+#include "rtl/Interp.h"
+
+#include <cassert>
+
+using namespace rocksalt;
+using namespace rocksalt::rtl;
+
+Status rtl::execProgram(MachineState &M, const RtlProgram &P,
+                        uint32_t NumVars, const AccessHooks &Hooks) {
+  std::vector<Bitvec> Vars(NumVars);
+
+  auto Val = [&Vars](Var X) -> const Bitvec & {
+    assert(X != NoVar && "use of unset variable slot");
+    return Vars[X];
+  };
+
+  for (const RtlInstr &I : P) {
+    if (I.Guard != NoVar && Val(I.Guard).isZero())
+      continue;
+
+    switch (I.K) {
+    case RtlInstr::Kind::Arith: {
+      const Bitvec &A = Val(I.Src1);
+      const Bitvec &B = Val(I.Src2);
+      Bitvec R;
+      switch (I.AOp) {
+      case ArithOp::Add: R = A.add(B); break;
+      case ArithOp::Sub: R = A.sub(B); break;
+      case ArithOp::Mul: R = A.mul(B); break;
+      case ArithOp::Divu: R = A.divu(B); break;
+      case ArithOp::Divs: R = A.divs(B); break;
+      case ArithOp::Modu: R = A.modu(B); break;
+      case ArithOp::Mods: R = A.mods(B); break;
+      case ArithOp::And: R = A.logand(B); break;
+      case ArithOp::Or: R = A.logor(B); break;
+      case ArithOp::Xor: R = A.logxor(B); break;
+      case ArithOp::Shl: R = A.shl(B); break;
+      case ArithOp::Shru: R = A.shru(B); break;
+      case ArithOp::Shrs: R = A.shrs(B); break;
+      case ArithOp::Rol: R = A.rol(B); break;
+      case ArithOp::Ror: R = A.ror(B); break;
+      }
+      Vars[I.Dst] = R;
+      break;
+    }
+    case RtlInstr::Kind::Test: {
+      const Bitvec &A = Val(I.Src1);
+      const Bitvec &B = Val(I.Src2);
+      bool R = false;
+      switch (I.TOp) {
+      case TestOp::Eq: R = A.eq(B); break;
+      case TestOp::Ltu: R = A.ltu(B); break;
+      case TestOp::Lts: R = A.lts(B); break;
+      }
+      Vars[I.Dst] = Bitvec(1, R);
+      break;
+    }
+    case RtlInstr::Kind::Imm:
+      Vars[I.Dst] = Bitvec(I.Width, I.ImmVal);
+      break;
+    case RtlInstr::Kind::GetLoc:
+      Vars[I.Dst] = M.get(I.Location);
+      break;
+    case RtlInstr::Kind::SetLoc: {
+      const Bitvec &V = Val(I.Src1);
+      assert(V.width() == I.Location.width() &&
+             "location width mismatch in SetLoc");
+      M.set(I.Location, V);
+      break;
+    }
+    case RtlInstr::Kind::GetByte: {
+      uint32_t Off = static_cast<uint32_t>(Val(I.Src1).bits());
+      if (!M.inSegment(I.Seg, Off)) {
+        M.St = Status::Fault;
+        return M.St;
+      }
+      uint32_t Phys = M.physAddr(I.Seg, Off);
+      if (Hooks.OnRead)
+        Hooks.OnRead(Phys, I.Seg);
+      Vars[I.Dst] = Bitvec(8, M.Mem.load8(Phys));
+      break;
+    }
+    case RtlInstr::Kind::SetByte: {
+      uint32_t Off = static_cast<uint32_t>(Val(I.Src1).bits());
+      if (!M.inSegment(I.Seg, Off)) {
+        M.St = Status::Fault;
+        return M.St;
+      }
+      uint32_t Phys = M.physAddr(I.Seg, Off);
+      uint8_t V = static_cast<uint8_t>(Val(I.Src2).bits());
+      if (Hooks.OnWrite)
+        Hooks.OnWrite(Phys, V, I.Seg);
+      M.Mem.store8(Phys, V);
+      break;
+    }
+    case RtlInstr::Kind::CastU:
+      Vars[I.Dst] = Val(I.Src1).zext(I.Width);
+      break;
+    case RtlInstr::Kind::CastS:
+      Vars[I.Dst] = Val(I.Src1).sext(I.Width);
+      break;
+    case RtlInstr::Kind::Select: {
+      const Bitvec &C = Val(I.Src1);
+      assert(C.width() == 1 && "select condition must be 1 bit");
+      Vars[I.Dst] = C.isZero() ? Val(I.Src3) : Val(I.Src2);
+      break;
+    }
+    case RtlInstr::Kind::Choose:
+      Vars[I.Dst] = M.Orc.choose(I.Width);
+      break;
+    case RtlInstr::Kind::Error:
+      M.St = Status::Error;
+      return M.St;
+    case RtlInstr::Kind::Fault:
+      M.St = Status::Fault;
+      return M.St;
+    case RtlInstr::Kind::Trap:
+      M.St = Status::Halted;
+      return M.St;
+    }
+  }
+  return M.St;
+}

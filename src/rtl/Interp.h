@@ -1,0 +1,33 @@
+//===- rtl/Interp.h - The RTL interpreter ----------------------*- C++ -*-===//
+///
+/// \file
+/// The executable small-step semantics of paper section 2.4: each step is
+/// a pure function from machine states to machine states; here the state
+/// is mutated in place for efficiency, but instruction execution has no
+/// other effects. Non-determinism (`choose`) pulls bits from the state's
+/// oracle stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_RTL_INTERP_H
+#define ROCKSALT_RTL_INTERP_H
+
+#include "rtl/Machine.h"
+#include "rtl/Rtl.h"
+
+namespace rocksalt {
+namespace rtl {
+
+/// Executes a translated instruction body against \p M. On a fault, trap,
+/// or error, sets M.St and stops early. The local-variable file is
+/// internal to one execution; \p NumVars is its size (the translator
+/// knows how many it allocated).
+///
+/// \returns the resulting status (also stored in M.St).
+Status execProgram(MachineState &M, const RtlProgram &P, uint32_t NumVars,
+                   const AccessHooks &Hooks = {});
+
+} // namespace rtl
+} // namespace rocksalt
+
+#endif // ROCKSALT_RTL_INTERP_H

@@ -1,0 +1,118 @@
+//===- rtl/Machine.h - RTL machine state -----------------------*- C++ -*-===//
+///
+/// \file
+/// The RTL machine state (paper section 2.4): the x86 locations, a byte
+/// memory, an execution status, and the oracle bit stream backing the
+/// `choose` operation. The segmented memory model is the one 32-bit NaCl
+/// relies on (section 3): every access goes through a segment register
+/// carrying a base and a limit, and an out-of-limit offset faults —
+/// faulting is a *safe* terminal state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_RTL_MACHINE_H
+#define ROCKSALT_RTL_MACHINE_H
+
+#include "rtl/Rtl.h"
+#include "support/Bitvec.h"
+#include "support/Memory.h"
+#include "support/Oracle.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace rocksalt {
+namespace rtl {
+
+/// Execution status of the machine.
+enum class Status : uint8_t {
+  Running, ///< normal
+  Fault,   ///< hardware fault (segment violation, #DE): safe stop
+  Halted,  ///< trap/HLT: safe stop
+  Error    ///< model error (undefined encoding/behavior reached)
+};
+
+/// Hooks fired by the interpreter on physical memory accesses; used by
+/// the sandbox monitor and by tests asserting the containment policy.
+struct AccessHooks {
+  std::function<void(uint32_t /*Phys*/, uint8_t /*Seg*/)> OnRead;
+  std::function<void(uint32_t /*Phys*/, uint8_t /*Val*/, uint8_t /*Seg*/)>
+      OnWrite;
+};
+
+/// The full machine state.
+class MachineState {
+public:
+  uint32_t Regs[8] = {};
+  uint16_t SegVal[6] = {};
+  uint32_t SegBase[6] = {};
+  uint32_t SegLimit[6] = {};
+  bool Flags[NumFlags] = {};
+  uint32_t Pc = 0;
+  Memory Mem;
+  Status St = Status::Running;
+  Oracle Orc;
+
+  MachineState() = default;
+  explicit MachineState(uint64_t OracleSeed) : Orc(OracleSeed) {}
+
+  /// Reads a location as a width-correct bit-vector.
+  Bitvec get(const Loc &L) const {
+    switch (L.K) {
+    case Loc::Kind::PC:
+      return Bitvec(32, Pc);
+    case Loc::Kind::Reg:
+      return Bitvec(32, Regs[L.Index]);
+    case Loc::Kind::SegVal:
+      return Bitvec(16, SegVal[L.Index]);
+    case Loc::Kind::SegBase:
+      return Bitvec(32, SegBase[L.Index]);
+    case Loc::Kind::SegLimit:
+      return Bitvec(32, SegLimit[L.Index]);
+    case Loc::Kind::Flag:
+      return Bitvec(1, Flags[L.Index]);
+    }
+    return Bitvec(1, 0);
+  }
+
+  /// Writes a location; the value width must match the location width.
+  void set(const Loc &L, const Bitvec &V) {
+    switch (L.K) {
+    case Loc::Kind::PC:
+      Pc = static_cast<uint32_t>(V.bits());
+      return;
+    case Loc::Kind::Reg:
+      Regs[L.Index] = static_cast<uint32_t>(V.bits());
+      return;
+    case Loc::Kind::SegVal:
+      SegVal[L.Index] = static_cast<uint16_t>(V.bits());
+      return;
+    case Loc::Kind::SegBase:
+      SegBase[L.Index] = static_cast<uint32_t>(V.bits());
+      return;
+    case Loc::Kind::SegLimit:
+      SegLimit[L.Index] = static_cast<uint32_t>(V.bits());
+      return;
+    case Loc::Kind::Flag:
+      Flags[L.Index] = V.bits() & 1;
+      return;
+    }
+  }
+
+  bool running() const { return St == Status::Running; }
+
+  /// True iff the offset is within the segment's limit (inclusive).
+  bool inSegment(uint8_t Seg, uint32_t Offset) const {
+    return Offset <= SegLimit[Seg];
+  }
+
+  /// Physical address of an in-segment offset.
+  uint32_t physAddr(uint8_t Seg, uint32_t Offset) const {
+    return SegBase[Seg] + Offset; // wraps mod 2^32 by construction
+  }
+};
+
+} // namespace rtl
+} // namespace rocksalt
+
+#endif // ROCKSALT_RTL_MACHINE_H

@@ -1,0 +1,117 @@
+//===- rtl/Rtl.cpp --------------------------------------------*- C++ -*-===//
+
+#include "rtl/Rtl.h"
+
+#include <cstdio>
+
+using namespace rocksalt;
+using namespace rocksalt::rtl;
+
+namespace {
+
+const char *arithName(ArithOp Op) {
+  static const char *Names[] = {"add",  "sub",  "mul",  "divu", "divs",
+                                "modu", "mods", "and",  "or",   "xor",
+                                "shl",  "shru", "shrs", "rol",  "ror"};
+  return Names[static_cast<unsigned>(Op)];
+}
+
+const char *testName(TestOp Op) {
+  static const char *Names[] = {"eq", "ltu", "lts"};
+  return Names[static_cast<unsigned>(Op)];
+}
+
+std::string locName(const Loc &L) {
+  static const char *Regs[] = {"eax", "ecx", "edx", "ebx",
+                               "esp", "ebp", "esi", "edi"};
+  static const char *Segs[] = {"es", "cs", "ss", "ds", "fs", "gs"};
+  static const char *Flags[] = {"CF", "PF", "AF", "ZF", "SF",
+                                "TF", "IF", "DF", "OF"};
+  switch (L.K) {
+  case Loc::Kind::PC:
+    return "pc";
+  case Loc::Kind::Reg:
+    return Regs[L.Index];
+  case Loc::Kind::SegVal:
+    return Segs[L.Index];
+  case Loc::Kind::SegBase:
+    return std::string(Segs[L.Index]) + ".base";
+  case Loc::Kind::SegLimit:
+    return std::string(Segs[L.Index]) + ".limit";
+  case Loc::Kind::Flag:
+    return Flags[L.Index];
+  }
+  return "?";
+}
+
+std::string v(Var X) { return "t" + std::to_string(X); }
+
+} // namespace
+
+std::string rtl::printRtl(const RtlInstr &I) {
+  std::string S;
+  if (I.Guard != NoVar)
+    S += "if " + v(I.Guard) + ": ";
+  char Buf[64];
+  switch (I.K) {
+  case RtlInstr::Kind::Arith:
+    S += v(I.Dst) + " := " + v(I.Src1) + " " + arithName(I.AOp) + " " +
+         v(I.Src2);
+    break;
+  case RtlInstr::Kind::Test:
+    S += v(I.Dst) + " := " + v(I.Src1) + " " + testName(I.TOp) + " " +
+         v(I.Src2);
+    break;
+  case RtlInstr::Kind::Imm:
+    std::snprintf(Buf, sizeof(Buf), "%s := 0x%llx:%u", v(I.Dst).c_str(),
+                  static_cast<unsigned long long>(I.ImmVal), I.Width);
+    S += Buf;
+    break;
+  case RtlInstr::Kind::GetLoc:
+    S += v(I.Dst) + " := load " + locName(I.Location);
+    break;
+  case RtlInstr::Kind::SetLoc:
+    S += "store " + locName(I.Location) + " := " + v(I.Src1);
+    break;
+  case RtlInstr::Kind::GetByte:
+    S += v(I.Dst) + " := Mem[seg" + std::to_string(I.Seg) + ":" + v(I.Src1) +
+         "]";
+    break;
+  case RtlInstr::Kind::SetByte:
+    S += "Mem[seg" + std::to_string(I.Seg) + ":" + v(I.Src1) +
+         "] := " + v(I.Src2);
+    break;
+  case RtlInstr::Kind::CastU:
+    S += v(I.Dst) + " := zext" + std::to_string(I.Width) + " " + v(I.Src1);
+    break;
+  case RtlInstr::Kind::CastS:
+    S += v(I.Dst) + " := sext" + std::to_string(I.Width) + " " + v(I.Src1);
+    break;
+  case RtlInstr::Kind::Select:
+    S += v(I.Dst) + " := " + v(I.Src1) + " ? " + v(I.Src2) + " : " +
+         v(I.Src3);
+    break;
+  case RtlInstr::Kind::Choose:
+    S += v(I.Dst) + " := choose:" + std::to_string(I.Width);
+    break;
+  case RtlInstr::Kind::Error:
+    S += "error";
+    break;
+  case RtlInstr::Kind::Fault:
+    S += "fault";
+    break;
+  case RtlInstr::Kind::Trap:
+    S += "trap";
+    break;
+  }
+  return S;
+}
+
+std::string rtl::printRtlProgram(const RtlProgram &P) {
+  std::string S;
+  for (const RtlInstr &I : P) {
+    S += printRtl(I);
+    S += "\n";
+  }
+  return S;
+}

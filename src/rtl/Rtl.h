@@ -1,0 +1,236 @@
+//===- rtl/Rtl.h - The RTL core language -----------------------*- C++ -*-===//
+///
+/// \file
+/// The register-transfer-list DSL of paper section 2.3: a small RISC-like
+/// language for computing with bit-vectors, parameterized by the machine
+/// state (here instantiated for the x86: eight GPRs, six segment
+/// registers with base and limit, nine flags, the PC, and byte-addressed
+/// memory). x86 instructions are given meaning by translation to RTL
+/// sequences (sem/Translate.h), which the interpreter (rtl/Interp.h)
+/// executes.
+///
+/// Instructions operate on an unbounded file of local variables holding
+/// width-indexed bit-vectors. Every instruction may carry a 1-bit guard
+/// variable; a guarded instruction is skipped when the guard is 0. This
+/// subsumes the paper's if-guarded RTL and keeps sequences straight-line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_RTL_RTL_H
+#define ROCKSALT_RTL_RTL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rocksalt {
+namespace rtl {
+
+/// x86 flag indices (in the order of the low EFLAGS bits).
+enum class Flag : uint8_t { CF, PF, AF, ZF, SF, TF, IF, DF, OF };
+constexpr unsigned NumFlags = 9;
+
+/// A machine location: the "loc" of Figure 3.
+struct Loc {
+  enum class Kind : uint8_t {
+    PC,       ///< 32-bit program counter
+    Reg,      ///< 32-bit GPR, Index 0..7 (x86 encoding order)
+    SegVal,   ///< 16-bit segment selector value, Index 0..5
+    SegBase,  ///< 32-bit segment base, Index 0..5
+    SegLimit, ///< 32-bit segment limit, Index 0..5
+    Flag      ///< 1-bit flag, Index per rtl::Flag
+  };
+  Kind K = Kind::PC;
+  uint8_t Index = 0;
+
+  static Loc pc() { return {Kind::PC, 0}; }
+  static Loc reg(uint8_t R) { return {Kind::Reg, R}; }
+  static Loc segVal(uint8_t S) { return {Kind::SegVal, S}; }
+  static Loc segBase(uint8_t S) { return {Kind::SegBase, S}; }
+  static Loc segLimit(uint8_t S) { return {Kind::SegLimit, S}; }
+  static Loc flag(Flag F) { return {Kind::Flag, static_cast<uint8_t>(F)}; }
+
+  /// The bit width of values stored at this location.
+  uint32_t width() const {
+    switch (K) {
+    case Kind::SegVal:
+      return 16;
+    case Kind::Flag:
+      return 1;
+    default:
+      return 32;
+    }
+  }
+
+  bool operator==(const Loc &O) const { return K == O.K && Index == O.Index; }
+};
+
+/// Two-operand bit-vector operators.
+enum class ArithOp : uint8_t {
+  Add, Sub, Mul, Divu, Divs, Modu, Mods,
+  And, Or, Xor, Shl, Shru, Shrs, Rol, Ror
+};
+
+/// Comparison operators (1-bit results).
+enum class TestOp : uint8_t { Eq, Ltu, Lts };
+
+/// Index of a local variable.
+using Var = uint32_t;
+constexpr Var NoVar = ~Var(0);
+
+/// One RTL instruction. A flat tagged struct: only the fields relevant to
+/// the Kind are meaningful.
+struct RtlInstr {
+  enum class Kind : uint8_t {
+    Arith,   ///< Dst := Src1 AOp Src2
+    Test,    ///< Dst := Src1 TOp Src2 (1 bit)
+    Imm,     ///< Dst := ImmVal : Width
+    GetLoc,  ///< Dst := load Location
+    SetLoc,  ///< store Location := Src1
+    GetByte, ///< Dst := Mem[Seg:Src1] (8 bits)
+    SetByte, ///< Mem[Seg:Src1] := Src2 (8 bits)
+    CastU,   ///< Dst := zero-extend/truncate Src1 to Width
+    CastS,   ///< Dst := sign-extend/truncate Src1 to Width
+    Select,  ///< Dst := Src1(1 bit) ? Src2 : Src3
+    Choose,  ///< Dst := oracle bits : Width (non-determinism)
+    Error,   ///< model error (undefined behavior reached)
+    Fault,   ///< hardware fault (#DE etc.): safe stop
+    Trap     ///< safe stop (e.g. HLT)
+  };
+
+  Kind K = Kind::Error;
+  ArithOp AOp = ArithOp::Add;
+  TestOp TOp = TestOp::Eq;
+  Var Dst = NoVar;
+  Var Src1 = NoVar;
+  Var Src2 = NoVar;
+  Var Src3 = NoVar;
+  uint32_t Width = 32;
+  uint64_t ImmVal = 0;
+  Loc Location;
+  uint8_t Seg = 0;
+  /// 1-bit guard variable; the instruction is a no-op when it holds 0.
+  Var Guard = NoVar;
+
+  static RtlInstr arith(ArithOp Op, Var Dst, Var A, Var B) {
+    RtlInstr I;
+    I.K = Kind::Arith;
+    I.AOp = Op;
+    I.Dst = Dst;
+    I.Src1 = A;
+    I.Src2 = B;
+    return I;
+  }
+  static RtlInstr test(TestOp Op, Var Dst, Var A, Var B) {
+    RtlInstr I;
+    I.K = Kind::Test;
+    I.TOp = Op;
+    I.Dst = Dst;
+    I.Src1 = A;
+    I.Src2 = B;
+    return I;
+  }
+  static RtlInstr imm(Var Dst, uint32_t Width, uint64_t V) {
+    RtlInstr I;
+    I.K = Kind::Imm;
+    I.Dst = Dst;
+    I.Width = Width;
+    I.ImmVal = V;
+    return I;
+  }
+  static RtlInstr getLoc(Var Dst, Loc L) {
+    RtlInstr I;
+    I.K = Kind::GetLoc;
+    I.Dst = Dst;
+    I.Location = L;
+    return I;
+  }
+  static RtlInstr setLoc(Loc L, Var Src) {
+    RtlInstr I;
+    I.K = Kind::SetLoc;
+    I.Location = L;
+    I.Src1 = Src;
+    return I;
+  }
+  static RtlInstr getByte(Var Dst, uint8_t Seg, Var Addr) {
+    RtlInstr I;
+    I.K = Kind::GetByte;
+    I.Dst = Dst;
+    I.Seg = Seg;
+    I.Src1 = Addr;
+    return I;
+  }
+  static RtlInstr setByte(uint8_t Seg, Var Addr, Var Val) {
+    RtlInstr I;
+    I.K = Kind::SetByte;
+    I.Seg = Seg;
+    I.Src1 = Addr;
+    I.Src2 = Val;
+    return I;
+  }
+  static RtlInstr castU(Var Dst, uint32_t Width, Var Src) {
+    RtlInstr I;
+    I.K = Kind::CastU;
+    I.Dst = Dst;
+    I.Width = Width;
+    I.Src1 = Src;
+    return I;
+  }
+  static RtlInstr castS(Var Dst, uint32_t Width, Var Src) {
+    RtlInstr I;
+    I.K = Kind::CastS;
+    I.Dst = Dst;
+    I.Width = Width;
+    I.Src1 = Src;
+    return I;
+  }
+  static RtlInstr select(Var Dst, Var Cond, Var A, Var B) {
+    RtlInstr I;
+    I.K = Kind::Select;
+    I.Dst = Dst;
+    I.Src1 = Cond;
+    I.Src2 = A;
+    I.Src3 = B;
+    return I;
+  }
+  static RtlInstr choose(Var Dst, uint32_t Width) {
+    RtlInstr I;
+    I.K = Kind::Choose;
+    I.Dst = Dst;
+    I.Width = Width;
+    return I;
+  }
+  static RtlInstr error() {
+    RtlInstr I;
+    I.K = Kind::Error;
+    return I;
+  }
+  static RtlInstr fault() {
+    RtlInstr I;
+    I.K = Kind::Fault;
+    return I;
+  }
+  static RtlInstr trap() {
+    RtlInstr I;
+    I.K = Kind::Trap;
+    return I;
+  }
+
+  RtlInstr withGuard(Var G) const {
+    RtlInstr I = *this;
+    I.Guard = G;
+    return I;
+  }
+};
+
+/// A translated instruction body.
+using RtlProgram = std::vector<RtlInstr>;
+
+/// Renders an RTL instruction for diagnostics.
+std::string printRtl(const RtlInstr &I);
+std::string printRtlProgram(const RtlProgram &P);
+
+} // namespace rtl
+} // namespace rocksalt
+
+#endif // ROCKSALT_RTL_RTL_H

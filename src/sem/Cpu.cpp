@@ -1,0 +1,74 @@
+//===- sem/Cpu.cpp --------------------------------------------*- C++ -*-===//
+
+#include "sem/Cpu.h"
+
+#include "sem/Translate.h"
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using rtl::Status;
+
+Status Cpu::step() {
+  if (!M.running())
+    return M.St;
+
+  uint8_t CS = static_cast<uint8_t>(x86::SegReg::CS);
+  uint32_t Pc = M.Pc;
+  if (!M.inSegment(CS, Pc)) {
+    M.St = Status::Fault;
+    return M.St;
+  }
+
+  // Fetch up to 15 bytes, stopping at the segment limit.
+  uint8_t Window[15];
+  size_t Avail = 0;
+  for (; Avail < 15; ++Avail) {
+    uint32_t Off = Pc + static_cast<uint32_t>(Avail);
+    if (!M.inSegment(CS, Off))
+      break;
+    Window[Avail] = M.Mem.load8(M.physAddr(CS, Off));
+  }
+
+  std::optional<x86::Decoded> D = Decoder == DecoderKind::Fast
+                                      ? x86::fastDecode(Window, Avail)
+                                      : x86::grammarDecode(Window, Avail);
+  if (!D) {
+    LastDecoded.reset();
+    M.St = Status::Fault; // #UD
+    return M.St;
+  }
+  LastDecoded = D;
+
+  Translation T = translate(D->I, D->Length);
+  return rtl::execProgram(M, T.Prog, T.NumVars, Hooks);
+}
+
+uint64_t Cpu::run(uint64_t MaxSteps) {
+  uint64_t Steps = 0;
+  while (Steps < MaxSteps && M.running()) {
+    step();
+    ++Steps;
+  }
+  return Steps;
+}
+
+void Cpu::configureSandbox(uint32_t CodeBase, uint32_t CodeSize,
+                           uint32_t DataBase, uint32_t DataSize,
+                           const std::vector<uint8_t> &Code) {
+  using x86::SegReg;
+  auto Idx = [](SegReg S) { return static_cast<uint8_t>(S); };
+  M.SegBase[Idx(SegReg::CS)] = CodeBase;
+  M.SegLimit[Idx(SegReg::CS)] = CodeSize ? CodeSize - 1 : 0;
+  for (SegReg S : {SegReg::DS, SegReg::SS, SegReg::ES, SegReg::FS,
+                   SegReg::GS}) {
+    M.SegBase[Idx(S)] = DataBase;
+    M.SegLimit[Idx(S)] = DataSize ? DataSize - 1 : 0;
+  }
+  // Distinct selector values so tests can observe clobbering.
+  for (uint8_t S = 0; S < 6; ++S)
+    M.SegVal[S] = static_cast<uint16_t>(0x10 + 8 * S);
+  M.Mem.storeBytes(CodeBase, Code);
+  M.Pc = 0;
+  M.Regs[4] = DataSize; // ESP at the top of the data region
+  M.St = Status::Running;
+}

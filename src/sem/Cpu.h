@@ -1,0 +1,66 @@
+//===- sem/Cpu.h - Decode/translate/execute simulator ----------*- C++ -*-===//
+///
+/// \file
+/// The executable x86 model: fetches bytes at CS:PC, decodes them
+/// (grammar or fast decoder), translates to RTL, and runs the RTL
+/// interpreter — the extracted-simulator role of paper section 2.5.
+///
+/// The PC held in the machine state is a *code-segment offset*; fetch
+/// checks it against the CS limit, so control transfers outside the
+/// sandboxed code region fault exactly as segmented hardware would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SEM_CPU_H
+#define ROCKSALT_SEM_CPU_H
+
+#include "rtl/Interp.h"
+#include "rtl/Machine.h"
+#include "x86/FastDecoder.h"
+#include "x86/GrammarDecoder.h"
+
+#include <optional>
+
+namespace rocksalt {
+namespace sem {
+
+/// Which decoder drives the simulator.
+enum class DecoderKind {
+  Fast,   ///< table-driven production decoder
+  Grammar ///< derivative-based reference decoder (slow, for validation)
+};
+
+class Cpu {
+public:
+  rtl::MachineState M;
+  DecoderKind Decoder = DecoderKind::Fast;
+  rtl::AccessHooks Hooks;
+
+  /// The most recent successfully decoded instruction (diagnostics and
+  /// the sandbox monitor read this).
+  std::optional<x86::Decoded> LastDecoded;
+
+  Cpu() = default;
+  explicit Cpu(uint64_t OracleSeed) : M(OracleSeed) {}
+
+  /// Executes one instruction. Returns the machine status afterwards; an
+  /// undecodable byte sequence faults (#UD).
+  rtl::Status step();
+
+  /// Runs until a non-Running status or \p MaxSteps instructions.
+  /// Returns the number of instructions retired.
+  uint64_t run(uint64_t MaxSteps);
+
+  /// Loads \p Code at the physical base of CS and configures CS/DS/SS/ES
+  /// limits for a flat [CodeBase, CodeBase+CodeSize) code sandbox and
+  /// [DataBase, DataBase+DataSize) data sandbox. A convenience used by
+  /// examples and tests; production setups configure M directly.
+  void configureSandbox(uint32_t CodeBase, uint32_t CodeSize,
+                        uint32_t DataBase, uint32_t DataSize,
+                        const std::vector<uint8_t> &Code);
+};
+
+} // namespace sem
+} // namespace rocksalt
+
+#endif // ROCKSALT_SEM_CPU_H

@@ -1,0 +1,137 @@
+//===- sem/Differential.cpp -----------------------------------*- C++ -*-===//
+
+#include "sem/Differential.h"
+
+#include "sem/Cpu.h"
+#include "sem/FastInterp.h"
+#include "x86/Encoder.h"
+#include "x86/Printer.h"
+
+#include <cstdio>
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using rtl::MachineState;
+
+namespace {
+
+constexpr uint32_t CodeBase = 0x10000;
+constexpr uint32_t CodeLimit = 0x0FFF;   // 4 KiB code window
+constexpr uint32_t DataBase = 0x200000;
+constexpr uint32_t DataLimit = 0xFFFF;   // 64 KiB data window
+
+const char *statusName(rtl::Status S) {
+  switch (S) {
+  case rtl::Status::Running: return "running";
+  case rtl::Status::Fault: return "fault";
+  case rtl::Status::Halted: return "halted";
+  case rtl::Status::Error: return "error";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string sem::diffStates(const MachineState &A, const MachineState &B) {
+  char Buf[128];
+  if (A.St != B.St) {
+    std::snprintf(Buf, sizeof(Buf), "status: %s vs %s", statusName(A.St),
+                  statusName(B.St));
+    return Buf;
+  }
+  if (A.Pc != B.Pc) {
+    std::snprintf(Buf, sizeof(Buf), "pc: 0x%x vs 0x%x", A.Pc, B.Pc);
+    return Buf;
+  }
+  static const char *RegNames[] = {"eax", "ecx", "edx", "ebx",
+                                   "esp", "ebp", "esi", "edi"};
+  for (int R = 0; R < 8; ++R)
+    if (A.Regs[R] != B.Regs[R]) {
+      std::snprintf(Buf, sizeof(Buf), "%s: 0x%x vs 0x%x", RegNames[R],
+                    A.Regs[R], B.Regs[R]);
+      return Buf;
+    }
+  static const char *FlagNames[] = {"CF", "PF", "AF", "ZF", "SF",
+                                    "TF", "IF", "DF", "OF"};
+  for (unsigned F = 0; F < rtl::NumFlags; ++F)
+    if (A.Flags[F] != B.Flags[F]) {
+      std::snprintf(Buf, sizeof(Buf), "%s: %d vs %d", FlagNames[F],
+                    A.Flags[F], B.Flags[F]);
+      return Buf;
+    }
+  for (int S = 0; S < 6; ++S) {
+    if (A.SegVal[S] != B.SegVal[S] || A.SegBase[S] != B.SegBase[S] ||
+        A.SegLimit[S] != B.SegLimit[S]) {
+      std::snprintf(Buf, sizeof(Buf), "segment %d differs", S);
+      return Buf;
+    }
+  }
+  if (!(A.Mem == B.Mem))
+    return "memory contents differ";
+  return {};
+}
+
+void sem::randomizeState(MachineState &M, Rng &R) {
+  using x86::SegReg;
+  auto Idx = [](SegReg S) { return static_cast<uint8_t>(S); };
+  M.SegBase[Idx(SegReg::CS)] = CodeBase;
+  M.SegLimit[Idx(SegReg::CS)] = CodeLimit;
+  for (SegReg S :
+       {SegReg::DS, SegReg::SS, SegReg::ES, SegReg::FS, SegReg::GS}) {
+    M.SegBase[Idx(S)] = DataBase;
+    M.SegLimit[Idx(S)] = DataLimit;
+  }
+  for (uint8_t S = 0; S < 6; ++S)
+    M.SegVal[S] = static_cast<uint16_t>(0x10 + 8 * S);
+
+  // Registers: biased toward in-segment offsets so memory operands
+  // usually hit, with occasional wild values to exercise faulting.
+  for (int I = 0; I < 8; ++I)
+    M.Regs[I] = R.chance(3, 4)
+                    ? static_cast<uint32_t>(R.below(DataLimit - 0x200))
+                    : static_cast<uint32_t>(R.next());
+  M.Regs[4] = static_cast<uint32_t>(R.range(0x400, DataLimit - 0x400)) & ~3u;
+
+  for (unsigned F = 0; F < rtl::NumFlags; ++F)
+    M.Flags[F] = R.flip();
+
+  // Seed some data so loads see nonzero bytes.
+  for (int I = 0; I < 64; ++I)
+    M.Mem.store8(DataBase + static_cast<uint32_t>(R.below(DataLimit)),
+                 static_cast<uint8_t>(R.next()));
+  M.Pc = 0;
+  M.St = rtl::Status::Running;
+}
+
+DiffReport sem::runDifferential(uint64_t Instances, uint64_t Seed,
+                                const x86::GenOptions &Opts) {
+  Rng R(Seed);
+  DiffReport Rep;
+
+  while (Rep.Instances < Instances) {
+    x86::Instr I = x86::randomInstr(R, Opts);
+    std::optional<std::vector<uint8_t>> Bytes = x86::encode(I);
+    if (!Bytes || Bytes->size() > CodeLimit)
+      continue;
+
+    MachineState Proto;
+    randomizeState(Proto, R);
+    Proto.Mem.storeBytes(CodeBase, *Bytes);
+
+    Cpu Rtl;
+    Rtl.M = Proto;
+    Rtl.step();
+
+    MachineState Direct = Proto;
+    fastStepFetch(Direct);
+
+    ++Rep.Instances;
+    std::string Diff = diffStates(Rtl.M, Direct);
+    if (!Diff.empty()) {
+      ++Rep.Mismatches;
+      if (Rep.FirstMismatch.empty())
+        Rep.FirstMismatch = x86::printInstr(I) + ": " + Diff;
+    }
+  }
+  return Rep;
+}

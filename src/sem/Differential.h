@@ -1,0 +1,49 @@
+//===- sem/Differential.h - Model validation harness -----------*- C++ -*-===//
+///
+/// \file
+/// The validation harness of paper section 2.5, with the substitution
+/// described in DESIGN.md: instead of comparing the extracted simulator
+/// against real hardware through Pin, we compare the RTL pipeline
+/// (decode → translate → interpret) against the independently written
+/// direct interpreter (FastInterp), instruction instance by instruction
+/// instance, over generatively fuzzed encodings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SEM_DIFFERENTIAL_H
+#define ROCKSALT_SEM_DIFFERENTIAL_H
+
+#include "rtl/Machine.h"
+#include "x86/InstrGen.h"
+
+#include <string>
+
+namespace rocksalt {
+namespace sem {
+
+/// Result of one differential campaign.
+struct DiffReport {
+  uint64_t Instances = 0;   ///< instruction instances executed
+  uint64_t Mismatches = 0;  ///< state disagreements found
+  std::string FirstMismatch; ///< human-readable description of the first
+};
+
+/// Compares two machine states; returns an empty string when equal, or a
+/// description of the first difference.
+std::string diffStates(const rtl::MachineState &A,
+                       const rtl::MachineState &B);
+
+/// Runs \p Instances random instruction instances (drawn with \p Opts)
+/// through both implementations, starting each from a randomized but
+/// identical machine state, and compares the resulting states.
+DiffReport runDifferential(uint64_t Instances, uint64_t Seed,
+                           const x86::GenOptions &Opts = {});
+
+/// Randomizes registers/flags and the sandbox layout of \p M; both
+/// engines start from a copy of this state.
+void randomizeState(rtl::MachineState &M, Rng &R);
+
+} // namespace sem
+} // namespace rocksalt
+
+#endif // ROCKSALT_SEM_DIFFERENTIAL_H

@@ -1,0 +1,1223 @@
+//===- sem/FastInterp.cpp -------------------------------------*- C++ -*-===//
+
+#include "sem/FastInterp.h"
+
+#include "sem/Translate.h"
+#include "x86/FastDecoder.h"
+
+#include <cassert>
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using rtl::Flag;
+using rtl::MachineState;
+using rtl::Status;
+using x86::Instr;
+using x86::Opcode;
+using x86::Operand;
+
+namespace {
+
+uint32_t maskOf(uint32_t Bits) {
+  return Bits == 32 ? 0xFFFFFFFFu : ((1u << Bits) - 1);
+}
+
+uint32_t signBit(uint32_t Bits) { return 1u << (Bits - 1); }
+
+/// Sign-extends a Bits-wide value to 32 bits.
+uint32_t sext32(uint32_t V, uint32_t Bits) {
+  if (Bits == 32)
+    return V;
+  uint32_t M = maskOf(Bits);
+  V &= M;
+  if (V & signBit(Bits))
+    V |= ~M;
+  return V;
+}
+
+/// The whole interpreter for one instruction; `Failed` latches faults.
+class Exec {
+public:
+  MachineState &M;
+  const Instr &I;
+  uint8_t Len;
+  uint32_t Bits;
+  bool Fault = false;
+
+  Exec(MachineState &M_, const Instr &I_, uint8_t Len_)
+      : M(M_), I(I_), Len(Len_), Bits(x86::operandBits(I_.Pfx, I_.W)) {}
+
+  // --- flags ----------------------------------------------------------------
+  bool flag(Flag F) const { return M.Flags[static_cast<unsigned>(F)]; }
+  void setF(Flag F, bool V) { M.Flags[static_cast<unsigned>(F)] = V; }
+
+  void setSZP(uint32_t R, uint32_t W) {
+    R &= maskOf(W);
+    setF(Flag::SF, (R & signBit(W)) != 0);
+    setF(Flag::ZF, R == 0);
+    uint32_t X = R & 0xFF;
+    X ^= X >> 4;
+    X ^= X >> 2;
+    X ^= X >> 1;
+    setF(Flag::PF, (X & 1) == 0);
+  }
+
+  bool evalCond(x86::Cond CC) const {
+    using x86::Cond;
+    bool V = false;
+    switch (CC) {
+    case Cond::O: case Cond::NO: V = flag(Flag::OF); break;
+    case Cond::B: case Cond::NB: V = flag(Flag::CF); break;
+    case Cond::E: case Cond::NE: V = flag(Flag::ZF); break;
+    case Cond::BE: case Cond::NBE:
+      V = flag(Flag::CF) || flag(Flag::ZF);
+      break;
+    case Cond::S: case Cond::NS: V = flag(Flag::SF); break;
+    case Cond::P: case Cond::NP: V = flag(Flag::PF); break;
+    case Cond::L: case Cond::NL:
+      V = flag(Flag::SF) != flag(Flag::OF);
+      break;
+    case Cond::LE: case Cond::NLE:
+      V = flag(Flag::ZF) || (flag(Flag::SF) != flag(Flag::OF));
+      break;
+    }
+    return (x86::encodingOf(CC) & 1) ? !V : V;
+  }
+
+  // --- registers (with the AH/CH/DH/BH rule) --------------------------------
+  uint32_t readReg(x86::Reg R, uint32_t W) const {
+    uint8_t E = x86::encodingOf(R);
+    if (W == 8 && E >= 4)
+      return (M.Regs[E - 4] >> 8) & 0xFF;
+    return M.Regs[E] & maskOf(W);
+  }
+  void writeReg(x86::Reg R, uint32_t V, uint32_t W) {
+    uint8_t E = x86::encodingOf(R);
+    if (W == 32) {
+      M.Regs[E] = V;
+      return;
+    }
+    if (W == 8 && E >= 4) {
+      M.Regs[E - 4] = (M.Regs[E - 4] & 0xFFFF00FF) | ((V & 0xFF) << 8);
+      return;
+    }
+    uint32_t Mask = maskOf(W);
+    M.Regs[E] = (M.Regs[E] & ~Mask) | (V & Mask);
+  }
+
+  // --- memory through segments -----------------------------------------------
+  uint8_t segFor(const x86::Addr &A) const {
+    if (I.Pfx.SegOverride)
+      return x86::encodingOf(*I.Pfx.SegOverride);
+    if (A.Base && (*A.Base == x86::Reg::EBP || *A.Base == x86::Reg::ESP))
+      return x86::encodingOf(x86::SegReg::SS);
+    return x86::encodingOf(x86::SegReg::DS);
+  }
+
+  uint32_t effAddr(const x86::Addr &A) const {
+    uint32_t V = A.Disp;
+    if (A.Base)
+      V += M.Regs[x86::encodingOf(*A.Base)];
+    if (A.Index)
+      V += M.Regs[x86::encodingOf(A.Index->second)]
+           << static_cast<uint32_t>(A.Index->first);
+    return V;
+  }
+
+  uint32_t loadMem(uint8_t Seg, uint32_t Off, uint32_t W) {
+    uint32_t V = 0;
+    for (uint32_t B = 0; B < W / 8; ++B) {
+      if (!M.inSegment(Seg, Off + B)) {
+        Fault = true;
+        return 0;
+      }
+      V |= uint32_t(M.Mem.load8(M.physAddr(Seg, Off + B))) << (8 * B);
+    }
+    return V;
+  }
+  void storeMem(uint8_t Seg, uint32_t Off, uint32_t V, uint32_t W) {
+    for (uint32_t B = 0; B < W / 8; ++B) {
+      if (!M.inSegment(Seg, Off + B)) {
+        Fault = true;
+        return;
+      }
+      M.Mem.store8(M.physAddr(Seg, Off + B),
+                   static_cast<uint8_t>(V >> (8 * B)));
+    }
+  }
+
+  // --- operands ---------------------------------------------------------------
+  uint32_t load(const Operand &O, uint32_t W) {
+    switch (O.K) {
+    case Operand::Kind::Imm:
+      return O.ImmVal & maskOf(W);
+    case Operand::Kind::Reg:
+      return readReg(O.R, W);
+    case Operand::Kind::Mem:
+      return loadMem(segFor(O.A), effAddr(O.A), W);
+    case Operand::Kind::None:
+      break;
+    }
+    assert(false && "load of None operand");
+    return 0;
+  }
+  void store(const Operand &O, uint32_t V, uint32_t W) {
+    if (O.isReg()) {
+      writeReg(O.R, V, W);
+      return;
+    }
+    assert(O.isMem() && "store to non-location");
+    storeMem(segFor(O.A), effAddr(O.A), V, W);
+  }
+
+  // --- stack -------------------------------------------------------------------
+  void push(uint32_t V, uint32_t W) {
+    uint8_t SS = x86::encodingOf(x86::SegReg::SS);
+    uint32_t NewEsp = M.Regs[4] - W / 8;
+    storeMem(SS, NewEsp, V, W);
+    if (Fault)
+      return;
+    M.Regs[4] = NewEsp;
+  }
+  uint32_t pop(uint32_t W) {
+    uint8_t SS = x86::encodingOf(x86::SegReg::SS);
+    uint32_t V = loadMem(SS, M.Regs[4], W);
+    if (Fault)
+      return 0;
+    M.Regs[4] += W / 8;
+    return V;
+  }
+
+  void loadSegment(uint8_t SegIdx, uint16_t Sel) {
+    M.SegVal[SegIdx] = Sel;
+    M.SegBase[SegIdx] = 0;
+    M.SegLimit[SegIdx] = 0xFFFFFFFF;
+  }
+
+  uint32_t nextPc() const { return M.Pc + Len; }
+  void advance() { M.Pc = nextPc(); }
+
+  // --- flag recipes --------------------------------------------------------------
+  void addFlags(uint32_t A, uint32_t B, uint32_t R, bool Cin) {
+    uint64_t Wide = uint64_t(A & maskOf(Bits)) + (B & maskOf(Bits)) + Cin;
+    setF(Flag::CF, (Wide >> Bits) & 1);
+    setF(Flag::OF, ((A ^ R) & (B ^ R) & signBit(Bits)) != 0);
+    setF(Flag::AF, ((A ^ B ^ R) & 0x10) != 0);
+    setSZP(R, Bits);
+  }
+  void subFlags(uint32_t A, uint32_t B, uint32_t R, bool Borrow) {
+    setF(Flag::CF, Borrow);
+    setF(Flag::OF, ((A ^ B) & (A ^ R) & signBit(Bits)) != 0);
+    setF(Flag::AF, ((A ^ B ^ R) & 0x10) != 0);
+    setSZP(R, Bits);
+  }
+  void cmpFlagsAt(uint32_t A, uint32_t B, uint32_t W) {
+    uint32_t R = (A - B) & maskOf(W);
+    setF(Flag::CF, (A & maskOf(W)) < (B & maskOf(W)));
+    setF(Flag::OF, ((A ^ B) & (A ^ R) & signBit(W)) != 0);
+    setF(Flag::AF, ((A ^ B ^ R) & 0x10) != 0);
+    setSZP(R, W);
+  }
+
+  // --- execution dispatch ----------------------------------------------------------
+  void exec();
+  void flow();
+  void stringOp();
+
+private:
+  void aluBinop();
+  void mulDiv();
+  void shiftRotate();
+  void doubleShift();
+  void bitOps();
+  void bcd();
+  void widen();
+  void pushPop();
+  void flagOps();
+  void movFamily();
+  void segmentOps();
+};
+
+void Exec::aluBinop() {
+  uint32_t A = load(I.Op1, Bits);
+  if (Fault)
+    return;
+  uint32_t B = load(I.Op2, Bits);
+  if (Fault)
+    return;
+  uint32_t Mask = maskOf(Bits);
+  uint32_t R = 0;
+  switch (I.Op) {
+  case Opcode::ADD:
+  case Opcode::ADC: {
+    bool Cin = I.Op == Opcode::ADC && flag(Flag::CF);
+    R = (A + B + Cin) & Mask;
+    addFlags(A, B, R, Cin);
+    store(I.Op1, R, Bits);
+    return;
+  }
+  case Opcode::SUB:
+  case Opcode::SBB:
+  case Opcode::CMP: {
+    bool Cin = I.Op == Opcode::SBB && flag(Flag::CF);
+    R = (A - B - Cin) & Mask;
+    bool Borrow = uint64_t(A & Mask) < uint64_t(B & Mask) + Cin;
+    subFlags(A, B, R, Borrow);
+    if (I.Op != Opcode::CMP)
+      store(I.Op1, R, Bits);
+    return;
+  }
+  case Opcode::AND:
+  case Opcode::TEST:
+    R = A & B;
+    break;
+  case Opcode::OR:
+    R = A | B;
+    break;
+  case Opcode::XOR:
+    R = A ^ B;
+    break;
+  default:
+    assert(false);
+  }
+  setF(Flag::CF, false);
+  setF(Flag::OF, false);
+  setF(Flag::AF, false);
+  setSZP(R, Bits);
+  if (I.Op != Opcode::TEST)
+    store(I.Op1, R, Bits);
+}
+
+void Exec::mulDiv() {
+  uint32_t Mask = maskOf(Bits);
+
+  if (I.Op == Opcode::IMUL && !I.Op2.isNone()) {
+    // Two/three-operand IMUL.
+    int64_t A, B;
+    if (I.Op3.isImm()) {
+      A = int64_t(int32_t(sext32(load(I.Op2, Bits), Bits)));
+      if (Fault)
+        return;
+      B = int64_t(int32_t(sext32(I.Op3.ImmVal & Mask, Bits)));
+    } else {
+      B = int64_t(int32_t(sext32(load(I.Op2, Bits), Bits)));
+      if (Fault)
+        return;
+      A = int64_t(int32_t(sext32(readReg(I.Op1.R, Bits), Bits)));
+    }
+    int64_t P = A * B;
+    uint32_t R = uint32_t(P) & Mask;
+    bool Ovf = P != int64_t(int32_t(sext32(R, Bits)));
+    setF(Flag::CF, Ovf);
+    setF(Flag::OF, Ovf);
+    setF(Flag::AF, false);
+    setSZP(R, Bits);
+    writeReg(I.Op1.R, R, Bits);
+    return;
+  }
+
+  switch (I.Op) {
+  case Opcode::MUL:
+  case Opcode::IMUL: {
+    bool Signed = I.Op == Opcode::IMUL;
+    uint32_t Src = load(I.Op1, Bits);
+    if (Fault)
+      return;
+    uint32_t Acc = readReg(x86::Reg::EAX, Bits);
+    uint64_t P;
+    if (Signed)
+      P = uint64_t(int64_t(int32_t(sext32(Acc, Bits))) *
+                   int64_t(int32_t(sext32(Src, Bits))));
+    else
+      P = uint64_t(Acc) * Src;
+    uint64_t WideMask =
+        Bits == 32 ? ~uint64_t(0) : ((uint64_t(1) << (2 * Bits)) - 1);
+    P &= WideMask;
+    uint32_t Lo = uint32_t(P) & Mask;
+    uint32_t Hi = uint32_t(P >> Bits) & Mask;
+    if (Bits == 8) {
+      writeReg(x86::Reg::EAX, uint32_t(P) & 0xFFFF, 16);
+    } else {
+      writeReg(x86::Reg::EAX, Lo, Bits);
+      writeReg(x86::Reg::EDX, Hi, Bits);
+    }
+    bool Ovf;
+    if (Signed) {
+      uint64_t SextLo =
+          uint64_t(int64_t(int32_t(sext32(Lo, Bits)))) & WideMask;
+      Ovf = P != SextLo;
+    } else {
+      Ovf = Hi != 0;
+    }
+    setF(Flag::CF, Ovf);
+    setF(Flag::OF, Ovf);
+    setF(Flag::AF, false);
+    setSZP(Lo, Bits);
+    return;
+  }
+  case Opcode::DIV:
+  case Opcode::IDIV: {
+    bool Signed = I.Op == Opcode::IDIV;
+    uint32_t Src = load(I.Op1, Bits);
+    if (Fault)
+      return;
+    if ((Src & Mask) == 0) {
+      Fault = true; // #DE
+      return;
+    }
+    uint64_t Dividend;
+    if (Bits == 8)
+      Dividend = readReg(x86::Reg::EAX, 16);
+    else
+      Dividend = uint64_t(readReg(x86::Reg::EDX, Bits)) << Bits |
+                 readReg(x86::Reg::EAX, Bits);
+    uint64_t Q, Rem;
+    uint32_t WideBits = 2 * Bits;
+    if (Signed) {
+      int64_t D = int64_t(Dividend << (64 - WideBits)) >> (64 - WideBits);
+      int64_t V = int64_t(int32_t(sext32(Src, Bits)));
+      int64_t Qs = D / V, Rs = D % V;
+      // Quotient must fit the signed destination width.
+      int64_t QTrunc = int64_t(int32_t(sext32(uint32_t(Qs) & Mask, Bits)));
+      if (Qs != QTrunc) {
+        Fault = true;
+        return;
+      }
+      Q = uint64_t(Qs);
+      Rem = uint64_t(Rs);
+    } else {
+      Q = Dividend / (Src & Mask);
+      Rem = Dividend % (Src & Mask);
+      if (Q > Mask) {
+        Fault = true;
+        return;
+      }
+    }
+    if (Bits == 8) {
+      uint32_t Ax = (uint32_t(Q) & 0xFF) | ((uint32_t(Rem) & 0xFF) << 8);
+      writeReg(x86::Reg::EAX, Ax, 16);
+    } else {
+      writeReg(x86::Reg::EAX, uint32_t(Q) & Mask, Bits);
+      writeReg(x86::Reg::EDX, uint32_t(Rem) & Mask, Bits);
+    }
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::shiftRotate() {
+  uint32_t Mask = maskOf(Bits);
+  uint32_t Val = load(I.Op1, Bits);
+  if (Fault)
+    return;
+  uint32_t Cnt = I.Op2.isImm() ? (I.Op2.ImmVal & 31) : (M.Regs[1] & 31);
+  if (Cnt == 0)
+    return; // nothing changes, not even flags
+
+  uint64_t V64 = Val;
+  uint32_t Res = 0;
+  bool Cf = false, Of = false;
+  bool IsRotate = false;
+
+  switch (I.Op) {
+  case Opcode::SHL: {
+    uint64_t Sh = V64 << Cnt;
+    Res = uint32_t(Sh) & Mask;
+    Cf = (Sh >> Bits) & 1;
+    Of = ((Res >> (Bits - 1)) & 1) != Cf;
+    break;
+  }
+  case Opcode::SHR: {
+    Cf = (V64 >> (Cnt - 1)) & 1;
+    Res = uint32_t(V64 >> Cnt) & Mask;
+    Of = (Val >> (Bits - 1)) & 1;
+    break;
+  }
+  case Opcode::SAR: {
+    int64_t S = int64_t(int32_t(sext32(Val, Bits)));
+    Cf = (uint64_t(S) >> (Cnt - 1)) & 1;
+    Res = uint32_t(S >> Cnt) & Mask;
+    Of = false;
+    break;
+  }
+  case Opcode::ROL: {
+    IsRotate = true;
+    uint32_t K = Cnt % Bits;
+    Res = K == 0 ? Val
+                 : (((Val << K) | (Val >> (Bits - K))) & Mask);
+    Cf = Res & 1;
+    Of = ((Res >> (Bits - 1)) & 1) != Cf;
+    break;
+  }
+  case Opcode::ROR: {
+    IsRotate = true;
+    uint32_t K = Cnt % Bits;
+    Res = K == 0 ? Val
+                 : (((Val >> K) | (Val << (Bits - K))) & Mask);
+    bool Msb = (Res >> (Bits - 1)) & 1;
+    bool Msb2 = (Res >> (Bits - 2)) & 1;
+    Cf = Msb;
+    Of = Msb != Msb2;
+    break;
+  }
+  case Opcode::RCL:
+  case Opcode::RCR: {
+    IsRotate = true;
+    uint32_t W1 = Bits + 1;
+    uint32_t K = Cnt % W1;
+    uint64_t Ext = V64 | (uint64_t(flag(Flag::CF)) << Bits);
+    uint64_t Rot;
+    if (K == 0)
+      Rot = Ext;
+    else if (I.Op == Opcode::RCL)
+      Rot = ((Ext << K) | (Ext >> (W1 - K))) & ((uint64_t(1) << W1) - 1);
+    else
+      Rot = ((Ext >> K) | (Ext << (W1 - K))) & ((uint64_t(1) << W1) - 1);
+    Res = uint32_t(Rot) & Mask;
+    Cf = (Rot >> Bits) & 1;
+    bool Msb = (Res >> (Bits - 1)) & 1;
+    if (I.Op == Opcode::RCL)
+      Of = Msb != Cf;
+    else {
+      bool Msb2 = (Res >> (Bits - 2)) & 1;
+      Of = Msb != Msb2;
+    }
+    break;
+  }
+  default:
+    assert(false);
+  }
+
+  store(I.Op1, Res, Bits);
+  if (Fault)
+    return;
+  setF(Flag::CF, Cf);
+  setF(Flag::OF, Of);
+  if (!IsRotate)
+    setSZP(Res, Bits);
+}
+
+void Exec::doubleShift() {
+  uint32_t Mask = maskOf(Bits);
+  uint32_t Dst = load(I.Op1, Bits);
+  if (Fault)
+    return;
+  uint32_t Src = load(I.Op2, Bits);
+  uint32_t Cnt = I.Op3.isImm() ? (I.Op3.ImmVal & 31) : (M.Regs[1] & 31);
+  if (Cnt == 0)
+    return;
+
+  uint32_t Res;
+  bool Cf;
+  if (I.Op == Opcode::SHLD) {
+    uint64_t Comb = (uint64_t(Dst) << Bits) | Src;
+    uint64_t Sh = Comb << Cnt;
+    Res = uint32_t(Sh >> Bits) & Mask;
+    Cf = (Sh >> (2 * Bits)) & 1;
+  } else {
+    uint64_t Comb = (uint64_t(Src) << Bits) | Dst;
+    Cf = (Comb >> (Cnt - 1)) & 1;
+    Res = uint32_t(Comb >> Cnt) & Mask;
+  }
+  bool Of = ((Res >> (Bits - 1)) & 1) != ((Dst >> (Bits - 1)) & 1);
+  store(I.Op1, Res, Bits);
+  if (Fault)
+    return;
+  setF(Flag::CF, Cf);
+  setF(Flag::OF, Of);
+  setSZP(Res, Bits);
+}
+
+void Exec::bitOps() {
+  uint32_t Mask = maskOf(Bits);
+  switch (I.Op) {
+  case Opcode::BSWAP: {
+    uint32_t V = M.Regs[x86::encodingOf(I.Op1.R)];
+    M.Regs[x86::encodingOf(I.Op1.R)] = __builtin_bswap32(V);
+    return;
+  }
+  case Opcode::BSF:
+  case Opcode::BSR: {
+    uint32_t Src = load(I.Op2, Bits);
+    if (Fault)
+      return;
+    Src &= Mask;
+    setF(Flag::ZF, Src == 0);
+    if (Src == 0)
+      return; // destination unchanged
+    uint32_t Idx = I.Op == Opcode::BSF
+                       ? uint32_t(__builtin_ctz(Src))
+                       : 31 - uint32_t(__builtin_clz(Src));
+    writeReg(I.Op1.R, Idx, Bits);
+    return;
+  }
+  case Opcode::BT:
+  case Opcode::BTS:
+  case Opcode::BTR:
+  case Opcode::BTC: {
+    uint32_t Val = load(I.Op1, Bits);
+    if (Fault)
+      return;
+    uint32_t Idx = I.Op2.isImm() ? (I.Op2.ImmVal % Bits)
+                                 : (readReg(I.Op2.R, Bits) % Bits);
+    bool Bit = (Val >> Idx) & 1;
+    setF(Flag::CF, Bit);
+    if (I.Op == Opcode::BT)
+      return;
+    uint32_t M2 = 1u << Idx;
+    uint32_t R = I.Op == Opcode::BTS   ? (Val | M2)
+                 : I.Op == Opcode::BTR ? (Val & ~M2)
+                                       : (Val ^ M2);
+    store(I.Op1, R & Mask, Bits);
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::bcd() {
+  uint32_t Al = readReg(x86::Reg::EAX, 8);
+  switch (I.Op) {
+  case Opcode::AAM: {
+    uint32_t Imm = I.Op1.ImmVal & 0xFF;
+    if (Imm == 0) {
+      Fault = true;
+      return;
+    }
+    uint32_t Ah = Al / Imm, NewAl = Al % Imm;
+    writeReg(x86::Reg::EAX, (Ah << 8) | NewAl, 16);
+    setSZP(NewAl, 8);
+    setF(Flag::CF, false);
+    setF(Flag::OF, false);
+    setF(Flag::AF, false);
+    return;
+  }
+  case Opcode::AAD: {
+    uint32_t Imm = I.Op1.ImmVal & 0xFF;
+    uint32_t Ah = readReg(x86::regFromEncoding(4), 8);
+    uint32_t NewAl = (Al + ((Ah * Imm) & 0xFF)) & 0xFF;
+    writeReg(x86::Reg::EAX, NewAl, 16); // AH = 0
+    setSZP(NewAl, 8);
+    setF(Flag::CF, false);
+    setF(Flag::OF, false);
+    setF(Flag::AF, false);
+    return;
+  }
+  case Opcode::AAA:
+  case Opcode::AAS: {
+    bool Cond = ((Al & 0x0F) > 9) || flag(Flag::AF);
+    uint32_t Ax = readReg(x86::Reg::EAX, 16);
+    uint32_t NewAx =
+        Cond ? (I.Op == Opcode::AAA ? Ax + 0x106 : Ax - 0x106) : Ax;
+    writeReg(x86::Reg::EAX, NewAx & 0xFF0F, 16);
+    setF(Flag::AF, Cond);
+    setF(Flag::CF, Cond);
+    setSZP(NewAx & 0x0F, 8);
+    setF(Flag::OF, false);
+    return;
+  }
+  case Opcode::DAA:
+  case Opcode::DAS: {
+    bool IsAdd = I.Op == Opcode::DAA;
+    bool OldCf = flag(Flag::CF);
+    bool CondLow = ((Al & 0x0F) > 9) || flag(Flag::AF);
+    uint32_t Al1 =
+        CondLow ? ((IsAdd ? Al + 6 : Al - 6) & 0xFF) : Al;
+    bool CondHigh = (Al > 0x99) || OldCf;
+    uint32_t Al2 =
+        CondHigh ? ((IsAdd ? Al1 + 0x60 : Al1 - 0x60) & 0xFF) : Al1;
+    writeReg(x86::Reg::EAX, Al2, 8);
+    setF(Flag::AF, CondLow);
+    setF(Flag::CF, CondHigh);
+    setSZP(Al2, 8);
+    setF(Flag::OF, false);
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::widen() {
+  switch (I.Op) {
+  case Opcode::CWDE:
+    if (I.Pfx.OpSize)
+      writeReg(x86::Reg::EAX, sext32(readReg(x86::Reg::EAX, 8), 8) & 0xFFFF,
+               16);
+    else
+      writeReg(x86::Reg::EAX, sext32(readReg(x86::Reg::EAX, 16), 16), 32);
+    return;
+  case Opcode::CDQ: {
+    uint32_t W = I.Pfx.OpSize ? 16 : 32;
+    uint32_t Acc = readReg(x86::Reg::EAX, W);
+    bool Neg = (Acc & signBit(W)) != 0;
+    writeReg(x86::Reg::EDX, Neg ? maskOf(W) : 0, W);
+    return;
+  }
+  case Opcode::MOVSX:
+  case Opcode::MOVZX: {
+    uint32_t SrcBits = I.W ? 16 : 8;
+    uint32_t DstBits = I.Pfx.OpSize ? 16 : 32;
+    uint32_t V = load(I.Op2, SrcBits);
+    if (Fault)
+      return;
+    if (I.Op == Opcode::MOVSX)
+      V = sext32(V, SrcBits) & maskOf(DstBits);
+    writeReg(I.Op1.R, V, DstBits);
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::flow() {
+  switch (I.Op) {
+  case Opcode::CALL:
+  case Opcode::JMP: {
+    uint32_t Target;
+    if (I.Absolute) {
+      Target = load(I.Op1, 32);
+      if (Fault)
+        return;
+    } else {
+      Target = nextPc() + I.Op1.ImmVal;
+    }
+    if (I.Op == Opcode::CALL) {
+      push(nextPc(), 32);
+      if (Fault)
+        return;
+    }
+    M.Pc = Target;
+    return;
+  }
+  case Opcode::Jcc:
+    M.Pc = evalCond(I.CC) ? nextPc() + I.Op1.ImmVal : nextPc();
+    return;
+  case Opcode::JCXZ:
+    M.Pc = M.Regs[1] == 0 ? nextPc() + I.Op1.ImmVal : nextPc();
+    return;
+  case Opcode::LOOP:
+  case Opcode::LOOPZ:
+  case Opcode::LOOPNZ: {
+    M.Regs[1] -= 1;
+    bool Cond = M.Regs[1] != 0;
+    if (I.Op == Opcode::LOOPZ)
+      Cond = Cond && flag(Flag::ZF);
+    else if (I.Op == Opcode::LOOPNZ)
+      Cond = Cond && !flag(Flag::ZF);
+    M.Pc = Cond ? nextPc() + I.Op1.ImmVal : nextPc();
+    return;
+  }
+  case Opcode::RET: {
+    uint32_t Ret = pop(32);
+    if (Fault)
+      return;
+    if (I.Op1.isImm())
+      M.Regs[4] += I.Op1.ImmVal & 0xFFFF;
+    M.Pc = Ret;
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::pushPop() {
+  uint32_t W = I.Pfx.OpSize ? 16 : 32;
+  switch (I.Op) {
+  case Opcode::PUSH: {
+    uint32_t V = load(I.Op1, W);
+    if (Fault)
+      return;
+    push(V, W);
+    return;
+  }
+  case Opcode::POP: {
+    uint32_t V = pop(W);
+    if (Fault)
+      return;
+    store(I.Op1, V, W);
+    return;
+  }
+  case Opcode::PUSHA: {
+    uint32_t OrigEsp = M.Regs[4];
+    for (uint8_t R = 0; R < 8; ++R) {
+      uint32_t V = R == 4 ? OrigEsp : M.Regs[R];
+      push(V & maskOf(W), W);
+      if (Fault)
+        return;
+    }
+    return;
+  }
+  case Opcode::POPA: {
+    for (int R = 7; R >= 0; --R) {
+      uint32_t V = pop(W);
+      if (Fault)
+        return;
+      if (R == 4)
+        continue;
+      writeReg(x86::regFromEncoding(uint8_t(R)), V, W);
+    }
+    return;
+  }
+  case Opcode::PUSHF: {
+    uint32_t V = 0x2;
+    auto Put = [&](Flag F, uint32_t Pos) {
+      V |= uint32_t(flag(F)) << Pos;
+    };
+    Put(Flag::CF, 0);
+    Put(Flag::PF, 2);
+    Put(Flag::AF, 4);
+    Put(Flag::ZF, 6);
+    Put(Flag::SF, 7);
+    Put(Flag::TF, 8);
+    Put(Flag::IF, 9);
+    Put(Flag::DF, 10);
+    Put(Flag::OF, 11);
+    push(V & maskOf(W), W);
+    return;
+  }
+  case Opcode::POPF: {
+    uint32_t V = pop(W);
+    if (Fault)
+      return;
+    auto Take = [&](Flag F, uint32_t Pos) { setF(F, (V >> Pos) & 1); };
+    Take(Flag::CF, 0);
+    Take(Flag::PF, 2);
+    Take(Flag::AF, 4);
+    Take(Flag::ZF, 6);
+    Take(Flag::SF, 7);
+    Take(Flag::TF, 8);
+    Take(Flag::IF, 9);
+    Take(Flag::DF, 10);
+    Take(Flag::OF, 11);
+    return;
+  }
+  case Opcode::ENTER: {
+    push(M.Regs[5], 32);
+    if (Fault)
+      return;
+    uint32_t NewEbp = M.Regs[4];
+    M.Regs[5] = NewEbp;
+    M.Regs[4] = NewEbp - (I.Op1.ImmVal & 0xFFFF);
+    return;
+  }
+  case Opcode::LEAVE: {
+    M.Regs[4] = M.Regs[5];
+    uint32_t V = pop(32);
+    if (Fault)
+      return;
+    M.Regs[5] = V;
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::flagOps() {
+  switch (I.Op) {
+  case Opcode::CLC: setF(Flag::CF, false); return;
+  case Opcode::STC: setF(Flag::CF, true); return;
+  case Opcode::CMC: setF(Flag::CF, !flag(Flag::CF)); return;
+  case Opcode::CLD: setF(Flag::DF, false); return;
+  case Opcode::STD: setF(Flag::DF, true); return;
+  case Opcode::CLI: setF(Flag::IF, false); return;
+  case Opcode::STI: setF(Flag::IF, true); return;
+  case Opcode::LAHF: {
+    uint32_t V = 0x02;
+    V |= uint32_t(flag(Flag::CF)) << 0;
+    V |= uint32_t(flag(Flag::PF)) << 2;
+    V |= uint32_t(flag(Flag::AF)) << 4;
+    V |= uint32_t(flag(Flag::ZF)) << 6;
+    V |= uint32_t(flag(Flag::SF)) << 7;
+    writeReg(x86::regFromEncoding(4), V, 8);
+    return;
+  }
+  case Opcode::SAHF: {
+    uint32_t Ah = readReg(x86::regFromEncoding(4), 8);
+    setF(Flag::CF, (Ah >> 0) & 1);
+    setF(Flag::PF, (Ah >> 2) & 1);
+    setF(Flag::AF, (Ah >> 4) & 1);
+    setF(Flag::ZF, (Ah >> 6) & 1);
+    setF(Flag::SF, (Ah >> 7) & 1);
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::stringOp() {
+  uint8_t Es = x86::encodingOf(x86::SegReg::ES);
+  uint8_t Si = I.Pfx.SegOverride
+                   ? x86::encodingOf(*I.Pfx.SegOverride)
+                   : x86::encodingOf(x86::SegReg::DS);
+  bool Rep = I.Pfx.Rep != x86::Prefix::RepKind::None;
+  bool CondRep = I.Op == Opcode::CMPS || I.Op == Opcode::SCAS;
+
+  bool EcxNonZero = M.Regs[1] != 0;
+  bool DoIter = !Rep || EcxNonZero;
+  uint32_t Delta =
+      M.Flags[static_cast<unsigned>(Flag::DF)] ? uint32_t(-(int32_t)(Bits / 8))
+                                               : Bits / 8;
+
+  if (DoIter) {
+    switch (I.Op) {
+    case Opcode::MOVS: {
+      uint32_t V = loadMem(Si, M.Regs[6], Bits);
+      if (Fault)
+        return;
+      storeMem(Es, M.Regs[7], V, Bits);
+      if (Fault)
+        return;
+      M.Regs[6] += Delta;
+      M.Regs[7] += Delta;
+      break;
+    }
+    case Opcode::STOS: {
+      storeMem(Es, M.Regs[7], readReg(x86::Reg::EAX, Bits), Bits);
+      if (Fault)
+        return;
+      M.Regs[7] += Delta;
+      break;
+    }
+    case Opcode::LODS: {
+      uint32_t V = loadMem(Si, M.Regs[6], Bits);
+      if (Fault)
+        return;
+      writeReg(x86::Reg::EAX, V, Bits);
+      M.Regs[6] += Delta;
+      break;
+    }
+    case Opcode::SCAS: {
+      uint32_t V = loadMem(Es, M.Regs[7], Bits);
+      if (Fault)
+        return;
+      cmpFlagsAt(readReg(x86::Reg::EAX, Bits), V, Bits);
+      M.Regs[7] += Delta;
+      break;
+    }
+    case Opcode::CMPS: {
+      uint32_t A = loadMem(Si, M.Regs[6], Bits);
+      if (Fault)
+        return;
+      uint32_t V = loadMem(Es, M.Regs[7], Bits);
+      if (Fault)
+        return;
+      cmpFlagsAt(A, V, Bits);
+      M.Regs[6] += Delta;
+      M.Regs[7] += Delta;
+      break;
+    }
+    default:
+      assert(false);
+    }
+    if (Rep)
+      M.Regs[1] -= 1;
+  }
+
+  if (!Rep) {
+    advance();
+    return;
+  }
+  bool Cont = EcxNonZero && M.Regs[1] != 0;
+  if (CondRep) {
+    bool Zf = flag(Flag::ZF);
+    bool Want = I.Pfx.Rep == x86::Prefix::RepKind::Rep ? Zf : !Zf;
+    Cont = Cont && Want;
+  }
+  M.Pc = Cont ? M.Pc : nextPc();
+}
+
+void Exec::movFamily() {
+  switch (I.Op) {
+  case Opcode::MOV: {
+    uint32_t V = load(I.Op2, Bits);
+    if (Fault)
+      return;
+    store(I.Op1, V, Bits);
+    return;
+  }
+  case Opcode::LEA: {
+    uint32_t DstBits = I.Pfx.OpSize ? 16 : 32;
+    writeReg(I.Op1.R, effAddr(I.Op2.A) & maskOf(DstBits), DstBits);
+    return;
+  }
+  case Opcode::XCHG: {
+    uint32_t A = load(I.Op1, Bits);
+    if (Fault)
+      return;
+    uint32_t B = load(I.Op2, Bits);
+    if (Fault)
+      return;
+    store(I.Op1, B, Bits);
+    if (Fault)
+      return;
+    store(I.Op2, A, Bits);
+    return;
+  }
+  case Opcode::XADD: {
+    uint32_t Dst = load(I.Op1, Bits);
+    if (Fault)
+      return;
+    uint32_t Src = load(I.Op2, Bits);
+    uint32_t Sum = (Dst + Src) & maskOf(Bits);
+    addFlags(Dst, Src, Sum, false);
+    store(I.Op2, Dst, Bits);
+    store(I.Op1, Sum, Bits);
+    return;
+  }
+  case Opcode::CMPXCHG: {
+    uint32_t Dst = load(I.Op1, Bits);
+    if (Fault)
+      return;
+    uint32_t Acc = readReg(x86::Reg::EAX, Bits);
+    uint32_t Src = load(I.Op2, Bits);
+    cmpFlagsAt(Acc, Dst, Bits);
+    bool Equal = Acc == Dst;
+    store(I.Op1, Equal ? Src : Dst, Bits);
+    if (Fault)
+      return;
+    writeReg(x86::Reg::EAX, Equal ? Acc : Dst, Bits);
+    return;
+  }
+  case Opcode::XLAT: {
+    uint8_t Seg = I.Pfx.SegOverride
+                      ? x86::encodingOf(*I.Pfx.SegOverride)
+                      : x86::encodingOf(x86::SegReg::DS);
+    uint32_t A = M.Regs[3] + readReg(x86::Reg::EAX, 8);
+    uint32_t V = loadMem(Seg, A, 8);
+    if (Fault)
+      return;
+    writeReg(x86::Reg::EAX, V, 8);
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::segmentOps() {
+  uint8_t SegIdx = x86::encodingOf(I.Seg);
+  switch (I.Op) {
+  case Opcode::MOVSR:
+    if (!I.Op1.isNone()) {
+      store(I.Op1, M.SegVal[SegIdx], 16);
+      return;
+    }
+    {
+      uint32_t V = load(I.Op2, 16);
+      if (Fault)
+        return;
+      loadSegment(SegIdx, static_cast<uint16_t>(V));
+    }
+    return;
+  case Opcode::PUSHSR:
+    push(M.SegVal[SegIdx], 32);
+    return;
+  case Opcode::POPSR: {
+    uint32_t V = pop(32);
+    if (Fault)
+      return;
+    loadSegment(SegIdx, static_cast<uint16_t>(V));
+    return;
+  }
+  case Opcode::LDS:
+  case Opcode::LES:
+  case Opcode::LSS:
+  case Opcode::LFS:
+  case Opcode::LGS: {
+    uint8_t Target;
+    switch (I.Op) {
+    case Opcode::LDS: Target = 3; break;
+    case Opcode::LES: Target = 0; break;
+    case Opcode::LSS: Target = 2; break;
+    case Opcode::LFS: Target = 4; break;
+    default: Target = 5; break;
+    }
+    uint8_t Seg = segFor(I.Op2.A);
+    uint32_t A = effAddr(I.Op2.A);
+    uint32_t Off = loadMem(Seg, A, 32);
+    if (Fault)
+      return;
+    uint32_t Sel = loadMem(Seg, A + 4, 16);
+    if (Fault)
+      return;
+    writeReg(I.Op1.R, Off, 32);
+    loadSegment(Target, static_cast<uint16_t>(Sel));
+    return;
+  }
+  default:
+    assert(false);
+  }
+}
+
+void Exec::exec() {
+  switch (I.Op) {
+  case Opcode::ADD: case Opcode::ADC: case Opcode::SUB: case Opcode::SBB:
+  case Opcode::AND: case Opcode::OR: case Opcode::XOR: case Opcode::CMP:
+  case Opcode::TEST:
+    aluBinop();
+    break;
+  case Opcode::INC:
+  case Opcode::DEC: {
+    uint32_t A = load(I.Op1, Bits);
+    if (Fault)
+      break;
+    uint32_t One = 1;
+    uint32_t R = (I.Op == Opcode::INC ? A + 1 : A - 1) & maskOf(Bits);
+    if (I.Op == Opcode::INC)
+      setF(Flag::OF, ((A ^ R) & (One ^ R) & signBit(Bits)) != 0);
+    else
+      setF(Flag::OF, ((A ^ One) & (A ^ R) & signBit(Bits)) != 0);
+    setF(Flag::AF, ((A ^ One ^ R) & 0x10) != 0);
+    setSZP(R, Bits);
+    store(I.Op1, R, Bits);
+    break;
+  }
+  case Opcode::NOT: {
+    uint32_t A = load(I.Op1, Bits);
+    if (Fault)
+      break;
+    store(I.Op1, ~A & maskOf(Bits), Bits);
+    break;
+  }
+  case Opcode::NEG: {
+    uint32_t A = load(I.Op1, Bits);
+    if (Fault)
+      break;
+    uint32_t R = (0 - A) & maskOf(Bits);
+    setF(Flag::CF, (A & maskOf(Bits)) != 0);
+    setF(Flag::OF, ((0 ^ A) & (0 ^ R) & signBit(Bits)) != 0);
+    setF(Flag::AF, ((0 ^ A ^ R) & 0x10) != 0);
+    setSZP(R, Bits);
+    store(I.Op1, R, Bits);
+    break;
+  }
+  case Opcode::MUL: case Opcode::IMUL: case Opcode::DIV: case Opcode::IDIV:
+    mulDiv();
+    break;
+  case Opcode::SHL: case Opcode::SHR: case Opcode::SAR: case Opcode::ROL:
+  case Opcode::ROR: case Opcode::RCL: case Opcode::RCR:
+    shiftRotate();
+    break;
+  case Opcode::SHLD:
+  case Opcode::SHRD:
+    doubleShift();
+    break;
+  case Opcode::BT: case Opcode::BTS: case Opcode::BTR: case Opcode::BTC:
+  case Opcode::BSF: case Opcode::BSR: case Opcode::BSWAP:
+    bitOps();
+    break;
+  case Opcode::AAA: case Opcode::AAS: case Opcode::AAM: case Opcode::AAD:
+  case Opcode::DAA: case Opcode::DAS:
+    bcd();
+    break;
+  case Opcode::CWDE: case Opcode::CDQ: case Opcode::MOVSX:
+  case Opcode::MOVZX:
+    widen();
+    break;
+  case Opcode::SETcc:
+    store(I.Op1, evalCond(I.CC) ? 1 : 0, 8);
+    break;
+  case Opcode::CMOVcc: {
+    uint32_t W = I.Pfx.OpSize ? 16 : 32;
+    uint32_t Src = load(I.Op2, W);
+    if (Fault)
+      break;
+    if (evalCond(I.CC))
+      writeReg(I.Op1.R, Src, W);
+    break;
+  }
+  case Opcode::MOV: case Opcode::LEA: case Opcode::XCHG: case Opcode::XADD:
+  case Opcode::CMPXCHG: case Opcode::XLAT:
+    movFamily();
+    break;
+  case Opcode::MOVSR: case Opcode::PUSHSR: case Opcode::POPSR:
+  case Opcode::LDS: case Opcode::LES: case Opcode::LSS: case Opcode::LFS:
+  case Opcode::LGS:
+    segmentOps();
+    break;
+  case Opcode::PUSH: case Opcode::POP: case Opcode::PUSHA: case Opcode::POPA:
+  case Opcode::PUSHF: case Opcode::POPF: case Opcode::ENTER:
+  case Opcode::LEAVE:
+    pushPop();
+    break;
+  case Opcode::CLC: case Opcode::STC: case Opcode::CMC: case Opcode::CLD:
+  case Opcode::STD: case Opcode::CLI: case Opcode::STI: case Opcode::LAHF:
+  case Opcode::SAHF:
+    flagOps();
+    break;
+  case Opcode::NOP:
+    break;
+  default:
+    assert(false && "unreachable: filtered by hasSemantics");
+  }
+}
+
+} // namespace
+
+Status sem::fastStep(MachineState &M, const Instr &I, uint8_t Len) {
+  if (!M.running())
+    return M.St;
+
+  if (!sem::hasSemantics(I)) {
+    M.St = Status::Error;
+    return M.St;
+  }
+
+  if (I.Op == Opcode::HLT) {
+    M.Pc += Len;
+    M.St = Status::Halted;
+    return M.St;
+  }
+
+  Exec E(M, I, Len);
+  if (I.Op == Opcode::CALL || I.Op == Opcode::JMP || I.Op == Opcode::Jcc ||
+      I.Op == Opcode::JCXZ || I.Op == Opcode::LOOP ||
+      I.Op == Opcode::LOOPZ || I.Op == Opcode::LOOPNZ ||
+      I.Op == Opcode::RET) {
+    E.flow();
+  } else if (I.Op == Opcode::MOVS || I.Op == Opcode::CMPS ||
+             I.Op == Opcode::STOS || I.Op == Opcode::LODS ||
+             I.Op == Opcode::SCAS) {
+    E.stringOp();
+  } else {
+    E.exec();
+    if (!E.Fault)
+      M.Pc += Len;
+  }
+
+  if (E.Fault)
+    M.St = Status::Fault;
+  return M.St;
+}
+
+Status sem::fastStepFetch(MachineState &M) {
+  if (!M.running())
+    return M.St;
+  uint8_t CS = static_cast<uint8_t>(x86::SegReg::CS);
+  if (!M.inSegment(CS, M.Pc)) {
+    M.St = Status::Fault;
+    return M.St;
+  }
+  uint8_t Window[15];
+  size_t Avail = 0;
+  for (; Avail < 15; ++Avail) {
+    uint32_t Off = M.Pc + static_cast<uint32_t>(Avail);
+    if (!M.inSegment(CS, Off))
+      break;
+    Window[Avail] = M.Mem.load8(M.physAddr(CS, Off));
+  }
+  std::optional<x86::Decoded> D = x86::fastDecode(Window, Avail);
+  if (!D) {
+    M.St = Status::Fault; // #UD
+    return M.St;
+  }
+  return fastStep(M, D->I, D->Length);
+}

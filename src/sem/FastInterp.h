@@ -1,0 +1,38 @@
+//===- sem/FastInterp.h - Independent direct interpreter -------*- C++ -*-===//
+///
+/// \file
+/// A second, directly coded interpreter for the modeled instruction
+/// subset, operating on the same machine-state type as the RTL pipeline
+/// but sharing none of its semantic code. It is the validation
+/// counterpart the paper obtains from real hardware via Pin (section
+/// 2.5): the differential harness (sem/Differential.h) runs both
+/// implementations on generatively fuzzed instruction streams and
+/// compares the full machine state after every step.
+///
+/// Effect ordering (which partial effects precede a mid-instruction
+/// fault) deliberately mirrors the RTL translation so that traces agree
+/// byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SEM_FASTINTERP_H
+#define ROCKSALT_SEM_FASTINTERP_H
+
+#include "rtl/Machine.h"
+#include "x86/GrammarDecoder.h"
+
+namespace rocksalt {
+namespace sem {
+
+/// Executes one already-decoded instruction directly against \p M.
+/// Returns the machine status afterwards.
+rtl::Status fastStep(rtl::MachineState &M, const x86::Instr &I,
+                     uint8_t Len);
+
+/// Fetch + fastDecode + fastStep. Faults on undecodable bytes (#UD).
+rtl::Status fastStepFetch(rtl::MachineState &M);
+
+} // namespace sem
+} // namespace rocksalt
+
+#endif // ROCKSALT_SEM_FASTINTERP_H

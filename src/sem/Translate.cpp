@@ -1,0 +1,538 @@
+//===- sem/Translate.cpp - Core translation machinery ----------*- C++ -*-===//
+//
+// Operand access, segment selection, flag helpers, the top-level
+// dispatcher, and the move/exchange and segment-register families.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/TranslateImpl.h"
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using x86::Instr;
+using x86::Opcode;
+using x86::Operand;
+
+//===----------------------------------------------------------------------===//
+// Segments and addresses.
+//===----------------------------------------------------------------------===//
+
+uint8_t sem::segmentFor(const Instr &I, const x86::Addr &A) {
+  if (I.Pfx.SegOverride)
+    return x86::encodingOf(*I.Pfx.SegOverride);
+  if (A.Base && (*A.Base == x86::Reg::EBP || *A.Base == x86::Reg::ESP))
+    return x86::encodingOf(x86::SegReg::SS);
+  return x86::encodingOf(x86::SegReg::DS);
+}
+
+Var sem::effAddr(Ctx &C, const x86::Addr &A) {
+  Builder &B = C.B;
+  Var Sum = B.imm(32, A.Disp);
+  if (A.Base)
+    Sum = B.add(Sum, B.getLoc(Loc::reg(x86::encodingOf(*A.Base))));
+  if (A.Index) {
+    Var Idx = B.getLoc(Loc::reg(x86::encodingOf(A.Index->second)));
+    Var Sh = B.imm(32, static_cast<uint32_t>(A.Index->first));
+    Sum = B.add(Sum, B.shl(Idx, Sh));
+  }
+  return Sum;
+}
+
+Var sem::loadMem(Ctx &C, uint8_t Seg, Var Addr, uint32_t Bits) {
+  Builder &B = C.B;
+  assert(Bits % 8 == 0 && "byte-granular loads only");
+  Var Out = B.castU(Bits, B.getByte(Seg, Addr));
+  for (uint32_t Off = 1; Off < Bits / 8; ++Off) {
+    Var A = B.add(Addr, B.imm(32, Off));
+    Var Byte = B.castU(Bits, B.getByte(Seg, A));
+    Out = B.bor(Out, B.shl(Byte, B.imm(Bits, 8 * Off)));
+  }
+  return Out;
+}
+
+void sem::storeMem(Ctx &C, uint8_t Seg, Var Addr, Var Val, uint32_t Bits) {
+  Builder &B = C.B;
+  assert(Bits % 8 == 0 && "byte-granular stores only");
+  for (uint32_t Off = 0; Off < Bits / 8; ++Off) {
+    Var A = Off == 0 ? Addr : B.add(Addr, B.imm(32, Off));
+    Var Byte = B.castU(8, B.shru(Val, B.imm(Bits, 8 * Off)));
+    B.setByte(Seg, A, Byte);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Registers (including the 8-bit AH/CH/DH/BH sub-register rule).
+//===----------------------------------------------------------------------===//
+
+Var sem::loadReg(Ctx &C, x86::Reg R, uint32_t Bits) {
+  Builder &B = C.B;
+  uint8_t Enc = x86::encodingOf(R);
+  if (Bits == 8 && Enc >= 4) {
+    // Encodings 4-7 address AH/CH/DH/BH: bits 8..15 of regs 0-3.
+    Var Full = B.getLoc(Loc::reg(Enc - 4));
+    return B.castU(8, B.shru(Full, B.imm(32, 8)));
+  }
+  Var Full = B.getLoc(Loc::reg(Enc));
+  return Bits == 32 ? Full : B.castU(Bits, Full);
+}
+
+void sem::storeReg(Ctx &C, x86::Reg R, Var V, uint32_t Bits) {
+  Builder &B = C.B;
+  uint8_t Enc = x86::encodingOf(R);
+  if (Bits == 32) {
+    B.setLoc(Loc::reg(Enc), V);
+    return;
+  }
+  if (Bits == 8 && Enc >= 4) {
+    Var Full = B.getLoc(Loc::reg(Enc - 4));
+    Var Cleared = B.band(Full, B.imm(32, 0xFFFF00FF));
+    Var Ins = B.shl(B.castU(32, V), B.imm(32, 8));
+    B.setLoc(Loc::reg(Enc - 4), B.bor(Cleared, Ins));
+    return;
+  }
+  uint32_t Mask = Bits == 8 ? 0xFFFFFF00 : 0xFFFF0000;
+  Var Full = B.getLoc(Loc::reg(Enc));
+  Var Cleared = B.band(Full, B.imm(32, Mask));
+  B.setLoc(Loc::reg(Enc), B.bor(Cleared, B.castU(32, V)));
+}
+
+Var sem::loadOperand(Ctx &C, const Operand &O, uint32_t Bits) {
+  Builder &B = C.B;
+  switch (O.K) {
+  case Operand::Kind::Imm:
+    return B.imm(Bits, O.ImmVal);
+  case Operand::Kind::Reg:
+    return loadReg(C, O.R, Bits);
+  case Operand::Kind::Mem:
+    return loadMem(C, segmentFor(C.I, O.A), effAddr(C, O.A), Bits);
+  case Operand::Kind::None:
+    break;
+  }
+  assert(false && "loadOperand on None");
+  return B.imm(Bits, 0);
+}
+
+void sem::storeOperand(Ctx &C, const Operand &O, Var V, uint32_t Bits) {
+  switch (O.K) {
+  case Operand::Kind::Reg:
+    storeReg(C, O.R, V, Bits);
+    return;
+  case Operand::Kind::Mem:
+    storeMem(C, segmentFor(C.I, O.A), effAddr(C, O.A), V, Bits);
+    return;
+  default:
+    assert(false && "storeOperand on non-location");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stack.
+//===----------------------------------------------------------------------===//
+
+void sem::pushValue(Ctx &C, Var V, uint32_t Bits) {
+  Builder &B = C.B;
+  uint8_t SS = x86::encodingOf(x86::SegReg::SS);
+  Var Esp = B.getLoc(Loc::reg(4));
+  Var NewEsp = B.sub(Esp, B.imm(32, Bits / 8));
+  storeMem(C, SS, NewEsp, V, Bits);
+  B.setLoc(Loc::reg(4), NewEsp);
+}
+
+Var sem::popValue(Ctx &C, uint32_t Bits) {
+  Builder &B = C.B;
+  uint8_t SS = x86::encodingOf(x86::SegReg::SS);
+  Var Esp = B.getLoc(Loc::reg(4));
+  Var V = loadMem(C, SS, Esp, Bits);
+  B.setLoc(Loc::reg(4), B.add(Esp, B.imm(32, Bits / 8)));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Flags.
+//===----------------------------------------------------------------------===//
+
+Var sem::getFlag(Ctx &C, Flag F) { return C.B.getLoc(Loc::flag(F)); }
+void sem::setFlag(Ctx &C, Flag F, Var V) { C.B.setLoc(Loc::flag(F), V); }
+void sem::setFlagConst(Ctx &C, Flag F, bool V) {
+  setFlag(C, F, C.B.imm(1, V));
+}
+
+void sem::setSZP(Ctx &C, Var Res, uint32_t Bits) {
+  Builder &B = C.B;
+  // SF: most significant bit of the result.
+  Var Sf = B.castU(1, B.shru(Res, B.imm(Bits, Bits - 1)));
+  setFlag(C, Flag::SF, Sf);
+  // ZF.
+  setFlag(C, Flag::ZF, B.eq(Res, B.imm(Bits, 0)));
+  // PF: even parity of the low 8 bits.
+  Var Low = B.castU(8, Res);
+  Var X = B.bxor(Low, B.shru(Low, B.imm(8, 4)));
+  X = B.bxor(X, B.shru(X, B.imm(8, 2)));
+  X = B.bxor(X, B.shru(X, B.imm(8, 1)));
+  setFlag(C, Flag::PF, B.notBit(B.castU(1, X)));
+}
+
+Var sem::evalCond(Ctx &C, x86::Cond CC) {
+  Builder &B = C.B;
+  using x86::Cond;
+  auto F = [&](Flag Fl) { return getFlag(C, Fl); };
+  Var V = NoVar;
+  switch (CC) {
+  case Cond::O: case Cond::NO: V = F(Flag::OF); break;
+  case Cond::B: case Cond::NB: V = F(Flag::CF); break;
+  case Cond::E: case Cond::NE: V = F(Flag::ZF); break;
+  case Cond::BE: case Cond::NBE: V = B.bor(F(Flag::CF), F(Flag::ZF)); break;
+  case Cond::S: case Cond::NS: V = F(Flag::SF); break;
+  case Cond::P: case Cond::NP: V = F(Flag::PF); break;
+  case Cond::L: case Cond::NL: V = B.bxor(F(Flag::SF), F(Flag::OF)); break;
+  case Cond::LE: case Cond::NLE:
+    V = B.bor(B.bxor(F(Flag::SF), F(Flag::OF)), F(Flag::ZF));
+    break;
+  }
+  // Odd encodings are the negated conditions.
+  if (x86::encodingOf(CC) & 1)
+    V = B.notBit(V);
+  return V;
+}
+
+Var sem::nextPc(Ctx &C) {
+  return C.B.add(C.B.getLoc(Loc::pc()), C.B.imm(32, C.Len));
+}
+
+//===----------------------------------------------------------------------===//
+// Moves, exchanges, LEA, XADD, CMPXCHG.
+//===----------------------------------------------------------------------===//
+
+void sem::convMov(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  switch (I.Op) {
+  case Opcode::MOV: {
+    Var V = loadOperand(C, I.Op2, C.Bits);
+    storeOperand(C, I.Op1, V, C.Bits);
+    return;
+  }
+  case Opcode::LEA: {
+    // Effective address of the source, truncated to the operand size; no
+    // memory access and no segment involvement.
+    Var A = effAddr(C, I.Op2.A);
+    uint32_t DestBits = I.Pfx.OpSize ? 16 : 32;
+    storeReg(C, I.Op1.R, DestBits == 32 ? A : B.castU(16, A), DestBits);
+    return;
+  }
+  case Opcode::XCHG: {
+    Var A = loadOperand(C, I.Op1, C.Bits);
+    Var V2 = loadOperand(C, I.Op2, C.Bits);
+    storeOperand(C, I.Op1, V2, C.Bits);
+    storeOperand(C, I.Op2, A, C.Bits);
+    return;
+  }
+  case Opcode::XADD: {
+    Var Dst = loadOperand(C, I.Op1, C.Bits);
+    Var Src = loadOperand(C, I.Op2, C.Bits);
+    // Flags exactly as ADD.
+    uint32_t W1 = C.Bits + 1;
+    Var Sum = B.castU(C.Bits,
+                      B.add(B.castU(W1, Dst), B.castU(W1, Src)));
+    setFlag(C, Flag::CF,
+            B.castU(1, B.shru(B.add(B.castU(W1, Dst), B.castU(W1, Src)),
+                              B.imm(W1, C.Bits))));
+    Var Xor1 = B.bxor(Dst, Sum);
+    Var Xor2 = B.bxor(Src, Sum);
+    Var Of = B.castU(1, B.shru(B.band(Xor1, Xor2), B.imm(C.Bits, C.Bits - 1)));
+    setFlag(C, Flag::OF, Of);
+    Var Af = B.castU(1, B.shru(B.bxor(B.bxor(Dst, Src), Sum),
+                               B.imm(C.Bits, 4)));
+    setFlag(C, Flag::AF, Af);
+    setSZP(C, Sum, C.Bits);
+    storeOperand(C, I.Op2, Dst, C.Bits);
+    storeOperand(C, I.Op1, Sum, C.Bits);
+    return;
+  }
+  case Opcode::CMPXCHG: {
+    Var Dst = loadOperand(C, I.Op1, C.Bits);
+    Var Acc = loadReg(C, x86::Reg::EAX, C.Bits);
+    Var Src = loadOperand(C, I.Op2, C.Bits);
+    // Flags as CMP acc, dst.
+    Var Diff = B.sub(Acc, Dst);
+    setFlag(C, Flag::CF, B.ltu(Acc, Dst));
+    Var Of = B.castU(
+        1, B.shru(B.band(B.bxor(Acc, Dst), B.bxor(Acc, Diff)),
+                  B.imm(C.Bits, C.Bits - 1)));
+    setFlag(C, Flag::OF, Of);
+    Var Af = B.castU(1, B.shru(B.bxor(B.bxor(Acc, Dst), Diff),
+                               B.imm(C.Bits, 4)));
+    setFlag(C, Flag::AF, Af);
+    setSZP(C, Diff, C.Bits);
+    Var Equal = B.eq(Acc, Dst);
+    // dest := equal ? src : dest ; acc := equal ? acc : dest.
+    storeOperand(C, I.Op1, B.select(Equal, Src, Dst), C.Bits);
+    storeReg(C, x86::Reg::EAX, B.select(Equal, Acc, Dst), C.Bits);
+    return;
+  }
+  default:
+    B.error();
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Segment-register moves. Loading a segment register models the sandbox
+// escape directly: base 0, limit 2^32-1 (see Translate.h).
+//===----------------------------------------------------------------------===//
+
+static void loadSegmentRegister(Ctx &C, uint8_t SegIdx, Var Selector16) {
+  Builder &B = C.B;
+  B.setLoc(Loc::segVal(SegIdx), Selector16);
+  B.setLoc(Loc::segBase(SegIdx), B.imm(32, 0));
+  B.setLoc(Loc::segLimit(SegIdx), B.imm(32, 0xFFFFFFFF));
+}
+
+void sem::convSegment(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  uint8_t SegIdx = x86::encodingOf(I.Seg);
+  switch (I.Op) {
+  case Opcode::MOVSR:
+    if (!I.Op1.isNone()) {
+      // mov r/m16, sreg — a harmless read; stored at 16 bits.
+      Var V = B.getLoc(Loc::segVal(SegIdx));
+      storeOperand(C, I.Op1, V, 16);
+      return;
+    }
+    // mov sreg, r/m16.
+    loadSegmentRegister(C, SegIdx, loadOperand(C, I.Op2, 16));
+    return;
+  case Opcode::PUSHSR: {
+    // Pushed as a 32-bit slot with the selector in the low half.
+    Var V = B.castU(32, B.getLoc(Loc::segVal(SegIdx)));
+    pushValue(C, V, 32);
+    return;
+  }
+  case Opcode::POPSR: {
+    Var V = popValue(C, 32);
+    loadSegmentRegister(C, SegIdx, B.castU(16, V));
+    return;
+  }
+  case Opcode::LDS:
+  case Opcode::LES:
+  case Opcode::LSS:
+  case Opcode::LFS:
+  case Opcode::LGS: {
+    uint8_t Target;
+    switch (I.Op) {
+    case Opcode::LDS: Target = x86::encodingOf(x86::SegReg::DS); break;
+    case Opcode::LES: Target = x86::encodingOf(x86::SegReg::ES); break;
+    case Opcode::LSS: Target = x86::encodingOf(x86::SegReg::SS); break;
+    case Opcode::LFS: Target = x86::encodingOf(x86::SegReg::FS); break;
+    default: Target = x86::encodingOf(x86::SegReg::GS); break;
+    }
+    uint8_t Seg = segmentFor(C.I, I.Op2.A);
+    Var A = effAddr(C, I.Op2.A);
+    Var Off = loadMem(C, Seg, A, 32);
+    Var Sel = loadMem(C, Seg, B.add(A, B.imm(32, 4)), 16);
+    storeReg(C, I.Op1.R, Off, 32);
+    loadSegmentRegister(C, Target, Sel);
+    return;
+  }
+  default:
+    B.error();
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch.
+//===----------------------------------------------------------------------===//
+
+bool sem::hasSemantics(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::IN:
+  case Opcode::OUT:
+  case Opcode::INT:
+  case Opcode::INT3:
+  case Opcode::INTO:
+  case Opcode::IRET:
+    return false;
+  case Opcode::CALL:
+  case Opcode::JMP:
+    return I.Near; // far transfers are outside the model
+  case Opcode::RET:
+    return I.Near;
+  case Opcode::ENTER:
+    return I.Op2.ImmVal == 0; // nesting levels are not modeled
+  default:
+    break;
+  }
+  // A rep prefix is only meaningful on string instructions.
+  if (I.Pfx.Rep != x86::Prefix::RepKind::None) {
+    switch (I.Op) {
+    case Opcode::MOVS:
+    case Opcode::CMPS:
+    case Opcode::STOS:
+    case Opcode::LODS:
+    case Opcode::SCAS:
+      break;
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+Translation sem::translate(const Instr &I, uint8_t Len) {
+  Ctx C(I, Len);
+  Builder &B = C.B;
+
+  if (!hasSemantics(I)) {
+    B.error();
+    return C.B.take();
+  }
+
+  switch (I.Op) {
+  case Opcode::MOV:
+  case Opcode::LEA:
+  case Opcode::XCHG:
+  case Opcode::XADD:
+  case Opcode::CMPXCHG:
+    convMov(C);
+    break;
+  case Opcode::MOVSR:
+  case Opcode::PUSHSR:
+  case Opcode::POPSR:
+  case Opcode::LDS:
+  case Opcode::LES:
+  case Opcode::LSS:
+  case Opcode::LFS:
+  case Opcode::LGS:
+    convSegment(C);
+    break;
+  case Opcode::ADD:
+  case Opcode::ADC:
+  case Opcode::SUB:
+  case Opcode::SBB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::CMP:
+  case Opcode::TEST:
+    convAluBinop(C);
+    break;
+  case Opcode::INC:
+  case Opcode::DEC:
+    convIncDec(C);
+    break;
+  case Opcode::NOT:
+  case Opcode::NEG:
+    convNotNeg(C);
+    break;
+  case Opcode::MUL:
+  case Opcode::IMUL:
+  case Opcode::DIV:
+  case Opcode::IDIV:
+    convMulDiv(C);
+    break;
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::SAR:
+  case Opcode::ROL:
+  case Opcode::ROR:
+  case Opcode::RCL:
+  case Opcode::RCR:
+    convShiftRotate(C);
+    break;
+  case Opcode::SHLD:
+  case Opcode::SHRD:
+    convDoubleShift(C);
+    break;
+  case Opcode::BT:
+  case Opcode::BTS:
+  case Opcode::BTR:
+  case Opcode::BTC:
+  case Opcode::BSF:
+  case Opcode::BSR:
+  case Opcode::BSWAP:
+    convBitOps(C);
+    break;
+  case Opcode::AAA:
+  case Opcode::AAS:
+  case Opcode::AAM:
+  case Opcode::AAD:
+  case Opcode::DAA:
+  case Opcode::DAS:
+    convBcd(C);
+    break;
+  case Opcode::CWDE:
+  case Opcode::CDQ:
+  case Opcode::MOVSX:
+  case Opcode::MOVZX:
+    convWiden(C);
+    break;
+  case Opcode::CALL:
+  case Opcode::JMP:
+    convJmpCall(C);
+    break;
+  case Opcode::Jcc:
+    convJcc(C);
+    break;
+  case Opcode::JCXZ:
+  case Opcode::LOOP:
+  case Opcode::LOOPZ:
+  case Opcode::LOOPNZ:
+    convLoopJcxz(C);
+    break;
+  case Opcode::RET:
+    convRet(C);
+    break;
+  case Opcode::SETcc:
+  case Opcode::CMOVcc:
+    convSetCmov(C);
+    break;
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::PUSHA:
+  case Opcode::POPA:
+  case Opcode::PUSHF:
+  case Opcode::POPF:
+  case Opcode::ENTER:
+  case Opcode::LEAVE:
+    convPushPop(C);
+    break;
+  case Opcode::CLC:
+  case Opcode::STC:
+  case Opcode::CMC:
+  case Opcode::CLD:
+  case Opcode::STD:
+  case Opcode::CLI:
+  case Opcode::STI:
+  case Opcode::LAHF:
+  case Opcode::SAHF:
+    convFlagOps(C);
+    break;
+  case Opcode::MOVS:
+  case Opcode::CMPS:
+  case Opcode::STOS:
+  case Opcode::LODS:
+  case Opcode::SCAS:
+    convString(C);
+    break;
+  case Opcode::XLAT:
+    convXlat(C);
+    break;
+  case Opcode::NOP:
+    break;
+  case Opcode::HLT:
+    // Advance past the instruction, then stop safely.
+    B.setLoc(Loc::pc(), nextPc(C));
+    B.trap();
+    C.PcHandled = true;
+    break;
+  default:
+    B.error();
+    break;
+  }
+
+  if (!C.PcHandled)
+    B.setLoc(Loc::pc(), nextPc(C));
+  return C.B.take();
+}

@@ -1,0 +1,50 @@
+//===- sem/Translate.h - x86 to RTL translation ----------------*- C++ -*-===//
+///
+/// \file
+/// Gives meaning to x86 instructions by compiling their abstract syntax
+/// into RTL sequences (paper section 2.3, Figure 4). Each conv_* function
+/// corresponds to one instruction family; the translation is pure and the
+/// resulting straight-line RTL program is executed by rtl::execProgram.
+///
+/// Fidelity notes (deviations documented in DESIGN.md):
+///  * Flags Intel leaves undefined are pinned to the behavior of common
+///    hardware instead of `choose`, so that differential validation
+///    against the independent FastInterp is exact (the paper's oracle
+///    produced false positives; ours produces none).
+///  * Writing a segment register (MOV/POP to sreg, LDS family) models the
+///    sandbox-escape danger directly: the segment's base becomes 0 and
+///    its limit 2^32-1. A checker that wrongly admits such code is caught
+///    by the SandboxMonitor.
+///  * IN/OUT/INT/INTO/IRET and far control transfers parse but translate
+///    to the RTL `error` instruction (outside the modeled semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SEM_TRANSLATE_H
+#define ROCKSALT_SEM_TRANSLATE_H
+
+#include "rtl/Rtl.h"
+#include "x86/Instr.h"
+
+namespace rocksalt {
+namespace sem {
+
+/// A translated instruction body.
+struct Translation {
+  rtl::RtlProgram Prog;
+  uint32_t NumVars = 0;
+};
+
+/// Translates one decoded instruction (of encoded length \p Len, needed
+/// to compute the fall-through PC) into RTL. Instructions outside the
+/// modeled semantics yield a program that raises the RTL error.
+Translation translate(const x86::Instr &I, uint8_t Len);
+
+/// True iff the instruction family has full RTL semantics (rather than
+/// the error stub).
+bool hasSemantics(const x86::Instr &I);
+
+} // namespace sem
+} // namespace rocksalt
+
+#endif // ROCKSALT_SEM_TRANSLATE_H

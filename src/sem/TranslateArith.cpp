@@ -1,0 +1,616 @@
+//===- sem/TranslateArith.cpp - ALU, mul/div, shifts, bits, BCD -*- C++ -*-===//
+//
+// The arithmetic conv_* translations, in the style of the paper's
+// Figure 4 (conv_ADD). Flag formulas follow the Intel manual; see
+// Translate.h for how undefined flag cases are pinned.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/TranslateImpl.h"
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using x86::Instr;
+using x86::Opcode;
+
+namespace {
+
+/// Carry-out of A op B (+Cin) computed in width+1 arithmetic.
+Var carryOutAdd(Ctx &C, Var A, Var B_, Var Cin, uint32_t Bits) {
+  Builder &B = C.B;
+  uint32_t W1 = Bits + 1;
+  Var Wide = B.add(B.castU(W1, A), B.castU(W1, B_));
+  if (Cin != NoVar)
+    Wide = B.add(Wide, B.castU(W1, Cin));
+  return B.castU(1, B.shru(Wide, B.imm(W1, Bits)));
+}
+
+/// OF for addition: msb((a^r) & (b^r)).
+Var overflowAdd(Ctx &C, Var A, Var B_, Var R, uint32_t Bits) {
+  Builder &B = C.B;
+  return B.castU(1, B.shru(B.band(B.bxor(A, R), B.bxor(B_, R)),
+                           B.imm(Bits, Bits - 1)));
+}
+
+/// OF for subtraction a-b: msb((a^b) & (a^r)).
+Var overflowSub(Ctx &C, Var A, Var B_, Var R, uint32_t Bits) {
+  Builder &B = C.B;
+  return B.castU(1, B.shru(B.band(B.bxor(A, B_), B.bxor(A, R)),
+                           B.imm(Bits, Bits - 1)));
+}
+
+/// AF: bit 4 of a ^ b ^ r.
+Var adjustFlag(Ctx &C, Var A, Var B_, Var R, uint32_t Bits) {
+  Builder &B = C.B;
+  return B.castU(1, B.shru(B.bxor(B.bxor(A, B_), R), B.imm(Bits, 4)));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Two-operand ALU group (paper Figure 4 generalizes to this family).
+//===----------------------------------------------------------------------===//
+
+void sem::convAluBinop(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  uint32_t Bits = C.Bits;
+
+  Var A = loadOperand(C, I.Op1, Bits);
+  Var Src = loadOperand(C, I.Op2, Bits);
+
+  switch (I.Op) {
+  case Opcode::ADD:
+  case Opcode::ADC: {
+    Var Cin = NoVar;
+    Var R = B.add(A, Src);
+    if (I.Op == Opcode::ADC) {
+      Cin = getFlag(C, Flag::CF);
+      R = B.add(R, B.castU(Bits, Cin));
+    }
+    setFlag(C, Flag::CF, carryOutAdd(C, A, Src, Cin, Bits));
+    setFlag(C, Flag::OF, overflowAdd(C, A, Src, R, Bits));
+    setFlag(C, Flag::AF, adjustFlag(C, A, Src, R, Bits));
+    setSZP(C, R, Bits);
+    storeOperand(C, I.Op1, R, Bits);
+    return;
+  }
+  case Opcode::SUB:
+  case Opcode::SBB:
+  case Opcode::CMP: {
+    Var R = B.sub(A, Src);
+    Var Borrow;
+    if (I.Op == Opcode::SBB) {
+      Var Cin = getFlag(C, Flag::CF);
+      R = B.sub(R, B.castU(Bits, Cin));
+      // Borrow = a < b + cin computed in width+1 arithmetic.
+      uint32_t W1 = Bits + 1;
+      Var Rhs = B.add(B.castU(W1, Src), B.castU(W1, Cin));
+      Borrow = B.ltu(B.castU(W1, A), Rhs);
+    } else {
+      Borrow = B.ltu(A, Src);
+    }
+    setFlag(C, Flag::CF, Borrow);
+    setFlag(C, Flag::OF, overflowSub(C, A, Src, R, Bits));
+    setFlag(C, Flag::AF, adjustFlag(C, A, Src, R, Bits));
+    setSZP(C, R, Bits);
+    if (I.Op != Opcode::CMP)
+      storeOperand(C, I.Op1, R, Bits);
+    return;
+  }
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::TEST: {
+    Var R;
+    if (I.Op == Opcode::OR)
+      R = B.bor(A, Src);
+    else if (I.Op == Opcode::XOR)
+      R = B.bxor(A, Src);
+    else
+      R = B.band(A, Src); // AND and TEST
+    setFlagConst(C, Flag::CF, false);
+    setFlagConst(C, Flag::OF, false);
+    setFlagConst(C, Flag::AF, false); // undefined on hw; pinned to 0
+    setSZP(C, R, Bits);
+    if (I.Op != Opcode::TEST)
+      storeOperand(C, I.Op1, R, Bits);
+    return;
+  }
+  default:
+    B.error();
+  }
+}
+
+void sem::convIncDec(Ctx &C) {
+  Builder &B = C.B;
+  uint32_t Bits = C.Bits;
+  Var A = loadOperand(C, C.I.Op1, Bits);
+  Var One = B.imm(Bits, 1);
+  bool IsInc = C.I.Op == Opcode::INC;
+  Var R = IsInc ? B.add(A, One) : B.sub(A, One);
+  // CF is preserved; all other arithmetic flags are set.
+  if (IsInc)
+    setFlag(C, Flag::OF, overflowAdd(C, A, One, R, Bits));
+  else
+    setFlag(C, Flag::OF, overflowSub(C, A, One, R, Bits));
+  setFlag(C, Flag::AF, adjustFlag(C, A, One, R, Bits));
+  setSZP(C, R, Bits);
+  storeOperand(C, C.I.Op1, R, Bits);
+}
+
+void sem::convNotNeg(Ctx &C) {
+  Builder &B = C.B;
+  uint32_t Bits = C.Bits;
+  Var A = loadOperand(C, C.I.Op1, Bits);
+  if (C.I.Op == Opcode::NOT) {
+    Var R = B.bxor(A, B.imm(Bits, ~uint64_t(0)));
+    storeOperand(C, C.I.Op1, R, Bits); // NOT sets no flags
+    return;
+  }
+  // NEG: 0 - a.
+  Var Zero = B.imm(Bits, 0);
+  Var R = B.sub(Zero, A);
+  setFlag(C, Flag::CF, B.notBit(B.eq(A, Zero)));
+  setFlag(C, Flag::OF, overflowSub(C, Zero, A, R, Bits));
+  setFlag(C, Flag::AF, adjustFlag(C, Zero, A, R, Bits));
+  setSZP(C, R, Bits);
+  storeOperand(C, C.I.Op1, R, Bits);
+}
+
+//===----------------------------------------------------------------------===//
+// Multiplication and division.
+//===----------------------------------------------------------------------===//
+
+void sem::convMulDiv(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  uint32_t Bits = C.Bits;
+  uint32_t Wide = Bits * 2;
+
+  // Multi-operand IMUL (two- and three-operand forms).
+  if (I.Op == Opcode::IMUL && !I.Op2.isNone()) {
+    Var A = loadOperand(C, I.Op2, Bits);
+    Var Bv = I.Op3.isImm() ? B.imm(Bits, I.Op3.ImmVal)
+                           : loadOperand(C, I.Op2, Bits);
+    if (!I.Op3.isNone() && !I.Op3.isImm())
+      Bv = loadOperand(C, I.Op3, Bits);
+    if (I.Op3.isNone()) {
+      // Two-operand form: dst := dst * src.
+      Bv = A;
+      A = loadReg(C, I.Op1.R, Bits);
+    }
+    Var P = B.arith(ArithOp::Mul, B.castS(Wide, A), B.castS(Wide, Bv));
+    Var R = B.castU(Bits, P);
+    // CF=OF= (product does not fit the destination).
+    Var Fits = B.eq(P, B.castS(Wide, R));
+    Var Ovf = B.notBit(Fits);
+    setFlag(C, Flag::CF, Ovf);
+    setFlag(C, Flag::OF, Ovf);
+    setSZP(C, R, Bits); // SF/ZF/PF undefined on hw; pinned to the result
+    setFlagConst(C, Flag::AF, false);
+    storeReg(C, I.Op1.R, R, Bits);
+    return;
+  }
+
+  switch (I.Op) {
+  case Opcode::MUL:
+  case Opcode::IMUL: {
+    bool Signed = I.Op == Opcode::IMUL;
+    Var Src = loadOperand(C, I.Op1, Bits);
+    Var Acc = loadReg(C, x86::Reg::EAX, Bits);
+    Var A64 = Signed ? B.castS(Wide, Acc) : B.castU(Wide, Acc);
+    Var B64 = Signed ? B.castS(Wide, Src) : B.castU(Wide, Src);
+    Var P = B.arith(ArithOp::Mul, A64, B64);
+    Var Lo = B.castU(Bits, P);
+    Var Hi = B.castU(Bits, B.shru(P, B.imm(Wide, Bits)));
+    if (Bits == 8) {
+      storeReg(C, x86::Reg::EAX, B.castU(16, P), 16); // AX = product
+    } else {
+      storeReg(C, x86::Reg::EAX, Lo, Bits);
+      storeReg(C, x86::Reg::EDX, Hi, Bits);
+    }
+    Var Ovf;
+    if (Signed)
+      Ovf = B.notBit(B.eq(P, B.castS(Wide, Lo)));
+    else
+      Ovf = B.notBit(B.eq(Hi, B.imm(Bits, 0)));
+    setFlag(C, Flag::CF, Ovf);
+    setFlag(C, Flag::OF, Ovf);
+    setFlagConst(C, Flag::AF, false);
+    setSZP(C, Lo, Bits); // undefined on hw; pinned
+    return;
+  }
+  case Opcode::DIV:
+  case Opcode::IDIV: {
+    bool Signed = I.Op == Opcode::IDIV;
+    Var Src = loadOperand(C, I.Op1, Bits);
+    // #DE on division by zero.
+    Var IsZero = B.eq(Src, B.imm(Bits, 0));
+    {
+      Builder::GuardScope G(B, IsZero);
+      B.fault();
+    }
+    // Dividend: EDX:EAX / DX:AX / AX.
+    Var Dividend;
+    if (Bits == 8) {
+      Dividend = loadReg(C, x86::Reg::EAX, 16);
+    } else {
+      Var Lo = B.castU(Wide, loadReg(C, x86::Reg::EAX, Bits));
+      Var Hi = B.castU(Wide, loadReg(C, x86::Reg::EDX, Bits));
+      Dividend = B.bor(Lo, B.shl(Hi, B.imm(Wide, Bits)));
+    }
+    Var Divisor = Signed ? B.castS(Wide, Src) : B.castU(Wide, Src);
+    Var Q = B.arith(Signed ? ArithOp::Divs : ArithOp::Divu, Dividend,
+                    Divisor);
+    Var Rem = B.arith(Signed ? ArithOp::Mods : ArithOp::Modu, Dividend,
+                      Divisor);
+    // #DE when the quotient does not fit the destination.
+    Var QTrunc = B.castU(Bits, Q);
+    Var Fits = Signed ? B.eq(Q, B.castS(Wide, QTrunc))
+                      : B.eq(Q, B.castU(Wide, QTrunc));
+    {
+      Builder::GuardScope G(B, B.notBit(Fits));
+      B.fault();
+    }
+    Var RemTrunc = B.castU(Bits, Rem);
+    if (Bits == 8) {
+      // AL = quotient, AH = remainder.
+      Var Ax = B.bor(B.castU(16, QTrunc),
+                     B.shl(B.castU(16, RemTrunc), B.imm(16, 8)));
+      storeReg(C, x86::Reg::EAX, Ax, 16);
+    } else {
+      storeReg(C, x86::Reg::EAX, QTrunc, Bits);
+      storeReg(C, x86::Reg::EDX, RemTrunc, Bits);
+    }
+    // All flags undefined on hw; pinned to unchanged (no writes).
+    return;
+  }
+  default:
+    B.error();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shifts and rotates.
+//===----------------------------------------------------------------------===//
+
+void sem::convShiftRotate(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  uint32_t Bits = C.Bits;
+
+  Var Val = loadOperand(C, I.Op1, Bits);
+  Var CntRaw = I.Op2.isImm() ? B.imm(32, I.Op2.ImmVal & 31)
+                             : B.band(loadReg(C, x86::Reg::ECX, 32),
+                                      B.imm(32, 31));
+  Var Cnt = CntRaw;
+  Var CntNonZero = B.notBit(B.eq(Cnt, B.imm(32, 0)));
+
+  // All computation is done in 64-bit so shifted-out bits stay visible.
+  Var V64 = B.castU(64, Val);
+  Var C64 = B.castU(64, Cnt);
+
+  Var Res = NoVar, Cf = NoVar, Of = NoVar;
+  bool IsRotate = false;
+
+  switch (I.Op) {
+  case Opcode::SHL: {
+    Var Sh = B.shl(V64, C64);
+    Res = B.castU(Bits, Sh);
+    Cf = B.castU(1, B.shru(Sh, B.imm(64, Bits)));
+    Var Msb = B.castU(1, B.shru(Res, B.imm(Bits, Bits - 1)));
+    Of = B.bxor(Msb, Cf);
+    break;
+  }
+  case Opcode::SHR: {
+    Var Cm1 = B.sub(C64, B.imm(64, 1));
+    Cf = B.castU(1, B.shru(V64, Cm1));
+    Res = B.castU(Bits, B.shru(V64, C64));
+    Of = B.castU(1, B.shru(Val, B.imm(Bits, Bits - 1))); // msb of original
+    break;
+  }
+  case Opcode::SAR: {
+    Var VS64 = B.castS(64, B.castS(Bits, Val));
+    Var Cm1 = B.sub(C64, B.imm(64, 1));
+    Cf = B.castU(1, B.arith(ArithOp::Shrs, VS64, Cm1));
+    Res = B.castU(Bits, B.arith(ArithOp::Shrs, VS64, C64));
+    Of = B.imm(1, 0);
+    break;
+  }
+  case Opcode::ROL: {
+    IsRotate = true;
+    Var CntMod = B.arith(ArithOp::Modu, Cnt, B.imm(32, Bits));
+    Res = B.arith(ArithOp::Rol, Val, B.castU(Bits, CntMod));
+    Cf = B.castU(1, Res); // low bit of result
+    Var Msb = B.castU(1, B.shru(Res, B.imm(Bits, Bits - 1)));
+    Of = B.bxor(Msb, Cf);
+    break;
+  }
+  case Opcode::ROR: {
+    IsRotate = true;
+    Var CntMod = B.arith(ArithOp::Modu, Cnt, B.imm(32, Bits));
+    Res = B.arith(ArithOp::Ror, Val, B.castU(Bits, CntMod));
+    Var Msb = B.castU(1, B.shru(Res, B.imm(Bits, Bits - 1)));
+    Cf = Msb;
+    Var Msb2 = B.castU(1, B.shru(Res, B.imm(Bits, Bits - 2)));
+    Of = B.bxor(Msb, Msb2);
+    break;
+  }
+  case Opcode::RCL:
+  case Opcode::RCR: {
+    IsRotate = true;
+    // Rotate through carry: width+1 rotation of CF:value.
+    uint32_t W1 = Bits + 1;
+    Var CntMod = B.arith(ArithOp::Modu, Cnt, B.imm(32, W1));
+    Var CfIn = getFlag(C, Flag::CF);
+    Var Ext = B.bor(B.castU(W1, Val),
+                    B.shl(B.castU(W1, CfIn), B.imm(W1, Bits)));
+    Var Rot = B.arith(I.Op == Opcode::RCL ? ArithOp::Rol : ArithOp::Ror,
+                      Ext, B.castU(W1, CntMod));
+    Res = B.castU(Bits, Rot);
+    Cf = B.castU(1, B.shru(Rot, B.imm(W1, Bits)));
+    Var Msb = B.castU(1, B.shru(Res, B.imm(Bits, Bits - 1)));
+    if (I.Op == Opcode::RCL)
+      Of = B.bxor(Msb, Cf);
+    else {
+      Var Msb2 = B.castU(1, B.shru(Res, B.imm(Bits, Bits - 2)));
+      Of = B.bxor(Msb, Msb2);
+    }
+    break;
+  }
+  default:
+    B.error();
+    return;
+  }
+
+  // When the masked count is zero nothing changes at all (no result
+  // write, no flag update).
+  {
+    Builder::GuardScope G(B, CntNonZero);
+    storeOperand(C, I.Op1, Res, Bits);
+    setFlag(C, Flag::CF, Cf);
+    setFlag(C, Flag::OF, Of);
+    if (!IsRotate)
+      setSZP(C, Res, Bits);
+  }
+}
+
+void sem::convDoubleShift(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  uint32_t Bits = C.Bits;
+
+  Var Dst = loadOperand(C, I.Op1, Bits);
+  Var Src = loadOperand(C, I.Op2, Bits);
+  Var Cnt = I.Op3.isImm() ? B.imm(32, I.Op3.ImmVal & 31)
+                          : B.band(loadReg(C, x86::Reg::ECX, 32),
+                                   B.imm(32, 31));
+  Var CntNonZero = B.notBit(B.eq(Cnt, B.imm(32, 0)));
+  Var C64 = B.castU(64, Cnt);
+
+  // Build the 2w-bit combined value and shift in 64-bit arithmetic.
+  Var Res, Cf;
+  if (I.Op == Opcode::SHLD) {
+    // dst:src shifted left; bits of src fill from the right.
+    Var Comb = B.bor(B.shl(B.castU(64, Dst), B.imm(64, Bits)),
+                     B.castU(64, Src));
+    Var Sh = B.shl(Comb, C64);
+    Res = B.castU(Bits, B.shru(Sh, B.imm(64, Bits)));
+    Cf = B.castU(1, B.shru(Sh, B.imm(64, 2 * Bits)));
+  } else {
+    // src:dst shifted right; bits of src fill from the left.
+    Var Comb = B.bor(B.shl(B.castU(64, Src), B.imm(64, Bits)),
+                     B.castU(64, Dst));
+    Var Cm1 = B.sub(C64, B.imm(64, 1));
+    Cf = B.castU(1, B.shru(Comb, Cm1));
+    Res = B.castU(Bits, B.shru(Comb, C64));
+  }
+  Var Msb = B.castU(1, B.shru(Res, B.imm(Bits, Bits - 1)));
+  Var MsbOld = B.castU(1, B.shru(Dst, B.imm(Bits, Bits - 1)));
+  Var Of = B.bxor(Msb, MsbOld); // "sign changed"; defined for count==1
+
+  Builder::GuardScope G(B, CntNonZero);
+  storeOperand(C, I.Op1, Res, Bits);
+  setFlag(C, Flag::CF, Cf);
+  setFlag(C, Flag::OF, Of);
+  setSZP(C, Res, Bits);
+}
+
+//===----------------------------------------------------------------------===//
+// Bit tests, scans, swaps.
+//===----------------------------------------------------------------------===//
+
+void sem::convBitOps(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  uint32_t Bits = C.Bits;
+
+  switch (I.Op) {
+  case Opcode::BSWAP: {
+    Var V = loadReg(C, I.Op1.R, 32);
+    Var B0 = B.band(V, B.imm(32, 0xFF));
+    Var B1 = B.band(B.shru(V, B.imm(32, 8)), B.imm(32, 0xFF));
+    Var B2 = B.band(B.shru(V, B.imm(32, 16)), B.imm(32, 0xFF));
+    Var B3 = B.shru(V, B.imm(32, 24));
+    Var R = B.bor(B.bor(B.shl(B0, B.imm(32, 24)), B.shl(B1, B.imm(32, 16))),
+                  B.bor(B.shl(B2, B.imm(32, 8)), B3));
+    storeReg(C, I.Op1.R, R, 32);
+    return;
+  }
+  case Opcode::BSF:
+  case Opcode::BSR: {
+    Var Src = loadOperand(C, I.Op2, Bits);
+    Var Zero = B.eq(Src, B.imm(Bits, 0));
+    setFlag(C, Flag::ZF, Zero);
+    // Unrolled scan; BSF takes the first match from the top of the loop
+    // running downward, BSR runs upward (each later assignment wins).
+    Var Idx = B.imm(32, 0);
+    for (uint32_t Step = 0; Step < Bits; ++Step) {
+      uint32_t Bit = I.Op == Opcode::BSF ? Bits - 1 - Step : Step;
+      Var Set = B.castU(1, B.shru(Src, B.imm(Bits, Bit)));
+      Idx = B.select(Set, B.imm(32, Bit), Idx);
+    }
+    // Destination written only when the source is nonzero.
+    Builder::GuardScope G(B, B.notBit(Zero));
+    storeReg(C, I.Op1.R, Bits == 32 ? Idx : B.castU(Bits, Idx), Bits);
+    return;
+  }
+  case Opcode::BT:
+  case Opcode::BTS:
+  case Opcode::BTR:
+  case Opcode::BTC: {
+    Var Val = loadOperand(C, I.Op1, Bits);
+    Var BitIdx;
+    if (I.Op2.isImm())
+      BitIdx = B.imm(Bits, I.Op2.ImmVal % Bits);
+    else
+      BitIdx = B.arith(ArithOp::Modu, loadReg(C, I.Op2.R, Bits),
+                       B.imm(Bits, Bits));
+    Var Bit = B.castU(1, B.shru(Val, BitIdx));
+    setFlag(C, Flag::CF, Bit);
+    if (I.Op == Opcode::BT)
+      return;
+    Var Mask = B.shl(B.imm(Bits, 1), BitIdx);
+    Var R;
+    if (I.Op == Opcode::BTS)
+      R = B.bor(Val, Mask);
+    else if (I.Op == Opcode::BTR)
+      R = B.band(Val, B.bxor(Mask, B.imm(Bits, ~uint64_t(0))));
+    else
+      R = B.bxor(Val, Mask);
+    storeOperand(C, I.Op1, R, Bits);
+    return;
+  }
+  default:
+    B.error();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BCD adjustments.
+//===----------------------------------------------------------------------===//
+
+void sem::convBcd(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+
+  Var Al = loadReg(C, x86::Reg::EAX, 8);
+  switch (I.Op) {
+  case Opcode::AAM: {
+    uint32_t Imm = I.Op1.ImmVal & 0xFF;
+    if (Imm == 0) {
+      B.fault(); // #DE
+      return;
+    }
+    Var Base = B.imm(8, Imm);
+    Var Ah = B.arith(ArithOp::Divu, Al, Base);
+    Var NewAl = B.arith(ArithOp::Modu, Al, Base);
+    Var Ax = B.bor(B.castU(16, NewAl), B.shl(B.castU(16, Ah), B.imm(16, 8)));
+    storeReg(C, x86::Reg::EAX, Ax, 16);
+    setSZP(C, NewAl, 8);
+    setFlagConst(C, Flag::CF, false);
+    setFlagConst(C, Flag::OF, false);
+    setFlagConst(C, Flag::AF, false);
+    return;
+  }
+  case Opcode::AAD: {
+    uint32_t Imm = I.Op1.ImmVal & 0xFF;
+    Var Ah = loadReg(C,
+                     x86::regFromEncoding(4) /* AH */, 8);
+    Var NewAl = B.add(Al, B.arith(ArithOp::Mul, Ah, B.imm(8, Imm)));
+    Var Ax = B.castU(16, NewAl); // AH = 0
+    storeReg(C, x86::Reg::EAX, Ax, 16);
+    setSZP(C, NewAl, 8);
+    setFlagConst(C, Flag::CF, false);
+    setFlagConst(C, Flag::OF, false);
+    setFlagConst(C, Flag::AF, false);
+    return;
+  }
+  case Opcode::AAA:
+  case Opcode::AAS: {
+    bool IsAdd = I.Op == Opcode::AAA;
+    Var LowNibble = B.band(Al, B.imm(8, 0x0F));
+    Var Cond = B.bor(B.ltu(B.imm(8, 9), LowNibble), getFlag(C, Flag::AF));
+    Var Ax = loadReg(C, x86::Reg::EAX, 16);
+    Var Adj = B.imm(16, IsAdd ? 0x106 : 0x106);
+    Var NewAx =
+        IsAdd ? B.add(Ax, Adj) : B.sub(Ax, Adj);
+    Var Sel = B.select(Cond, NewAx, Ax);
+    // AL &= 0x0F in both branches.
+    Var Masked = B.band(Sel, B.imm(16, 0xFF0F));
+    storeReg(C, x86::Reg::EAX, Masked, 16);
+    setFlag(C, Flag::AF, Cond);
+    setFlag(C, Flag::CF, Cond);
+    // OF/SF/ZF/PF undefined; pinned from the resulting AL.
+    setSZP(C, B.castU(8, Masked), 8);
+    setFlagConst(C, Flag::OF, false);
+    return;
+  }
+  case Opcode::DAA:
+  case Opcode::DAS: {
+    bool IsAdd = I.Op == Opcode::DAA;
+    Var OldCf = getFlag(C, Flag::CF);
+    Var LowNibble = B.band(Al, B.imm(8, 0x0F));
+    Var CondLow =
+        B.bor(B.ltu(B.imm(8, 9), LowNibble), getFlag(C, Flag::AF));
+    Var Step1 = IsAdd ? B.add(Al, B.imm(8, 6)) : B.sub(Al, B.imm(8, 6));
+    Var Al1 = B.select(CondLow, Step1, Al);
+    Var CondHigh = B.bor(B.ltu(B.imm(8, 0x99), Al), OldCf);
+    Var Step2 =
+        IsAdd ? B.add(Al1, B.imm(8, 0x60)) : B.sub(Al1, B.imm(8, 0x60));
+    Var Al2 = B.select(CondHigh, Step2, Al1);
+    storeReg(C, x86::Reg::EAX, Al2, 8);
+    setFlag(C, Flag::AF, CondLow);
+    setFlag(C, Flag::CF, CondHigh);
+    setSZP(C, Al2, 8);
+    setFlagConst(C, Flag::OF, false); // undefined; pinned
+    return;
+  }
+  default:
+    B.error();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Width conversions.
+//===----------------------------------------------------------------------===//
+
+void sem::convWiden(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  switch (I.Op) {
+  case Opcode::CWDE: {
+    // 66-prefixed: CBW (AX := sext AL); otherwise CWDE (EAX := sext AX).
+    if (I.Pfx.OpSize) {
+      Var Al = loadReg(C, x86::Reg::EAX, 8);
+      storeReg(C, x86::Reg::EAX, B.castS(16, Al), 16);
+    } else {
+      Var Ax = loadReg(C, x86::Reg::EAX, 16);
+      storeReg(C, x86::Reg::EAX, B.castS(32, Ax), 32);
+    }
+    return;
+  }
+  case Opcode::CDQ: {
+    // 66-prefixed: CWD (DX:AX); otherwise CDQ (EDX:EAX).
+    uint32_t Bits = I.Pfx.OpSize ? 16 : 32;
+    Var Acc = loadReg(C, x86::Reg::EAX, Bits);
+    Var Wide = B.castS(2 * Bits, Acc);
+    Var Hi = B.castU(Bits, B.shru(Wide, B.imm(2 * Bits, Bits)));
+    storeReg(C, x86::Reg::EDX, Hi, Bits);
+    return;
+  }
+  case Opcode::MOVSX:
+  case Opcode::MOVZX: {
+    uint32_t SrcBits = I.W ? 16 : 8;
+    uint32_t DstBits = I.Pfx.OpSize ? 16 : 32;
+    Var Src = loadOperand(C, I.Op2, SrcBits);
+    Var R = I.Op == Opcode::MOVSX ? B.castS(DstBits, Src)
+                                  : B.castU(DstBits, Src);
+    storeReg(C, I.Op1.R, R, DstBits);
+    return;
+  }
+  default:
+    B.error();
+  }
+}

@@ -1,0 +1,247 @@
+//===- sem/TranslateFlow.cpp - Control flow, stack, flags ------*- C++ -*-===//
+//
+// Control transfers (near only — far transfers are outside the model),
+// conditional data operations, stack instructions, and flag management.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/TranslateImpl.h"
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using x86::Instr;
+using x86::Opcode;
+
+//===----------------------------------------------------------------------===//
+// Jumps and calls.
+//===----------------------------------------------------------------------===//
+
+void sem::convJmpCall(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  C.PcHandled = true;
+
+  Var Next = nextPc(C);
+  Var Target;
+  if (I.Absolute) {
+    // Through a register or memory: the operand holds the target offset.
+    Target = loadOperand(C, I.Op1, 32);
+  } else {
+    // PC-relative: displacement from the fall-through address.
+    Target = B.add(Next, B.imm(32, I.Op1.ImmVal));
+  }
+  if (I.Op == Opcode::CALL)
+    pushValue(C, Next, 32);
+  B.setLoc(Loc::pc(), Target);
+}
+
+void sem::convJcc(Ctx &C) {
+  Builder &B = C.B;
+  C.PcHandled = true;
+  Var Next = nextPc(C);
+  Var Target = B.add(Next, B.imm(32, C.I.Op1.ImmVal));
+  Var Cond = evalCond(C, C.I.CC);
+  B.setLoc(Loc::pc(), B.select(Cond, Target, Next));
+}
+
+void sem::convLoopJcxz(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  C.PcHandled = true;
+
+  Var Next = nextPc(C);
+  Var Target = B.add(Next, B.imm(32, I.Op1.ImmVal));
+  Var Ecx = B.getLoc(Loc::reg(1));
+
+  Var Cond;
+  if (I.Op == Opcode::JCXZ) {
+    Cond = B.eq(Ecx, B.imm(32, 0));
+  } else {
+    Var NewEcx = B.sub(Ecx, B.imm(32, 1));
+    B.setLoc(Loc::reg(1), NewEcx);
+    Cond = B.notBit(B.eq(NewEcx, B.imm(32, 0)));
+    if (I.Op == Opcode::LOOPZ)
+      Cond = B.band(Cond, getFlag(C, Flag::ZF));
+    else if (I.Op == Opcode::LOOPNZ)
+      Cond = B.band(Cond, B.notBit(getFlag(C, Flag::ZF)));
+  }
+  B.setLoc(Loc::pc(), B.select(Cond, Target, Next));
+}
+
+void sem::convRet(Ctx &C) {
+  Builder &B = C.B;
+  C.PcHandled = true;
+  Var Ret = popValue(C, 32);
+  if (C.I.Op1.isImm()) {
+    Var Esp = B.getLoc(Loc::reg(4));
+    B.setLoc(Loc::reg(4), B.add(Esp, B.imm(32, C.I.Op1.ImmVal & 0xFFFF)));
+  }
+  B.setLoc(Loc::pc(), Ret);
+}
+
+//===----------------------------------------------------------------------===//
+// SETcc / CMOVcc.
+//===----------------------------------------------------------------------===//
+
+void sem::convSetCmov(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  Var Cond = evalCond(C, I.CC);
+  if (I.Op == Opcode::SETcc) {
+    storeOperand(C, I.Op1, B.castU(8, Cond), 8);
+    return;
+  }
+  // CMOVcc: the load happens unconditionally (as on hardware); only the
+  // register write is conditional.
+  uint32_t Bits = I.Pfx.OpSize ? 16 : 32;
+  Var Src = loadOperand(C, I.Op2, Bits);
+  Var Old = loadReg(C, I.Op1.R, Bits);
+  storeReg(C, I.Op1.R, B.select(Cond, Src, Old), Bits);
+}
+
+//===----------------------------------------------------------------------===//
+// Stack operations.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Flag layout in EFLAGS bit positions.
+struct FlagBit {
+  Flag F;
+  uint32_t Pos;
+};
+constexpr FlagBit EflagsLayout[] = {
+    {Flag::CF, 0}, {Flag::PF, 2},  {Flag::AF, 4},  {Flag::ZF, 6},
+    {Flag::SF, 7}, {Flag::TF, 8},  {Flag::IF, 9},  {Flag::DF, 10},
+    {Flag::OF, 11}};
+
+Var composeEflags(Ctx &C) {
+  Builder &B = C.B;
+  Var V = B.imm(32, 0x2); // bit 1 is always set
+  for (const FlagBit &FB : EflagsLayout) {
+    Var Bit = B.castU(32, getFlag(C, FB.F));
+    V = B.bor(V, B.shl(Bit, B.imm(32, FB.Pos)));
+  }
+  return V;
+}
+
+void decomposeEflags(Ctx &C, Var V) {
+  Builder &B = C.B;
+  for (const FlagBit &FB : EflagsLayout) {
+    Var Bit = B.castU(1, B.shru(V, B.imm(32, FB.Pos)));
+    setFlag(C, FB.F, Bit);
+  }
+}
+
+} // namespace
+
+void sem::convPushPop(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  uint32_t Bits = I.Pfx.OpSize ? 16 : 32;
+
+  switch (I.Op) {
+  case Opcode::PUSH: {
+    Var V = loadOperand(C, I.Op1, Bits);
+    pushValue(C, V, Bits);
+    return;
+  }
+  case Opcode::POP: {
+    Var V = popValue(C, Bits);
+    storeOperand(C, I.Op1, V, Bits);
+    return;
+  }
+  case Opcode::PUSHA: {
+    // Push eax, ecx, edx, ebx, original esp, ebp, esi, edi.
+    Var OrigEsp = B.getLoc(Loc::reg(4));
+    for (uint8_t R = 0; R < 8; ++R) {
+      Var V = R == 4 ? OrigEsp : B.getLoc(Loc::reg(R));
+      pushValue(C, Bits == 32 ? V : B.castU(16, V), Bits);
+    }
+    return;
+  }
+  case Opcode::POPA: {
+    // Pop edi..eax, skipping the esp slot.
+    for (int R = 7; R >= 0; --R) {
+      Var V = popValue(C, Bits);
+      if (R == 4)
+        continue; // discard the saved esp
+      storeReg(C, x86::regFromEncoding(uint8_t(R)), V, Bits);
+    }
+    return;
+  }
+  case Opcode::PUSHF: {
+    Var V = composeEflags(C);
+    pushValue(C, Bits == 32 ? V : B.castU(16, V), Bits);
+    return;
+  }
+  case Opcode::POPF: {
+    Var V = popValue(C, Bits);
+    decomposeEflags(C, B.castU(32, V));
+    return;
+  }
+  case Opcode::ENTER: {
+    // Only nesting level 0 is modeled (checked by hasSemantics).
+    Var Ebp = B.getLoc(Loc::reg(5));
+    pushValue(C, Ebp, 32);
+    Var NewEbp = B.getLoc(Loc::reg(4));
+    B.setLoc(Loc::reg(5), NewEbp);
+    Var Frame = B.imm(32, I.Op1.ImmVal & 0xFFFF);
+    B.setLoc(Loc::reg(4), B.sub(NewEbp, Frame));
+    return;
+  }
+  case Opcode::LEAVE: {
+    B.setLoc(Loc::reg(4), B.getLoc(Loc::reg(5)));
+    Var V = popValue(C, 32);
+    B.setLoc(Loc::reg(5), V);
+    return;
+  }
+  default:
+    B.error();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Direct flag manipulation.
+//===----------------------------------------------------------------------===//
+
+void sem::convFlagOps(Ctx &C) {
+  Builder &B = C.B;
+  switch (C.I.Op) {
+  case Opcode::CLC: setFlagConst(C, Flag::CF, false); return;
+  case Opcode::STC: setFlagConst(C, Flag::CF, true); return;
+  case Opcode::CMC: setFlag(C, Flag::CF, B.notBit(getFlag(C, Flag::CF))); return;
+  case Opcode::CLD: setFlagConst(C, Flag::DF, false); return;
+  case Opcode::STD: setFlagConst(C, Flag::DF, true); return;
+  case Opcode::CLI: setFlagConst(C, Flag::IF, false); return;
+  case Opcode::STI: setFlagConst(C, Flag::IF, true); return;
+  case Opcode::LAHF: {
+    // AH := SF:ZF:0:AF:0:PF:1:CF.
+    Var V = B.imm(8, 0x02);
+    auto Put = [&](Flag F, uint32_t Pos) {
+      V = B.bor(V, B.shl(B.castU(8, getFlag(C, F)), B.imm(8, Pos)));
+    };
+    Put(Flag::CF, 0);
+    Put(Flag::PF, 2);
+    Put(Flag::AF, 4);
+    Put(Flag::ZF, 6);
+    Put(Flag::SF, 7);
+    storeReg(C, x86::regFromEncoding(4) /* AH */, V, 8);
+    return;
+  }
+  case Opcode::SAHF: {
+    Var Ah = loadReg(C, x86::regFromEncoding(4) /* AH */, 8);
+    auto Take = [&](Flag F, uint32_t Pos) {
+      setFlag(C, F, B.castU(1, B.shru(Ah, B.imm(8, Pos))));
+    };
+    Take(Flag::CF, 0);
+    Take(Flag::PF, 2);
+    Take(Flag::AF, 4);
+    Take(Flag::ZF, 6);
+    Take(Flag::SF, 7);
+    return;
+  }
+  default:
+    B.error();
+  }
+}

@@ -1,0 +1,231 @@
+//===- sem/TranslateImpl.h - Translation internals -------------*- C++ -*-===//
+///
+/// \file
+/// Private helpers shared by the Translate*.cpp files: the RTL builder
+/// (the paper's translation monad, section 2.3), operand load/store, the
+/// segment-selection rule, and the flag-computation utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SEM_TRANSLATEIMPL_H
+#define ROCKSALT_SEM_TRANSLATEIMPL_H
+
+#include "sem/Translate.h"
+
+#include <cassert>
+
+namespace rocksalt {
+namespace sem {
+
+using rtl::ArithOp;
+using rtl::Flag;
+using rtl::Loc;
+using rtl::NoVar;
+using rtl::RtlInstr;
+using rtl::TestOp;
+using rtl::Var;
+
+/// Emits RTL instructions, allocating fresh locals; plays the role of the
+/// paper's translation monad. A current guard can be installed so that a
+/// whole region executes conditionally.
+class Builder {
+  rtl::RtlProgram Prog;
+  Var Next = 0;
+  Var CurGuard = NoVar;
+
+  RtlInstr &emit(RtlInstr I) {
+    if (CurGuard != NoVar && I.Guard == NoVar)
+      I.Guard = CurGuard;
+    Prog.push_back(I);
+    return Prog.back();
+  }
+
+public:
+  Var fresh() { return Next++; }
+
+  Var imm(uint32_t Width, uint64_t V) {
+    Var D = fresh();
+    emit(RtlInstr::imm(D, Width, V));
+    return D;
+  }
+  Var arith(ArithOp Op, Var A, Var B) {
+    Var D = fresh();
+    emit(RtlInstr::arith(Op, D, A, B));
+    return D;
+  }
+  Var test(TestOp Op, Var A, Var B) {
+    Var D = fresh();
+    emit(RtlInstr::test(Op, D, A, B));
+    return D;
+  }
+  Var getLoc(Loc L) {
+    Var D = fresh();
+    emit(RtlInstr::getLoc(D, L));
+    return D;
+  }
+  void setLoc(Loc L, Var V) { emit(RtlInstr::setLoc(L, V)); }
+  Var getByte(uint8_t Seg, Var Addr) {
+    Var D = fresh();
+    emit(RtlInstr::getByte(D, Seg, Addr));
+    return D;
+  }
+  void setByte(uint8_t Seg, Var Addr, Var Val) {
+    emit(RtlInstr::setByte(Seg, Addr, Val));
+  }
+  Var castU(uint32_t Width, Var V) {
+    Var D = fresh();
+    emit(RtlInstr::castU(D, Width, V));
+    return D;
+  }
+  Var castS(uint32_t Width, Var V) {
+    Var D = fresh();
+    emit(RtlInstr::castS(D, Width, V));
+    return D;
+  }
+  Var select(Var C, Var A, Var B) {
+    Var D = fresh();
+    emit(RtlInstr::select(D, C, A, B));
+    return D;
+  }
+  Var choose(uint32_t Width) {
+    Var D = fresh();
+    emit(RtlInstr::choose(D, Width));
+    return D;
+  }
+  void error() { emit(RtlInstr::error()); }
+  void fault() { emit(RtlInstr::fault()); }
+  void trap() { emit(RtlInstr::trap()); }
+
+  /// Installs \p G (ANDed with any enclosing guard) for the lifetime of
+  /// the returned scope object.
+  class GuardScope {
+    Builder &B;
+    Var Saved;
+
+  public:
+    GuardScope(Builder &B_, Var G) : B(B_), Saved(B_.CurGuard) {
+      if (Saved != NoVar)
+        G = B.arith(ArithOp::And, Saved, G);
+      B.CurGuard = G;
+    }
+    ~GuardScope() { B.CurGuard = Saved; }
+  };
+
+  // --- small conveniences ---------------------------------------------------
+  Var add(Var A, Var B) { return arith(ArithOp::Add, A, B); }
+  Var sub(Var A, Var B) { return arith(ArithOp::Sub, A, B); }
+  Var band(Var A, Var B) { return arith(ArithOp::And, A, B); }
+  Var bor(Var A, Var B) { return arith(ArithOp::Or, A, B); }
+  Var bxor(Var A, Var B) { return arith(ArithOp::Xor, A, B); }
+  Var shl(Var A, Var B) { return arith(ArithOp::Shl, A, B); }
+  Var shru(Var A, Var B) { return arith(ArithOp::Shru, A, B); }
+  Var eq(Var A, Var B) { return test(TestOp::Eq, A, B); }
+  Var ltu(Var A, Var B) { return test(TestOp::Ltu, A, B); }
+  Var lts(Var A, Var B) { return test(TestOp::Lts, A, B); }
+  Var notBit(Var A) { return bxor(A, imm(1, 1)); }
+
+  Translation take() {
+    Translation T;
+    T.Prog = std::move(Prog);
+    T.NumVars = Next;
+    return T;
+  }
+};
+
+/// Per-instruction translation context.
+struct Ctx {
+  Builder B;
+  const x86::Instr &I;
+  uint8_t Len;
+  uint32_t Bits;          ///< effective operand size in bits (8/16/32)
+  bool PcHandled = false; ///< conv set the PC itself (control flow)
+
+  explicit Ctx(const x86::Instr &I_, uint8_t Len_)
+      : I(I_), Len(Len_), Bits(x86::operandBits(I_.Pfx, I_.W)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Segment selection, effective addresses, operand access (Translate.cpp).
+//===----------------------------------------------------------------------===//
+
+/// Segment index for a memory operand: the override if present, SS when
+/// the base register is EBP or ESP, DS otherwise (the paper's
+/// get_segment_op rule).
+uint8_t segmentFor(const x86::Instr &I, const x86::Addr &A);
+
+/// Computes the 32-bit effective address of \p A.
+Var effAddr(Ctx &C, const x86::Addr &A);
+
+/// Loads Bits-wide little-endian data at segment offset \p Addr.
+Var loadMem(Ctx &C, uint8_t Seg, Var Addr, uint32_t Bits);
+
+/// Stores Bits-wide \p Val at segment offset \p Addr.
+void storeMem(Ctx &C, uint8_t Seg, Var Addr, Var Val, uint32_t Bits);
+
+/// Reads a register operand at the given width. For 8-bit widths the x86
+/// sub-register rule applies (encodings 4-7 are AH/CH/DH/BH).
+Var loadReg(Ctx &C, x86::Reg R, uint32_t Bits);
+void storeReg(Ctx &C, x86::Reg R, Var V, uint32_t Bits);
+
+/// Loads/stores a full operand (the paper's load_op / set_op specialized
+/// to the prefix and mode).
+Var loadOperand(Ctx &C, const x86::Operand &O, uint32_t Bits);
+void storeOperand(Ctx &C, const x86::Operand &O, Var V, uint32_t Bits);
+
+/// Push/pop through SS at the current operand size.
+void pushValue(Ctx &C, Var V, uint32_t Bits);
+Var popValue(Ctx &C, uint32_t Bits);
+
+//===----------------------------------------------------------------------===//
+// Flags (Translate.cpp).
+//===----------------------------------------------------------------------===//
+
+Var getFlag(Ctx &C, Flag F);
+void setFlag(Ctx &C, Flag F, Var V);
+void setFlagConst(Ctx &C, Flag F, bool V);
+
+/// SF/ZF/PF from a result of width \p Bits.
+void setSZP(Ctx &C, Var Res, uint32_t Bits);
+
+/// Evaluates an x86 condition code from the flags (1-bit result).
+Var evalCond(Ctx &C, x86::Cond CC);
+
+/// Fall-through PC (start PC + instruction length).
+Var nextPc(Ctx &C);
+
+//===----------------------------------------------------------------------===//
+// Family translators.
+//===----------------------------------------------------------------------===//
+
+// TranslateArith.cpp
+void convAluBinop(Ctx &C);   // ADD/ADC/SUB/SBB/AND/OR/XOR/CMP/TEST
+void convIncDec(Ctx &C);
+void convNotNeg(Ctx &C);
+void convMulDiv(Ctx &C);     // MUL/IMUL/DIV/IDIV
+void convShiftRotate(Ctx &C); // SHL/SHR/SAR/ROL/ROR/RCL/RCR
+void convDoubleShift(Ctx &C); // SHLD/SHRD
+void convBitOps(Ctx &C);     // BT/BTS/BTR/BTC/BSF/BSR/BSWAP
+void convBcd(Ctx &C);        // AAA/AAS/AAM/AAD/DAA/DAS
+void convWiden(Ctx &C);      // CWDE/CDQ/MOVSX/MOVZX
+
+// TranslateFlow.cpp
+void convJmpCall(Ctx &C);
+void convJcc(Ctx &C);
+void convLoopJcxz(Ctx &C);
+void convRet(Ctx &C);
+void convSetCmov(Ctx &C);
+void convPushPop(Ctx &C);    // incl. PUSHA/POPA/PUSHF/POPF/ENTER/LEAVE
+void convFlagOps(Ctx &C);    // CLC/STC/CMC/CLD/STD/CLI/STI/LAHF/SAHF
+
+// TranslateString.cpp
+void convString(Ctx &C);     // MOVS/CMPS/STOS/LODS/SCAS (+REP)
+void convXlat(Ctx &C);
+
+// Translate.cpp
+void convMov(Ctx &C);        // MOV/LEA/XCHG/XADD/CMPXCHG
+void convSegment(Ctx &C);    // MOVSR/PUSHSR/POPSR/LDS family
+
+} // namespace sem
+} // namespace rocksalt
+
+#endif // ROCKSALT_SEM_TRANSLATEIMPL_H

@@ -1,0 +1,155 @@
+//===- sem/TranslateString.cpp - String operations & XLAT ------*- C++ -*-===//
+//
+// MOVS/CMPS/STOS/LODS/SCAS with REP/REPNE, and XLAT. A rep-prefixed
+// instruction is modeled as a single guarded iteration that leaves the PC
+// on itself while it should continue — the standard way to keep the RTL
+// straight-line (hardware restarts rep instructions the same way across
+// interrupts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/TranslateImpl.h"
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using x86::Instr;
+using x86::Opcode;
+using x86::Prefix;
+
+namespace {
+
+/// Segment for the ESI-side access (DS unless overridden); the EDI side
+/// always uses ES.
+uint8_t siSegment(const Instr &I) {
+  if (I.Pfx.SegOverride)
+    return x86::encodingOf(*I.Pfx.SegOverride);
+  return x86::encodingOf(x86::SegReg::DS);
+}
+
+/// delta = DF ? -size : +size.
+Var stringDelta(Ctx &C, uint32_t Bits) {
+  Builder &B = C.B;
+  Var Df = getFlag(C, Flag::DF);
+  Var Fwd = B.imm(32, Bits / 8);
+  Var Bwd = B.imm(32, static_cast<uint32_t>(-(int32_t)(Bits / 8)));
+  return B.select(Df, Bwd, Fwd);
+}
+
+/// Flags exactly as CMP A, B2 at the given width.
+void cmpFlags(Ctx &C, Var A, Var B2, uint32_t Bits) {
+  Builder &B = C.B;
+  Var R = B.sub(A, B2);
+  setFlag(C, Flag::CF, B.ltu(A, B2));
+  Var Of = B.castU(1, B.shru(B.band(B.bxor(A, B2), B.bxor(A, R)),
+                             B.imm(Bits, Bits - 1)));
+  setFlag(C, Flag::OF, Of);
+  Var Af =
+      B.castU(1, B.shru(B.bxor(B.bxor(A, B2), R), B.imm(Bits, 4)));
+  setFlag(C, Flag::AF, Af);
+  setSZP(C, R, Bits);
+}
+
+} // namespace
+
+void sem::convString(Ctx &C) {
+  Builder &B = C.B;
+  const Instr &I = C.I;
+  uint32_t Bits = C.Bits;
+  uint8_t EsSeg = x86::encodingOf(x86::SegReg::ES);
+  bool Rep = I.Pfx.Rep != Prefix::RepKind::None;
+  bool CondRep = I.Op == Opcode::CMPS || I.Op == Opcode::SCAS;
+
+  // When rep-prefixed, every effect below is guarded on ECX != 0.
+  Var Guard = NoVar;
+  Var EcxNonZero = NoVar;
+  if (Rep) {
+    Var Ecx = B.getLoc(Loc::reg(1));
+    EcxNonZero = B.notBit(B.eq(Ecx, B.imm(32, 0)));
+    Guard = EcxNonZero;
+  }
+
+  {
+    std::optional<Builder::GuardScope> G;
+    if (Rep)
+      G.emplace(B, Guard);
+
+    Var Delta = stringDelta(C, Bits);
+    Var Esi = B.getLoc(Loc::reg(6));
+    Var Edi = B.getLoc(Loc::reg(7));
+
+    switch (I.Op) {
+    case Opcode::MOVS: {
+      Var V = loadMem(C, siSegment(I), Esi, Bits);
+      storeMem(C, EsSeg, Edi, V, Bits);
+      B.setLoc(Loc::reg(6), B.add(Esi, Delta));
+      B.setLoc(Loc::reg(7), B.add(Edi, Delta));
+      break;
+    }
+    case Opcode::STOS: {
+      Var V = loadReg(C, x86::Reg::EAX, Bits);
+      storeMem(C, EsSeg, Edi, V, Bits);
+      B.setLoc(Loc::reg(7), B.add(Edi, Delta));
+      break;
+    }
+    case Opcode::LODS: {
+      Var V = loadMem(C, siSegment(I), Esi, Bits);
+      storeReg(C, x86::Reg::EAX, V, Bits);
+      B.setLoc(Loc::reg(6), B.add(Esi, Delta));
+      break;
+    }
+    case Opcode::SCAS: {
+      Var Acc = loadReg(C, x86::Reg::EAX, Bits);
+      Var V = loadMem(C, EsSeg, Edi, Bits);
+      cmpFlags(C, Acc, V, Bits);
+      B.setLoc(Loc::reg(7), B.add(Edi, Delta));
+      break;
+    }
+    case Opcode::CMPS: {
+      Var A = loadMem(C, siSegment(I), Esi, Bits);
+      Var V = loadMem(C, EsSeg, Edi, Bits);
+      cmpFlags(C, A, V, Bits);
+      B.setLoc(Loc::reg(6), B.add(Esi, Delta));
+      B.setLoc(Loc::reg(7), B.add(Edi, Delta));
+      break;
+    }
+    default:
+      B.error();
+      return;
+    }
+
+    if (Rep) {
+      // Decrement the count inside the guarded region.
+      Var Ecx = B.getLoc(Loc::reg(1));
+      B.setLoc(Loc::reg(1), B.sub(Ecx, B.imm(32, 1)));
+    }
+  }
+
+  if (!Rep)
+    return; // default PC advance applies
+
+  C.PcHandled = true;
+  // Continue while the new count is nonzero, and for CMPS/SCAS while the
+  // termination condition has not fired.
+  Var NewEcx = B.getLoc(Loc::reg(1));
+  Var Cont = B.band(EcxNonZero, B.notBit(B.eq(NewEcx, B.imm(32, 0))));
+  if (CondRep) {
+    Var Zf = getFlag(C, Flag::ZF);
+    Var Want = I.Pfx.Rep == Prefix::RepKind::Rep ? Zf : B.notBit(Zf);
+    Cont = B.band(Cont, Want);
+  }
+  Var Pc = B.getLoc(Loc::pc());
+  Var Next = nextPc(C);
+  B.setLoc(Loc::pc(), B.select(Cont, Pc, Next));
+}
+
+void sem::convXlat(Ctx &C) {
+  Builder &B = C.B;
+  // AL := seg:[EBX + zext(AL)].
+  uint8_t Seg = C.I.Pfx.SegOverride
+                    ? x86::encodingOf(*C.I.Pfx.SegOverride)
+                    : x86::encodingOf(x86::SegReg::DS);
+  Var Ebx = B.getLoc(Loc::reg(3));
+  Var Al = B.castU(32, loadReg(C, x86::Reg::EAX, 8));
+  Var V = B.getByte(Seg, B.add(Ebx, Al));
+  storeReg(C, x86::Reg::EAX, V, 8);
+}

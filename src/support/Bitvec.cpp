@@ -1,0 +1,14 @@
+//===- support/Bitvec.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Bitvec.h"
+
+#include <cstdio>
+
+using namespace rocksalt;
+
+std::string Bitvec::str() const {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx:%u",
+                static_cast<unsigned long long>(Bits), Width);
+  return Buf;
+}

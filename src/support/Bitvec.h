@@ -1,0 +1,243 @@
+//===- support/Bitvec.h - Width-indexed bit-vectors ------------*- C++ -*-===//
+//
+// Part of RockSalt-C++, a reproduction of "RockSalt: Better, Faster,
+// Stronger SFI for the x86" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Width-indexed bit-vector values in the style of the CompCert integer
+/// library the paper's RTL interpreter builds on (section 2.4). A Bitvec
+/// carries its width (1..64 bits) at runtime; all arithmetic is performed
+/// modulo 2^width. Operations assert width agreement, mirroring the
+/// dependent typing the Coq development gets statically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SUPPORT_BITVEC_H
+#define ROCKSALT_SUPPORT_BITVEC_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace rocksalt {
+
+/// A bit-vector of 1 to 64 bits, stored zero-extended in a uint64_t.
+class Bitvec {
+  uint32_t Width = 1;
+  uint64_t Bits = 0;
+
+  static uint64_t maskFor(uint32_t W) {
+    assert(W >= 1 && W <= 64 && "Bitvec width out of range");
+    return W == 64 ? ~uint64_t(0) : ((uint64_t(1) << W) - 1);
+  }
+
+public:
+  Bitvec() = default;
+
+  /// Builds a bit-vector of width \p W holding \p V modulo 2^W.
+  Bitvec(uint32_t W, uint64_t V) : Width(W), Bits(V & maskFor(W)) {}
+
+  static Bitvec zero(uint32_t W) { return Bitvec(W, 0); }
+  static Bitvec one(uint32_t W) { return Bitvec(W, 1); }
+  static Bitvec ones(uint32_t W) { return Bitvec(W, ~uint64_t(0)); }
+
+  /// Builds from a signed value (two's complement representation).
+  static Bitvec fromSigned(uint32_t W, int64_t V) {
+    return Bitvec(W, static_cast<uint64_t>(V));
+  }
+
+  uint32_t width() const { return Width; }
+  uint64_t bits() const { return Bits; }
+
+  /// Interprets the value as a signed two's complement integer.
+  int64_t toSigned() const {
+    if (Width == 64)
+      return static_cast<int64_t>(Bits);
+    uint64_t SignBit = uint64_t(1) << (Width - 1);
+    if (Bits & SignBit)
+      return static_cast<int64_t>(Bits | ~maskFor(Width));
+    return static_cast<int64_t>(Bits);
+  }
+
+  bool isZero() const { return Bits == 0; }
+  bool msb() const { return (Bits >> (Width - 1)) & 1; }
+  bool lsb() const { return Bits & 1; }
+
+  /// Returns bit \p I (0 = least significant).
+  bool bit(uint32_t I) const {
+    assert(I < Width && "bit index out of range");
+    return (Bits >> I) & 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Modular arithmetic. All binary operations require equal widths.
+  //===--------------------------------------------------------------------===//
+
+  Bitvec add(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in add");
+    return Bitvec(Width, Bits + B.Bits);
+  }
+  Bitvec sub(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in sub");
+    return Bitvec(Width, Bits - B.Bits);
+  }
+  Bitvec mul(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in mul");
+    return Bitvec(Width, Bits * B.Bits);
+  }
+
+  /// Unsigned division; division by zero yields all-ones (the RTL layer is
+  /// responsible for signalling the #DE fault before calling this).
+  Bitvec divu(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in divu");
+    if (B.Bits == 0)
+      return ones(Width);
+    return Bitvec(Width, Bits / B.Bits);
+  }
+  Bitvec modu(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in modu");
+    if (B.Bits == 0)
+      return *this;
+    return Bitvec(Width, Bits % B.Bits);
+  }
+
+  /// Signed division, truncating toward zero (x86 IDIV semantics).
+  Bitvec divs(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in divs");
+    int64_t D = B.toSigned();
+    if (D == 0)
+      return ones(Width);
+    int64_t N = toSigned();
+    if (N == INT64_MIN && D == -1)
+      return fromSigned(Width, N); // avoid UB; value wraps
+    return fromSigned(Width, N / D);
+  }
+  Bitvec mods(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in mods");
+    int64_t D = B.toSigned();
+    if (D == 0)
+      return *this;
+    int64_t N = toSigned();
+    if (N == INT64_MIN && D == -1)
+      return zero(Width);
+    return fromSigned(Width, N % D);
+  }
+
+  Bitvec neg() const { return Bitvec(Width, ~Bits + 1); }
+
+  //===--------------------------------------------------------------------===//
+  // Bitwise logic.
+  //===--------------------------------------------------------------------===//
+
+  Bitvec logand(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in and");
+    return Bitvec(Width, Bits & B.Bits);
+  }
+  Bitvec logor(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in or");
+    return Bitvec(Width, Bits | B.Bits);
+  }
+  Bitvec logxor(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in xor");
+    return Bitvec(Width, Bits ^ B.Bits);
+  }
+  Bitvec lognot() const { return Bitvec(Width, ~Bits); }
+
+  //===--------------------------------------------------------------------===//
+  // Shifts and rotates. The shift amount is taken modulo the width for
+  // rotates and saturates (produces 0) for out-of-range logical shifts,
+  // matching the RTL semantics (the x86 layer masks counts to 5 bits
+  // itself, as the hardware does).
+  //===--------------------------------------------------------------------===//
+
+  Bitvec shl(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in shl");
+    if (B.Bits >= Width)
+      return zero(Width);
+    return Bitvec(Width, Bits << B.Bits);
+  }
+  Bitvec shru(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in shru");
+    if (B.Bits >= Width)
+      return zero(Width);
+    return Bitvec(Width, Bits >> B.Bits);
+  }
+  Bitvec shrs(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in shrs");
+    uint64_t Amt = B.Bits >= Width ? Width - 1 : B.Bits;
+    return fromSigned(Width, toSigned() >> Amt);
+  }
+  Bitvec rol(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in rol");
+    uint64_t Amt = B.Bits % Width;
+    if (Amt == 0)
+      return *this;
+    return Bitvec(Width, (Bits << Amt) | (Bits >> (Width - Amt)));
+  }
+  Bitvec ror(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in ror");
+    uint64_t Amt = B.Bits % Width;
+    if (Amt == 0)
+      return *this;
+    return Bitvec(Width, (Bits >> Amt) | (Bits << (Width - Amt)));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Comparisons (1-bit results in the RTL layer; bool here).
+  //===--------------------------------------------------------------------===//
+
+  bool eq(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in eq");
+    return Bits == B.Bits;
+  }
+  bool ltu(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in ltu");
+    return Bits < B.Bits;
+  }
+  bool lts(const Bitvec &B) const {
+    assert(Width == B.Width && "width mismatch in lts");
+    return toSigned() < B.toSigned();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Width changes.
+  //===--------------------------------------------------------------------===//
+
+  /// Zero-extends or truncates to width \p W.
+  Bitvec zext(uint32_t W) const { return Bitvec(W, Bits); }
+
+  /// Sign-extends (or truncates) to width \p W.
+  Bitvec sext(uint32_t W) const {
+    return Bitvec(W, static_cast<uint64_t>(toSigned()));
+  }
+
+  /// Concatenates \p Lo below this value: result = this ## Lo.
+  Bitvec concat(const Bitvec &Lo) const {
+    assert(Width + Lo.Width <= 64 && "concat overflows 64 bits");
+    return Bitvec(Width + Lo.Width, (Bits << Lo.Width) | Lo.Bits);
+  }
+
+  /// Returns true iff an even number of the low 8 bits are set (the x86
+  /// parity-flag convention).
+  bool parity8() const {
+    uint64_t B = Bits & 0xFF;
+    B ^= B >> 4;
+    B ^= B >> 2;
+    B ^= B >> 1;
+    return (B & 1) == 0;
+  }
+
+  bool operator==(const Bitvec &B) const {
+    return Width == B.Width && Bits == B.Bits;
+  }
+  bool operator!=(const Bitvec &B) const { return !(*this == B); }
+
+  /// Renders as e.g. "0x1f:8" (value:width).
+  std::string str() const;
+};
+
+} // namespace rocksalt
+
+#endif // ROCKSALT_SUPPORT_BITVEC_H

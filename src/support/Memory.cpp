@@ -1,0 +1,96 @@
+//===- support/Memory.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Memory.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace rocksalt;
+
+Memory::Memory(const Memory &O) { *this = O; }
+
+Memory &Memory::operator=(const Memory &O) {
+  if (this == &O)
+    return *this;
+  Pages.clear();
+  for (const auto &[Key, Page] : O.Pages)
+    if (Page)
+      Pages.emplace(Key, std::make_unique<Memory::Page>(*Page));
+  return *this;
+}
+
+static bool pageIsZero(const std::array<uint8_t, Memory::PageSize> &P) {
+  for (uint8_t B : P)
+    if (B)
+      return false;
+  return true;
+}
+
+bool Memory::operator==(const Memory &O) const {
+  auto Covers = [](const Memory &X, const Memory &Y) {
+    for (const auto &[Key, Page] : X.Pages) {
+      if (!Page)
+        continue;
+      auto It = Y.Pages.find(Key);
+      if (It == Y.Pages.end() || !It->second) {
+        if (!pageIsZero(*Page))
+          return false;
+        continue;
+      }
+      if (*Page != *It->second)
+        return false;
+    }
+    return true;
+  };
+  return Covers(*this, O) && Covers(O, *this);
+}
+
+Memory::Page &Memory::pageFor(uint32_t Addr) {
+  uint32_t Key = Addr >> PageBits;
+  auto &Slot = Pages[Key];
+  if (!Slot) {
+    Slot = std::make_unique<Page>();
+    Slot->fill(0);
+  }
+  return *Slot;
+}
+
+const Memory::Page *Memory::pageForRead(uint32_t Addr) const {
+  auto It = Pages.find(Addr >> PageBits);
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+uint8_t Memory::load8(uint32_t Addr) const {
+  const Page *P = pageForRead(Addr);
+  return P ? (*P)[Addr & (PageSize - 1)] : 0;
+}
+
+void Memory::store8(uint32_t Addr, uint8_t Value) {
+  pageFor(Addr)[Addr & (PageSize - 1)] = Value;
+}
+
+uint64_t Memory::load(uint32_t Addr, uint32_t NBytes) const {
+  assert(NBytes >= 1 && NBytes <= 8 && "load size out of range");
+  uint64_t V = 0;
+  for (uint32_t I = 0; I < NBytes; ++I)
+    V |= uint64_t(load8(Addr + I)) << (8 * I);
+  return V;
+}
+
+void Memory::store(uint32_t Addr, uint32_t NBytes, uint64_t Value) {
+  assert(NBytes >= 1 && NBytes <= 8 && "store size out of range");
+  for (uint32_t I = 0; I < NBytes; ++I)
+    store8(Addr + I, static_cast<uint8_t>(Value >> (8 * I)));
+}
+
+void Memory::storeBytes(uint32_t Addr, const std::vector<uint8_t> &Bytes) {
+  for (size_t I = 0; I < Bytes.size(); ++I)
+    store8(Addr + static_cast<uint32_t>(I), Bytes[I]);
+}
+
+std::vector<uint8_t> Memory::loadBytes(uint32_t Addr, uint32_t Len) const {
+  std::vector<uint8_t> Out(Len);
+  for (uint32_t I = 0; I < Len; ++I)
+    Out[I] = load8(Addr + I);
+  return Out;
+}

@@ -1,0 +1,69 @@
+//===- support/Memory.h - Paged sparse byte memory -------------*- C++ -*-===//
+///
+/// \file
+/// A sparse, paged model of the 32-bit byte-addressed memory the paper's
+/// RTL machine state carries ("a finite map from addresses to bytes",
+/// section 2.3). Pages are allocated on first touch; unwritten bytes read
+/// as zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SUPPORT_MEMORY_H
+#define ROCKSALT_SUPPORT_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace rocksalt {
+
+/// Sparse byte-addressable memory over the full 32-bit address space.
+class Memory {
+public:
+  static constexpr uint32_t PageBits = 12;
+  static constexpr uint32_t PageSize = 1u << PageBits;
+
+private:
+  using Page = std::array<uint8_t, PageSize>;
+  std::unordered_map<uint32_t, std::unique_ptr<Page>> Pages;
+
+  Page &pageFor(uint32_t Addr);
+  const Page *pageForRead(uint32_t Addr) const;
+
+public:
+  Memory() = default;
+  Memory(const Memory &O);
+  Memory &operator=(const Memory &O);
+  Memory(Memory &&) = default;
+  Memory &operator=(Memory &&) = default;
+
+  /// Content equality (absent pages compare equal to all-zero pages).
+  bool operator==(const Memory &O) const;
+
+  uint8_t load8(uint32_t Addr) const;
+  void store8(uint32_t Addr, uint8_t Value);
+
+  /// Loads \p NBytes (1..8) little-endian starting at \p Addr, wrapping
+  /// modulo 2^32.
+  uint64_t load(uint32_t Addr, uint32_t NBytes) const;
+
+  /// Stores the low \p NBytes of \p Value little-endian at \p Addr.
+  void store(uint32_t Addr, uint32_t NBytes, uint64_t Value);
+
+  /// Copies \p Bytes into memory starting at \p Addr.
+  void storeBytes(uint32_t Addr, const std::vector<uint8_t> &Bytes);
+
+  /// Reads \p Len bytes starting at \p Addr.
+  std::vector<uint8_t> loadBytes(uint32_t Addr, uint32_t Len) const;
+
+  /// Number of resident pages (for tests and diagnostics).
+  size_t residentPages() const { return Pages.size(); }
+
+  void clear() { Pages.clear(); }
+};
+
+} // namespace rocksalt
+
+#endif // ROCKSALT_SUPPORT_MEMORY_H

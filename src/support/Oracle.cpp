@@ -1,0 +1,29 @@
+//===- support/Oracle.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Oracle.h"
+
+#include <cassert>
+
+using namespace rocksalt;
+
+uint64_t Rng::next() {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound != 0 && "below(0) is meaningless");
+  return next() % Bound;
+}
+
+uint64_t Rng::range(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + below(Hi - Lo + 1);
+}
+
+Bitvec Oracle::choose(uint32_t Width) {
+  BitsConsumed += Width;
+  return Bitvec(Width, Source.next());
+}

@@ -1,0 +1,62 @@
+//===- support/Oracle.h - Non-determinism oracle & RNG ---------*- C++ -*-===//
+///
+/// \file
+/// The RTL machine state carries "a stream of bits that serves as an
+/// oracle" for the choose operation (paper section 2.4); this is the
+/// standard trick for turning a non-deterministic step relation into a
+/// function. We realize the stream with a deterministic xorshift64*
+/// generator seeded explicitly, so runs are reproducible.
+///
+/// The same generator doubles as the project's general-purpose PRNG for
+/// fuzzing and workload generation (Rng).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SUPPORT_ORACLE_H
+#define ROCKSALT_SUPPORT_ORACLE_H
+
+#include "support/Bitvec.h"
+
+#include <cstdint>
+
+namespace rocksalt {
+
+/// Deterministic pseudo-random source (xorshift64*).
+class Rng {
+  uint64_t State;
+
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull)
+      : State(Seed ? Seed : 1) {}
+
+  uint64_t next();
+
+  /// Uniform in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound);
+
+  /// Uniform in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi);
+
+  bool flip() { return next() & 1; }
+
+  /// True with probability Num/Den.
+  bool chance(uint32_t Num, uint32_t Den) { return below(Den) < Num; }
+};
+
+/// The oracle bit stream consumed by the RTL `choose` operation.
+class Oracle {
+  Rng Source;
+  uint64_t BitsConsumed = 0;
+
+public:
+  explicit Oracle(uint64_t Seed = 42) : Source(Seed) {}
+
+  /// Pulls \p Width fresh bits from the stream.
+  Bitvec choose(uint32_t Width);
+
+  uint64_t bitsConsumed() const { return BitsConsumed; }
+};
+
+} // namespace rocksalt
+
+#endif // ROCKSALT_SUPPORT_ORACLE_H

@@ -1,0 +1,747 @@
+//===- x86/Encoder.cpp ----------------------------------------*- C++ -*-===//
+
+#include "x86/Encoder.h"
+
+#include <cassert>
+
+using namespace rocksalt;
+using namespace rocksalt::x86;
+
+namespace {
+
+/// Accumulates encoded bytes; `Ok` goes false on unencodable shapes.
+class ByteWriter {
+public:
+  std::vector<uint8_t> Bytes;
+  bool Ok = true;
+
+  void b(uint8_t V) { Bytes.push_back(V); }
+  void imm8(uint32_t V) { b(static_cast<uint8_t>(V)); }
+  void imm16(uint32_t V) {
+    b(static_cast<uint8_t>(V));
+    b(static_cast<uint8_t>(V >> 8));
+  }
+  void imm32(uint32_t V) {
+    imm16(V);
+    imm16(V >> 16);
+  }
+  /// Immediate of the instruction's effective word size.
+  void immW(uint32_t V, uint32_t Bits) {
+    if (Bits == 8)
+      imm8(V);
+    else if (Bits == 16)
+      imm16(V);
+    else
+      imm32(V);
+  }
+  void fail() { Ok = false; }
+};
+
+bool fitsInt8(uint32_t V) {
+  int32_t S = static_cast<int32_t>(V);
+  return S >= -128 && S <= 127;
+}
+
+/// Emits modrm (+sib +disp) for register-field \p RegField and r/m
+/// operand \p Rm.
+void emitModrm(ByteWriter &W, uint8_t RegField, const Operand &Rm) {
+  assert(RegField < 8 && "bad reg field");
+  if (Rm.isReg()) {
+    W.b(static_cast<uint8_t>(0xC0 | (RegField << 3) | encodingOf(Rm.R)));
+    return;
+  }
+  if (!Rm.isMem()) {
+    W.fail();
+    return;
+  }
+  const Addr &A = Rm.A;
+  if (A.Index && A.Index->second == Reg::ESP) {
+    W.fail(); // ESP cannot be an index register
+    return;
+  }
+
+  auto EmitSib = [&](uint8_t Mod, uint8_t BaseEnc) {
+    uint8_t ScaleBits =
+        A.Index ? static_cast<uint8_t>(A.Index->first) : uint8_t(0);
+    uint8_t IndexEnc = A.Index ? encodingOf(A.Index->second) : uint8_t(4);
+    W.b(static_cast<uint8_t>((Mod << 6) | (RegField << 3) | 4));
+    W.b(static_cast<uint8_t>((ScaleBits << 6) | (IndexEnc << 3) | BaseEnc));
+  };
+
+  if (!A.Base) {
+    if (!A.Index) {
+      // [disp32]: mod=00 rm=101.
+      W.b(static_cast<uint8_t>((RegField << 3) | 5));
+      W.imm32(A.Disp);
+      return;
+    }
+    // [index*scale + disp32]: mod=00 SIB with base=101.
+    EmitSib(0, 5);
+    W.imm32(A.Disp);
+    return;
+  }
+
+  Reg Base = *A.Base;
+  bool NeedSib = A.Index.has_value() || Base == Reg::ESP;
+  // mod=00 with base EBP means disp32-no-base, so EBP needs a disp byte.
+  uint8_t Mod;
+  if (A.Disp == 0 && Base != Reg::EBP)
+    Mod = 0;
+  else if (fitsInt8(A.Disp))
+    Mod = 1;
+  else
+    Mod = 2;
+
+  if (NeedSib)
+    EmitSib(Mod, encodingOf(Base));
+  else
+    W.b(static_cast<uint8_t>((Mod << 6) | (RegField << 3) |
+                             encodingOf(Base)));
+
+  if (Mod == 1)
+    W.imm8(A.Disp);
+  else if (Mod == 2)
+    W.imm32(A.Disp);
+}
+
+void emitPrefixes(ByteWriter &W, const Prefix &P) {
+  if (P.Lock)
+    W.b(0xF0);
+  if (P.Rep == Prefix::RepKind::Rep)
+    W.b(0xF3);
+  else if (P.Rep == Prefix::RepKind::RepNe)
+    W.b(0xF2);
+  if (P.SegOverride) {
+    static const uint8_t SegBytes[] = {0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65};
+    W.b(SegBytes[encodingOf(*P.SegOverride)]);
+  }
+  if (P.OpSize)
+    W.b(0x66);
+}
+
+/// ALU-family index (the TTT bits of the 00TTT0dw opcodes and the /TTT
+/// extension of 80/81/83).
+std::optional<uint8_t> aluIndex(Opcode Op) {
+  switch (Op) {
+  case Opcode::ADD: return 0;
+  case Opcode::OR:  return 1;
+  case Opcode::ADC: return 2;
+  case Opcode::SBB: return 3;
+  case Opcode::AND: return 4;
+  case Opcode::SUB: return 5;
+  case Opcode::XOR: return 6;
+  case Opcode::CMP: return 7;
+  default: return std::nullopt;
+  }
+}
+
+/// Shift/rotate-family /digit of C0/C1/D0-D3.
+std::optional<uint8_t> shiftIndex(Opcode Op) {
+  switch (Op) {
+  case Opcode::ROL: return 0;
+  case Opcode::ROR: return 1;
+  case Opcode::RCL: return 2;
+  case Opcode::RCR: return 3;
+  case Opcode::SHL: return 4;
+  case Opcode::SHR: return 5;
+  case Opcode::SAR: return 7;
+  default: return std::nullopt;
+  }
+}
+
+void encodeAlu(ByteWriter &W, const Instr &I, uint8_t TTT) {
+  uint32_t Bits = operandBits(I.Pfx, I.W);
+  uint8_t Base = static_cast<uint8_t>(TTT << 3);
+  const Operand &Dst = I.Op1, &Src = I.Op2;
+
+  if (Src.isImm()) {
+    if (I.W && fitsInt8(Src.ImmVal) && Bits != 8) {
+      // 83 /TTT ib (sign-extended).
+      W.b(0x83);
+      emitModrm(W, TTT, Dst);
+      W.imm8(Src.ImmVal);
+      return;
+    }
+    if (Dst.isReg() && Dst.R == Reg::EAX) {
+      // 04/05 short form: op AL/eAX, imm.
+      W.b(static_cast<uint8_t>(Base | 0x04 | (I.W ? 1 : 0)));
+      W.immW(Src.ImmVal, Bits);
+      return;
+    }
+    W.b(I.W ? 0x81 : 0x80);
+    emitModrm(W, TTT, Dst);
+    W.immW(Src.ImmVal, Bits);
+    return;
+  }
+  if (Src.isReg()) {
+    // 00/01 /r: op r/m, r.
+    W.b(static_cast<uint8_t>(Base | (I.W ? 1 : 0)));
+    emitModrm(W, encodingOf(Src.R), Dst);
+    return;
+  }
+  if (Src.isMem() && Dst.isReg()) {
+    // 02/03 /r: op r, r/m.
+    W.b(static_cast<uint8_t>(Base | 0x02 | (I.W ? 1 : 0)));
+    emitModrm(W, encodingOf(Dst.R), Src);
+    return;
+  }
+  W.fail();
+}
+
+void encodeMov(ByteWriter &W, const Instr &I) {
+  uint32_t Bits = operandBits(I.Pfx, I.W);
+  const Operand &Dst = I.Op1, &Src = I.Op2;
+  if (Src.isImm()) {
+    if (Dst.isReg()) {
+      // B0+r / B8+r.
+      W.b(static_cast<uint8_t>((I.W ? 0xB8 : 0xB0) + encodingOf(Dst.R)));
+      W.immW(Src.ImmVal, Bits);
+      return;
+    }
+    if (Dst.isMem()) {
+      W.b(I.W ? 0xC7 : 0xC6);
+      emitModrm(W, 0, Dst);
+      W.immW(Src.ImmVal, Bits);
+      return;
+    }
+    W.fail();
+    return;
+  }
+  if (Src.isReg()) {
+    W.b(I.W ? 0x89 : 0x88);
+    emitModrm(W, encodingOf(Src.R), Dst);
+    return;
+  }
+  if (Src.isMem() && Dst.isReg()) {
+    W.b(I.W ? 0x8B : 0x8A);
+    emitModrm(W, encodingOf(Dst.R), Src);
+    return;
+  }
+  W.fail();
+}
+
+void encodeShift(ByteWriter &W, const Instr &I, uint8_t Digit) {
+  // Op1 = r/m, Op2 = imm / CL / 1.
+  const Operand &Cnt = I.Op2;
+  if (Cnt.isImm() && Cnt.ImmVal == 1) {
+    W.b(I.W ? 0xD1 : 0xD0);
+    emitModrm(W, Digit, I.Op1);
+    return;
+  }
+  if (Cnt.isImm()) {
+    W.b(I.W ? 0xC1 : 0xC0);
+    emitModrm(W, Digit, I.Op1);
+    W.imm8(Cnt.ImmVal);
+    return;
+  }
+  if (Cnt.isReg() && Cnt.R == Reg::ECX) {
+    W.b(I.W ? 0xD3 : 0xD2);
+    emitModrm(W, Digit, I.Op1);
+    return;
+  }
+  W.fail();
+}
+
+void encodeControl(ByteWriter &W, const Instr &I) {
+  switch (I.Op) {
+  case Opcode::CALL:
+    if (I.Near && !I.Absolute && I.Op1.isImm()) {
+      W.b(0xE8);
+      W.imm32(I.Op1.ImmVal);
+      return;
+    }
+    if (I.Near && I.Absolute) {
+      W.b(0xFF);
+      emitModrm(W, 2, I.Op1);
+      return;
+    }
+    if (!I.Near && I.Absolute) {
+      W.b(0xFF);
+      emitModrm(W, 3, I.Op1);
+      return;
+    }
+    if (!I.Near && !I.Absolute && I.Op1.isImm() && I.Sel) {
+      W.b(0x9A);
+      W.imm32(I.Op1.ImmVal);
+      W.imm16(*I.Sel);
+      return;
+    }
+    break;
+  case Opcode::JMP:
+    if (I.Near && !I.Absolute && I.Op1.isImm()) {
+      if (fitsInt8(I.Op1.ImmVal)) {
+        W.b(0xEB);
+        W.imm8(I.Op1.ImmVal);
+      } else {
+        W.b(0xE9);
+        W.imm32(I.Op1.ImmVal);
+      }
+      return;
+    }
+    if (I.Near && I.Absolute) {
+      W.b(0xFF);
+      emitModrm(W, 4, I.Op1);
+      return;
+    }
+    if (!I.Near && I.Absolute) {
+      W.b(0xFF);
+      emitModrm(W, 5, I.Op1);
+      return;
+    }
+    if (!I.Near && !I.Absolute && I.Op1.isImm() && I.Sel) {
+      W.b(0xEA);
+      W.imm32(I.Op1.ImmVal);
+      W.imm16(*I.Sel);
+      return;
+    }
+    break;
+  case Opcode::Jcc:
+    if (I.Op1.isImm()) {
+      if (fitsInt8(I.Op1.ImmVal)) {
+        W.b(static_cast<uint8_t>(0x70 + encodingOf(I.CC)));
+        W.imm8(I.Op1.ImmVal);
+      } else {
+        W.b(0x0F);
+        W.b(static_cast<uint8_t>(0x80 + encodingOf(I.CC)));
+        W.imm32(I.Op1.ImmVal);
+      }
+      return;
+    }
+    break;
+  case Opcode::RET:
+    if (I.Near) {
+      if (I.Op1.isImm()) {
+        W.b(0xC2);
+        W.imm16(I.Op1.ImmVal);
+      } else {
+        W.b(0xC3);
+      }
+    } else {
+      if (I.Op1.isImm()) {
+        W.b(0xCA);
+        W.imm16(I.Op1.ImmVal);
+      } else {
+        W.b(0xCB);
+      }
+    }
+    return;
+  case Opcode::JCXZ:
+    W.b(0xE3);
+    W.imm8(I.Op1.ImmVal);
+    return;
+  case Opcode::LOOP:
+    W.b(0xE2);
+    W.imm8(I.Op1.ImmVal);
+    return;
+  case Opcode::LOOPZ:
+    W.b(0xE1);
+    W.imm8(I.Op1.ImmVal);
+    return;
+  case Opcode::LOOPNZ:
+    W.b(0xE0);
+    W.imm8(I.Op1.ImmVal);
+    return;
+  default:
+    break;
+  }
+  W.fail();
+}
+
+void encodeBody(ByteWriter &W, const Instr &I) {
+  uint32_t Bits = operandBits(I.Pfx, I.W);
+
+  if (auto TTT = aluIndex(I.Op)) {
+    encodeAlu(W, I, *TTT);
+    return;
+  }
+  if (auto Digit = shiftIndex(I.Op)) {
+    encodeShift(W, I, *Digit);
+    return;
+  }
+
+  switch (I.Op) {
+  // --- no-operand opcodes -------------------------------------------------
+  case Opcode::NOP: W.b(0x90); return;
+  case Opcode::HLT: W.b(0xF4); return;
+  case Opcode::CMC: W.b(0xF5); return;
+  case Opcode::CLC: W.b(0xF8); return;
+  case Opcode::STC: W.b(0xF9); return;
+  case Opcode::CLI: W.b(0xFA); return;
+  case Opcode::STI: W.b(0xFB); return;
+  case Opcode::CLD: W.b(0xFC); return;
+  case Opcode::STD: W.b(0xFD); return;
+  case Opcode::LAHF: W.b(0x9F); return;
+  case Opcode::SAHF: W.b(0x9E); return;
+  case Opcode::PUSHA: W.b(0x60); return;
+  case Opcode::POPA: W.b(0x61); return;
+  case Opcode::PUSHF: W.b(0x9C); return;
+  case Opcode::POPF: W.b(0x9D); return;
+  case Opcode::LEAVE: W.b(0xC9); return;
+  case Opcode::CWDE: W.b(0x98); return;
+  case Opcode::CDQ: W.b(0x99); return;
+  case Opcode::XLAT: W.b(0xD7); return;
+  case Opcode::INT3: W.b(0xCC); return;
+  case Opcode::INTO: W.b(0xCE); return;
+  case Opcode::IRET: W.b(0xCF); return;
+  case Opcode::AAA: W.b(0x37); return;
+  case Opcode::AAS: W.b(0x3F); return;
+  case Opcode::DAA: W.b(0x27); return;
+  case Opcode::DAS: W.b(0x2F); return;
+  case Opcode::AAM: W.b(0xD4); W.imm8(I.Op1.isImm() ? I.Op1.ImmVal : 10); return;
+  case Opcode::AAD: W.b(0xD5); W.imm8(I.Op1.isImm() ? I.Op1.ImmVal : 10); return;
+  case Opcode::INT: W.b(0xCD); W.imm8(I.Op1.ImmVal); return;
+  case Opcode::ENTER:
+    W.b(0xC8);
+    W.imm16(I.Op1.ImmVal);
+    W.imm8(I.Op2.ImmVal);
+    return;
+
+  // --- string operations (W bit selects byte/word form) -------------------
+  case Opcode::MOVS: W.b(I.W ? 0xA5 : 0xA4); return;
+  case Opcode::CMPS: W.b(I.W ? 0xA7 : 0xA6); return;
+  case Opcode::STOS: W.b(I.W ? 0xAB : 0xAA); return;
+  case Opcode::LODS: W.b(I.W ? 0xAD : 0xAC); return;
+  case Opcode::SCAS: W.b(I.W ? 0xAF : 0xAE); return;
+
+  // --- stack ---------------------------------------------------------------
+  case Opcode::PUSH:
+    if (I.Op1.isReg() && I.W && !I.Pfx.OpSize) {
+      W.b(static_cast<uint8_t>(0x50 + encodingOf(I.Op1.R)));
+      return;
+    }
+    if (I.Op1.isImm()) {
+      if (fitsInt8(I.Op1.ImmVal)) {
+        W.b(0x6A);
+        W.imm8(I.Op1.ImmVal);
+      } else {
+        W.b(0x68);
+        W.immW(I.Op1.ImmVal, Bits);
+      }
+      return;
+    }
+    W.b(0xFF);
+    emitModrm(W, 6, I.Op1);
+    return;
+  case Opcode::POP:
+    if (I.Op1.isReg() && I.W && !I.Pfx.OpSize) {
+      W.b(static_cast<uint8_t>(0x58 + encodingOf(I.Op1.R)));
+      return;
+    }
+    W.b(0x8F);
+    emitModrm(W, 0, I.Op1);
+    return;
+  case Opcode::PUSHSR:
+    switch (I.Seg) {
+    case SegReg::ES: W.b(0x06); return;
+    case SegReg::CS: W.b(0x0E); return;
+    case SegReg::SS: W.b(0x16); return;
+    case SegReg::DS: W.b(0x1E); return;
+    case SegReg::FS: W.b(0x0F); W.b(0xA0); return;
+    case SegReg::GS: W.b(0x0F); W.b(0xA8); return;
+    }
+    break;
+  case Opcode::POPSR:
+    switch (I.Seg) {
+    case SegReg::ES: W.b(0x07); return;
+    case SegReg::SS: W.b(0x17); return;
+    case SegReg::DS: W.b(0x1F); return;
+    case SegReg::FS: W.b(0x0F); W.b(0xA1); return;
+    case SegReg::GS: W.b(0x0F); W.b(0xA9); return;
+    case SegReg::CS: break; // POP CS does not exist
+    }
+    break;
+
+  // --- moves ----------------------------------------------------------------
+  case Opcode::MOV:
+    encodeMov(W, I);
+    return;
+  case Opcode::MOVSR:
+    // Op1 dst, Op2 src; one of them is the segment register I.Seg.
+    if (I.Op1.isNone()) {
+      // mov sreg, r/m16: 8E /r.
+      W.b(0x8E);
+      emitModrm(W, encodingOf(I.Seg), I.Op2);
+    } else {
+      // mov r/m16, sreg: 8C /r.
+      W.b(0x8C);
+      emitModrm(W, encodingOf(I.Seg), I.Op1);
+    }
+    return;
+  case Opcode::LEA:
+    if (!I.Op1.isReg() || !I.Op2.isMem())
+      break;
+    W.b(0x8D);
+    emitModrm(W, encodingOf(I.Op1.R), I.Op2);
+    return;
+  case Opcode::MOVSX:
+  case Opcode::MOVZX: {
+    if (!I.Op1.isReg())
+      break;
+    uint8_t Base = I.Op == Opcode::MOVSX ? 0xBE : 0xB6;
+    // W here is the *source* width bit: false = r/m8 source.
+    W.b(0x0F);
+    W.b(static_cast<uint8_t>(Base | (I.W ? 1 : 0)));
+    emitModrm(W, encodingOf(I.Op1.R), I.Op2);
+    return;
+  }
+
+  // --- inc/dec/unary --------------------------------------------------------
+  case Opcode::INC:
+    if (I.Op1.isReg() && I.W && !I.Pfx.OpSize) {
+      W.b(static_cast<uint8_t>(0x40 + encodingOf(I.Op1.R)));
+      return;
+    }
+    W.b(I.W ? 0xFF : 0xFE);
+    emitModrm(W, 0, I.Op1);
+    return;
+  case Opcode::DEC:
+    if (I.Op1.isReg() && I.W && !I.Pfx.OpSize) {
+      W.b(static_cast<uint8_t>(0x48 + encodingOf(I.Op1.R)));
+      return;
+    }
+    W.b(I.W ? 0xFF : 0xFE);
+    emitModrm(W, 1, I.Op1);
+    return;
+  case Opcode::NOT:
+    W.b(I.W ? 0xF7 : 0xF6);
+    emitModrm(W, 2, I.Op1);
+    return;
+  case Opcode::NEG:
+    W.b(I.W ? 0xF7 : 0xF6);
+    emitModrm(W, 3, I.Op1);
+    return;
+  case Opcode::MUL:
+    W.b(I.W ? 0xF7 : 0xF6);
+    emitModrm(W, 4, I.Op1);
+    return;
+  case Opcode::DIV:
+    W.b(I.W ? 0xF7 : 0xF6);
+    emitModrm(W, 6, I.Op1);
+    return;
+  case Opcode::IDIV:
+    W.b(I.W ? 0xF7 : 0xF6);
+    emitModrm(W, 7, I.Op1);
+    return;
+  case Opcode::IMUL:
+    if (I.Op2.isNone()) {
+      // One-operand form: F6/F7 /5.
+      W.b(I.W ? 0xF7 : 0xF6);
+      emitModrm(W, 5, I.Op1);
+      return;
+    }
+    if (!I.Op1.isReg())
+      break;
+    if (I.Op3.isImm()) {
+      if (fitsInt8(I.Op3.ImmVal)) {
+        W.b(0x6B);
+        emitModrm(W, encodingOf(I.Op1.R), I.Op2);
+        W.imm8(I.Op3.ImmVal);
+      } else {
+        W.b(0x69);
+        emitModrm(W, encodingOf(I.Op1.R), I.Op2);
+        W.immW(I.Op3.ImmVal, Bits);
+      }
+      return;
+    }
+    W.b(0x0F);
+    W.b(0xAF);
+    emitModrm(W, encodingOf(I.Op1.R), I.Op2);
+    return;
+
+  // --- test/xchg -------------------------------------------------------------
+  case Opcode::TEST:
+    if (I.Op2.isImm()) {
+      if (I.Op1.isReg() && I.Op1.R == Reg::EAX) {
+        W.b(I.W ? 0xA9 : 0xA8);
+        W.immW(I.Op2.ImmVal, Bits);
+        return;
+      }
+      W.b(I.W ? 0xF7 : 0xF6);
+      emitModrm(W, 0, I.Op1);
+      W.immW(I.Op2.ImmVal, Bits);
+      return;
+    }
+    if (I.Op2.isReg()) {
+      W.b(I.W ? 0x85 : 0x84);
+      emitModrm(W, encodingOf(I.Op2.R), I.Op1);
+      return;
+    }
+    break;
+  case Opcode::XCHG:
+    if (I.Op1.isReg() && I.Op2.isReg() && I.Op1.R == Reg::EAX && I.W &&
+        !I.Pfx.OpSize && I.Op2.R != Reg::EAX) {
+      W.b(static_cast<uint8_t>(0x90 + encodingOf(I.Op2.R)));
+      return;
+    }
+    if (I.Op2.isReg()) {
+      W.b(I.W ? 0x87 : 0x86);
+      emitModrm(W, encodingOf(I.Op2.R), I.Op1);
+      return;
+    }
+    break;
+
+  // --- control transfer -------------------------------------------------------
+  case Opcode::CALL:
+  case Opcode::JMP:
+  case Opcode::Jcc:
+  case Opcode::RET:
+  case Opcode::JCXZ:
+  case Opcode::LOOP:
+  case Opcode::LOOPZ:
+  case Opcode::LOOPNZ:
+    encodeControl(W, I);
+    return;
+
+  // --- conditional data ops -----------------------------------------------
+  case Opcode::SETcc:
+    W.b(0x0F);
+    W.b(static_cast<uint8_t>(0x90 + encodingOf(I.CC)));
+    emitModrm(W, 0, I.Op1);
+    return;
+  case Opcode::CMOVcc:
+    if (!I.Op1.isReg())
+      break;
+    W.b(0x0F);
+    W.b(static_cast<uint8_t>(0x40 + encodingOf(I.CC)));
+    emitModrm(W, encodingOf(I.Op1.R), I.Op2);
+    return;
+
+  // --- bit operations ---------------------------------------------------------
+  case Opcode::BSF:
+  case Opcode::BSR:
+    if (!I.Op1.isReg())
+      break;
+    W.b(0x0F);
+    W.b(I.Op == Opcode::BSF ? 0xBC : 0xBD);
+    emitModrm(W, encodingOf(I.Op1.R), I.Op2);
+    return;
+  case Opcode::BSWAP:
+    if (!I.Op1.isReg())
+      break;
+    W.b(0x0F);
+    W.b(static_cast<uint8_t>(0xC8 + encodingOf(I.Op1.R)));
+    return;
+  case Opcode::BT:
+  case Opcode::BTS:
+  case Opcode::BTR:
+  case Opcode::BTC: {
+    uint8_t Digit, RegOp;
+    switch (I.Op) {
+    case Opcode::BT: Digit = 4; RegOp = 0xA3; break;
+    case Opcode::BTS: Digit = 5; RegOp = 0xAB; break;
+    case Opcode::BTR: Digit = 6; RegOp = 0xB3; break;
+    default: Digit = 7; RegOp = 0xBB; break;
+    }
+    if (I.Op2.isImm()) {
+      W.b(0x0F);
+      W.b(0xBA);
+      emitModrm(W, Digit, I.Op1);
+      W.imm8(I.Op2.ImmVal);
+      return;
+    }
+    if (I.Op2.isReg()) {
+      W.b(0x0F);
+      W.b(RegOp);
+      emitModrm(W, encodingOf(I.Op2.R), I.Op1);
+      return;
+    }
+    break;
+  }
+
+  // --- double shifts -----------------------------------------------------------
+  case Opcode::SHLD:
+  case Opcode::SHRD: {
+    if (!I.Op2.isReg())
+      break;
+    uint8_t Base = I.Op == Opcode::SHLD ? 0xA4 : 0xAC;
+    if (I.Op3.isImm()) {
+      W.b(0x0F);
+      W.b(Base);
+      emitModrm(W, encodingOf(I.Op2.R), I.Op1);
+      W.imm8(I.Op3.ImmVal);
+      return;
+    }
+    if (I.Op3.isReg() && I.Op3.R == Reg::ECX) {
+      W.b(0x0F);
+      W.b(static_cast<uint8_t>(Base + 1));
+      emitModrm(W, encodingOf(I.Op2.R), I.Op1);
+      return;
+    }
+    break;
+  }
+
+  // --- atomic-style RMW ---------------------------------------------------------
+  case Opcode::XADD:
+    if (!I.Op2.isReg())
+      break;
+    W.b(0x0F);
+    W.b(I.W ? 0xC1 : 0xC0);
+    emitModrm(W, encodingOf(I.Op2.R), I.Op1);
+    return;
+  case Opcode::CMPXCHG:
+    if (!I.Op2.isReg())
+      break;
+    W.b(0x0F);
+    W.b(I.W ? 0xB1 : 0xB0);
+    emitModrm(W, encodingOf(I.Op2.R), I.Op1);
+    return;
+
+  // --- far pointer loads ----------------------------------------------------
+  case Opcode::LDS:
+  case Opcode::LES:
+  case Opcode::LSS:
+  case Opcode::LFS:
+  case Opcode::LGS: {
+    if (!I.Op1.isReg() || !I.Op2.isMem())
+      break;
+    switch (I.Op) {
+    case Opcode::LES: W.b(0xC4); break;
+    case Opcode::LDS: W.b(0xC5); break;
+    case Opcode::LSS: W.b(0x0F); W.b(0xB2); break;
+    case Opcode::LFS: W.b(0x0F); W.b(0xB4); break;
+    default: W.b(0x0F); W.b(0xB5); break;
+    }
+    emitModrm(W, encodingOf(I.Op1.R), I.Op2);
+    return;
+  }
+
+  // --- I/O ports ----------------------------------------------------------------
+  case Opcode::IN:
+    if (I.Op2.isImm()) {
+      W.b(I.W ? 0xE5 : 0xE4);
+      W.imm8(I.Op2.ImmVal);
+    } else {
+      W.b(I.W ? 0xED : 0xEC);
+    }
+    return;
+  case Opcode::OUT:
+    if (I.Op1.isImm()) {
+      W.b(I.W ? 0xE7 : 0xE6);
+      W.imm8(I.Op1.ImmVal);
+    } else {
+      W.b(I.W ? 0xEF : 0xEE);
+    }
+    return;
+
+  default:
+    break;
+  }
+  W.fail();
+}
+
+} // namespace
+
+std::optional<std::vector<uint8_t>> x86::encode(const Instr &I) {
+  ByteWriter W;
+  emitPrefixes(W, I.Pfx);
+  encodeBody(W, I);
+  if (!W.Ok)
+    return std::nullopt;
+  return std::move(W.Bytes);
+}
+
+std::vector<uint8_t> x86::encodeOrDie(const Instr &I) {
+  std::optional<std::vector<uint8_t>> Bytes = encode(I);
+  assert(Bytes && "instruction shape has no encoding");
+  return std::move(*Bytes);
+}

@@ -1,0 +1,39 @@
+//===- x86/Encoder.h - Instruction encoder (assembler) ---------*- C++ -*-===//
+///
+/// \file
+/// Encodes abstract-syntax instructions back to bytes. This plays the
+/// role of the assembler underneath the paper's NaCl-compiler substrate:
+/// the workload generator and the NaCl-izing code generator produce
+/// Instr values and rely on this encoder, and the round-trip property
+/// tests (encode then decode) validate the decoders against it.
+///
+/// The encoder picks one canonical encoding per instruction form (e.g.
+/// modrm forms over the short moffs MOV forms, the sign-extended imm8 ALU
+/// form when the immediate fits). Alternate encodings are still decoded;
+/// they are exercised by byte-level decoder tests and grammar fuzzing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_X86_ENCODER_H
+#define ROCKSALT_X86_ENCODER_H
+
+#include "x86/Instr.h"
+
+#include <optional>
+#include <vector>
+
+namespace rocksalt {
+namespace x86 {
+
+/// Encodes \p I; returns std::nullopt for operand shapes this model has
+/// no encoding for (e.g. an ALU op with two memory operands).
+std::optional<std::vector<uint8_t>> encode(const Instr &I);
+
+/// Convenience: encodes and asserts success. For code generators that
+/// construct only encodable instructions.
+std::vector<uint8_t> encodeOrDie(const Instr &I);
+
+} // namespace x86
+} // namespace rocksalt
+
+#endif // ROCKSALT_X86_ENCODER_H

@@ -1,0 +1,755 @@
+//===- x86/FastDecoder.cpp ------------------------------------*- C++ -*-===//
+
+#include "x86/FastDecoder.h"
+
+using namespace rocksalt;
+using namespace rocksalt::x86;
+
+namespace {
+
+constexpr size_t MaxInstrLen = 15;
+
+/// Byte cursor with failure tracking.
+class Reader {
+  const uint8_t *Data;
+  size_t Size;
+
+public:
+  size_t Pos = 0;
+  bool Failed = false;
+
+  Reader(const uint8_t *D, size_t S)
+      : Data(D), Size(S < MaxInstrLen ? S : MaxInstrLen) {}
+
+  uint8_t peek() {
+    if (Pos >= Size) {
+      Failed = true;
+      return 0;
+    }
+    return Data[Pos];
+  }
+  uint8_t u8() {
+    uint8_t B = peek();
+    if (!Failed)
+      ++Pos;
+    return B;
+  }
+  uint32_t u16() {
+    uint32_t Lo = u8();
+    uint32_t Hi = u8();
+    return Lo | (Hi << 8);
+  }
+  uint32_t u32() {
+    uint32_t Lo = u16();
+    uint32_t Hi = u16();
+    return Lo | (Hi << 16);
+  }
+  uint32_t s8() {
+    return static_cast<uint32_t>(
+        static_cast<int32_t>(static_cast<int8_t>(u8())));
+  }
+  /// Word immediate: 16-bit under the operand-size override.
+  uint32_t immW(bool Op16) { return Op16 ? u16() : u32(); }
+};
+
+struct ModRM {
+  uint8_t RegField = 0;
+  Operand Rm;
+};
+
+/// Decodes modrm (+sib +disp) with the same canonicalization the grammar
+/// uses: disp8 sign-extended, SIB index 100 = no index, mod=00 base=101
+/// (plain or SIB) = disp32 with no base.
+ModRM readModrm(Reader &R) {
+  ModRM Out;
+  uint8_t B = R.u8();
+  uint8_t Mod = B >> 6;
+  Out.RegField = (B >> 3) & 7;
+  uint8_t Rm = B & 7;
+
+  if (Mod == 3) {
+    Out.Rm = Operand::reg(regFromEncoding(Rm));
+    return Out;
+  }
+
+  Addr A;
+  if (Rm == 4) {
+    uint8_t Sib = R.u8();
+    uint8_t ScaleBits = Sib >> 6;
+    uint8_t IndexEnc = (Sib >> 3) & 7;
+    uint8_t BaseEnc = Sib & 7;
+    if (IndexEnc != 4)
+      A.Index = std::make_pair(static_cast<Scale>(ScaleBits),
+                               regFromEncoding(IndexEnc));
+    if (Mod == 0 && BaseEnc == 5) {
+      A.Disp = R.u32();
+    } else {
+      A.Base = regFromEncoding(BaseEnc);
+      if (Mod == 1)
+        A.Disp = R.s8();
+      else if (Mod == 2)
+        A.Disp = R.u32();
+    }
+  } else if (Mod == 0 && Rm == 5) {
+    A.Disp = R.u32();
+  } else {
+    A.Base = regFromEncoding(Rm);
+    if (Mod == 1)
+      A.Disp = R.s8();
+    else if (Mod == 2)
+      A.Disp = R.u32();
+  }
+  Out.Rm = Operand::mem(A);
+  return Out;
+}
+
+Instr makeInstr(Opcode Op) {
+  Instr I;
+  I.Op = Op;
+  return I;
+}
+
+/// Two-byte (0F xx) opcode map.
+std::optional<Instr> decode0F(Reader &R, bool Op16) {
+  uint8_t B = R.u8();
+
+  // CMOVcc.
+  if ((B & 0xF0) == 0x40) {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(Opcode::CMOVcc);
+    I.CC = condFromEncoding(B & 0x0F);
+    I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op2 = M.Rm;
+    return I;
+  }
+  // Jcc rel32.
+  if ((B & 0xF0) == 0x80) {
+    Instr I = makeInstr(Opcode::Jcc);
+    I.CC = condFromEncoding(B & 0x0F);
+    I.Op1 = Operand::imm(R.u32());
+    return I;
+  }
+  // SETcc (the grammar requires the /0 digit).
+  if ((B & 0xF0) == 0x90) {
+    ModRM M = readModrm(R);
+    if (M.RegField != 0)
+      return std::nullopt;
+    Instr I = makeInstr(Opcode::SETcc);
+    I.W = false;
+    I.CC = condFromEncoding(B & 0x0F);
+    I.Op1 = M.Rm;
+    return I;
+  }
+  // BSWAP.
+  if ((B & 0xF8) == 0xC8) {
+    Instr I = makeInstr(Opcode::BSWAP);
+    I.Op1 = Operand::reg(regFromEncoding(B & 7));
+    return I;
+  }
+
+  auto RegRm = [&R](Opcode Op) -> std::optional<Instr> {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(Op);
+    I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op2 = M.Rm;
+    return I;
+  };
+  auto RmReg = [&R](Opcode Op, bool W) -> std::optional<Instr> {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(Op);
+    I.W = W;
+    I.Op1 = M.Rm;
+    I.Op2 = Operand::reg(regFromEncoding(M.RegField));
+    return I;
+  };
+  auto FarLoad = [&R](Opcode Op) -> std::optional<Instr> {
+    ModRM M = readModrm(R);
+    if (!M.Rm.isMem())
+      return std::nullopt;
+    Instr I = makeInstr(Op);
+    I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op2 = M.Rm;
+    return I;
+  };
+  auto SegStack = [](Opcode Op, SegReg S) {
+    Instr I = makeInstr(Op);
+    I.Seg = S;
+    return I;
+  };
+
+  switch (B) {
+  case 0xA0: return SegStack(Opcode::PUSHSR, SegReg::FS);
+  case 0xA1: return SegStack(Opcode::POPSR, SegReg::FS);
+  case 0xA8: return SegStack(Opcode::PUSHSR, SegReg::GS);
+  case 0xA9: return SegStack(Opcode::POPSR, SegReg::GS);
+  case 0xA3: return RmReg(Opcode::BT, true);
+  case 0xAB: return RmReg(Opcode::BTS, true);
+  case 0xB3: return RmReg(Opcode::BTR, true);
+  case 0xBB: return RmReg(Opcode::BTC, true);
+  case 0xA4:
+  case 0xAC: {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(B == 0xA4 ? Opcode::SHLD : Opcode::SHRD);
+    I.Op1 = M.Rm;
+    I.Op2 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op3 = Operand::imm(R.u8());
+    return I;
+  }
+  case 0xA5:
+  case 0xAD: {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(B == 0xA5 ? Opcode::SHLD : Opcode::SHRD);
+    I.Op1 = M.Rm;
+    I.Op2 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op3 = Operand::reg(Reg::ECX);
+    return I;
+  }
+  case 0xAF: return RegRm(Opcode::IMUL);
+  case 0xB0:
+  case 0xB1: return RmReg(Opcode::CMPXCHG, B & 1);
+  case 0xC0:
+  case 0xC1: return RmReg(Opcode::XADD, B & 1);
+  case 0xB2: return FarLoad(Opcode::LSS);
+  case 0xB4: return FarLoad(Opcode::LFS);
+  case 0xB5: return FarLoad(Opcode::LGS);
+  case 0xB6:
+  case 0xB7:
+  case 0xBE:
+  case 0xBF: {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(B < 0xBE ? Opcode::MOVZX : Opcode::MOVSX);
+    I.W = B & 1; // source width bit
+    I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op2 = M.Rm;
+    return I;
+  }
+  case 0xBA: {
+    ModRM M = readModrm(R);
+    Opcode Op;
+    switch (M.RegField) {
+    case 4: Op = Opcode::BT; break;
+    case 5: Op = Opcode::BTS; break;
+    case 6: Op = Opcode::BTR; break;
+    case 7: Op = Opcode::BTC; break;
+    default: return std::nullopt;
+    }
+    Instr I = makeInstr(Op);
+    I.Op1 = M.Rm;
+    I.Op2 = Operand::imm(R.u8());
+    return I;
+  }
+  case 0xBC: return RegRm(Opcode::BSF);
+  case 0xBD: return RegRm(Opcode::BSR);
+  default:
+    return std::nullopt;
+  }
+  (void)Op16;
+}
+
+/// One-byte opcode map.
+std::optional<Instr> decodeBody(Reader &R, bool Op16) {
+  uint8_t B = R.u8();
+  if (R.Failed)
+    return std::nullopt;
+
+  // ALU family 00-3D (skipping the 06/07/0E/0F/16/17/1E/1F/26/27/2E/2F/
+  // 36/37/3E/3F columns handled below).
+  if (B < 0x40) {
+    uint8_t Low = B & 7;
+    uint8_t TTT = (B >> 3) & 7;
+    static const Opcode AluOps[] = {Opcode::ADD, Opcode::OR,  Opcode::ADC,
+                                    Opcode::SBB, Opcode::AND, Opcode::SUB,
+                                    Opcode::XOR, Opcode::CMP};
+    if (Low < 6) {
+      Opcode Op = AluOps[TTT];
+      if (Low < 4) {
+        ModRM M = readModrm(R);
+        Instr I = makeInstr(Op);
+        I.W = Low & 1;
+        if (Low < 2) {
+          I.Op1 = M.Rm;
+          I.Op2 = Operand::reg(regFromEncoding(M.RegField));
+        } else {
+          I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+          I.Op2 = M.Rm;
+        }
+        return I;
+      }
+      Instr I = makeInstr(Op);
+      I.Op1 = Operand::reg(Reg::EAX);
+      if (Low == 4) {
+        I.W = false;
+        I.Op2 = Operand::imm(R.u8());
+      } else {
+        I.Op2 = Operand::imm(R.immW(Op16));
+      }
+      return I;
+    }
+    // Columns 6/7: segment push/pop and the BCD adjust column.
+    switch (B) {
+    case 0x06: { Instr I = makeInstr(Opcode::PUSHSR); I.Seg = SegReg::ES; return I; }
+    case 0x07: { Instr I = makeInstr(Opcode::POPSR); I.Seg = SegReg::ES; return I; }
+    case 0x0E: { Instr I = makeInstr(Opcode::PUSHSR); I.Seg = SegReg::CS; return I; }
+    case 0x16: { Instr I = makeInstr(Opcode::PUSHSR); I.Seg = SegReg::SS; return I; }
+    case 0x17: { Instr I = makeInstr(Opcode::POPSR); I.Seg = SegReg::SS; return I; }
+    case 0x1E: { Instr I = makeInstr(Opcode::PUSHSR); I.Seg = SegReg::DS; return I; }
+    case 0x1F: { Instr I = makeInstr(Opcode::POPSR); I.Seg = SegReg::DS; return I; }
+    case 0x0F: return decode0F(R, Op16);
+    case 0x27: return makeInstr(Opcode::DAA);
+    case 0x2F: return makeInstr(Opcode::DAS);
+    case 0x37: return makeInstr(Opcode::AAA);
+    case 0x3F: return makeInstr(Opcode::AAS);
+    default:
+      return std::nullopt; // stray prefix bytes land here too
+    }
+  }
+
+  // 40-5F: inc/dec/push/pop r32.
+  if (B < 0x60) {
+    static const Opcode Ops[] = {Opcode::INC, Opcode::DEC, Opcode::PUSH,
+                                 Opcode::POP};
+    Instr I = makeInstr(Ops[(B - 0x40) >> 3]);
+    I.Op1 = Operand::reg(regFromEncoding(B & 7));
+    return I;
+  }
+
+  switch (B) {
+  case 0x60: return makeInstr(Opcode::PUSHA);
+  case 0x61: return makeInstr(Opcode::POPA);
+  case 0x68: {
+    Instr I = makeInstr(Opcode::PUSH);
+    I.Op1 = Operand::imm(R.immW(Op16));
+    return I;
+  }
+  case 0x6A: {
+    Instr I = makeInstr(Opcode::PUSH);
+    I.Op1 = Operand::imm(R.s8());
+    return I;
+  }
+  case 0x69:
+  case 0x6B: {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(Opcode::IMUL);
+    I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op2 = M.Rm;
+    I.Op3 = Operand::imm(B == 0x69 ? R.immW(Op16) : R.s8());
+    return I;
+  }
+  default:
+    break;
+  }
+
+  // 70-7F: Jcc rel8.
+  if ((B & 0xF0) == 0x70) {
+    Instr I = makeInstr(Opcode::Jcc);
+    I.CC = condFromEncoding(B & 0x0F);
+    I.Op1 = Operand::imm(R.s8());
+    return I;
+  }
+
+  switch (B) {
+  case 0x80:
+  case 0x81:
+  case 0x83: {
+    ModRM M = readModrm(R);
+    static const Opcode AluOps[] = {Opcode::ADD, Opcode::OR,  Opcode::ADC,
+                                    Opcode::SBB, Opcode::AND, Opcode::SUB,
+                                    Opcode::XOR, Opcode::CMP};
+    Instr I = makeInstr(AluOps[M.RegField]);
+    I.Op1 = M.Rm;
+    if (B == 0x80) {
+      I.W = false;
+      I.Op2 = Operand::imm(R.u8());
+    } else if (B == 0x81) {
+      I.Op2 = Operand::imm(R.immW(Op16));
+    } else {
+      I.Op2 = Operand::imm(R.s8());
+    }
+    return I;
+  }
+  case 0x84:
+  case 0x85: {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(Opcode::TEST);
+    I.W = B & 1;
+    I.Op1 = M.Rm;
+    I.Op2 = Operand::reg(regFromEncoding(M.RegField));
+    return I;
+  }
+  case 0x86:
+  case 0x87: {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(Opcode::XCHG);
+    I.W = B & 1;
+    I.Op1 = M.Rm;
+    I.Op2 = Operand::reg(regFromEncoding(M.RegField));
+    return I;
+  }
+  case 0x88:
+  case 0x89:
+  case 0x8A:
+  case 0x8B: {
+    ModRM M = readModrm(R);
+    Instr I = makeInstr(Opcode::MOV);
+    I.W = B & 1;
+    if (B < 0x8A) {
+      I.Op1 = M.Rm;
+      I.Op2 = Operand::reg(regFromEncoding(M.RegField));
+    } else {
+      I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+      I.Op2 = M.Rm;
+    }
+    return I;
+  }
+  case 0x8C:
+  case 0x8E: {
+    ModRM M = readModrm(R);
+    if (M.RegField >= NumSegRegs)
+      return std::nullopt;
+    Instr I = makeInstr(Opcode::MOVSR);
+    I.Seg = segFromEncoding(M.RegField);
+    if (B == 0x8C)
+      I.Op1 = M.Rm;
+    else
+      I.Op2 = M.Rm;
+    return I;
+  }
+  case 0x8D: {
+    ModRM M = readModrm(R);
+    if (!M.Rm.isMem())
+      return std::nullopt;
+    Instr I = makeInstr(Opcode::LEA);
+    I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op2 = M.Rm;
+    return I;
+  }
+  case 0x8F: {
+    ModRM M = readModrm(R);
+    if (M.RegField != 0)
+      return std::nullopt;
+    Instr I = makeInstr(Opcode::POP);
+    I.Op1 = M.Rm;
+    return I;
+  }
+  case 0x90: return makeInstr(Opcode::NOP);
+  case 0x98: return makeInstr(Opcode::CWDE);
+  case 0x99: return makeInstr(Opcode::CDQ);
+  case 0x9A: {
+    Instr I = makeInstr(Opcode::CALL);
+    I.Near = false;
+    I.Absolute = false;
+    I.Op1 = Operand::imm(R.u32());
+    I.Sel = static_cast<uint16_t>(R.u16());
+    return I;
+  }
+  case 0x9C: return makeInstr(Opcode::PUSHF);
+  case 0x9D: return makeInstr(Opcode::POPF);
+  case 0x9E: return makeInstr(Opcode::SAHF);
+  case 0x9F: return makeInstr(Opcode::LAHF);
+  case 0xA0:
+  case 0xA1:
+  case 0xA2:
+  case 0xA3: {
+    Instr I = makeInstr(Opcode::MOV);
+    I.W = B & 1;
+    Operand M = Operand::mem(Addr::disp(R.u32()));
+    Operand A = Operand::reg(Reg::EAX);
+    if (B < 0xA2) {
+      I.Op1 = A;
+      I.Op2 = M;
+    } else {
+      I.Op1 = M;
+      I.Op2 = A;
+    }
+    return I;
+  }
+  case 0xA8:
+  case 0xA9: {
+    Instr I = makeInstr(Opcode::TEST);
+    I.W = B & 1;
+    I.Op1 = Operand::reg(Reg::EAX);
+    I.Op2 = Operand::imm(B == 0xA8 ? R.u8() : R.immW(Op16));
+    return I;
+  }
+  case 0xC2:
+  case 0xC3:
+  case 0xCA:
+  case 0xCB: {
+    Instr I = makeInstr(Opcode::RET);
+    I.Near = B < 0xCA;
+    if ((B & 1) == 0)
+      I.Op1 = Operand::imm(R.u16());
+    return I;
+  }
+  case 0xC4:
+  case 0xC5: {
+    ModRM M = readModrm(R);
+    if (!M.Rm.isMem())
+      return std::nullopt;
+    Instr I = makeInstr(B == 0xC4 ? Opcode::LES : Opcode::LDS);
+    I.Op1 = Operand::reg(regFromEncoding(M.RegField));
+    I.Op2 = M.Rm;
+    return I;
+  }
+  case 0xC6:
+  case 0xC7: {
+    ModRM M = readModrm(R);
+    if (M.RegField != 0)
+      return std::nullopt;
+    Instr I = makeInstr(Opcode::MOV);
+    I.W = B & 1;
+    I.Op1 = M.Rm;
+    I.Op2 = Operand::imm(B == 0xC6 ? R.u8() : R.immW(Op16));
+    return I;
+  }
+  case 0xC8: {
+    Instr I = makeInstr(Opcode::ENTER);
+    I.Op1 = Operand::imm(R.u16());
+    I.Op2 = Operand::imm(R.u8());
+    return I;
+  }
+  case 0xC9: return makeInstr(Opcode::LEAVE);
+  case 0xCC: return makeInstr(Opcode::INT3);
+  case 0xCD: {
+    Instr I = makeInstr(Opcode::INT);
+    I.Op1 = Operand::imm(R.u8());
+    return I;
+  }
+  case 0xCE: return makeInstr(Opcode::INTO);
+  case 0xCF: return makeInstr(Opcode::IRET);
+  case 0xD4:
+  case 0xD5: {
+    Instr I = makeInstr(B == 0xD4 ? Opcode::AAM : Opcode::AAD);
+    I.Op1 = Operand::imm(R.u8());
+    return I;
+  }
+  case 0xD7: return makeInstr(Opcode::XLAT);
+  case 0xE3: {
+    Instr I = makeInstr(Opcode::JCXZ);
+    I.Op1 = Operand::imm(R.s8());
+    return I;
+  }
+  case 0xE2:
+  case 0xE1:
+  case 0xE0: {
+    static const Opcode LoopOps[] = {Opcode::LOOPNZ, Opcode::LOOPZ,
+                                     Opcode::LOOP};
+    Instr I = makeInstr(LoopOps[B - 0xE0]);
+    I.Op1 = Operand::imm(R.s8());
+    return I;
+  }
+  case 0xE8: {
+    Instr I = makeInstr(Opcode::CALL);
+    I.Op1 = Operand::imm(R.u32());
+    return I;
+  }
+  case 0xE9:
+  case 0xEB: {
+    Instr I = makeInstr(Opcode::JMP);
+    I.Op1 = Operand::imm(B == 0xE9 ? R.u32() : R.s8());
+    return I;
+  }
+  case 0xEA: {
+    Instr I = makeInstr(Opcode::JMP);
+    I.Near = false;
+    I.Absolute = false;
+    I.Op1 = Operand::imm(R.u32());
+    I.Sel = static_cast<uint16_t>(R.u16());
+    return I;
+  }
+  case 0xF4: return makeInstr(Opcode::HLT);
+  case 0xF5: return makeInstr(Opcode::CMC);
+  case 0xF8: return makeInstr(Opcode::CLC);
+  case 0xF9: return makeInstr(Opcode::STC);
+  case 0xFA: return makeInstr(Opcode::CLI);
+  case 0xFB: return makeInstr(Opcode::STI);
+  case 0xFC: return makeInstr(Opcode::CLD);
+  case 0xFD: return makeInstr(Opcode::STD);
+  default:
+    break;
+  }
+
+  // 91-97: xchg eAX, r.
+  if (B > 0x90 && B <= 0x97) {
+    Instr I = makeInstr(Opcode::XCHG);
+    I.Op1 = Operand::reg(Reg::EAX);
+    I.Op2 = Operand::reg(regFromEncoding(B & 7));
+    return I;
+  }
+  // B0-BF: mov r, imm.
+  if ((B & 0xF0) == 0xB0) {
+    Instr I = makeInstr(Opcode::MOV);
+    I.W = B >= 0xB8;
+    I.Op1 = Operand::reg(regFromEncoding(B & 7));
+    I.Op2 = Operand::imm(I.W ? R.immW(Op16) : R.u8());
+    return I;
+  }
+  // C0/C1, D0-D3: shift group.
+  if (B == 0xC0 || B == 0xC1 || (B >= 0xD0 && B <= 0xD3)) {
+    ModRM M = readModrm(R);
+    static const Opcode ShiftOps[] = {Opcode::ROL, Opcode::ROR, Opcode::RCL,
+                                      Opcode::RCR, Opcode::SHL, Opcode::SHR,
+                                      Opcode::SHL /*unused*/, Opcode::SAR};
+    if (M.RegField == 6)
+      return std::nullopt;
+    Instr I = makeInstr(ShiftOps[M.RegField]);
+    I.W = B & 1;
+    I.Op1 = M.Rm;
+    if (B <= 0xC1)
+      I.Op2 = Operand::imm(R.u8());
+    else if (B <= 0xD1)
+      I.Op2 = Operand::imm(1);
+    else
+      I.Op2 = Operand::reg(Reg::ECX);
+    return I;
+  }
+  // E4-E7, EC-EF: in/out.
+  if ((B & 0xF4) == 0xE4) {
+    bool IsOut = B & 2;
+    bool HasImm = !(B & 8);
+    Instr I = makeInstr(IsOut ? Opcode::OUT : Opcode::IN);
+    I.W = B & 1;
+    Operand Port =
+        HasImm ? Operand::imm(R.u8()) : Operand::none();
+    if (IsOut) {
+      I.Op1 = Port;
+      I.Op2 = Operand::reg(Reg::EAX);
+    } else {
+      I.Op1 = Operand::reg(Reg::EAX);
+      I.Op2 = Port;
+    }
+    return I;
+  }
+  // A4-A7, AA-AF: string ops.
+  if (B >= 0xA4 && B <= 0xAF && B != 0xA8 && B != 0xA9) {
+    static const Opcode StrOps[] = {Opcode::MOVS, Opcode::MOVS, Opcode::CMPS,
+                                    Opcode::CMPS, Opcode::NOP,  Opcode::NOP,
+                                    Opcode::STOS, Opcode::STOS, Opcode::LODS,
+                                    Opcode::LODS, Opcode::SCAS, Opcode::SCAS};
+    Instr I = makeInstr(StrOps[B - 0xA4]);
+    I.W = B & 1;
+    return I;
+  }
+  // F6/F7: unary group.
+  if (B == 0xF6 || B == 0xF7) {
+    ModRM M = readModrm(R);
+    Instr I;
+    I.W = B & 1;
+    switch (M.RegField) {
+    case 0:
+      I.Op = Opcode::TEST;
+      I.Op1 = M.Rm;
+      I.Op2 = Operand::imm(B == 0xF6 ? R.u8() : R.immW(Op16));
+      return I;
+    case 2: I.Op = Opcode::NOT; break;
+    case 3: I.Op = Opcode::NEG; break;
+    case 4: I.Op = Opcode::MUL; break;
+    case 5: I.Op = Opcode::IMUL; break;
+    case 6: I.Op = Opcode::DIV; break;
+    case 7: I.Op = Opcode::IDIV; break;
+    default: return std::nullopt;
+    }
+    I.Op1 = M.Rm;
+    return I;
+  }
+  // FE: inc/dec r/m8.
+  if (B == 0xFE) {
+    ModRM M = readModrm(R);
+    if (M.RegField > 1)
+      return std::nullopt;
+    Instr I = makeInstr(M.RegField == 0 ? Opcode::INC : Opcode::DEC);
+    I.W = false;
+    I.Op1 = M.Rm;
+    return I;
+  }
+  // FF: inc/dec/call/jmp/push group.
+  if (B == 0xFF) {
+    ModRM M = readModrm(R);
+    Instr I;
+    switch (M.RegField) {
+    case 0: I.Op = Opcode::INC; I.Op1 = M.Rm; return I;
+    case 1: I.Op = Opcode::DEC; I.Op1 = M.Rm; return I;
+    case 2:
+      I.Op = Opcode::CALL;
+      I.Absolute = true;
+      I.Op1 = M.Rm;
+      return I;
+    case 3:
+      if (!M.Rm.isMem())
+        return std::nullopt;
+      I.Op = Opcode::CALL;
+      I.Near = false;
+      I.Absolute = true;
+      I.Op1 = M.Rm;
+      return I;
+    case 4:
+      I.Op = Opcode::JMP;
+      I.Absolute = true;
+      I.Op1 = M.Rm;
+      return I;
+    case 5:
+      if (!M.Rm.isMem())
+        return std::nullopt;
+      I.Op = Opcode::JMP;
+      I.Near = false;
+      I.Absolute = true;
+      I.Op1 = M.Rm;
+      return I;
+    case 6: I.Op = Opcode::PUSH; I.Op1 = M.Rm; return I;
+    default: return std::nullopt;
+    }
+  }
+
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Decoded> x86::fastDecode(const uint8_t *Data, size_t Size) {
+  Reader R(Data, Size);
+  Prefix Pfx;
+
+  // Canonical prefix order: [lock|rep] [seg] [66].
+  uint8_t Next = R.peek();
+  if (!R.Failed && (Next == 0xF0 || Next == 0xF2 || Next == 0xF3)) {
+    R.u8();
+    if (Next == 0xF0)
+      Pfx.Lock = true;
+    else
+      Pfx.Rep = Next == 0xF3 ? Prefix::RepKind::Rep : Prefix::RepKind::RepNe;
+  }
+  Next = R.peek();
+  if (!R.Failed) {
+    switch (Next) {
+    case 0x26: Pfx.SegOverride = SegReg::ES; R.u8(); break;
+    case 0x2E: Pfx.SegOverride = SegReg::CS; R.u8(); break;
+    case 0x36: Pfx.SegOverride = SegReg::SS; R.u8(); break;
+    case 0x3E: Pfx.SegOverride = SegReg::DS; R.u8(); break;
+    case 0x64: Pfx.SegOverride = SegReg::FS; R.u8(); break;
+    case 0x65: Pfx.SegOverride = SegReg::GS; R.u8(); break;
+    default: break;
+    }
+  }
+  Next = R.peek();
+  if (!R.Failed && Next == 0x66) {
+    R.u8();
+    Pfx.OpSize = true;
+  }
+
+  std::optional<Instr> I = decodeBody(R, Pfx.OpSize);
+  if (!I || R.Failed)
+    return std::nullopt;
+  I->Pfx.Lock = Pfx.Lock;
+  I->Pfx.Rep = Pfx.Rep;
+  I->Pfx.SegOverride = Pfx.SegOverride;
+  I->Pfx.OpSize = Pfx.OpSize;
+
+  Decoded D;
+  D.I = *I;
+  D.Length = static_cast<uint8_t>(R.Pos);
+  return D;
+}
+
+std::optional<Decoded> x86::fastDecode(const std::vector<uint8_t> &Bytes) {
+  return fastDecode(Bytes.data(), Bytes.size());
+}

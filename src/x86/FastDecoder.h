@@ -1,0 +1,45 @@
+//===- x86/FastDecoder.h - Independent table-driven decoder ----*- C++ -*-===//
+///
+/// \file
+/// A second, hand-written decoder for the same instruction subset as the
+/// declarative grammars. It exists for two reasons, both from the paper:
+///
+///  1. *Validation* (section 2.5): the paper validates its model against
+///     real hardware via Pin; lacking hardware, we validate the
+///     grammar-derived decoder and this one against each other over
+///     grammar-directed fuzz streams — two independently written
+///     implementations standing in for "model vs implementation".
+///  2. *Performance*: the derivative-based reference decoder is an
+///     executable specification, not a production decoder. The simulator
+///     and the ncval-style baseline checker use this one.
+///
+/// It accepts exactly the same byte strings as the grammar (including the
+/// canonical prefix order) and produces identical Instr values; the
+/// differential test suite enforces this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_X86_FASTDECODER_H
+#define ROCKSALT_X86_FASTDECODER_H
+
+#include "x86/GrammarDecoder.h"
+#include "x86/Instr.h"
+
+#include <optional>
+#include <vector>
+
+namespace rocksalt {
+namespace x86 {
+
+/// Decodes the instruction starting at \p Data (examining at most
+/// min(Size, 15) bytes). Returns std::nullopt on illegal or unsupported
+/// encodings.
+std::optional<Decoded> fastDecode(const uint8_t *Data, size_t Size);
+
+/// Convenience overload.
+std::optional<Decoded> fastDecode(const std::vector<uint8_t> &Bytes);
+
+} // namespace x86
+} // namespace rocksalt
+
+#endif // ROCKSALT_X86_FASTDECODER_H

@@ -1,0 +1,23 @@
+//===- x86/GrammarDecoder.cpp ---------------------------------*- C++ -*-===//
+
+#include "x86/GrammarDecoder.h"
+
+#include "x86/Grammars.h"
+
+using namespace rocksalt;
+using namespace rocksalt::x86;
+
+std::optional<Decoded> x86::grammarDecode(const uint8_t *Data, size_t Size) {
+  const X86Grammars &G = x86Grammars();
+  gram::ParseResult<Instr> R = gram::parsePrefix(G.Full, Data, Size);
+  if (!R.Matched)
+    return std::nullopt;
+  Decoded D;
+  D.I = R.Value;
+  D.Length = static_cast<uint8_t>(R.Length);
+  return D;
+}
+
+std::optional<Decoded> x86::grammarDecode(const std::vector<uint8_t> &Bytes) {
+  return grammarDecode(Bytes.data(), Bytes.size());
+}

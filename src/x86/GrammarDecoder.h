@@ -1,0 +1,45 @@
+//===- x86/GrammarDecoder.h - Derivative-based decoder ---------*- C++ -*-===//
+///
+/// \file
+/// The model's reference decoder: runs the declarative instruction
+/// grammar (x86/Grammars.h) over a byte stream by Brzozowski derivatives,
+/// exactly as the paper's parsing function does (section 2.2). It is the
+/// executable specification; the table-driven FastDecoder is validated
+/// against it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_X86_GRAMMARDECODER_H
+#define ROCKSALT_X86_GRAMMARDECODER_H
+
+#include "x86/Instr.h"
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace rocksalt {
+namespace x86 {
+
+/// A decoded instruction together with its encoded length in bytes.
+struct Decoded {
+  Instr I;
+  uint8_t Length = 0;
+
+  bool operator==(const Decoded &O) const {
+    return Length == O.Length && I == O.I;
+  }
+};
+
+/// Decodes the instruction starting at \p Data (at most min(Size, 15)
+/// bytes are examined). Returns std::nullopt when no prefix of the input
+/// is a legal instruction of the modeled subset.
+std::optional<Decoded> grammarDecode(const uint8_t *Data, size_t Size);
+
+/// Convenience overload.
+std::optional<Decoded> grammarDecode(const std::vector<uint8_t> &Bytes);
+
+} // namespace x86
+} // namespace rocksalt
+
+#endif // ROCKSALT_X86_GRAMMARDECODER_H

@@ -1,0 +1,1250 @@
+//===- x86/Grammars.cpp - Declarative x86 instruction grammars -*- C++ -*-===//
+//
+// Bit-level grammars for the IA-32 integer subset, in the style of the
+// paper's Figure 2. Patterns are transcribed from the Intel opcode maps;
+// semantic actions build Instr values. See Grammars.h for the decode
+// conventions these grammars define.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Grammars.h"
+
+#include <cassert>
+
+using namespace rocksalt;
+using namespace rocksalt::x86;
+using namespace rocksalt::gram;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Bit-pattern helpers.
+//===----------------------------------------------------------------------===//
+
+std::string bitString(uint32_t V, int N) {
+  std::string S(N, '0');
+  for (int I = 0; I < N; ++I)
+    if ((V >> (N - 1 - I)) & 1)
+      S[I] = '1';
+  return S;
+}
+
+Grammar<Unit> byteLitG(uint8_t B) { return bitsG(bitString(B, 8)); }
+
+/// A 3-bit register field capturing any register.
+Grammar<Reg> regField() {
+  return mapWith(field(3),
+                 [](uint32_t V) { return regFromEncoding(uint8_t(V)); });
+}
+
+/// A 3-bit register field restricted to the given encodings.
+Grammar<Reg> regFieldOf(std::initializer_list<uint8_t> Encs) {
+  Grammar<Reg> Out = voidG<Reg>();
+  for (uint8_t E : Encs) {
+    Reg R = regFromEncoding(E);
+    Out = alt(Out, mapWith(bitsG(bitString(E, 3)), [R](Unit) { return R; }));
+  }
+  return Out;
+}
+
+Grammar<uint32_t> imm8zx() {
+  return mapWith(byteG(), [](uint8_t B) { return uint32_t(B); });
+}
+
+Grammar<uint32_t> imm8sx() {
+  return mapWith(byteG(), [](uint8_t B) {
+    return static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(B)));
+  });
+}
+
+Grammar<uint32_t> imm16zx() {
+  return mapWith(halfwordLE(), [](uint16_t H) { return uint32_t(H); });
+}
+
+/// Word-sized immediate: 16-bit under the operand-size override, 32-bit
+/// otherwise (both stored zero-extended).
+Grammar<uint32_t> immW(bool Op16) { return Op16 ? imm16zx() : wordLE(); }
+
+//===----------------------------------------------------------------------===//
+// ModRM / SIB.
+//
+// Byte layout (MSB first): mod(2) reg(3) rm(3); SIB: scale(2) index(3)
+// base(3). The grammars below alternate over the mod values because the
+// interpretation of rm (and the presence of SIB/displacement bytes)
+// depends on mod.
+//===----------------------------------------------------------------------===//
+
+Grammar<Scale> scaleField() {
+  return mapWith(field(2), [](uint32_t V) { return static_cast<Scale>(V); });
+}
+
+/// SIB index: 100 means "no index"; ESP is not encodable as an index.
+Grammar<std::optional<Reg>> sibIndex() {
+  return alt(mapWith(bitsG("100"), [](Unit) { return std::optional<Reg>{}; }),
+             mapWith(regFieldOf({0, 1, 2, 3, 5, 6, 7}),
+                     [](Reg R) { return std::optional<Reg>(R); }));
+}
+
+Addr makeAddr(std::optional<Reg> Base, Scale S, std::optional<Reg> Index,
+              uint32_t Disp) {
+  Addr A;
+  A.Disp = Disp;
+  A.Base = Base;
+  if (Index)
+    A.Index = std::make_pair(S, *Index);
+  return A;
+}
+
+/// SIB tail for mod=00: base=101 means disp32 with no base register.
+Grammar<Operand> sibTail0() {
+  using BasePart = std::pair<std::optional<Reg>, uint32_t>;
+  Grammar<BasePart> Base =
+      alt(mapWith(regFieldOf({0, 1, 2, 3, 4, 6, 7}),
+                  [](Reg R) { return BasePart(R, 0); }),
+          mapWith(then(bitsG("101"), wordLE()),
+                  [](uint32_t D) { return BasePart(std::nullopt, D); }));
+  return mapWith(
+      cat(scaleField(), cat(sibIndex(), Base)),
+      [](const std::pair<Scale, std::pair<std::optional<Reg>, BasePart>> &P) {
+        return Operand::mem(makeAddr(P.second.second.first, P.first,
+                                     P.second.first, P.second.second.second));
+      });
+}
+
+/// SIB tail for mod=01/10: all bases allowed, displacement follows.
+Grammar<Operand> sibTailDisp(Grammar<uint32_t> DispG) {
+  return mapWith(
+      cat(scaleField(), cat(sibIndex(), cat(regField(), DispG))),
+      [](const std::pair<Scale,
+                         std::pair<std::optional<Reg>,
+                                   std::pair<Reg, uint32_t>>> &P) {
+        return Operand::mem(makeAddr(P.second.second.first, P.first,
+                                     P.second.first, P.second.second.second));
+      });
+}
+
+/// The rm bits (plus SIB/displacement) for memory operands under a given
+/// mod value.
+Grammar<Operand> rmBits(int Mod) {
+  switch (Mod) {
+  case 0:
+    return alt(
+        alt(mapWith(regFieldOf({0, 1, 2, 3, 6, 7}),
+                    [](Reg R) { return Operand::mem(Addr::base(R)); }),
+            then(bitsG("100"), sibTail0())),
+        mapWith(then(bitsG("101"), wordLE()),
+                [](uint32_t D) { return Operand::mem(Addr::disp(D)); }));
+  case 1:
+    return alt(mapWith(cat(regFieldOf({0, 1, 2, 3, 5, 6, 7}), imm8sx()),
+                       [](const std::pair<Reg, uint32_t> &P) {
+                         return Operand::mem(Addr::base(P.first, P.second));
+                       }),
+               then(bitsG("100"), sibTailDisp(imm8sx())));
+  case 2:
+    return alt(mapWith(cat(regFieldOf({0, 1, 2, 3, 5, 6, 7}), wordLE()),
+                       [](const std::pair<Reg, uint32_t> &P) {
+                         return Operand::mem(Addr::base(P.first, P.second));
+                       }),
+               then(bitsG("100"), sibTailDisp(wordLE())));
+  default:
+    assert(false && "rmBits handles memory mods only");
+    return voidG<Operand>();
+  }
+}
+
+/// Full modrm: captures the reg field and the r/m operand (register or
+/// memory).
+Grammar<std::pair<Reg, Operand>> modrmFull() {
+  using P = std::pair<Reg, Operand>;
+  Grammar<P> Out = voidG<P>();
+  for (int Mod = 0; Mod <= 2; ++Mod)
+    Out = alt(Out, mapWith(then(bitsG(bitString(Mod, 2)),
+                                cat(regField(), rmBits(Mod))),
+                           [](const P &X) { return X; }));
+  Out = alt(Out, mapWith(then(bitsG("11"), cat(regField(), regField())),
+                         [](const std::pair<Reg, Reg> &X) {
+                           return P(X.first, Operand::reg(X.second));
+                         }));
+  return Out;
+}
+
+/// ModRM with the reg field fixed to an opcode-extension digit (the
+/// Intel "/digit" notation); yields the r/m operand. The paper's
+/// ext_op_modrm.
+Grammar<Operand> modrmExt(uint8_t Digit, bool AllowReg = true,
+                          bool AllowMem = true) {
+  std::string Ext = bitString(Digit, 3);
+  Grammar<Operand> Out = voidG<Operand>();
+  if (AllowMem)
+    for (int Mod = 0; Mod <= 2; ++Mod)
+      Out = alt(Out, then(bitsG(bitString(Mod, 2)),
+                          then(bitsG(Ext), rmBits(Mod))));
+  if (AllowReg)
+    Out = alt(Out, mapWith(then(bitsG("11"), then(bitsG(Ext), regField())),
+                           [](Reg R) { return Operand::reg(R); }));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction builders. Each returns Grammar<Instr>; `Op16` selects the
+// 16-bit-immediate variants used under the operand-size override.
+//===----------------------------------------------------------------------===//
+
+Instr baseInstr(Opcode Op) {
+  Instr I;
+  I.Op = Op;
+  return I;
+}
+
+using Forms = std::vector<NamedGrammar>;
+
+void add(Forms &Out, std::string Name, Grammar<Instr> G) {
+  Out.push_back(NamedGrammar{std::move(Name), std::move(G)});
+}
+
+/// The eight 00TTT0dw-family ALU instructions (Figure 1's ADD/ADC/AND/...)
+/// plus their 80/81/83 immediate-group forms.
+void addAluForms(Forms &Out, const char *Name, Opcode Op, uint8_t TTT,
+                 bool Op16) {
+  std::string T = bitString(TTT, 3);
+  std::string N = Name;
+
+  // 00TTT00w /r : op r/m, r
+  add(Out, N + ".rm_r",
+      mapWith(cat(then(bitsG("00" + T + "00"), anyBit()), modrmFull()),
+              [Op](const std::pair<bool, std::pair<Reg, Operand>> &P) {
+                Instr I = baseInstr(Op);
+                I.W = P.first;
+                I.Op1 = P.second.second;
+                I.Op2 = Operand::reg(P.second.first);
+                return I;
+              }));
+
+  // 00TTT01w /r : op r, r/m
+  add(Out, N + ".r_rm",
+      mapWith(cat(then(bitsG("00" + T + "01"), anyBit()), modrmFull()),
+              [Op](const std::pair<bool, std::pair<Reg, Operand>> &P) {
+                Instr I = baseInstr(Op);
+                I.W = P.first;
+                I.Op1 = Operand::reg(P.second.first);
+                I.Op2 = P.second.second;
+                return I;
+              }));
+
+  // 00TTT100 ib : op AL, imm8
+  add(Out, N + ".al_i",
+      mapWith(then(bitsG("00" + T + "100"), imm8zx()), [Op](uint32_t V) {
+        Instr I = baseInstr(Op);
+        I.W = false;
+        I.Op1 = Operand::reg(Reg::EAX);
+        I.Op2 = Operand::imm(V);
+        return I;
+      }));
+
+  // 00TTT101 iv : op eAX, immW
+  add(Out, N + ".eax_i",
+      mapWith(then(bitsG("00" + T + "101"), immW(Op16)), [Op](uint32_t V) {
+        Instr I = baseInstr(Op);
+        I.Op1 = Operand::reg(Reg::EAX);
+        I.Op2 = Operand::imm(V);
+        return I;
+      }));
+
+  // 80 /TTT ib : op r/m8, imm8
+  add(Out, N + ".rm_i8",
+      mapWith(cat(then(byteLitG(0x80), modrmExt(TTT)), imm8zx()),
+              [Op](const std::pair<Operand, uint32_t> &P) {
+                Instr I = baseInstr(Op);
+                I.W = false;
+                I.Op1 = P.first;
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+
+  // 81 /TTT iv : op r/m, immW
+  add(Out, N + ".rm_iW",
+      mapWith(cat(then(byteLitG(0x81), modrmExt(TTT)), immW(Op16)),
+              [Op](const std::pair<Operand, uint32_t> &P) {
+                Instr I = baseInstr(Op);
+                I.Op1 = P.first;
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+
+  // 83 /TTT ib : op r/m, imm8 sign-extended
+  add(Out, N + ".rm_i8sx",
+      mapWith(cat(then(byteLitG(0x83), modrmExt(TTT)), imm8sx()),
+              [Op](const std::pair<Operand, uint32_t> &P) {
+                Instr I = baseInstr(Op);
+                I.Op1 = P.first;
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+}
+
+/// Shift/rotate group: C0/C1 (imm8), D0/D1 (by 1), D2/D3 (by CL).
+void addShiftForms(Forms &Out, const char *Name, Opcode Op, uint8_t Digit) {
+  std::string N = Name;
+  auto Build = [Op](Operand Rm, Operand Count, bool W) {
+    Instr I = baseInstr(Op);
+    I.W = W;
+    I.Op1 = Rm;
+    I.Op2 = Count;
+    return I;
+  };
+
+  add(Out, N + ".rm_i8",
+      mapWith(cat(cat(then(bitsG("1100000"), anyBit()), modrmExt(Digit)),
+                  imm8zx()),
+              [Build](const std::pair<std::pair<bool, Operand>, uint32_t> &P) {
+                return Build(P.first.second, Operand::imm(P.second),
+                             P.first.first);
+              }));
+
+  add(Out, N + ".rm_1",
+      mapWith(cat(then(bitsG("1101000"), anyBit()), modrmExt(Digit)),
+              [Build](const std::pair<bool, Operand> &P) {
+                return Build(P.second, Operand::imm(1), P.first);
+              }));
+
+  add(Out, N + ".rm_cl",
+      mapWith(cat(then(bitsG("1101001"), anyBit()), modrmExt(Digit)),
+              [Build](const std::pair<bool, Operand> &P) {
+                return Build(P.second, Operand::reg(Reg::ECX), P.first);
+              }));
+}
+
+/// F6/F7 unary group member (/Digit): NOT, NEG, MUL, DIV, IDIV, 1-op IMUL,
+/// and TEST's immediate form handled separately.
+void addUnaryF7(Forms &Out, const char *Name, Opcode Op, uint8_t Digit) {
+  add(Out, std::string(Name) + ".rm",
+      mapWith(cat(then(bitsG("1111011"), anyBit()), modrmExt(Digit)),
+              [Op](const std::pair<bool, Operand> &P) {
+                Instr I = baseInstr(Op);
+                I.W = P.first;
+                I.Op1 = P.second;
+                return I;
+              }));
+}
+
+/// A single fixed-byte no-operand instruction.
+void addSimple(Forms &Out, const char *Name, uint8_t Byte, Opcode Op) {
+  add(Out, Name, mapWith(byteLitG(Byte), [Op](Unit) { return baseInstr(Op); }));
+}
+
+/// Builds every instruction-form grammar for one operand-size mode.
+Forms buildForms(bool Op16) {
+  Forms Out;
+  Out.reserve(200);
+
+  // --- ALU family ---------------------------------------------------------
+  addAluForms(Out, "add", Opcode::ADD, 0, Op16);
+  addAluForms(Out, "or", Opcode::OR, 1, Op16);
+  addAluForms(Out, "adc", Opcode::ADC, 2, Op16);
+  addAluForms(Out, "sbb", Opcode::SBB, 3, Op16);
+  addAluForms(Out, "and", Opcode::AND, 4, Op16);
+  addAluForms(Out, "sub", Opcode::SUB, 5, Op16);
+  addAluForms(Out, "xor", Opcode::XOR, 6, Op16);
+  addAluForms(Out, "cmp", Opcode::CMP, 7, Op16);
+
+  // --- MOV ------------------------------------------------------------------
+  add(Out, "mov.rm_r",
+      mapWith(cat(then(bitsG("1000100"), anyBit()), modrmFull()),
+              [](const std::pair<bool, std::pair<Reg, Operand>> &P) {
+                Instr I = baseInstr(Opcode::MOV);
+                I.W = P.first;
+                I.Op1 = P.second.second;
+                I.Op2 = Operand::reg(P.second.first);
+                return I;
+              }));
+  add(Out, "mov.r_rm",
+      mapWith(cat(then(bitsG("1000101"), anyBit()), modrmFull()),
+              [](const std::pair<bool, std::pair<Reg, Operand>> &P) {
+                Instr I = baseInstr(Opcode::MOV);
+                I.W = P.first;
+                I.Op1 = Operand::reg(P.second.first);
+                I.Op2 = P.second.second;
+                return I;
+              }));
+  add(Out, "mov.r_i8",
+      mapWith(cat(then(bitsG("10110"), regField()), imm8zx()),
+              [](const std::pair<Reg, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::MOV);
+                I.W = false;
+                I.Op1 = Operand::reg(P.first);
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+  add(Out, "mov.r_iW",
+      mapWith(cat(then(bitsG("10111"), regField()), immW(Op16)),
+              [](const std::pair<Reg, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::MOV);
+                I.Op1 = Operand::reg(P.first);
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+  add(Out, "mov.rm_i8",
+      mapWith(cat(then(byteLitG(0xC6), modrmExt(0)), imm8zx()),
+              [](const std::pair<Operand, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::MOV);
+                I.W = false;
+                I.Op1 = P.first;
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+  add(Out, "mov.rm_iW",
+      mapWith(cat(then(byteLitG(0xC7), modrmExt(0)), immW(Op16)),
+              [](const std::pair<Operand, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::MOV);
+                I.Op1 = P.first;
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+  // moffs forms A0-A3: eAX <-> [disp32].
+  add(Out, "mov.al_moffs",
+      mapWith(then(byteLitG(0xA0), wordLE()), [](uint32_t D) {
+        Instr I = baseInstr(Opcode::MOV);
+        I.W = false;
+        I.Op1 = Operand::reg(Reg::EAX);
+        I.Op2 = Operand::mem(Addr::disp(D));
+        return I;
+      }));
+  add(Out, "mov.eax_moffs",
+      mapWith(then(byteLitG(0xA1), wordLE()), [](uint32_t D) {
+        Instr I = baseInstr(Opcode::MOV);
+        I.Op1 = Operand::reg(Reg::EAX);
+        I.Op2 = Operand::mem(Addr::disp(D));
+        return I;
+      }));
+  add(Out, "mov.moffs_al",
+      mapWith(then(byteLitG(0xA2), wordLE()), [](uint32_t D) {
+        Instr I = baseInstr(Opcode::MOV);
+        I.W = false;
+        I.Op1 = Operand::mem(Addr::disp(D));
+        I.Op2 = Operand::reg(Reg::EAX);
+        return I;
+      }));
+  add(Out, "mov.moffs_eax",
+      mapWith(then(byteLitG(0xA3), wordLE()), [](uint32_t D) {
+        Instr I = baseInstr(Opcode::MOV);
+        I.Op1 = Operand::mem(Addr::disp(D));
+        I.Op2 = Operand::reg(Reg::EAX);
+        return I;
+      }));
+
+  // MOV to/from segment registers: 8C /r and 8E /r. The sreg is the
+  // 3-bit reg field; encoding 6/7 are invalid, so restrict to 0-5.
+  {
+    auto SregModrm = [](uint8_t OpByte) {
+      Grammar<std::pair<uint8_t, Operand>> Out2 =
+          voidG<std::pair<uint8_t, Operand>>();
+      for (uint8_t S = 0; S < 6; ++S) {
+        for (int Mod = 0; Mod <= 2; ++Mod)
+          Out2 = alt(
+              Out2,
+              mapWith(then(byteLitG(OpByte),
+                           then(bitsG(bitString(Mod, 2)),
+                                then(bitsG(bitString(S, 3)), rmBits(Mod)))),
+                      [S](const Operand &O) { return std::make_pair(S, O); }));
+        Out2 = alt(Out2, mapWith(then(byteLitG(OpByte),
+                                      then(bitsG("11"),
+                                           then(bitsG(bitString(S, 3)),
+                                                regField()))),
+                                 [S](Reg R) {
+                                   return std::make_pair(S, Operand::reg(R));
+                                 }));
+      }
+      return Out2;
+    };
+    add(Out, "movsr.rm_sr",
+        mapWith(SregModrm(0x8C), [](const std::pair<uint8_t, Operand> &P) {
+          Instr I = baseInstr(Opcode::MOVSR);
+          I.Seg = segFromEncoding(P.first);
+          I.Op1 = P.second;
+          return I;
+        }));
+    add(Out, "movsr.sr_rm",
+        mapWith(SregModrm(0x8E), [](const std::pair<uint8_t, Operand> &P) {
+          Instr I = baseInstr(Opcode::MOVSR);
+          I.Seg = segFromEncoding(P.first);
+          I.Op2 = P.second;
+          return I;
+        }));
+  }
+
+  // --- LEA (memory r/m only) ------------------------------------------------
+  {
+    Grammar<std::pair<Reg, Operand>> MemModrm =
+        voidG<std::pair<Reg, Operand>>();
+    for (int Mod = 0; Mod <= 2; ++Mod)
+      MemModrm = alt(MemModrm, then(bitsG(bitString(Mod, 2)),
+                                    cat(regField(), rmBits(Mod))));
+    add(Out, "lea",
+        mapWith(then(byteLitG(0x8D), MemModrm),
+                [](const std::pair<Reg, Operand> &P) {
+                  Instr I = baseInstr(Opcode::LEA);
+                  I.Op1 = Operand::reg(P.first);
+                  I.Op2 = P.second;
+                  return I;
+                }));
+  }
+
+  // --- INC/DEC ---------------------------------------------------------------
+  add(Out, "inc.r",
+      mapWith(then(bitsG("01000"), regField()), [](Reg R) {
+        Instr I = baseInstr(Opcode::INC);
+        I.Op1 = Operand::reg(R);
+        return I;
+      }));
+  add(Out, "dec.r",
+      mapWith(then(bitsG("01001"), regField()), [](Reg R) {
+        Instr I = baseInstr(Opcode::DEC);
+        I.Op1 = Operand::reg(R);
+        return I;
+      }));
+  add(Out, "inc.rm",
+      mapWith(cat(then(bitsG("1111111"), anyBit()), modrmExt(0)),
+              [](const std::pair<bool, Operand> &P) {
+                Instr I = baseInstr(Opcode::INC);
+                I.W = P.first;
+                I.Op1 = P.second;
+                return I;
+              }));
+  add(Out, "dec.rm",
+      mapWith(cat(then(bitsG("1111111"), anyBit()), modrmExt(1)),
+              [](const std::pair<bool, Operand> &P) {
+                Instr I = baseInstr(Opcode::DEC);
+                I.W = P.first;
+                I.Op1 = P.second;
+                return I;
+              }));
+
+  // --- PUSH/POP ---------------------------------------------------------------
+  add(Out, "push.r",
+      mapWith(then(bitsG("01010"), regField()), [](Reg R) {
+        Instr I = baseInstr(Opcode::PUSH);
+        I.Op1 = Operand::reg(R);
+        return I;
+      }));
+  add(Out, "pop.r",
+      mapWith(then(bitsG("01011"), regField()), [](Reg R) {
+        Instr I = baseInstr(Opcode::POP);
+        I.Op1 = Operand::reg(R);
+        return I;
+      }));
+  add(Out, "push.i8",
+      mapWith(then(byteLitG(0x6A), imm8sx()), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::PUSH);
+        I.Op1 = Operand::imm(V);
+        return I;
+      }));
+  add(Out, "push.iW",
+      mapWith(then(byteLitG(0x68), immW(Op16)), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::PUSH);
+        I.Op1 = Operand::imm(V);
+        return I;
+      }));
+  add(Out, "push.rm",
+      mapWith(then(byteLitG(0xFF), modrmExt(6)), [](const Operand &O) {
+        Instr I = baseInstr(Opcode::PUSH);
+        I.Op1 = O;
+        return I;
+      }));
+  add(Out, "pop.rm",
+      mapWith(then(byteLitG(0x8F), modrmExt(0)), [](const Operand &O) {
+        Instr I = baseInstr(Opcode::POP);
+        I.Op1 = O;
+        return I;
+      }));
+
+  auto SegInstr = [](Opcode Op, SegReg S) {
+    Instr I = baseInstr(Op);
+    I.Seg = S;
+    return I;
+  };
+  add(Out, "push.es", mapWith(byteLitG(0x06), [SegInstr](Unit) {
+        return SegInstr(Opcode::PUSHSR, SegReg::ES);
+      }));
+  add(Out, "pop.es", mapWith(byteLitG(0x07), [SegInstr](Unit) {
+        return SegInstr(Opcode::POPSR, SegReg::ES);
+      }));
+  add(Out, "push.cs", mapWith(byteLitG(0x0E), [SegInstr](Unit) {
+        return SegInstr(Opcode::PUSHSR, SegReg::CS);
+      }));
+  add(Out, "push.ss", mapWith(byteLitG(0x16), [SegInstr](Unit) {
+        return SegInstr(Opcode::PUSHSR, SegReg::SS);
+      }));
+  add(Out, "pop.ss", mapWith(byteLitG(0x17), [SegInstr](Unit) {
+        return SegInstr(Opcode::POPSR, SegReg::SS);
+      }));
+  add(Out, "push.ds", mapWith(byteLitG(0x1E), [SegInstr](Unit) {
+        return SegInstr(Opcode::PUSHSR, SegReg::DS);
+      }));
+  add(Out, "pop.ds", mapWith(byteLitG(0x1F), [SegInstr](Unit) {
+        return SegInstr(Opcode::POPSR, SegReg::DS);
+      }));
+  add(Out, "push.fs", mapWith(then(byteLitG(0x0F), byteLitG(0xA0)),
+                              [SegInstr](Unit) {
+                                return SegInstr(Opcode::PUSHSR, SegReg::FS);
+                              }));
+  add(Out, "pop.fs", mapWith(then(byteLitG(0x0F), byteLitG(0xA1)),
+                             [SegInstr](Unit) {
+                               return SegInstr(Opcode::POPSR, SegReg::FS);
+                             }));
+  add(Out, "push.gs", mapWith(then(byteLitG(0x0F), byteLitG(0xA8)),
+                              [SegInstr](Unit) {
+                                return SegInstr(Opcode::PUSHSR, SegReg::GS);
+                              }));
+  add(Out, "pop.gs", mapWith(then(byteLitG(0x0F), byteLitG(0xA9)),
+                             [SegInstr](Unit) {
+                               return SegInstr(Opcode::POPSR, SegReg::GS);
+                             }));
+
+  addSimple(Out, "pusha", 0x60, Opcode::PUSHA);
+  addSimple(Out, "popa", 0x61, Opcode::POPA);
+  addSimple(Out, "pushf", 0x9C, Opcode::PUSHF);
+  addSimple(Out, "popf", 0x9D, Opcode::POPF);
+
+  // --- unary F6/F7 group and TEST --------------------------------------------
+  addUnaryF7(Out, "not", Opcode::NOT, 2);
+  addUnaryF7(Out, "neg", Opcode::NEG, 3);
+  addUnaryF7(Out, "mul", Opcode::MUL, 4);
+  addUnaryF7(Out, "imul1", Opcode::IMUL, 5);
+  addUnaryF7(Out, "div", Opcode::DIV, 6);
+  addUnaryF7(Out, "idiv", Opcode::IDIV, 7);
+
+  // TEST's immediate width depends on the already-parsed w bit, so its
+  // immediate forms are written as explicit F6/F7 alternatives.
+  add(Out, "test.rm8_i8",
+      mapWith(cat(then(byteLitG(0xF6), modrmExt(0)), imm8zx()),
+              [](const std::pair<Operand, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::TEST);
+                I.W = false;
+                I.Op1 = P.first;
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+  add(Out, "test.rm_iW",
+      mapWith(cat(then(byteLitG(0xF7), modrmExt(0)), immW(Op16)),
+              [](const std::pair<Operand, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::TEST);
+                I.Op1 = P.first;
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+  add(Out, "test.rm_r",
+      mapWith(cat(then(bitsG("1000010"), anyBit()), modrmFull()),
+              [](const std::pair<bool, std::pair<Reg, Operand>> &P) {
+                Instr I = baseInstr(Opcode::TEST);
+                I.W = P.first;
+                I.Op1 = P.second.second;
+                I.Op2 = Operand::reg(P.second.first);
+                return I;
+              }));
+  add(Out, "test.al_i8",
+      mapWith(then(byteLitG(0xA8), imm8zx()), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::TEST);
+        I.W = false;
+        I.Op1 = Operand::reg(Reg::EAX);
+        I.Op2 = Operand::imm(V);
+        return I;
+      }));
+  add(Out, "test.eax_iW",
+      mapWith(then(byteLitG(0xA9), immW(Op16)), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::TEST);
+        I.Op1 = Operand::reg(Reg::EAX);
+        I.Op2 = Operand::imm(V);
+        return I;
+      }));
+
+  // --- IMUL multi-operand ------------------------------------------------------
+  add(Out, "imul.r_rm",
+      mapWith(then(byteLitG(0x0F), then(byteLitG(0xAF), modrmFull())),
+              [](const std::pair<Reg, Operand> &P) {
+                Instr I = baseInstr(Opcode::IMUL);
+                I.Op1 = Operand::reg(P.first);
+                I.Op2 = P.second;
+                return I;
+              }));
+  add(Out, "imul.r_rm_iW",
+      mapWith(cat(then(byteLitG(0x69), modrmFull()), immW(Op16)),
+              [](const std::pair<std::pair<Reg, Operand>, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::IMUL);
+                I.Op1 = Operand::reg(P.first.first);
+                I.Op2 = P.first.second;
+                I.Op3 = Operand::imm(P.second);
+                return I;
+              }));
+  add(Out, "imul.r_rm_i8",
+      mapWith(cat(then(byteLitG(0x6B), modrmFull()), imm8sx()),
+              [](const std::pair<std::pair<Reg, Operand>, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::IMUL);
+                I.Op1 = Operand::reg(P.first.first);
+                I.Op2 = P.first.second;
+                I.Op3 = Operand::imm(P.second);
+                return I;
+              }));
+
+  // --- XCHG ---------------------------------------------------------------------
+  add(Out, "xchg.rm_r",
+      mapWith(cat(then(bitsG("1000011"), anyBit()), modrmFull()),
+              [](const std::pair<bool, std::pair<Reg, Operand>> &P) {
+                Instr I = baseInstr(Opcode::XCHG);
+                I.W = P.first;
+                I.Op1 = P.second.second;
+                I.Op2 = Operand::reg(P.second.first);
+                return I;
+              }));
+  add(Out, "xchg.eax_r",
+      mapWith(then(bitsG("10010"), regFieldOf({1, 2, 3, 4, 5, 6, 7})),
+              [](Reg R) {
+                Instr I = baseInstr(Opcode::XCHG);
+                I.Op1 = Operand::reg(Reg::EAX);
+                I.Op2 = Operand::reg(R);
+                return I;
+              }));
+  addSimple(Out, "nop", 0x90, Opcode::NOP);
+
+  // --- shifts/rotates ----------------------------------------------------------
+  addShiftForms(Out, "rol", Opcode::ROL, 0);
+  addShiftForms(Out, "ror", Opcode::ROR, 1);
+  addShiftForms(Out, "rcl", Opcode::RCL, 2);
+  addShiftForms(Out, "rcr", Opcode::RCR, 3);
+  addShiftForms(Out, "shl", Opcode::SHL, 4);
+  addShiftForms(Out, "shr", Opcode::SHR, 5);
+  addShiftForms(Out, "sar", Opcode::SAR, 7);
+
+  auto DblShift = [&](const char *Name, Opcode Op, uint8_t ImmByte,
+                      uint8_t ClByte) {
+    add(Out, std::string(Name) + ".i8",
+        mapWith(cat(then(byteLitG(0x0F),
+                         then(byteLitG(ImmByte), modrmFull())),
+                    imm8zx()),
+                [Op](const std::pair<std::pair<Reg, Operand>, uint32_t> &P) {
+                  Instr I = baseInstr(Op);
+                  I.Op1 = P.first.second;
+                  I.Op2 = Operand::reg(P.first.first);
+                  I.Op3 = Operand::imm(P.second);
+                  return I;
+                }));
+    add(Out, std::string(Name) + ".cl",
+        mapWith(then(byteLitG(0x0F), then(byteLitG(ClByte), modrmFull())),
+                [Op](const std::pair<Reg, Operand> &P) {
+                  Instr I = baseInstr(Op);
+                  I.Op1 = P.second;
+                  I.Op2 = Operand::reg(P.first);
+                  I.Op3 = Operand::reg(Reg::ECX);
+                  return I;
+                }));
+  };
+  DblShift("shld", Opcode::SHLD, 0xA4, 0xA5);
+  DblShift("shrd", Opcode::SHRD, 0xAC, 0xAD);
+
+  // --- control transfer ---------------------------------------------------------
+  // CALL (Figure 2 of the paper).
+  add(Out, "call.rel",
+      mapWith(then(byteLitG(0xE8), wordLE()), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::CALL);
+        I.Near = true;
+        I.Absolute = false;
+        I.Op1 = Operand::imm(V);
+        return I;
+      }));
+  add(Out, "call.ind",
+      mapWith(then(byteLitG(0xFF), modrmExt(2)), [](const Operand &O) {
+        Instr I = baseInstr(Opcode::CALL);
+        I.Near = true;
+        I.Absolute = true;
+        I.Op1 = O;
+        return I;
+      }));
+  add(Out, "call.far",
+      mapWith(cat(then(byteLitG(0x9A), wordLE()), halfwordLE()),
+              [](const std::pair<uint32_t, uint16_t> &P) {
+                Instr I = baseInstr(Opcode::CALL);
+                I.Near = false;
+                I.Absolute = false;
+                I.Op1 = Operand::imm(P.first);
+                I.Sel = P.second;
+                return I;
+              }));
+  add(Out, "call.far_ind",
+      mapWith(then(byteLitG(0xFF), modrmExt(3, /*AllowReg=*/false)),
+              [](const Operand &O) {
+                Instr I = baseInstr(Opcode::CALL);
+                I.Near = false;
+                I.Absolute = true;
+                I.Op1 = O;
+                return I;
+              }));
+
+  add(Out, "jmp.rel8",
+      mapWith(then(byteLitG(0xEB), imm8sx()), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::JMP);
+        I.Near = true;
+        I.Absolute = false;
+        I.Op1 = Operand::imm(V);
+        return I;
+      }));
+  add(Out, "jmp.rel32",
+      mapWith(then(byteLitG(0xE9), wordLE()), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::JMP);
+        I.Near = true;
+        I.Absolute = false;
+        I.Op1 = Operand::imm(V);
+        return I;
+      }));
+  add(Out, "jmp.ind",
+      mapWith(then(byteLitG(0xFF), modrmExt(4)), [](const Operand &O) {
+        Instr I = baseInstr(Opcode::JMP);
+        I.Near = true;
+        I.Absolute = true;
+        I.Op1 = O;
+        return I;
+      }));
+  add(Out, "jmp.far",
+      mapWith(cat(then(byteLitG(0xEA), wordLE()), halfwordLE()),
+              [](const std::pair<uint32_t, uint16_t> &P) {
+                Instr I = baseInstr(Opcode::JMP);
+                I.Near = false;
+                I.Absolute = false;
+                I.Op1 = Operand::imm(P.first);
+                I.Sel = P.second;
+                return I;
+              }));
+  add(Out, "jmp.far_ind",
+      mapWith(then(byteLitG(0xFF), modrmExt(5, /*AllowReg=*/false)),
+              [](const Operand &O) {
+                Instr I = baseInstr(Opcode::JMP);
+                I.Near = false;
+                I.Absolute = true;
+                I.Op1 = O;
+                return I;
+              }));
+
+  add(Out, "jcc.rel8",
+      mapWith(cat(then(bitsG("0111"), field(4)), imm8sx()),
+              [](const std::pair<uint32_t, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::Jcc);
+                I.CC = condFromEncoding(uint8_t(P.first));
+                I.Op1 = Operand::imm(P.second);
+                return I;
+              }));
+  add(Out, "jcc.rel32",
+      mapWith(cat(then(byteLitG(0x0F), then(bitsG("1000"), field(4))),
+                  wordLE()),
+              [](const std::pair<uint32_t, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::Jcc);
+                I.CC = condFromEncoding(uint8_t(P.first));
+                I.Op1 = Operand::imm(P.second);
+                return I;
+              }));
+
+  auto Rel8Branch = [&](const char *Name, uint8_t Byte, Opcode Op) {
+    add(Out, Name, mapWith(then(byteLitG(Byte), imm8sx()), [Op](uint32_t V) {
+          Instr I = baseInstr(Op);
+          I.Op1 = Operand::imm(V);
+          return I;
+        }));
+  };
+  Rel8Branch("jecxz", 0xE3, Opcode::JCXZ);
+  Rel8Branch("loop", 0xE2, Opcode::LOOP);
+  Rel8Branch("loopz", 0xE1, Opcode::LOOPZ);
+  Rel8Branch("loopnz", 0xE0, Opcode::LOOPNZ);
+
+  add(Out, "ret", mapWith(byteLitG(0xC3), [](Unit) {
+        Instr I = baseInstr(Opcode::RET);
+        I.Near = true;
+        return I;
+      }));
+  add(Out, "ret.i16",
+      mapWith(then(byteLitG(0xC2), imm16zx()), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::RET);
+        I.Near = true;
+        I.Op1 = Operand::imm(V);
+        return I;
+      }));
+  add(Out, "retf", mapWith(byteLitG(0xCB), [](Unit) {
+        Instr I = baseInstr(Opcode::RET);
+        I.Near = false;
+        return I;
+      }));
+  add(Out, "retf.i16",
+      mapWith(then(byteLitG(0xCA), imm16zx()), [](uint32_t V) {
+        Instr I = baseInstr(Opcode::RET);
+        I.Near = false;
+        I.Op1 = Operand::imm(V);
+        return I;
+      }));
+
+  // --- conditional data movement -----------------------------------------------
+  add(Out, "setcc",
+      mapWith(cat(then(byteLitG(0x0F), then(bitsG("1001"), field(4))),
+                  modrmExt(0)),
+              [](const std::pair<uint32_t, Operand> &P) {
+                Instr I = baseInstr(Opcode::SETcc);
+                I.W = false;
+                I.CC = condFromEncoding(uint8_t(P.first));
+                I.Op1 = P.second;
+                return I;
+              }));
+  add(Out, "cmovcc",
+      mapWith(cat(then(byteLitG(0x0F), then(bitsG("0100"), field(4))),
+                  modrmFull()),
+              [](const std::pair<uint32_t, std::pair<Reg, Operand>> &P) {
+                Instr I = baseInstr(Opcode::CMOVcc);
+                I.CC = condFromEncoding(uint8_t(P.first));
+                I.Op1 = Operand::reg(P.second.first);
+                I.Op2 = P.second.second;
+                return I;
+              }));
+
+  // --- widening moves -------------------------------------------------------------
+  auto WideMove = [&](const char *Name, uint8_t BaseByte, Opcode Op) {
+    add(Out, Name,
+        mapWith(cat(then(byteLitG(0x0F),
+                         then(bitsG(bitString(BaseByte >> 1, 7)), anyBit())),
+                    modrmFull()),
+                [Op](const std::pair<bool, std::pair<Reg, Operand>> &P) {
+                  Instr I = baseInstr(Op);
+                  I.W = P.first; // source width bit
+                  I.Op1 = Operand::reg(P.second.first);
+                  I.Op2 = P.second.second;
+                  return I;
+                }));
+  };
+  WideMove("movzx", 0xB6, Opcode::MOVZX);
+  WideMove("movsx", 0xBE, Opcode::MOVSX);
+
+  // --- bit scans / swaps ------------------------------------------------------------
+  auto RegRm0F = [&](const char *Name, uint8_t Byte, Opcode Op) {
+    add(Out, Name,
+        mapWith(then(byteLitG(0x0F), then(byteLitG(Byte), modrmFull())),
+                [Op](const std::pair<Reg, Operand> &P) {
+                  Instr I = baseInstr(Op);
+                  I.Op1 = Operand::reg(P.first);
+                  I.Op2 = P.second;
+                  return I;
+                }));
+  };
+  RegRm0F("bsf", 0xBC, Opcode::BSF);
+  RegRm0F("bsr", 0xBD, Opcode::BSR);
+  add(Out, "bswap",
+      mapWith(then(byteLitG(0x0F), then(bitsG("11001"), regField())),
+              [](Reg R) {
+                Instr I = baseInstr(Opcode::BSWAP);
+                I.Op1 = Operand::reg(R);
+                return I;
+              }));
+
+  // --- bit test family -----------------------------------------------------------
+  auto BitTest = [&](const char *Name, Opcode Op, uint8_t RegByte,
+                     uint8_t Digit) {
+    add(Out, std::string(Name) + ".rm_r",
+        mapWith(then(byteLitG(0x0F), then(byteLitG(RegByte), modrmFull())),
+                [Op](const std::pair<Reg, Operand> &P) {
+                  Instr I = baseInstr(Op);
+                  I.Op1 = P.second;
+                  I.Op2 = Operand::reg(P.first);
+                  return I;
+                }));
+    add(Out, std::string(Name) + ".rm_i8",
+        mapWith(cat(then(byteLitG(0x0F),
+                         then(byteLitG(0xBA), modrmExt(Digit))),
+                    imm8zx()),
+                [Op](const std::pair<Operand, uint32_t> &P) {
+                  Instr I = baseInstr(Op);
+                  I.Op1 = P.first;
+                  I.Op2 = Operand::imm(P.second);
+                  return I;
+                }));
+  };
+  BitTest("bt", Opcode::BT, 0xA3, 4);
+  BitTest("bts", Opcode::BTS, 0xAB, 5);
+  BitTest("btr", Opcode::BTR, 0xB3, 6);
+  BitTest("btc", Opcode::BTC, 0xBB, 7);
+
+  // --- atomic-style RMW ------------------------------------------------------------
+  auto RmR0FW = [&](const char *Name, uint8_t BaseByte, Opcode Op) {
+    add(Out, Name,
+        mapWith(cat(then(byteLitG(0x0F),
+                         then(bitsG(bitString(BaseByte >> 1, 7)), anyBit())),
+                    modrmFull()),
+                [Op](const std::pair<bool, std::pair<Reg, Operand>> &P) {
+                  Instr I = baseInstr(Op);
+                  I.W = P.first;
+                  I.Op1 = P.second.second;
+                  I.Op2 = Operand::reg(P.second.first);
+                  return I;
+                }));
+  };
+  RmR0FW("xadd", 0xC0, Opcode::XADD);
+  RmR0FW("cmpxchg", 0xB0, Opcode::CMPXCHG);
+
+  // --- string operations --------------------------------------------------------------
+  auto StringOp = [&](const char *Name, uint8_t ByteOp, Opcode Op) {
+    add(Out, Name,
+        mapWith(then(bitsG(bitString(ByteOp >> 1, 7)), anyBit()),
+                [Op](bool W) {
+                  Instr I = baseInstr(Op);
+                  I.W = W;
+                  return I;
+                }));
+  };
+  StringOp("movs", 0xA4, Opcode::MOVS);
+  StringOp("cmps", 0xA6, Opcode::CMPS);
+  StringOp("stos", 0xAA, Opcode::STOS);
+  StringOp("lods", 0xAC, Opcode::LODS);
+  StringOp("scas", 0xAE, Opcode::SCAS);
+
+  // --- far pointer loads ----------------------------------------------------------------
+  auto FarLoad2 = [&](const char *Name, uint8_t Byte, Opcode Op) {
+    Grammar<std::pair<Reg, Operand>> MemModrm =
+        voidG<std::pair<Reg, Operand>>();
+    for (int Mod = 0; Mod <= 2; ++Mod)
+      MemModrm = alt(MemModrm, then(bitsG(bitString(Mod, 2)),
+                                    cat(regField(), rmBits(Mod))));
+    add(Out, Name,
+        mapWith(then(byteLitG(Byte), MemModrm),
+                [Op](const std::pair<Reg, Operand> &P) {
+                  Instr I = baseInstr(Op);
+                  I.Op1 = Operand::reg(P.first);
+                  I.Op2 = P.second;
+                  return I;
+                }));
+  };
+  FarLoad2("les", 0xC4, Opcode::LES);
+  FarLoad2("lds", 0xC5, Opcode::LDS);
+  {
+    auto FarLoad0F = [&](const char *Name, uint8_t Byte, Opcode Op) {
+      Grammar<std::pair<Reg, Operand>> MemModrm =
+          voidG<std::pair<Reg, Operand>>();
+      for (int Mod = 0; Mod <= 2; ++Mod)
+        MemModrm = alt(MemModrm, then(bitsG(bitString(Mod, 2)),
+                                      cat(regField(), rmBits(Mod))));
+      add(Out, Name,
+          mapWith(then(byteLitG(0x0F), then(byteLitG(Byte), MemModrm)),
+                  [Op](const std::pair<Reg, Operand> &P) {
+                    Instr I = baseInstr(Op);
+                    I.Op1 = Operand::reg(P.first);
+                    I.Op2 = P.second;
+                    return I;
+                  }));
+    };
+    FarLoad0F("lss", 0xB2, Opcode::LSS);
+    FarLoad0F("lfs", 0xB4, Opcode::LFS);
+    FarLoad0F("lgs", 0xB5, Opcode::LGS);
+  }
+
+  // --- I/O ports --------------------------------------------------------------------------
+  add(Out, "in.i8",
+      mapWith(cat(then(bitsG("1110010"), anyBit()), imm8zx()),
+              [](const std::pair<bool, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::IN);
+                I.W = P.first;
+                I.Op1 = Operand::reg(Reg::EAX);
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+  add(Out, "in.dx", mapWith(then(bitsG("1110110"), anyBit()), [](bool W) {
+        Instr I = baseInstr(Opcode::IN);
+        I.W = W;
+        I.Op1 = Operand::reg(Reg::EAX);
+        return I;
+      }));
+  add(Out, "out.i8",
+      mapWith(cat(then(bitsG("1110011"), anyBit()), imm8zx()),
+              [](const std::pair<bool, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::OUT);
+                I.W = P.first;
+                I.Op1 = Operand::imm(P.second);
+                I.Op2 = Operand::reg(Reg::EAX);
+                return I;
+              }));
+  add(Out, "out.dx", mapWith(then(bitsG("1110111"), anyBit()), [](bool W) {
+        Instr I = baseInstr(Opcode::OUT);
+        I.W = W;
+        I.Op2 = Operand::reg(Reg::EAX);
+        return I;
+      }));
+
+  // --- miscellaneous -----------------------------------------------------------------------
+  addSimple(Out, "hlt", 0xF4, Opcode::HLT);
+  addSimple(Out, "cmc", 0xF5, Opcode::CMC);
+  addSimple(Out, "clc", 0xF8, Opcode::CLC);
+  addSimple(Out, "stc", 0xF9, Opcode::STC);
+  addSimple(Out, "cli", 0xFA, Opcode::CLI);
+  addSimple(Out, "sti", 0xFB, Opcode::STI);
+  addSimple(Out, "cld", 0xFC, Opcode::CLD);
+  addSimple(Out, "std", 0xFD, Opcode::STD);
+  addSimple(Out, "lahf", 0x9F, Opcode::LAHF);
+  addSimple(Out, "sahf", 0x9E, Opcode::SAHF);
+  addSimple(Out, "cwde", 0x98, Opcode::CWDE);
+  addSimple(Out, "cdq", 0x99, Opcode::CDQ);
+  addSimple(Out, "xlat", 0xD7, Opcode::XLAT);
+  addSimple(Out, "leave", 0xC9, Opcode::LEAVE);
+  addSimple(Out, "int3", 0xCC, Opcode::INT3);
+  addSimple(Out, "into", 0xCE, Opcode::INTO);
+  addSimple(Out, "iret", 0xCF, Opcode::IRET);
+  addSimple(Out, "aaa", 0x37, Opcode::AAA);
+  addSimple(Out, "aas", 0x3F, Opcode::AAS);
+  addSimple(Out, "daa", 0x27, Opcode::DAA);
+  addSimple(Out, "das", 0x2F, Opcode::DAS);
+
+  auto Imm8Op = [&](const char *Name, uint8_t Byte, Opcode Op) {
+    add(Out, Name, mapWith(then(byteLitG(Byte), imm8zx()), [Op](uint32_t V) {
+          Instr I = baseInstr(Op);
+          I.Op1 = Operand::imm(V);
+          return I;
+        }));
+  };
+  Imm8Op("aam", 0xD4, Opcode::AAM);
+  Imm8Op("aad", 0xD5, Opcode::AAD);
+  Imm8Op("int", 0xCD, Opcode::INT);
+
+  add(Out, "enter",
+      mapWith(cat(then(byteLitG(0xC8), imm16zx()), imm8zx()),
+              [](const std::pair<uint32_t, uint32_t> &P) {
+                Instr I = baseInstr(Opcode::ENTER);
+                I.Op1 = Operand::imm(P.first);
+                I.Op2 = Operand::imm(P.second);
+                return I;
+              }));
+
+  return Out;
+}
+
+/// Alternation of a form list (balanced fold keeps derivative walks
+/// shallow).
+Grammar<Instr> unionOf(const Forms &Fs, size_t Lo, size_t Hi) {
+  if (Lo >= Hi)
+    return voidG<Instr>();
+  if (Hi - Lo == 1)
+    return Fs[Lo].G;
+  size_t Mid = Lo + (Hi - Lo) / 2;
+  return alt(unionOf(Fs, Lo, Mid), unionOf(Fs, Mid, Hi));
+}
+
+Grammar<Instr> unionOf(const Forms &Fs) { return unionOf(Fs, 0, Fs.size()); }
+
+/// Lock/rep and segment-override prefix grammar (canonical order; the
+/// operand-size override is folded into `Full` separately because it
+/// selects a different body grammar).
+Grammar<Prefix> lockRepSegPrefix() {
+  Grammar<Prefix> LockRep =
+      alt(alt(mapWith(eps(), [](Unit) { return Prefix{}; }),
+              mapWith(byteLitG(0xF0),
+                      [](Unit) {
+                        Prefix P;
+                        P.Lock = true;
+                        return P;
+                      })),
+          alt(mapWith(byteLitG(0xF2),
+                      [](Unit) {
+                        Prefix P;
+                        P.Rep = Prefix::RepKind::RepNe;
+                        return P;
+                      }),
+              mapWith(byteLitG(0xF3), [](Unit) {
+                Prefix P;
+                P.Rep = Prefix::RepKind::Rep;
+                return P;
+              })));
+
+  Grammar<std::optional<SegReg>> SegOv = mapWith(
+      eps(), [](Unit) { return std::optional<SegReg>{}; });
+  static const std::pair<uint8_t, SegReg> SegBytes[] = {
+      {0x26, SegReg::ES}, {0x2E, SegReg::CS}, {0x36, SegReg::SS},
+      {0x3E, SegReg::DS}, {0x64, SegReg::FS}, {0x65, SegReg::GS}};
+  for (auto [B, S] : SegBytes)
+    SegOv = alt(SegOv, mapWith(byteLitG(B), [S = S](Unit) {
+                  return std::optional<SegReg>(S);
+                }));
+
+  return mapWith(cat(LockRep, SegOv),
+                 [](const std::pair<Prefix, std::optional<SegReg>> &P) {
+                   Prefix Out = P.first;
+                   Out.SegOverride = P.second;
+                   return Out;
+                 });
+}
+
+const X86Grammars *buildAll() {
+  auto *G = new X86Grammars;
+  G->Forms = buildForms(/*Op16=*/false);
+  G->Body = unionOf(G->Forms);
+
+  G->Forms16 = buildForms(/*Op16=*/true);
+  Grammar<Instr> Body16 = unionOf(G->Forms16);
+  Grammar<Instr> Body16Marked =
+      mapWith(then(byteLitG(0x66), Body16), [](Instr I) {
+        I.Pfx.OpSize = true;
+        return I;
+      });
+
+  Grammar<Instr> AnyBody = alt(G->Body, Body16Marked);
+  G->Full = mapWith(cat(lockRepSegPrefix(), AnyBody),
+                    [](const std::pair<Prefix, Instr> &P) {
+                      Instr I = P.second;
+                      I.Pfx.Lock = P.first.Lock;
+                      I.Pfx.Rep = P.first.Rep;
+                      I.Pfx.SegOverride = P.first.SegOverride;
+                      return I;
+                    });
+  return G;
+}
+
+} // namespace
+
+const X86Grammars &x86::x86Grammars() {
+  static const X86Grammars *G = buildAll();
+  return *G;
+}
+
+Grammar<Instr> x86::formsUnion(const std::vector<std::string> &Names,
+                               bool Op16) {
+  const X86Grammars &G = x86Grammars();
+  const Forms &Pool = Op16 ? G.Forms16 : G.Forms;
+  Forms Picked;
+  for (const std::string &Name : Names) {
+    bool Found = false;
+    for (const NamedGrammar &NG : Pool)
+      if (NG.Name == Name) {
+        Picked.push_back(NG);
+        Found = true;
+        break;
+      }
+    assert(Found && "unknown instruction-form name");
+    (void)Found;
+  }
+  return unionOf(Picked);
+}
+
+Grammar<Instr> x86::buggyMovBody() {
+  // Rebuild the 8C (mov r/m, sreg) form with its low opcode bit flipped to
+  // 8D so that it collides with LEA, as in the paper's anecdote.
+  Forms Fs = buildForms(/*Op16=*/false);
+  for (NamedGrammar &NG : Fs) {
+    if (NG.Name != "movsr.rm_sr")
+      continue;
+    Grammar<std::pair<uint8_t, Operand>> Bad =
+        voidG<std::pair<uint8_t, Operand>>();
+    for (uint8_t S = 0; S < 6; ++S)
+      for (int Mod = 0; Mod <= 2; ++Mod)
+        Bad = alt(Bad,
+                  mapWith(then(byteLitG(0x8D), // flipped bit: was 0x8C
+                               then(bitsG(bitString(Mod, 2)),
+                                    then(bitsG(bitString(S, 3)),
+                                         rmBits(Mod)))),
+                          [S](const Operand &O) {
+                            return std::make_pair(S, O);
+                          }));
+    NG.G = mapWith(Bad, [](const std::pair<uint8_t, Operand> &P) {
+      Instr I = baseInstr(Opcode::MOVSR);
+      I.Seg = segFromEncoding(P.first);
+      I.Op1 = P.second;
+      return I;
+    });
+  }
+  return unionOf(Fs);
+}

@@ -1,0 +1,77 @@
+//===- x86/Grammars.h - Declarative x86 instruction grammars ---*- C++ -*-===//
+///
+/// \file
+/// The payload of the Decoder DSL (paper section 2.1): bit-level parsing
+/// grammars for the x86 integer instruction set, transcribed from the
+/// Intel opcode maps. Each instruction form is a Grammar<Instr> whose
+/// semantic action builds the abstract syntax; the full decoder grammar
+/// is the alternation of all forms, preceded by the prefix grammar.
+///
+/// Decode conventions (shared with the fast decoder and the encoder):
+///  * Operand order is Intel: Op1 = destination.
+///  * Sign-extended imm8 fields (83 /n, 6B /r, rel8 branches, PUSH 6A)
+///    are stored sign-extended to 32 bits; all other immediates are
+///    stored zero-extended.
+///  * disp8 in addressing modes is stored sign-extended.
+///  * The operand-size override duplicates the instruction-body grammar
+///    with 16-bit immediate fields (the `Full` grammar embeds both).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_X86_GRAMMARS_H
+#define ROCKSALT_X86_GRAMMARS_H
+
+#include "grammar/Grammar.h"
+#include "x86/Instr.h"
+
+#include <string>
+#include <vector>
+
+namespace rocksalt {
+namespace x86 {
+
+/// One named instruction-form grammar. Names are stable identifiers used
+/// by the policy layer (core/Policy) to assemble the checker's DFAs and
+/// by the fuzzer to sample encodings.
+struct NamedGrammar {
+  std::string Name;
+  gram::Grammar<Instr> G;
+};
+
+/// The assembled grammar set for one operand-size mode.
+struct X86Grammars {
+  /// Every instruction-form grammar, in definition order. Prefix-free and
+  /// pairwise unambiguous (checked by tests, per paper section 4.1).
+  std::vector<NamedGrammar> Forms;
+
+  /// The same forms built with 16-bit immediates (operand-size override
+  /// in effect); used under the 0x66 prefix and by the policy layer.
+  std::vector<NamedGrammar> Forms16;
+
+  /// Alternation of all forms (no prefixes), 32-bit operand size.
+  gram::Grammar<Instr> Body;
+
+  /// Prefixes + body, including the operand-size-override variant with
+  /// 16-bit immediates. This is the model's top-level x86grammar.
+  gram::Grammar<Instr> Full;
+};
+
+/// Returns the lazily constructed, cached grammar set.
+const X86Grammars &x86Grammars();
+
+/// Builds the alternation of the forms whose names are in \p Names.
+/// Asserts that every name exists. Used by the policy layer. \p Op16
+/// selects the operand-size-override variants.
+gram::Grammar<Instr> formsUnion(const std::vector<std::string> &Names,
+                                bool Op16 = false);
+
+/// Builds the instruction-body grammar with a deliberately flipped bit in
+/// the `mov r/m16, sreg` (8C /r) encoding, turning it into 8D and making
+/// it overlap LEA — the exact bug class the paper's determinism proof
+/// caught. Used by the E5 regression test.
+gram::Grammar<Instr> buggyMovBody();
+
+} // namespace x86
+} // namespace rocksalt
+
+#endif // ROCKSALT_X86_GRAMMARS_H

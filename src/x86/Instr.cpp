@@ -1,0 +1,162 @@
+//===- x86/Instr.cpp ------------------------------------------*- C++ -*-===//
+
+#include "x86/Instr.h"
+
+#include <cassert>
+
+using namespace rocksalt;
+using namespace rocksalt::x86;
+
+Reg x86::regFromEncoding(uint8_t Enc) {
+  assert(Enc < NumRegs && "register encoding out of range");
+  return static_cast<Reg>(Enc);
+}
+
+SegReg x86::segFromEncoding(uint8_t Enc) {
+  assert(Enc < NumSegRegs && "segment register encoding out of range");
+  return static_cast<SegReg>(Enc);
+}
+
+Cond x86::condFromEncoding(uint8_t Enc) {
+  assert(Enc < NumConds && "condition encoding out of range");
+  return static_cast<Cond>(Enc);
+}
+
+const char *x86::regName(Reg R) {
+  static const char *Names[] = {"eax", "ecx", "edx", "ebx",
+                                "esp", "ebp", "esi", "edi"};
+  return Names[encodingOf(R)];
+}
+
+const char *x86::seg16Name(SegReg S) {
+  static const char *Names[] = {"es", "cs", "ss", "ds", "fs", "gs"};
+  return Names[encodingOf(S)];
+}
+
+const char *x86::condName(Cond C) {
+  static const char *Names[] = {"o",  "no", "b",  "nb", "e",  "ne",
+                                "be", "nbe", "s", "ns", "p",  "np",
+                                "l",  "nl", "le", "nle"};
+  return Names[encodingOf(C)];
+}
+
+const char *x86::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::AAA: return "aaa";
+  case Opcode::AAD: return "aad";
+  case Opcode::AAM: return "aam";
+  case Opcode::AAS: return "aas";
+  case Opcode::ADC: return "adc";
+  case Opcode::ADD: return "add";
+  case Opcode::AND: return "and";
+  case Opcode::BSF: return "bsf";
+  case Opcode::BSR: return "bsr";
+  case Opcode::BSWAP: return "bswap";
+  case Opcode::BT: return "bt";
+  case Opcode::BTC: return "btc";
+  case Opcode::BTR: return "btr";
+  case Opcode::BTS: return "bts";
+  case Opcode::CALL: return "call";
+  case Opcode::CDQ: return "cdq";
+  case Opcode::CLC: return "clc";
+  case Opcode::CLD: return "cld";
+  case Opcode::CLI: return "cli";
+  case Opcode::CMC: return "cmc";
+  case Opcode::CMOVcc: return "cmov";
+  case Opcode::CMP: return "cmp";
+  case Opcode::CMPS: return "cmps";
+  case Opcode::CMPXCHG: return "cmpxchg";
+  case Opcode::CWDE: return "cwde";
+  case Opcode::DAA: return "daa";
+  case Opcode::DAS: return "das";
+  case Opcode::DEC: return "dec";
+  case Opcode::DIV: return "div";
+  case Opcode::ENTER: return "enter";
+  case Opcode::HLT: return "hlt";
+  case Opcode::IDIV: return "idiv";
+  case Opcode::IMUL: return "imul";
+  case Opcode::IN: return "in";
+  case Opcode::INC: return "inc";
+  case Opcode::INT3: return "int3";
+  case Opcode::INT: return "int";
+  case Opcode::INTO: return "into";
+  case Opcode::IRET: return "iret";
+  case Opcode::Jcc: return "j";
+  case Opcode::JCXZ: return "jecxz";
+  case Opcode::JMP: return "jmp";
+  case Opcode::LAHF: return "lahf";
+  case Opcode::LDS: return "lds";
+  case Opcode::LEA: return "lea";
+  case Opcode::LEAVE: return "leave";
+  case Opcode::LES: return "les";
+  case Opcode::LFS: return "lfs";
+  case Opcode::LGS: return "lgs";
+  case Opcode::LSS: return "lss";
+  case Opcode::LODS: return "lods";
+  case Opcode::LOOP: return "loop";
+  case Opcode::LOOPNZ: return "loopnz";
+  case Opcode::LOOPZ: return "loopz";
+  case Opcode::MOV: return "mov";
+  case Opcode::MOVSR: return "movsr";
+  case Opcode::MOVS: return "movs";
+  case Opcode::MOVSX: return "movsx";
+  case Opcode::MOVZX: return "movzx";
+  case Opcode::MUL: return "mul";
+  case Opcode::NEG: return "neg";
+  case Opcode::NOP: return "nop";
+  case Opcode::NOT: return "not";
+  case Opcode::OR: return "or";
+  case Opcode::OUT: return "out";
+  case Opcode::POP: return "pop";
+  case Opcode::POPA: return "popa";
+  case Opcode::POPF: return "popf";
+  case Opcode::POPSR: return "popsr";
+  case Opcode::PUSH: return "push";
+  case Opcode::PUSHA: return "pusha";
+  case Opcode::PUSHF: return "pushf";
+  case Opcode::PUSHSR: return "pushsr";
+  case Opcode::RCL: return "rcl";
+  case Opcode::RCR: return "rcr";
+  case Opcode::RET: return "ret";
+  case Opcode::ROL: return "rol";
+  case Opcode::ROR: return "ror";
+  case Opcode::SAHF: return "sahf";
+  case Opcode::SAR: return "sar";
+  case Opcode::SBB: return "sbb";
+  case Opcode::SCAS: return "scas";
+  case Opcode::SETcc: return "set";
+  case Opcode::SHL: return "shl";
+  case Opcode::SHLD: return "shld";
+  case Opcode::SHR: return "shr";
+  case Opcode::SHRD: return "shrd";
+  case Opcode::STC: return "stc";
+  case Opcode::STD: return "std";
+  case Opcode::STI: return "sti";
+  case Opcode::STOS: return "stos";
+  case Opcode::SUB: return "sub";
+  case Opcode::TEST: return "test";
+  case Opcode::XADD: return "xadd";
+  case Opcode::XCHG: return "xchg";
+  case Opcode::XLAT: return "xlat";
+  case Opcode::XOR: return "xor";
+  }
+  return "?";
+}
+
+bool x86::isPrefixByte(uint8_t B) {
+  switch (B) {
+  case 0xF0: // lock
+  case 0xF2: // repne
+  case 0xF3: // rep
+  case 0x26: // es
+  case 0x2E: // cs
+  case 0x36: // ss
+  case 0x3E: // ds
+  case 0x64: // fs
+  case 0x65: // gs
+  case 0x66: // operand size
+    return true;
+  default:
+    return false;
+  }
+}

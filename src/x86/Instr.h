@@ -1,0 +1,231 @@
+//===- x86/Instr.h - x86 abstract syntax -----------------------*- C++ -*-===//
+///
+/// \file
+/// Abstract syntax for the 32-bit x86 (IA-32) integer subset the paper
+/// models (Figure 1): registers, segment registers, condition codes,
+/// operands (immediates, registers, and the scaled-index addressing
+/// modes), prefixes, and instructions. Floating point, MMX/SSE, and
+/// system-programming instructions are out of scope, as in the paper.
+///
+/// Conventions:
+///  * Operand order is Intel syntax: Op1 is the destination.
+///  * Direct control transfers carry their *relative* displacement as a
+///    sign-extended 32-bit immediate in Op1.
+///  * The `W` bit distinguishes byte ops (false) from word ops (true);
+///    the effective word size is 16 when the operand-size override prefix
+///    is present, 32 otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_X86_INSTR_H
+#define ROCKSALT_X86_INSTR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rocksalt {
+namespace x86 {
+
+/// General-purpose registers, in encoding order.
+enum class Reg : uint8_t { EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI };
+constexpr unsigned NumRegs = 8;
+
+/// Segment registers, in encoding order.
+enum class SegReg : uint8_t { ES, CS, SS, DS, FS, GS };
+constexpr unsigned NumSegRegs = 6;
+
+/// Condition codes, in encoding order (the low nibble of Jcc/SETcc/CMOVcc
+/// opcodes).
+enum class Cond : uint8_t {
+  O,   ///< overflow
+  NO,  ///< not overflow
+  B,   ///< below (CF)
+  NB,  ///< not below
+  E,   ///< equal (ZF)
+  NE,  ///< not equal
+  BE,  ///< below or equal (CF|ZF)
+  NBE, ///< above
+  S,   ///< sign (SF)
+  NS,  ///< not sign
+  P,   ///< parity (PF)
+  NP,  ///< not parity
+  L,   ///< less (SF!=OF)
+  NL,  ///< not less
+  LE,  ///< less or equal
+  NLE  ///< greater
+};
+constexpr unsigned NumConds = 16;
+
+/// Index scale factors; the enumerator value is log2 of the factor,
+/// matching the SIB encoding.
+enum class Scale : uint8_t { S1 = 0, S2 = 1, S4 = 2, S8 = 3 };
+
+/// An effective address: disp + base + scale*index.
+struct Addr {
+  uint32_t Disp = 0;
+  std::optional<Reg> Base;
+  std::optional<std::pair<Scale, Reg>> Index; ///< index is never ESP
+
+  bool operator==(const Addr &O) const {
+    return Disp == O.Disp && Base == O.Base && Index == O.Index;
+  }
+
+  static Addr disp(uint32_t D) { return Addr{D, std::nullopt, std::nullopt}; }
+  static Addr base(Reg B, uint32_t D = 0) {
+    return Addr{D, B, std::nullopt};
+  }
+  static Addr baseIndex(Reg B, Reg I, Scale S = Scale::S1, uint32_t D = 0) {
+    return Addr{D, B, std::make_pair(S, I)};
+  }
+  static Addr indexOnly(Reg I, Scale S, uint32_t D = 0) {
+    return Addr{D, std::nullopt, std::make_pair(S, I)};
+  }
+};
+
+/// An instruction operand.
+struct Operand {
+  enum class Kind : uint8_t { None, Imm, Reg, Mem };
+  Kind K = Kind::None;
+  uint32_t ImmVal = 0;
+  x86::Reg R = x86::Reg::EAX;
+  Addr A;
+
+  bool operator==(const Operand &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Kind::None:
+      return true;
+    case Kind::Imm:
+      return ImmVal == O.ImmVal;
+    case Kind::Reg:
+      return R == O.R;
+    case Kind::Mem:
+      return A == O.A;
+    }
+    return false;
+  }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isReg() const { return K == Kind::Reg; }
+  bool isMem() const { return K == Kind::Mem; }
+
+  static Operand none() { return Operand{}; }
+  static Operand imm(uint32_t V) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.ImmVal = V;
+    return O;
+  }
+  static Operand reg(x86::Reg R) {
+    Operand O;
+    O.K = Kind::Reg;
+    O.R = R;
+    return O;
+  }
+  static Operand mem(Addr A) {
+    Operand O;
+    O.K = Kind::Mem;
+    O.A = A;
+    return O;
+  }
+};
+
+/// Instruction prefixes (the paper's prefix record).
+struct Prefix {
+  enum class RepKind : uint8_t { None, Rep, RepNe };
+  bool Lock = false;                   ///< F0
+  RepKind Rep = RepKind::None;         ///< F3 / F2
+  std::optional<SegReg> SegOverride;   ///< 26/2E/36/3E/64/65
+  bool OpSize = false;                 ///< 66: 16-bit operand size
+
+  bool operator==(const Prefix &O) const {
+    return Lock == O.Lock && Rep == O.Rep && SegOverride == O.SegOverride &&
+           OpSize == O.OpSize;
+  }
+  bool any() const {
+    return Lock || Rep != RepKind::None || SegOverride || OpSize;
+  }
+};
+
+/// Instruction mnemonics. Each enumerator covers all encodings of one
+/// instruction (the paper counts the fourteen opcode forms of ADC as one
+/// instruction); cc-parameterized families (Jcc, SETcc, CMOVcc) carry
+/// their condition in Instr::CC.
+enum class Opcode : uint8_t {
+  AAA, AAD, AAM, AAS, ADC, ADD, AND,
+  BSF, BSR, BSWAP, BT, BTC, BTR, BTS,
+  CALL, CDQ, CLC, CLD, CLI, CMC, CMOVcc, CMP, CMPS, CMPXCHG, CWDE,
+  DAA, DAS, DEC, DIV,
+  ENTER, HLT,
+  IDIV, IMUL, IN, INC, INT3, INT, INTO, IRET,
+  Jcc, JCXZ, JMP,
+  LAHF, LDS, LEA, LEAVE, LES, LFS, LGS, LSS, LODS,
+  LOOP, LOOPNZ, LOOPZ,
+  MOV, MOVSR, MOVS, MOVSX, MOVZX, MUL,
+  NEG, NOP, NOT,
+  OR, OUT,
+  POP, POPA, POPF, POPSR, PUSH, PUSHA, PUSHF, PUSHSR,
+  RCL, RCR, RET, ROL, ROR,
+  SAHF, SAR, SBB, SCAS, SETcc, SHL, SHLD, SHR, SHRD,
+  STC, STD, STI, STOS, SUB,
+  TEST,
+  XADD, XCHG, XLAT, XOR
+};
+
+/// A decoded instruction. See the file comment for field conventions.
+struct Instr {
+  Prefix Pfx;
+  Opcode Op = Opcode::NOP;
+  bool W = true;            ///< word (16/32) vs byte operation
+  Cond CC = Cond::O;        ///< for Jcc/SETcc/CMOVcc
+  Operand Op1, Op2, Op3;
+  /// CALL/JMP shape, mirroring the paper's CALL(near, abs, op, sel):
+  bool Near = true;         ///< near vs far transfer
+  bool Absolute = false;    ///< indirect (through reg/mem) vs pc-relative
+  std::optional<uint16_t> Sel; ///< far-pointer segment selector
+  SegReg Seg = SegReg::DS;  ///< segment for MOVSR/PUSHSR/POPSR
+
+  bool operator==(const Instr &O) const {
+    return Pfx == O.Pfx && Op == O.Op && W == O.W && CC == O.CC &&
+           Op1 == O.Op1 && Op2 == O.Op2 && Op3 == O.Op3 && Near == O.Near &&
+           Absolute == O.Absolute && Sel == O.Sel && Seg == O.Seg;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Small helpers shared by the encoder, decoders, and semantics.
+//===----------------------------------------------------------------------===//
+
+/// Encoding number of a GPR / segment register / condition.
+inline uint8_t encodingOf(Reg R) { return static_cast<uint8_t>(R); }
+inline uint8_t encodingOf(SegReg S) { return static_cast<uint8_t>(S); }
+inline uint8_t encodingOf(Cond C) { return static_cast<uint8_t>(C); }
+
+Reg regFromEncoding(uint8_t Enc);
+SegReg segFromEncoding(uint8_t Enc);
+Cond condFromEncoding(uint8_t Enc);
+
+/// Human-readable names (for the printer and diagnostics).
+const char *regName(Reg R);
+const char *seg16Name(SegReg S);
+const char *condName(Cond C);
+const char *opcodeName(Opcode Op);
+
+/// Effective operand size in bits given the prefix and the W bit.
+inline uint32_t operandBits(const Prefix &P, bool W) {
+  if (!W)
+    return 8;
+  return P.OpSize ? 16 : 32;
+}
+
+/// True if \p B is one of the prefix bytes this model recognizes.
+bool isPrefixByte(uint8_t B);
+
+} // namespace x86
+} // namespace rocksalt
+
+#endif // ROCKSALT_X86_INSTR_H

@@ -1,0 +1,410 @@
+//===- x86/InstrGen.cpp ---------------------------------------*- C++ -*-===//
+
+#include "x86/InstrGen.h"
+
+#include <vector>
+
+using namespace rocksalt;
+using namespace rocksalt::x86;
+
+namespace {
+
+Reg randomReg(Rng &R) { return regFromEncoding(uint8_t(R.below(8))); }
+
+Reg randomIndexReg(Rng &R) {
+  static const Reg Choices[] = {Reg::EAX, Reg::ECX, Reg::EDX, Reg::EBX,
+                                Reg::EBP, Reg::ESI, Reg::EDI};
+  return Choices[R.below(7)];
+}
+
+uint32_t randomImm(Rng &R) {
+  // Mix of small constants, byte-sized, and full-width values so both the
+  // imm8 and imm32 encoder paths get exercised.
+  switch (R.below(4)) {
+  case 0: return static_cast<uint32_t>(R.below(16));
+  case 1: return static_cast<uint32_t>(R.next() & 0xFF);
+  case 2: return static_cast<uint32_t>(static_cast<int32_t>(
+              static_cast<int8_t>(R.next())));
+  default: return static_cast<uint32_t>(R.next());
+  }
+}
+
+Operand randomRm(Rng &R, bool AllowMem) {
+  if (!AllowMem || R.flip())
+    return Operand::reg(randomReg(R));
+  return randomMemOperand(R);
+}
+
+} // namespace
+
+Operand x86::randomMemOperand(Rng &R) {
+  Addr A;
+  switch (R.below(5)) {
+  case 0: // [disp32]
+    A.Disp = static_cast<uint32_t>(R.next());
+    break;
+  case 1: // [base]
+    A.Base = randomReg(R);
+    break;
+  case 2: // [base + disp]
+    A.Base = randomReg(R);
+    A.Disp = randomImm(R);
+    break;
+  case 3: // [base + scale*index + disp]
+    A.Base = randomReg(R);
+    A.Index = std::make_pair(static_cast<Scale>(R.below(4)),
+                             randomIndexReg(R));
+    A.Disp = randomImm(R);
+    break;
+  default: // [scale*index + disp32]
+    A.Index = std::make_pair(static_cast<Scale>(R.below(4)),
+                             randomIndexReg(R));
+    A.Disp = static_cast<uint32_t>(R.next());
+    break;
+  }
+  return Operand::mem(A);
+}
+
+Instr x86::randomInstr(Rng &R, const GenOptions &Opts) {
+  Instr I;
+
+  // Optional prefixes (kept rare so most instructions are plain).
+  if (Opts.AllowPrefixes) {
+    if (R.chance(1, 16))
+      I.Pfx.OpSize = true;
+    if (Opts.AllowSegmentOps && R.chance(1, 24))
+      I.Pfx.SegOverride = segFromEncoding(uint8_t(R.below(6)));
+  }
+
+  enum class Family {
+    Alu, Mov, MovSr, Lea, IncDec, PushPop, Unary, ImulMulti, Test, Xchg,
+    Shift, DblShift, Setcc, Cmovcc, WideMove, BitScan, BitTest, Bswap,
+    XaddCmpxchg, StringOp, Simple, Branch, LoopBr, Ret, CallJmpInd,
+    CallJmpRel, FarLoad, InOut, IntLike, Enter, AamAad
+  };
+
+  std::vector<Family> Fams = {
+      Family::Alu,     Family::Alu,     Family::Alu,    Family::Mov,
+      Family::Mov,     Family::Lea,     Family::IncDec, Family::PushPop,
+      Family::Unary,   Family::ImulMulti, Family::Test, Family::Xchg,
+      Family::Shift,   Family::DblShift, Family::Setcc, Family::Cmovcc,
+      Family::WideMove, Family::BitScan, Family::BitTest, Family::Bswap,
+      Family::XaddCmpxchg, Family::Simple, Family::Enter, Family::AamAad};
+  if (Opts.AllowStringOps)
+    Fams.push_back(Family::StringOp);
+  if (Opts.AllowControlFlow) {
+    Fams.insert(Fams.end(), {Family::Branch, Family::LoopBr, Family::Ret,
+                             Family::CallJmpInd, Family::CallJmpRel});
+  }
+  if (Opts.AllowSegmentOps)
+    Fams.insert(Fams.end(), {Family::MovSr, Family::FarLoad});
+  if (Opts.AllowPrivileged)
+    Fams.insert(Fams.end(), {Family::InOut, Family::IntLike});
+
+  switch (Fams[R.below(Fams.size())]) {
+  case Family::Alu: {
+    static const Opcode Ops[] = {Opcode::ADD, Opcode::OR,  Opcode::ADC,
+                                 Opcode::SBB, Opcode::AND, Opcode::SUB,
+                                 Opcode::XOR, Opcode::CMP};
+    I.Op = Ops[R.below(8)];
+    I.W = !R.chance(1, 4);
+    switch (R.below(3)) {
+    case 0: // rm, r
+      I.Op1 = randomRm(R, Opts.MemOperands);
+      I.Op2 = Operand::reg(randomReg(R));
+      break;
+    case 1: // r, rm
+      I.Op1 = Operand::reg(randomReg(R));
+      I.Op2 = randomRm(R, Opts.MemOperands);
+      break;
+    default: // rm, imm
+      I.Op1 = randomRm(R, Opts.MemOperands);
+      I.Op2 = Operand::imm(randomImm(R));
+      break;
+    }
+    break;
+  }
+  case Family::Mov:
+    I.Op = Opcode::MOV;
+    I.W = !R.chance(1, 4);
+    switch (R.below(3)) {
+    case 0:
+      I.Op1 = randomRm(R, Opts.MemOperands);
+      I.Op2 = Operand::reg(randomReg(R));
+      break;
+    case 1:
+      I.Op1 = Operand::reg(randomReg(R));
+      I.Op2 = randomRm(R, Opts.MemOperands);
+      break;
+    default:
+      I.Op1 = randomRm(R, Opts.MemOperands);
+      I.Op2 = Operand::imm(randomImm(R));
+      break;
+    }
+    break;
+  case Family::MovSr:
+    I.Op = Opcode::MOVSR;
+    I.Seg = segFromEncoding(uint8_t(R.below(6)));
+    if (R.flip() && I.Seg != SegReg::CS)
+      I.Op2 = randomRm(R, Opts.MemOperands); // mov sreg, r/m
+    else
+      I.Op1 = randomRm(R, Opts.MemOperands); // mov r/m, sreg
+    break;
+  case Family::Lea:
+    I.Op = Opcode::LEA;
+    I.Op1 = Operand::reg(randomReg(R));
+    I.Op2 = randomMemOperand(R);
+    break;
+  case Family::IncDec:
+    I.Op = R.flip() ? Opcode::INC : Opcode::DEC;
+    I.W = !R.chance(1, 4);
+    I.Op1 = I.W ? Operand::reg(randomReg(R)) : randomRm(R, Opts.MemOperands);
+    break;
+  case Family::PushPop:
+    if (R.flip()) {
+      I.Op = Opcode::PUSH;
+      switch (R.below(3)) {
+      case 0: I.Op1 = Operand::reg(randomReg(R)); break;
+      case 1: I.Op1 = Operand::imm(randomImm(R)); break;
+      default: I.Op1 = randomRm(R, Opts.MemOperands); break;
+      }
+    } else {
+      I.Op = Opcode::POP;
+      I.Op1 = R.flip() ? Operand::reg(randomReg(R))
+                       : randomRm(R, Opts.MemOperands);
+    }
+    break;
+  case Family::Unary: {
+    static const Opcode Ops[] = {Opcode::NOT, Opcode::NEG, Opcode::MUL,
+                                 Opcode::DIV, Opcode::IDIV};
+    I.Op = Ops[R.below(5)];
+    I.W = !R.chance(1, 4);
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    break;
+  }
+  case Family::ImulMulti:
+    I.Op = Opcode::IMUL;
+    switch (R.below(3)) {
+    case 0:
+      I.W = !R.chance(1, 4);
+      I.Op1 = randomRm(R, Opts.MemOperands);
+      break;
+    case 1:
+      I.Op1 = Operand::reg(randomReg(R));
+      I.Op2 = randomRm(R, Opts.MemOperands);
+      break;
+    default:
+      I.Op1 = Operand::reg(randomReg(R));
+      I.Op2 = randomRm(R, Opts.MemOperands);
+      I.Op3 = Operand::imm(randomImm(R));
+      break;
+    }
+    break;
+  case Family::Test:
+    I.Op = Opcode::TEST;
+    I.W = !R.chance(1, 4);
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    I.Op2 = R.flip() ? Operand::imm(randomImm(R))
+                     : Operand::reg(randomReg(R));
+    break;
+  case Family::Xchg:
+    I.Op = Opcode::XCHG;
+    I.W = !R.chance(1, 4);
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    I.Op2 = Operand::reg(randomReg(R));
+    break;
+  case Family::Shift: {
+    static const Opcode Ops[] = {Opcode::ROL, Opcode::ROR, Opcode::RCL,
+                                 Opcode::RCR, Opcode::SHL, Opcode::SHR,
+                                 Opcode::SAR};
+    I.Op = Ops[R.below(7)];
+    I.W = !R.chance(1, 4);
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    switch (R.below(3)) {
+    case 0: I.Op2 = Operand::imm(1); break;
+    case 1: I.Op2 = Operand::imm(uint32_t(R.below(32))); break;
+    default: I.Op2 = Operand::reg(Reg::ECX); break;
+    }
+    break;
+  }
+  case Family::DblShift:
+    I.Op = R.flip() ? Opcode::SHLD : Opcode::SHRD;
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    I.Op2 = Operand::reg(randomReg(R));
+    I.Op3 = R.flip() ? Operand::imm(uint32_t(R.below(32)))
+                     : Operand::reg(Reg::ECX);
+    break;
+  case Family::Setcc:
+    I.Op = Opcode::SETcc;
+    I.W = false;
+    I.CC = condFromEncoding(uint8_t(R.below(16)));
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    break;
+  case Family::Cmovcc:
+    I.Op = Opcode::CMOVcc;
+    I.CC = condFromEncoding(uint8_t(R.below(16)));
+    I.Op1 = Operand::reg(randomReg(R));
+    I.Op2 = randomRm(R, Opts.MemOperands);
+    break;
+  case Family::WideMove:
+    I.Op = R.flip() ? Opcode::MOVZX : Opcode::MOVSX;
+    I.W = R.flip(); // source width
+    I.Op1 = Operand::reg(randomReg(R));
+    I.Op2 = randomRm(R, Opts.MemOperands);
+    break;
+  case Family::BitScan:
+    I.Op = R.flip() ? Opcode::BSF : Opcode::BSR;
+    I.Op1 = Operand::reg(randomReg(R));
+    I.Op2 = randomRm(R, Opts.MemOperands);
+    break;
+  case Family::BitTest: {
+    static const Opcode Ops[] = {Opcode::BT, Opcode::BTS, Opcode::BTR,
+                                 Opcode::BTC};
+    I.Op = Ops[R.below(4)];
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    I.Op2 = R.flip() ? Operand::imm(uint32_t(R.below(32)))
+                     : Operand::reg(randomReg(R));
+    break;
+  }
+  case Family::Bswap:
+    I.Op = Opcode::BSWAP;
+    I.Op1 = Operand::reg(randomReg(R));
+    break;
+  case Family::XaddCmpxchg:
+    I.Op = R.flip() ? Opcode::XADD : Opcode::CMPXCHG;
+    I.W = !R.chance(1, 4);
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    I.Op2 = Operand::reg(randomReg(R));
+    break;
+  case Family::StringOp: {
+    static const Opcode Ops[] = {Opcode::MOVS, Opcode::CMPS, Opcode::STOS,
+                                 Opcode::LODS, Opcode::SCAS};
+    I.Op = Ops[R.below(5)];
+    I.W = R.flip();
+    if (R.chance(1, 3))
+      I.Pfx.Rep = R.flip() ? Prefix::RepKind::Rep : Prefix::RepKind::RepNe;
+    break;
+  }
+  case Family::Simple: {
+    static const Opcode Ops[] = {Opcode::NOP,  Opcode::CMC,  Opcode::CLC,
+                                 Opcode::STC,  Opcode::CLD,  Opcode::STD,
+                                 Opcode::LAHF, Opcode::SAHF, Opcode::CWDE,
+                                 Opcode::CDQ,  Opcode::XLAT, Opcode::LEAVE,
+                                 Opcode::PUSHA, Opcode::POPA, Opcode::PUSHF,
+                                 Opcode::POPF, Opcode::AAA,  Opcode::AAS,
+                                 Opcode::DAA,  Opcode::DAS};
+    I.Op = Ops[R.below(sizeof(Ops) / sizeof(Ops[0]))];
+    break;
+  }
+  case Family::Branch:
+    I.Op = Opcode::Jcc;
+    I.CC = condFromEncoding(uint8_t(R.below(16)));
+    I.Op1 = Operand::imm(randomImm(R));
+    break;
+  case Family::LoopBr: {
+    static const Opcode Ops[] = {Opcode::LOOP, Opcode::LOOPZ, Opcode::LOOPNZ,
+                                 Opcode::JCXZ};
+    I.Op = Ops[R.below(4)];
+    I.Op1 = Operand::imm(static_cast<uint32_t>(
+        static_cast<int32_t>(static_cast<int8_t>(R.next()))));
+    break;
+  }
+  case Family::Ret:
+    I.Op = Opcode::RET;
+    I.Near = !R.chance(1, 4);
+    if (R.flip())
+      I.Op1 = Operand::imm(uint32_t(R.below(0x10000)));
+    break;
+  case Family::CallJmpRel:
+    I.Op = R.flip() ? Opcode::CALL : Opcode::JMP;
+    I.Near = true;
+    I.Absolute = false;
+    I.Op1 = Operand::imm(randomImm(R));
+    break;
+  case Family::CallJmpInd:
+    I.Op = R.flip() ? Opcode::CALL : Opcode::JMP;
+    I.Near = true;
+    I.Absolute = true;
+    I.Op1 = randomRm(R, Opts.MemOperands);
+    break;
+  case Family::FarLoad: {
+    static const Opcode Ops[] = {Opcode::LDS, Opcode::LES, Opcode::LSS,
+                                 Opcode::LFS, Opcode::LGS};
+    I.Op = Ops[R.below(5)];
+    I.Op1 = Operand::reg(randomReg(R));
+    I.Op2 = randomMemOperand(R);
+    break;
+  }
+  case Family::InOut:
+    if (R.flip()) {
+      I.Op = Opcode::IN;
+      I.W = R.flip();
+      I.Op1 = Operand::reg(Reg::EAX);
+      if (R.flip())
+        I.Op2 = Operand::imm(uint32_t(R.below(256)));
+    } else {
+      I.Op = Opcode::OUT;
+      I.W = R.flip();
+      if (R.flip())
+        I.Op1 = Operand::imm(uint32_t(R.below(256)));
+      I.Op2 = Operand::reg(Reg::EAX);
+    }
+    break;
+  case Family::IntLike: {
+    static const Opcode Ops[] = {Opcode::INT3, Opcode::INTO, Opcode::IRET,
+                                 Opcode::HLT,  Opcode::CLI,  Opcode::STI};
+    I.Op = Ops[R.below(6)];
+    if (R.chance(1, 6)) {
+      I.Op = Opcode::INT;
+      I.Op1 = Operand::imm(uint32_t(R.below(256)));
+    }
+    break;
+  }
+  case Family::Enter:
+    I.Op = Opcode::ENTER;
+    I.Op1 = Operand::imm(uint32_t(R.below(0x10000)));
+    I.Op2 = Operand::imm(uint32_t(R.below(32)));
+    break;
+  case Family::AamAad:
+    I.Op = R.flip() ? Opcode::AAM : Opcode::AAD;
+    I.Op1 = Operand::imm(uint32_t(R.range(1, 255)));
+    break;
+  }
+
+  // Normalize immediates so the value survives the width-dependent
+  // encoding (byte-op immediates are 8-bit; under the operand-size
+  // override, word immediates are 16-bit unless the sign-extended-imm8
+  // form applies).
+  auto FitsInt8 = [](uint32_t V) {
+    int32_t S = static_cast<int32_t>(V);
+    return S >= -128 && S <= 127;
+  };
+  auto NormWordImm = [&](Operand &O) {
+    if (!O.isImm())
+      return;
+    if (!I.W) {
+      O.ImmVal &= 0xFF;
+      return;
+    }
+    if (I.Pfx.OpSize && !FitsInt8(O.ImmVal))
+      O.ImmVal &= 0xFFFF;
+  };
+  switch (I.Op) {
+  case Opcode::ADD: case Opcode::OR: case Opcode::ADC: case Opcode::SBB:
+  case Opcode::AND: case Opcode::SUB: case Opcode::XOR: case Opcode::CMP:
+  case Opcode::MOV: case Opcode::TEST:
+    NormWordImm(I.Op2);
+    break;
+  case Opcode::PUSH:
+    if (I.Op1.isImm() && I.Pfx.OpSize && !FitsInt8(I.Op1.ImmVal))
+      I.Op1.ImmVal &= 0xFFFF;
+    break;
+  case Opcode::IMUL:
+    if (I.Op3.isImm() && I.Pfx.OpSize && !FitsInt8(I.Op3.ImmVal))
+      I.Op3.ImmVal &= 0xFFFF;
+    break;
+  default:
+    break;
+  }
+  return I;
+}

@@ -1,0 +1,41 @@
+//===- x86/InstrGen.h - Random instruction generation ----------*- C++ -*-===//
+///
+/// \file
+/// Generates random, encodable instructions across every form of the
+/// modeled subset. This is the abstract-syntax side of the paper's
+/// generative fuzzing (section 2.5: "Using our generative grammar, we
+/// randomly produce byte sequences that correspond to instructions we
+/// have specified"): encoding a random Instr yields exactly such a byte
+/// sequence, and decode/execute differential tests consume them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_X86_INSTRGEN_H
+#define ROCKSALT_X86_INSTRGEN_H
+
+#include "support/Oracle.h"
+#include "x86/Instr.h"
+
+namespace rocksalt {
+namespace x86 {
+
+/// Tuning knobs for generation.
+struct GenOptions {
+  bool AllowPrefixes = true;     ///< lock/rep/seg-override/66
+  bool AllowControlFlow = true;  ///< call/jmp/jcc/ret/loops
+  bool AllowPrivileged = true;   ///< in/out/int/iret/hlt/cli/sti
+  bool AllowSegmentOps = true;   ///< movsr/pushsr/popsr/lds...
+  bool AllowStringOps = true;
+  bool MemOperands = true;       ///< permit memory operands
+};
+
+/// Returns a random instruction that x86::encode can encode.
+Instr randomInstr(Rng &R, const GenOptions &Opts = GenOptions());
+
+/// Returns a random operand of the given shape constraints.
+Operand randomMemOperand(Rng &R);
+
+} // namespace x86
+} // namespace rocksalt
+
+#endif // ROCKSALT_X86_INSTRGEN_H

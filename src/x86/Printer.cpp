@@ -1,0 +1,95 @@
+//===- x86/Printer.cpp ----------------------------------------*- C++ -*-===//
+
+#include "x86/Printer.h"
+
+#include <cstdio>
+
+using namespace rocksalt;
+using namespace rocksalt::x86;
+
+static std::string hex(uint32_t V) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%x", V);
+  return Buf;
+}
+
+std::string x86::printOperand(const Operand &O) {
+  switch (O.K) {
+  case Operand::Kind::None:
+    return "";
+  case Operand::Kind::Imm:
+    return hex(O.ImmVal);
+  case Operand::Kind::Reg:
+    return regName(O.R);
+  case Operand::Kind::Mem: {
+    std::string S = "[";
+    bool First = true;
+    if (O.A.Base) {
+      S += regName(*O.A.Base);
+      First = false;
+    }
+    if (O.A.Index) {
+      if (!First)
+        S += "+";
+      unsigned Factor = 1u << static_cast<unsigned>(O.A.Index->first);
+      S += std::to_string(Factor);
+      S += "*";
+      S += regName(O.A.Index->second);
+      First = false;
+    }
+    if (O.A.Disp != 0 || First) {
+      if (!First)
+        S += "+";
+      S += hex(O.A.Disp);
+    }
+    S += "]";
+    return S;
+  }
+  }
+  return "?";
+}
+
+std::string x86::printInstr(const Instr &I) {
+  std::string S;
+  if (I.Pfx.Lock)
+    S += "lock ";
+  if (I.Pfx.Rep == Prefix::RepKind::Rep)
+    S += "rep ";
+  else if (I.Pfx.Rep == Prefix::RepKind::RepNe)
+    S += "repne ";
+  if (I.Pfx.SegOverride) {
+    S += seg16Name(*I.Pfx.SegOverride);
+    S += ": ";
+  }
+
+  S += opcodeName(I.Op);
+  if (I.Op == Opcode::Jcc || I.Op == Opcode::SETcc || I.Op == Opcode::CMOVcc)
+    S += condName(I.CC);
+  if (!I.W &&
+      (I.Op == Opcode::MOVS || I.Op == Opcode::CMPS || I.Op == Opcode::STOS ||
+       I.Op == Opcode::LODS || I.Op == Opcode::SCAS))
+    S += "b";
+
+  if (I.Op == Opcode::MOVSR) {
+    if (I.Op1.isNone())
+      return S + " " + seg16Name(I.Seg) + ", " + printOperand(I.Op2);
+    return S + " " + printOperand(I.Op1) + ", " + seg16Name(I.Seg);
+  }
+  if (I.Op == Opcode::PUSHSR || I.Op == Opcode::POPSR)
+    return S + " " + seg16Name(I.Seg);
+
+  const Operand *Ops[] = {&I.Op1, &I.Op2, &I.Op3};
+  bool First = true;
+  for (const Operand *O : Ops) {
+    if (O->isNone())
+      continue;
+    S += First ? " " : ", ";
+    First = false;
+    if (O->isMem())
+      S += std::string(I.W ? (I.Pfx.OpSize ? "word " : "dword ") : "byte ");
+    S += printOperand(*O);
+  }
+  if (I.Sel)
+    S += " (sel=" + hex(*I.Sel) + ")";
+  return S;
+}

@@ -1,0 +1,28 @@
+//===- x86/Printer.h - Instruction pretty printing -------------*- C++ -*-===//
+///
+/// \file
+/// Renders instructions in an Intel-ish syntax for diagnostics, test
+/// failure messages, and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_X86_PRINTER_H
+#define ROCKSALT_X86_PRINTER_H
+
+#include "x86/Instr.h"
+
+#include <string>
+
+namespace rocksalt {
+namespace x86 {
+
+/// Renders an operand, e.g. "eax", "0x20", "[ebx+4*esi+0x10]".
+std::string printOperand(const Operand &O);
+
+/// Renders a whole instruction, e.g. "lock add dword [eax], ecx".
+std::string printInstr(const Instr &I);
+
+} // namespace x86
+} // namespace rocksalt
+
+#endif // ROCKSALT_X86_PRINTER_H

@@ -1,0 +1,157 @@
+//===- tests/checker_agreement_test.cpp -----------------------*- C++ -*-===//
+//
+// Experiment E4 (paper section 3.3): the RockSalt checker and the
+// ncval-style baseline checker must agree on positive corpora (generated
+// compliant binaries), targeted attacks (both reject), and randomly
+// mutated corpora (agree either way). Also checks SlowVerifier decision
+// equivalence on small inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BaselineChecker.h"
+#include "core/SlowVerifier.h"
+#include "core/Verifier.h"
+#include "nacl/Mutator.h"
+#include "nacl/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt;
+using namespace rocksalt::core;
+using namespace rocksalt::nacl;
+
+namespace {
+
+std::string hexDump(const std::vector<uint8_t> &Code, size_t Around) {
+  std::string S;
+  size_t Lo = Around > 8 ? Around - 8 : 0;
+  size_t Hi = std::min(Code.size(), Around + 8);
+  char Buf[8];
+  for (size_t I = Lo; I < Hi; ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%02x ", Code[I]);
+    S += Buf;
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(Agreement, PositiveCorpus) {
+  RockSalt V;
+  WorkloadOptions Opts;
+  Opts.TargetBytes = 3000;
+  for (uint64_t Seed = 100; Seed < 140; ++Seed) {
+    Opts.Seed = Seed;
+    std::vector<uint8_t> Code = generateWorkload(Opts);
+    bool R = V.verify(Code);
+    bool B = baselineVerify(Code);
+    EXPECT_TRUE(R) << "seed " << Seed;
+    ASSERT_EQ(R, B) << "disagreement on compliant workload, seed " << Seed;
+  }
+}
+
+TEST(Agreement, TargetedAttacksBothReject) {
+  RockSalt V;
+  Rng R(555);
+  WorkloadOptions Opts;
+  Opts.TargetBytes = 1500;
+  static const Attack Attacks[] = {
+      Attack::BareIndirectJump, Attack::InsertRet,  Attack::InsertInt,
+      Attack::StripMask,        Attack::SegmentOverride, Attack::FarCall,
+      Attack::WriteSegReg};
+
+  int Applied = 0;
+  for (uint64_t Seed = 200; Seed < 215; ++Seed) {
+    Opts.Seed = Seed;
+    std::vector<uint8_t> Code = generateWorkload(Opts);
+    for (Attack A : Attacks) {
+      std::optional<std::vector<uint8_t>> Bad = applyAttack(Code, A, R);
+      if (!Bad)
+        continue;
+      ++Applied;
+      bool Rs = V.verify(*Bad);
+      bool Bl = baselineVerify(*Bad);
+      // Note: a random overwrite can occasionally land in an immediate
+      // field and stay policy-legal; both checkers must still agree.
+      ASSERT_EQ(Rs, Bl) << "attack " << int(A) << " seed " << Seed;
+    }
+  }
+  EXPECT_GT(Applied, 50);
+}
+
+TEST(Agreement, StripMaskAlwaysRejected) {
+  // Unlike overwrite attacks, stripping a mask always leaves a bare
+  // indirect jump, which must be rejected by both.
+  RockSalt V;
+  Rng R(556);
+  WorkloadOptions Opts;
+  Opts.TargetBytes = 2000;
+  Opts.MaskedJumpRate = 80; // ensure pairs exist
+  int Found = 0;
+  for (uint64_t Seed = 300; Seed < 315; ++Seed) {
+    Opts.Seed = Seed;
+    std::vector<uint8_t> Code = generateWorkload(Opts);
+    auto Bad = applyAttack(Code, Attack::StripMask, R);
+    if (!Bad)
+      continue;
+    ++Found;
+    EXPECT_FALSE(V.verify(*Bad)) << "seed " << Seed;
+    EXPECT_FALSE(baselineVerify(*Bad)) << "seed " << Seed;
+  }
+  EXPECT_GT(Found, 10);
+}
+
+TEST(Agreement, MutatedCorpusSweep) {
+  // The big agreement sweep: random single-site corruptions; the two
+  // checkers must return identical verdicts on every variant.
+  RockSalt V;
+  Rng R(777);
+  WorkloadOptions Opts;
+  Opts.TargetBytes = 1024;
+
+  int Accepted = 0, Rejected = 0;
+  for (uint64_t Seed = 400; Seed < 420; ++Seed) {
+    Opts.Seed = Seed;
+    std::vector<uint8_t> Code = generateWorkload(Opts);
+    for (int I = 0; I < 50; ++I) {
+      std::vector<uint8_t> M = mutateRandom(Code, R);
+      bool Rs = V.verify(M);
+      bool Bl = baselineVerify(M);
+      if (Rs)
+        ++Accepted;
+      else
+        ++Rejected;
+      if (Rs != Bl) {
+        // Locate the corruption site for the failure message.
+        size_t Site = 0;
+        for (size_t J = 0; J < Code.size(); ++J)
+          if (Code[J] != M[J]) {
+            Site = J;
+            break;
+          }
+        FAIL() << "disagreement (rocksalt=" << Rs << ", baseline=" << Bl
+               << ") seed " << Seed << " iter " << I << " near byte "
+               << Site << ": " << hexDump(M, Site);
+      }
+    }
+  }
+  // The sweep must exercise both outcomes.
+  EXPECT_GT(Accepted, 20);
+  EXPECT_GT(Rejected, 200);
+}
+
+TEST(Agreement, SlowVerifierDecisionEquivalent) {
+  RockSalt V;
+  Rng R(888);
+  WorkloadOptions Opts;
+  Opts.TargetBytes = 160; // keep it small: the slow verifier is slow
+  for (uint64_t Seed = 500; Seed < 503; ++Seed) {
+    Opts.Seed = Seed;
+    std::vector<uint8_t> Code = generateWorkload(Opts);
+    uint64_t N = 0;
+    EXPECT_EQ(V.verify(Code), slowVerify(Code, &N)) << "seed " << Seed;
+    EXPECT_GT(N, 0u);
+    std::vector<uint8_t> Bad = mutateRandom(Code, R);
+    EXPECT_EQ(V.verify(Bad), slowVerify(Bad)) << "seed " << Seed;
+  }
+}

@@ -1,0 +1,276 @@
+//===- tests/checker_test.cpp ---------------------------------*- C++ -*-===//
+//
+// Tests for the RockSalt verifier (paper Figures 5/6 + section 3.2):
+// policy DFA construction, acceptance of compliant code, and rejection
+// of each policy violation class via hand-crafted attacks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "nacl/Assembler.h"
+#include "nacl/Mutator.h"
+#include "nacl/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt;
+using namespace rocksalt::core;
+using namespace rocksalt::nacl;
+using x86::Cond;
+using x86::Instr;
+using x86::Opcode;
+using x86::Operand;
+using x86::Reg;
+
+namespace {
+
+std::vector<uint8_t> pad32(std::vector<uint8_t> V) {
+  while (V.size() % 32)
+    V.push_back(0x90);
+  return V;
+}
+
+} // namespace
+
+TEST(PolicyTables, BuildAndSizes) {
+  const PolicyTables &T = policyTables();
+  // MaskedJump is a small fixed-shape pattern; the paper's largest DFA
+  // had 61 states, ours covers more instructions so NoControlFlow may be
+  // larger, but must stay table-friendly.
+  EXPECT_LE(T.MaskedJump.numStates(), 64u);
+  EXPECT_GT(T.MaskedJump.numStates(), 8u);
+  EXPECT_LE(T.DirectJump.numStates(), 64u);
+  EXPECT_GT(T.NoControlFlow.numStates(), 20u);
+  EXPECT_LE(T.NoControlFlow.numStates(), 4096u);
+}
+
+TEST(RockSaltChecker, EmptyImageIsValid) {
+  RockSalt V;
+  EXPECT_TRUE(V.verify(std::vector<uint8_t>{}));
+}
+
+TEST(RockSaltChecker, NopSledIsValid) {
+  RockSalt V;
+  EXPECT_TRUE(V.verify(std::vector<uint8_t>(64, 0x90)));
+}
+
+TEST(RockSaltChecker, SimpleStraightLineCode) {
+  RockSalt V;
+  // mov eax, 1 ; add eax, 2 ; nop padding.
+  std::vector<uint8_t> Code = {0xB8, 1, 0, 0, 0, 0x83, 0xC0, 2};
+  EXPECT_TRUE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, MaskedJumpAccepted) {
+  RockSalt V;
+  // and ebx, -32 ; jmp *ebx — then padding.
+  std::vector<uint8_t> Code = {0x83, 0xE3, 0xE0, 0xFF, 0xE3};
+  EXPECT_TRUE(V.verify(pad32(Code)));
+  // and ecx, -32 ; call *ecx.
+  std::vector<uint8_t> Code2 = {0x83, 0xE1, 0xE0, 0xFF, 0xD1};
+  EXPECT_TRUE(V.verify(pad32(Code2)));
+}
+
+TEST(RockSaltChecker, BareIndirectJumpRejected) {
+  RockSalt V;
+  std::vector<uint8_t> Code = {0xFF, 0xE3}; // jmp *ebx, unmasked
+  EXPECT_FALSE(V.verify(pad32(Code)));
+  std::vector<uint8_t> Code2 = {0xFF, 0xD0}; // call *eax, unmasked
+  EXPECT_FALSE(V.verify(pad32(Code2)));
+}
+
+TEST(RockSaltChecker, MaskThroughDifferentRegisterRejected) {
+  RockSalt V;
+  // and eax, -32 ; jmp *ebx — mask protects the wrong register.
+  std::vector<uint8_t> Code = {0x83, 0xE0, 0xE0, 0xFF, 0xE3};
+  EXPECT_FALSE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, WrongMaskConstantRejected) {
+  RockSalt V;
+  // and ebx, -16 (0xF0) ; jmp *ebx — insufficient alignment.
+  std::vector<uint8_t> Code = {0x83, 0xE3, 0xF0, 0xFF, 0xE3};
+  EXPECT_FALSE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, MaskedJumpThroughEspRejected) {
+  RockSalt V;
+  std::vector<uint8_t> Code = {0x83, 0xE4, 0xE0, 0xFF, 0xE4};
+  EXPECT_FALSE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, InterveningInstructionBreaksPair) {
+  RockSalt V;
+  // and ebx, -32 ; nop ; jmp *ebx — the mask no longer guards the jump.
+  std::vector<uint8_t> Code = {0x83, 0xE3, 0xE0, 0x90, 0xFF, 0xE3};
+  EXPECT_FALSE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, RetRejected) {
+  RockSalt V;
+  EXPECT_FALSE(V.verify(pad32({0xC3})));
+  EXPECT_FALSE(V.verify(pad32({0xC2, 0x08, 0x00})));
+}
+
+TEST(RockSaltChecker, SyscallsRejected) {
+  RockSalt V;
+  EXPECT_FALSE(V.verify(pad32({0xCD, 0x80}))); // int 0x80
+  EXPECT_FALSE(V.verify(pad32({0xCC})));       // int3
+  EXPECT_FALSE(V.verify(pad32({0xCE})));       // into
+  EXPECT_FALSE(V.verify(pad32({0xCF})));       // iret
+}
+
+TEST(RockSaltChecker, SegmentTamperingRejected) {
+  RockSalt V;
+  EXPECT_FALSE(V.verify(pad32({0x8E, 0xD8})));       // mov ds, eax
+  EXPECT_FALSE(V.verify(pad32({0x1F})));             // pop ds
+  EXPECT_FALSE(V.verify(pad32({0x0F, 0xA1})));       // pop fs
+  EXPECT_FALSE(V.verify(pad32({0xC5, 0x03})));       // lds eax, [ebx]
+  EXPECT_FALSE(V.verify(pad32({0x0F, 0xB2, 0x03}))); // lss
+}
+
+TEST(RockSaltChecker, SegmentOverridePrefixRejected) {
+  RockSalt V;
+  // ds: mov eax, [eax] — overrides are never allowed.
+  EXPECT_FALSE(V.verify(pad32({0x3E, 0x8B, 0x00})));
+  EXPECT_FALSE(V.verify(pad32({0x65, 0x8B, 0x00}))); // gs:
+}
+
+TEST(RockSaltChecker, IoAndPrivilegedRejected) {
+  RockSalt V;
+  EXPECT_FALSE(V.verify(pad32({0xE4, 0x60})));  // in al, 0x60
+  EXPECT_FALSE(V.verify(pad32({0xEE})));        // out dx, al
+  EXPECT_FALSE(V.verify(pad32({0xFA})));        // cli
+  EXPECT_FALSE(V.verify(pad32({0xFB})));        // sti
+}
+
+TEST(RockSaltChecker, FarTransfersRejected) {
+  RockSalt V;
+  EXPECT_FALSE(V.verify(pad32({0x9A, 0, 0, 0, 0, 0x23, 0})));
+  EXPECT_FALSE(V.verify(pad32({0xEA, 0, 0, 0, 0, 0x23, 0})));
+  EXPECT_FALSE(V.verify(pad32({0xFF, 0x1B}))); // call far [ebx]
+}
+
+TEST(RockSaltChecker, DirectJumpToInstructionStartAccepted) {
+  RockSalt V;
+  // jmp +3 over a 3-byte instruction to a valid boundary.
+  // e9 03 00 00 00 ; 83 c0 01 (add eax,1) ; 90...
+  std::vector<uint8_t> Code = {0xE9, 3, 0, 0, 0, 0x83, 0xC0, 1};
+  EXPECT_TRUE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, DirectJumpIntoInstructionMiddleRejected) {
+  RockSalt V;
+  // jmp +1 lands inside the add.
+  std::vector<uint8_t> Code = {0xE9, 1, 0, 0, 0, 0x83, 0xC0, 1};
+  EXPECT_FALSE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, DirectJumpOutsideImageRejected) {
+  RockSalt V;
+  std::vector<uint8_t> Code = {0xE9, 0x00, 0x10, 0, 0}; // way past the end
+  EXPECT_FALSE(V.verify(pad32(Code)));
+  // Backward out of the image.
+  std::vector<uint8_t> Code2 = {0xE9, 0x00, 0xFF, 0xFF, 0xFF};
+  EXPECT_FALSE(V.verify(pad32(Code2)));
+}
+
+TEST(RockSaltChecker, DirectJumpOntoUnguardedIndirectRejected) {
+  // A direct jump that targets the *jump half* of a masked pair would
+  // bypass the mask (policy requirement 5).
+  RockSalt V;
+  // 0: e9 03 00 00 00   jmp +3 -> offset 8 (the FF E3)
+  // 5: 83 e3 e0         and ebx, -32
+  // 8: ff e3            jmp *ebx
+  std::vector<uint8_t> Code = {0xE9, 3, 0, 0, 0, 0x83, 0xE3, 0xE0,
+                               0xFF, 0xE3};
+  EXPECT_FALSE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, MisalignedBundleRejected) {
+  RockSalt V;
+  // A 5-byte instruction at offset 28 straddles the 32-byte boundary.
+  std::vector<uint8_t> Code(28, 0x90);
+  Code.insert(Code.end(), {0xB8, 1, 0, 0, 0}); // mov eax, 1 crosses 32
+  EXPECT_FALSE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, PairStraddlingBundleRejected) {
+  RockSalt V;
+  // Masked pair starting at 29 straddles the boundary at 32.
+  std::vector<uint8_t> Code(29, 0x90);
+  Code.insert(Code.end(), {0x83, 0xE3, 0xE0, 0xFF, 0xE3});
+  EXPECT_FALSE(V.verify(pad32(Code)));
+}
+
+TEST(RockSaltChecker, TruncatedTrailingInstructionRejected) {
+  RockSalt V;
+  std::vector<uint8_t> Code(27, 0x90);
+  Code.insert(Code.end(), {0xB8, 1, 0, 0}); // mov eax, imm32 cut short
+  EXPECT_FALSE(V.verify(Code.data(), static_cast<uint32_t>(Code.size())));
+}
+
+TEST(RockSaltChecker, PrefixDiscipline) {
+  RockSalt V;
+  EXPECT_TRUE(V.verify(pad32({0x66, 0x05, 0x34, 0x12})));  // add ax, imm16
+  EXPECT_TRUE(V.verify(pad32({0xF3, 0xA4})));              // rep movsb
+  EXPECT_TRUE(V.verify(pad32({0xF2, 0xAE})));              // repne scasb
+  EXPECT_TRUE(V.verify(pad32({0xF0, 0x01, 0x03})));        // lock add
+  EXPECT_FALSE(V.verify(pad32({0xF3, 0x90})));             // rep nop
+  EXPECT_FALSE(V.verify(pad32({0x66, 0xF3, 0xA5})));       // stacked
+  EXPECT_FALSE(V.verify(pad32({0xF0, 0x8B, 0x03})));       // lock mov
+  EXPECT_FALSE(V.verify(pad32({0x66, 0xE9, 0x00, 0x00}))); // 66 jmp
+}
+
+TEST(RockSaltChecker, GeneratedWorkloadsAccepted) {
+  RockSalt V;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    WorkloadOptions Opts;
+    Opts.Seed = Seed;
+    Opts.TargetBytes = 2048;
+    std::vector<uint8_t> Code = generateWorkload(Opts);
+    EXPECT_TRUE(V.verify(Code)) << "seed " << Seed;
+  }
+}
+
+TEST(RockSaltChecker, AssemblerKeepsPairsInBundles) {
+  // Force a masked jump right before a bundle boundary; the assembler
+  // must pad so the pair stays within one bundle.
+  Assembler A;
+  for (int I = 0; I < 30; ++I)
+    A.emit(Instr{}); // 30 NOPs
+  A.maskedJump(Reg::EBX);
+  std::vector<uint8_t> Code = A.finish();
+  RockSalt V;
+  EXPECT_TRUE(V.verify(Code));
+}
+
+TEST(RockSaltChecker, CheckResultMarksPositions) {
+  RockSalt V;
+  // 0: nop ; 1: and ebx,-32 ; 4: jmp *ebx ; pad.
+  std::vector<uint8_t> Code = pad32({0x90, 0x83, 0xE3, 0xE0, 0xFF, 0xE3});
+  CheckResult R = V.check(Code);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Valid[0]);
+  EXPECT_TRUE(R.Valid[1]);  // pair start
+  EXPECT_FALSE(R.Valid[4]); // middle of the pair is not a boundary
+  EXPECT_TRUE(R.PairJmp[4]);
+  EXPECT_TRUE(R.Valid[6]); // first pad nop
+}
+
+TEST(RockSaltChecker, CheckMatchesVerify) {
+  RockSalt V;
+  Rng R(99);
+  WorkloadOptions Opts;
+  Opts.TargetBytes = 1024;
+  for (uint64_t Seed = 50; Seed < 60; ++Seed) {
+    Opts.Seed = Seed;
+    std::vector<uint8_t> Code = generateWorkload(Opts);
+    // Also check some mutated variants.
+    for (int I = 0; I < 10; ++I) {
+      std::vector<uint8_t> M = nacl::mutateRandom(Code, R);
+      EXPECT_EQ(V.verify(M), V.check(M).Ok);
+      Code = std::move(M);
+    }
+  }
+}

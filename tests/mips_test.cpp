@@ -1,0 +1,262 @@
+//===- tests/mips_test.cpp ------------------------------------*- C++ -*-===//
+//
+// The DSL-reusability claim (paper section 1): the decoder DSL, the
+// derivative machinery, and the ambiguity analysis are architecture
+// independent. This suite instantiates them for a MIPS-I subset:
+// decode checks against the MIPS manual, encode/decode round trips,
+// grammar unambiguity via the same generalized-derivative analysis used
+// for the x86, DFA generation over the MIPS grammar, and a small program
+// run end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mips/Mips.h"
+#include "regex/Dfa.h"
+#include "support/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt;
+using namespace rocksalt::mips;
+
+TEST(Mips, DecodeRType) {
+  // addu $3, $1, $2 = 000000 00001 00010 00011 00000 100001.
+  auto D = decode(0x00221821);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Opc, Op::ADDU);
+  EXPECT_EQ(D->Rs, 1);
+  EXPECT_EQ(D->Rt, 2);
+  EXPECT_EQ(D->Rd, 3);
+}
+
+TEST(Mips, DecodeIType) {
+  // addiu $5, $4, -1 = 001001 00100 00101 1111111111111111.
+  auto D = decode(0x2485FFFF);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Opc, Op::ADDIU);
+  EXPECT_EQ(D->Rs, 4);
+  EXPECT_EQ(D->Rt, 5);
+  EXPECT_EQ(D->Imm, 0xFFFF);
+}
+
+TEST(Mips, DecodeJType) {
+  auto D = decode(0x0810000A); // j 0x40028
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Opc, Op::J);
+  EXPECT_EQ(D->Target, 0x10000Au);
+}
+
+TEST(Mips, DecodeShift) {
+  // sll $2, $3, 4 = funct 0, rd=2, rt=3, shamt=4.
+  auto D = decode(0x00031100);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Opc, Op::SLL);
+  EXPECT_EQ(D->Rd, 2);
+  EXPECT_EQ(D->Rt, 3);
+  EXPECT_EQ(D->Shamt, 4);
+}
+
+TEST(Mips, RejectsUnknownOpcodes) {
+  EXPECT_FALSE(decode(0xFC000000).has_value()); // opcode 0x3F
+  EXPECT_FALSE(decode(0x0000003F).has_value()); // R-type funct 0x3F
+}
+
+TEST(Mips, EncodeDecodeRoundTrip) {
+  Rng R(31);
+  const MipsGrammars &G = mipsGrammars();
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    Instr I;
+    I.Opc = static_cast<Op>(R.below(25));
+    I.Rs = uint8_t(R.below(32));
+    I.Rt = uint8_t(R.below(32));
+    I.Rd = uint8_t(R.below(32));
+    I.Shamt = uint8_t(R.below(32));
+    I.Imm = uint16_t(R.next());
+    I.Target = uint32_t(R.next()) & 0x03FFFFFF;
+    // Zero the fields the format does not carry (so equality is exact).
+    switch (I.Opc) {
+    case Op::J: case Op::JAL:
+      I.Rs = I.Rt = I.Rd = I.Shamt = 0;
+      I.Imm = 0;
+      break;
+    case Op::SLL: case Op::SRL: case Op::SRA: case Op::JR:
+    case Op::ADDU: case Op::SUBU: case Op::AND: case Op::OR:
+    case Op::XOR: case Op::NOR: case Op::SLT: case Op::SLTU:
+      I.Imm = 0;
+      I.Target = 0;
+      break;
+    default:
+      I.Rd = I.Shamt = 0;
+      I.Target = 0;
+      break;
+    }
+    uint32_t W = encode(I);
+    auto D = decode(W);
+    ASSERT_TRUE(D.has_value()) << printInstr(I);
+    EXPECT_EQ(*D, I) << printInstr(I) << " vs " << printInstr(*D);
+  }
+  (void)G;
+}
+
+TEST(Mips, GrammarIsUnambiguous) {
+  // The same section-4.1 analysis that checks the x86 grammar.
+  re::Factory F;
+  const MipsGrammars &G = mipsGrammars();
+  std::vector<std::pair<std::string, re::Regex>> Res;
+  for (const auto &[Name, Gr] : G.Forms)
+    Res.emplace_back(Name, Gr.strip(F));
+  for (size_t I = 0; I < Res.size(); ++I)
+    for (size_t J = I + 1; J < Res.size(); ++J) {
+      auto Ok = F.prefixDisjoint(Res[I].second, Res[J].second);
+      ASSERT_TRUE(Ok.has_value());
+      EXPECT_TRUE(*Ok) << Res[I].first << " overlaps " << Res[J].first;
+    }
+}
+
+TEST(Mips, DfaGenerationWorksOnMipsToo) {
+  // Strip the full grammar and build a DFA with the same machinery the
+  // x86 checker uses; it must accept exactly the decodable words.
+  re::Factory F;
+  re::Regex R = mipsGrammars().Full.strip(F);
+  re::Dfa D = re::buildDfa(F, R);
+  EXPECT_GT(D.numStates(), 4u);
+
+  Rng Rand(55);
+  for (int I = 0; I < 2000; ++I) {
+    uint32_t W = uint32_t(Rand.next());
+    uint8_t Bytes[4] = {uint8_t(W >> 24), uint8_t(W >> 16), uint8_t(W >> 8),
+                        uint8_t(W)};
+    uint16_t S = uint16_t(D.Start);
+    bool Rejected = false;
+    for (uint8_t B : Bytes) {
+      S = D.step(S, B);
+      if (D.Rejects[S]) {
+        Rejected = true;
+        break;
+      }
+    }
+    bool DfaAccepts = !Rejected && D.Accepts[S];
+    EXPECT_EQ(DfaAccepts, decode(W).has_value()) << std::hex << W;
+  }
+}
+
+TEST(Mips, GrammarSamplingCoversAllForms) {
+  re::Factory F;
+  uint64_t State = 0x115;
+  for (const auto &[Name, Gr] : mipsGrammars().Forms) {
+    re::Regex R = Gr.strip(F);
+    auto Bytes = F.sampleBytes(R, State);
+    ASSERT_TRUE(Bytes.has_value()) << Name;
+    ASSERT_EQ(Bytes->size(), 4u) << Name;
+    uint32_t W = (uint32_t((*Bytes)[0]) << 24) |
+                 (uint32_t((*Bytes)[1]) << 16) |
+                 (uint32_t((*Bytes)[2]) << 8) | (*Bytes)[3];
+    EXPECT_TRUE(decode(W).has_value()) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The interpreter.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint32_t asmI(Op O, uint8_t Rs, uint8_t Rt, uint16_t Imm) {
+  Instr I;
+  I.Opc = O;
+  I.Rs = Rs;
+  I.Rt = Rt;
+  I.Imm = Imm;
+  return encode(I);
+}
+uint32_t asmR(Op O, uint8_t Rd, uint8_t Rs, uint8_t Rt) {
+  Instr I;
+  I.Opc = O;
+  I.Rd = Rd;
+  I.Rs = Rs;
+  I.Rt = Rt;
+  return encode(I);
+}
+
+} // namespace
+
+TEST(MipsMachine, ArithmeticBasics) {
+  Machine M;
+  M.loadProgram({
+      asmI(Op::ADDIU, 0, 1, 6),    // $1 = 6
+      asmI(Op::ADDIU, 0, 2, 7),    // $2 = 7
+      asmR(Op::ADDU, 3, 1, 2),     // $3 = 13
+      asmR(Op::SUBU, 4, 2, 1),     // $4 = 1
+      asmR(Op::SLT, 5, 1, 2),      // $5 = 1 (6 < 7)
+      encode(Instr{Op::JR, 0, 0, 0, 0, 0, 0}), // halt
+  });
+  M.run(100);
+  EXPECT_EQ(M.Regs[3], 13u);
+  EXPECT_EQ(M.Regs[4], 1u);
+  EXPECT_EQ(M.Regs[5], 1u);
+}
+
+TEST(MipsMachine, ZeroRegisterIsHardwired) {
+  Machine M;
+  M.loadProgram({
+      asmI(Op::ADDIU, 0, 0, 99), // attempt to write $zero
+      encode(Instr{Op::JR, 0, 0, 0, 0, 0, 0}),
+  });
+  M.run(10);
+  EXPECT_EQ(M.Regs[0], 0u);
+}
+
+TEST(MipsMachine, LoadStoreWords) {
+  Machine M;
+  M.loadProgram({
+      asmI(Op::ADDIU, 0, 1, 0x100),  // $1 = 0x100
+      asmI(Op::ADDIU, 0, 2, 0x1234), // $2 = 0x1234
+      asmI(Op::SW, 1, 2, 8),         // mem[$1+8] = $2
+      asmI(Op::LW, 1, 3, 8),         // $3 = mem[$1+8]
+      encode(Instr{Op::JR, 0, 0, 0, 0, 0, 0}),
+  });
+  M.run(10);
+  EXPECT_EQ(M.Regs[3], 0x1234u);
+  EXPECT_EQ(M.loadWord(0x108), 0x1234u);
+}
+
+TEST(MipsMachine, FibonacciLoop) {
+  // Compute fib(10) = 55 with a BNE loop.
+  Machine M;
+  M.loadProgram({
+      asmI(Op::ADDIU, 0, 1, 0),  // a = 0
+      asmI(Op::ADDIU, 0, 2, 1),  // b = 1
+      asmI(Op::ADDIU, 0, 3, 10), // n = 10
+      // loop:
+      asmR(Op::ADDU, 4, 1, 2),   // t = a + b
+      asmR(Op::ADDU, 1, 0, 2),   // a = b
+      asmR(Op::ADDU, 2, 0, 4),   // b = t
+      asmI(Op::ADDIU, 3, 3, 0xFFFF), // n -= 1
+      asmI(Op::BNE, 3, 0, 0xFFFB),   // back to loop (-5 words)
+      encode(Instr{Op::JR, 0, 0, 0, 0, 0, 0}),
+  });
+  M.run(1000);
+  EXPECT_TRUE(M.Halted);
+  EXPECT_EQ(M.Regs[1], 55u); // fib(10)
+}
+
+TEST(MipsMachine, JalLinksReturnAddress) {
+  Machine M;
+  M.loadProgram({
+      encode(Instr{Op::JAL, 0, 0, 0, 0, 0, 3}), // jal word 3
+      asmI(Op::ADDIU, 0, 5, 1), // (delay-slot-free model: skipped)
+      encode(Instr{Op::JR, 0, 0, 0, 0, 0, 0}),
+      asmI(Op::ADDIU, 0, 6, 42), // function body
+      asmR(Op::JR, 0, 31, 0),    // return through $ra
+  });
+  M.run(100);
+  EXPECT_EQ(M.Regs[31], 4u);
+  EXPECT_EQ(M.Regs[6], 42u);
+}
+
+TEST(MipsMachine, UndecodableWordHalts) {
+  Machine M;
+  M.loadProgram({0xFC000000});
+  EXPECT_FALSE(M.step());
+  EXPECT_TRUE(M.Halted);
+}

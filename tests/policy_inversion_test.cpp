@@ -1,0 +1,219 @@
+//===- tests/policy_inversion_test.cpp ------------------------*- C++ -*-===//
+//
+// The inversion principles of paper section 4.1, checked generatively:
+// for each policy regex, random members of its language are sampled (by
+// derivative walks) and decoded; the resulting abstract syntax must fall
+// in exactly the class the correctness proof assumes:
+//
+//   * DirectJump matches only (near) JMP, Jcc, or CALL with an
+//     immediate operand;
+//   * MaskedJump matches only AND r, $-32 immediately followed by
+//     JMP/CALL through the same register r (r != ESP);
+//   * NoControlFlow matches only instructions that neither touch the
+//     PC (beyond fall-through) nor the segment registers — checked
+//     against the RTL translation itself: no SetLoc to PC/SegVal/
+//     SegBase/SegLimit other than the final fall-through PC update.
+//
+// Also: every policy language is contained in the instruction grammar's
+// language (the "language containment" lemma of section 4.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Policy.h"
+#include "sem/Translate.h"
+#include "x86/FastDecoder.h"
+#include "x86/GrammarDecoder.h"
+#include "x86/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt;
+using namespace rocksalt::core;
+using x86::Opcode;
+
+namespace {
+
+std::string hexOf(const std::vector<uint8_t> &B) {
+  std::string S;
+  char Buf[4];
+  for (uint8_t X : B) {
+    std::snprintf(Buf, sizeof(Buf), "%02x ", X);
+    S += Buf;
+  }
+  return S;
+}
+
+/// Samples N byte strings from a policy regex.
+std::vector<std::vector<uint8_t>> sampleCorpus(re::Factory &F, re::Regex R,
+                                               int N, uint64_t Seed) {
+  std::vector<std::vector<uint8_t>> Out;
+  uint64_t State = Seed;
+  for (int I = 0; I < N * 3 && int(Out.size()) < N; ++I) {
+    auto B = F.sampleBytes(R, State);
+    if (B && !B->empty())
+      Out.push_back(std::move(*B));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(PolicyInversion, DirectJumpClass) {
+  re::Factory F;
+  PolicyGrammars P = buildPolicyGrammars(F);
+  auto Corpus = sampleCorpus(F, P.DirectJumpRe, 300, 11);
+  ASSERT_GT(Corpus.size(), 100u);
+  for (const auto &Bytes : Corpus) {
+    auto D = x86::fastDecode(Bytes);
+    ASSERT_TRUE(D.has_value()) << hexOf(Bytes);
+    ASSERT_EQ(size_t(D->Length), Bytes.size()) << hexOf(Bytes);
+    // (near) JMP, Jcc, or CALL with an immediate (pc-relative) operand.
+    EXPECT_TRUE(D->I.Op == Opcode::JMP || D->I.Op == Opcode::Jcc ||
+                D->I.Op == Opcode::CALL)
+        << x86::printInstr(D->I);
+    EXPECT_TRUE(D->I.Near);
+    EXPECT_FALSE(D->I.Absolute);
+    EXPECT_TRUE(D->I.Op1.isImm());
+  }
+}
+
+TEST(PolicyInversion, MaskedJumpClass) {
+  re::Factory F;
+  PolicyGrammars P = buildPolicyGrammars(F);
+  auto Corpus = sampleCorpus(F, P.MaskedJumpRe, 200, 22);
+  ASSERT_GT(Corpus.size(), 50u);
+  for (const auto &Bytes : Corpus) {
+    ASSERT_EQ(Bytes.size(), 5u) << hexOf(Bytes);
+    // First instruction: AND r, 0xFFFFFFE0.
+    auto Mask = x86::fastDecode(Bytes.data(), 3);
+    ASSERT_TRUE(Mask && Mask->Length == 3) << hexOf(Bytes);
+    EXPECT_EQ(Mask->I.Op, Opcode::AND);
+    ASSERT_TRUE(Mask->I.Op1.isReg());
+    x86::Reg R = Mask->I.Op1.R;
+    EXPECT_NE(R, x86::Reg::ESP);
+    EXPECT_EQ(Mask->I.Op2, x86::Operand::imm(0xFFFFFFE0));
+    // Second: JMP or CALL through the same register.
+    auto Jmp = x86::fastDecode(Bytes.data() + 3, 2);
+    ASSERT_TRUE(Jmp && Jmp->Length == 2) << hexOf(Bytes);
+    EXPECT_TRUE(Jmp->I.Op == Opcode::JMP || Jmp->I.Op == Opcode::CALL);
+    EXPECT_TRUE(Jmp->I.Near);
+    EXPECT_TRUE(Jmp->I.Absolute);
+    EXPECT_EQ(Jmp->I.Op1, x86::Operand::reg(R)) << hexOf(Bytes);
+  }
+}
+
+TEST(PolicyInversion, NoControlFlowClassViaRtl) {
+  // Strongest form: the RTL translation of every sampled NoControlFlow
+  // member writes neither the segment locations nor the PC (except the
+  // final fall-through update) — properties (1) and (3) of the paper's
+  // case analysis, checked on the semantics itself.
+  re::Factory F;
+  PolicyGrammars P = buildPolicyGrammars(F);
+  auto Corpus = sampleCorpus(F, P.NoControlFlowRe, 500, 33);
+  ASSERT_GT(Corpus.size(), 200u);
+
+  for (const auto &Bytes : Corpus) {
+    auto D = x86::fastDecode(Bytes);
+    ASSERT_TRUE(D.has_value()) << hexOf(Bytes);
+    ASSERT_EQ(size_t(D->Length), Bytes.size()) << hexOf(Bytes);
+
+    sem::Translation T = sem::translate(D->I, D->Length);
+    int PcWrites = 0;
+    bool SegWrites = false, HitError = false, HasFault = false;
+    for (const rtl::RtlInstr &I : T.Prog) {
+      if (I.K == rtl::RtlInstr::Kind::SetLoc) {
+        switch (I.Location.K) {
+        case rtl::Loc::Kind::PC:
+          ++PcWrites;
+          break;
+        case rtl::Loc::Kind::SegVal:
+        case rtl::Loc::Kind::SegBase:
+        case rtl::Loc::Kind::SegLimit:
+          SegWrites = true;
+          break;
+        default:
+          break;
+        }
+      }
+      if (I.K == rtl::RtlInstr::Kind::Error)
+        HitError = true;
+      if (I.K == rtl::RtlInstr::Kind::Fault)
+        HasFault = true;
+    }
+    EXPECT_FALSE(SegWrites) << x86::printInstr(D->I);
+    EXPECT_FALSE(HitError)
+        << "policy admits an instruction without semantics: "
+        << x86::printInstr(D->I);
+    // Exactly the fall-through PC update (instructions that surely fault,
+    // like `aam 0`, may end before reaching it).
+    EXPECT_TRUE(PcWrites == 1 || (HasFault && PcWrites == 0))
+        << x86::printInstr(D->I);
+    if (!T.Prog.empty() && D->I.Op != Opcode::HLT) {
+      const rtl::RtlInstr &Last = T.Prog.back();
+      bool LastIsPc = Last.K == rtl::RtlInstr::Kind::SetLoc &&
+                      Last.Location.K == rtl::Loc::Kind::PC;
+      EXPECT_TRUE(LastIsPc || D->I.Pfx.Rep != x86::Prefix::RepKind::None)
+          << x86::printInstr(D->I);
+    }
+  }
+}
+
+TEST(PolicyInversion, LanguageContainment) {
+  // Every string of every policy language must be accepted by the full
+  // instruction grammar (as a sequence of 1-2 instructions) — the
+  // "subsets of x86grammar" lemma.
+  re::Factory F;
+  PolicyGrammars P = buildPolicyGrammars(F);
+
+  for (re::Regex R : {P.NoControlFlowRe, P.DirectJumpRe}) {
+    auto Corpus = sampleCorpus(F, R, 200, 44);
+    ASSERT_GT(Corpus.size(), 80u);
+    for (const auto &Bytes : Corpus) {
+      auto G = x86::grammarDecode(Bytes);
+      ASSERT_TRUE(G.has_value()) << hexOf(Bytes);
+      EXPECT_EQ(size_t(G->Length), Bytes.size()) << hexOf(Bytes);
+    }
+  }
+  // MaskedJump members are two consecutive grammar instructions.
+  auto Pairs = sampleCorpus(F, P.MaskedJumpRe, 100, 55);
+  for (const auto &Bytes : Pairs) {
+    auto First = x86::grammarDecode(Bytes);
+    ASSERT_TRUE(First.has_value()) << hexOf(Bytes);
+    auto Second = x86::grammarDecode(Bytes.data() + First->Length,
+                                     Bytes.size() - First->Length);
+    ASSERT_TRUE(Second.has_value()) << hexOf(Bytes);
+    EXPECT_EQ(size_t(First->Length + Second->Length), Bytes.size());
+  }
+}
+
+TEST(PolicyInversion, SampledMembersReAccepted) {
+  // Round trip: everything sampled from a policy regex must be accepted
+  // by that policy's DFA (sampling and tables agree).
+  re::Factory F;
+  PolicyGrammars P = buildPolicyGrammars(F);
+  const PolicyTables &T = policyTables();
+
+  struct Case {
+    re::Regex R;
+    const re::Dfa *D;
+  } Cases[] = {{P.NoControlFlowRe, &T.NoControlFlow},
+               {P.DirectJumpRe, &T.DirectJump},
+               {P.MaskedJumpRe, &T.MaskedJump}};
+  for (const Case &C : Cases) {
+    auto Corpus = sampleCorpus(F, C.R, 150, 66);
+    ASSERT_GT(Corpus.size(), 50u);
+    for (const auto &Bytes : Corpus) {
+      uint16_t S = static_cast<uint16_t>(C.D->Start);
+      bool Rejected = false, Accepted = false;
+      for (uint8_t B : Bytes) {
+        S = C.D->step(S, B);
+        if (C.D->Rejects[S]) {
+          Rejected = true;
+          break;
+        }
+      }
+      Accepted = !Rejected && C.D->Accepts[S];
+      EXPECT_TRUE(Accepted) << hexOf(Bytes);
+    }
+  }
+}

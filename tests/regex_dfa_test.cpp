@@ -1,0 +1,172 @@
+//===- tests/regex_dfa_test.cpp -------------------------------*- C++ -*-===//
+//
+// Tests for derivative-based DFA construction (paper section 3.2): the
+// DFA must agree with the regex denotation on all inputs, accept/reject
+// classifications must be correct, and construction must terminate with a
+// small number of states for the kinds of patterns the checker uses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Dfa.h"
+#include "support/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt::re;
+using rocksalt::Rng;
+
+namespace {
+
+/// Regex-side matcher over whole bytes.
+bool reMatches(Factory &F, Regex R, const std::vector<uint8_t> &Bytes) {
+  for (uint8_t B : Bytes) {
+    R = F.derivByte(R, B);
+    if (R == F.voidRe())
+      return false;
+  }
+  return F.nullable(R);
+}
+
+/// DFA-side matcher over whole bytes.
+bool dfaMatches(const Dfa &D, const std::vector<uint8_t> &Bytes) {
+  uint16_t S = static_cast<uint16_t>(D.Start);
+  for (uint8_t B : Bytes) {
+    S = D.step(S, B);
+    if (D.Rejects[S])
+      return false;
+  }
+  return D.Accepts[S];
+}
+
+} // namespace
+
+TEST(Dfa, SingleByteLiteral) {
+  Factory F;
+  Dfa D = buildDfa(F, F.byteLit(0x90));
+  EXPECT_TRUE(dfaMatches(D, {0x90}));
+  EXPECT_FALSE(dfaMatches(D, {0x91}));
+  EXPECT_FALSE(dfaMatches(D, {}));
+  EXPECT_FALSE(dfaMatches(D, {0x90, 0x90}));
+}
+
+TEST(Dfa, RejectStatesAreSink) {
+  Factory F;
+  Dfa D = buildDfa(F, F.byteLit(0x90));
+  // Find a rejecting state and check all its transitions self-loop into
+  // rejecting states.
+  bool FoundReject = false;
+  for (size_t S = 0; S < D.numStates(); ++S) {
+    if (!D.Rejects[S])
+      continue;
+    FoundReject = true;
+    for (unsigned B = 0; B < 256; ++B)
+      EXPECT_TRUE(D.Rejects[D.step(static_cast<uint16_t>(S),
+                                   static_cast<uint8_t>(B))]);
+  }
+  EXPECT_TRUE(FoundReject);
+}
+
+TEST(Dfa, AcceptAndRejectAreDisjoint) {
+  Factory F;
+  Regex G = F.alt(F.cat(F.byteLit(0x0F), F.anyByte()), F.byteLit(0x90));
+  Dfa D = buildDfa(F, G);
+  for (size_t S = 0; S < D.numStates(); ++S)
+    EXPECT_FALSE(D.Accepts[S] && D.Rejects[S]);
+}
+
+TEST(Dfa, TwoByteSequence) {
+  Factory F;
+  Dfa D = buildDfa(F, F.cat(F.byteLit(0x0F), F.byteLit(0xAF)));
+  EXPECT_TRUE(dfaMatches(D, {0x0F, 0xAF}));
+  EXPECT_FALSE(dfaMatches(D, {0x0F}));
+  EXPECT_FALSE(dfaMatches(D, {0x0F, 0xAE}));
+  EXPECT_FALSE(dfaMatches(D, {0xAF, 0x0F}));
+}
+
+TEST(Dfa, StarOfByte) {
+  Factory F;
+  Dfa D = buildDfa(F, F.star(F.byteLit(0x90)));
+  EXPECT_TRUE(dfaMatches(D, {}));
+  EXPECT_TRUE(dfaMatches(D, {0x90}));
+  EXPECT_TRUE(dfaMatches(D, {0x90, 0x90, 0x90}));
+  EXPECT_FALSE(dfaMatches(D, {0x90, 0x91}));
+}
+
+TEST(Dfa, AgreesWithRegexOnRandomInputs) {
+  Factory F;
+  // A pattern shaped like the checker's: opcode byte, a modrm-ish field
+  // byte, then a 2-byte immediate; or a 1-byte opcode.
+  Regex G = F.altN({
+      F.seq({F.byteLit(0x83), F.cat(F.bits("11100"), F.anyBits(3)),
+             F.anyByte()}),
+      F.byteLit(0x90),
+      F.seq({F.byteLit(0xE9), F.anyByte(), F.anyByte()}),
+  });
+  Dfa D = buildDfa(F, G);
+  Rng R(404);
+  for (int I = 0; I < 3000; ++I) {
+    size_t Len = R.below(5);
+    std::vector<uint8_t> Bytes(Len);
+    for (auto &B : Bytes) {
+      // Bias toward the opcode bytes so positives occur.
+      switch (R.below(4)) {
+      case 0:
+        B = 0x83;
+        break;
+      case 1:
+        B = 0x90;
+        break;
+      case 2:
+        B = 0xE9;
+        break;
+      default:
+        B = static_cast<uint8_t>(R.next());
+      }
+    }
+    ASSERT_EQ(dfaMatches(D, Bytes), reMatches(F, G, Bytes));
+  }
+}
+
+TEST(Dfa, StateCountIsSmallForPolicyShapedPatterns) {
+  Factory F;
+  // AND r, imm8 ; JMP *r for all 8 registers — the nacljmp shape.
+  std::vector<Regex> Alts;
+  for (unsigned RegNum = 0; RegNum < 8; ++RegNum) {
+    std::string RegBits;
+    for (int B = 2; B >= 0; --B)
+      RegBits += ((RegNum >> B) & 1) ? '1' : '0';
+    Regex Mask = F.seq({F.byteLit(0x83), F.bits("11100"), F.bits(RegBits),
+                        F.byteLit(0xE0)});
+    Regex Jmp = F.seq({F.byteLit(0xFF), F.bits("11100"), F.bits(RegBits)});
+    Alts.push_back(F.cat(Mask, Jmp));
+  }
+  Dfa D = buildDfa(F, F.altN(std::move(Alts)));
+  // The paper reports 61 states for its largest DFA; this fragment must
+  // be of the same order.
+  EXPECT_LE(D.numStates(), 64u);
+  EXPECT_GE(D.numStates(), 5u);
+
+  // And it must work.
+  EXPECT_TRUE(dfaMatches(D, {0x83, 0xE0, 0xE0, 0xFF, 0xE0})); // eax
+  EXPECT_TRUE(dfaMatches(D, {0x83, 0xE1, 0xE0, 0xFF, 0xE1})); // ecx
+  // Mask of eax followed by jump through ecx must NOT match.
+  EXPECT_FALSE(dfaMatches(D, {0x83, 0xE0, 0xE0, 0xFF, 0xE1}));
+  // Wrong mask constant must not match.
+  EXPECT_FALSE(dfaMatches(D, {0x83, 0xE0, 0xF0, 0xFF, 0xE0}));
+}
+
+TEST(Dfa, DeterministicConstruction) {
+  Factory F1, F2;
+  Regex G1 = F1.alt(F1.byteLit(0x01), F1.cat(F1.byteLit(0x02), F1.anyByte()));
+  Regex G2 = F2.alt(F2.byteLit(0x01), F2.cat(F2.byteLit(0x02), F2.anyByte()));
+  Dfa D1 = buildDfa(F1, G1);
+  Dfa D2 = buildDfa(F2, G2);
+  ASSERT_EQ(D1.numStates(), D2.numStates());
+  EXPECT_EQ(D1.Start, D2.Start);
+  for (size_t S = 0; S < D1.numStates(); ++S) {
+    EXPECT_EQ(D1.Accepts[S], D2.Accepts[S]);
+    EXPECT_EQ(D1.Rejects[S], D2.Rejects[S]);
+    for (unsigned B = 0; B < 256; ++B)
+      EXPECT_EQ(D1.Table[S][B], D2.Table[S][B]);
+  }
+}

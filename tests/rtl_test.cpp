@@ -1,0 +1,285 @@
+//===- tests/rtl_test.cpp -------------------------------------*- C++ -*-===//
+//
+// Unit tests for the RTL language and its interpreter: arithmetic, casts,
+// guards, location access, segmented memory with limit faulting, choose,
+// and the terminal instructions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt;
+using namespace rocksalt::rtl;
+
+namespace {
+
+/// Tiny builder for tests.
+struct P {
+  RtlProgram Prog;
+  Var Next = 0;
+  Var imm(uint32_t W, uint64_t V) {
+    Prog.push_back(RtlInstr::imm(Next, W, V));
+    return Next++;
+  }
+  Var arith(ArithOp Op, Var A, Var B) {
+    Prog.push_back(RtlInstr::arith(Op, Next, A, B));
+    return Next++;
+  }
+  Var test(TestOp Op, Var A, Var B) {
+    Prog.push_back(RtlInstr::test(Op, Next, A, B));
+    return Next++;
+  }
+  Var getLoc(Loc L) {
+    Prog.push_back(RtlInstr::getLoc(Next, L));
+    return Next++;
+  }
+  void setLoc(Loc L, Var V) { Prog.push_back(RtlInstr::setLoc(L, V)); }
+  Var getByte(uint8_t S, Var A) {
+    Prog.push_back(RtlInstr::getByte(Next, S, A));
+    return Next++;
+  }
+  void setByte(uint8_t S, Var A, Var V) {
+    Prog.push_back(RtlInstr::setByte(S, A, V));
+  }
+  Var castU(uint32_t W, Var V) {
+    Prog.push_back(RtlInstr::castU(Next, W, V));
+    return Next++;
+  }
+  Var castS(uint32_t W, Var V) {
+    Prog.push_back(RtlInstr::castS(Next, W, V));
+    return Next++;
+  }
+  Var select(Var C, Var A, Var B) {
+    Prog.push_back(RtlInstr::select(Next, C, A, B));
+    return Next++;
+  }
+  Var choose(uint32_t W) {
+    Prog.push_back(RtlInstr::choose(Next, W));
+    return Next++;
+  }
+  Status run(MachineState &M) {
+    return execProgram(M, Prog, Next, {});
+  }
+};
+
+} // namespace
+
+TEST(RtlInterp, ImmAndSetLoc) {
+  MachineState M;
+  P B;
+  Var V = B.imm(32, 0x12345678);
+  B.setLoc(Loc::reg(0), V);
+  EXPECT_EQ(B.run(M), Status::Running);
+  EXPECT_EQ(M.Regs[0], 0x12345678u);
+}
+
+TEST(RtlInterp, ArithmeticWidths) {
+  MachineState M;
+  P B;
+  Var A = B.imm(8, 0xF0);
+  Var C = B.imm(8, 0x20);
+  Var S = B.arith(ArithOp::Add, A, C); // wraps to 0x10
+  B.setLoc(Loc::reg(1), B.castU(32, S));
+  B.run(M);
+  EXPECT_EQ(M.Regs[1], 0x10u);
+}
+
+TEST(RtlInterp, TestOpsProduceOneBit) {
+  MachineState M;
+  P B;
+  Var A = B.imm(32, 5);
+  Var C = B.imm(32, 7);
+  Var L = B.test(TestOp::Ltu, A, C);
+  B.setLoc(Loc::flag(Flag::CF), L);
+  B.run(M);
+  EXPECT_TRUE(M.Flags[0]);
+}
+
+TEST(RtlInterp, SignedVsUnsignedComparison) {
+  MachineState M;
+  P B;
+  Var A = B.imm(32, 0xFFFFFFFF); // -1 signed, max unsigned
+  Var C = B.imm(32, 1);
+  B.setLoc(Loc::flag(Flag::CF), B.test(TestOp::Ltu, A, C));
+  B.setLoc(Loc::flag(Flag::SF), B.test(TestOp::Lts, A, C));
+  B.run(M);
+  EXPECT_FALSE(M.Flags[0]); // not unsigned-less
+  EXPECT_TRUE(M.Flags[4]);  // signed-less
+}
+
+TEST(RtlInterp, CastsExtendAndTruncate) {
+  MachineState M;
+  P B;
+  Var A = B.imm(8, 0x80);
+  B.setLoc(Loc::reg(0), B.castU(32, A));
+  B.setLoc(Loc::reg(1), B.castS(32, A));
+  B.run(M);
+  EXPECT_EQ(M.Regs[0], 0x80u);
+  EXPECT_EQ(M.Regs[1], 0xFFFFFF80u);
+}
+
+TEST(RtlInterp, SelectPicksByCondition) {
+  MachineState M;
+  P B;
+  Var T = B.imm(1, 1);
+  Var A = B.imm(32, 111);
+  Var C = B.imm(32, 222);
+  B.setLoc(Loc::reg(0), B.select(T, A, C));
+  Var F = B.imm(1, 0);
+  B.setLoc(Loc::reg(1), B.select(F, A, C));
+  B.run(M);
+  EXPECT_EQ(M.Regs[0], 111u);
+  EXPECT_EQ(M.Regs[1], 222u);
+}
+
+TEST(RtlInterp, GuardSkipsInstruction) {
+  MachineState M;
+  P B;
+  Var Zero = B.imm(1, 0);
+  Var One = B.imm(1, 1);
+  Var V1 = B.imm(32, 11);
+  Var V2 = B.imm(32, 22);
+  B.Prog.push_back(RtlInstr::setLoc(Loc::reg(0), V1).withGuard(Zero));
+  B.Prog.push_back(RtlInstr::setLoc(Loc::reg(1), V2).withGuard(One));
+  B.run(M);
+  EXPECT_EQ(M.Regs[0], 0u);
+  EXPECT_EQ(M.Regs[1], 22u);
+}
+
+TEST(RtlInterp, GuardedTerminalInstructions) {
+  {
+    MachineState M;
+    P B;
+    Var Zero = B.imm(1, 0);
+    B.Prog.push_back(RtlInstr::error().withGuard(Zero));
+    EXPECT_EQ(B.run(M), Status::Running); // skipped
+  }
+  {
+    MachineState M;
+    P B;
+    Var One = B.imm(1, 1);
+    B.Prog.push_back(RtlInstr::fault().withGuard(One));
+    EXPECT_EQ(B.run(M), Status::Fault);
+  }
+}
+
+TEST(RtlInterp, MemoryThroughSegment) {
+  MachineState M;
+  M.SegBase[3] = 0x5000; // DS
+  M.SegLimit[3] = 0xFF;
+  M.Mem.store8(0x5010, 0xAB);
+  P B;
+  Var A = B.imm(32, 0x10);
+  Var V = B.getByte(3, A);
+  B.setLoc(Loc::reg(0), B.castU(32, V));
+  Var W = B.imm(8, 0xCD);
+  Var A2 = B.imm(32, 0x20);
+  B.setByte(3, A2, W);
+  EXPECT_EQ(B.run(M), Status::Running);
+  EXPECT_EQ(M.Regs[0], 0xABu);
+  EXPECT_EQ(M.Mem.load8(0x5020), 0xCD);
+}
+
+TEST(RtlInterp, SegmentLimitFaultsOnLoad) {
+  MachineState M;
+  M.SegBase[3] = 0x5000;
+  M.SegLimit[3] = 0xFF;
+  P B;
+  Var A = B.imm(32, 0x100); // one past the limit
+  B.getByte(3, A);
+  EXPECT_EQ(B.run(M), Status::Fault);
+}
+
+TEST(RtlInterp, SegmentLimitFaultsOnStore) {
+  MachineState M;
+  M.SegLimit[2] = 0x0F; // SS
+  P B;
+  Var A = B.imm(32, 0x10);
+  Var V = B.imm(8, 1);
+  B.setByte(2, A, V);
+  EXPECT_EQ(B.run(M), Status::Fault);
+  EXPECT_EQ(M.Mem.load8(0x10), 0); // nothing written
+}
+
+TEST(RtlInterp, AccessHooksFire) {
+  MachineState M;
+  M.SegBase[3] = 0x1000;
+  M.SegLimit[3] = 0xFF;
+  std::vector<uint32_t> Reads, Writes;
+  AccessHooks H;
+  H.OnRead = [&](uint32_t Phys, uint8_t) { Reads.push_back(Phys); };
+  H.OnWrite = [&](uint32_t Phys, uint8_t, uint8_t) {
+    Writes.push_back(Phys);
+  };
+  RtlProgram Prog;
+  Prog.push_back(RtlInstr::imm(0, 32, 4));
+  Prog.push_back(RtlInstr::getByte(1, 3, 0));
+  Prog.push_back(RtlInstr::imm(2, 8, 9));
+  Prog.push_back(RtlInstr::setByte(3, 0, 2));
+  execProgram(M, Prog, 3, H);
+  ASSERT_EQ(Reads.size(), 1u);
+  EXPECT_EQ(Reads[0], 0x1004u);
+  ASSERT_EQ(Writes.size(), 1u);
+  EXPECT_EQ(Writes[0], 0x1004u);
+}
+
+TEST(RtlInterp, ChooseDrawsFromOracle) {
+  MachineState M1(7), M2(7);
+  P B1, B2;
+  B1.setLoc(Loc::reg(0), B1.choose(32));
+  B2.setLoc(Loc::reg(0), B2.choose(32));
+  B1.run(M1);
+  B2.run(M2);
+  EXPECT_EQ(M1.Regs[0], M2.Regs[0]); // same seed, same draw
+  EXPECT_EQ(M1.Orc.bitsConsumed(), 32u);
+}
+
+TEST(RtlInterp, TrapHalts) {
+  MachineState M;
+  RtlProgram Prog = {RtlInstr::trap()};
+  EXPECT_EQ(execProgram(M, Prog, 0, {}), Status::Halted);
+}
+
+TEST(RtlInterp, ErrorStopsExecution) {
+  MachineState M;
+  RtlProgram Prog;
+  Prog.push_back(RtlInstr::error());
+  Prog.push_back(RtlInstr::imm(0, 32, 1));
+  Prog.push_back(RtlInstr::setLoc(Loc::reg(0), 0));
+  EXPECT_EQ(execProgram(M, Prog, 1, {}), Status::Error);
+  EXPECT_EQ(M.Regs[0], 0u); // nothing after the error ran
+}
+
+TEST(RtlInterp, LocationWidths) {
+  EXPECT_EQ(Loc::pc().width(), 32u);
+  EXPECT_EQ(Loc::reg(3).width(), 32u);
+  EXPECT_EQ(Loc::segVal(1).width(), 16u);
+  EXPECT_EQ(Loc::segBase(1).width(), 32u);
+  EXPECT_EQ(Loc::flag(Flag::OF).width(), 1u);
+}
+
+TEST(RtlInterp, PrinterCoversAllKinds) {
+  RtlProgram Prog = {
+      RtlInstr::imm(0, 32, 5),
+      RtlInstr::arith(ArithOp::Add, 1, 0, 0),
+      RtlInstr::test(TestOp::Eq, 2, 0, 1),
+      RtlInstr::getLoc(3, Loc::reg(0)),
+      RtlInstr::setLoc(Loc::pc(), 3),
+      RtlInstr::getByte(4, 3, 0),
+      RtlInstr::setByte(3, 0, 4),
+      RtlInstr::castU(5, 8, 0),
+      RtlInstr::castS(6, 64, 0),
+      RtlInstr::select(7, 2, 0, 1),
+      RtlInstr::choose(8, 16),
+      RtlInstr::error(),
+      RtlInstr::fault(),
+      RtlInstr::trap(),
+  };
+  std::string S = printRtlProgram(Prog);
+  EXPECT_NE(S.find("choose"), std::string::npos);
+  EXPECT_NE(S.find("fault"), std::string::npos);
+  EXPECT_EQ(std::count(S.begin(), S.end(), '\n'),
+            static_cast<long>(Prog.size()));
+}

@@ -1,0 +1,633 @@
+//===- tests/sem_exec_test.cpp --------------------------------*- C++ -*-===//
+//
+// Per-instruction semantic tests: assemble a short program, run it on the
+// RTL pipeline (Cpu), and check registers, flags, memory, and status
+// against hand-computed expectations from the Intel manual.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Cpu.h"
+#include "x86/Encoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using namespace rocksalt::x86;
+using rtl::Flag;
+using rtl::Status;
+
+namespace {
+
+constexpr uint32_t CodeBase = 0x1000;
+constexpr uint32_t DataBase = 0x100000;
+constexpr uint32_t DataSize = 0x10000;
+
+/// Builds a Cpu with a standard sandbox and the given instruction
+/// sequence loaded at CS:0.
+Cpu makeCpu(const std::vector<Instr> &Program) {
+  std::vector<uint8_t> Code;
+  for (const Instr &I : Program) {
+    auto B = encode(I);
+    EXPECT_TRUE(B.has_value());
+    Code.insert(Code.end(), B->begin(), B->end());
+  }
+  Cpu C;
+  C.configureSandbox(CodeBase, 0x1000, DataBase, DataSize, Code);
+  return C;
+}
+
+Instr movRegImm(Reg R, uint32_t V) {
+  Instr I;
+  I.Op = Opcode::MOV;
+  I.Op1 = Operand::reg(R);
+  I.Op2 = Operand::imm(V);
+  return I;
+}
+
+Instr binop(Opcode Op, Operand A, Operand B, bool W = true) {
+  Instr I;
+  I.Op = Op;
+  I.W = W;
+  I.Op1 = A;
+  I.Op2 = B;
+  return I;
+}
+
+bool flag(const Cpu &C, Flag F) {
+  return C.M.Flags[static_cast<unsigned>(F)];
+}
+
+} // namespace
+
+TEST(SemExec, MovImmediateToRegister) {
+  Cpu C = makeCpu({movRegImm(Reg::EBX, 0xDEADBEEF)});
+  EXPECT_EQ(C.step(), Status::Running);
+  EXPECT_EQ(C.M.Regs[3], 0xDEADBEEFu);
+  EXPECT_EQ(C.M.Pc, 5u);
+}
+
+TEST(SemExec, AddSetsCarryAndOverflow) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0xFFFFFFFF),
+      binop(Opcode::ADD, Operand::reg(Reg::EAX), Operand::imm(1)),
+  });
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[0], 0u);
+  EXPECT_TRUE(flag(C, Flag::CF));
+  EXPECT_TRUE(flag(C, Flag::ZF));
+  EXPECT_FALSE(flag(C, Flag::OF)); // -1 + 1 does not overflow signed
+  EXPECT_TRUE(flag(C, Flag::AF));  // carry out of bit 3
+  EXPECT_TRUE(flag(C, Flag::PF));  // zero has even parity
+}
+
+TEST(SemExec, SignedOverflow) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0x7FFFFFFF),
+      binop(Opcode::ADD, Operand::reg(Reg::EAX), Operand::imm(1)),
+  });
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[0], 0x80000000u);
+  EXPECT_TRUE(flag(C, Flag::OF));
+  EXPECT_FALSE(flag(C, Flag::CF));
+  EXPECT_TRUE(flag(C, Flag::SF));
+}
+
+TEST(SemExec, SubBorrow) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::ECX, 3),
+      binop(Opcode::SUB, Operand::reg(Reg::ECX), Operand::imm(5)),
+  });
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[1], 0xFFFFFFFEu);
+  EXPECT_TRUE(flag(C, Flag::CF));
+  EXPECT_TRUE(flag(C, Flag::SF));
+  EXPECT_FALSE(flag(C, Flag::ZF));
+}
+
+TEST(SemExec, AdcChainsCarry) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0xFFFFFFFF),
+      binop(Opcode::ADD, Operand::reg(Reg::EAX), Operand::imm(1)), // CF=1
+      movRegImm(Reg::EBX, 10),
+      binop(Opcode::ADC, Operand::reg(Reg::EBX), Operand::imm(5)),
+  });
+  C.run(4);
+  EXPECT_EQ(C.M.Regs[3], 16u); // 10 + 5 + carry
+}
+
+TEST(SemExec, SbbUsesBorrow) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0),
+      binop(Opcode::CMP, Operand::reg(Reg::EAX), Operand::imm(1)), // CF=1
+      movRegImm(Reg::EBX, 10),
+      binop(Opcode::SBB, Operand::reg(Reg::EBX), Operand::imm(3)),
+  });
+  C.run(4);
+  EXPECT_EQ(C.M.Regs[3], 6u); // 10 - 3 - 1
+}
+
+TEST(SemExec, LogicOpsClearCarry) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0xF0F0F0F0),
+      binop(Opcode::AND, Operand::reg(Reg::EAX), Operand::imm(0x0F0F00FF)),
+  });
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[0], 0x000000F0u);
+  EXPECT_FALSE(flag(C, Flag::CF));
+  EXPECT_FALSE(flag(C, Flag::OF));
+}
+
+TEST(SemExec, XorSelfZeroes) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EDX, 1234),
+      binop(Opcode::XOR, Operand::reg(Reg::EDX), Operand::reg(Reg::EDX)),
+  });
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[2], 0u);
+  EXPECT_TRUE(flag(C, Flag::ZF));
+}
+
+TEST(SemExec, IncPreservesCarry) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0xFFFFFFFF),
+      binop(Opcode::ADD, Operand::reg(Reg::EAX), Operand::imm(1)), // CF=1
+      [] {
+        Instr I;
+        I.Op = Opcode::INC;
+        I.Op1 = Operand::reg(Reg::EBX);
+        return I;
+      }(),
+  });
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[3], 1u);
+  EXPECT_TRUE(flag(C, Flag::CF)); // INC must not clobber CF
+}
+
+TEST(SemExec, ByteOperationsUseSubRegisters) {
+  // mov bl, 0x7F ; add bl, 1 — only BL changes, flags per 8-bit op.
+  Instr MovBl;
+  MovBl.Op = Opcode::MOV;
+  MovBl.W = false;
+  MovBl.Op1 = Operand::reg(Reg::EBX);
+  MovBl.Op2 = Operand::imm(0x7F);
+  Cpu C = makeCpu({
+      movRegImm(Reg::EBX, 0xAABBCC00),
+      MovBl,
+      binop(Opcode::ADD, Operand::reg(Reg::EBX), Operand::imm(1), false),
+  });
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[3], 0xAABBCC80u);
+  EXPECT_TRUE(flag(C, Flag::OF)); // 0x7F + 1 overflows signed byte
+  EXPECT_TRUE(flag(C, Flag::SF));
+}
+
+TEST(SemExec, HighByteRegisters) {
+  // Encoding 7 with W=0 is BH: mov bh, 0x5A.
+  Instr MovBh;
+  MovBh.Op = Opcode::MOV;
+  MovBh.W = false;
+  MovBh.Op1 = Operand::reg(Reg::EDI); // encoding 7 = BH in byte mode
+  MovBh.Op2 = Operand::imm(0x5A);
+  Cpu C = makeCpu({movRegImm(Reg::EBX, 0x11223344), MovBh});
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[3], 0x11225A44u);
+  EXPECT_EQ(C.M.Regs[7], 0u); // EDI untouched
+}
+
+TEST(SemExec, MemoryStoreAndLoad) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0xCAFEBABE),
+      movRegImm(Reg::EBX, 0x100),
+      binop(Opcode::MOV, Operand::mem(Addr::base(Reg::EBX, 4)),
+            Operand::reg(Reg::EAX)),
+      binop(Opcode::MOV, Operand::reg(Reg::ECX),
+            Operand::mem(Addr::base(Reg::EBX, 4))),
+  });
+  C.run(4);
+  EXPECT_EQ(C.M.Regs[1], 0xCAFEBABEu);
+  EXPECT_EQ(C.M.Mem.load(DataBase + 0x104, 4), 0xCAFEBABEu);
+}
+
+TEST(SemExec, ScaledIndexAddressing) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EBX, 0x200),
+      movRegImm(Reg::ESI, 3),
+      movRegImm(Reg::EAX, 0x77),
+      binop(Opcode::MOV,
+            Operand::mem(Addr::baseIndex(Reg::EBX, Reg::ESI, Scale::S4, 8)),
+            Operand::reg(Reg::EAX)),
+  });
+  C.run(4);
+  EXPECT_EQ(C.M.Mem.load8(DataBase + 0x200 + 12 + 8), 0x77);
+}
+
+TEST(SemExec, OutOfSegmentStoreFaults) {
+  Cpu C = makeCpu({
+      movRegImm(Reg::EBX, DataSize + 0x100), // beyond the limit
+      binop(Opcode::MOV, Operand::mem(Addr::base(Reg::EBX)),
+            Operand::imm(1)),
+  });
+  C.run(2);
+  EXPECT_EQ(C.M.St, Status::Fault);
+}
+
+TEST(SemExec, PushPopRoundTrip) {
+  Instr Push;
+  Push.Op = Opcode::PUSH;
+  Push.Op1 = Operand::reg(Reg::EAX);
+  Instr Pop;
+  Pop.Op = Opcode::POP;
+  Pop.Op1 = Operand::reg(Reg::EBX);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 0x1234), Push, Pop});
+  uint32_t Esp0 = C.M.Regs[4];
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[3], 0x1234u);
+  EXPECT_EQ(C.M.Regs[4], Esp0);
+}
+
+TEST(SemExec, MulProducesWideResult) {
+  Instr Mul;
+  Mul.Op = Opcode::MUL;
+  Mul.Op1 = Operand::reg(Reg::EBX);
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0x10000),
+      movRegImm(Reg::EBX, 0x10000),
+      Mul,
+  });
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[0], 0u);  // low word
+  EXPECT_EQ(C.M.Regs[2], 1u);  // high word in EDX
+  EXPECT_TRUE(flag(C, Flag::CF));
+  EXPECT_TRUE(flag(C, Flag::OF));
+}
+
+TEST(SemExec, DivComputesQuotientRemainder) {
+  Instr Div;
+  Div.Op = Opcode::DIV;
+  Div.Op1 = Operand::reg(Reg::EBX);
+  Cpu C = makeCpu({
+      movRegImm(Reg::EDX, 0),
+      movRegImm(Reg::EAX, 100),
+      movRegImm(Reg::EBX, 7),
+      Div,
+  });
+  C.run(4);
+  EXPECT_EQ(C.M.Regs[0], 14u);
+  EXPECT_EQ(C.M.Regs[2], 2u);
+}
+
+TEST(SemExec, DivideByZeroFaults) {
+  Instr Div;
+  Div.Op = Opcode::DIV;
+  Div.Op1 = Operand::reg(Reg::EBX);
+  Cpu C = makeCpu({movRegImm(Reg::EBX, 0), Div});
+  C.run(2);
+  EXPECT_EQ(C.M.St, Status::Fault);
+}
+
+TEST(SemExec, IdivSignedSemantics) {
+  Instr Idiv;
+  Idiv.Op = Opcode::IDIV;
+  Idiv.Op1 = Operand::reg(Reg::EBX);
+  Cpu C = makeCpu({
+      movRegImm(Reg::EDX, 0xFFFFFFFF), // sign extension of -7
+      movRegImm(Reg::EAX, static_cast<uint32_t>(-7)),
+      movRegImm(Reg::EBX, 2),
+      Idiv,
+  });
+  C.run(4);
+  EXPECT_EQ(static_cast<int32_t>(C.M.Regs[0]), -3);
+  EXPECT_EQ(static_cast<int32_t>(C.M.Regs[2]), -1);
+}
+
+TEST(SemExec, ShlShiftsAndSetsCarry) {
+  Instr Shl;
+  Shl.Op = Opcode::SHL;
+  Shl.Op1 = Operand::reg(Reg::EAX);
+  Shl.Op2 = Operand::imm(4);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 0x90000001), Shl});
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[0], 0x00000010u);
+  EXPECT_TRUE(flag(C, Flag::CF)); // bit 28 of the original was 1
+}
+
+TEST(SemExec, ShiftByZeroChangesNothing) {
+  Instr Shl;
+  Shl.Op = Opcode::SHL;
+  Shl.Op1 = Operand::reg(Reg::EAX);
+  Shl.Op2 = Operand::imm(0);
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0xFFFFFFFF),
+      binop(Opcode::ADD, Operand::reg(Reg::EAX), Operand::imm(1)), // CF=1
+      movRegImm(Reg::EAX, 0x42),
+      Shl,
+  });
+  C.run(4);
+  EXPECT_EQ(C.M.Regs[0], 0x42u);
+  EXPECT_TRUE(flag(C, Flag::CF)); // untouched
+}
+
+TEST(SemExec, SarIsArithmetic) {
+  Instr Sar;
+  Sar.Op = Opcode::SAR;
+  Sar.Op1 = Operand::reg(Reg::EAX);
+  Sar.Op2 = Operand::imm(4);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 0x80000000), Sar});
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[0], 0xF8000000u);
+}
+
+TEST(SemExec, RolRotates) {
+  Instr Rol;
+  Rol.Op = Opcode::ROL;
+  Rol.Op1 = Operand::reg(Reg::EAX);
+  Rol.Op2 = Operand::imm(8);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 0x12345678), Rol});
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[0], 0x34567812u);
+}
+
+TEST(SemExec, JccTakenAndNotTaken) {
+  // cmp eax, 5 ; je +2 ; mov ebx, 1 ; (target) mov ecx, 2
+  Instr Je;
+  Je.Op = Opcode::Jcc;
+  Je.CC = Cond::E;
+  Je.Op1 = Operand::imm(5); // skip the 5-byte mov ebx
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 5),
+      binop(Opcode::CMP, Operand::reg(Reg::EAX), Operand::imm(5)),
+      Je,
+      movRegImm(Reg::EBX, 1),
+      movRegImm(Reg::ECX, 2),
+  });
+  C.run(4); // mov, cmp, je (taken), mov ecx
+  EXPECT_EQ(C.M.Regs[3], 0u); // skipped
+  EXPECT_EQ(C.M.Regs[1], 2u);
+}
+
+TEST(SemExec, CallPushesReturnAndRetReturns) {
+  // call +5 ; (skipped) mov ebx, 1 ; (target) ret-like check.
+  Instr Call;
+  Call.Op = Opcode::CALL;
+  Call.Op1 = Operand::imm(5);
+  Cpu C = makeCpu({
+      Call,
+      movRegImm(Reg::EBX, 1),
+      movRegImm(Reg::ECX, 2),
+  });
+  uint32_t Esp0 = C.M.Regs[4];
+  C.step();
+  EXPECT_EQ(C.M.Pc, 10u); // 5 (after call) + 5 (skip mov)
+  EXPECT_EQ(C.M.Regs[4], Esp0 - 4);
+  EXPECT_EQ(C.M.Mem.load(DataBase + Esp0 - 4, 4), 5u); // return address
+  C.step();
+  EXPECT_EQ(C.M.Regs[1], 2u);
+}
+
+TEST(SemExec, IndirectJumpThroughRegister) {
+  Instr Jmp;
+  Jmp.Op = Opcode::JMP;
+  Jmp.Absolute = true;
+  Jmp.Op1 = Operand::reg(Reg::EAX);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 7), Jmp, movRegImm(Reg::ECX, 9)});
+  C.run(2);
+  EXPECT_EQ(C.M.Pc, 7u); // the mov ecx at offset 5+2
+  C.step();
+  EXPECT_EQ(C.M.Regs[1], 9u);
+}
+
+TEST(SemExec, JumpOutsideCodeSegmentFaults) {
+  Instr Jmp;
+  Jmp.Op = Opcode::JMP;
+  Jmp.Absolute = true;
+  Jmp.Op1 = Operand::reg(Reg::EAX);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 0x5000), Jmp});
+  C.run(3);
+  EXPECT_EQ(C.M.St, Status::Fault); // fetch beyond the CS limit
+}
+
+TEST(SemExec, SetccWritesByte) {
+  Instr Setz;
+  Setz.Op = Opcode::SETcc;
+  Setz.W = false;
+  Setz.CC = Cond::E;
+  Setz.Op1 = Operand::reg(Reg::EBX); // BL
+  Cpu C = makeCpu({
+      binop(Opcode::CMP, Operand::reg(Reg::EAX), Operand::reg(Reg::EAX)),
+      Setz,
+  });
+  C.run(2);
+  EXPECT_EQ(C.M.Regs[3] & 0xFF, 1u);
+}
+
+TEST(SemExec, CmovMovesOnlyWhenTrue) {
+  Instr Cmove;
+  Cmove.Op = Opcode::CMOVcc;
+  Cmove.CC = Cond::E;
+  Cmove.Op1 = Operand::reg(Reg::EBX);
+  Cmove.Op2 = Operand::reg(Reg::EAX);
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 7),
+      binop(Opcode::CMP, Operand::reg(Reg::EAX), Operand::imm(8)), // ZF=0
+      Cmove,
+  });
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[3], 0u); // not moved
+}
+
+TEST(SemExec, MovzxMovsx) {
+  Instr Movzx;
+  Movzx.Op = Opcode::MOVZX;
+  Movzx.W = false; // 8-bit source
+  Movzx.Op1 = Operand::reg(Reg::EBX);
+  Movzx.Op2 = Operand::reg(Reg::EAX); // AL
+  Instr Movsx = Movzx;
+  Movsx.Op = Opcode::MOVSX;
+  Movsx.Op1 = Operand::reg(Reg::ECX);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 0x80), Movzx, Movsx});
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[3], 0x80u);
+  EXPECT_EQ(C.M.Regs[1], 0xFFFFFF80u);
+}
+
+TEST(SemExec, LoopDecrementsAndBranches) {
+  // mov ecx, 3 ; (L) loop L — spins until ECX is 0.
+  Instr Loop;
+  Loop.Op = Opcode::LOOP;
+  Loop.Op1 = Operand::imm(static_cast<uint32_t>(-2)); // to itself
+  Cpu C = makeCpu({movRegImm(Reg::ECX, 3), Loop});
+  C.run(4); // mov + three loop iterations
+  EXPECT_EQ(C.M.Regs[1], 0u);
+  EXPECT_EQ(C.M.Pc, 7u);
+}
+
+TEST(SemExec, RepStosFillsMemory) {
+  Instr Stos;
+  Stos.Op = Opcode::STOS;
+  Stos.W = false;
+  Stos.Pfx.Rep = Prefix::RepKind::Rep;
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0xAB),
+      movRegImm(Reg::ECX, 16),
+      movRegImm(Reg::EDI, 0x40),
+      Stos,
+  });
+  C.run(3 + 16 + 1);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(C.M.Mem.load8(DataBase + 0x40 + I), 0xAB) << I;
+  EXPECT_EQ(C.M.Regs[1], 0u);
+  EXPECT_EQ(C.M.Regs[7], 0x50u);
+  EXPECT_EQ(C.M.St, Status::Running);
+}
+
+TEST(SemExec, RepMovsCopies) {
+  Instr Movs;
+  Movs.Op = Opcode::MOVS;
+  Movs.W = true;
+  Movs.Pfx.Rep = Prefix::RepKind::Rep;
+  Cpu C = makeCpu({
+      movRegImm(Reg::ECX, 4),
+      movRegImm(Reg::ESI, 0x10),
+      movRegImm(Reg::EDI, 0x80),
+      Movs,
+  });
+  C.M.Mem.store(DataBase + 0x10, 4, 0x11111111);
+  C.M.Mem.store(DataBase + 0x14, 4, 0x22222222);
+  C.M.Mem.store(DataBase + 0x18, 4, 0x33333333);
+  C.M.Mem.store(DataBase + 0x1C, 4, 0x44444444);
+  C.run(3 + 4 + 1);
+  EXPECT_EQ(C.M.Mem.load(DataBase + 0x80, 4), 0x11111111u);
+  EXPECT_EQ(C.M.Mem.load(DataBase + 0x8C, 4), 0x44444444u);
+}
+
+TEST(SemExec, HltHaltsSafely) {
+  Instr Hlt;
+  Hlt.Op = Opcode::HLT;
+  Cpu C = makeCpu({Hlt});
+  EXPECT_EQ(C.step(), Status::Halted);
+  EXPECT_EQ(C.M.Pc, 1u);
+}
+
+TEST(SemExec, UnmodeledInstructionIsError) {
+  Instr In;
+  In.Op = Opcode::IN;
+  In.W = false;
+  In.Op1 = Operand::reg(Reg::EAX);
+  In.Op2 = Operand::imm(0x60);
+  Cpu C = makeCpu({In});
+  EXPECT_EQ(C.step(), Status::Error);
+}
+
+TEST(SemExec, SegmentRegisterWriteEscapesSandbox) {
+  // mov ds, ax — modeled as the segment losing its protection; the
+  // selector value changes and the limit becomes 2^32-1.
+  Instr MovDs;
+  MovDs.Op = Opcode::MOVSR;
+  MovDs.Seg = SegReg::DS;
+  MovDs.Op2 = Operand::reg(Reg::EAX);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 0x7777), MovDs});
+  C.run(2);
+  uint8_t Ds = static_cast<uint8_t>(SegReg::DS);
+  EXPECT_EQ(C.M.SegVal[Ds], 0x7777u);
+  EXPECT_EQ(C.M.SegLimit[Ds], 0xFFFFFFFFu);
+  EXPECT_EQ(C.M.SegBase[Ds], 0u);
+}
+
+TEST(SemExec, BsfBsrFindBits) {
+  Instr Bsf;
+  Bsf.Op = Opcode::BSF;
+  Bsf.Op1 = Operand::reg(Reg::EBX);
+  Bsf.Op2 = Operand::reg(Reg::EAX);
+  Instr Bsr = Bsf;
+  Bsr.Op = Opcode::BSR;
+  Bsr.Op1 = Operand::reg(Reg::ECX);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 0x00840000), Bsf, Bsr});
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[3], 18u);
+  EXPECT_EQ(C.M.Regs[1], 23u);
+  EXPECT_FALSE(flag(C, Flag::ZF));
+}
+
+TEST(SemExec, PushfPopfRoundTripsFlags) {
+  Instr Pushf;
+  Pushf.Op = Opcode::PUSHF;
+  Instr Popf;
+  Popf.Op = Opcode::POPF;
+  Cpu C = makeCpu({
+      movRegImm(Reg::EAX, 0xFFFFFFFF),
+      binop(Opcode::ADD, Operand::reg(Reg::EAX), Operand::imm(1)),
+      Pushf,
+      movRegImm(Reg::EBX, 0),
+      binop(Opcode::ADD, Operand::reg(Reg::EBX), Operand::imm(1)), // CF=0
+      Popf,
+  });
+  C.run(6);
+  EXPECT_TRUE(flag(C, Flag::CF)); // restored
+  EXPECT_TRUE(flag(C, Flag::ZF));
+}
+
+TEST(SemExec, XchgSwaps) {
+  Instr Xchg;
+  Xchg.Op = Opcode::XCHG;
+  Xchg.Op1 = Operand::reg(Reg::EAX);
+  Xchg.Op2 = Operand::reg(Reg::EBX);
+  Cpu C = makeCpu({movRegImm(Reg::EAX, 1), movRegImm(Reg::EBX, 2), Xchg});
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[0], 2u);
+  EXPECT_EQ(C.M.Regs[3], 1u);
+}
+
+TEST(SemExec, CmpxchgBothOutcomes) {
+  Instr Cx;
+  Cx.Op = Opcode::CMPXCHG;
+  Cx.Op1 = Operand::reg(Reg::EBX);
+  Cx.Op2 = Operand::reg(Reg::ECX);
+  {
+    Cpu C = makeCpu({movRegImm(Reg::EAX, 5), movRegImm(Reg::EBX, 5),
+                     movRegImm(Reg::ECX, 9), Cx});
+    C.run(4);
+    EXPECT_EQ(C.M.Regs[3], 9u); // swapped in
+    EXPECT_TRUE(flag(C, Flag::ZF));
+  }
+  {
+    Cpu C = makeCpu({movRegImm(Reg::EAX, 4), movRegImm(Reg::EBX, 5),
+                     movRegImm(Reg::ECX, 9), Cx});
+    C.run(4);
+    EXPECT_EQ(C.M.Regs[3], 5u); // unchanged
+    EXPECT_EQ(C.M.Regs[0], 5u); // EAX = dest
+    EXPECT_FALSE(flag(C, Flag::ZF));
+  }
+}
+
+TEST(SemExec, LeaveUnwindsFrame) {
+  Instr Enter;
+  Enter.Op = Opcode::ENTER;
+  Enter.Op1 = Operand::imm(0x20);
+  Enter.Op2 = Operand::imm(0);
+  Instr Leave;
+  Leave.Op = Opcode::LEAVE;
+  Cpu C = makeCpu({movRegImm(Reg::EBP, 0x1111), Enter, Leave});
+  uint32_t Esp0 = C.M.Regs[4];
+  C.run(3);
+  EXPECT_EQ(C.M.Regs[4], Esp0);
+  EXPECT_EQ(C.M.Regs[5], 0x1111u);
+}
+
+TEST(SemExec, GrammarDecoderDrivesTheSameSemantics) {
+  // The Cpu must behave identically under the reference decoder.
+  Cpu A = makeCpu({
+      movRegImm(Reg::EAX, 41),
+      binop(Opcode::ADD, Operand::reg(Reg::EAX), Operand::imm(1)),
+  });
+  Cpu B = makeCpu({
+      movRegImm(Reg::EAX, 41),
+      binop(Opcode::ADD, Operand::reg(Reg::EAX), Operand::imm(1)),
+  });
+  B.Decoder = DecoderKind::Grammar;
+  A.run(2);
+  B.run(2);
+  EXPECT_EQ(A.M.Regs[0], 42u);
+  EXPECT_EQ(B.M.Regs[0], 42u);
+  EXPECT_EQ(A.M.Pc, B.M.Pc);
+}

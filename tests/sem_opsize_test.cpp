@@ -1,0 +1,176 @@
+//===- tests/sem_opsize_test.cpp ------------------------------*- C++ -*-===//
+//
+// 16-bit operand-size (0x66 prefix) semantics: the paper's prefix record
+// parameterizes every translation by operand size; these tests pin the
+// 16-bit behavior — partial register writes, 16-bit flags, 16-bit stack
+// slots, and CBW/CWD (the 66-variants of CWDE/CDQ).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Cpu.h"
+#include "x86/Encoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt;
+using namespace rocksalt::sem;
+using namespace rocksalt::x86;
+using rtl::Flag;
+
+namespace {
+
+constexpr uint32_t DataBase = 0x100000;
+
+Instr movImm32(Reg R, uint32_t V) {
+  Instr I;
+  I.Op = Opcode::MOV;
+  I.Op1 = Operand::reg(R);
+  I.Op2 = Operand::imm(V);
+  return I;
+}
+
+Instr op16(Opcode Op, Operand A, Operand B) {
+  Instr I;
+  I.Op = Op;
+  I.Pfx.OpSize = true;
+  I.Op1 = A;
+  I.Op2 = B;
+  return I;
+}
+
+Cpu runProgram(const std::vector<Instr> &Prog, uint64_t Steps = 0) {
+  std::vector<uint8_t> Code;
+  for (const Instr &I : Prog) {
+    auto B = encodeOrDie(I);
+    Code.insert(Code.end(), B.begin(), B.end());
+  }
+  while (Code.size() % 32)
+    Code.push_back(0x90);
+  Cpu C;
+  C.configureSandbox(0x1000, 0x1000, DataBase, 0x10000, Code);
+  C.run(Steps ? Steps : Prog.size());
+  return C;
+}
+
+} // namespace
+
+TEST(OpSize16, WritesOnlyLowHalf) {
+  Cpu C = runProgram({
+      movImm32(Reg::EBX, 0xAABBCCDD),
+      op16(Opcode::MOV, Operand::reg(Reg::EBX), Operand::imm(0x1122)),
+  });
+  EXPECT_EQ(C.M.Regs[3], 0xAABB1122u);
+}
+
+TEST(OpSize16, ArithmeticWrapsAt16Bits) {
+  Cpu C = runProgram({
+      movImm32(Reg::EBX, 0x0001FFFF),
+      op16(Opcode::ADD, Operand::reg(Reg::EBX), Operand::imm(1)),
+  });
+  EXPECT_EQ(C.M.Regs[3], 0x00010000u); // only AX wrapped
+  EXPECT_TRUE(C.M.Flags[unsigned(Flag::CF)]);
+  EXPECT_TRUE(C.M.Flags[unsigned(Flag::ZF)]);
+}
+
+TEST(OpSize16, SignedOverflowAt16Bits) {
+  Cpu C = runProgram({
+      movImm32(Reg::EBX, 0x7FFF),
+      op16(Opcode::ADD, Operand::reg(Reg::EBX), Operand::imm(1)),
+  });
+  EXPECT_EQ(C.M.Regs[3], 0x8000u);
+  EXPECT_TRUE(C.M.Flags[unsigned(Flag::OF)]);
+  EXPECT_TRUE(C.M.Flags[unsigned(Flag::SF)]);
+  EXPECT_FALSE(C.M.Flags[unsigned(Flag::CF)]);
+}
+
+TEST(OpSize16, SixteenBitPushUsesTwoBytes) {
+  Instr Push;
+  Push.Op = Opcode::PUSH;
+  Push.Pfx.OpSize = true;
+  Push.Op1 = Operand::reg(Reg::EBX);
+  Cpu C = runProgram({movImm32(Reg::EBX, 0x12345678), Push});
+  uint32_t Esp = C.M.Regs[4];
+  EXPECT_EQ(C.M.Mem.load(DataBase + Esp, 2), 0x5678u);
+  // ESP moved by 2, not 4.
+  Cpu D = runProgram({movImm32(Reg::EBX, 1)});
+  EXPECT_EQ(D.M.Regs[4] - Esp, 2u);
+}
+
+TEST(OpSize16, CbwSignExtendsAlIntoAx) {
+  Instr Cbw;
+  Cbw.Op = Opcode::CWDE;
+  Cbw.Pfx.OpSize = true;
+  Cpu C = runProgram({movImm32(Reg::EAX, 0xFFFF0080), Cbw});
+  EXPECT_EQ(C.M.Regs[0], 0xFFFFFF80u); // AX = sext8(0x80); high half kept
+}
+
+TEST(OpSize16, CwdSignExtendsAxIntoDx) {
+  Instr Cwd;
+  Cwd.Op = Opcode::CDQ;
+  Cwd.Pfx.OpSize = true;
+  Cpu C = runProgram(
+      {movImm32(Reg::EAX, 0x8000), movImm32(Reg::EDX, 0x11110000), Cwd});
+  EXPECT_EQ(C.M.Regs[2], 0x1111FFFFu); // only DX written
+}
+
+TEST(OpSize16, MemoryAccessIsTwoBytes) {
+  Cpu C = runProgram({
+      movImm32(Reg::EBX, 0x100),
+      op16(Opcode::MOV, Operand::mem(Addr::base(Reg::EBX)),
+           Operand::imm(0xBEEF)),
+  });
+  EXPECT_EQ(C.M.Mem.load(DataBase + 0x100, 2), 0xBEEFu);
+  EXPECT_EQ(C.M.Mem.load8(DataBase + 0x102), 0u); // third byte untouched
+}
+
+TEST(OpSize16, SixteenBitRotate) {
+  Instr Rol;
+  Rol.Op = Opcode::ROL;
+  Rol.Pfx.OpSize = true;
+  Rol.Op1 = Operand::reg(Reg::EBX);
+  Rol.Op2 = Operand::imm(4);
+  Cpu C = runProgram({movImm32(Reg::EBX, 0xFFFF1234), Rol});
+  EXPECT_EQ(C.M.Regs[3], 0xFFFF2341u);
+}
+
+TEST(OpSize16, SixteenBitMulUsesDxAx) {
+  Instr Mul;
+  Mul.Op = Opcode::MUL;
+  Mul.Pfx.OpSize = true;
+  Mul.Op1 = Operand::reg(Reg::EBX);
+  Cpu C = runProgram({movImm32(Reg::EAX, 0x1234), movImm32(Reg::EBX, 0x100),
+                      movImm32(Reg::EDX, 0xABCD0000), Mul},
+                     4);
+  // 0x1234 * 0x100 = 0x123400 -> AX=0x3400, DX=0x0012.
+  EXPECT_EQ(C.M.Regs[0] & 0xFFFF, 0x3400u);
+  EXPECT_EQ(C.M.Regs[2] & 0xFFFF, 0x0012u);
+  EXPECT_EQ(C.M.Regs[2] >> 16, 0xABCDu); // upper EDX preserved
+  EXPECT_TRUE(C.M.Flags[unsigned(Flag::CF)]);
+}
+
+TEST(OpSize16, SixteenBitStringOp) {
+  Instr Stos;
+  Stos.Op = Opcode::STOS;
+  Stos.W = true;
+  Stos.Pfx.OpSize = true; // stosw
+  Cpu C = runProgram({movImm32(Reg::EAX, 0xCAFE1234),
+                      movImm32(Reg::EDI, 0x40), Stos},
+                     3);
+  EXPECT_EQ(C.M.Mem.load(DataBase + 0x40, 2), 0x1234u);
+  EXPECT_EQ(C.M.Regs[7], 0x42u); // EDI advanced by 2
+}
+
+TEST(OpSize16, PopfRestoresOnly16BitImage) {
+  // 66 9d pops a 16-bit flags image; OF lives in bit 11 and is included.
+  Instr Push;
+  Push.Op = Opcode::PUSH;
+  Push.Pfx.OpSize = true;
+  Push.Op1 = Operand::imm(0x0801); // OF | CF
+  Instr Popf;
+  Popf.Op = Opcode::POPF;
+  Popf.Pfx.OpSize = true;
+  Cpu C = runProgram({Push, Popf});
+  EXPECT_TRUE(C.M.Flags[unsigned(Flag::CF)]);
+  EXPECT_TRUE(C.M.Flags[unsigned(Flag::OF)]);
+  EXPECT_FALSE(C.M.Flags[unsigned(Flag::ZF)]);
+}

@@ -1,0 +1,257 @@
+//===- tests/support_bitvec_test.cpp --------------------------*- C++ -*-===//
+//
+// Unit and property tests for the width-indexed bit-vector library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitvec.h"
+#include "support/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using rocksalt::Bitvec;
+using rocksalt::Rng;
+
+TEST(Bitvec, ConstructionMasksToWidth) {
+  EXPECT_EQ(Bitvec(8, 0x1FF).bits(), 0xFFu);
+  EXPECT_EQ(Bitvec(1, 2).bits(), 0u);
+  EXPECT_EQ(Bitvec(32, 0x1'0000'0001ull).bits(), 1u);
+  EXPECT_EQ(Bitvec(64, ~uint64_t(0)).bits(), ~uint64_t(0));
+}
+
+TEST(Bitvec, SignedInterpretation) {
+  EXPECT_EQ(Bitvec(8, 0xFF).toSigned(), -1);
+  EXPECT_EQ(Bitvec(8, 0x80).toSigned(), -128);
+  EXPECT_EQ(Bitvec(8, 0x7F).toSigned(), 127);
+  EXPECT_EQ(Bitvec(32, 0xFFFFFFFF).toSigned(), -1);
+  EXPECT_EQ(Bitvec(1, 1).toSigned(), -1);
+  EXPECT_EQ(Bitvec(64, ~uint64_t(0)).toSigned(), -1);
+}
+
+TEST(Bitvec, FromSignedRoundTrips) {
+  for (int64_t V : {-128, -1, 0, 1, 127}) {
+    EXPECT_EQ(Bitvec::fromSigned(8, V).toSigned(), V) << V;
+  }
+  EXPECT_EQ(Bitvec::fromSigned(32, -32).bits(), 0xFFFFFFE0u);
+}
+
+TEST(Bitvec, AddWrapsModulo) {
+  EXPECT_EQ(Bitvec(8, 0xFF).add(Bitvec(8, 1)).bits(), 0u);
+  EXPECT_EQ(Bitvec(32, 0xFFFFFFFF).add(Bitvec(32, 2)).bits(), 1u);
+}
+
+TEST(Bitvec, SubWrapsModulo) {
+  EXPECT_EQ(Bitvec(8, 0).sub(Bitvec(8, 1)).bits(), 0xFFu);
+}
+
+TEST(Bitvec, NegIsTwosComplement) {
+  EXPECT_EQ(Bitvec(8, 1).neg().bits(), 0xFFu);
+  EXPECT_EQ(Bitvec(8, 0x80).neg().bits(), 0x80u); // INT_MIN fixpoint
+  EXPECT_EQ(Bitvec(8, 0).neg().bits(), 0u);
+}
+
+TEST(Bitvec, MulWraps) {
+  EXPECT_EQ(Bitvec(8, 16).mul(Bitvec(8, 16)).bits(), 0u);
+  EXPECT_EQ(Bitvec(16, 255).mul(Bitvec(16, 255)).bits(), 65025u);
+}
+
+TEST(Bitvec, UnsignedDivision) {
+  EXPECT_EQ(Bitvec(8, 100).divu(Bitvec(8, 7)).bits(), 14u);
+  EXPECT_EQ(Bitvec(8, 100).modu(Bitvec(8, 7)).bits(), 2u);
+}
+
+TEST(Bitvec, SignedDivisionTruncatesTowardZero) {
+  // x86 IDIV truncates toward zero: -7 / 2 = -3 rem -1.
+  Bitvec N = Bitvec::fromSigned(8, -7);
+  Bitvec D = Bitvec(8, 2);
+  EXPECT_EQ(N.divs(D).toSigned(), -3);
+  EXPECT_EQ(N.mods(D).toSigned(), -1);
+  // 7 / -2 = -3 rem 1.
+  EXPECT_EQ(Bitvec(8, 7).divs(Bitvec::fromSigned(8, -2)).toSigned(), -3);
+  EXPECT_EQ(Bitvec(8, 7).mods(Bitvec::fromSigned(8, -2)).toSigned(), 1);
+}
+
+TEST(Bitvec, ShiftBasics) {
+  EXPECT_EQ(Bitvec(8, 0x81).shl(Bitvec(8, 1)).bits(), 0x02u);
+  EXPECT_EQ(Bitvec(8, 0x81).shru(Bitvec(8, 1)).bits(), 0x40u);
+  EXPECT_EQ(Bitvec(8, 0x81).shrs(Bitvec(8, 1)).bits(), 0xC0u);
+  EXPECT_EQ(Bitvec(8, 1).shl(Bitvec(8, 8)).bits(), 0u);  // overshift
+  EXPECT_EQ(Bitvec(8, 0x80).shrs(Bitvec(8, 200)).bits(), 0xFFu);
+}
+
+TEST(Bitvec, RotateBasics) {
+  EXPECT_EQ(Bitvec(8, 0x81).rol(Bitvec(8, 1)).bits(), 0x03u);
+  EXPECT_EQ(Bitvec(8, 0x81).ror(Bitvec(8, 1)).bits(), 0xC0u);
+  EXPECT_EQ(Bitvec(8, 0x5A).rol(Bitvec(8, 8)).bits(), 0x5Au);
+  EXPECT_EQ(Bitvec(32, 0x80000001).rol(Bitvec(32, 4)).bits(), 0x18u);
+}
+
+TEST(Bitvec, Comparisons) {
+  EXPECT_TRUE(Bitvec(8, 1).ltu(Bitvec(8, 0xFF)));
+  EXPECT_FALSE(Bitvec(8, 1).lts(Bitvec(8, 0xFF))); // 1 < -1 is false
+  EXPECT_TRUE(Bitvec(8, 0xFF).lts(Bitvec(8, 1)));
+  EXPECT_TRUE(Bitvec(8, 5).eq(Bitvec(8, 5)));
+}
+
+TEST(Bitvec, Extensions) {
+  EXPECT_EQ(Bitvec(8, 0xFF).zext(32).bits(), 0xFFu);
+  EXPECT_EQ(Bitvec(8, 0xFF).sext(32).bits(), 0xFFFFFFFFu);
+  EXPECT_EQ(Bitvec(8, 0x7F).sext(32).bits(), 0x7Fu);
+  EXPECT_EQ(Bitvec(32, 0x1234ABCD).zext(8).bits(), 0xCDu);
+  EXPECT_EQ(Bitvec(32, 0x1234ABCD).sext(16).bits(), 0xABCDu);
+}
+
+TEST(Bitvec, Concat) {
+  Bitvec Hi(8, 0x12), Lo(8, 0x34);
+  Bitvec C = Hi.concat(Lo);
+  EXPECT_EQ(C.width(), 16u);
+  EXPECT_EQ(C.bits(), 0x1234u);
+}
+
+TEST(Bitvec, Parity8) {
+  EXPECT_TRUE(Bitvec(8, 0x00).parity8());  // zero bits set: even
+  EXPECT_FALSE(Bitvec(8, 0x01).parity8()); // one bit
+  EXPECT_TRUE(Bitvec(8, 0x03).parity8());  // two bits
+  EXPECT_TRUE(Bitvec(32, 0xFFFFFF00).parity8()); // only low 8 bits count
+}
+
+TEST(Bitvec, MsbLsbBit) {
+  Bitvec V(8, 0x82);
+  EXPECT_TRUE(V.msb());
+  EXPECT_FALSE(V.lsb());
+  EXPECT_TRUE(V.bit(1));
+  EXPECT_FALSE(V.bit(2));
+}
+
+//===----------------------------------------------------------------------===//
+// Algebraic property sweeps across widths.
+//===----------------------------------------------------------------------===//
+
+class BitvecProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitvecProperty, AddCommutesAndAssociates) {
+  uint32_t W = GetParam();
+  Rng R(1234 + W);
+  for (int I = 0; I < 200; ++I) {
+    Bitvec A(W, R.next()), B(W, R.next()), C(W, R.next());
+    EXPECT_EQ(A.add(B), B.add(A));
+    EXPECT_EQ(A.add(B).add(C), A.add(B.add(C)));
+  }
+}
+
+TEST_P(BitvecProperty, SubIsAddOfNeg) {
+  uint32_t W = GetParam();
+  Rng R(99 + W);
+  for (int I = 0; I < 200; ++I) {
+    Bitvec A(W, R.next()), B(W, R.next());
+    EXPECT_EQ(A.sub(B), A.add(B.neg()));
+  }
+}
+
+TEST_P(BitvecProperty, DeMorgan) {
+  uint32_t W = GetParam();
+  Rng R(7 + W);
+  for (int I = 0; I < 200; ++I) {
+    Bitvec A(W, R.next()), B(W, R.next());
+    EXPECT_EQ(A.logand(B).lognot(), A.lognot().logor(B.lognot()));
+    EXPECT_EQ(A.logor(B).lognot(), A.lognot().logand(B.lognot()));
+  }
+}
+
+TEST_P(BitvecProperty, XorSelfIsZero) {
+  uint32_t W = GetParam();
+  Rng R(31 + W);
+  for (int I = 0; I < 100; ++I) {
+    Bitvec A(W, R.next());
+    EXPECT_TRUE(A.logxor(A).isZero());
+    EXPECT_EQ(A.logxor(Bitvec::zero(W)), A);
+  }
+}
+
+TEST_P(BitvecProperty, RotateInverses) {
+  uint32_t W = GetParam();
+  Rng R(55 + W);
+  for (int I = 0; I < 100; ++I) {
+    Bitvec A(W, R.next());
+    Bitvec K(W, R.below(2 * W));
+    EXPECT_EQ(A.rol(K).ror(K), A);
+    EXPECT_EQ(A.ror(K).rol(K), A);
+  }
+}
+
+TEST_P(BitvecProperty, DivModReconstructs) {
+  uint32_t W = GetParam();
+  Rng R(77 + W);
+  for (int I = 0; I < 200; ++I) {
+    Bitvec A(W, R.next());
+    Bitvec B(W, R.next());
+    if (B.isZero())
+      continue;
+    EXPECT_EQ(A.divu(B).mul(B).add(A.modu(B)), A);
+    // Signed reconstruction, avoiding the INT_MIN/-1 edge at width 64.
+    if (W < 64) {
+      EXPECT_EQ(A.divs(B).mul(B).add(A.mods(B)), A);
+    }
+  }
+}
+
+TEST_P(BitvecProperty, ZextPreservesUnsignedSextPreservesSigned) {
+  uint32_t W = GetParam();
+  if (W >= 64)
+    return;
+  Rng R(13 + W);
+  for (int I = 0; I < 100; ++I) {
+    Bitvec A(W, R.next());
+    EXPECT_EQ(A.zext(64).bits(), A.bits());
+    EXPECT_EQ(A.sext(64).toSigned(), A.toSigned());
+    EXPECT_EQ(A.zext(W), A);
+    EXPECT_EQ(A.sext(W), A);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitvecProperty,
+                         ::testing::Values(1u, 8u, 16u, 32u, 64u));
+
+//===----------------------------------------------------------------------===//
+// Rng sanity.
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(5), B(5);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t V = R.range(3, 6);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 6u);
+    SawLo |= (V == 3);
+    SawHi |= (V == 6);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Oracle, ChooseWidthAndAccounting) {
+  rocksalt::Oracle O(3);
+  Bitvec V = O.choose(5);
+  EXPECT_EQ(V.width(), 5u);
+  O.choose(32);
+  EXPECT_EQ(O.bitsConsumed(), 37u);
+}
+
+TEST(Oracle, ReproducibleAcrossInstances) {
+  rocksalt::Oracle A(21), B(21);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(A.choose(32), B.choose(32));
+}

@@ -1,0 +1,108 @@
+//===- tests/support_memory_test.cpp --------------------------*- C++ -*-===//
+
+#include "support/Memory.h"
+#include "support/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using rocksalt::Memory;
+using rocksalt::Rng;
+
+TEST(Memory, UnwrittenReadsZero) {
+  Memory M;
+  EXPECT_EQ(M.load8(0), 0);
+  EXPECT_EQ(M.load8(0xFFFFFFFF), 0);
+  EXPECT_EQ(M.load(0x1234, 4), 0u);
+  EXPECT_EQ(M.residentPages(), 0u);
+}
+
+TEST(Memory, ByteRoundTrip) {
+  Memory M;
+  M.store8(100, 0xAB);
+  EXPECT_EQ(M.load8(100), 0xAB);
+  EXPECT_EQ(M.load8(101), 0);
+  EXPECT_EQ(M.residentPages(), 1u);
+}
+
+TEST(Memory, LittleEndianMultiByte) {
+  Memory M;
+  M.store(0x1000, 4, 0xDEADBEEF);
+  EXPECT_EQ(M.load8(0x1000), 0xEF);
+  EXPECT_EQ(M.load8(0x1001), 0xBE);
+  EXPECT_EQ(M.load8(0x1002), 0xAD);
+  EXPECT_EQ(M.load8(0x1003), 0xDE);
+  EXPECT_EQ(M.load(0x1000, 4), 0xDEADBEEFu);
+  EXPECT_EQ(M.load(0x1001, 2), 0xADBEu);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory M;
+  uint32_t Addr = Memory::PageSize - 2;
+  M.store(Addr, 4, 0x11223344);
+  EXPECT_EQ(M.load(Addr, 4), 0x11223344u);
+  EXPECT_EQ(M.residentPages(), 2u);
+}
+
+TEST(Memory, AddressWrapAround) {
+  Memory M;
+  M.store(0xFFFFFFFE, 4, 0xCAFEBABE);
+  EXPECT_EQ(M.load8(0xFFFFFFFE), 0xBE);
+  EXPECT_EQ(M.load8(0xFFFFFFFF), 0xBA);
+  EXPECT_EQ(M.load8(0x00000000), 0xFE);
+  EXPECT_EQ(M.load8(0x00000001), 0xCA);
+  EXPECT_EQ(M.load(0xFFFFFFFE, 4), 0xCAFEBABEu);
+}
+
+TEST(Memory, BulkStoreLoad) {
+  Memory M;
+  std::vector<uint8_t> Data = {1, 2, 3, 4, 5, 6, 7, 8};
+  M.storeBytes(0x2000, Data);
+  EXPECT_EQ(M.loadBytes(0x2000, 8), Data);
+  EXPECT_EQ(M.loadBytes(0x2004, 2), (std::vector<uint8_t>{5, 6}));
+}
+
+TEST(Memory, ClearDropsAllPages) {
+  Memory M;
+  M.store8(0, 1);
+  M.store8(0x80000000, 2);
+  M.clear();
+  EXPECT_EQ(M.residentPages(), 0u);
+  EXPECT_EQ(M.load8(0), 0);
+}
+
+TEST(Memory, RandomizedStoreLoadAgainstModel) {
+  Memory M;
+  std::unordered_map<uint32_t, uint8_t> Model;
+  Rng R(2024);
+  for (int I = 0; I < 5000; ++I) {
+    uint32_t Addr = static_cast<uint32_t>(R.next());
+    // Keep addresses in a few clusters so collisions actually happen.
+    Addr &= 0x0003FFFF;
+    uint8_t Val = static_cast<uint8_t>(R.next());
+    if (R.flip()) {
+      M.store8(Addr, Val);
+      Model[Addr] = Val;
+    } else {
+      auto It = Model.find(Addr);
+      uint8_t Expected = It == Model.end() ? 0 : It->second;
+      ASSERT_EQ(M.load8(Addr), Expected) << "addr " << Addr;
+    }
+  }
+}
+
+TEST(Memory, WideLoadMatchesByteLoads) {
+  Memory M;
+  Rng R(7);
+  for (int I = 0; I < 500; ++I) {
+    uint32_t Addr = static_cast<uint32_t>(R.next());
+    uint32_t N = static_cast<uint32_t>(R.range(1, 8));
+    uint64_t V = R.next();
+    M.store(Addr, N, V);
+    uint64_t Got = 0;
+    for (uint32_t J = 0; J < N; ++J)
+      Got |= uint64_t(M.load8(Addr + J)) << (8 * J);
+    uint64_t Mask = N == 8 ? ~uint64_t(0) : ((uint64_t(1) << (8 * N)) - 1);
+    ASSERT_EQ(Got, V & Mask);
+    ASSERT_EQ(M.load(Addr, N), V & Mask);
+  }
+}

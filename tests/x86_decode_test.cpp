@@ -1,0 +1,382 @@
+//===- tests/x86_decode_test.cpp ------------------------------*- C++ -*-===//
+//
+// Byte-level decode checks against the Intel manual, exercised through
+// the grammar (reference) decoder. Each test feeds literal machine-code
+// bytes and checks the produced abstract syntax.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/GrammarDecoder.h"
+#include "x86/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt::x86;
+
+namespace {
+
+Decoded mustDecode(std::initializer_list<uint8_t> Bytes) {
+  std::vector<uint8_t> V(Bytes);
+  auto D = grammarDecode(V);
+  EXPECT_TRUE(D.has_value());
+  return D.value_or(Decoded{});
+}
+
+void mustReject(std::initializer_list<uint8_t> Bytes) {
+  std::vector<uint8_t> V(Bytes);
+  EXPECT_FALSE(grammarDecode(V).has_value());
+}
+
+} // namespace
+
+TEST(GrammarDecode, Nop) {
+  Decoded D = mustDecode({0x90});
+  EXPECT_EQ(D.Length, 1);
+  EXPECT_EQ(D.I.Op, Opcode::NOP);
+}
+
+TEST(GrammarDecode, AddRegReg) {
+  // 01 d8: add eax, ebx (rm=eax, reg=ebx).
+  Decoded D = mustDecode({0x01, 0xD8});
+  EXPECT_EQ(D.Length, 2);
+  EXPECT_EQ(D.I.Op, Opcode::ADD);
+  EXPECT_TRUE(D.I.W);
+  EXPECT_EQ(D.I.Op1, Operand::reg(Reg::EAX));
+  EXPECT_EQ(D.I.Op2, Operand::reg(Reg::EBX));
+}
+
+TEST(GrammarDecode, AddByteForm) {
+  // 00 c8: add al, cl.
+  Decoded D = mustDecode({0x00, 0xC8});
+  EXPECT_EQ(D.I.Op, Opcode::ADD);
+  EXPECT_FALSE(D.I.W);
+  EXPECT_EQ(D.I.Op1, Operand::reg(Reg::EAX));
+  EXPECT_EQ(D.I.Op2, Operand::reg(Reg::ECX));
+}
+
+TEST(GrammarDecode, AddEaxImm32) {
+  // 05 78 56 34 12: add eax, 0x12345678.
+  Decoded D = mustDecode({0x05, 0x78, 0x56, 0x34, 0x12});
+  EXPECT_EQ(D.Length, 5);
+  EXPECT_EQ(D.I.Op, Opcode::ADD);
+  EXPECT_EQ(D.I.Op2, Operand::imm(0x12345678));
+}
+
+TEST(GrammarDecode, AndImm8SignExtended) {
+  // 83 e0 e0: and eax, 0xffffffe0 — the NaCl mask instruction.
+  Decoded D = mustDecode({0x83, 0xE0, 0xE0});
+  EXPECT_EQ(D.Length, 3);
+  EXPECT_EQ(D.I.Op, Opcode::AND);
+  EXPECT_EQ(D.I.Op1, Operand::reg(Reg::EAX));
+  EXPECT_EQ(D.I.Op2, Operand::imm(0xFFFFFFE0));
+}
+
+TEST(GrammarDecode, MemBaseOnly) {
+  // 8b 03: mov eax, [ebx].
+  Decoded D = mustDecode({0x8B, 0x03});
+  EXPECT_EQ(D.I.Op, Opcode::MOV);
+  EXPECT_EQ(D.I.Op1, Operand::reg(Reg::EAX));
+  EXPECT_EQ(D.I.Op2, Operand::mem(Addr::base(Reg::EBX)));
+}
+
+TEST(GrammarDecode, MemDisp8) {
+  // 8b 43 fc: mov eax, [ebx-4] (disp8 sign-extended).
+  Decoded D = mustDecode({0x8B, 0x43, 0xFC});
+  EXPECT_EQ(D.I.Op2, Operand::mem(Addr::base(Reg::EBX, 0xFFFFFFFC)));
+}
+
+TEST(GrammarDecode, MemDisp32) {
+  // 8b 83 44 33 22 11: mov eax, [ebx+0x11223344].
+  Decoded D = mustDecode({0x8B, 0x83, 0x44, 0x33, 0x22, 0x11});
+  EXPECT_EQ(D.I.Op2, Operand::mem(Addr::base(Reg::EBX, 0x11223344)));
+}
+
+TEST(GrammarDecode, MemAbsolute) {
+  // 8b 05 10 00 00 00: mov eax, [0x10].
+  Decoded D = mustDecode({0x8B, 0x05, 0x10, 0x00, 0x00, 0x00});
+  EXPECT_EQ(D.I.Op2, Operand::mem(Addr::disp(0x10)));
+}
+
+TEST(GrammarDecode, SibScaledIndex) {
+  // 8b 04 8b: mov eax, [ebx + 4*ecx].
+  Decoded D = mustDecode({0x8B, 0x04, 0x8B});
+  EXPECT_EQ(D.I.Op2,
+            Operand::mem(Addr::baseIndex(Reg::EBX, Reg::ECX, Scale::S4)));
+}
+
+TEST(GrammarDecode, SibNoBaseDisp32) {
+  // 8b 04 8d 04 00 00 00: mov eax, [4*ecx + 4].
+  Decoded D = mustDecode({0x8B, 0x04, 0x8D, 0x04, 0x00, 0x00, 0x00});
+  EXPECT_EQ(D.I.Op2,
+            Operand::mem(Addr::indexOnly(Reg::ECX, Scale::S4, 4)));
+}
+
+TEST(GrammarDecode, SibEspBase) {
+  // 8b 44 24 08: mov eax, [esp+8].
+  Decoded D = mustDecode({0x8B, 0x44, 0x24, 0x08});
+  EXPECT_EQ(D.I.Op2, Operand::mem(Addr::base(Reg::ESP, 8)));
+}
+
+TEST(GrammarDecode, SibNoIndex) {
+  // SIB with index=100 means no index register.
+  // 8b 04 24: mov eax, [esp].
+  Decoded D = mustDecode({0x8B, 0x04, 0x24});
+  EXPECT_EQ(D.I.Op2, Operand::mem(Addr::base(Reg::ESP)));
+}
+
+TEST(GrammarDecode, MovImmToReg) {
+  // b8 2a 00 00 00: mov eax, 42.
+  Decoded D = mustDecode({0xB8, 0x2A, 0x00, 0x00, 0x00});
+  EXPECT_EQ(D.I.Op, Opcode::MOV);
+  EXPECT_EQ(D.I.Op1, Operand::reg(Reg::EAX));
+  EXPECT_EQ(D.I.Op2, Operand::imm(42));
+  // b3 7f: mov bl, 0x7f.
+  Decoded D2 = mustDecode({0xB3, 0x7F});
+  EXPECT_FALSE(D2.I.W);
+  EXPECT_EQ(D2.I.Op1, Operand::reg(Reg::EBX));
+}
+
+TEST(GrammarDecode, MovMoffs) {
+  // a1 44 33 22 11: mov eax, [0x11223344].
+  Decoded D = mustDecode({0xA1, 0x44, 0x33, 0x22, 0x11});
+  EXPECT_EQ(D.I.Op, Opcode::MOV);
+  EXPECT_EQ(D.I.Op1, Operand::reg(Reg::EAX));
+  EXPECT_EQ(D.I.Op2, Operand::mem(Addr::disp(0x11223344)));
+  // a2 ...: mov [moffs], al.
+  Decoded D2 = mustDecode({0xA2, 0x44, 0x33, 0x22, 0x11});
+  EXPECT_FALSE(D2.I.W);
+  EXPECT_EQ(D2.I.Op1, Operand::mem(Addr::disp(0x11223344)));
+}
+
+TEST(GrammarDecode, CallFormsOfFigure2) {
+  // The four CALL alternatives from the paper's Figure 2.
+  // e8 rel32.
+  Decoded A = mustDecode({0xE8, 0x10, 0x00, 0x00, 0x00});
+  EXPECT_EQ(A.I.Op, Opcode::CALL);
+  EXPECT_TRUE(A.I.Near);
+  EXPECT_FALSE(A.I.Absolute);
+  EXPECT_EQ(A.I.Op1, Operand::imm(0x10));
+
+  // ff d3: call *ebx (ff /2).
+  Decoded B = mustDecode({0xFF, 0xD3});
+  EXPECT_TRUE(B.I.Near);
+  EXPECT_TRUE(B.I.Absolute);
+  EXPECT_EQ(B.I.Op1, Operand::reg(Reg::EBX));
+
+  // 9a off32 sel16: far direct call.
+  Decoded C = mustDecode({0x9A, 1, 0, 0, 0, 0x23, 0x00});
+  EXPECT_FALSE(C.I.Near);
+  EXPECT_FALSE(C.I.Absolute);
+  ASSERT_TRUE(C.I.Sel.has_value());
+  EXPECT_EQ(*C.I.Sel, 0x23);
+
+  // ff 1b: far indirect call through [ebx] (ff /3).
+  Decoded E = mustDecode({0xFF, 0x1B});
+  EXPECT_FALSE(E.I.Near);
+  EXPECT_TRUE(E.I.Absolute);
+  EXPECT_EQ(E.I.Op1, Operand::mem(Addr::base(Reg::EBX)));
+}
+
+TEST(GrammarDecode, FarIndirectThroughRegisterIsIllegal) {
+  mustReject({0xFF, 0xDB}); // ff /3 with mod=11
+  mustReject({0xFF, 0xEB}); // ff /5 with mod=11
+}
+
+TEST(GrammarDecode, JmpForms) {
+  Decoded A = mustDecode({0xEB, 0xFE}); // jmp -2 (self)
+  EXPECT_EQ(A.I.Op, Opcode::JMP);
+  EXPECT_EQ(A.I.Op1, Operand::imm(0xFFFFFFFE));
+  Decoded B = mustDecode({0xE9, 0x00, 0x01, 0x00, 0x00});
+  EXPECT_EQ(B.I.Op1, Operand::imm(0x100));
+  Decoded C = mustDecode({0xFF, 0xE0}); // jmp *eax
+  EXPECT_TRUE(C.I.Absolute);
+  EXPECT_EQ(C.I.Op1, Operand::reg(Reg::EAX));
+}
+
+TEST(GrammarDecode, JccBothWidths) {
+  Decoded A = mustDecode({0x74, 0x05}); // je +5
+  EXPECT_EQ(A.I.Op, Opcode::Jcc);
+  EXPECT_EQ(A.I.CC, Cond::E);
+  EXPECT_EQ(A.I.Op1, Operand::imm(5));
+  Decoded B = mustDecode({0x0F, 0x8C, 0x00, 0x02, 0x00, 0x00}); // jl +512
+  EXPECT_EQ(B.I.CC, Cond::L);
+  EXPECT_EQ(B.I.Op1, Operand::imm(512));
+}
+
+TEST(GrammarDecode, PushPopForms) {
+  EXPECT_EQ(mustDecode({0x55}).I.Op, Opcode::PUSH); // push ebp
+  EXPECT_EQ(mustDecode({0x5D}).I.Op, Opcode::POP);  // pop ebp
+  Decoded A = mustDecode({0x6A, 0xFF});             // push -1
+  EXPECT_EQ(A.I.Op1, Operand::imm(0xFFFFFFFF));
+  Decoded B = mustDecode({0x68, 0x00, 0x01, 0x00, 0x00});
+  EXPECT_EQ(B.I.Op1, Operand::imm(0x100));
+  Decoded C = mustDecode({0xFF, 0x75, 0x08}); // push [ebp+8]
+  EXPECT_EQ(C.I.Op, Opcode::PUSH);
+  EXPECT_EQ(C.I.Op1, Operand::mem(Addr::base(Reg::EBP, 8)));
+}
+
+TEST(GrammarDecode, SegmentStackOps) {
+  EXPECT_EQ(mustDecode({0x1E}).I.Op, Opcode::PUSHSR);
+  EXPECT_EQ(mustDecode({0x1E}).I.Seg, SegReg::DS);
+  EXPECT_EQ(mustDecode({0x07}).I.Seg, SegReg::ES);
+  Decoded Fs = mustDecode({0x0F, 0xA0});
+  EXPECT_EQ(Fs.I.Op, Opcode::PUSHSR);
+  EXPECT_EQ(Fs.I.Seg, SegReg::FS);
+}
+
+TEST(GrammarDecode, MovSegForms) {
+  // 8c d8: mov eax, ds.
+  Decoded A = mustDecode({0x8C, 0xD8});
+  EXPECT_EQ(A.I.Op, Opcode::MOVSR);
+  EXPECT_EQ(A.I.Seg, SegReg::DS);
+  EXPECT_EQ(A.I.Op1, Operand::reg(Reg::EAX));
+  // 8e d8: mov ds, eax.
+  Decoded B = mustDecode({0x8E, 0xD8});
+  EXPECT_EQ(B.I.Seg, SegReg::DS);
+  EXPECT_EQ(B.I.Op2, Operand::reg(Reg::EAX));
+  // sreg encodings 6/7 are invalid.
+  mustReject({0x8C, 0xF0});
+  mustReject({0x8E, 0xF8});
+}
+
+TEST(GrammarDecode, LeaRequiresMemory) {
+  Decoded A = mustDecode({0x8D, 0x44, 0x24, 0x04}); // lea eax, [esp+4]
+  EXPECT_EQ(A.I.Op, Opcode::LEA);
+  mustReject({0x8D, 0xC0}); // lea eax, eax is illegal
+}
+
+TEST(GrammarDecode, ShiftForms) {
+  Decoded A = mustDecode({0xC1, 0xE0, 0x04}); // shl eax, 4
+  EXPECT_EQ(A.I.Op, Opcode::SHL);
+  EXPECT_EQ(A.I.Op2, Operand::imm(4));
+  Decoded B = mustDecode({0xD1, 0xF8}); // sar eax, 1
+  EXPECT_EQ(B.I.Op, Opcode::SAR);
+  EXPECT_EQ(B.I.Op2, Operand::imm(1));
+  Decoded C = mustDecode({0xD3, 0xE8}); // shr eax, cl
+  EXPECT_EQ(C.I.Op, Opcode::SHR);
+  EXPECT_EQ(C.I.Op2, Operand::reg(Reg::ECX));
+  mustReject({0xC1, 0xF0, 0x01}); // /6 is not in the modeled subset
+}
+
+TEST(GrammarDecode, UnaryGroup) {
+  EXPECT_EQ(mustDecode({0xF7, 0xD8}).I.Op, Opcode::NEG);
+  EXPECT_EQ(mustDecode({0xF7, 0xD0}).I.Op, Opcode::NOT);
+  EXPECT_EQ(mustDecode({0xF7, 0xE3}).I.Op, Opcode::MUL);
+  EXPECT_EQ(mustDecode({0xF7, 0xF3}).I.Op, Opcode::DIV);
+  EXPECT_EQ(mustDecode({0xF7, 0xFB}).I.Op, Opcode::IDIV);
+  EXPECT_EQ(mustDecode({0xF7, 0xEB}).I.Op, Opcode::IMUL);
+  // f7 /1 is invalid.
+  mustReject({0xF7, 0xC8});
+}
+
+TEST(GrammarDecode, TestForms) {
+  Decoded A = mustDecode({0x85, 0xC0}); // test eax, eax
+  EXPECT_EQ(A.I.Op, Opcode::TEST);
+  Decoded B = mustDecode({0xA9, 1, 0, 0, 0}); // test eax, 1
+  EXPECT_EQ(B.I.Op2, Operand::imm(1));
+  Decoded C = mustDecode({0xF7, 0xC3, 2, 0, 0, 0}); // test ebx, 2
+  EXPECT_EQ(C.I.Op1, Operand::reg(Reg::EBX));
+  EXPECT_EQ(C.I.Op2, Operand::imm(2));
+}
+
+TEST(GrammarDecode, TwoByteOpcodes) {
+  Decoded A = mustDecode({0x0F, 0xAF, 0xC3}); // imul eax, ebx
+  EXPECT_EQ(A.I.Op, Opcode::IMUL);
+  Decoded B = mustDecode({0x0F, 0xB6, 0xC1}); // movzx eax, cl
+  EXPECT_EQ(B.I.Op, Opcode::MOVZX);
+  EXPECT_FALSE(B.I.W);
+  Decoded C = mustDecode({0x0F, 0xBF, 0xC1}); // movsx eax, cx
+  EXPECT_EQ(C.I.Op, Opcode::MOVSX);
+  EXPECT_TRUE(C.I.W);
+  Decoded D = mustDecode({0x0F, 0x94, 0xC0}); // sete al
+  EXPECT_EQ(D.I.Op, Opcode::SETcc);
+  EXPECT_EQ(D.I.CC, Cond::E);
+  Decoded E = mustDecode({0x0F, 0x44, 0xC8}); // cmove ecx, eax
+  EXPECT_EQ(E.I.Op, Opcode::CMOVcc);
+  Decoded F = mustDecode({0x0F, 0xC8}); // bswap eax
+  EXPECT_EQ(F.I.Op, Opcode::BSWAP);
+  Decoded G = mustDecode({0x0F, 0xBA, 0xE0, 0x05}); // bt eax, 5
+  EXPECT_EQ(G.I.Op, Opcode::BT);
+  EXPECT_EQ(G.I.Op2, Operand::imm(5));
+}
+
+TEST(GrammarDecode, PrefixParsing) {
+  // f3 a4: rep movsb.
+  Decoded A = mustDecode({0xF3, 0xA4});
+  EXPECT_EQ(A.I.Op, Opcode::MOVS);
+  EXPECT_EQ(A.I.Pfx.Rep, Prefix::RepKind::Rep);
+  EXPECT_FALSE(A.I.W);
+
+  // f0 01 03: lock add [ebx], eax.
+  Decoded B = mustDecode({0xF0, 0x01, 0x03});
+  EXPECT_TRUE(B.I.Pfx.Lock);
+
+  // 65 8b 00: mov eax, gs:[eax].
+  Decoded C = mustDecode({0x65, 0x8B, 0x00});
+  ASSERT_TRUE(C.I.Pfx.SegOverride.has_value());
+  EXPECT_EQ(*C.I.Pfx.SegOverride, SegReg::GS);
+
+  // 66 05 34 12: add ax, 0x1234 (16-bit immediate).
+  Decoded D = mustDecode({0x66, 0x05, 0x34, 0x12});
+  EXPECT_EQ(D.Length, 4);
+  EXPECT_TRUE(D.I.Pfx.OpSize);
+  EXPECT_EQ(D.I.Op2, Operand::imm(0x1234));
+}
+
+TEST(GrammarDecode, StringAndFlagOps) {
+  EXPECT_EQ(mustDecode({0xAB}).I.Op, Opcode::STOS);
+  EXPECT_EQ(mustDecode({0xAC}).I.Op, Opcode::LODS);
+  EXPECT_EQ(mustDecode({0xAE}).I.Op, Opcode::SCAS);
+  EXPECT_EQ(mustDecode({0xA6}).I.Op, Opcode::CMPS);
+  EXPECT_EQ(mustDecode({0xFC}).I.Op, Opcode::CLD);
+  EXPECT_EQ(mustDecode({0xF5}).I.Op, Opcode::CMC);
+  EXPECT_EQ(mustDecode({0xF4}).I.Op, Opcode::HLT);
+}
+
+TEST(GrammarDecode, RetForms) {
+  EXPECT_TRUE(mustDecode({0xC3}).I.Near);
+  Decoded A = mustDecode({0xC2, 0x08, 0x00});
+  EXPECT_EQ(A.I.Op1, Operand::imm(8));
+  EXPECT_FALSE(mustDecode({0xCB}).I.Near);
+}
+
+TEST(GrammarDecode, UnsupportedOpcodesRejected) {
+  mustReject({0x62, 0x00});       // bound (not modeled)
+  mustReject({0x63, 0x00});       // arpl (not modeled)
+  mustReject({0xD6});             // salc (undocumented)
+  mustReject({0x0F, 0x05});       // syscall
+  mustReject({0x0F, 0x31});       // rdtsc (not modeled)
+  mustReject({0xDB, 0xE3});       // x87 (out of scope, as in the paper)
+}
+
+TEST(GrammarDecode, TruncatedInputRejected) {
+  mustReject({0x05, 0x01, 0x02});       // add eax, imm32 cut short
+  mustReject({0x8B});                   // bare opcode needing modrm
+  mustReject({0x8B, 0x84});             // modrm promising sib+disp32
+  mustReject({0x66});                   // bare prefix
+  mustReject({0xF0});                   // bare lock
+}
+
+TEST(GrammarDecode, PicksShortestInstruction) {
+  // The stream "90 90" must decode one 1-byte NOP, not something longer.
+  std::vector<uint8_t> V = {0x90, 0x90};
+  auto D = grammarDecode(V);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Length, 1);
+}
+
+TEST(GrammarDecode, XchgEaxFormsDoNotShadowNop) {
+  // 90 is NOP; 91-97 are xchg eax, r.
+  EXPECT_EQ(mustDecode({0x90}).I.Op, Opcode::NOP);
+  Decoded A = mustDecode({0x93});
+  EXPECT_EQ(A.I.Op, Opcode::XCHG);
+  EXPECT_EQ(A.I.Op2, Operand::reg(Reg::EBX));
+}
+
+TEST(GrammarDecode, PrinterSmokeTest) {
+  Decoded D = mustDecode({0xF0, 0x01, 0x44, 0x8B, 0x10});
+  std::string S = printInstr(D.I);
+  EXPECT_NE(S.find("lock"), std::string::npos);
+  EXPECT_NE(S.find("add"), std::string::npos);
+  EXPECT_NE(S.find("ebx"), std::string::npos);
+}

@@ -1,0 +1,217 @@
+//===- tests/x86_roundtrip_test.cpp ---------------------------*- C++ -*-===//
+//
+// Round-trip properties tying the encoder, the grammar (reference)
+// decoder, and the table-driven fast decoder together:
+//
+//   decode(encode(i)) == i      for both decoders
+//   fastDecode(bytes) == grammarDecode(bytes)  on random byte streams
+//
+// This is the repo's stand-in for the paper's hardware validation
+// (section 2.5): two independently written implementations are compared
+// on generatively fuzzed encodings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Encoder.h"
+#include "x86/FastDecoder.h"
+#include "x86/GrammarDecoder.h"
+#include "x86/InstrGen.h"
+#include "x86/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocksalt;
+using namespace rocksalt::x86;
+
+namespace {
+
+std::string bytesToHex(const std::vector<uint8_t> &Bytes) {
+  std::string S;
+  char Buf[4];
+  for (uint8_t B : Bytes) {
+    std::snprintf(Buf, sizeof(Buf), "%02x ", B);
+    S += Buf;
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(RoundTrip, HandPickedInstructions) {
+  std::vector<Instr> Cases;
+  {
+    Instr I;
+    I.Op = Opcode::ADD;
+    I.Op1 = Operand::reg(Reg::ECX);
+    I.Op2 = Operand::imm(0xFFFFFFE0);
+    Cases.push_back(I);
+  }
+  {
+    Instr I;
+    I.Op = Opcode::MOV;
+    I.Op1 = Operand::mem(Addr::baseIndex(Reg::EBX, Reg::ESI, Scale::S8, 16));
+    I.Op2 = Operand::reg(Reg::EDX);
+    Cases.push_back(I);
+  }
+  {
+    Instr I;
+    I.Op = Opcode::JMP;
+    I.Near = true;
+    I.Absolute = true;
+    I.Op1 = Operand::reg(Reg::EDI);
+    Cases.push_back(I);
+  }
+  {
+    Instr I;
+    I.Op = Opcode::LEA;
+    I.Op1 = Operand::reg(Reg::ESP);
+    I.Op2 = Operand::mem(Addr::base(Reg::ESP, 0xFFFFFFF8));
+    Cases.push_back(I);
+  }
+  {
+    Instr I;
+    I.Op = Opcode::CMPXCHG;
+    I.Pfx.Lock = true;
+    I.Op1 = Operand::mem(Addr::base(Reg::EBP, 8));
+    I.Op2 = Operand::reg(Reg::EAX);
+    Cases.push_back(I);
+  }
+
+  for (const Instr &I : Cases) {
+    auto Bytes = encode(I);
+    ASSERT_TRUE(Bytes.has_value()) << printInstr(I);
+    auto G = grammarDecode(*Bytes);
+    ASSERT_TRUE(G.has_value()) << printInstr(I) << " = " << bytesToHex(*Bytes);
+    EXPECT_EQ(G->I, I) << "grammar: " << printInstr(G->I) << " vs "
+                       << printInstr(I);
+    EXPECT_EQ(G->Length, Bytes->size());
+    auto F = fastDecode(*Bytes);
+    ASSERT_TRUE(F.has_value()) << printInstr(I);
+    EXPECT_EQ(F->I, I) << "fast: " << printInstr(F->I);
+    EXPECT_EQ(F->Length, Bytes->size());
+  }
+}
+
+/// The big generative sweep: random instructions across all families must
+/// round-trip through both decoders, and the decoders must agree with
+/// each other byte for byte.
+TEST(RoundTrip, GenerativeSweepAllFamilies) {
+  Rng R(20120616); // PLDI'12
+  int Encoded = 0;
+  for (int Iter = 0; Iter < 4000; ++Iter) {
+    Instr I = randomInstr(R);
+    auto Bytes = encode(I);
+    ASSERT_TRUE(Bytes.has_value())
+        << "generator produced unencodable instr: " << printInstr(I);
+    ++Encoded;
+
+    auto F = fastDecode(*Bytes);
+    ASSERT_TRUE(F.has_value())
+        << printInstr(I) << " = " << bytesToHex(*Bytes);
+    ASSERT_EQ(F->I, I) << "fast decoder disagrees on " << bytesToHex(*Bytes)
+                       << "\n  want: " << printInstr(I)
+                       << "\n  got:  " << printInstr(F->I);
+    ASSERT_EQ(size_t(F->Length), Bytes->size())
+        << bytesToHex(*Bytes) << " for " << printInstr(I);
+  }
+  EXPECT_EQ(Encoded, 4000);
+}
+
+/// Same sweep through the (slower) grammar decoder on a reduced count.
+TEST(RoundTrip, GenerativeSweepGrammarDecoder) {
+  Rng R(0xA0C5);
+  for (int Iter = 0; Iter < 600; ++Iter) {
+    Instr I = randomInstr(R);
+    auto Bytes = encode(I);
+    ASSERT_TRUE(Bytes.has_value());
+    auto G = grammarDecode(*Bytes);
+    ASSERT_TRUE(G.has_value())
+        << printInstr(I) << " = " << bytesToHex(*Bytes);
+    ASSERT_EQ(G->I, I) << "grammar decoder disagrees on "
+                       << bytesToHex(*Bytes) << "\n  want: " << printInstr(I)
+                       << "\n  got:  " << printInstr(G->I);
+    ASSERT_EQ(G->Length, Bytes->size());
+  }
+}
+
+/// Differential fuzzing on raw random bytes: both decoders must agree on
+/// accept/reject, instruction, and length (the Martignoni et al. CPU
+/// emulator testing recipe the paper cites).
+TEST(RoundTrip, DecoderDifferentialOnRandomBytes) {
+  Rng R(777);
+  int Accepted = 0;
+  for (int Iter = 0; Iter < 1500; ++Iter) {
+    std::vector<uint8_t> Bytes(16);
+    for (auto &B : Bytes)
+      B = static_cast<uint8_t>(R.next());
+    // Bias the first byte toward common opcodes so acceptance happens.
+    if (R.flip())
+      Bytes[0] = static_cast<uint8_t>(R.below(0x40) | 0x80);
+
+    auto G = grammarDecode(Bytes);
+    auto F = fastDecode(Bytes);
+    ASSERT_EQ(G.has_value(), F.has_value())
+        << "accept/reject mismatch on " << bytesToHex(Bytes)
+        << " grammar=" << G.has_value() << " fast=" << F.has_value();
+    if (!G)
+      continue;
+    ++Accepted;
+    ASSERT_EQ(G->Length, F->Length) << bytesToHex(Bytes);
+    ASSERT_EQ(G->I, F->I) << bytesToHex(Bytes)
+                          << "\n  grammar: " << printInstr(G->I)
+                          << "\n  fast:    " << printInstr(F->I);
+  }
+  EXPECT_GT(Accepted, 100); // the fuzz must actually exercise decodes
+}
+
+/// Prefix-order agreement: the canonical order parses; non-canonical
+/// orders are rejected by both decoders alike.
+TEST(RoundTrip, PrefixOrderAgreement) {
+  std::vector<std::vector<uint8_t>> Streams = {
+      {0xF0, 0x3E, 0x66, 0x01, 0x03}, // lock ds: opsize add — canonical
+      {0x66, 0xF0, 0x01, 0x03},       // opsize before lock — rejected
+      {0x3E, 0xF0, 0x01, 0x03},       // seg before lock — rejected
+      {0x66, 0x3E, 0x01, 0x03},       // opsize before seg — rejected
+      {0xF3, 0xF3, 0xA4},             // duplicated rep — rejected
+  };
+  for (const auto &Bytes : Streams) {
+    auto G = grammarDecode(Bytes);
+    auto F = fastDecode(Bytes);
+    ASSERT_EQ(G.has_value(), F.has_value()) << bytesToHex(Bytes);
+    if (G) {
+      EXPECT_EQ(G->I, F->I) << bytesToHex(Bytes);
+      EXPECT_EQ(G->Length, F->Length);
+    }
+  }
+}
+
+/// Alternate encodings of the same instruction must decode to the same
+/// abstract syntax even though the encoder would not produce them.
+TEST(RoundTrip, AlternateEncodingsNormalize) {
+  // add eax, ebx via 01 d8 (rm=eax) and 03 c3 (reg=eax).
+  auto A = fastDecode(std::vector<uint8_t>{0x01, 0xD8});
+  auto B = fastDecode(std::vector<uint8_t>{0x03, 0xC3});
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A->I.Op, B->I.Op);
+  // Operands are mirrored but denote the same operation; at least the
+  // register sets must match.
+  EXPECT_TRUE(A->I.Op1.isReg() && B->I.Op1.isReg());
+
+  // mov eax, [0x10] via modrm (8b 05) and moffs (a1).
+  auto C = fastDecode(std::vector<uint8_t>{0x8B, 0x05, 0x10, 0, 0, 0});
+  auto D = fastDecode(std::vector<uint8_t>{0xA1, 0x10, 0, 0, 0});
+  ASSERT_TRUE(C && D);
+  EXPECT_EQ(C->I, D->I); // both canonicalize to mov eax, [disp]
+}
+
+/// Instruction length is the number of bytes consumed — never more than
+/// the x86 architectural limit of 15.
+TEST(RoundTrip, LengthBounded) {
+  Rng R(31337);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    Instr I = randomInstr(R);
+    auto Bytes = encode(I);
+    ASSERT_TRUE(Bytes.has_value());
+    ASSERT_LE(Bytes->size(), 15u) << printInstr(I);
+  }
+}
