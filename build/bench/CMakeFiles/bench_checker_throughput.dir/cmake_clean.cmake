@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checker_throughput.dir/bench_checker_throughput.cpp.o"
+  "CMakeFiles/bench_checker_throughput.dir/bench_checker_throughput.cpp.o.d"
+  "bench_checker_throughput"
+  "bench_checker_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

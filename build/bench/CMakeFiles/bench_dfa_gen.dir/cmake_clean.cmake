@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dfa_gen.dir/bench_dfa_gen.cpp.o"
+  "CMakeFiles/bench_dfa_gen.dir/bench_dfa_gen.cpp.o.d"
+  "bench_dfa_gen"
+  "bench_dfa_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dfa_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slow_verifier.dir/bench_slow_verifier.cpp.o"
+  "CMakeFiles/bench_slow_verifier.dir/bench_slow_verifier.cpp.o.d"
+  "bench_slow_verifier"
+  "bench_slow_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slow_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tcb_report.cpp" "bench/CMakeFiles/bench_tcb_report.dir/bench_tcb_report.cpp.o" "gcc" "bench/CMakeFiles/bench_tcb_report.dir/bench_tcb_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocksalt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcb_report.dir/bench_tcb_report.cpp.o"
+  "CMakeFiles/bench_tcb_report.dir/bench_tcb_report.cpp.o.d"
+  "bench_tcb_report"
+  "bench_tcb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

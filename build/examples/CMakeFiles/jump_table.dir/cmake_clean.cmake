@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jump_table.dir/jump_table.cpp.o"
+  "CMakeFiles/jump_table.dir/jump_table.cpp.o.d"
+  "jump_table"
+  "jump_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jump_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_cli.dir/validator_cli.cpp.o"
+  "CMakeFiles/validator_cli.dir/validator_cli.cpp.o.d"
+  "validator_cli"
+  "validator_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for validator_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksalt_core.dir/core/BaselineChecker.cpp.o"
+  "CMakeFiles/rocksalt_core.dir/core/BaselineChecker.cpp.o.d"
+  "CMakeFiles/rocksalt_core.dir/core/Policy.cpp.o"
+  "CMakeFiles/rocksalt_core.dir/core/Policy.cpp.o.d"
+  "CMakeFiles/rocksalt_core.dir/core/SandboxMonitor.cpp.o"
+  "CMakeFiles/rocksalt_core.dir/core/SandboxMonitor.cpp.o.d"
+  "CMakeFiles/rocksalt_core.dir/core/SlowVerifier.cpp.o"
+  "CMakeFiles/rocksalt_core.dir/core/SlowVerifier.cpp.o.d"
+  "CMakeFiles/rocksalt_core.dir/core/Verifier.cpp.o"
+  "CMakeFiles/rocksalt_core.dir/core/Verifier.cpp.o.d"
+  "librocksalt_core.a"
+  "librocksalt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksalt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

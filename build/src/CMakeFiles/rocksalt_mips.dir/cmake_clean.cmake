@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksalt_mips.dir/mips/Mips.cpp.o"
+  "CMakeFiles/rocksalt_mips.dir/mips/Mips.cpp.o.d"
+  "librocksalt_mips.a"
+  "librocksalt_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksalt_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

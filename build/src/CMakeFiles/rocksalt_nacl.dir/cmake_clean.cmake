@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksalt_nacl.dir/nacl/Assembler.cpp.o"
+  "CMakeFiles/rocksalt_nacl.dir/nacl/Assembler.cpp.o.d"
+  "CMakeFiles/rocksalt_nacl.dir/nacl/Mutator.cpp.o"
+  "CMakeFiles/rocksalt_nacl.dir/nacl/Mutator.cpp.o.d"
+  "CMakeFiles/rocksalt_nacl.dir/nacl/TrustedRuntime.cpp.o"
+  "CMakeFiles/rocksalt_nacl.dir/nacl/TrustedRuntime.cpp.o.d"
+  "CMakeFiles/rocksalt_nacl.dir/nacl/WorkloadGen.cpp.o"
+  "CMakeFiles/rocksalt_nacl.dir/nacl/WorkloadGen.cpp.o.d"
+  "librocksalt_nacl.a"
+  "librocksalt_nacl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksalt_nacl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

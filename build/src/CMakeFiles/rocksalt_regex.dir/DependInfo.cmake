@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/Dfa.cpp" "src/CMakeFiles/rocksalt_regex.dir/regex/Dfa.cpp.o" "gcc" "src/CMakeFiles/rocksalt_regex.dir/regex/Dfa.cpp.o.d"
+  "/root/repo/src/regex/Regex.cpp" "src/CMakeFiles/rocksalt_regex.dir/regex/Regex.cpp.o" "gcc" "src/CMakeFiles/rocksalt_regex.dir/regex/Regex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocksalt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksalt_regex.dir/regex/Dfa.cpp.o"
+  "CMakeFiles/rocksalt_regex.dir/regex/Dfa.cpp.o.d"
+  "CMakeFiles/rocksalt_regex.dir/regex/Regex.cpp.o"
+  "CMakeFiles/rocksalt_regex.dir/regex/Regex.cpp.o.d"
+  "librocksalt_regex.a"
+  "librocksalt_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksalt_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

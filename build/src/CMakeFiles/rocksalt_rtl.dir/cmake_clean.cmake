@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksalt_rtl.dir/rtl/Interp.cpp.o"
+  "CMakeFiles/rocksalt_rtl.dir/rtl/Interp.cpp.o.d"
+  "CMakeFiles/rocksalt_rtl.dir/rtl/Rtl.cpp.o"
+  "CMakeFiles/rocksalt_rtl.dir/rtl/Rtl.cpp.o.d"
+  "librocksalt_rtl.a"
+  "librocksalt_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksalt_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

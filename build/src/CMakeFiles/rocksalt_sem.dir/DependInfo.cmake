@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/Cpu.cpp" "src/CMakeFiles/rocksalt_sem.dir/sem/Cpu.cpp.o" "gcc" "src/CMakeFiles/rocksalt_sem.dir/sem/Cpu.cpp.o.d"
+  "/root/repo/src/sem/Differential.cpp" "src/CMakeFiles/rocksalt_sem.dir/sem/Differential.cpp.o" "gcc" "src/CMakeFiles/rocksalt_sem.dir/sem/Differential.cpp.o.d"
+  "/root/repo/src/sem/FastInterp.cpp" "src/CMakeFiles/rocksalt_sem.dir/sem/FastInterp.cpp.o" "gcc" "src/CMakeFiles/rocksalt_sem.dir/sem/FastInterp.cpp.o.d"
+  "/root/repo/src/sem/Translate.cpp" "src/CMakeFiles/rocksalt_sem.dir/sem/Translate.cpp.o" "gcc" "src/CMakeFiles/rocksalt_sem.dir/sem/Translate.cpp.o.d"
+  "/root/repo/src/sem/TranslateArith.cpp" "src/CMakeFiles/rocksalt_sem.dir/sem/TranslateArith.cpp.o" "gcc" "src/CMakeFiles/rocksalt_sem.dir/sem/TranslateArith.cpp.o.d"
+  "/root/repo/src/sem/TranslateFlow.cpp" "src/CMakeFiles/rocksalt_sem.dir/sem/TranslateFlow.cpp.o" "gcc" "src/CMakeFiles/rocksalt_sem.dir/sem/TranslateFlow.cpp.o.d"
+  "/root/repo/src/sem/TranslateString.cpp" "src/CMakeFiles/rocksalt_sem.dir/sem/TranslateString.cpp.o" "gcc" "src/CMakeFiles/rocksalt_sem.dir/sem/TranslateString.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocksalt_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

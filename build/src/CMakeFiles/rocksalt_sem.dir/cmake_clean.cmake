@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksalt_sem.dir/sem/Cpu.cpp.o"
+  "CMakeFiles/rocksalt_sem.dir/sem/Cpu.cpp.o.d"
+  "CMakeFiles/rocksalt_sem.dir/sem/Differential.cpp.o"
+  "CMakeFiles/rocksalt_sem.dir/sem/Differential.cpp.o.d"
+  "CMakeFiles/rocksalt_sem.dir/sem/FastInterp.cpp.o"
+  "CMakeFiles/rocksalt_sem.dir/sem/FastInterp.cpp.o.d"
+  "CMakeFiles/rocksalt_sem.dir/sem/Translate.cpp.o"
+  "CMakeFiles/rocksalt_sem.dir/sem/Translate.cpp.o.d"
+  "CMakeFiles/rocksalt_sem.dir/sem/TranslateArith.cpp.o"
+  "CMakeFiles/rocksalt_sem.dir/sem/TranslateArith.cpp.o.d"
+  "CMakeFiles/rocksalt_sem.dir/sem/TranslateFlow.cpp.o"
+  "CMakeFiles/rocksalt_sem.dir/sem/TranslateFlow.cpp.o.d"
+  "CMakeFiles/rocksalt_sem.dir/sem/TranslateString.cpp.o"
+  "CMakeFiles/rocksalt_sem.dir/sem/TranslateString.cpp.o.d"
+  "librocksalt_sem.a"
+  "librocksalt_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksalt_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Bitvec.cpp" "src/CMakeFiles/rocksalt_support.dir/support/Bitvec.cpp.o" "gcc" "src/CMakeFiles/rocksalt_support.dir/support/Bitvec.cpp.o.d"
+  "/root/repo/src/support/Memory.cpp" "src/CMakeFiles/rocksalt_support.dir/support/Memory.cpp.o" "gcc" "src/CMakeFiles/rocksalt_support.dir/support/Memory.cpp.o.d"
+  "/root/repo/src/support/Oracle.cpp" "src/CMakeFiles/rocksalt_support.dir/support/Oracle.cpp.o" "gcc" "src/CMakeFiles/rocksalt_support.dir/support/Oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

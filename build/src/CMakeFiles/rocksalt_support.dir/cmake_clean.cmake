@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksalt_support.dir/support/Bitvec.cpp.o"
+  "CMakeFiles/rocksalt_support.dir/support/Bitvec.cpp.o.d"
+  "CMakeFiles/rocksalt_support.dir/support/Memory.cpp.o"
+  "CMakeFiles/rocksalt_support.dir/support/Memory.cpp.o.d"
+  "CMakeFiles/rocksalt_support.dir/support/Oracle.cpp.o"
+  "CMakeFiles/rocksalt_support.dir/support/Oracle.cpp.o.d"
+  "librocksalt_support.a"
+  "librocksalt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksalt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

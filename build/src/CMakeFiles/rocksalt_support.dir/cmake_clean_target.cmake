@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librocksalt_support.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/Encoder.cpp" "src/CMakeFiles/rocksalt_x86.dir/x86/Encoder.cpp.o" "gcc" "src/CMakeFiles/rocksalt_x86.dir/x86/Encoder.cpp.o.d"
+  "/root/repo/src/x86/FastDecoder.cpp" "src/CMakeFiles/rocksalt_x86.dir/x86/FastDecoder.cpp.o" "gcc" "src/CMakeFiles/rocksalt_x86.dir/x86/FastDecoder.cpp.o.d"
+  "/root/repo/src/x86/GrammarDecoder.cpp" "src/CMakeFiles/rocksalt_x86.dir/x86/GrammarDecoder.cpp.o" "gcc" "src/CMakeFiles/rocksalt_x86.dir/x86/GrammarDecoder.cpp.o.d"
+  "/root/repo/src/x86/Grammars.cpp" "src/CMakeFiles/rocksalt_x86.dir/x86/Grammars.cpp.o" "gcc" "src/CMakeFiles/rocksalt_x86.dir/x86/Grammars.cpp.o.d"
+  "/root/repo/src/x86/Instr.cpp" "src/CMakeFiles/rocksalt_x86.dir/x86/Instr.cpp.o" "gcc" "src/CMakeFiles/rocksalt_x86.dir/x86/Instr.cpp.o.d"
+  "/root/repo/src/x86/InstrGen.cpp" "src/CMakeFiles/rocksalt_x86.dir/x86/InstrGen.cpp.o" "gcc" "src/CMakeFiles/rocksalt_x86.dir/x86/InstrGen.cpp.o.d"
+  "/root/repo/src/x86/Printer.cpp" "src/CMakeFiles/rocksalt_x86.dir/x86/Printer.cpp.o" "gcc" "src/CMakeFiles/rocksalt_x86.dir/x86/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocksalt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksalt_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksalt_x86.dir/x86/Encoder.cpp.o"
+  "CMakeFiles/rocksalt_x86.dir/x86/Encoder.cpp.o.d"
+  "CMakeFiles/rocksalt_x86.dir/x86/FastDecoder.cpp.o"
+  "CMakeFiles/rocksalt_x86.dir/x86/FastDecoder.cpp.o.d"
+  "CMakeFiles/rocksalt_x86.dir/x86/GrammarDecoder.cpp.o"
+  "CMakeFiles/rocksalt_x86.dir/x86/GrammarDecoder.cpp.o.d"
+  "CMakeFiles/rocksalt_x86.dir/x86/Grammars.cpp.o"
+  "CMakeFiles/rocksalt_x86.dir/x86/Grammars.cpp.o.d"
+  "CMakeFiles/rocksalt_x86.dir/x86/Instr.cpp.o"
+  "CMakeFiles/rocksalt_x86.dir/x86/Instr.cpp.o.d"
+  "CMakeFiles/rocksalt_x86.dir/x86/InstrGen.cpp.o"
+  "CMakeFiles/rocksalt_x86.dir/x86/InstrGen.cpp.o.d"
+  "CMakeFiles/rocksalt_x86.dir/x86/Printer.cpp.o"
+  "CMakeFiles/rocksalt_x86.dir/x86/Printer.cpp.o.d"
+  "librocksalt_x86.a"
+  "librocksalt_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksalt_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librocksalt_x86.a"
+)

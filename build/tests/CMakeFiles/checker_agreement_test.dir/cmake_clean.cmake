@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_agreement_test.dir/checker_agreement_test.cpp.o"
+  "CMakeFiles/checker_agreement_test.dir/checker_agreement_test.cpp.o.d"
+  "checker_agreement_test"
+  "checker_agreement_test.pdb"
+  "checker_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_fuzz_test.dir/grammar_fuzz_test.cpp.o"
+  "CMakeFiles/grammar_fuzz_test.dir/grammar_fuzz_test.cpp.o.d"
+  "grammar_fuzz_test"
+  "grammar_fuzz_test.pdb"
+  "grammar_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

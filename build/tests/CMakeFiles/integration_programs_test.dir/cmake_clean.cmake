@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_programs_test.dir/integration_programs_test.cpp.o"
+  "CMakeFiles/integration_programs_test.dir/integration_programs_test.cpp.o.d"
+  "integration_programs_test"
+  "integration_programs_test.pdb"
+  "integration_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_test.dir/mips_test.cpp.o"
+  "CMakeFiles/mips_test.dir/mips_test.cpp.o.d"
+  "mips_test"
+  "mips_test.pdb"
+  "mips_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

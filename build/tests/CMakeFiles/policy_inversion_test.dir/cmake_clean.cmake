@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_inversion_test.dir/policy_inversion_test.cpp.o"
+  "CMakeFiles/policy_inversion_test.dir/policy_inversion_test.cpp.o.d"
+  "policy_inversion_test"
+  "policy_inversion_test.pdb"
+  "policy_inversion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_inversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

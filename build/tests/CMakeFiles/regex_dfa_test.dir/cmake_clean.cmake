@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_dfa_test.dir/regex_dfa_test.cpp.o"
+  "CMakeFiles/regex_dfa_test.dir/regex_dfa_test.cpp.o.d"
+  "regex_dfa_test"
+  "regex_dfa_test.pdb"
+  "regex_dfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_dfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem_differential_test.dir/sem_differential_test.cpp.o"
+  "CMakeFiles/sem_differential_test.dir/sem_differential_test.cpp.o.d"
+  "sem_differential_test"
+  "sem_differential_test.pdb"
+  "sem_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

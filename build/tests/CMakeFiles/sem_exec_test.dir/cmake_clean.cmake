@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem_exec_test.dir/sem_exec_test.cpp.o"
+  "CMakeFiles/sem_exec_test.dir/sem_exec_test.cpp.o.d"
+  "sem_exec_test"
+  "sem_exec_test.pdb"
+  "sem_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem_flags_test.dir/sem_flags_test.cpp.o"
+  "CMakeFiles/sem_flags_test.dir/sem_flags_test.cpp.o.d"
+  "sem_flags_test"
+  "sem_flags_test.pdb"
+  "sem_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

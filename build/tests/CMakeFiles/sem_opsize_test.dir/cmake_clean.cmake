@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem_opsize_test.dir/sem_opsize_test.cpp.o"
+  "CMakeFiles/sem_opsize_test.dir/sem_opsize_test.cpp.o.d"
+  "sem_opsize_test"
+  "sem_opsize_test.pdb"
+  "sem_opsize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem_opsize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_bitvec_test.dir/support_bitvec_test.cpp.o"
+  "CMakeFiles/support_bitvec_test.dir/support_bitvec_test.cpp.o.d"
+  "support_bitvec_test"
+  "support_bitvec_test.pdb"
+  "support_bitvec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_bitvec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_memory_test.dir/support_memory_test.cpp.o"
+  "CMakeFiles/support_memory_test.dir/support_memory_test.cpp.o.d"
+  "support_memory_test"
+  "support_memory_test.pdb"
+  "support_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

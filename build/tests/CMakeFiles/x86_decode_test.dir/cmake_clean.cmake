@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86_decode_test.dir/x86_decode_test.cpp.o"
+  "CMakeFiles/x86_decode_test.dir/x86_decode_test.cpp.o.d"
+  "x86_decode_test"
+  "x86_decode_test.pdb"
+  "x86_decode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86_decode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_bitvec_test[1]_include.cmake")
+include("/root/repo/build/tests/support_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/regex_test[1]_include.cmake")
+include("/root/repo/build/tests/regex_dfa_test[1]_include.cmake")
+include("/root/repo/build/tests/grammar_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_decode_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_ambiguity_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/sem_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/sem_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_agreement_test[1]_include.cmake")
+include("/root/repo/build/tests/safety_property_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_inversion_test[1]_include.cmake")
+include("/root/repo/build/tests/grammar_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/sem_flags_test[1]_include.cmake")
+include("/root/repo/build/tests/sem_opsize_test[1]_include.cmake")
+include("/root/repo/build/tests/core_units_test[1]_include.cmake")
+include("/root/repo/build/tests/mips_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_programs_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_sweep_test[1]_include.cmake")
