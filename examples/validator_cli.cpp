@@ -2,13 +2,18 @@
 //
 // An ncval-style command-line validator — the form RockSalt ships in
 // for the NaCl runtime (paper section 3.3 modified the ncval tool to
-// call RockSalt's verifier). Reads a raw code image and reports the
-// verdicts of all three verifiers in this repository, with optional
+// call RockSalt's verifier). Reads raw code images and reports the
+// verdicts of the verifiers in this repository, with optional
 // disassembly of the checker's parse.
 //
+// With --jobs N the verification routes through the service layer: a
+// VerifierPool of N workers batch-verifies multiple images, and a
+// single image is chunk-parallelized by ParallelVerifier. --stats dumps
+// the service metrics (counters and histograms) after the run.
+//
 // Usage:
-//   validator_cli <image.bin> [--disassemble]
-//   validator_cli --selftest          # generate, verify, mutate, verify
+//   validator_cli <image.bin>... [--disassemble] [--jobs N] [--stats]
+//   validator_cli --selftest [--jobs N] [--stats]
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,17 +21,31 @@
 #include "core/Verifier.h"
 #include "nacl/Mutator.h"
 #include "nacl/WorkloadGen.h"
+#include "svc/ParallelVerifier.h"
+#include "svc/VerifierPool.h"
 #include "x86/FastDecoder.h"
 #include "x86/Printer.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 using namespace rocksalt;
 
 namespace {
+
+struct CliOptions {
+  std::vector<std::string> Files;
+  unsigned Jobs = 0; ///< 0: sequential; >= 1: route through VerifierPool
+  bool Stats = false;
+  bool Disasm = false;
+  bool Selftest = false;
+};
 
 void disassemble(const std::vector<uint8_t> &Code,
                  const core::CheckResult &R) {
@@ -48,10 +67,18 @@ void disassemble(const std::vector<uint8_t> &Code,
   }
 }
 
-int validate(const std::vector<uint8_t> &Code, bool Disasm) {
-  core::RockSalt V;
+/// One image through RockSalt (sequential or chunk-parallel) plus the
+/// ncval-style baseline, with timings.
+int validate(const std::vector<uint8_t> &Code, const CliOptions &Opts,
+             svc::ParallelVerifier *PV) {
   auto T0 = std::chrono::steady_clock::now();
-  core::CheckResult R = V.check(Code);
+  core::CheckResult R;
+  if (PV) {
+    R = PV->check(Code);
+  } else {
+    core::RockSalt V;
+    R = V.check(Code);
+  }
   auto T1 = std::chrono::steady_clock::now();
   bool Baseline = core::baselineVerify(Code);
   auto T2 = std::chrono::steady_clock::now();
@@ -61,53 +88,146 @@ int validate(const std::vector<uint8_t> &Code, bool Disasm) {
 
   std::printf("image: %zu bytes (%zu bundles)\n", Code.size(),
               Code.size() / core::BundleSize);
-  std::printf("  rocksalt:  %s  (%.3f ms)\n", R.Ok ? "ACCEPT" : "REJECT",
-              RockMs);
+  std::printf("  rocksalt%s:  %s  (%.3f ms)%s%s\n", PV ? " (parallel)" : "",
+              R.Ok ? "ACCEPT" : "REJECT", RockMs,
+              R.Ok ? "" : "  reason: ",
+              R.Ok ? "" : core::rejectReasonName(R.Reason));
   std::printf("  baseline:  %s  (%.3f ms)\n",
               Baseline ? "ACCEPT" : "REJECT", BaseMs);
   if (R.Ok != Baseline)
     std::printf("  *** CHECKER DISAGREEMENT — please report ***\n");
-  if (Disasm && !Code.empty())
+  if (Opts.Disasm && !Code.empty())
     disassemble(Code, R);
   return R.Ok ? 0 : 1;
 }
 
-int selftest() {
-  nacl::WorkloadOptions Opts;
-  Opts.TargetBytes = 512;
-  Opts.Seed = 42;
-  std::vector<uint8_t> Code = nacl::generateWorkload(Opts);
+int selftest(const CliOptions &Opts, svc::VerifierPool *Pool,
+             svc::ParallelVerifier *PV) {
+  nacl::WorkloadOptions WOpts;
+  WOpts.TargetBytes = 512;
+  WOpts.Seed = 42;
+  std::vector<uint8_t> Code = nacl::generateWorkload(WOpts);
   std::printf("== generated compliant workload ==\n");
-  int Rc = validate(Code, /*Disasm=*/true);
+  CliOptions Inner = Opts;
+  Inner.Disasm = true;
+  int Rc = validate(Code, Inner, PV);
 
   Rng R(7);
   auto Bad = nacl::applyAttack(Code, nacl::Attack::InsertRet, R);
   if (Bad) {
     std::printf("\n== after inserting a RET ==\n");
-    validate(*Bad, /*Disasm=*/false);
+    Inner.Disasm = false;
+    validate(*Bad, Inner, PV);
+  }
+
+  if (Pool) {
+    // Exercise the batch path too: a mixed accept/reject batch.
+    std::printf("\n== pool batch: 16 generated + mutated images ==\n");
+    std::vector<std::vector<uint8_t>> Batch;
+    for (uint32_t I = 0; I < 16; ++I) {
+      WOpts.Seed = 100 + I;
+      Batch.push_back(nacl::generateWorkload(WOpts));
+      if (I & 1)
+        Batch.back() = nacl::mutateRandom(Batch.back(), R);
+    }
+    auto Futures = Pool->submit(Batch);
+    uint32_t Accepted = 0;
+    for (auto &F : Futures)
+      Accepted += F.get().Ok ? 1 : 0;
+    std::printf("accepted %u / 16\n", Accepted);
   }
   return Rc;
+}
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s <image.bin>... [--disassemble] [--jobs N] [--stats]"
+               "\n       %s --selftest [--jobs N] [--stats]\n",
+               Prog, Prog);
+  return 2;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0)
-    return selftest();
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <image.bin> [--disassemble] | --selftest\n",
-                 argv[0]);
-    return 2;
+  CliOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--selftest") == 0) {
+      Opts.Selftest = true;
+    } else if (std::strcmp(argv[I], "--disassemble") == 0) {
+      Opts.Disasm = true;
+    } else if (std::strcmp(argv[I], "--stats") == 0) {
+      Opts.Stats = true;
+    } else if (std::strcmp(argv[I], "--jobs") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      long N = std::strtol(argv[++I], nullptr, 10);
+      if (N < 1)
+        return usage(argv[0]);
+      Opts.Jobs = unsigned(N);
+    } else if (argv[I][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      Opts.Files.push_back(argv[I]);
+    }
+  }
+  if (!Opts.Selftest && Opts.Files.empty())
+    return usage(argv[0]);
+
+  svc::Metrics Metrics;
+  std::unique_ptr<svc::VerifierPool> Pool;
+  std::unique_ptr<svc::ParallelVerifier> PV;
+  if (Opts.Jobs) {
+    Pool = std::make_unique<svc::VerifierPool>(
+        svc::VerifierPool::Options{Opts.Jobs}, &Metrics);
+    PV = std::make_unique<svc::ParallelVerifier>(*Pool);
   }
 
-  std::ifstream In(argv[1], std::ios::binary);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
-    return 2;
+  int Rc;
+  if (Opts.Selftest) {
+    Rc = selftest(Opts, Pool.get(), PV.get());
+  } else if (Pool && Opts.Files.size() > 1 && !Opts.Disasm) {
+    // Whole-batch mode: all images in flight at once.
+    std::vector<std::vector<uint8_t>> Images;
+    for (const std::string &Path : Opts.Files) {
+      std::ifstream In(Path, std::ios::binary);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+        return 2;
+      }
+      Images.emplace_back((std::istreambuf_iterator<char>(In)),
+                          std::istreambuf_iterator<char>());
+    }
+    auto Futures = Pool->submit(Images);
+    Rc = 0;
+    for (size_t I = 0; I < Futures.size(); ++I) {
+      core::CheckResult R = Futures[I].get();
+      std::printf("%-40s %s%s%s  (%zu bytes)\n", Opts.Files[I].c_str(),
+                  R.Ok ? "ACCEPT" : "REJECT",
+                  R.Ok ? "" : "  reason: ",
+                  R.Ok ? "" : core::rejectReasonName(R.Reason),
+                  Images[I].size());
+      Rc |= R.Ok ? 0 : 1;
+    }
+  } else {
+    Rc = 0;
+    for (const std::string &Path : Opts.Files) {
+      std::ifstream In(Path, std::ios::binary);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+        return 2;
+      }
+      std::vector<uint8_t> Code((std::istreambuf_iterator<char>(In)),
+                                std::istreambuf_iterator<char>());
+      Rc |= validate(Code, Opts, PV.get());
+    }
   }
-  std::vector<uint8_t> Code((std::istreambuf_iterator<char>(In)),
-                            std::istreambuf_iterator<char>());
-  bool Disasm = argc >= 3 && std::strcmp(argv[2], "--disassemble") == 0;
-  return validate(Code, Disasm);
+
+  if (Opts.Stats) {
+    std::printf("\n--- service metrics ---\n%s", Metrics.dump().c_str());
+    if (!Opts.Jobs)
+      std::printf("(sequential run: pass --jobs N to exercise the service "
+                  "layer)\n");
+  }
+  return Rc;
 }

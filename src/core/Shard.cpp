@@ -1,0 +1,121 @@
+//===- core/Shard.cpp - Chunk-parallel scan and seam-aware merge ----------===//
+//
+// The per-shard scan is the Figure-5 loop verbatim, started at a bundle
+// boundary; the merge replays the shards in chain order and re-checks
+// seams the chain crossed mid-instruction. See Shard.h for why this is
+// bit-identical to the sequential checker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Shard.h"
+
+using namespace rocksalt;
+using namespace rocksalt::core;
+
+void core::scanShard(const PolicyTables &T, const uint8_t *Code, uint32_t Size,
+                     ShardScan &S) {
+  uint32_t Pos = S.Begin;
+  while (Pos < S.End) {
+    S.ValidPos.push_back(Pos);
+    uint32_t SavedPos = Pos;
+    uint32_t Dest = 0;
+    switch (verifyStep(T, Code, &Pos, Size, &Dest)) {
+    case StepKind::MaskedJump:
+      S.PairJmpPos.push_back(SavedPos + 3);
+      break;
+    case StepKind::NoControlFlow:
+      break;
+    case StepKind::DirectJump:
+      S.TargetPos.push_back(Dest);
+      break;
+    case StepKind::Fail:
+      S.Failed = true;
+      S.StopPos = Pos;
+      return;
+    }
+  }
+  S.StopPos = Pos;
+}
+
+void core::partitionShards(uint32_t Size, uint32_t NumShards,
+                           std::vector<ShardScan> &Shards) {
+  uint32_t Bundles = (Size + BundleSize - 1) / BundleSize;
+  uint32_t N = NumShards < 1 ? 1 : NumShards;
+  if (N > Bundles)
+    N = Bundles; // zero for an empty image
+  Shards.resize(N);
+
+  uint32_t PerShard = N ? Bundles / N : 0;
+  uint32_t Extra = N ? Bundles % N : 0;
+  uint32_t Base = 0;
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t Take = PerShard + (I < Extra ? 1 : 0);
+    uint32_t End = Base + Take * BundleSize;
+    if (End > Size || I + 1 == N)
+      End = Size;
+    Shards[I].reset(Base, End);
+    Base = End;
+  }
+}
+
+CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
+                                  uint32_t Size,
+                                  const std::vector<ShardScan> &Shards,
+                                  uint64_t *SeamRescans) {
+  CheckResult R;
+  R.Valid.assign(Size, 0);
+  R.Target.assign(Size, 0);
+  R.PairJmp.assign(Size, 0);
+
+  uint32_t Pos = 0;
+  size_t I = 0;
+  const size_t N = Shards.size();
+
+  while (Pos < Size) {
+    if (I < N && Shards[I].Begin == Pos) {
+      // In sync: this shard's fresh scan is the sequential chain.
+      const ShardScan &S = Shards[I++];
+      for (uint32_t P : S.ValidPos)
+        R.Valid[P] = 1;
+      for (uint32_t P : S.TargetPos)
+        R.Target[P] = 1;
+      for (uint32_t P : S.PairJmpPos)
+        R.PairJmp[P] = 1;
+      if (S.Failed) {
+        R.Ok = false;
+        R.Reason = RejectReason::NoParse;
+        return R;
+      }
+      Pos = S.StopPos;
+    } else {
+      // Seam re-check: the chain crossed a shard base mid-instruction,
+      // so downstream fresh scans are desynchronized. Step the
+      // sequential chain until it lands exactly on a later shard base.
+      if (SeamRescans)
+        ++*SeamRescans;
+      R.Valid[Pos] = 1;
+      uint32_t SavedPos = Pos;
+      uint32_t Dest = 0;
+      switch (verifyStep(T, Code, &Pos, Size, &Dest)) {
+      case StepKind::MaskedJump:
+        R.PairJmp[SavedPos + 3] = 1;
+        break;
+      case StepKind::NoControlFlow:
+        break;
+      case StepKind::DirectJump:
+        R.Target[Dest] = 1;
+        break;
+      case StepKind::Fail:
+        R.Ok = false;
+        R.Reason = RejectReason::NoParse;
+        return R;
+      }
+    }
+    // Shards the chain has overrun contain desynchronized results.
+    while (I < N && Shards[I].Begin < Pos)
+      ++I;
+  }
+
+  finalizeCheck(R);
+  return R;
+}

@@ -1,0 +1,91 @@
+//===- core/Shard.h - Chunk-parallel scan and seam-aware merge -*- C++ -*-===//
+///
+/// \file
+/// The aligned-chunk policy makes the Figure-5 scan embarrassingly
+/// parallel: in any *accepted* image every 32-byte boundary is an
+/// instruction start (that is exactly the bundle check of Figure 5), so
+/// a scan started fresh at a bundle-aligned shard base follows the same
+/// match chain the sequential verifier would. Each shard is scanned
+/// independently (`scanShard`) and the per-shard results are joined
+/// sequentially (`mergeShardScans`).
+///
+/// Rejected images are where the care goes: the sequential chain may
+/// cross a shard seam mid-instruction, in which case the downstream
+/// shard's fresh scan diverges from the sequential one. The merge
+/// detects this (the consumed shard's stop position overshoots the next
+/// shard base) and falls back to re-running `verifyStep` from the exact
+/// overshoot position until the chain re-synchronizes with a later shard
+/// base, discarding the desynchronized shards' results. The result is
+/// therefore *bit-identical* to `RockSalt::check` — same verdict, same
+/// Valid/Target/PairJmp bitmaps, same reject reason — on every input,
+/// which is what keeps the paper's soundness argument intact: the
+/// parallel service is an implementation of the same checker function,
+/// not a new checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_CORE_SHARD_H
+#define ROCKSALT_CORE_SHARD_H
+
+#include "core/Verifier.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rocksalt {
+namespace core {
+
+/// The result of scanning one shard [Begin, End) of an image. The
+/// vectors are position lists (not bitmaps) so a shard's footprint is
+/// proportional to the code it scanned, and they retain capacity across
+/// `reset` so steady-state scans allocate nothing.
+struct ShardScan {
+  uint32_t Begin = 0; ///< shard base, a multiple of BundleSize
+  uint32_t End = 0;   ///< shard limit (next base, or image size)
+  /// First chain position >= End (success), or the failing position.
+  uint32_t StopPos = 0;
+  bool Failed = false; ///< no grammar matched at StopPos
+
+  std::vector<uint32_t> ValidPos;   ///< chain positions, ascending
+  std::vector<uint32_t> TargetPos;  ///< absolute direct-jump targets
+  std::vector<uint32_t> PairJmpPos; ///< jump halves of masked pairs
+
+  void reset(uint32_t B, uint32_t E) {
+    Begin = B;
+    End = E;
+    StopPos = B;
+    Failed = false;
+    ValidPos.clear();
+    TargetPos.clear();
+    PairJmpPos.clear();
+  }
+};
+
+/// Runs the Figure-5 chain from S.Begin while the position is < S.End;
+/// a final match may overrun past End (StopPos records where the chain
+/// actually stopped). Marks exactly the positions the sequential scan
+/// would mark on the same chain, including Valid at a failing position.
+void scanShard(const PolicyTables &T, const uint8_t *Code, uint32_t Size,
+               ShardScan &S);
+
+/// Splits [0, Size) into \p NumShards bundle-aligned shards, filling
+/// \p Shards (reusing its elements' buffers). The actual count may be
+/// lower for small images; every shard is non-empty.
+void partitionShards(uint32_t Size, uint32_t NumShards,
+                     std::vector<ShardScan> &Shards);
+
+/// The sequential join: replays the shard chain in order, re-checking
+/// seams where a shard's chain overran its limit (masked-jump pairs or
+/// direct jumps straddling a shard boundary) by stepping `verifyStep`
+/// from the overshoot position until it lands exactly on a later shard
+/// base. Produces a CheckResult bit-identical to `RockSalt::check`.
+/// \p SeamRescans, when non-null, is incremented once per verifyStep
+/// executed during seam re-checking (a service metric).
+CheckResult mergeShardScans(const PolicyTables &T, const uint8_t *Code,
+                            uint32_t Size, const std::vector<ShardScan> &Shards,
+                            uint64_t *SeamRescans = nullptr);
+
+} // namespace core
+} // namespace rocksalt
+
+#endif // ROCKSALT_CORE_SHARD_H

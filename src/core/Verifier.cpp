@@ -6,6 +6,11 @@
 // displacement out of a just-matched DirectJump instruction and marks the
 // target.
 //
+// `verifyStep` factors one iteration of the Figure-5 loop out of
+// `verifyImage` so that the chunk-parallel verifier (core/Shard.h) can
+// run the identical chain from any resume position; the sequential
+// entry points below are thin loops over it.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Verifier.h"
@@ -34,10 +39,10 @@ bool core::dfaMatch(const re::Dfa &A, const uint8_t *Code, uint32_t *Pos,
 namespace {
 
 /// The paper's `extract`: pulls the pc-relative displacement out of the
-/// DirectJump instruction spanning [Start, End) and marks its target.
-/// Fails when the target lies outside the image.
+/// DirectJump instruction spanning [Start, End). Returns false when the
+/// destination lies outside [0, Size).
 bool extractTarget(const uint8_t *Code, uint32_t Start, uint32_t End,
-                   std::vector<uint8_t> &Target) {
+                   uint32_t Size, uint32_t *TargetOut) {
   uint8_t B0 = Code[Start];
   int32_t Disp;
   if (B0 == 0xEB || (B0 >= 0x70 && B0 <= 0x7F)) {
@@ -50,13 +55,60 @@ bool extractTarget(const uint8_t *Code, uint32_t Start, uint32_t End,
     Disp = static_cast<int32_t>(Raw);
   }
   int64_t Dest = int64_t(End) + Disp;
-  if (Dest < 0 || Dest >= int64_t(Target.size()))
+  if (Dest < 0 || Dest >= int64_t(Size))
     return false;
-  Target[static_cast<size_t>(Dest)] = 1;
+  *TargetOut = static_cast<uint32_t>(Dest);
   return true;
 }
 
 } // namespace
+
+StepKind core::verifyStep(const PolicyTables &T, const uint8_t *Code,
+                          uint32_t *Pos, uint32_t Size, uint32_t *TargetOut) {
+  uint32_t SavedPos = *Pos;
+  if (dfaMatch(T.MaskedJump, Code, Pos, Size))
+    return StepKind::MaskedJump;
+  if (dfaMatch(T.NoControlFlow, Code, Pos, Size))
+    return StepKind::NoControlFlow;
+  if (dfaMatch(T.DirectJump, Code, Pos, Size)) {
+    if (extractTarget(Code, SavedPos, *Pos, Size, TargetOut))
+      return StepKind::DirectJump;
+    *Pos = SavedPos;
+  }
+  return StepKind::Fail;
+}
+
+const char *core::rejectReasonName(RejectReason R) {
+  switch (R) {
+  case RejectReason::None:
+    return "none";
+  case RejectReason::NoParse:
+    return "no-parse";
+  case RejectReason::BadTarget:
+    return "bad-target";
+  case RejectReason::UnalignedBundle:
+    return "unaligned-bundle";
+  }
+  return "?";
+}
+
+void core::finalizeCheck(CheckResult &R) {
+  uint32_t Size = static_cast<uint32_t>(R.Valid.size());
+  R.Ok = true;
+  R.Reason = RejectReason::None;
+  for (uint32_t I = 0; I < Size; ++I) {
+    if (R.Target[I] && !R.Valid[I]) {
+      R.Ok = false;
+      if (R.Reason == RejectReason::None)
+        R.Reason = RejectReason::BadTarget;
+    }
+    if (!(I & (BundleSize - 1)) && !R.Valid[I]) {
+      R.Ok = false;
+      if (R.Reason == RejectReason::None)
+        R.Reason = RejectReason::UnalignedBundle;
+    }
+  }
+}
 
 bool core::verifyImage(const PolicyTables &T, const uint8_t *Code,
                        uint32_t Size) {
@@ -67,15 +119,17 @@ bool core::verifyImage(const PolicyTables &T, const uint8_t *Code,
 
   while (Pos < Size) {
     Valid[Pos] = 1;
-    uint32_t SavedPos = Pos;
-    if (dfaMatch(T.MaskedJump, Code, &Pos, Size))
-      continue;
-    if (dfaMatch(T.NoControlFlow, Code, &Pos, Size))
-      continue;
-    if (dfaMatch(T.DirectJump, Code, &Pos, Size) &&
-        extractTarget(Code, SavedPos, Pos, Target))
-      continue;
-    return false;
+    uint32_t Dest = 0;
+    switch (verifyStep(T, Code, &Pos, Size, &Dest)) {
+    case StepKind::MaskedJump:
+    case StepKind::NoControlFlow:
+      break;
+    case StepKind::DirectJump:
+      Target[Dest] = 1;
+      break;
+    case StepKind::Fail:
+      return false;
+    }
   }
 
   for (uint32_t I = 0; I < Size; ++I)
@@ -94,25 +148,25 @@ CheckResult RockSalt::check(const uint8_t *Code, uint32_t Size) const {
   while (Pos < Size) {
     R.Valid[Pos] = 1;
     uint32_t SavedPos = Pos;
-    if (dfaMatch(Tables.MaskedJump, Code, &Pos, Size)) {
+    uint32_t Dest = 0;
+    switch (verifyStep(Tables, Code, &Pos, Size, &Dest)) {
+    case StepKind::MaskedJump:
       // The mask half (AND r, imm8) is always 3 bytes; the jump half
       // starts right after it.
       R.PairJmp[SavedPos + 3] = 1;
-      continue;
+      break;
+    case StepKind::NoControlFlow:
+      break;
+    case StepKind::DirectJump:
+      R.Target[Dest] = 1;
+      break;
+    case StepKind::Fail:
+      R.Ok = false;
+      R.Reason = RejectReason::NoParse;
+      return R;
     }
-    if (dfaMatch(Tables.NoControlFlow, Code, &Pos, Size))
-      continue;
-    if (dfaMatch(Tables.DirectJump, Code, &Pos, Size) &&
-        extractTarget(Code, SavedPos, Pos, R.Target)) {
-      continue;
-    }
-    R.Ok = false;
-    return R;
   }
 
-  R.Ok = true;
-  for (uint32_t I = 0; I < Size; ++I)
-    R.Ok = R.Ok && (!R.Target[I] || R.Valid[I]) &&
-           ((I & (BundleSize - 1)) || R.Valid[I]);
+  finalizeCheck(R);
   return R;
 }

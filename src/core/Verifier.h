@@ -30,17 +30,47 @@ namespace core {
 bool dfaMatch(const re::Dfa &A, const uint8_t *Code, uint32_t *Pos,
               uint32_t Size);
 
+/// Which grammar matched at a chain position (or nothing did).
+enum class StepKind : uint8_t { MaskedJump, NoControlFlow, DirectJump, Fail };
+
+/// One step of the Figure-5 match chain at *Pos: tries MaskedJump, then
+/// NoControlFlow, then DirectJump, in the same order as `verifyImage`.
+/// On a match advances *Pos past it and returns the kind; for DirectJump
+/// the extracted pc-relative destination is stored in *TargetOut (a step
+/// whose destination lies outside [0, Size) fails instead, like the
+/// paper's `extract`). On Fail leaves *Pos unchanged. This is the
+/// resumable entry point the chunk-parallel verifier shards on.
+StepKind verifyStep(const PolicyTables &T, const uint8_t *Code, uint32_t *Pos,
+                    uint32_t Size, uint32_t *TargetOut);
+
 /// Figure 5: returns true iff the image respects the aligned sandbox
 /// policy.
 bool verifyImage(const PolicyTables &T, const uint8_t *Code, uint32_t Size);
 
+/// Why an image was rejected (None when accepted).
+enum class RejectReason : uint8_t {
+  None,          ///< accepted
+  NoParse,       ///< no policy grammar matched at some chain position
+  BadTarget,     ///< a direct jump lands on a non-instruction-start
+  UnalignedBundle///< a 32-byte boundary is not an instruction start
+};
+
+const char *rejectReasonName(RejectReason R);
+
 /// Instrumented result for monitors and tests.
 struct CheckResult {
   bool Ok = false;
+  RejectReason Reason = RejectReason::None;
   std::vector<uint8_t> Valid;   ///< instruction-start positions
   std::vector<uint8_t> Target;  ///< direct-jump target positions
   std::vector<uint8_t> PairJmp; ///< jump halves of masked-jump pairs
 };
+
+/// The final pass of Figure 5 over an already-scanned image: every
+/// direct-jump target and every bundle boundary must be an instruction
+/// start. Sets R.Ok and R.Reason (assumes the scan itself succeeded;
+/// scan failures set NoParse before reaching this).
+void finalizeCheck(CheckResult &R);
 
 /// The checker with its cached tables.
 class RockSalt {

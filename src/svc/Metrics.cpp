@@ -1,0 +1,125 @@
+//===- svc/Metrics.cpp - Lock-free service metrics ------------------------===//
+
+#include "svc/Metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+using namespace rocksalt;
+using namespace rocksalt::svc;
+
+void Histogram::record(uint64_t V) {
+  unsigned B = static_cast<unsigned>(std::bit_width(V)); // 0 for V == 0
+  Buckets[B >= NumBuckets ? NumBuckets - 1 : B].fetch_add(
+      1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(V, std::memory_order_relaxed);
+  uint64_t Prev = Max.load(std::memory_order_relaxed);
+  while (Prev < V &&
+         !Max.compare_exchange_weak(Prev, V, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::quantile(double Q) const {
+  uint64_t C = count();
+  if (!C)
+    return 0;
+  double Want = Q * double(C);
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    Seen += bucket(I);
+    if (double(Seen) >= Want)
+      return I ? (uint64_t(1) << I) - 1 : 0; // upper edge of bucket I
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void dumpScalar(std::string &Out, const char *Name, uint64_t V) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "%s %llu\n", Name,
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void dumpHistogram(std::string &Out, const char *Name, const Histogram &H) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s_count %llu\n%s_sum %llu\n%s_max %llu\n%s_p50 %llu\n"
+                "%s_p99 %llu\n",
+                Name, static_cast<unsigned long long>(H.count()), Name,
+                static_cast<unsigned long long>(H.sum()), Name,
+                static_cast<unsigned long long>(H.max()), Name,
+                static_cast<unsigned long long>(H.quantile(0.50)), Name,
+                static_cast<unsigned long long>(H.quantile(0.99)));
+  Out += Buf;
+  for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+    uint64_t B = H.bucket(I);
+    if (!B)
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=%llu} %llu\n", Name,
+                  static_cast<unsigned long long>(
+                      I ? (uint64_t(1) << I) - 1 : 0),
+                  static_cast<unsigned long long>(B));
+    Out += Buf;
+  }
+}
+
+} // namespace
+
+std::string Metrics::dump() const {
+  std::string Out;
+  Out.reserve(2048);
+  dumpScalar(Out, "images_submitted", ImagesSubmitted.get());
+  dumpScalar(Out, "images_verified", ImagesVerified.get());
+  dumpScalar(Out, "images_accepted", ImagesAccepted.get());
+  dumpScalar(Out, "images_rejected", ImagesRejected.get());
+  dumpScalar(Out, "reject_no_parse", RejectNoParse.get());
+  dumpScalar(Out, "reject_bad_target", RejectBadTarget.get());
+  dumpScalar(Out, "reject_unaligned_bundle", RejectUnaligned.get());
+  dumpScalar(Out, "bytes_verified", BytesVerified.get());
+  dumpScalar(Out, "shards_scanned", ShardsScanned.get());
+  dumpScalar(Out, "seam_rescans", SeamRescans.get());
+  dumpScalar(Out, "tasks_run", TasksRun.get());
+  dumpScalar(Out, "tasks_stolen", TasksStolen.get());
+  dumpScalar(Out, "queue_depth", static_cast<uint64_t>(
+                                     QueueDepth.get() < 0 ? 0
+                                                          : QueueDepth.get()));
+  dumpHistogram(Out, "verify_nanos", VerifyNanos);
+  dumpHistogram(Out, "shard_imbalance_permille", ShardImbalancePermille);
+  dumpHistogram(Out, "batch_images", BatchImages);
+  return Out;
+}
+
+void Metrics::reset() {
+  ImagesSubmitted.reset();
+  ImagesVerified.reset();
+  ImagesAccepted.reset();
+  ImagesRejected.reset();
+  RejectNoParse.reset();
+  RejectBadTarget.reset();
+  RejectUnaligned.reset();
+  BytesVerified.reset();
+  ShardsScanned.reset();
+  SeamRescans.reset();
+  TasksRun.reset();
+  TasksStolen.reset();
+  QueueDepth.reset();
+  VerifyNanos.reset();
+  ShardImbalancePermille.reset();
+  BatchImages.reset();
+}
+
+Metrics &svc::globalMetrics() {
+  static Metrics M;
+  return M;
+}

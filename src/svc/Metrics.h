@@ -1,0 +1,125 @@
+//===- svc/Metrics.h - Lock-free service metrics ---------------*- C++ -*-===//
+///
+/// \file
+/// A small lock-free counter/histogram layer for the verification
+/// service: plain atomics, no locks anywhere on the record path, so the
+/// pool's hot loop can count events without serializing. Counters are
+/// cache-line padded to keep unrelated counters from false-sharing.
+///
+/// `Histogram` is a power-of-two-bucketed log histogram (bucket i holds
+/// values whose bit width is i), which is enough resolution for latency
+/// and imbalance distributions at zero contention cost.
+///
+/// `Metrics::dump()` renders a plain-text exposition (one `name value`
+/// line per scalar, `name_bucket{le=...}` lines per histogram) consumed
+/// by `validator_cli --stats` and the benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SVC_METRICS_H
+#define ROCKSALT_SVC_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rocksalt {
+namespace svc {
+
+/// A monotonically increasing counter (relaxed atomics: totals matter,
+/// inter-counter ordering does not).
+class alignas(64) Counter {
+  std::atomic<uint64_t> V{0};
+
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t get() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+};
+
+/// An instantaneous up/down gauge (queue depth, in-flight jobs).
+class alignas(64) Gauge {
+  std::atomic<int64_t> V{0};
+
+public:
+  void add(int64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void sub(int64_t N = 1) { V.fetch_sub(N, std::memory_order_relaxed); }
+  int64_t get() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+};
+
+/// Log2-bucketed histogram: bucket i counts values v with bit_width(v)
+/// == i, i.e. v in [2^(i-1), 2^i). Tracks count/sum/max alongside.
+class alignas(64) Histogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets];
+  std::atomic<uint64_t> Count{0}, Sum{0}, Max{0};
+
+public:
+  Histogram() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+
+  void record(uint64_t V);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t C = count();
+    return C ? double(sum()) / double(C) : 0.0;
+  }
+  uint64_t bucket(unsigned I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  /// Upper-bound estimate of the \p Q quantile (0 < Q <= 1): the upper
+  /// edge of the bucket the quantile falls into.
+  uint64_t quantile(double Q) const;
+
+  void reset();
+};
+
+/// Every metric the verification service exports.
+struct Metrics {
+  // Image-level outcomes.
+  Counter ImagesSubmitted;  ///< entered a pool queue
+  Counter ImagesVerified;   ///< finished (accepted + rejected)
+  Counter ImagesAccepted;
+  Counter ImagesRejected;
+  Counter RejectNoParse;    ///< reject: no grammar matched
+  Counter RejectBadTarget;  ///< reject: direct jump into mid-instruction
+  Counter RejectUnaligned;  ///< reject: bundle boundary not instr start
+  Counter BytesVerified;
+
+  // Chunk-parallel internals.
+  Counter ShardsScanned;
+  Counter SeamRescans;      ///< verifySteps replayed at shard seams
+
+  // Pool internals.
+  Counter TasksRun;
+  Counter TasksStolen;      ///< tasks taken from another worker's deque
+  Gauge QueueDepth;         ///< tasks enqueued but not yet started
+
+  // Distributions.
+  Histogram VerifyNanos;          ///< wall time per image verification
+  Histogram ShardImbalancePermille; ///< 1000 * max shard ns / mean shard ns
+  Histogram BatchImages;          ///< images per submit() call
+
+  /// Plain-text exposition of every metric.
+  std::string dump() const;
+
+  /// Zeroes everything (tests and benches between phases).
+  void reset();
+};
+
+/// The process-wide default instance (services can own private ones).
+Metrics &globalMetrics();
+
+} // namespace svc
+} // namespace rocksalt
+
+#endif // ROCKSALT_SVC_METRICS_H

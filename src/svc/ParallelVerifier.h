@@ -1,0 +1,94 @@
+//===- svc/ParallelVerifier.h - Chunk-parallel RockSalt checker *- C++ -*-===//
+///
+/// \file
+/// Verifies one image by sharding it at 32-byte chunk boundaries, running
+/// the Figure-6 DFA scan per shard on the pool's workers, and joining the
+/// shard results sequentially (bitmap merge + seam re-check + the final
+/// target/alignment pass) — see core/Shard.h for the equivalence
+/// argument. Returns results bit-identical to `core::RockSalt::check`.
+///
+/// The caller's thread participates in the fan-out (it scans shard 0 and
+/// then helps drain the pool), so a ParallelVerifier works from both
+/// outside the pool and from inside a pool job. Shard descriptors and
+/// their position buffers are instance scratch reused across calls: the
+/// steady-state scan path performs no allocation. An instance is
+/// consequently NOT thread-safe — use one per thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SVC_PARALLELVERIFIER_H
+#define ROCKSALT_SVC_PARALLELVERIFIER_H
+
+#include "core/Shard.h"
+#include "svc/VerifierPool.h"
+
+namespace rocksalt {
+namespace svc {
+
+struct ParallelVerifierOptions {
+  /// Shards per pool thread (over-decomposition smooths imbalance from
+  /// uneven shard scan costs).
+  uint32_t ShardsPerThread = 4;
+  /// Hard cap on shard count; 0 → threads * ShardsPerThread.
+  uint32_t MaxShards = 0;
+  /// Images smaller than ~2 shards of this size are scanned inline:
+  /// below this, fan-out overhead dwarfs the scan.
+  uint32_t MinShardBytes = 4096;
+};
+
+class ParallelVerifier {
+public:
+  explicit ParallelVerifier(VerifierPool &P, ParallelVerifierOptions O = {});
+
+  /// Instrumented verification, bit-identical to RockSalt::check.
+  core::CheckResult check(const uint8_t *Code, uint32_t Size);
+  core::CheckResult check(const std::vector<uint8_t> &Code) {
+    return check(Code.data(), uint32_t(Code.size()));
+  }
+
+  /// Boolean verdict (same decision procedure).
+  bool verify(const uint8_t *Code, uint32_t Size) {
+    return check(Code, Size).Ok;
+  }
+  bool verify(const std::vector<uint8_t> &Code) {
+    return verify(Code.data(), uint32_t(Code.size()));
+  }
+
+private:
+  struct ShardJob {
+    const core::PolicyTables *T = nullptr;
+    const uint8_t *Code = nullptr;
+    uint32_t Size = 0;
+    core::ShardScan *Scan = nullptr;
+    uint64_t Nanos = 0;
+  };
+  static void runShardJob(void *Ctx);
+
+  /// One shard's slice of the parallel splice (see check()).
+  struct SpliceJob {
+    const core::ShardScan *Scan = nullptr;
+    core::CheckResult *R = nullptr;
+    uint32_t FirstUnaligned = 0; ///< UINT32_MAX when every boundary is valid
+  };
+  static void runSpliceJob(void *Ctx);
+
+  /// True when every shard chain spliced exactly onto the next shard's
+  /// base (the accept-path common case): shard results can be merged in
+  /// parallel because their bit ranges are disjoint.
+  bool shardsSynced(uint32_t Size) const;
+  core::CheckResult spliceParallel(uint32_t Size);
+
+  uint32_t shardCountFor(uint32_t Size) const;
+
+  VerifierPool &Pool;
+  ParallelVerifierOptions Opts;
+  const core::PolicyTables &Tables;
+  std::vector<core::ShardScan> Shards; ///< reused scratch
+  std::vector<ShardJob> Jobs;          ///< reused scratch
+  std::vector<SpliceJob> SpliceJobs;   ///< reused scratch
+};
+
+} // namespace svc
+} // namespace rocksalt
+
+#endif // ROCKSALT_SVC_PARALLELVERIFIER_H

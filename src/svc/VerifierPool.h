@@ -1,0 +1,124 @@
+//===- svc/VerifierPool.h - Work-stealing verification pool ----*- C++ -*-===//
+///
+/// \file
+/// The service's executor: a work-stealing thread pool with a
+/// batch-submit verification API. Two layers:
+///
+///  * a generic task layer — `post` (allocation-free, function pointer +
+///    context) and `run` (std::function convenience) enqueue work into
+///    per-worker deques; idle workers pop their own deque LIFO and steal
+///    FIFO from others. `wait` on a TaskGroup *helps*: the waiter drains
+///    tasks while the group is outstanding, so nested fan-out (a pool
+///    job that itself shards an image across the pool) cannot deadlock;
+///
+///  * a verification layer — `submit` takes a batch of images and
+///    returns one future per image; each job runs the sequential
+///    RockSalt check and records outcome metrics. Use ParallelVerifier
+///    on top of the task layer when a *single* image should be
+///    chunk-parallel.
+///
+/// All bookkeeping is mutex-per-deque plus atomics; the pool never holds
+/// a lock while running user work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SVC_VERIFIERPOOL_H
+#define ROCKSALT_SVC_VERIFIERPOOL_H
+
+#include "core/Verifier.h"
+#include "svc/Metrics.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rocksalt {
+namespace svc {
+
+/// Counts an image verification outcome into \p M (shared by the pool's
+/// batch jobs, ParallelVerifier, and the CLI's sequential path).
+void recordOutcome(Metrics &M, const core::CheckResult &R, uint64_t Bytes,
+                   uint64_t Nanos);
+
+class VerifierPool {
+public:
+  struct Options {
+    unsigned Threads = 0; ///< 0 → std::thread::hardware_concurrency()
+  };
+
+  /// A join handle for a set of posted tasks.
+  class TaskGroup {
+    friend class VerifierPool;
+    std::atomic<uint32_t> Pending{0};
+
+  public:
+    bool done() const { return Pending.load(std::memory_order_acquire) == 0; }
+  };
+
+  VerifierPool(); ///< default options, global metrics
+  explicit VerifierPool(Options O, Metrics *M = nullptr);
+  ~VerifierPool();
+
+  VerifierPool(const VerifierPool &) = delete;
+  VerifierPool &operator=(const VerifierPool &) = delete;
+
+  unsigned threadCount() const { return unsigned(Threads.size()); }
+  Metrics &metrics() { return *Met; }
+
+  /// Enqueues Fn(Ctx) — allocation-free (the hot path for shard
+  /// fan-out). \p Ctx must outlive the task; completion is observed via
+  /// wait(G).
+  void post(TaskGroup &G, void (*Fn)(void *), void *Ctx);
+
+  /// Enqueues an arbitrary callable (may allocate for large captures).
+  void run(TaskGroup &G, std::function<void()> Fn);
+
+  /// Blocks until every task posted to \p G has finished. The waiting
+  /// thread executes queued tasks (any group's) while it waits.
+  void wait(TaskGroup &G);
+
+  /// Batch verification: one future per image, resolved with the full
+  /// instrumented CheckResult. The images must outlive the futures'
+  /// resolution.
+  std::vector<std::future<core::CheckResult>>
+  submit(const std::vector<std::vector<uint8_t>> &Images);
+
+  /// Single-image convenience (same lifetime rule).
+  std::future<core::CheckResult> submitOne(const uint8_t *Code, uint32_t Size);
+
+private:
+  struct Task {
+    std::function<void()> Work; ///< small captures stay in SBO
+    TaskGroup *Group = nullptr;
+  };
+
+  struct alignas(64) Worker {
+    std::mutex M;
+    std::deque<Task> Dq;
+  };
+
+  void push(Task T);
+  bool tryGet(unsigned Self, Task &Out); ///< Self == threadCount(): outsider
+  void runTask(Task &T);
+  void workerLoop(unsigned Id);
+
+  std::vector<std::unique_ptr<Worker>> Deques;
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> Queued{0};
+  std::atomic<uint32_t> RoundRobin{0};
+  std::atomic<bool> Stop{false};
+  std::mutex SleepM;
+  std::condition_variable SleepCv;
+  Metrics *Met;
+  const core::PolicyTables &Tables;
+};
+
+} // namespace svc
+} // namespace rocksalt
+
+#endif // ROCKSALT_SVC_VERIFIERPOOL_H
