@@ -11,14 +11,21 @@
 // single image is chunk-parallelized by ParallelVerifier. --stats dumps
 // the service metrics (counters and histograms) after the run.
 //
+// --explain shrinks a rejected image to the minimal byte sequence that
+// is still rejected for the same reason (the fuzz harness's
+// delta-debugging minimizer) and prints it — the offending construct on
+// a nop sled instead of a needle in a 4 KB image.
+//
 // Usage:
-//   validator_cli <image.bin>... [--disassemble] [--jobs N] [--stats]
+//   validator_cli <image.bin>... [--disassemble] [--explain] [--jobs N]
+//                                [--stats]
 //   validator_cli --selftest [--jobs N] [--stats]
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/BaselineChecker.h"
 #include "core/Verifier.h"
+#include "fuzz/Minimizer.h"
 #include "nacl/Mutator.h"
 #include "nacl/WorkloadGen.h"
 #include "svc/ParallelVerifier.h"
@@ -44,6 +51,7 @@ struct CliOptions {
   unsigned Jobs = 0; ///< 0: sequential; >= 1: route through VerifierPool
   bool Stats = false;
   bool Disasm = false;
+  bool Explain = false; ///< minimize rejected images to their core
   bool Selftest = false;
 };
 
@@ -65,6 +73,26 @@ void disassemble(const std::vector<uint8_t> &Code,
                 x86::printInstr(D->I).c_str());
     Pos += D->Length;
   }
+}
+
+/// Shrinks a rejected image to the smallest byte sequence RockSalt still
+/// rejects for the same reason, and shows it.
+void explainRejection(const std::vector<uint8_t> &Code,
+                      const core::CheckResult &Full) {
+  core::RockSalt V;
+  fuzz::MinimizeResult MR = fuzz::minimizeImage(
+      Code, [&](const std::vector<uint8_t> &C) {
+        core::CheckResult R = V.check(C);
+        return !R.Ok && R.Reason == Full.Reason;
+      });
+  std::printf("  minimal %s reproducer (%zu bytes, from %zu; %llu checks):\n",
+              core::rejectReasonName(Full.Reason), MR.Image.size(),
+              Code.size(), static_cast<unsigned long long>(MR.Evals));
+  std::printf("   ");
+  for (uint8_t B : MR.Image)
+    std::printf(" %02x", B);
+  std::printf("\n");
+  disassemble(MR.Image, V.check(MR.Image));
 }
 
 /// One image through RockSalt (sequential or chunk-parallel) plus the
@@ -98,6 +126,8 @@ int validate(const std::vector<uint8_t> &Code, const CliOptions &Opts,
     std::printf("  *** CHECKER DISAGREEMENT — please report ***\n");
   if (Opts.Disasm && !Code.empty())
     disassemble(Code, R);
+  if (Opts.Explain && !R.Ok && !Code.empty())
+    explainRejection(Code, R);
   return R.Ok ? 0 : 1;
 }
 
@@ -141,7 +171,8 @@ int selftest(const CliOptions &Opts, svc::VerifierPool *Pool,
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s <image.bin>... [--disassemble] [--jobs N] [--stats]"
+               "usage: %s <image.bin>... [--disassemble] [--explain] "
+               "[--jobs N] [--stats]"
                "\n       %s --selftest [--jobs N] [--stats]\n",
                Prog, Prog);
   return 2;
@@ -156,6 +187,8 @@ int main(int argc, char **argv) {
       Opts.Selftest = true;
     } else if (std::strcmp(argv[I], "--disassemble") == 0) {
       Opts.Disasm = true;
+    } else if (std::strcmp(argv[I], "--explain") == 0) {
+      Opts.Explain = true;
     } else if (std::strcmp(argv[I], "--stats") == 0) {
       Opts.Stats = true;
     } else if (std::strcmp(argv[I], "--jobs") == 0) {

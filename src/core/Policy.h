@@ -35,6 +35,14 @@ constexpr uint32_t BundleSize = 32;
 /// (encoded as the sign-extended imm8 0xE0).
 constexpr uint8_t SafeMaskByte = 0xE0;
 
+/// Byte length of the jump half (JMP/CALL *r, FF /4 or FF /2) of a
+/// masked-jump pair. The jump half is always the *last* two bytes of a
+/// MaskedJump match, so its position is derived as (end of match) -
+/// MaskedJumpHalfLen rather than (start of match) + (mask length) — the
+/// mask half is free to grow without desynchronizing the PairJmp bitmap
+/// (a guard test pins the current 3+2 shape).
+constexpr uint32_t MaskedJumpHalfLen = 2;
+
 /// The three policy grammars, still carrying semantic actions (useful for
 /// the inversion-principle tests), plus their stripped regexes.
 struct PolicyGrammars {

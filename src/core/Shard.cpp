@@ -17,11 +17,11 @@ void core::scanShard(const PolicyTables &T, const uint8_t *Code, uint32_t Size,
   uint32_t Pos = S.Begin;
   while (Pos < S.End) {
     S.ValidPos.push_back(Pos);
-    uint32_t SavedPos = Pos;
     uint32_t Dest = 0;
     switch (verifyStep(T, Code, &Pos, Size, &Dest)) {
     case StepKind::MaskedJump:
-      S.PairJmpPos.push_back(SavedPos + 3);
+      // Jump half = last two bytes of the match (see MaskedJumpHalfLen).
+      S.PairJmpPos.push_back(Pos - MaskedJumpHalfLen);
       break;
     case StepKind::NoControlFlow:
       break;
@@ -94,11 +94,10 @@ CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
       if (SeamRescans)
         ++*SeamRescans;
       R.Valid[Pos] = 1;
-      uint32_t SavedPos = Pos;
       uint32_t Dest = 0;
       switch (verifyStep(T, Code, &Pos, Size, &Dest)) {
       case StepKind::MaskedJump:
-        R.PairJmp[SavedPos + 3] = 1;
+        R.PairJmp[Pos - MaskedJumpHalfLen] = 1;
         break;
       case StepKind::NoControlFlow:
         break;

@@ -2,8 +2,6 @@
 
 #include "core/SlowVerifier.h"
 
-#include "core/Policy.h"
-
 using namespace rocksalt;
 using namespace rocksalt::core;
 
@@ -26,6 +24,51 @@ uint32_t derivMatch(re::Factory &F, re::Regex R, const uint8_t *Code,
   return 0;
 }
 
+/// One Figure-5 chain step at \p Pos against the grammars in \p P.
+/// Advances Pos past the match and records Target marks; returns false
+/// when no grammar matched or a direct jump escaped the image.
+bool slowStep(re::Factory &F, const PolicyGrammars &P, const uint8_t *Code,
+              uint32_t &Pos, uint32_t Size, std::vector<uint8_t> &Target) {
+  if (uint32_t L = derivMatch(F, P.MaskedJumpRe, Code, Pos, Size)) {
+    Pos += L;
+    return true;
+  }
+  if (uint32_t L = derivMatch(F, P.NoControlFlowRe, Code, Pos, Size)) {
+    Pos += L;
+    return true;
+  }
+  if (uint32_t L = derivMatch(F, P.DirectJumpRe, Code, Pos, Size)) {
+    uint32_t End = Pos + L;
+    uint8_t B0 = Code[Pos];
+    int32_t Disp;
+    if (B0 == 0xEB || (B0 >= 0x70 && B0 <= 0x7F))
+      Disp = static_cast<int8_t>(Code[End - 1]);
+    else
+      Disp = static_cast<int32_t>(
+          uint32_t(Code[End - 4]) | (uint32_t(Code[End - 3]) << 8) |
+          (uint32_t(Code[End - 2]) << 16) | (uint32_t(Code[End - 1]) << 24));
+    int64_t Dest = int64_t(End) + Disp;
+    if (Dest < 0 || Dest >= int64_t(Size))
+      return false;
+    Target[static_cast<size_t>(Dest)] = 1;
+    Pos = End;
+    return true;
+  }
+  return false;
+}
+
+/// The final Figure-5 pass shared by both entry points.
+bool finalPass(const std::vector<uint8_t> &Valid,
+               const std::vector<uint8_t> &Target, uint32_t Size) {
+  for (uint32_t I = 0; I < Size; ++I) {
+    if (Target[I] && !Valid[I])
+      return false;
+    if ((I & (BundleSize - 1)) == 0 && !Valid[I])
+      return false;
+  }
+  return true;
+}
+
 } // namespace
 
 bool core::slowVerify(const uint8_t *Code, uint32_t Size,
@@ -43,44 +86,38 @@ bool core::slowVerify(const uint8_t *Code, uint32_t Size,
     // policy from its declarative description in a fresh environment.
     re::Factory F;
     PolicyGrammars P = buildPolicyGrammars(F);
-
-    if (uint32_t L = derivMatch(F, P.MaskedJumpRe, Code, Pos, Size)) {
-      Pos += L;
-      continue;
+    if (!slowStep(F, P, Code, Pos, Size, Target)) {
+      if (InstrCount)
+        *InstrCount = Count;
+      return false;
     }
-    if (uint32_t L = derivMatch(F, P.NoControlFlowRe, Code, Pos, Size)) {
-      Pos += L;
-      continue;
-    }
-    if (uint32_t L = derivMatch(F, P.DirectJumpRe, Code, Pos, Size)) {
-      uint32_t End = Pos + L;
-      uint8_t B0 = Code[Pos];
-      int32_t Disp;
-      if (B0 == 0xEB || (B0 >= 0x70 && B0 <= 0x7F))
-        Disp = static_cast<int8_t>(Code[End - 1]);
-      else
-        Disp = static_cast<int32_t>(
-            uint32_t(Code[End - 4]) | (uint32_t(Code[End - 3]) << 8) |
-            (uint32_t(Code[End - 2]) << 16) | (uint32_t(Code[End - 1]) << 24));
-      int64_t Dest = int64_t(End) + Disp;
-      if (Dest < 0 || Dest >= int64_t(Size))
-        return false;
-      Target[static_cast<size_t>(Dest)] = 1;
-      Pos = End;
-      continue;
-    }
-    if (InstrCount)
-      *InstrCount = Count;
-    return false;
   }
 
   if (InstrCount)
     *InstrCount = Count;
-  for (uint32_t I = 0; I < Size; ++I) {
-    if (Target[I] && !Valid[I])
+  return finalPass(Valid, Target, Size);
+}
+
+SlowContext::SlowContext() : P(buildPolicyGrammars(F)) {}
+
+bool SlowContext::verify(const uint8_t *Code, uint32_t Size,
+                         uint64_t *InstrCount) {
+  std::vector<uint8_t> Valid(Size, 0);
+  std::vector<uint8_t> Target(Size, 0);
+  uint64_t Count = 0;
+
+  uint32_t Pos = 0;
+  while (Pos < Size) {
+    Valid[Pos] = 1;
+    ++Count;
+    if (!slowStep(F, P, Code, Pos, Size, Target)) {
+      if (InstrCount)
+        *InstrCount = Count;
       return false;
-    if ((I & (BundleSize - 1)) == 0 && !Valid[I])
-      return false;
+    }
   }
-  return true;
+
+  if (InstrCount)
+    *InstrCount = Count;
+  return finalPass(Valid, Target, Size);
 }

@@ -16,6 +16,8 @@
 #ifndef ROCKSALT_CORE_SLOWVERIFIER_H
 #define ROCKSALT_CORE_SLOWVERIFIER_H
 
+#include "core/Policy.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +35,31 @@ inline bool slowVerify(const std::vector<uint8_t> &Code,
   return slowVerify(Code.data(), static_cast<uint32_t>(Code.size()),
                     InstrCount);
 }
+
+/// The same decision procedure with the theatrics amortized: the policy
+/// grammars are derived once into a persistent factory and matching still
+/// happens by on-line Brzozowski derivatives (never the compiled DFA
+/// tables), so this remains an independent verdict path from the RockSalt
+/// checker — the factory's per-node derivative caches just make repeated
+/// matching run at lazy-DFA speed. This is what lets the differential
+/// fuzz oracle afford the slow path on every image. Decision-equivalent
+/// to slowVerify on every input. Not thread-safe (the caches mutate);
+/// use one instance per thread.
+class SlowContext {
+  re::Factory F;
+  PolicyGrammars P;
+
+public:
+  SlowContext();
+
+  bool verify(const uint8_t *Code, uint32_t Size,
+              uint64_t *InstrCount = nullptr);
+  bool verify(const std::vector<uint8_t> &Code,
+              uint64_t *InstrCount = nullptr) {
+    return verify(Code.data(), static_cast<uint32_t>(Code.size()),
+                  InstrCount);
+  }
+};
 
 } // namespace core
 } // namespace rocksalt

@@ -20,7 +20,10 @@ using namespace rocksalt::core;
 
 bool core::dfaMatch(const re::Dfa &A, const uint8_t *Code, uint32_t *Pos,
                     uint32_t Size) {
-  uint16_t State = static_cast<uint16_t>(A.Start);
+  // 32-bit state: Dfa.Start is uint32_t, and a uint16_t here would wrap
+  // silently if the table ever outgrew the 16-bit id range (buildDfa
+  // rejects such tables, but the TCB should not rely on that alone).
+  uint32_t State = A.Start;
   uint32_t Off = 0;
 
   while (*Pos + Off < Size) {
@@ -147,13 +150,12 @@ CheckResult RockSalt::check(const uint8_t *Code, uint32_t Size) const {
   uint32_t Pos = 0;
   while (Pos < Size) {
     R.Valid[Pos] = 1;
-    uint32_t SavedPos = Pos;
     uint32_t Dest = 0;
     switch (verifyStep(Tables, Code, &Pos, Size, &Dest)) {
     case StepKind::MaskedJump:
-      // The mask half (AND r, imm8) is always 3 bytes; the jump half
-      // starts right after it.
-      R.PairJmp[SavedPos + 3] = 1;
+      // The jump half is the last two bytes of the matched pair,
+      // whatever the mask half's length.
+      R.PairJmp[Pos - MaskedJumpHalfLen] = 1;
       break;
     case StepKind::NoControlFlow:
       break;

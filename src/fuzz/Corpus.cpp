@@ -1,0 +1,64 @@
+//===- fuzz/Corpus.cpp - Reproducer corpus I/O ----------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace rocksalt;
+using namespace rocksalt::fuzz;
+
+uint64_t fuzz::imageHash(const std::vector<uint8_t> &Code) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (uint8_t B : Code) {
+    H ^= B;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::string fuzz::writeReproducer(const std::string &Dir,
+                                  const std::string &Tag,
+                                  const std::vector<uint8_t> &Code) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  char Hash[24];
+  std::snprintf(Hash, sizeof(Hash), "%016llx",
+                static_cast<unsigned long long>(imageHash(Code)));
+  std::string Path = Dir + "/" + Tag + "-" + Hash + ".bin";
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return {};
+  Out.write(reinterpret_cast<const char *>(Code.data()),
+            static_cast<std::streamsize>(Code.size()));
+  return Out ? Path : std::string();
+}
+
+std::vector<CorpusEntry> fuzz::loadCorpus(const std::string &Dir) {
+  std::vector<CorpusEntry> Entries;
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Dir, EC), End;
+  if (EC)
+    return Entries;
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    if (!It->is_regular_file() || It->path().extension() != ".bin")
+      continue;
+    std::ifstream In(It->path(), std::ios::binary);
+    if (!In)
+      continue;
+    CorpusEntry E;
+    E.Path = It->path().string();
+    E.Code.assign(std::istreambuf_iterator<char>(In),
+                  std::istreambuf_iterator<char>());
+    Entries.push_back(std::move(E));
+  }
+  std::sort(Entries.begin(), Entries.end(),
+            [](const CorpusEntry &A, const CorpusEntry &B) {
+              return A.Path < B.Path;
+            });
+  return Entries;
+}

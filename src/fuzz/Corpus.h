@@ -1,0 +1,43 @@
+//===- fuzz/Corpus.h - Reproducer corpus I/O -------------------*- C++ -*-===//
+///
+/// \file
+/// The regression corpus under tests/corpus/: raw .bin images the fuzz
+/// driver writes when the oracle disagrees (after minimization) and the
+/// corpus ctest replays through the full oracle on every run. File names
+/// are `<tag>-<hash16>.bin` — the tag carries intent ("disagree",
+/// "reject-66e9", ...), the FNV-1a hash de-duplicates and ties a file to
+/// its exact bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_FUZZ_CORPUS_H
+#define ROCKSALT_FUZZ_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rocksalt {
+namespace fuzz {
+
+/// FNV-1a 64-bit over the image bytes; stable across platforms.
+uint64_t imageHash(const std::vector<uint8_t> &Code);
+
+/// Writes \p Code to `<Dir>/<Tag>-<hash16>.bin`, creating Dir if needed.
+/// Returns the path written, or "" on I/O failure.
+std::string writeReproducer(const std::string &Dir, const std::string &Tag,
+                            const std::vector<uint8_t> &Code);
+
+struct CorpusEntry {
+  std::string Path;
+  std::vector<uint8_t> Code;
+};
+
+/// All *.bin files under \p Dir, sorted by path for deterministic replay
+/// order. Missing directory yields an empty corpus.
+std::vector<CorpusEntry> loadCorpus(const std::string &Dir);
+
+} // namespace fuzz
+} // namespace rocksalt
+
+#endif // ROCKSALT_FUZZ_CORPUS_H

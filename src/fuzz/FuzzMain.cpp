@@ -1,0 +1,217 @@
+//===- fuzz/FuzzMain.cpp - Differential fuzzing driver --------------------===//
+///
+/// \file
+/// `fuzz_differential`: generate compliant workloads, mutate them with
+/// the grammar-directed mutator, and push every image through the
+/// differential oracle (DFA checker, baseline decoder, derivative slow
+/// path, and the parallel verifier under all shard geometries). Any
+/// disagreement is minimized to a reproducer and written into the
+/// regression corpus. The run is fully determined by --base-seed: a
+/// failure report names the seed and iteration, and the printed repro
+/// command replays exactly that image.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "fuzz/Corpus.h"
+#include "fuzz/Minimizer.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/StructuredMutator.h"
+#include "nacl/WorkloadGen.h"
+#include "svc/Metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rocksalt;
+
+namespace {
+
+struct CliOptions {
+  uint64_t Seeds = 8;      ///< number of base workloads
+  uint64_t Iters = 100;    ///< mutations per base workload
+  uint32_t Size = 512;     ///< workload target bytes
+  uint64_t BaseSeed = 1;   ///< first workload seed; seed i = BaseSeed + i
+  bool Minimize = false;   ///< shrink disagreeing images
+  std::string CorpusDir;   ///< where reproducers land ("" = don't write)
+  bool Stats = false;      ///< dump the Prometheus metrics text at exit
+  bool RunSlow = true;
+  bool RunParallel = true;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--smoke] [--seeds N] [--iters N] [--size N]\n"
+      "          [--base-seed N] [--minimize] [--corpus DIR] [--stats]\n"
+      "          [--no-slow] [--no-parallel]\n"
+      "  --smoke   preset: --seeds 25 --iters 400 --size 384 --minimize\n"
+      "            (10025 images through every verdict path)\n",
+      Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextVal = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = std::strtoull(Argv[++I], nullptr, 0);
+      return true;
+    };
+    uint64_t V = 0;
+    if (A == "--smoke") {
+      O.Seeds = 25;
+      O.Iters = 400;
+      O.Size = 384;
+      O.Minimize = true;
+    } else if (A == "--seeds" && NextVal(V)) {
+      O.Seeds = V;
+    } else if (A == "--iters" && NextVal(V)) {
+      O.Iters = V;
+    } else if (A == "--size" && NextVal(V)) {
+      O.Size = static_cast<uint32_t>(V);
+    } else if (A == "--base-seed" && NextVal(V)) {
+      O.BaseSeed = V;
+    } else if (A == "--minimize") {
+      O.Minimize = true;
+    } else if (A == "--corpus" && I + 1 < Argc) {
+      O.CorpusDir = Argv[++I];
+    } else if (A == "--stats") {
+      O.Stats = true;
+    } else if (A == "--no-slow") {
+      O.RunSlow = false;
+    } else if (A == "--no-parallel") {
+      O.RunParallel = false;
+    } else {
+      usage(Argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Mixes (seed, iteration) into the per-iteration mutation Rng seed, so
+/// any image in the run is reachable from the command line alone.
+uint64_t mutationSeed(uint64_t WorkloadSeed, uint64_t Iter) {
+  uint64_t H = WorkloadSeed * 0x9E3779B97F4A7C15ull + Iter;
+  H ^= H >> 32;
+  return H ? H : 1;
+}
+
+void hexDump(const std::vector<uint8_t> &Code) {
+  for (size_t I = 0; I < Code.size(); ++I)
+    std::printf("%02x%s", Code[I],
+                (I + 1) % 16 == 0 || I + 1 == Code.size() ? "\n" : " ");
+}
+
+void reportDisagreement(const fuzz::OracleReport &Rep, uint64_t WorkloadSeed,
+                        uint64_t Iter) {
+  std::printf("DISAGREEMENT at seed=%llu iter=%llu (reference=%s)\n",
+              static_cast<unsigned long long>(WorkloadSeed),
+              static_cast<unsigned long long>(Iter),
+              Rep.Reference.Ok ? "ACCEPT" : "REJECT");
+  for (const auto &D : Rep.Disagreements)
+    std::printf("  path %-28s %s\n", D.Path.c_str(), D.Detail.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return 2;
+
+  svc::Metrics M;
+  fuzz::OracleOptions OO;
+  OO.RunSlow = O.RunSlow;
+  OO.RunParallel = O.RunParallel;
+  OO.M = &M;
+  fuzz::DifferentialOracle Oracle(OO);
+
+  uint64_t Disagreements = 0;
+
+  for (uint64_t S = 0; S < O.Seeds; ++S) {
+    uint64_t WorkloadSeed = O.BaseSeed + S;
+    nacl::WorkloadOptions WO;
+    WO.TargetBytes = O.Size;
+    WO.Seed = WorkloadSeed;
+    std::vector<uint8_t> Base = nacl::generateWorkload(WO);
+    std::vector<uint8_t> Cur = Base;
+
+    // Iteration 0 is the unmutated workload; it must be accepted by all
+    // paths, so a disagreement here is as reportable as any other.
+    for (uint64_t Iter = 0; Iter <= O.Iters; ++Iter) {
+      if (Iter) {
+        // Restart from the base image every 8 iterations so mutations
+        // compound a little but never drift into pure noise.
+        if (Iter % 8 == 1)
+          Cur = Base;
+        Rng MutRng(mutationSeed(WorkloadSeed, Iter));
+        Cur = fuzz::mutateStructured(Cur, MutRng);
+      }
+
+      fuzz::OracleReport Rep = Oracle.run(Cur);
+      if (Rep.agree())
+        continue;
+
+      ++Disagreements;
+      reportDisagreement(Rep, WorkloadSeed, Iter);
+      std::printf("  repro: %s --seeds 1 --base-seed %llu --iters %llu "
+                  "--size %u%s%s\n",
+                  Argv[0], static_cast<unsigned long long>(WorkloadSeed),
+                  static_cast<unsigned long long>(Iter), O.Size,
+                  O.RunSlow ? "" : " --no-slow",
+                  O.RunParallel ? "" : " --no-parallel");
+
+      std::vector<uint8_t> Repro = Cur;
+      if (O.Minimize) {
+        fuzz::MinimizeOptions MO;
+        MO.M = &M;
+        fuzz::MinimizeResult MR = fuzz::minimizeImage(
+            Repro, [&](const std::vector<uint8_t> &C) {
+              return Oracle.disagrees(C);
+            },
+            MO);
+        std::printf("  minimized %zu -> %zu bytes in %llu evals\n",
+                    Repro.size(), MR.Image.size(),
+                    static_cast<unsigned long long>(MR.Evals));
+        Repro = std::move(MR.Image);
+      }
+      std::printf("  image (%zu bytes):\n", Repro.size());
+      hexDump(Repro);
+      if (!O.CorpusDir.empty()) {
+        std::string Path =
+            fuzz::writeReproducer(O.CorpusDir, "disagree", Repro);
+        if (!Path.empty())
+          std::printf("  reproducer written: %s\n", Path.c_str());
+        else
+          std::fprintf(stderr, "  error: could not write reproducer to %s\n",
+                       O.CorpusDir.c_str());
+      }
+    }
+  }
+
+  std::printf("fuzz_differential: %llu images, %llu disagreements "
+              "(seeds %llu..%llu, %llu iters each, %u bytes)\n",
+              static_cast<unsigned long long>(M.OracleRuns.get()),
+              static_cast<unsigned long long>(Disagreements),
+              static_cast<unsigned long long>(O.BaseSeed),
+              static_cast<unsigned long long>(O.BaseSeed + O.Seeds - 1),
+              static_cast<unsigned long long>(O.Iters),
+              O.Size);
+  if (Disagreements) {
+    // Every seed involved, for one-line triage in CI logs.
+    std::printf("seeds used:");
+    for (uint64_t S = 0; S < O.Seeds; ++S)
+      std::printf(" %llu", static_cast<unsigned long long>(O.BaseSeed + S));
+    std::printf("\n");
+  }
+  if (O.Stats)
+    std::fputs(M.dump().c_str(), stdout);
+
+  return Disagreements ? 1 : 0;
+}

@@ -1,0 +1,93 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging image minimizer ---------------===//
+
+#include "fuzz/Minimizer.h"
+
+using namespace rocksalt;
+using namespace rocksalt::fuzz;
+
+namespace {
+
+/// Evaluation wrapper: counts into Metrics and enforces the eval budget.
+struct Evaluator {
+  const ImagePredicate &Pred;
+  const MinimizeOptions &O;
+  uint64_t Evals = 0;
+
+  bool exhausted() const { return Evals >= O.MaxEvals; }
+
+  bool holds(const std::vector<uint8_t> &Img) {
+    ++Evals;
+    if (O.M)
+      O.M->ShrinkSteps.add();
+    return Pred(Img);
+  }
+};
+
+/// One greedy removal sweep at a fixed chunk size. Walks front to back
+/// re-testing after each successful removal; restarts the walk position
+/// rather than the whole sweep so a pass is O(n/Chunk) evaluations.
+bool removalPass(std::vector<uint8_t> &Img, size_t Chunk, Evaluator &E) {
+  bool Shrank = false;
+  size_t I = 0;
+  while (I < Img.size() && !E.exhausted()) {
+    size_t Len = Chunk < Img.size() - I ? Chunk : Img.size() - I;
+    std::vector<uint8_t> Cand;
+    Cand.reserve(Img.size() - Len);
+    Cand.insert(Cand.end(), Img.begin(), Img.begin() + I);
+    Cand.insert(Cand.end(), Img.begin() + I + Len, Img.end());
+    if (!Cand.empty() && E.holds(Cand)) {
+      Img = std::move(Cand);
+      Shrank = true;
+      // Keep I: the bytes now at I are new, try removing them too.
+    } else {
+      I += Len;
+    }
+  }
+  return Shrank;
+}
+
+/// Rewrites each surviving byte to Filler when the predicate keeps
+/// holding, so the reproducer reads as interesting-bytes-on-a-nop-sled.
+void canonicalizePass(std::vector<uint8_t> &Img, Evaluator &E) {
+  for (size_t I = 0; I < Img.size() && !E.exhausted(); ++I) {
+    if (Img[I] == E.O.Filler)
+      continue;
+    uint8_t Old = Img[I];
+    Img[I] = E.O.Filler;
+    if (!E.holds(Img))
+      Img[I] = Old;
+  }
+}
+
+} // namespace
+
+MinimizeResult fuzz::minimizeImage(std::vector<uint8_t> Seed,
+                                   const ImagePredicate &Pred,
+                                   const MinimizeOptions &O) {
+  MinimizeResult Res;
+  Evaluator E{Pred, O};
+  size_t SeedSize = Seed.size();
+
+  // Halving granularities: big chunks first (whole bundles vanish in one
+  // test and keep the remainder aligned), down to single bytes. Repeat
+  // the whole ladder while any pass still shrinks — removing a chunk can
+  // unlock earlier granularities again.
+  bool Progress = true;
+  while (Progress && !E.exhausted()) {
+    Progress = false;
+    for (size_t Chunk = Seed.size() / 2; Chunk >= 1; Chunk /= 2) {
+      if (removalPass(Seed, Chunk, E))
+        Progress = true;
+      if (E.exhausted() || Chunk == 1)
+        break;
+    }
+  }
+
+  if (O.CanonicalizeBytes)
+    canonicalizePass(Seed, E);
+
+  Res.Image = std::move(Seed);
+  Res.Evals = E.Evals;
+  Res.BytesRemoved = SeedSize - Res.Image.size();
+  return Res;
+}

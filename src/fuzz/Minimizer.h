@@ -1,0 +1,58 @@
+//===- fuzz/Minimizer.h - Delta-debugging image minimizer ------*- C++ -*-===//
+///
+/// \file
+/// Shrinks an image while preserving a predicate — "the oracle still
+/// disagrees" for fuzz reproducers, "still rejected for the same reason"
+/// for `validator_cli --explain`. Classic greedy delta debugging over
+/// byte ranges: chunk removal at halving granularities (so whole bundles
+/// go first and the result re-aligns), then per-byte removal, then a
+/// canonicalization pass that rewrites surviving bytes to NOP so the
+/// reproducer reads as "the minimal interesting bytes on a nop sled".
+///
+/// Every predicate evaluation counts as one shrink step in
+/// svc::Metrics::ShrinkSteps when a Metrics sink is supplied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_FUZZ_MINIMIZER_H
+#define ROCKSALT_FUZZ_MINIMIZER_H
+
+#include "svc/Metrics.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rocksalt {
+namespace fuzz {
+
+using ImagePredicate = std::function<bool(const std::vector<uint8_t> &)>;
+
+struct MinimizeOptions {
+  /// Hard cap on predicate evaluations (the predicate may run the full
+  /// oracle, so each evaluation has real cost).
+  uint64_t MaxEvals = 20000;
+  /// Rewrite surviving non-essential bytes to Filler after shrinking.
+  bool CanonicalizeBytes = true;
+  uint8_t Filler = 0x90; // NOP
+  /// ShrinkSteps sink (optional).
+  svc::Metrics *M = nullptr;
+};
+
+struct MinimizeResult {
+  std::vector<uint8_t> Image; ///< smallest image still satisfying Pred
+  uint64_t Evals = 0;         ///< predicate evaluations performed
+  uint64_t BytesRemoved = 0;  ///< seed size minus result size
+};
+
+/// Greedy ddmin. \p Pred must hold on \p Seed; the result is 1-minimal
+/// with respect to the removal granularities tried (or whatever was
+/// reached when MaxEvals ran out).
+MinimizeResult minimizeImage(std::vector<uint8_t> Seed,
+                             const ImagePredicate &Pred,
+                             const MinimizeOptions &O = {});
+
+} // namespace fuzz
+} // namespace rocksalt
+
+#endif // ROCKSALT_FUZZ_MINIMIZER_H

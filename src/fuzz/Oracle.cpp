@@ -1,0 +1,137 @@
+//===- fuzz/Oracle.cpp - Cross-verifier differential oracle ---------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "core/BaselineChecker.h"
+
+#include <cstdio>
+
+using namespace rocksalt;
+using namespace rocksalt::fuzz;
+
+namespace {
+
+const char *verdictName(bool Ok) { return Ok ? "ACCEPT" : "REJECT"; }
+
+std::string boolMismatch(bool Ref, bool Got) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "verdict: reference=%s, path=%s",
+                verdictName(Ref), verdictName(Got));
+  return Buf;
+}
+
+/// First index where two bitmaps differ, or -1.
+int64_t firstDiff(const std::vector<uint8_t> &A, const std::vector<uint8_t> &B) {
+  size_t N = A.size() < B.size() ? A.size() : B.size();
+  for (size_t I = 0; I < N; ++I)
+    if (A[I] != B[I])
+      return int64_t(I);
+  return A.size() == B.size() ? -1 : int64_t(N);
+}
+
+/// Full CheckResult comparison (for the paths that produce one).
+std::string compareFull(const core::CheckResult &Ref,
+                        const core::CheckResult &Got) {
+  char Buf[128];
+  if (Ref.Ok != Got.Ok)
+    return boolMismatch(Ref.Ok, Got.Ok);
+  if (Ref.Reason != Got.Reason) {
+    std::snprintf(Buf, sizeof(Buf), "reject reason: reference=%s, path=%s",
+                  core::rejectReasonName(Ref.Reason),
+                  core::rejectReasonName(Got.Reason));
+    return Buf;
+  }
+  struct {
+    const char *Name;
+    const std::vector<uint8_t> &A, &B;
+  } Maps[] = {{"Valid", Ref.Valid, Got.Valid},
+              {"Target", Ref.Target, Got.Target},
+              {"PairJmp", Ref.PairJmp, Got.PairJmp}};
+  for (const auto &Mp : Maps) {
+    int64_t D = firstDiff(Mp.A, Mp.B);
+    if (D >= 0) {
+      std::snprintf(Buf, sizeof(Buf), "%s bitmap diverges at byte %lld",
+                    Mp.Name, static_cast<long long>(D));
+      return Buf;
+    }
+  }
+  return {};
+}
+
+} // namespace
+
+DifferentialOracle::DifferentialOracle(OracleOptions O) : Opts(O) {
+  if (Opts.M) {
+    M = Opts.M;
+  } else {
+    OwnMetrics = std::make_unique<svc::Metrics>();
+    M = OwnMetrics.get();
+  }
+  if (Opts.RunParallel) {
+    svc::ParallelVerifierOptions Geo[NumGeometries];
+    // Fine-grained: every bundle its own shard — maximal seam count.
+    Geo[0].MinShardBytes = core::BundleSize;
+    Geo[0].MaxShards = 64;
+    // Odd uneven shard count: seams land at irregular offsets.
+    Geo[1].MinShardBytes = 2 * core::BundleSize;
+    Geo[1].MaxShards = 7;
+    // Coarse shards: the production-shaped geometry.
+    Geo[2].MinShardBytes = 256;
+
+    static const unsigned ThreadCounts[NumPools] = {2, 4};
+    for (unsigned P = 0; P < NumPools; ++P) {
+      Pools.push_back(std::make_unique<svc::VerifierPool>(
+          svc::VerifierPool::Options{ThreadCounts[P]}, M));
+      for (unsigned G = 0; G < NumGeometries; ++G)
+        PVs.push_back(
+            std::make_unique<svc::ParallelVerifier>(*Pools.back(), Geo[G]));
+    }
+  }
+}
+
+OracleReport DifferentialOracle::run(const uint8_t *Code, uint32_t Size) {
+  OracleReport Rep;
+  Rep.Reference = Ref.check(Code, Size);
+  M->OracleRuns.add();
+  ++ImageCounter;
+
+  auto Note = [&](const char *PathFmt, std::string Detail) {
+    if (!Detail.empty())
+      Rep.Disagreements.push_back({PathFmt, std::move(Detail)});
+  };
+
+  // Bare Figure-5 boolean must match its own instrumented variant.
+  bool Bare = core::verifyImage(core::policyTables(), Code, Size);
+  if (Bare != Rep.Reference.Ok)
+    Note("verifyImage", boolMismatch(Rep.Reference.Ok, Bare));
+
+  bool Base = core::baselineVerify(Code, Size);
+  if (Base != Rep.Reference.Ok)
+    Note("baseline", boolMismatch(Rep.Reference.Ok, Base));
+
+  if (Opts.RunSlow) {
+    bool SlowOk = Slow.verify(Code, Size);
+    if (SlowOk != Rep.Reference.Ok)
+      Note("slow", boolMismatch(Rep.Reference.Ok, SlowOk));
+  }
+
+  if (Opts.RunParallel) {
+    // Every geometry runs on every image; the pool (thread count) the
+    // geometry uses rotates with the image counter.
+    for (unsigned G = 0; G < NumGeometries; ++G) {
+      unsigned P = unsigned((ImageCounter + G) % NumPools);
+      core::CheckResult Par = PVs[P * NumGeometries + G]->check(Code, Size);
+      std::string Detail = compareFull(Rep.Reference, Par);
+      if (!Detail.empty()) {
+        char Path[64];
+        std::snprintf(Path, sizeof(Path), "parallel[geo=%u,threads=%u]", G,
+                      Pools[P]->threadCount());
+        Rep.Disagreements.push_back({Path, std::move(Detail)});
+      }
+    }
+  }
+
+  if (!Rep.agree())
+    M->OracleDisagreements.add();
+  return Rep;
+}

@@ -1,0 +1,199 @@
+//===- fuzz/StructuredMutator.cpp -----------------------------*- C++ -*-===//
+
+#include "fuzz/StructuredMutator.h"
+
+#include "core/Verifier.h"
+#include "nacl/Mutator.h"
+
+using namespace rocksalt;
+using namespace rocksalt::fuzz;
+
+const char *fuzz::grammarMutationName(GrammarMutation K) {
+  switch (K) {
+  case GrammarMutation::PrefixInject:
+    return "prefix-inject";
+  case GrammarMutation::ImmWidthFlip:
+    return "imm-width-flip";
+  case GrammarMutation::SeamSplice:
+    return "seam-splice";
+  case GrammarMutation::MaskedPairCorrupt:
+    return "masked-pair-corrupt";
+  case GrammarMutation::RandomSite:
+    return "random-site";
+  }
+  return "?";
+}
+
+std::vector<uint32_t> fuzz::chainPositions(const std::vector<uint8_t> &Code) {
+  const core::PolicyTables &T = core::policyTables();
+  std::vector<uint32_t> Starts;
+  uint32_t Pos = 0;
+  uint32_t Size = static_cast<uint32_t>(Code.size());
+  while (Pos < Size) {
+    Starts.push_back(Pos);
+    uint32_t Dest = 0;
+    if (core::verifyStep(T, Code.data(), &Pos, Size, &Dest) ==
+        core::StepKind::Fail)
+      break;
+  }
+  return Starts;
+}
+
+namespace {
+
+/// Inserts \p Byte at \p At and drops the last byte, keeping the image
+/// size (and bundle count) fixed while shifting the downstream chain.
+std::vector<uint8_t> spliceByteAt(const std::vector<uint8_t> &Code,
+                                  uint32_t At, uint8_t Byte) {
+  std::vector<uint8_t> Out = Code;
+  Out.insert(Out.begin() + At, Byte);
+  Out.pop_back();
+  return Out;
+}
+
+std::optional<std::vector<uint8_t>>
+prefixInject(const std::vector<uint8_t> &Code, Rng &R) {
+  static const uint8_t Prefixes[] = {0x66, 0xF0, 0xF2, 0xF3, 0x26,
+                                     0x2E, 0x36, 0x3E, 0x64, 0x65};
+  std::vector<uint32_t> Starts = chainPositions(Code);
+  if (Starts.empty())
+    return std::nullopt;
+  uint32_t At = Starts[R.below(Starts.size())];
+  return spliceByteAt(Code, At, Prefixes[R.below(std::size(Prefixes))]);
+}
+
+/// Opcode pairs whose two elements differ only in immediate width.
+uint8_t immWidthSibling(uint8_t B) {
+  switch (B) {
+  case 0x83: return 0x81; // ALU r/m, imm8sx <-> imm32
+  case 0x81: return 0x83;
+  case 0x6A: return 0x68; // push imm8 <-> immW
+  case 0x68: return 0x6A;
+  case 0xEB: return 0xE9; // jmp rel8 <-> rel32
+  case 0xE9: return 0xEB;
+  case 0xC6: return 0xC7; // mov r/m, imm8 <-> immW
+  case 0xC7: return 0xC6;
+  case 0xA8: return 0xA9; // test al/eax, imm
+  case 0xA9: return 0xA8;
+  default: return 0;
+  }
+}
+
+std::optional<std::vector<uint8_t>>
+immWidthFlip(const std::vector<uint8_t> &Code, Rng &R) {
+  std::vector<uint32_t> Sites;
+  for (uint32_t P : chainPositions(Code))
+    if (P < Code.size() && immWidthSibling(Code[P]))
+      Sites.push_back(P);
+  if (Sites.empty())
+    return std::nullopt;
+  uint32_t At = Sites[R.below(Sites.size())];
+  std::vector<uint8_t> Out = Code;
+  Out[At] = immWidthSibling(Out[At]);
+  return Out;
+}
+
+std::optional<std::vector<uint8_t>>
+seamSplice(const std::vector<uint8_t> &Code, Rng &R) {
+  uint32_t Size = static_cast<uint32_t>(Code.size());
+  uint32_t Bundles = Size / core::BundleSize;
+  if (Bundles < 2)
+    return std::nullopt;
+  // A bundle boundary and an instruction overwritten so it crosses it.
+  uint32_t Seam = core::BundleSize * uint32_t(1 + R.below(Bundles - 1));
+  struct Gallery {
+    uint8_t Bytes[6];
+    uint32_t Len;
+  };
+  static const Gallery Instrs[] = {
+      {{0xB8, 0x11, 0x22, 0x33, 0x44, 0}, 5},       // mov eax, imm32
+      {{0x83, 0xE0, 0xE0, 0xFF, 0xE0, 0}, 5},       // nacljmp eax
+      {{0xE9, 0x00, 0x00, 0x00, 0x00, 0}, 5},       // jmp rel32 +0
+      {{0x0F, 0x84, 0x00, 0x00, 0x00, 0x00}, 6},    // je rel32 +0
+      {{0x81, 0xC3, 0x01, 0x00, 0x00, 0x00}, 6},    // add ebx, imm32
+      {{0x66, 0xB8, 0x22, 0x11, 0x90, 0}, 4},       // mov ax, imm16 (0x66)
+  };
+  const Gallery &G = Instrs[R.below(std::size(Instrs))];
+  // Start 1..Len-1 bytes before the seam so the instruction straddles it.
+  uint32_t Back = uint32_t(1 + R.below(G.Len - 1));
+  if (Back > Seam || Seam - Back + G.Len > Size)
+    return std::nullopt;
+  std::vector<uint8_t> Out = Code;
+  for (uint32_t I = 0; I < G.Len; ++I)
+    Out[Seam - Back + I] = G.Bytes[I];
+  return Out;
+}
+
+std::optional<std::vector<uint8_t>>
+maskedPairCorrupt(const std::vector<uint8_t> &Code, Rng &R) {
+  // All nacljmp pair positions (mask half at I).
+  std::vector<uint32_t> Pairs;
+  for (uint32_t I = 0; I + 4 < Code.size(); ++I) {
+    if (Code[I] != 0x83 || (Code[I + 1] & 0xF8) != 0xE0 ||
+        Code[I + 2] != core::SafeMaskByte || Code[I + 3] != 0xFF)
+      continue;
+    uint8_t M2 = Code[I + 4] & 0xF8;
+    if (M2 == 0xE0 || M2 == 0xD0)
+      Pairs.push_back(I);
+  }
+  if (Pairs.empty())
+    return std::nullopt;
+  uint32_t At = Pairs[R.below(Pairs.size())];
+  std::vector<uint8_t> Out = Code;
+  switch (R.below(5)) {
+  case 0: // register mismatch between mask and jump halves
+    Out[At + 4] = (Out[At + 4] & 0xF8) | uint8_t((Out[At + 4] + 1) & 7);
+    break;
+  case 1: // wrong mask immediate
+    Out[At + 2] = static_cast<uint8_t>(R.next());
+    break;
+  case 2: // AND digit 4 -> 5 (and -> sub encoding-wise: not a mask)
+    Out[At + 1] ^= 0x08;
+    break;
+  case 3: // jmp <-> call flavor (stays a legal pair: exercises agreement)
+    Out[At + 4] ^= 0x30;
+    break;
+  case 4: // register form -> memory form (FF /4 mod=01: jmp [r+disp8])
+    Out[At + 4] ^= 0x80;
+    break;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::optional<std::vector<uint8_t>>
+fuzz::applyGrammarMutation(const std::vector<uint8_t> &Code,
+                           GrammarMutation Kind, Rng &R) {
+  if (Code.empty())
+    return std::nullopt;
+  switch (Kind) {
+  case GrammarMutation::PrefixInject:
+    return prefixInject(Code, R);
+  case GrammarMutation::ImmWidthFlip:
+    return immWidthFlip(Code, R);
+  case GrammarMutation::SeamSplice:
+    return seamSplice(Code, R);
+  case GrammarMutation::MaskedPairCorrupt:
+    return maskedPairCorrupt(Code, R);
+  case GrammarMutation::RandomSite:
+    return nacl::mutateRandom(Code, R);
+  }
+  return std::nullopt;
+}
+
+std::vector<uint8_t> fuzz::mutateStructured(const std::vector<uint8_t> &Code,
+                                            Rng &R) {
+  // Grammar-directed kinds dominate; the blind fallback keeps the blind
+  // case covered and absorbs inapplicable draws.
+  static const GrammarMutation Kinds[] = {
+      GrammarMutation::PrefixInject,      GrammarMutation::PrefixInject,
+      GrammarMutation::ImmWidthFlip,      GrammarMutation::ImmWidthFlip,
+      GrammarMutation::SeamSplice,        GrammarMutation::SeamSplice,
+      GrammarMutation::MaskedPairCorrupt, GrammarMutation::MaskedPairCorrupt,
+      GrammarMutation::RandomSite};
+  GrammarMutation Kind = Kinds[R.below(std::size(Kinds))];
+  if (auto Out = applyGrammarMutation(Code, Kind, R))
+    return *Out;
+  return nacl::mutateRandom(Code, R);
+}

@@ -1,0 +1,72 @@
+//===- fuzz/StructuredMutator.h - Grammar-directed mutations ---*- C++ -*-===//
+///
+/// \file
+/// Mutations that know the shape of the policy grammars, extending the
+/// blind corruptions of nacl/Mutator. Where mutateRandom flips an
+/// arbitrary byte, these aim at the constructs the four verifiers have
+/// to agree about byte-for-byte:
+///
+///  * PrefixInject — splice a prefix byte (0x66/0xF0/0xF2/0xF3/segment)
+///    in at an instruction start, shifting everything after it by one so
+///    the whole downstream chain re-aligns differently;
+///  * ImmWidthFlip — rewrite an opcode to its other-immediate-width
+///    sibling (83<->81, 6A<->68, EB<->E9, C6<->C7, A8<->A9) while
+///    leaving the operand bytes alone, so the decoded length changes out
+///    from under the old encoding;
+///  * SeamSplice — overwrite bytes so a multi-byte instruction (or a
+///    masked-jump pair) straddles a 32-byte bundle boundary, the exact
+///    inputs where the chunk-parallel verifier's seam logic must match
+///    the sequential chain;
+///  * MaskedPairCorrupt — find a nacljmp pair and break exactly one of
+///    its invariants (register agreement, the mask immediate, the AND
+///    digit, jmp/call flavor, register- vs memory-form).
+///
+/// All mutations are deterministic per Rng state, so a failing image is
+/// reproducible from (base seed, iteration) alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_FUZZ_STRUCTUREDMUTATOR_H
+#define ROCKSALT_FUZZ_STRUCTUREDMUTATOR_H
+
+#include "support/Oracle.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rocksalt {
+namespace fuzz {
+
+enum class GrammarMutation : uint8_t {
+  PrefixInject,
+  ImmWidthFlip,
+  SeamSplice,
+  MaskedPairCorrupt,
+  RandomSite, ///< nacl::mutateRandom fallback, for coverage of the blind case
+};
+
+const char *grammarMutationName(GrammarMutation K);
+
+/// Applies \p Kind at a position chosen through \p R. Returns nullopt
+/// when the mutation does not apply (no masked pair to corrupt, image
+/// too small to straddle a seam, ...).
+std::optional<std::vector<uint8_t>>
+applyGrammarMutation(const std::vector<uint8_t> &Code, GrammarMutation Kind,
+                     Rng &R);
+
+/// Draws a mutation kind and applies it, falling back to random
+/// single-site corruption when the drawn kind does not apply. Never
+/// fails on a non-empty image.
+std::vector<uint8_t> mutateStructured(const std::vector<uint8_t> &Code,
+                                      Rng &R);
+
+/// The positions the Figure-5 chain visits on \p Code, up to the first
+/// failing position (inclusive) — the mutation sites grammar-aware
+/// mutations aim at. Exposed for tests.
+std::vector<uint32_t> chainPositions(const std::vector<uint8_t> &Code);
+
+} // namespace fuzz
+} // namespace rocksalt
+
+#endif // ROCKSALT_FUZZ_STRUCTUREDMUTATOR_H

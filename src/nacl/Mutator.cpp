@@ -49,6 +49,18 @@ nacl::applyAttack(const std::vector<uint8_t> &Code, Attack Kind, Rng &R) {
     Out[Pos] = 0x8E;
     Out[Pos + 1] = 0xD8; // mov ds, eax
     return Out;
+  case Attack::PrefixedBranch:
+    // A 0x66 operand-size prefix on a direct branch makes the immediate
+    // rel16, truncating EIP — the policy grammars must refuse the prefix
+    // outright instead of mis-sizing the displacement.
+    Out[Pos] = 0x66;
+    if (R.flip()) {
+      Out[Pos + 1] = 0xE9; // jmp rel16
+    } else {
+      Out[Pos + 1] = 0x0F; // jcc rel16
+      Out[Pos + 2] = static_cast<uint8_t>(0x80 + R.below(16));
+    }
+    return Out;
   }
   return std::nullopt;
 }

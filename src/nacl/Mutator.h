@@ -30,7 +30,8 @@ enum class Attack {
   StripMask,        ///< NOP out the AND of a masked-jump pair
   SegmentOverride,  ///< overwrite one byte with a segment prefix
   FarCall,          ///< overwrite one byte with 9A (far call)
-  WriteSegReg       ///< overwrite two bytes with 8E D8 (mov ds, eax)
+  WriteSegReg,      ///< overwrite two bytes with 8E D8 (mov ds, eax)
+  PrefixedBranch    ///< overwrite with 66 E9 / 66 0F 8x (rel16 branch)
 };
 
 /// Applies \p Kind at a random position. Returns std::nullopt when the

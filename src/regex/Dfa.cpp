@@ -2,24 +2,33 @@
 
 #include "regex/Dfa.h"
 
-#include <cassert>
 #include <deque>
+#include <stdexcept>
 #include <unordered_map>
 
 using namespace rocksalt;
 using namespace rocksalt::re;
 
-Dfa re::buildDfa(Factory &F, Regex Root, [[maybe_unused]] size_t MaxStates) {
+Dfa re::buildDfa(Factory &F, Regex Root, size_t MaxStates) {
   Dfa D;
   std::unordered_map<Regex, uint16_t> StateOf;
   std::deque<Regex> Worklist;
+
+  // These are hard errors, not asserts: the verifier's match loop indexes
+  // the transition table with 16-bit state ids, so a table that silently
+  // grew past the id range would make it walk the wrong rows in release
+  // builds (where asserts compile away).
+  if (MaxStates > MaxDfaStates)
+    MaxStates = MaxDfaStates;
 
   auto StateFor = [&](Regex R) -> uint16_t {
     auto It = StateOf.find(R);
     if (It != StateOf.end())
       return It->second;
-    assert(StateOf.size() < MaxStates && "DFA state explosion");
-    assert(StateOf.size() < 65535 && "DFA state id overflows uint16_t");
+    if (StateOf.size() >= MaxStates)
+      throw std::length_error(
+          "buildDfa: DFA state count exceeds the 16-bit state id range "
+          "(or the caller's MaxStates bound)");
     uint16_t Id = static_cast<uint16_t>(StateOf.size());
     StateOf.emplace(R, Id);
     D.Table.emplace_back();

@@ -42,8 +42,15 @@ struct Dfa {
   }
 };
 
-/// Builds the DFA for \p Root by derivative closure. Asserts if more than
-/// \p MaxStates states are generated (the paper's policy DFAs have at most
+/// The hard ceiling on DFA states: state ids live in uint16_t transition
+/// table cells, so a table past this bound cannot be represented (ids
+/// 0..65534, with 65535 kept unused as a guard).
+constexpr size_t MaxDfaStates = 65535;
+
+/// Builds the DFA for \p Root by derivative closure. Throws
+/// std::length_error if more than min(\p MaxStates, MaxDfaStates) states
+/// are generated — a real check, not an assert, so oversized tables are
+/// rejected in release builds too (the paper's policy DFAs have at most
 /// 61 states, so the default bound is generous).
 Dfa buildDfa(Factory &F, Regex Root, size_t MaxStates = 65000);
 

@@ -28,8 +28,14 @@ uint64_t Histogram::quantile(double Q) const {
   uint64_t Seen = 0;
   for (unsigned I = 0; I < NumBuckets; ++I) {
     Seen += bucket(I);
-    if (double(Seen) >= Want)
-      return I ? (uint64_t(1) << I) - 1 : 0; // upper edge of bucket I
+    if (double(Seen) < Want)
+      continue;
+    // The last bucket is the overflow bucket (it also holds clamped
+    // bit_width-64 values), so its finite power-of-two edge would
+    // under-report; the observed max is the tight upper bound there.
+    if (I == NumBuckets - 1)
+      return max();
+    return I ? (uint64_t(1) << I) - 1 : 0; // upper edge of bucket I
   }
   return max();
 }
@@ -62,16 +68,26 @@ void dumpHistogram(std::string &Out, const char *Name, const Histogram &H) {
                 static_cast<unsigned long long>(H.quantile(0.50)), Name,
                 static_cast<unsigned long long>(H.quantile(0.99)));
   Out += Buf;
-  for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+  // Prometheus-style cumulative buckets: each `le` line carries the count
+  // of values at or below that edge, terminated by the mandatory +Inf
+  // bucket. The last bucket is the overflow bucket (clamped bit_width-64
+  // values land there too), so it has no finite edge: its count appears
+  // only in the +Inf line.
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I + 1 < Histogram::NumBuckets; ++I) {
     uint64_t B = H.bucket(I);
     if (!B)
       continue;
-    std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=%llu} %llu\n", Name,
+    Cum += B;
+    std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=\"%llu\"} %llu\n", Name,
                   static_cast<unsigned long long>(
                       I ? (uint64_t(1) << I) - 1 : 0),
-                  static_cast<unsigned long long>(B));
+                  static_cast<unsigned long long>(Cum));
     Out += Buf;
   }
+  std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=\"+Inf\"} %llu\n", Name,
+                static_cast<unsigned long long>(H.count()));
+  Out += Buf;
 }
 
 } // namespace
@@ -91,6 +107,9 @@ std::string Metrics::dump() const {
   dumpScalar(Out, "seam_rescans", SeamRescans.get());
   dumpScalar(Out, "tasks_run", TasksRun.get());
   dumpScalar(Out, "tasks_stolen", TasksStolen.get());
+  dumpScalar(Out, "fuzz_oracle_runs", OracleRuns.get());
+  dumpScalar(Out, "fuzz_disagreements", OracleDisagreements.get());
+  dumpScalar(Out, "fuzz_shrink_steps", ShrinkSteps.get());
   dumpScalar(Out, "queue_depth", static_cast<uint64_t>(
                                      QueueDepth.get() < 0 ? 0
                                                           : QueueDepth.get()));
@@ -114,6 +133,9 @@ void Metrics::reset() {
   TasksRun.reset();
   TasksStolen.reset();
   QueueDepth.reset();
+  OracleRuns.reset();
+  OracleDisagreements.reset();
+  ShrinkSteps.reset();
   VerifyNanos.reset();
   ShardImbalancePermille.reset();
   BatchImages.reset();

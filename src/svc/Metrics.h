@@ -49,7 +49,9 @@ public:
 };
 
 /// Log2-bucketed histogram: bucket i counts values v with bit_width(v)
-/// == i, i.e. v in [2^(i-1), 2^i). Tracks count/sum/max alongside.
+/// == i, i.e. v in [2^(i-1), 2^i). The last bucket doubles as the
+/// overflow bucket (values with bit_width 64 are clamped into it), so it
+/// has no finite upper edge. Tracks count/sum/max alongside.
 class alignas(64) Histogram {
 public:
   static constexpr unsigned NumBuckets = 64;
@@ -103,6 +105,11 @@ struct Metrics {
   Counter TasksRun;
   Counter TasksStolen;      ///< tasks taken from another worker's deque
   Gauge QueueDepth;         ///< tasks enqueued but not yet started
+
+  // Differential-fuzzing internals (src/fuzz).
+  Counter OracleRuns;          ///< images run through the full oracle
+  Counter OracleDisagreements; ///< images on which any verdict path diverged
+  Counter ShrinkSteps;         ///< minimizer predicate evaluations
 
   // Distributions.
   Histogram VerifyNanos;          ///< wall time per image verification

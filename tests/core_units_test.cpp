@@ -192,7 +192,7 @@ TEST(Mutator, TargetedAttacksChangeTheImage) {
   for (Attack A :
        {Attack::BareIndirectJump, Attack::InsertRet, Attack::InsertInt,
         Attack::StripMask, Attack::SegmentOverride, Attack::FarCall,
-        Attack::WriteSegReg}) {
+        Attack::WriteSegReg, Attack::PrefixedBranch}) {
     auto Bad = applyAttack(Code, A, R);
     if (!Bad)
       continue;
@@ -286,4 +286,65 @@ TEST(TrustedRuntime, FaultTerminatesWithoutExit) {
   auto R = RT.run(C, 1000);
   EXPECT_FALSE(R.Exited);
   EXPECT_EQ(R.Final, rtl::Status::Fault);
+}
+
+//===----------------------------------------------------------------------===//
+// MaskedJump shape guard — the PairJmp bitmap derivation.
+//===----------------------------------------------------------------------===//
+
+// The checker marks the jump half of a masked pair at
+// (end of match) - MaskedJumpHalfLen. That derivation is correct for any
+// mask-half length, but MaskedJumpHalfLen itself hard-codes that the
+// jump half is exactly two bytes. This test walks the compiled
+// MaskedJump DFA and fails if the grammar ever accepts a string whose
+// length is not mask(3) + jump(2) = 5 — i.e. if someone grows the
+// grammar without revisiting the PairJmp positions.
+TEST(Policy, MaskedJumpAcceptsOnlyFiveByteStrings) {
+  const re::Dfa &D = policyTables().MaskedJump;
+  // Breadth-first reachability: Reach[d] = states reachable by some
+  // d-byte string. Depth-cap far above any plausible pair encoding.
+  constexpr unsigned MaxDepth = 24;
+  std::vector<uint8_t> Reach(D.numStates(), 0), Next;
+  Reach[D.Start] = 1;
+  std::vector<unsigned> AcceptDepths;
+  for (unsigned Depth = 0; Depth <= MaxDepth; ++Depth) {
+    for (size_t S = 0; S < D.numStates(); ++S)
+      if (Reach[S] && D.Accepts[S])
+        AcceptDepths.push_back(Depth);
+    Next.assign(D.numStates(), 0);
+    for (size_t S = 0; S < D.numStates(); ++S) {
+      if (!Reach[S] || D.Rejects[S])
+        continue;
+      for (unsigned B = 0; B < 256; ++B)
+        Next[D.step(uint16_t(S), uint8_t(B))] = 1;
+    }
+    Reach.swap(Next);
+  }
+  ASSERT_EQ(AcceptDepths.size(), 1u)
+      << "MaskedJump accepts strings of several lengths; the PairJmp "
+         "derivation in check/scanShard/mergeShardScans must be revisited";
+  EXPECT_EQ(AcceptDepths[0], 3u + MaskedJumpHalfLen);
+}
+
+// The other half of the guard: every sampled MaskedJump string really
+// ends in a two-byte FF-group jump, so (end - MaskedJumpHalfLen) is the
+// jump half's first byte.
+TEST(Policy, MaskedJumpMatchesEndInTwoByteJumpHalf) {
+  re::Factory F;
+  PolicyGrammars P = buildPolicyGrammars(F);
+  uint64_t RngState = 1234;
+  unsigned Sampled = 0;
+  for (int I = 0; I < 200; ++I) {
+    auto Bytes = F.sampleBytes(P.MaskedJumpRe, RngState);
+    if (!Bytes)
+      continue;
+    ++Sampled;
+    ASSERT_GE(Bytes->size(), MaskedJumpHalfLen);
+    size_t Jmp = Bytes->size() - MaskedJumpHalfLen;
+    EXPECT_EQ((*Bytes)[Jmp], 0xFF);
+    uint8_t Group = (*Bytes)[Jmp + 1] & 0xF8;
+    EXPECT_TRUE(Group == 0xE0 || Group == 0xD0)
+        << "modrm " << unsigned((*Bytes)[Jmp + 1]);
+  }
+  EXPECT_GE(Sampled, 50u);
 }

@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 using namespace rocksalt::re;
 using rocksalt::Rng;
 
@@ -169,4 +171,32 @@ TEST(Dfa, DeterministicConstruction) {
     for (unsigned B = 0; B < 256; ++B)
       EXPECT_EQ(D1.Table[S][B], D2.Table[S][B]);
   }
+}
+
+// Regression: the MaxStates bound used to be an assert, compiled away in
+// release builds — buildDfa would happily generate tables whose state
+// count overflows the uint16_t ids the verifier's transition table (and
+// core::dfaMatch) traffic in. It must be a real throw in every build.
+TEST(Dfa, OversizedTableIsRejectedNotTruncated) {
+  Factory F;
+  // A chain of 300 counted anyBytes needs ~300 live states; with a
+  // MaxStates bound of 100 construction must abort, not keep going.
+  Regex R = F.epsRe();
+  for (int I = 0; I < 300; ++I)
+    R = F.cat(F.anyByte(), R);
+  EXPECT_THROW(buildDfa(F, R, 100), std::length_error);
+}
+
+TEST(Dfa, CallerBoundIsClampedToTheUint16IdRange) {
+  Factory F;
+  // Asking for more states than uint16_t ids can name must not disable
+  // the check: the hard MaxDfaStates ceiling still applies. (The chain is
+  // far below the ceiling, so this build succeeds — the point is that the
+  // permissive caller bound is accepted and clamped, not trusted.)
+  Regex R = F.epsRe();
+  for (int I = 0; I < 40; ++I)
+    R = F.cat(F.anyByte(), R);
+  Dfa D = buildDfa(F, R, size_t(1) << 32);
+  EXPECT_LE(D.numStates(), MaxDfaStates);
+  EXPECT_GE(D.numStates(), 40u);
 }

@@ -1,0 +1,139 @@
+//===- tests/svc_metrics_test.cpp -----------------------------*- C++ -*-===//
+//
+// Tests for the lock-free metrics layer, pinning two contracts the fuzz
+// harness leans on: the histogram's last bucket is a true overflow
+// bucket (values clamped into it must never be reported under a finite
+// upper edge), and dump() renders histograms in the Prometheus
+// exposition shape — cumulative le-labeled buckets with an +Inf
+// terminator equal to the total count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rocksalt::svc;
+
+namespace {
+
+/// The parsed `name_bucket{le="..."} value` lines of one histogram, in
+/// dump order.
+struct BucketLine {
+  std::string Le; // "+Inf" or a decimal edge
+  uint64_t Count;
+};
+
+std::vector<BucketLine> bucketLines(const std::string &Dump,
+                                    const std::string &Name) {
+  std::vector<BucketLine> Lines;
+  std::istringstream In(Dump);
+  std::string L;
+  const std::string Prefix = Name + "_bucket{le=\"";
+  while (std::getline(In, L)) {
+    if (L.rfind(Prefix, 0) != 0)
+      continue;
+    size_t Close = L.find('"', Prefix.size());
+    if (Close == std::string::npos) {
+      ADD_FAILURE() << "malformed bucket line: " << L;
+      continue;
+    }
+    BucketLine B;
+    B.Le = L.substr(Prefix.size(), Close - Prefix.size());
+    B.Count = std::stoull(L.substr(L.find(' ', Close)));
+    Lines.push_back(std::move(B));
+  }
+  return Lines;
+}
+
+} // namespace
+
+TEST(Histogram, OverflowValuesLandInTheLastBucket) {
+  Histogram H;
+  H.record(uint64_t(1) << 63); // bit_width 64: no finite bucket fits
+  H.record(UINT64_MAX);
+  EXPECT_EQ(H.bucket(Histogram::NumBuckets - 1), 2u);
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.max(), UINT64_MAX);
+}
+
+// Regression: quantiles that land in the overflow bucket used to be
+// reported as the bucket's nominal power-of-two edge (2^63 - 1), below
+// the recorded values. The observed max is the only tight upper bound
+// the overflow bucket has.
+TEST(Histogram, QuantileInOverflowBucketReportsObservedMax) {
+  Histogram H;
+  H.record(1);
+  H.record(UINT64_MAX);
+  EXPECT_EQ(H.quantile(1.0), UINT64_MAX);
+  // The half that falls in a finite bucket is still edge-reported.
+  EXPECT_EQ(H.quantile(0.5), 1u);
+}
+
+TEST(Histogram, QuantileEdgesForFiniteBuckets) {
+  Histogram H;
+  for (uint64_t V : {0ull, 1ull, 5ull, 200ull})
+    H.record(V);
+  EXPECT_EQ(H.quantile(0.25), 0u);   // bucket 0: exactly zero
+  EXPECT_EQ(H.quantile(0.5), 1u);    // bucket 1 edge
+  EXPECT_EQ(H.quantile(0.75), 7u);   // 5 lands in bucket 3, edge 7
+  EXPECT_EQ(H.quantile(1.0), 255u);  // 200 lands in bucket 8, edge 255
+}
+
+TEST(MetricsDump, HistogramBucketsAreCumulativeWithInfTerminator) {
+  Metrics M;
+  for (uint64_t V : {1ull, 1ull, 100ull, 5000ull})
+    M.VerifyNanos.record(V);
+  auto Lines = bucketLines(M.dump(), "verify_nanos");
+  ASSERT_GE(Lines.size(), 2u);
+
+  // Exactly one +Inf line, last, equal to the total count.
+  EXPECT_EQ(Lines.back().Le, "+Inf");
+  EXPECT_EQ(Lines.back().Count, 4u);
+  for (size_t I = 0; I + 1 < Lines.size(); ++I)
+    EXPECT_NE(Lines[I].Le, "+Inf");
+
+  // Cumulative: non-decreasing counts, strictly increasing finite edges.
+  for (size_t I = 0; I + 1 < Lines.size(); ++I) {
+    EXPECT_LE(Lines[I].Count, Lines[I + 1].Count);
+    if (Lines[I + 1].Le != "+Inf")
+      EXPECT_LT(std::stoull(Lines[I].Le), std::stoull(Lines[I + 1].Le));
+  }
+}
+
+// Regression: overflow values used to be printed under the fabricated
+// finite edge 2^63 - 1. They may only be counted by the +Inf line.
+TEST(MetricsDump, OverflowBucketHasNoFiniteEdge) {
+  Metrics M;
+  M.VerifyNanos.record(7);
+  M.VerifyNanos.record(UINT64_MAX);
+  auto Lines = bucketLines(M.dump(), "verify_nanos");
+  ASSERT_GE(Lines.size(), 2u);
+  ASSERT_EQ(Lines.back().Le, "+Inf");
+  EXPECT_EQ(Lines.back().Count, 2u);
+  // Every finite-edge line must exclude the overflow observation.
+  for (size_t I = 0; I + 1 < Lines.size(); ++I) {
+    EXPECT_LE(Lines[I].Count, 1u) << "le=" << Lines[I].Le;
+    EXPECT_LT(std::stoull(Lines[I].Le), uint64_t(1) << 63);
+  }
+}
+
+TEST(MetricsDump, FuzzCountersAppearAndReset) {
+  Metrics M;
+  M.OracleRuns.add(3);
+  M.OracleDisagreements.add();
+  M.ShrinkSteps.add(17);
+  std::string D = M.dump();
+  EXPECT_NE(D.find("fuzz_oracle_runs 3\n"), std::string::npos);
+  EXPECT_NE(D.find("fuzz_disagreements 1\n"), std::string::npos);
+  EXPECT_NE(D.find("fuzz_shrink_steps 17\n"), std::string::npos);
+  M.reset();
+  EXPECT_EQ(M.OracleRuns.get(), 0u);
+  EXPECT_EQ(M.OracleDisagreements.get(), 0u);
+  EXPECT_EQ(M.ShrinkSteps.get(), 0u);
+}

@@ -191,7 +191,7 @@ TEST_F(EquivalenceTest, WorkloadAttackAndMutationSweep) {
       nacl::Attack::BareIndirectJump, nacl::Attack::InsertRet,
       nacl::Attack::InsertInt,        nacl::Attack::StripMask,
       nacl::Attack::SegmentOverride,  nacl::Attack::FarCall,
-      nacl::Attack::WriteSegReg};
+      nacl::Attack::WriteSegReg,      nacl::Attack::PrefixedBranch};
 
   uint64_t Budget = envImages();
   uint64_t Checked = 0;
