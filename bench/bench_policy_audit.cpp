@@ -1,0 +1,91 @@
+//===- bench/bench_policy_audit.cpp ---------------------------*- C++ -*-===//
+//
+// Cost of the policy meta-audit (analysis/PolicyAudit.h), split into its
+// phases: building the decoder reference DFAs (the dominant one-time
+// cost), the full audit given tables + references, and the individual
+// algebra passes it is made of. Establishes that the audit is cheap
+// enough to run as a ctest gate on every build.
+//
+// After the timed benchmarks, prints the E10 report: per-policy raw vs
+// minimized state counts and the audit wall-clock, i.e. the numbers
+// EXPERIMENTS.md records.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PolicyAudit.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace rocksalt;
+
+namespace {
+
+void benchBuildDecoderDfas(benchmark::State &State) {
+  for (auto _ : State) {
+    analysis::DecoderDfas X = analysis::buildDecoderDfas();
+    benchmark::DoNotOptimize(X.One.numStates() + X.Pair.numStates());
+  }
+}
+BENCHMARK(benchBuildDecoderDfas)->Unit(benchmark::kMillisecond);
+
+void benchFullAudit(benchmark::State &State) {
+  const core::PolicyTables &T = core::policyTables();
+  analysis::DecoderDfas X = analysis::buildDecoderDfas();
+  for (auto _ : State) {
+    analysis::AuditReport R = analysis::auditPolicy(T, X);
+    benchmark::DoNotOptimize(R.Pass);
+  }
+}
+BENCHMARK(benchFullAudit)->Unit(benchmark::kMillisecond);
+
+void benchPairwiseDisjointness(benchmark::State &State) {
+  const core::PolicyTables &T = core::policyTables();
+  for (auto _ : State) {
+    bool D = !re::intersectionWitness(T.MaskedJump, T.NoControlFlow) &&
+             !re::intersectionWitness(T.MaskedJump, T.DirectJump) &&
+             !re::intersectionWitness(T.NoControlFlow, T.DirectJump);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(benchPairwiseDisjointness)->Unit(benchmark::kMicrosecond);
+
+void benchDecoderInclusion(benchmark::State &State) {
+  const core::PolicyTables &T = core::policyTables();
+  analysis::DecoderDfas X = analysis::buildDecoderDfas();
+  for (auto _ : State) {
+    bool I = !re::inclusionWitness(T.NoControlFlow, X.One) &&
+             !re::inclusionWitness(T.DirectJump, X.One) &&
+             !re::inclusionWitness(T.MaskedJump, X.Pair);
+    benchmark::DoNotOptimize(I);
+  }
+}
+BENCHMARK(benchDecoderInclusion)->Unit(benchmark::kMicrosecond);
+
+void benchMinimizeTables(benchmark::State &State) {
+  const core::PolicyTables &T = core::policyTables();
+  for (auto _ : State) {
+    size_t N = re::minimizeDfa(T.MaskedJump).numStates() +
+               re::minimizeDfa(T.NoControlFlow).numStates() +
+               re::minimizeDfa(T.DirectJump).numStates();
+    benchmark::DoNotOptimize(N);
+  }
+}
+BENCHMARK(benchMinimizeTables)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // The E10 report.
+  analysis::AuditReport R = analysis::auditShippedPolicy();
+  std::printf("\n%s", R.render().c_str());
+  analysis::DecoderDfas X = analysis::buildDecoderDfas();
+  std::printf("decoder reference: one-instruction %zu states, "
+              "two-instruction %zu states\n",
+              X.One.numStates(), X.Pair.numStates());
+  return R.Pass ? 0 : 1;
+}

@@ -16,13 +16,22 @@
 // delta-debugging minimizer) and prints it — the offending construct on
 // a nop sled instead of a needle in a 4 KB image.
 //
+// --lint recovers the control-flow graph the policy implies for each
+// image and prints severity-graded diagnostics (see analysis/CfgLint.h);
+// --audit runs the policy meta-verifier over the shipped DFA tables
+// (disjointness, decoder inclusion, health, minimization) and exits
+// nonzero if any obligation fails.
+//
 // Usage:
-//   validator_cli <image.bin>... [--disassemble] [--explain] [--jobs N]
-//                                [--stats]
-//   validator_cli --selftest [--jobs N] [--stats]
+//   validator_cli <image.bin>... [--disassemble] [--explain] [--lint]
+//                                [--jobs N] [--stats]
+//   validator_cli --selftest [--lint] [--jobs N] [--stats]
+//   validator_cli --audit
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CfgLint.h"
+#include "analysis/PolicyAudit.h"
 #include "core/BaselineChecker.h"
 #include "core/Verifier.h"
 #include "fuzz/Minimizer.h"
@@ -52,6 +61,8 @@ struct CliOptions {
   bool Stats = false;
   bool Disasm = false;
   bool Explain = false; ///< minimize rejected images to their core
+  bool Lint = false;    ///< recover + lint the implied CFG per image
+  bool Audit = false;   ///< meta-verify the shipped policy tables
   bool Selftest = false;
 };
 
@@ -98,7 +109,7 @@ void explainRejection(const std::vector<uint8_t> &Code,
 /// One image through RockSalt (sequential or chunk-parallel) plus the
 /// ncval-style baseline, with timings.
 int validate(const std::vector<uint8_t> &Code, const CliOptions &Opts,
-             svc::ParallelVerifier *PV) {
+             svc::ParallelVerifier *PV, svc::Metrics *M) {
   auto T0 = std::chrono::steady_clock::now();
   core::CheckResult R;
   if (PV) {
@@ -128,11 +139,16 @@ int validate(const std::vector<uint8_t> &Code, const CliOptions &Opts,
     disassemble(Code, R);
   if (Opts.Explain && !R.Ok && !Code.empty())
     explainRejection(Code, R);
+  if (Opts.Lint && !Code.empty()) {
+    analysis::CfgLintResult L =
+        analysis::lintImage(core::policyTables(), Code, M);
+    std::printf("%s", L.render().c_str());
+  }
   return R.Ok ? 0 : 1;
 }
 
 int selftest(const CliOptions &Opts, svc::VerifierPool *Pool,
-             svc::ParallelVerifier *PV) {
+             svc::ParallelVerifier *PV, svc::Metrics *M) {
   nacl::WorkloadOptions WOpts;
   WOpts.TargetBytes = 512;
   WOpts.Seed = 42;
@@ -140,14 +156,14 @@ int selftest(const CliOptions &Opts, svc::VerifierPool *Pool,
   std::printf("== generated compliant workload ==\n");
   CliOptions Inner = Opts;
   Inner.Disasm = true;
-  int Rc = validate(Code, Inner, PV);
+  int Rc = validate(Code, Inner, PV, M);
 
   Rng R(7);
   auto Bad = nacl::applyAttack(Code, nacl::Attack::InsertRet, R);
   if (Bad) {
     std::printf("\n== after inserting a RET ==\n");
     Inner.Disasm = false;
-    validate(*Bad, Inner, PV);
+    validate(*Bad, Inner, PV, M);
   }
 
   if (Pool) {
@@ -172,9 +188,10 @@ int selftest(const CliOptions &Opts, svc::VerifierPool *Pool,
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <image.bin>... [--disassemble] [--explain] "
-               "[--jobs N] [--stats]"
-               "\n       %s --selftest [--jobs N] [--stats]\n",
-               Prog, Prog);
+               "[--lint] [--jobs N] [--stats]"
+               "\n       %s --selftest [--lint] [--jobs N] [--stats]"
+               "\n       %s --audit\n",
+               Prog, Prog, Prog);
   return 2;
 }
 
@@ -189,6 +206,10 @@ int main(int argc, char **argv) {
       Opts.Disasm = true;
     } else if (std::strcmp(argv[I], "--explain") == 0) {
       Opts.Explain = true;
+    } else if (std::strcmp(argv[I], "--lint") == 0) {
+      Opts.Lint = true;
+    } else if (std::strcmp(argv[I], "--audit") == 0) {
+      Opts.Audit = true;
     } else if (std::strcmp(argv[I], "--stats") == 0) {
       Opts.Stats = true;
     } else if (std::strcmp(argv[I], "--jobs") == 0) {
@@ -204,6 +225,11 @@ int main(int argc, char **argv) {
       Opts.Files.push_back(argv[I]);
     }
   }
+  if (Opts.Audit) {
+    analysis::AuditReport R = analysis::auditShippedPolicy();
+    std::printf("%s", R.render().c_str());
+    return R.Pass ? 0 : 1;
+  }
   if (!Opts.Selftest && Opts.Files.empty())
     return usage(argv[0]);
 
@@ -218,8 +244,8 @@ int main(int argc, char **argv) {
 
   int Rc;
   if (Opts.Selftest) {
-    Rc = selftest(Opts, Pool.get(), PV.get());
-  } else if (Pool && Opts.Files.size() > 1 && !Opts.Disasm) {
+    Rc = selftest(Opts, Pool.get(), PV.get(), &Metrics);
+  } else if (Pool && Opts.Files.size() > 1 && !Opts.Disasm && !Opts.Lint) {
     // Whole-batch mode: all images in flight at once.
     std::vector<std::vector<uint8_t>> Images;
     for (const std::string &Path : Opts.Files) {
@@ -252,7 +278,7 @@ int main(int argc, char **argv) {
       }
       std::vector<uint8_t> Code((std::istreambuf_iterator<char>(In)),
                                 std::istreambuf_iterator<char>());
-      Rc |= validate(Code, Opts, PV.get());
+      Rc |= validate(Code, Opts, PV.get(), &Metrics);
     }
   }
 

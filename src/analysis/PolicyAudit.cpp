@@ -1,0 +1,206 @@
+//===- analysis/PolicyAudit.cpp - Meta-verification of the checker --------===//
+
+#include "analysis/PolicyAudit.h"
+
+#include "x86/Grammars.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace rocksalt;
+using namespace rocksalt::analysis;
+
+std::string analysis::hexBytes(const std::vector<uint8_t> &Bytes) {
+  std::string Out;
+  char Buf[4];
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%02x", Bytes[I]);
+    if (I)
+      Out += ' ';
+    Out += Buf;
+  }
+  return Out;
+}
+
+DecoderDfas analysis::buildDecoderDfas() {
+  re::Factory F;
+  re::Regex One = x86::x86Grammars().Full.strip(F);
+  DecoderDfas X;
+  X.One = re::buildDfa(F, One);
+  X.Pair = re::buildDfa(F, F.cat(One, One));
+  return X;
+}
+
+namespace {
+
+/// The three tables with stable names, in match-chain order.
+struct NamedDfa {
+  const char *Name;
+  const re::Dfa *D;
+};
+
+AuditFinding disjointCheck(const NamedDfa &A, const NamedDfa &B) {
+  AuditFinding F;
+  F.Check = std::string("disjoint(") + A.Name + "," + B.Name + ")";
+  std::optional<std::vector<uint8_t>> W = re::intersectionWitness(*A.D, *B.D);
+  if (!W) {
+    F.Pass = true;
+    F.Detail = "languages are disjoint";
+  } else {
+    F.Pass = false;
+    F.Witness = std::move(*W);
+    F.Detail = "both languages accept the " +
+               std::to_string(F.Witness.size()) +
+               "-byte string: " + hexBytes(F.Witness);
+  }
+  return F;
+}
+
+AuditFinding inclusionCheck(const NamedDfa &A, const re::Dfa &Decoder,
+                            const char *DecoderName) {
+  AuditFinding F;
+  F.Check = std::string("decodes(") + A.Name + ")";
+  std::optional<std::vector<uint8_t>> W = re::inclusionWitness(*A.D, Decoder);
+  if (!W) {
+    F.Pass = true;
+    F.Detail = std::string("every accepted string is in the ") + DecoderName +
+               " language";
+  } else {
+    F.Pass = false;
+    F.Witness = std::move(*W);
+    F.Detail = std::string("policy accepts a string outside the ") +
+               DecoderName + " language: " + hexBytes(F.Witness);
+  }
+  return F;
+}
+
+AuditFinding healthCheck(const NamedDfa &A, const re::DfaHealth &H) {
+  AuditFinding F;
+  F.Check = std::string("health(") + A.Name + ")";
+  F.Pass = H.ok();
+  if (F.Pass) {
+    F.Detail = "all states reachable; accept/reject classification exact (" +
+               std::to_string(H.NumDead) + " dead state(s), all flagged)";
+  } else {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "unreachable=%u dead-unflagged=%u live-flagged-reject=%u "
+                  "accept-reject-overlap=%u reject-escapes=%u",
+                  H.Unreachable, H.DeadUnflagged, H.LiveFlaggedReject,
+                  H.AcceptRejectOverlap, H.RejectEscapes);
+    F.Detail = Buf;
+  }
+  return F;
+}
+
+AuditFinding minimizeCheck(const NamedDfa &A, const re::Dfa &Min) {
+  AuditFinding F;
+  F.Check = std::string("minimize-preserves(") + A.Name + ")";
+  std::optional<std::vector<uint8_t>> W = re::equivalenceWitness(*A.D, Min);
+  if (!W) {
+    F.Pass = true;
+    F.Detail = std::to_string(A.D->numStates()) + " -> " +
+               std::to_string(Min.numStates()) + " states, same language";
+  } else {
+    F.Pass = false;
+    F.Witness = std::move(*W);
+    F.Detail = "minimized table disagrees on: " + hexBytes(F.Witness);
+  }
+  return F;
+}
+
+} // namespace
+
+const AuditFinding *AuditReport::find(std::string_view Check) const {
+  for (const AuditFinding &F : Findings)
+    if (F.Check == Check)
+      return &F;
+  return nullptr;
+}
+
+std::string AuditReport::render() const {
+  std::string Out;
+  char Buf[256];
+  Out += "=== policy meta-audit ===\n";
+  std::snprintf(Buf, sizeof(Buf), "%-16s %8s %8s %6s %6s %8s\n", "table",
+                "states", "minimal", "accept", "dead", "health");
+  Out += Buf;
+  for (const TableStats &S : Tables) {
+    std::snprintf(Buf, sizeof(Buf), "%-16s %8u %8u %6u %6u %8s\n",
+                  S.Name.c_str(), S.RawStates, S.MinStates,
+                  S.Health.NumAccepting, S.Health.NumDead,
+                  S.Health.ok() ? "ok" : "BROKEN");
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "largest minimized policy DFA: %u states (paper claims <= %u)\n",
+                LargestMinimized, PaperMaxPolicyStates);
+  Out += Buf;
+  for (const AuditFinding &F : Findings) {
+    std::snprintf(Buf, sizeof(Buf), "%-44s %s  %s\n", F.Check.c_str(),
+                  F.Pass ? "PASS" : "FAIL", F.Detail.c_str());
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "audit: %s (%.1f ms)\n",
+                Pass ? "PASS" : "FAIL", WallMs);
+  Out += Buf;
+  return Out;
+}
+
+AuditReport analysis::auditPolicy(const core::PolicyTables &T,
+                                  const DecoderDfas &X) {
+  auto T0 = std::chrono::steady_clock::now();
+  AuditReport R;
+
+  const NamedDfa Tables[3] = {{"MaskedJump", &T.MaskedJump},
+                              {"NoControlFlow", &T.NoControlFlow},
+                              {"DirectJump", &T.DirectJump}};
+
+  // Pairwise disjointness (the try-order side condition).
+  for (int I = 0; I < 3; ++I)
+    for (int J = I + 1; J < 3; ++J)
+      R.Findings.push_back(disjointCheck(Tables[I], Tables[J]));
+
+  // Decoder inclusion: single-instruction policies against the
+  // one-instruction language, the two-instruction MaskedJump pair
+  // against the two-instruction language.
+  R.Findings.push_back(inclusionCheck(Tables[1], X.One, "one-instruction"));
+  R.Findings.push_back(inclusionCheck(Tables[2], X.One, "one-instruction"));
+  R.Findings.push_back(inclusionCheck(Tables[0], X.Pair, "two-instruction"));
+
+  // Structural health + minimization per table.
+  for (const NamedDfa &N : Tables) {
+    TableStats S;
+    S.Name = N.Name;
+    S.RawStates = static_cast<uint32_t>(N.D->numStates());
+    S.Health = re::auditDfa(*N.D);
+    re::Dfa Min = re::minimizeDfa(*N.D);
+    S.MinStates = static_cast<uint32_t>(Min.numStates());
+    R.LargestMinimized = std::max(R.LargestMinimized, S.MinStates);
+    R.Findings.push_back(healthCheck(N, S.Health));
+    R.Findings.push_back(minimizeCheck(N, Min));
+    R.Tables.push_back(std::move(S));
+  }
+
+  {
+    AuditFinding F;
+    F.Check = "state-bound";
+    F.Pass = R.LargestMinimized <= PaperMaxPolicyStates;
+    F.Detail = "largest minimized policy DFA has " +
+               std::to_string(R.LargestMinimized) + " states (bound " +
+               std::to_string(PaperMaxPolicyStates) + ")";
+    R.Findings.push_back(std::move(F));
+  }
+
+  R.Pass = true;
+  for (const AuditFinding &F : R.Findings)
+    R.Pass = R.Pass && F.Pass;
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  return R;
+}
+
+AuditReport analysis::auditShippedPolicy() {
+  return auditPolicy(core::policyTables(), buildDecoderDfas());
+}

@@ -1,0 +1,435 @@
+//===- regex/Algebra.cpp - DFA algebra over checker tables ----------------===//
+
+#include "regex/Algebra.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+using namespace rocksalt;
+using namespace rocksalt::re;
+
+namespace {
+
+bool applyOp(SetOp Op, bool A, bool B) {
+  switch (Op) {
+  case SetOp::Union:
+    return A || B;
+  case SetOp::Intersect:
+    return A && B;
+  case SetOp::Difference:
+    return A && !B;
+  case SetOp::SymmetricDiff:
+    return A != B;
+  }
+  return false;
+}
+
+/// Flat inverse transition relation: for each symbol c, the list of
+/// sources s with Table[s][c] == t, grouped by target t (counting sort).
+/// Off[c * (N + 1) + t] .. Off[c * (N + 1) + t + 1] indexes into Lst.
+struct InverseEdges {
+  uint32_t N = 0;
+  std::vector<uint32_t> Off; // 256 * (N + 1)
+  std::vector<uint32_t> Lst; // 256 * N
+
+  explicit InverseEdges(const Dfa &D) : N(static_cast<uint32_t>(D.numStates())) {
+    Off.assign(size_t(256) * (N + 1), 0);
+    Lst.assign(size_t(256) * N, 0);
+    for (unsigned C = 0; C < 256; ++C) {
+      uint32_t *O = &Off[size_t(C) * (N + 1)];
+      for (uint32_t S = 0; S < N; ++S)
+        O[D.Table[S][C] + 1]++;
+      for (uint32_t T = 0; T < N; ++T)
+        O[T + 1] += O[T];
+      uint32_t *L = &Lst[size_t(C) * N];
+      std::vector<uint32_t> Fill(O, O + N);
+      for (uint32_t S = 0; S < N; ++S)
+        L[Fill[D.Table[S][C]]++] = S;
+    }
+  }
+
+  /// Sources reaching \p T under symbol \p C.
+  std::pair<const uint32_t *, const uint32_t *> pre(unsigned C,
+                                                    uint32_t T) const {
+    const uint32_t *O = &Off[size_t(C) * (N + 1)];
+    const uint32_t *L = &Lst[size_t(C) * N];
+    return {L + O[T], L + O[T + 1]};
+  }
+};
+
+/// Shared BFS-with-parents used by every witness extractor: returns the
+/// byte string labeling the shortest path from Start to the first state
+/// satisfying \p Accepting (bytes tried in ascending order, so the
+/// result is also lexicographically least among shortest).
+template <typename Pred>
+std::optional<std::vector<uint8_t>> shortestTo(const Dfa &D, Pred Accepting) {
+  if (D.numStates() == 0)
+    return std::nullopt;
+  uint32_t N = static_cast<uint32_t>(D.numStates());
+  std::vector<uint8_t> Seen(N, 0);
+  std::vector<std::pair<uint32_t, uint8_t>> Parent(N, {0, 0});
+  std::deque<uint32_t> Queue;
+
+  Seen[D.Start] = 1;
+  if (Accepting(D.Start))
+    return std::vector<uint8_t>{};
+  Queue.push_back(D.Start);
+  while (!Queue.empty()) {
+    uint32_t S = Queue.front();
+    Queue.pop_front();
+    for (unsigned C = 0; C < 256; ++C) {
+      uint32_t T = D.Table[S][C];
+      if (Seen[T])
+        continue;
+      Seen[T] = 1;
+      Parent[T] = {S, static_cast<uint8_t>(C)};
+      if (Accepting(T)) {
+        // Parent chains are acyclic (assigned on first visit) and end at
+        // Start, which is never re-entered as a newly seen state.
+        std::vector<uint8_t> Out;
+        for (uint32_t Cur = T; Cur != D.Start; Cur = Parent[Cur].first)
+          Out.push_back(Parent[Cur].second);
+        std::reverse(Out.begin(), Out.end());
+        return Out;
+      }
+      Queue.push_back(T);
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::vector<uint8_t> re::reachableMask(const Dfa &D) {
+  std::vector<uint8_t> Seen(D.numStates(), 0);
+  if (D.numStates() == 0)
+    return Seen;
+  std::deque<uint32_t> Queue{D.Start};
+  Seen[D.Start] = 1;
+  while (!Queue.empty()) {
+    uint32_t S = Queue.front();
+    Queue.pop_front();
+    for (unsigned C = 0; C < 256; ++C) {
+      uint32_t T = D.Table[S][C];
+      if (!Seen[T]) {
+        Seen[T] = 1;
+        Queue.push_back(T);
+      }
+    }
+  }
+  return Seen;
+}
+
+std::vector<uint8_t> re::liveMask(const Dfa &D) {
+  uint32_t N = static_cast<uint32_t>(D.numStates());
+  std::vector<uint8_t> Live(N, 0);
+  if (!N)
+    return Live;
+  InverseEdges Inv(D);
+  std::deque<uint32_t> Queue;
+  for (uint32_t S = 0; S < N; ++S)
+    if (D.Accepts[S]) {
+      Live[S] = 1;
+      Queue.push_back(S);
+    }
+  while (!Queue.empty()) {
+    uint32_t T = Queue.front();
+    Queue.pop_front();
+    for (unsigned C = 0; C < 256; ++C) {
+      auto [B, E] = Inv.pre(C, T);
+      for (const uint32_t *P = B; P != E; ++P)
+        if (!Live[*P]) {
+          Live[*P] = 1;
+          Queue.push_back(*P);
+        }
+    }
+  }
+  return Live;
+}
+
+Dfa re::productDfa(const Dfa &A, const Dfa &B, SetOp Op) {
+  Dfa Out;
+  if (A.numStates() == 0 || B.numStates() == 0)
+    throw std::invalid_argument("productDfa: empty operand table");
+
+  std::unordered_map<uint64_t, uint32_t> StateOf;
+  std::deque<uint64_t> Worklist;
+
+  auto Key = [](uint32_t SA, uint32_t SB) {
+    return (uint64_t(SA) << 32) | SB;
+  };
+  auto StateFor = [&](uint32_t SA, uint32_t SB) -> uint32_t {
+    uint64_t K = Key(SA, SB);
+    auto It = StateOf.find(K);
+    if (It != StateOf.end())
+      return It->second;
+    if (StateOf.size() >= MaxDfaStates)
+      throw std::length_error(
+          "productDfa: reachable product exceeds the 16-bit state id range");
+    uint32_t Id = static_cast<uint32_t>(StateOf.size());
+    StateOf.emplace(K, Id);
+    Out.Table.emplace_back();
+    Out.Accepts.push_back(applyOp(Op, A.Accepts[SA], B.Accepts[SB]));
+    Out.Rejects.push_back(0); // recomputed exactly below
+    Worklist.push_back(K);
+    return Id;
+  };
+
+  Out.Start = StateFor(A.Start, B.Start);
+  while (!Worklist.empty()) {
+    uint64_t K = Worklist.front();
+    Worklist.pop_front();
+    uint32_t SA = static_cast<uint32_t>(K >> 32);
+    uint32_t SB = static_cast<uint32_t>(K & 0xFFFFFFFFu);
+    uint32_t Id = StateOf.at(K);
+    for (unsigned C = 0; C < 256; ++C)
+      Out.Table[Id][C] = static_cast<uint16_t>(
+          StateFor(A.Table[SA][C], B.Table[SB][C]));
+  }
+
+  std::vector<uint8_t> Live = liveMask(Out);
+  for (size_t S = 0; S < Out.numStates(); ++S)
+    Out.Rejects[S] = !Live[S];
+  return Out;
+}
+
+std::optional<std::vector<uint8_t>> re::shortestAccepted(const Dfa &D) {
+  return shortestTo(D, [&D](uint32_t S) { return D.Accepts[S] != 0; });
+}
+
+bool re::languageEmpty(const Dfa &D) { return !shortestAccepted(D); }
+
+std::optional<std::vector<uint8_t>> re::intersectionWitness(const Dfa &A,
+                                                            const Dfa &B) {
+  return shortestAccepted(productDfa(A, B, SetOp::Intersect));
+}
+
+std::optional<std::vector<uint8_t>> re::inclusionWitness(const Dfa &A,
+                                                         const Dfa &B) {
+  return shortestAccepted(productDfa(A, B, SetOp::Difference));
+}
+
+std::optional<std::vector<uint8_t>> re::equivalenceWitness(const Dfa &A,
+                                                           const Dfa &B) {
+  return shortestAccepted(productDfa(A, B, SetOp::SymmetricDiff));
+}
+
+Dfa re::minimizeDfa(const Dfa &D) {
+  if (D.numStates() == 0)
+    return D;
+
+  //===------------------------------------------------------------------===//
+  // 1. Restrict to reachable states, renumbered in BFS order (start = 0).
+  //===------------------------------------------------------------------===//
+  uint32_t N0 = static_cast<uint32_t>(D.numStates());
+  std::vector<uint32_t> Old2New(N0, UINT32_MAX);
+  std::vector<uint32_t> New2Old;
+  {
+    std::deque<uint32_t> Queue{D.Start};
+    Old2New[D.Start] = 0;
+    New2Old.push_back(D.Start);
+    while (!Queue.empty()) {
+      uint32_t S = Queue.front();
+      Queue.pop_front();
+      for (unsigned C = 0; C < 256; ++C) {
+        uint32_t T = D.Table[S][C];
+        if (Old2New[T] == UINT32_MAX) {
+          Old2New[T] = static_cast<uint32_t>(New2Old.size());
+          New2Old.push_back(T);
+          Queue.push_back(T);
+        }
+      }
+    }
+  }
+  uint32_t N = static_cast<uint32_t>(New2Old.size());
+
+  Dfa R; // reachable-restricted copy, still unminimized
+  R.Start = 0;
+  R.Table.resize(N);
+  R.Accepts.resize(N);
+  R.Rejects.resize(N, 0);
+  for (uint32_t S = 0; S < N; ++S) {
+    uint32_t Old = New2Old[S];
+    R.Accepts[S] = D.Accepts[Old];
+    for (unsigned C = 0; C < 256; ++C)
+      R.Table[S][C] = static_cast<uint16_t>(Old2New[D.Table[Old][C]]);
+  }
+
+  //===------------------------------------------------------------------===//
+  // 2. Hopcroft partition refinement. Initial partition: accepting vs
+  //    non-accepting; worklist seeded with the smaller side.
+  //===------------------------------------------------------------------===//
+  std::vector<uint32_t> Elems(N), Loc(N), BlockOf(N);
+  std::vector<uint32_t> Begin, End;
+
+  {
+    uint32_t NumAcc = 0;
+    for (uint32_t S = 0; S < N; ++S)
+      NumAcc += R.Accepts[S] ? 1 : 0;
+    uint32_t AccAt = 0, NonAt = NumAcc; // accepting first, then the rest
+    for (uint32_t S = 0; S < N; ++S) {
+      uint32_t Pos = R.Accepts[S] ? AccAt++ : NonAt++;
+      Elems[Pos] = S;
+      Loc[S] = Pos;
+    }
+    if (NumAcc == 0 || NumAcc == N) {
+      Begin = {0};
+      End = {N};
+      for (uint32_t S = 0; S < N; ++S)
+        BlockOf[S] = 0;
+    } else {
+      Begin = {0, NumAcc};
+      End = {NumAcc, N};
+      for (uint32_t S = 0; S < N; ++S)
+        BlockOf[S] = R.Accepts[S] ? 0 : 1;
+    }
+  }
+
+  InverseEdges Inv(R);
+  std::vector<std::pair<uint32_t, uint8_t>> W;
+  std::vector<uint8_t> InW(size_t(Begin.size()) * 256, 0);
+  auto PushW = [&](uint32_t B, unsigned C) {
+    if (InW[size_t(B) * 256 + C])
+      return;
+    InW[size_t(B) * 256 + C] = 1;
+    W.emplace_back(B, static_cast<uint8_t>(C));
+  };
+  if (Begin.size() == 2) {
+    uint32_t Smaller =
+        (End[0] - Begin[0]) <= (End[1] - Begin[1]) ? 0 : 1;
+    for (unsigned C = 0; C < 256; ++C)
+      PushW(Smaller, C);
+  }
+
+  std::vector<uint32_t> X;        // predecessors of the splitter
+  std::vector<uint32_t> Touched;  // blocks intersecting X this round
+  std::vector<uint32_t> Mark(Begin.size(), 0);
+
+  while (!W.empty()) {
+    auto [SB, C] = W.back();
+    W.pop_back();
+    InW[size_t(SB) * 256 + C] = 0;
+
+    X.clear();
+    for (uint32_t I = Begin[SB]; I < End[SB]; ++I) {
+      auto [PB, PE] = Inv.pre(C, Elems[I]);
+      X.insert(X.end(), PB, PE);
+    }
+
+    Touched.clear();
+    for (uint32_t S : X) {
+      uint32_t B = BlockOf[S];
+      if (Mark[B] == 0)
+        Touched.push_back(B);
+      uint32_t Dest = Begin[B] + Mark[B];
+      uint32_t Pos = Loc[S];
+      uint32_t Other = Elems[Dest];
+      Elems[Dest] = S;
+      Elems[Pos] = Other;
+      Loc[S] = Dest;
+      Loc[Other] = Pos;
+      Mark[B]++;
+    }
+
+    for (uint32_t B : Touched) {
+      uint32_t M = Mark[B];
+      Mark[B] = 0;
+      if (M == End[B] - Begin[B])
+        continue; // whole block marked: no split
+      uint32_t NB = static_cast<uint32_t>(Begin.size());
+      Begin.push_back(Begin[B]);
+      End.push_back(Begin[B] + M);
+      Begin[B] += M;
+      for (uint32_t I = Begin[NB]; I < End[NB]; ++I)
+        BlockOf[Elems[I]] = NB;
+      InW.resize(size_t(Begin.size()) * 256, 0);
+      Mark.push_back(0);
+      uint32_t SizeNB = End[NB] - Begin[NB];
+      uint32_t SizeB = End[B] - Begin[B];
+      for (unsigned D2 = 0; D2 < 256; ++D2) {
+        if (InW[size_t(B) * 256 + D2])
+          PushW(NB, D2); // (B, D2) stays queued for the shrunk half
+        else
+          PushW(SizeNB <= SizeB ? NB : B, D2);
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // 3. Quotient automaton, canonically renumbered by BFS from the start
+  //    block; Rejects recomputed exactly from liveness.
+  //===------------------------------------------------------------------===//
+  uint32_t NumBlocks = static_cast<uint32_t>(Begin.size());
+  std::vector<uint32_t> BlockRank(NumBlocks, UINT32_MAX);
+  std::vector<uint32_t> RankBlock;
+  {
+    std::deque<uint32_t> Queue{BlockOf[0]};
+    BlockRank[BlockOf[0]] = 0;
+    RankBlock.push_back(BlockOf[0]);
+    while (!Queue.empty()) {
+      uint32_t B = Queue.front();
+      Queue.pop_front();
+      uint32_t Rep = Elems[Begin[B]];
+      for (unsigned C = 0; C < 256; ++C) {
+        uint32_t TB = BlockOf[R.Table[Rep][C]];
+        if (BlockRank[TB] == UINT32_MAX) {
+          BlockRank[TB] = static_cast<uint32_t>(RankBlock.size());
+          RankBlock.push_back(TB);
+          Queue.push_back(TB);
+        }
+      }
+    }
+  }
+
+  Dfa Out;
+  Out.Start = 0;
+  Out.Table.resize(RankBlock.size());
+  Out.Accepts.resize(RankBlock.size());
+  Out.Rejects.resize(RankBlock.size(), 0);
+  for (uint32_t Rank = 0; Rank < RankBlock.size(); ++Rank) {
+    uint32_t B = RankBlock[Rank];
+    uint32_t Rep = Elems[Begin[B]];
+    Out.Accepts[Rank] = R.Accepts[Rep];
+    for (unsigned C = 0; C < 256; ++C)
+      Out.Table[Rank][C] =
+          static_cast<uint16_t>(BlockRank[BlockOf[R.Table[Rep][C]]]);
+  }
+  std::vector<uint8_t> Live = liveMask(Out);
+  for (size_t S = 0; S < Out.numStates(); ++S)
+    Out.Rejects[S] = !Live[S];
+  return Out;
+}
+
+DfaHealth re::auditDfa(const Dfa &D) {
+  DfaHealth H;
+  H.NumStates = static_cast<uint32_t>(D.numStates());
+  if (!H.NumStates)
+    return H;
+  std::vector<uint8_t> Reach = reachableMask(D);
+  std::vector<uint8_t> Live = liveMask(D);
+  for (uint32_t S = 0; S < H.NumStates; ++S) {
+    if (D.Accepts[S])
+      H.NumAccepting++;
+    if (!Live[S])
+      H.NumDead++;
+    if (!Reach[S])
+      H.Unreachable++;
+    if (!Live[S] && !D.Rejects[S])
+      H.DeadUnflagged++;
+    if (Live[S] && D.Rejects[S])
+      H.LiveFlaggedReject++;
+    if (D.Accepts[S] && D.Rejects[S])
+      H.AcceptRejectOverlap++;
+    if (D.Rejects[S]) {
+      for (unsigned C = 0; C < 256; ++C)
+        if (!D.Rejects[D.Table[S][C]]) {
+          H.RejectEscapes++;
+          break;
+        }
+    }
+  }
+  return H;
+}

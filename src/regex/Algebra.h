@@ -1,0 +1,123 @@
+//===- regex/Algebra.h - DFA algebra over checker tables -------*- C++ -*-===//
+///
+/// \file
+/// Boolean algebra, minimization, and decision procedures over the
+/// table-form DFAs of regex/Dfa.h. These are the executable analogues of
+/// the meta-lemmas the paper discharges in Coq about the checker's own
+/// artifacts (sections 3.2 and 4.1): language disjointness of the policy
+/// grammars, inclusion of each policy language in the decodable x86
+/// language, and exactness of the accept/reject classification baked
+/// into the shipped tables.
+///
+/// Everything here operates on the *tables*, not on regexes, so the
+/// analyses certify exactly what the trusted matcher executes — two DFAs
+/// need not come from the same Factory (or from a Factory at all). All
+/// decision procedures are constructive: a failed check comes back as a
+/// shortest (and, among shortest, byte-lexicographically least) witness
+/// string, ready to be replayed through `dfaMatch` or a disassembler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_REGEX_ALGEBRA_H
+#define ROCKSALT_REGEX_ALGEBRA_H
+
+#include "regex/Dfa.h"
+
+#include <optional>
+#include <vector>
+
+namespace rocksalt {
+namespace re {
+
+/// Boolean combinator applied to acceptance in a product construction.
+enum class SetOp : uint8_t {
+  Union,         ///< L(A) ∪ L(B)
+  Intersect,     ///< L(A) ∩ L(B)
+  Difference,    ///< L(A) \ L(B)
+  SymmetricDiff, ///< (L(A) \ L(B)) ∪ (L(B) \ L(A))
+};
+
+/// Classic product construction restricted to the reachable pair space:
+/// states are reachable pairs (a, b), transitions are componentwise, and
+/// acceptance is \p Op applied to the component acceptances. The result's
+/// Rejects vector is recomputed exactly (a state is flagged iff no
+/// accepting state is reachable from it), so the product is a well-formed
+/// Dfa in this repository's sense and can itself be fed back into any
+/// analysis here or into `dfaMatch`. Throws std::length_error if the
+/// reachable product exceeds the 16-bit state id range.
+Dfa productDfa(const Dfa &A, const Dfa &B, SetOp Op);
+
+/// Per-state mask of states reachable from Start (1 = reachable).
+std::vector<uint8_t> reachableMask(const Dfa &D);
+
+/// Per-state mask of *live* states: states from which some accepting
+/// state is reachable. Dead states (the complement) are exactly the
+/// states a correct Rejects vector must flag.
+std::vector<uint8_t> liveMask(const Dfa &D);
+
+/// Emptiness with witness extraction: the shortest string in L(D)
+/// (byte-lexicographically least among shortest), or std::nullopt when
+/// L(D) is empty. The empty vector means D accepts the empty string.
+std::optional<std::vector<uint8_t>> shortestAccepted(const Dfa &D);
+
+/// True iff L(D) is empty.
+bool languageEmpty(const Dfa &D);
+
+/// A string in L(A) ∩ L(B), or std::nullopt when the languages are
+/// disjoint. This is the checker's policy-disjointness obligation.
+std::optional<std::vector<uint8_t>> intersectionWitness(const Dfa &A,
+                                                        const Dfa &B);
+
+/// A string in L(A) \ L(B) — a witness that L(A) ⊆ L(B) FAILS — or
+/// std::nullopt when the inclusion holds. This is the policy/decoder
+/// drift obligation: every policy-accepted string must stay inside the
+/// decodable language.
+std::optional<std::vector<uint8_t>> inclusionWitness(const Dfa &A,
+                                                     const Dfa &B);
+
+/// A string on which A and B disagree, or std::nullopt when
+/// L(A) = L(B). Used to certify that minimization preserved the
+/// language.
+std::optional<std::vector<uint8_t>> equivalenceWitness(const Dfa &A,
+                                                       const Dfa &B);
+
+/// Hopcroft partition-refinement minimization. The result accepts
+/// exactly L(D), is restricted to reachable states, merges all
+/// language-equivalent states (in particular every dead state collapses
+/// into at most one flagged reject sink), and is canonically numbered by
+/// breadth-first order from the start state so that equal inputs produce
+/// bit-identical tables.
+Dfa minimizeDfa(const Dfa &D);
+
+/// Structural health of a shipped table. The derivative construction
+/// produces at most one dead state (canonical Void) and flags it; this
+/// audit re-derives both properties from the table alone, so a
+/// hand-edited, truncated, or bit-rotted table cannot claim them by
+/// construction.
+struct DfaHealth {
+  uint32_t NumStates = 0;
+  uint32_t NumAccepting = 0;
+  uint32_t NumDead = 0;            ///< states that cannot reach an accept
+  uint32_t Unreachable = 0;        ///< states unreachable from Start
+  uint32_t DeadUnflagged = 0;      ///< dead but Rejects[s] == 0: the
+                                   ///< matcher would keep scanning a
+                                   ///< hopeless prefix
+  uint32_t LiveFlaggedReject = 0;  ///< live but Rejects[s] == 1: the
+                                   ///< matcher would abandon a viable
+                                   ///< prefix — an acceptance bug
+  uint32_t AcceptRejectOverlap = 0;///< Accepts[s] && Rejects[s]
+  uint32_t RejectEscapes = 0;      ///< transitions leaving a flagged
+                                   ///< reject state for a non-reject one
+
+  bool ok() const {
+    return Unreachable == 0 && DeadUnflagged == 0 && LiveFlaggedReject == 0 &&
+           AcceptRejectOverlap == 0 && RejectEscapes == 0;
+  }
+};
+
+DfaHealth auditDfa(const Dfa &D);
+
+} // namespace re
+} // namespace rocksalt
+
+#endif // ROCKSALT_REGEX_ALGEBRA_H

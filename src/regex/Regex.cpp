@@ -8,43 +8,25 @@
 using namespace rocksalt;
 using namespace rocksalt::re;
 
+size_t Factory::NodeKeyHash::operator()(const NodeKey &K) const {
+  // FNV-1a over the kind, the bit value, and the child ids. Children are
+  // themselves interned, so their ids fully determine their structure.
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H = (H ^ V) * 0x100000001b3ull;
+  };
+  Mix(static_cast<uint64_t>(K.K));
+  Mix(K.BitVal);
+  Mix(K.L ? K.L->id() : ~0ull);
+  Mix(K.R ? K.R->id() : ~0ull);
+  for (Regex A : K.Alts)
+    Mix(A->id());
+  return static_cast<size_t>(H);
+}
+
 Regex Factory::intern(Kind K, bool BitVal, Regex L, Regex R,
                       std::vector<Regex> Alts) {
-  std::string Key;
-  Key.reserve(16 + Alts.size() * 8);
-  auto AppendId = [&Key](Regex N) {
-    Key += std::to_string(N->Id);
-    Key += ',';
-  };
-  switch (K) {
-  case Kind::Void:
-    Key = "V";
-    break;
-  case Kind::Eps:
-    Key = "E";
-    break;
-  case Kind::Any:
-    Key = "Y";
-    break;
-  case Kind::Bit:
-    Key = BitVal ? "B1" : "B0";
-    break;
-  case Kind::Cat:
-    Key = "C:";
-    AppendId(L);
-    AppendId(R);
-    break;
-  case Kind::Star:
-    Key = "S:";
-    AppendId(L);
-    break;
-  case Kind::Alt:
-    Key = "A:";
-    for (Regex A : Alts)
-      AppendId(A);
-    break;
-  }
-
+  NodeKey Key{K, BitVal, L, R, std::move(Alts)};
   auto It = Interned.find(Key);
   if (It != Interned.end())
     return It->second;
@@ -54,7 +36,7 @@ Regex Factory::intern(Kind K, bool BitVal, Regex L, Regex R,
   N.BitVal = BitVal;
   N.L = L;
   N.R = R;
-  N.Alts = std::move(Alts);
+  N.Alts = Key.Alts; // the key keeps its own copy
   Interned.emplace(std::move(Key), &N);
   return &N;
 }

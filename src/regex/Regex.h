@@ -82,8 +82,23 @@ using Regex = const Node *;
 /// Creates, interns, and analyzes regexes. All regexes combined together
 /// must come from the same Factory.
 class Factory {
+  /// Structural hash-consing key: a node is identified by its kind and
+  /// the identities of its (already-interned) children, so equality is
+  /// pointer comparison on subterms — no string rendering involved.
+  struct NodeKey {
+    Kind K;
+    bool BitVal;
+    Regex L;
+    Regex R;
+    std::vector<Regex> Alts;
+    bool operator==(const NodeKey &) const = default;
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey &K) const;
+  };
+
   std::deque<Node> Arena;
-  std::unordered_map<std::string, Regex> Interned;
+  std::unordered_map<NodeKey, Regex, NodeKeyHash> Interned;
   Regex VoidRe_ = nullptr;
   Regex EpsRe_ = nullptr;
   Regex BitRe_[2] = {nullptr, nullptr};

@@ -110,6 +110,10 @@ std::string Metrics::dump() const {
   dumpScalar(Out, "fuzz_oracle_runs", OracleRuns.get());
   dumpScalar(Out, "fuzz_disagreements", OracleDisagreements.get());
   dumpScalar(Out, "fuzz_shrink_steps", ShrinkSteps.get());
+  dumpScalar(Out, "lint_images", LintImages.get());
+  dumpScalar(Out, "lint_errors", LintErrors.get());
+  dumpScalar(Out, "lint_warnings", LintWarnings.get());
+  dumpScalar(Out, "lint_notes", LintNotes.get());
   dumpScalar(Out, "queue_depth", static_cast<uint64_t>(
                                      QueueDepth.get() < 0 ? 0
                                                           : QueueDepth.get()));
@@ -136,6 +140,10 @@ void Metrics::reset() {
   OracleRuns.reset();
   OracleDisagreements.reset();
   ShrinkSteps.reset();
+  LintImages.reset();
+  LintErrors.reset();
+  LintWarnings.reset();
+  LintNotes.reset();
   VerifyNanos.reset();
   ShardImbalancePermille.reset();
   BatchImages.reset();

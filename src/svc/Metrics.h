@@ -111,6 +111,12 @@ struct Metrics {
   Counter OracleDisagreements; ///< images on which any verdict path diverged
   Counter ShrinkSteps;         ///< minimizer predicate evaluations
 
+  // CFG lint (src/analysis).
+  Counter LintImages;   ///< images run through lintImage
+  Counter LintErrors;   ///< error-severity diagnostics emitted
+  Counter LintWarnings; ///< warning-severity diagnostics emitted
+  Counter LintNotes;    ///< note-severity diagnostics emitted
+
   // Distributions.
   Histogram VerifyNanos;          ///< wall time per image verification
   Histogram ShardImbalancePermille; ///< 1000 * max shard ns / mean shard ns

@@ -1,0 +1,279 @@
+//===- tests/analysis_cfglint_test.cpp ------------------------*- C++ -*-===//
+//
+// Tests for the sandbox CFG lint (analysis/CfgLint.h). The contract
+// under test: error-severity diagnostics NEVER fire on an accepted
+// image (they are policy violations, localized); warnings and notes are
+// advisory and must fire exactly on the hand-assembled hazards below;
+// rejected-but-parseable images get an error diagnostic pinpointing the
+// reject cause.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CfgLint.h"
+
+#include "nacl/Assembler.h"
+#include "nacl/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace rocksalt;
+using namespace rocksalt::analysis;
+
+namespace {
+
+const core::PolicyTables &tables() { return core::policyTables(); }
+
+uint32_t countKind(const CfgLintResult &R, LintKind K) {
+  uint32_t N = 0;
+  for (const LintDiag &D : R.Diags)
+    N += D.Kind == K ? 1 : 0;
+  return N;
+}
+
+const LintDiag *firstOfKind(const CfgLintResult &R, LintKind K) {
+  for (const LintDiag &D : R.Diags)
+    if (D.Kind == K)
+      return &D;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Accepted images: no errors, severity bookkeeping coherent.
+//===----------------------------------------------------------------------===//
+
+TEST(CfgLint, AcceptedWorkloadsHaveZeroErrors) {
+  core::RockSalt V;
+  for (uint64_t Seed : {1, 7, 23, 99}) {
+    nacl::WorkloadOptions O;
+    O.TargetBytes = 1024;
+    O.Seed = Seed;
+    std::vector<uint8_t> Img = nacl::generateWorkload(O);
+    ASSERT_TRUE(V.verify(Img)) << "seed " << Seed;
+    CfgLintResult R = lintImage(tables(), Img);
+    EXPECT_TRUE(R.ParseComplete);
+    EXPECT_EQ(R.Errors, 0u) << "seed " << Seed << "\n" << R.render();
+    // Node spans tile the image exactly.
+    uint32_t Pos = 0;
+    for (const CfgNode &N : R.Nodes) {
+      EXPECT_EQ(N.Begin, Pos);
+      EXPECT_GT(N.End, N.Begin);
+      Pos = N.End;
+    }
+    EXPECT_EQ(Pos, Img.size());
+    // Severity counters match the diags.
+    uint32_t E = 0, W = 0, Nt = 0;
+    for (const LintDiag &D : R.Diags) {
+      EXPECT_EQ(D.Sev, lintKindSeverity(D.Kind));
+      (D.Sev == LintSeverity::Error ? E
+       : D.Sev == LintSeverity::Warning ? W
+                                        : Nt)++;
+    }
+    EXPECT_EQ(E, R.Errors);
+    EXPECT_EQ(W, R.Warnings);
+    EXPECT_EQ(Nt, R.Notes);
+  }
+}
+
+TEST(CfgLint, CorpusAcceptImagesHaveZeroErrors) {
+  core::RockSalt V;
+  for (const char *Name : {"accept-jmp-seam.bin", "accept-maskedpair.bin"}) {
+    std::string Path = std::string(ROCKSALT_CORPUS_DIR) + "/" + Name;
+    std::ifstream In(Path, std::ios::binary);
+    ASSERT_TRUE(In) << Path;
+    std::vector<uint8_t> Img((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+    ASSERT_TRUE(V.verify(Img)) << Name;
+    CfgLintResult R = lintImage(tables(), Img);
+    EXPECT_TRUE(R.ParseComplete) << Name;
+    EXPECT_EQ(R.Errors, 0u) << Name << "\n" << R.render();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Error diagnostics localize reject causes.
+//===----------------------------------------------------------------------===//
+
+TEST(CfgLint, BranchIntoMaskedPairInterior) {
+  // jmp +2 lands on the AND's immediate inside the masked pair starting
+  // at offset 2: the checker rejects BadTarget, the lint says exactly
+  // which pair was entered and where.
+  std::vector<uint8_t> Img = {0xEB, 0x02,              // jmp .+2 -> offset 4
+                              0x83, 0xE0, 0xE0,        // and eax, -32
+                              0xFF, 0xE0};             // jmp *eax
+  Img.resize(32, 0x90);
+
+  core::CheckResult C = core::RockSalt().check(Img);
+  ASSERT_FALSE(C.Ok);
+  ASSERT_EQ(C.Reason, core::RejectReason::BadTarget);
+
+  CfgLintResult R = lintImage(tables(), Img);
+  EXPECT_TRUE(R.ParseComplete);
+  const LintDiag *D = firstOfKind(R, LintKind::BranchIntoMaskedPair);
+  ASSERT_NE(D, nullptr) << R.render();
+  EXPECT_EQ(D->Sev, LintSeverity::Error);
+  EXPECT_EQ(D->Offset, 0u); // anchored at the offending branch
+  EXPECT_EQ(countKind(R, LintKind::BranchIntoInterior), 0u);
+}
+
+TEST(CfgLint, BranchIntoPlainInterior) {
+  // jmp .+1 lands inside the mov imm32 that follows — an interior, but
+  // not a masked pair's.
+  std::vector<uint8_t> Img = {0xEB, 0x01,                    // jmp -> offset 3
+                              0xB8, 0x11, 0x22, 0x33, 0x44}; // mov eax, imm32
+  Img.resize(32, 0x90);
+
+  core::CheckResult C = core::RockSalt().check(Img);
+  ASSERT_FALSE(C.Ok);
+  ASSERT_EQ(C.Reason, core::RejectReason::BadTarget);
+
+  CfgLintResult R = lintImage(tables(), Img);
+  const LintDiag *D = firstOfKind(R, LintKind::BranchIntoInterior);
+  ASSERT_NE(D, nullptr) << R.render();
+  EXPECT_EQ(D->Offset, 0u);
+  EXPECT_EQ(countKind(R, LintKind::BranchIntoMaskedPair), 0u);
+}
+
+TEST(CfgLint, UnalignedBundleBoundary) {
+  // 31 NOPs then a two-byte instruction straddling the bundle seam:
+  // offset 32 is mid-instruction.
+  std::vector<uint8_t> Img(31, 0x90);
+  Img.push_back(0x89); // mov eax, eax spans [31, 33)
+  Img.push_back(0xC0);
+  Img.resize(64, 0x90);
+
+  core::CheckResult C = core::RockSalt().check(Img);
+  ASSERT_FALSE(C.Ok);
+  ASSERT_EQ(C.Reason, core::RejectReason::UnalignedBundle);
+
+  CfgLintResult R = lintImage(tables(), Img);
+  EXPECT_TRUE(R.ParseComplete);
+  const LintDiag *D = firstOfKind(R, LintKind::UnalignedBundleStart);
+  ASSERT_NE(D, nullptr) << R.render();
+  EXPECT_EQ(D->Offset, 32u);
+}
+
+TEST(CfgLint, ParseStuckOnUnsafeByte) {
+  // RET is in no policy grammar: the chain jams immediately.
+  std::vector<uint8_t> Img(32, 0x90);
+  Img[10] = 0xC3;
+
+  core::CheckResult C = core::RockSalt().check(Img);
+  ASSERT_FALSE(C.Ok);
+  ASSERT_EQ(C.Reason, core::RejectReason::NoParse);
+
+  CfgLintResult R = lintImage(tables(), Img);
+  EXPECT_FALSE(R.ParseComplete);
+  const LintDiag *D = firstOfKind(R, LintKind::ParseStuck);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Offset, 10u);
+  EXPECT_EQ(R.Nodes.size(), 10u); // the ten NOPs before the jam
+}
+
+//===----------------------------------------------------------------------===//
+// Warning/note diagnostics on accepted images.
+//===----------------------------------------------------------------------===//
+
+TEST(CfgLint, CallRetSeamDiscipline) {
+  // callTo leaves the return point mid-bundle -> warning; callToAligned
+  // pads so the call ends exactly on the seam -> no warning.
+  auto Build = [](bool Aligned) {
+    nacl::Assembler A;
+    if (Aligned)
+      A.callToAligned("fn");
+    else
+      A.callTo("fn");
+    A.hlt();
+    A.padToBundle();
+    A.alignedLabel("fn");
+    A.hlt();
+    return A.finish();
+  };
+
+  std::vector<uint8_t> Sloppy = Build(false), Disciplined = Build(true);
+  ASSERT_TRUE(core::RockSalt().verify(Sloppy));
+  ASSERT_TRUE(core::RockSalt().verify(Disciplined));
+
+  CfgLintResult RS = lintImage(tables(), Sloppy);
+  CfgLintResult RD = lintImage(tables(), Disciplined);
+  EXPECT_EQ(RS.Errors, 0u);
+  EXPECT_EQ(RD.Errors, 0u);
+  const LintDiag *D = firstOfKind(RS, LintKind::CallRetNotSeam);
+  ASSERT_NE(D, nullptr) << RS.render();
+  EXPECT_EQ(D->Sev, LintSeverity::Warning);
+  EXPECT_EQ(countKind(RD, LintKind::CallRetNotSeam), 0u) << RD.render();
+}
+
+TEST(CfgLint, DeadMaskedPairAndUnreachableBundle) {
+  // Bundle 0 jumps straight to bundle 2; bundle 1 holds a masked jump
+  // that no direct flow reaches.
+  nacl::Assembler A;
+  A.jmpTo("end");
+  A.padToBundle();
+  A.maskedJump(x86::Reg::EAX); // bundle 1: dead pair
+  A.hlt();
+  A.padToBundle();
+  A.alignedLabel("end");
+  A.hlt();
+  std::vector<uint8_t> Img = A.finish();
+  ASSERT_TRUE(core::RockSalt().verify(Img));
+
+  CfgLintResult R = lintImage(tables(), Img);
+  EXPECT_EQ(R.Errors, 0u) << R.render();
+  const LintDiag *Dead = firstOfKind(R, LintKind::DeadMaskedPair);
+  ASSERT_NE(Dead, nullptr) << R.render();
+  EXPECT_EQ(Dead->Offset, 32u); // the pair opens bundle 1
+  const LintDiag *Unr = firstOfKind(R, LintKind::UnreachableBundle);
+  ASSERT_NE(Unr, nullptr);
+  EXPECT_EQ(Unr->Offset, 32u);
+}
+
+TEST(CfgLint, FullyReachableStraightLineIsQuiet) {
+  // One bundle of NOPs: nothing to say at any severity.
+  std::vector<uint8_t> Img(32, 0x90);
+  ASSERT_TRUE(core::RockSalt().verify(Img));
+  CfgLintResult R = lintImage(tables(), Img);
+  EXPECT_TRUE(R.Diags.empty()) << R.render();
+  EXPECT_EQ(R.ReachableNodes, R.Nodes.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics and rendering.
+//===----------------------------------------------------------------------===//
+
+TEST(CfgLint, CountsIntoMetrics) {
+  svc::Metrics M;
+  std::vector<uint8_t> Img(32, 0x90);
+  Img[10] = 0xC3; // one error (parse-stuck)
+  lintImage(tables(), Img, &M);
+  lintImage(tables(), std::vector<uint8_t>(32, 0x90), &M);
+  EXPECT_EQ(M.LintImages.get(), 2u);
+  EXPECT_EQ(M.LintErrors.get(), 1u);
+  // The dump exposes the counters under stable names.
+  std::string Dump = M.dump();
+  EXPECT_NE(Dump.find("lint_images 2"), std::string::npos);
+  EXPECT_NE(Dump.find("lint_errors 1"), std::string::npos);
+  EXPECT_NE(Dump.find("lint_warnings 0"), std::string::npos);
+  EXPECT_NE(Dump.find("lint_notes 0"), std::string::npos);
+}
+
+TEST(CfgLint, RenderIncludesKindNamesAndSummary) {
+  std::vector<uint8_t> Img = {0xEB, 0x02, 0x83, 0xE0, 0xE0, 0xFF, 0xE0};
+  Img.resize(32, 0x90);
+  CfgLintResult R = lintImage(tables(), Img);
+  std::string Text = R.render();
+  EXPECT_NE(Text.find("branch-into-masked-pair"), std::string::npos);
+  EXPECT_NE(Text.find("error"), std::string::npos);
+  EXPECT_NE(Text.find("lint:"), std::string::npos);
+}
+
+TEST(CfgLint, EmptyImage) {
+  CfgLintResult R = lintImage(tables(), std::vector<uint8_t>{});
+  EXPECT_TRUE(R.ParseComplete);
+  EXPECT_TRUE(R.Nodes.empty());
+  EXPECT_TRUE(R.Diags.empty());
+}
+
+} // namespace
