@@ -1,19 +1,28 @@
 //===- bench/bench_dfa_gen.cpp ---------------------------------*- C++ -*-===//
 //
-// Experiment E2 (paper section 3.2): policy DFA generation. The paper
-// reports that the largest generated DFA has 61 states and that no
+// Experiments E2/E11 (paper section 3.2): policy DFA generation. The
+// paper reports that the largest generated DFA has 61 states and that no
 // minimization is needed. We report the state counts of the three policy
-// DFAs and the offline generation time (which the paper performs inside
-// Coq; here it is a few milliseconds of library time).
+// DFAs (raw derivative closure vs the shipped Hopcroft-minimized form)
+// and the offline generation time (which the paper performs inside Coq;
+// here it is a few milliseconds of library time).
+//
+// The custom main prints the size table and emits one JSON line per
+// measured quantity (appended to BENCH_dfa_gen.json when
+// ROCKSALT_BENCH_JSON is set, else stdout) so construction time and
+// table sizes can be diffed across PRs — this is the E11 trajectory.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Policy.h"
+#include "regex/TableIO.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace rocksalt;
 using namespace rocksalt::core;
@@ -26,6 +35,14 @@ static void benchBuildPolicyTables(benchmark::State &State) {
 }
 BENCHMARK(benchBuildPolicyTables)->Unit(benchmark::kMillisecond);
 
+static void benchBuildPolicyTablesRaw(benchmark::State &State) {
+  for (auto _ : State) {
+    PolicyTables T = buildPolicyTablesRaw();
+    benchmark::DoNotOptimize(T.NoControlFlow.numStates());
+  }
+}
+BENCHMARK(benchBuildPolicyTablesRaw)->Unit(benchmark::kMillisecond);
+
 static void benchBuildMaskedJumpOnly(benchmark::State &State) {
   for (auto _ : State) {
     re::Factory F;
@@ -36,35 +53,115 @@ static void benchBuildMaskedJumpOnly(benchmark::State &State) {
 }
 BENCHMARK(benchBuildMaskedJumpOnly)->Unit(benchmark::kMillisecond);
 
+static void benchSerializeTables(benchmark::State &State) {
+  const PolicyTables &T = policyTables();
+  for (auto _ : State) {
+    std::vector<uint8_t> Blob = serializePolicyTables(T);
+    benchmark::DoNotOptimize(Blob.size());
+  }
+}
+BENCHMARK(benchSerializeTables)->Unit(benchmark::kMicrosecond);
+
+namespace {
+
+/// Median-of-N wall-clock of one invocation of \p Fn, in milliseconds.
+template <typename F> double medianMs(F Fn, int Reps = 9) {
+  std::vector<double> Ms;
+  for (int I = 0; I < Reps; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    auto T1 = std::chrono::steady_clock::now();
+    Ms.push_back(std::chrono::duration<double, std::milli>(T1 - T0).count());
+  }
+  std::sort(Ms.begin(), Ms.end());
+  return Ms[Ms.size() / 2];
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
   const PolicyTables &T = policyTables();
+  PolicyTables Raw = buildPolicyTablesRaw();
+  std::vector<uint8_t> Blob = serializePolicyTables(T);
   size_t TableBytes =
       (T.NoControlFlow.numStates() + T.DirectJump.numStates() +
        T.MaskedJump.numStates()) *
       (256 * sizeof(uint16_t) + 2);
 
   std::printf("\n--- E2: policy DFA sizes (paper: largest = 61 states) ---\n");
-  std::printf("%-16s %8s %8s %8s\n", "dfa", "states", "accepts", "rejects");
-  auto Row = [](const char *Name, const re::Dfa &D) {
+  std::printf("%-16s %8s %8s %8s %8s\n", "dfa", "raw", "shipped", "accepts",
+              "rejects");
+  auto Row = [](const char *Name, const re::Dfa &RawD, const re::Dfa &D) {
     size_t Acc = 0, Rej = 0;
     for (size_t I = 0; I < D.numStates(); ++I) {
       Acc += D.Accepts[I];
       Rej += D.Rejects[I];
     }
-    std::printf("%-16s %8zu %8zu %8zu\n", Name, D.numStates(), Acc, Rej);
+    std::printf("%-16s %8zu %8zu %8zu %8zu\n", Name, RawD.numStates(),
+                D.numStates(), Acc, Rej);
   };
-  Row("MaskedJump", T.MaskedJump);
-  Row("DirectJump", T.DirectJump);
-  Row("NoControlFlow", T.NoControlFlow);
-  std::printf("total table footprint: %.1f KiB\n", TableBytes / 1024.0);
+  Row("MaskedJump", Raw.MaskedJump, T.MaskedJump);
+  Row("DirectJump", Raw.DirectJump, T.DirectJump);
+  Row("NoControlFlow", Raw.NoControlFlow, T.NoControlFlow);
+  std::printf("total table footprint: %.1f KiB (serialized: %.1f KiB, "
+              "hash %s)\n",
+              TableBytes / 1024.0, Blob.size() / 1024.0,
+              re::blobHashHex(Blob).c_str());
   size_t Largest =
       std::max({T.NoControlFlow.numStates(), T.DirectJump.numStates(),
                 T.MaskedJump.numStates()});
   std::printf("largest DFA: %zu states (paper: 61) — %s\n", Largest,
               Largest <= 64 ? "within the paper's range"
                             : "larger than the paper's");
+
+  // E11 JSON trajectory.
+  double RawMs = medianMs([] {
+    PolicyTables P = buildPolicyTablesRaw();
+    benchmark::DoNotOptimize(P.NoControlFlow.numStates());
+  });
+  double ShippedMs = medianMs([] {
+    PolicyTables P = buildPolicyTables();
+    benchmark::DoNotOptimize(P.NoControlFlow.numStates());
+  });
+  double SerializeMs = medianMs([&] {
+    std::vector<uint8_t> B = serializePolicyTables(T);
+    benchmark::DoNotOptimize(B.size());
+  });
+
+  std::FILE *Json = stdout;
+  bool OwnFile = false;
+  if (std::getenv("ROCKSALT_BENCH_JSON")) {
+    Json = std::fopen("BENCH_dfa_gen.json", "a");
+    OwnFile = Json != nullptr;
+    if (!Json)
+      Json = stdout;
+  }
+  std::fprintf(Json,
+               "{\"bench\":\"dfa_gen\",\"metric\":\"build_raw_ms\","
+               "\"value\":%.3f}\n",
+               RawMs);
+  std::fprintf(Json,
+               "{\"bench\":\"dfa_gen\",\"metric\":\"build_minimized_ms\","
+               "\"value\":%.3f}\n",
+               ShippedMs);
+  std::fprintf(Json,
+               "{\"bench\":\"dfa_gen\",\"metric\":\"serialize_ms\","
+               "\"value\":%.3f}\n",
+               SerializeMs);
+  std::fprintf(Json,
+               "{\"bench\":\"dfa_gen\",\"metric\":\"states\","
+               "\"masked_jump_raw\":%zu,\"masked_jump\":%zu,"
+               "\"direct_jump_raw\":%zu,\"direct_jump\":%zu,"
+               "\"no_control_flow_raw\":%zu,\"no_control_flow\":%zu,"
+               "\"blob_bytes\":%zu,\"hash\":\"%s\"}\n",
+               Raw.MaskedJump.numStates(), T.MaskedJump.numStates(),
+               Raw.DirectJump.numStates(), T.DirectJump.numStates(),
+               Raw.NoControlFlow.numStates(), T.NoControlFlow.numStates(),
+               Blob.size(), re::blobHashHex(Blob).c_str());
+  if (OwnFile)
+    std::fclose(Json);
   return 0;
 }

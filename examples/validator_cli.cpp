@@ -22,11 +22,18 @@
 // (disjointness, decoder inclusion, health, minimization) and exits
 // nonzero if any obligation fails.
 //
+// --dump-tables serializes the shipped tables into the versioned "RSTB"
+// format (regex/TableIO.h), verifies the in-process round-trip is
+// bit-identical, and prints per-table stats plus the content hash.
+// --tables-out FILE also writes the blob; --expect-hash HEX exits
+// nonzero unless the content hash matches — the CI drift gate.
+//
 // Usage:
 //   validator_cli <image.bin>... [--disassemble] [--explain] [--lint]
 //                                [--jobs N] [--stats]
 //   validator_cli --selftest [--lint] [--jobs N] [--stats]
 //   validator_cli --audit
+//   validator_cli --dump-tables [--tables-out FILE] [--expect-hash HEX]
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +41,7 @@
 #include "analysis/PolicyAudit.h"
 #include "core/BaselineChecker.h"
 #include "core/Verifier.h"
+#include "regex/TableIO.h"
 #include "fuzz/Minimizer.h"
 #include "nacl/Mutator.h"
 #include "nacl/WorkloadGen.h"
@@ -63,8 +71,60 @@ struct CliOptions {
   bool Explain = false; ///< minimize rejected images to their core
   bool Lint = false;    ///< recover + lint the implied CFG per image
   bool Audit = false;   ///< meta-verify the shipped policy tables
+  bool DumpTables = false; ///< serialize + round-trip the shipped tables
+  std::string TablesOut;   ///< optional output path for the blob
+  std::string ExpectHash;  ///< optional pinned content hash (CI gate)
   bool Selftest = false;
 };
+
+/// Serializes the shipped tables, proves the round-trip is bit-identical
+/// in-process, prints stats + content hash, optionally writes the blob
+/// and enforces a pinned hash. Returns a process exit code.
+int dumpTables(const CliOptions &Opts) {
+  const core::PolicyTables &T = core::policyTables();
+  std::vector<uint8_t> Blob = core::serializePolicyTables(T);
+
+  core::PolicyTables Back = core::deserializePolicyTables(Blob);
+  std::vector<uint8_t> Blob2 = core::serializePolicyTables(Back);
+  if (Blob != Blob2) {
+    std::fprintf(stderr,
+                 "error: serialize/deserialize round-trip is not "
+                 "bit-identical (%zu vs %zu bytes)\n",
+                 Blob.size(), Blob2.size());
+    return 1;
+  }
+
+  std::string Hash = re::blobHashHex(Blob);
+  std::printf("format:  RSTB v%u, %zu bytes\n", re::TableFormatVersion,
+              Blob.size());
+  std::printf("tables:  NoControlFlow %zu states, DirectJump %zu states, "
+              "MaskedJump %zu states\n",
+              T.NoControlFlow.numStates(), T.DirectJump.numStates(),
+              T.MaskedJump.numStates());
+  std::printf("hash:    %s\n", Hash.c_str());
+  std::printf("roundtrip: bit-identical\n");
+
+  if (!Opts.TablesOut.empty()) {
+    std::ofstream Out(Opts.TablesOut, std::ios::binary);
+    if (!Out ||
+        !Out.write(reinterpret_cast<const char *>(Blob.data()), Blob.size())) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opts.TablesOut.c_str());
+      return 1;
+    }
+    std::printf("wrote:   %s\n", Opts.TablesOut.c_str());
+  }
+
+  if (!Opts.ExpectHash.empty() && Opts.ExpectHash != Hash) {
+    std::fprintf(stderr,
+                 "error: content hash drift\n  expected %s\n  actual   %s\n"
+                 "(intentional grammar/format change? refresh the pinned "
+                 "hash in tests/CMakeLists.txt and "
+                 "tests/policy_table_format_test.cpp)\n",
+                 Opts.ExpectHash.c_str(), Hash.c_str());
+    return 1;
+  }
+  return 0;
+}
 
 void disassemble(const std::vector<uint8_t> &Code,
                  const core::CheckResult &R) {
@@ -190,8 +250,10 @@ int usage(const char *Prog) {
                "usage: %s <image.bin>... [--disassemble] [--explain] "
                "[--lint] [--jobs N] [--stats]"
                "\n       %s --selftest [--lint] [--jobs N] [--stats]"
-               "\n       %s --audit\n",
-               Prog, Prog, Prog);
+               "\n       %s --audit"
+               "\n       %s --dump-tables [--tables-out FILE] "
+               "[--expect-hash HEX]\n",
+               Prog, Prog, Prog, Prog);
   return 2;
 }
 
@@ -210,6 +272,16 @@ int main(int argc, char **argv) {
       Opts.Lint = true;
     } else if (std::strcmp(argv[I], "--audit") == 0) {
       Opts.Audit = true;
+    } else if (std::strcmp(argv[I], "--dump-tables") == 0) {
+      Opts.DumpTables = true;
+    } else if (std::strcmp(argv[I], "--tables-out") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.TablesOut = argv[++I];
+    } else if (std::strcmp(argv[I], "--expect-hash") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.ExpectHash = argv[++I];
     } else if (std::strcmp(argv[I], "--stats") == 0) {
       Opts.Stats = true;
     } else if (std::strcmp(argv[I], "--jobs") == 0) {
@@ -230,6 +302,8 @@ int main(int argc, char **argv) {
     std::printf("%s", R.render().c_str());
     return R.Pass ? 0 : 1;
   }
+  if (Opts.DumpTables)
+    return dumpTables(Opts);
   if (!Opts.Selftest && Opts.Files.empty())
     return usage(argv[0]);
 

@@ -2,6 +2,11 @@
 
 #include "core/Policy.h"
 
+#include "regex/Algebra.h"
+#include "regex/TableIO.h"
+
+#include <stdexcept>
+
 using namespace rocksalt;
 using namespace rocksalt::core;
 using re::Factory;
@@ -138,30 +143,38 @@ const std::vector<std::string> &core::noControlFlowFormNames() {
 }
 
 PolicyGrammars core::buildPolicyGrammars(Factory &F) {
+  // The policy unions are pure functions of fixed name lists, so they
+  // are built once per process; per-factory work is then only the strip
+  // (itself memoized per grammar node in F's strip cache).
+  static const gram::Grammar<x86::Instr> NCF =
+      x86::formsUnion(noControlFlowFormNames());
+  static const gram::Grammar<x86::Instr> NCF16 =
+      x86::formsUnion(noControlFlowFormNames(), /*Op16=*/true);
+  static const gram::Grammar<x86::Instr> Strings =
+      x86::formsUnion(stringFormNames());
+  static const gram::Grammar<x86::Instr> Lockables =
+      x86::formsUnion(lockableFormNames());
+  static const gram::Grammar<x86::Instr> Jumps = x86::formsUnion(
+      {"jmp.rel8", "jmp.rel32", "jcc.rel8", "jcc.rel32", "call.rel"});
+
   PolicyGrammars P;
-  P.NoControlFlow = x86::formsUnion(noControlFlowFormNames());
+  P.NoControlFlow = NCF;
 
   // The regex is layered with the allowed prefixes.
   Regex Plain = P.NoControlFlow.strip(F);
-  Regex With66 =
-      F.cat(F.byteLit(0x66),
-            x86::formsUnion(noControlFlowFormNames(), /*Op16=*/true)
-                .strip(F));
+  Regex With66 = F.cat(F.byteLit(0x66), NCF16.strip(F));
   Regex Reps = F.cat(F.alt(F.byteLit(0xF3), F.byteLit(0xF2)),
-                     x86::formsUnion(stringFormNames()).strip(F));
-  Regex Locked = F.cat(F.byteLit(0xF0),
-                       x86::formsUnion(lockableFormNames()).strip(F));
+                     Strings.strip(F));
+  Regex Locked = F.cat(F.byteLit(0xF0), Lockables.strip(F));
   P.NoControlFlowRe = F.altN({Plain, With66, Reps, Locked});
 
-  P.DirectJumpRe = x86::formsUnion({"jmp.rel8", "jmp.rel32", "jcc.rel8",
-                                    "jcc.rel32", "call.rel"})
-                       .strip(F);
+  P.DirectJumpRe = Jumps.strip(F);
 
   P.MaskedJumpRe = nacljmpMask(F);
   return P;
 }
 
-PolicyTables core::buildPolicyTables() {
+PolicyTables core::buildPolicyTablesRaw() {
   Factory F;
   PolicyGrammars P = buildPolicyGrammars(F);
   PolicyTables T;
@@ -171,7 +184,45 @@ PolicyTables core::buildPolicyTables() {
   return T;
 }
 
+PolicyTables core::buildPolicyTables() {
+  PolicyTables T = buildPolicyTablesRaw();
+  T.NoControlFlow = re::minimizeDfa(T.NoControlFlow);
+  T.DirectJump = re::minimizeDfa(T.DirectJump);
+  T.MaskedJump = re::minimizeDfa(T.MaskedJump);
+  if (T.NoControlFlow.numStates() != NoControlFlowStates ||
+      T.DirectJump.numStates() != DirectJumpStates ||
+      T.MaskedJump.numStates() != MaskedJumpStates)
+    throw std::logic_error(
+        "policy table state counts diverged from the pinned constants in "
+        "core/Policy.h — a grammar change altered the minimized tables");
+  return T;
+}
+
 const PolicyTables &core::policyTables() {
   static const PolicyTables T = buildPolicyTables();
   return T;
+}
+
+std::vector<uint8_t> core::serializePolicyTables(const PolicyTables &T) {
+  return re::serializeTables({{"NoControlFlow", &T.NoControlFlow},
+                              {"DirectJump", &T.DirectJump},
+                              {"MaskedJump", &T.MaskedJump}});
+}
+
+PolicyTables core::deserializePolicyTables(const std::vector<uint8_t> &Blob) {
+  re::TableBundle Bundle = re::deserializeTables(Blob);
+  if (Bundle.Tables.size() != 3 ||
+      Bundle.Tables[0].first != "NoControlFlow" ||
+      Bundle.Tables[1].first != "DirectJump" ||
+      Bundle.Tables[2].first != "MaskedJump")
+    throw std::runtime_error("policy table blob has unexpected table set");
+  PolicyTables T;
+  T.NoControlFlow = std::move(Bundle.Tables[0].second);
+  T.DirectJump = std::move(Bundle.Tables[1].second);
+  T.MaskedJump = std::move(Bundle.Tables[2].second);
+  return T;
+}
+
+std::string core::policyTableHashHex(const PolicyTables &T) {
+  return re::blobHashHex(serializePolicyTables(T));
 }

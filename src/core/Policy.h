@@ -61,16 +61,45 @@ struct PolicyTables {
   re::Dfa MaskedJump;
 };
 
+/// Exact state counts of the shipped (minimized, canonically
+/// BFS-numbered) tables. Tests pin against these names rather than
+/// magic numbers; buildPolicyTables() asserts them, so a grammar edit
+/// that changes a table size fails loudly in one place.
+constexpr uint32_t NoControlFlowStates = 42;
+constexpr uint32_t DirectJumpStates = 8;
+constexpr uint32_t MaskedJumpStates = 25;
+
 /// Builds the policy grammars in \p F. (Regexes are interned in F, so the
 /// factory must outlive the result.)
 PolicyGrammars buildPolicyGrammars(re::Factory &F);
 
-/// Compiles the policy DFAs. Deterministic; called once and cached by the
-/// verifier.
+/// Compiles the policy DFAs by raw derivative closure, without
+/// minimization — the historical shipped form, kept for the
+/// differential gate certifying that minimization changed no verdict.
+PolicyTables buildPolicyTablesRaw();
+
+/// Compiles the shipped policy DFAs: derivative closure followed by
+/// Hopcroft minimization with canonical BFS numbering, so identical
+/// grammars always produce bit-identical tables. Deterministic; called
+/// once and cached by the verifier.
 PolicyTables buildPolicyTables();
 
 /// Returns a shared, lazily built instance of the tables.
 const PolicyTables &policyTables();
+
+/// Serializes \p T into the versioned "RSTB" binary format
+/// (regex/TableIO.h), tables in the fixed order NoControlFlow,
+/// DirectJump, MaskedJump. Byte-identical for identical tables.
+std::vector<uint8_t> serializePolicyTables(const PolicyTables &T);
+
+/// Parses a blob produced by serializePolicyTables, re-verifying the
+/// embedded content hash and structure. Throws std::runtime_error on
+/// any corruption or on unexpected table names/order.
+PolicyTables deserializePolicyTables(const std::vector<uint8_t> &Blob);
+
+/// The content-address (SHA-256, lowercase hex) of the serialized form
+/// of \p T — the cache key CI pins against drift.
+std::string policyTableHashHex(const PolicyTables &T);
 
 /// The form names included in NoControlFlow (exposed for the workload
 /// generator, which emits only policy-legal instructions, and for tests).

@@ -98,8 +98,19 @@ public:
     return Out;
   }
 
-  /// Erases semantic actions, yielding the underlying regex.
-  re::Regex strip(re::Factory &F) const { return Impl->strip(F); }
+  /// Erases semantic actions, yielding the underlying regex. Memoized
+  /// per (factory, grammar node): the instruction grammars share their
+  /// modrm/immediate subtrees, so each shared subtree is walked once per
+  /// factory instead of once per mention. The factory retains the node
+  /// (see Factory::stripCacheStore), so the cache can never hit a
+  /// recycled address.
+  re::Regex strip(re::Factory &F) const {
+    if (re::Regex Cached = F.stripCacheLookup(Impl.get()))
+      return Cached;
+    re::Regex R = Impl->strip(F);
+    F.stripCacheStore(Impl.get(), Impl, R);
+    return R;
+  }
 };
 
 //===----------------------------------------------------------------------===//
@@ -375,39 +386,50 @@ inline Grammar<Unit> bitsG(std::string_view Pattern) {
 }
 
 /// Exactly \p N arbitrary bits interpreted MSB-first as an unsigned
-/// integer (N <= 32).
+/// integer (N <= 32). Grammars are immutable, so each width is built
+/// once and shared by every caller — subsystems that strip or
+/// differentiate many forms then memoize these subtrees by identity.
 inline Grammar<uint32_t> field(unsigned N) {
   assert(N <= 32 && "field too wide");
-  if (N == 0)
-    return pure<uint32_t>(0);
-  Grammar<uint32_t> Rest = field(N - 1);
-  return mapWith(cat(anyBit(), Rest),
-                 [N](const std::pair<bool, uint32_t> &P) -> uint32_t {
-                   return (uint32_t(P.first) << (N - 1)) | P.second;
-                 });
+  static const std::vector<Grammar<uint32_t>> Cache = [] {
+    std::vector<Grammar<uint32_t>> C(33);
+    C[0] = pure<uint32_t>(0);
+    for (unsigned I = 1; I <= 32; ++I)
+      C[I] = mapWith(cat(anyBit(), C[I - 1]),
+                     [I](const std::pair<bool, uint32_t> &P) -> uint32_t {
+                       return (uint32_t(P.first) << (I - 1)) | P.second;
+                     });
+    return C;
+  }();
+  return Cache[N];
 }
 
 /// One arbitrary byte (8 bits, MSB first).
 inline Grammar<uint8_t> byteG() {
-  return mapWith(field(8),
-                 [](uint32_t V) { return static_cast<uint8_t>(V); });
+  static const Grammar<uint8_t> G = mapWith(
+      field(8), [](uint32_t V) { return static_cast<uint8_t>(V); });
+  return G;
 }
 
 /// A 16-bit little-endian immediate ("halfword" in the paper).
 inline Grammar<uint16_t> halfwordLE() {
-  return mapWith(cat(byteG(), byteG()),
-                 [](const std::pair<uint8_t, uint8_t> &P) {
-                   return static_cast<uint16_t>(P.first |
-                                                (uint16_t(P.second) << 8));
-                 });
+  static const Grammar<uint16_t> G =
+      mapWith(cat(byteG(), byteG()),
+              [](const std::pair<uint8_t, uint8_t> &P) {
+                return static_cast<uint16_t>(P.first |
+                                             (uint16_t(P.second) << 8));
+              });
+  return G;
 }
 
 /// A 32-bit little-endian immediate ("word" in the paper).
 inline Grammar<uint32_t> wordLE() {
-  return mapWith(cat(halfwordLE(), halfwordLE()),
-                 [](const std::pair<uint16_t, uint16_t> &P) {
-                   return uint32_t(P.first) | (uint32_t(P.second) << 16);
-                 });
+  static const Grammar<uint32_t> G =
+      mapWith(cat(halfwordLE(), halfwordLE()),
+              [](const std::pair<uint16_t, uint16_t> &P) {
+                return uint32_t(P.first) | (uint32_t(P.second) << 16);
+              });
+  return G;
 }
 
 //===----------------------------------------------------------------------===//

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -104,6 +105,20 @@ class Factory {
   Regex BitRe_[2] = {nullptr, nullptr};
   Regex AnyRe_ = nullptr;
   std::unordered_map<uint64_t, Regex> DerivPairMemo;
+  /// Byte-level derivative memo, keyed by (node id << 8) | byte. The
+  /// per-(node, bit) caches on the nodes remain the workhorse of the
+  /// bit-level recursion; this table sits above them so repeat queries
+  /// for the same (state, byte) pair — rebuilds, audits, equivalence
+  /// checks against the same factory — cost one lookup, not eight.
+  std::unordered_map<uint64_t, Regex> DerivByteMemo;
+  /// Type-erased strip cache used by the grammar layer
+  /// (gram::Grammar<T>::strip): grammar node address -> stripped regex
+  /// in *this* factory. The owning shared_ptr pins the grammar node so
+  /// an address can never be recycled while the cache entry lives —
+  /// a stale-pointer hit would silently produce the wrong regex.
+  std::unordered_map<const void *,
+                     std::pair<std::shared_ptr<const void>, Regex>>
+      StripCache;
 
   Regex intern(Kind K, bool BitVal, Regex L, Regex R,
                std::vector<Regex> Alts);
@@ -157,9 +172,30 @@ public:
   /// Brzozowski derivative with respect to one bit.
   Regex deriv(Regex A, bool Bit);
 
-  /// Iterated derivative with respect to the 8 bits of \p Byte,
-  /// MSB-first.
+  /// Derivative with respect to the 8 bits of \p Byte, MSB-first.
+  /// Memoized per (node, byte), so repeated byte-level queries (DFA
+  /// rebuilds, equivalence walks, audits over the same factory) resolve
+  /// in one hash lookup instead of eight bit derivatives.
   Regex derivByte(Regex A, uint8_t Byte);
+
+  //===--------------------------------------------------------------------===//
+  // Strip cache (used by gram::Grammar<T>::strip).
+  //===--------------------------------------------------------------------===//
+
+  /// Stripped-regex lookup for a (type-erased) grammar node previously
+  /// stored with stripCacheStore. Returns nullptr when absent.
+  Regex stripCacheLookup(const void *Key) const {
+    auto It = StripCache.find(Key);
+    return It == StripCache.end() ? nullptr : It->second.second;
+  }
+
+  /// Records the stripped form of a grammar node. \p Owner must own the
+  /// storage \p Key points at; it is retained so the address stays valid
+  /// (and unique) for the life of this factory.
+  void stripCacheStore(const void *Key, std::shared_ptr<const void> Owner,
+                       Regex R) {
+    StripCache.emplace(Key, std::make_pair(std::move(Owner), R));
+  }
 
   /// The generalized derivative of section 4.1: the set of suffixes s2
   /// such that some s1 in \p By has s1++s2 in \p A. Defined only when

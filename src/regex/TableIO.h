@@ -1,0 +1,74 @@
+//===- regex/TableIO.h - Versioned binary DFA table format -----*- C++ -*-===//
+///
+/// \file
+/// Serialization of DFA table bundles into a versioned, content-addressed
+/// binary format ("RSTB"). Because the shipped tables are Hopcroft-
+/// minimized and canonically BFS-numbered (regex/Algebra.h), identical
+/// grammars always serialize to byte-identical blobs, so the embedded
+/// SHA-256 doubles as a cache key and a drift detector: CI pins the hash
+/// and fails when a grammar edit changes the accepted language.
+///
+/// Layout (all integers little-endian; see DESIGN.md section 10):
+///
+///   offset  size  field
+///   0       4     magic "RSTB"
+///   4       4     format version (currently 1)
+///   8       4     table count N
+///   12      32    SHA-256 over every byte after this field
+///   44      ...   N table records, each:
+///                   u32 name length, name bytes (no terminator)
+///                   u32 start state
+///                   u32 state count S
+///                   S*256 u16 transition targets, row-major by state
+///                   S u8 accept flags (0/1)
+///                   S u8 reject flags (0/1)
+///
+/// Deserialization re-verifies the magic, version, hash, flag values,
+/// and that every transition target is < S; any mismatch throws — a
+/// truncated or bit-flipped blob never silently yields a table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_REGEX_TABLEIO_H
+#define ROCKSALT_REGEX_TABLEIO_H
+
+#include "regex/Dfa.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rocksalt {
+namespace re {
+
+/// The current serialization format version. Bump on any layout change;
+/// readers reject versions they do not understand.
+constexpr uint32_t TableFormatVersion = 1;
+
+/// A deserialized bundle: the format version it was written with, the
+/// content hash carried in the header (hex), and the named tables in
+/// file order.
+struct TableBundle {
+  uint32_t Version = 0;
+  std::string HashHex;
+  std::vector<std::pair<std::string, Dfa>> Tables;
+};
+
+/// Serializes the named tables. Deterministic: the same tables in the
+/// same order always produce the same bytes (and therefore hash).
+std::vector<uint8_t>
+serializeTables(const std::vector<std::pair<std::string, const Dfa *>> &Tables);
+
+/// Parses and fully validates a blob. Throws std::runtime_error with a
+/// specific message on bad magic, unsupported version, hash mismatch,
+/// truncation, out-of-range transition targets, or non-boolean flags.
+TableBundle deserializeTables(const std::vector<uint8_t> &Blob);
+
+/// The content hash of a serialized blob, as carried in its header
+/// (does not re-verify it; use deserializeTables for that).
+std::string blobHashHex(const std::vector<uint8_t> &Blob);
+
+} // namespace re
+} // namespace rocksalt
+
+#endif // ROCKSALT_REGEX_TABLEIO_H

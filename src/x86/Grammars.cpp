@@ -29,12 +29,24 @@ std::string bitString(uint32_t V, int N) {
   return S;
 }
 
-Grammar<Unit> byteLitG(uint8_t B) { return bitsG(bitString(B, 8)); }
+Grammar<Unit> byteLitG(uint8_t B) {
+  // One shared grammar per literal byte: opcode bytes recur across
+  // hundreds of forms, and sharing lets per-factory strip/derivative
+  // memos resolve each repeated subtree once.
+  static const std::vector<Grammar<Unit>> Cache = [] {
+    std::vector<Grammar<Unit>> C(256);
+    for (unsigned V = 0; V < 256; ++V)
+      C[V] = bitsG(bitString(V, 8));
+    return C;
+  }();
+  return Cache[B];
+}
 
 /// A 3-bit register field capturing any register.
 Grammar<Reg> regField() {
-  return mapWith(field(3),
-                 [](uint32_t V) { return regFromEncoding(uint8_t(V)); });
+  static const Grammar<Reg> G = mapWith(
+      field(3), [](uint32_t V) { return regFromEncoding(uint8_t(V)); });
+  return G;
 }
 
 /// A 3-bit register field restricted to the given encodings.
@@ -48,17 +60,22 @@ Grammar<Reg> regFieldOf(std::initializer_list<uint8_t> Encs) {
 }
 
 Grammar<uint32_t> imm8zx() {
-  return mapWith(byteG(), [](uint8_t B) { return uint32_t(B); });
+  static const Grammar<uint32_t> G =
+      mapWith(byteG(), [](uint8_t B) { return uint32_t(B); });
+  return G;
 }
 
 Grammar<uint32_t> imm8sx() {
-  return mapWith(byteG(), [](uint8_t B) {
+  static const Grammar<uint32_t> G = mapWith(byteG(), [](uint8_t B) {
     return static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(B)));
   });
+  return G;
 }
 
 Grammar<uint32_t> imm16zx() {
-  return mapWith(halfwordLE(), [](uint16_t H) { return uint32_t(H); });
+  static const Grammar<uint32_t> G =
+      mapWith(halfwordLE(), [](uint16_t H) { return uint32_t(H); });
+  return G;
 }
 
 /// Word-sized immediate: 16-bit under the operand-size override, 32-bit
@@ -75,14 +92,18 @@ Grammar<uint32_t> immW(bool Op16) { return Op16 ? imm16zx() : wordLE(); }
 //===----------------------------------------------------------------------===//
 
 Grammar<Scale> scaleField() {
-  return mapWith(field(2), [](uint32_t V) { return static_cast<Scale>(V); });
+  static const Grammar<Scale> G = mapWith(
+      field(2), [](uint32_t V) { return static_cast<Scale>(V); });
+  return G;
 }
 
 /// SIB index: 100 means "no index"; ESP is not encodable as an index.
 Grammar<std::optional<Reg>> sibIndex() {
-  return alt(mapWith(bitsG("100"), [](Unit) { return std::optional<Reg>{}; }),
-             mapWith(regFieldOf({0, 1, 2, 3, 5, 6, 7}),
-                     [](Reg R) { return std::optional<Reg>(R); }));
+  static const Grammar<std::optional<Reg>> G =
+      alt(mapWith(bitsG("100"), [](Unit) { return std::optional<Reg>{}; }),
+          mapWith(regFieldOf({0, 1, 2, 3, 5, 6, 7}),
+                  [](Reg R) { return std::optional<Reg>(R); }));
+  return G;
 }
 
 Addr makeAddr(std::optional<Reg> Base, Scale S, std::optional<Reg> Index,
@@ -96,7 +117,7 @@ Addr makeAddr(std::optional<Reg> Base, Scale S, std::optional<Reg> Index,
 }
 
 /// SIB tail for mod=00: base=101 means disp32 with no base register.
-Grammar<Operand> sibTail0() {
+Grammar<Operand> sibTail0Fresh() {
   using BasePart = std::pair<std::optional<Reg>, uint32_t>;
   Grammar<BasePart> Base =
       alt(mapWith(regFieldOf({0, 1, 2, 3, 4, 6, 7}),
@@ -123,9 +144,14 @@ Grammar<Operand> sibTailDisp(Grammar<uint32_t> DispG) {
       });
 }
 
+Grammar<Operand> sibTail0() {
+  static const Grammar<Operand> G = sibTail0Fresh();
+  return G;
+}
+
 /// The rm bits (plus SIB/displacement) for memory operands under a given
 /// mod value.
-Grammar<Operand> rmBits(int Mod) {
+Grammar<Operand> rmBitsFresh(int Mod) {
   switch (Mod) {
   case 0:
     return alt(
@@ -152,37 +178,59 @@ Grammar<Operand> rmBits(int Mod) {
   }
 }
 
+Grammar<Operand> rmBits(int Mod) {
+  static const Grammar<Operand> Cache[3] = {rmBitsFresh(0), rmBitsFresh(1),
+                                            rmBitsFresh(2)};
+  assert(Mod >= 0 && Mod <= 2 && "rmBits handles memory mods only");
+  return Cache[Mod];
+}
+
 /// Full modrm: captures the reg field and the r/m operand (register or
 /// memory).
 Grammar<std::pair<Reg, Operand>> modrmFull() {
   using P = std::pair<Reg, Operand>;
-  Grammar<P> Out = voidG<P>();
-  for (int Mod = 0; Mod <= 2; ++Mod)
-    Out = alt(Out, mapWith(then(bitsG(bitString(Mod, 2)),
-                                cat(regField(), rmBits(Mod))),
-                           [](const P &X) { return X; }));
-  Out = alt(Out, mapWith(then(bitsG("11"), cat(regField(), regField())),
-                         [](const std::pair<Reg, Reg> &X) {
-                           return P(X.first, Operand::reg(X.second));
-                         }));
-  return Out;
+  static const Grammar<P> G = [] {
+    Grammar<P> Out = voidG<P>();
+    for (int Mod = 0; Mod <= 2; ++Mod)
+      Out = alt(Out, mapWith(then(bitsG(bitString(Mod, 2)),
+                                  cat(regField(), rmBits(Mod))),
+                             [](const P &X) { return X; }));
+    Out = alt(Out, mapWith(then(bitsG("11"), cat(regField(), regField())),
+                           [](const std::pair<Reg, Reg> &X) {
+                             return P(X.first, Operand::reg(X.second));
+                           }));
+    return Out;
+  }();
+  return G;
 }
 
 /// ModRM with the reg field fixed to an opcode-extension digit (the
 /// Intel "/digit" notation); yields the r/m operand. The paper's
-/// ext_op_modrm.
+/// ext_op_modrm. One shared grammar per (digit, reg/mem-allowed) shape.
 Grammar<Operand> modrmExt(uint8_t Digit, bool AllowReg = true,
                           bool AllowMem = true) {
-  std::string Ext = bitString(Digit, 3);
-  Grammar<Operand> Out = voidG<Operand>();
-  if (AllowMem)
-    for (int Mod = 0; Mod <= 2; ++Mod)
-      Out = alt(Out, then(bitsG(bitString(Mod, 2)),
-                          then(bitsG(Ext), rmBits(Mod))));
-  if (AllowReg)
-    Out = alt(Out, mapWith(then(bitsG("11"), then(bitsG(Ext), regField())),
-                           [](Reg R) { return Operand::reg(R); }));
-  return Out;
+  auto Build = [](uint8_t D, bool WithReg, bool WithMem) {
+    std::string Ext = bitString(D, 3);
+    Grammar<Operand> Out = voidG<Operand>();
+    if (WithMem)
+      for (int Mod = 0; Mod <= 2; ++Mod)
+        Out = alt(Out, then(bitsG(bitString(Mod, 2)),
+                            then(bitsG(Ext), rmBits(Mod))));
+    if (WithReg)
+      Out = alt(Out, mapWith(then(bitsG("11"), then(bitsG(Ext), regField())),
+                             [](Reg R) { return Operand::reg(R); }));
+    return Out;
+  };
+  // Index: digit in the low 3 bits, the two allow flags above.
+  static const std::vector<Grammar<Operand>> Cache = [Build] {
+    std::vector<Grammar<Operand>> C(32);
+    for (uint8_t D = 0; D < 8; ++D)
+      for (int WithReg = 0; WithReg <= 1; ++WithReg)
+        for (int WithMem = 0; WithMem <= 1; ++WithMem)
+          C[(WithReg << 4) | (WithMem << 3) | D] = Build(D, WithReg, WithMem);
+    return C;
+  }();
+  return Cache[(unsigned(AllowReg) << 4) | (unsigned(AllowMem) << 3) | Digit];
 }
 
 //===----------------------------------------------------------------------===//
