@@ -1,0 +1,173 @@
+//===- bench/bench_service.cpp ---------------------------------*- C++ -*-===//
+//
+// Experiment E12: the serve-vs-rebuild economics of the verification
+// service. A one-shot checker pays the policy-table build (~ms) on every
+// process start; a client of the service instead loads the served RSTB
+// blob (deserialize + hash check), and a warm client with a cached blob
+// pays only the 64-byte hash negotiation. This bench measures all three
+// start-up paths plus the in-process frame round-trip cost of each
+// request kind, and emits one JSON line per quantity (appended to
+// BENCH_service.json when ROCKSALT_BENCH_JSON is set, else stdout).
+//
+// The acceptance line: load_blob_ms must beat build_tables_ms — that is
+// the entire point of tables-by-hash distribution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Policy.h"
+#include "nacl/WorkloadGen.h"
+#include "regex/TableIO.h"
+#include "svc/Protocol.h"
+#include "svc/Service.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace rocksalt;
+
+static void benchBuildTables(benchmark::State &State) {
+  for (auto _ : State) {
+    core::PolicyTables T = core::buildPolicyTables();
+    benchmark::DoNotOptimize(T.NoControlFlow.numStates());
+  }
+}
+BENCHMARK(benchBuildTables)->Unit(benchmark::kMillisecond);
+
+static void benchLoadServedBlob(benchmark::State &State) {
+  std::vector<uint8_t> Blob =
+      core::serializePolicyTables(core::policyTables());
+  std::string Hash = re::blobHashHex(Blob);
+  for (auto _ : State) {
+    core::PolicyTables T = core::loadPolicyTables(Blob, Hash);
+    benchmark::DoNotOptimize(T.NoControlFlow.numStates());
+  }
+}
+BENCHMARK(benchLoadServedBlob)->Unit(benchmark::kMillisecond);
+
+static void benchHashNegotiationOnly(benchmark::State &State) {
+  // The warm-client path: re-hash the cached blob and compare — no
+  // transfer, no deserialization.
+  std::vector<uint8_t> Blob =
+      core::serializePolicyTables(core::policyTables());
+  for (auto _ : State) {
+    std::string H = re::verifyBlobHashHex(Blob);
+    benchmark::DoNotOptimize(H.size());
+  }
+}
+BENCHMARK(benchHashNegotiationOnly)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+template <typename F> double medianMs(F Fn, int Reps = 9) {
+  std::vector<double> Ms;
+  for (int I = 0; I < Reps; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    auto T1 = std::chrono::steady_clock::now();
+    Ms.push_back(std::chrono::duration<double, std::milli>(T1 - T0).count());
+  }
+  std::sort(Ms.begin(), Ms.end());
+  return Ms[Ms.size() / 2];
+}
+
+/// One framed request through the service shell, response discarded.
+double frameRoundTripMs(svc::Service &S, svc::proto::MsgKind Kind,
+                        const std::vector<uint8_t> &Body) {
+  std::vector<uint8_t> Req;
+  svc::proto::appendFrame(Req, Kind, Body);
+  svc::proto::Frame F;
+  size_t Pos = 0;
+  svc::proto::parseFrame(Req.data(), Req.size(), &Pos, &F);
+  return medianMs([&] {
+    std::vector<uint8_t> Resp = S.handleFrame(F, nullptr);
+    benchmark::DoNotOptimize(Resp.size());
+  });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::vector<uint8_t> Blob =
+      core::serializePolicyTables(core::policyTables());
+  std::string Hash = re::blobHashHex(Blob);
+
+  double BuildMs = medianMs([] {
+    core::PolicyTables T = core::buildPolicyTables();
+    benchmark::DoNotOptimize(T.NoControlFlow.numStates());
+  });
+  double LoadMs = medianMs([&] {
+    core::PolicyTables T = core::loadPolicyTables(Blob, Hash);
+    benchmark::DoNotOptimize(T.NoControlFlow.numStates());
+  });
+  double NegotiateMs = medianMs([&] {
+    std::string H = re::verifyBlobHashHex(Blob);
+    benchmark::DoNotOptimize(H.size());
+  });
+
+  svc::Service S(svc::ServiceOptions{2, nullptr});
+  std::vector<std::vector<uint8_t>> Images;
+  for (uint32_t I = 0; I < 8; ++I) {
+    nacl::WorkloadOptions WO;
+    WO.TargetBytes = 1024;
+    WO.Seed = 11000 + I;
+    Images.push_back(nacl::generateWorkload(WO));
+  }
+  std::vector<uint8_t> Batch = svc::proto::encodeImageBatch(Images);
+  double VerifyMs =
+      frameRoundTripMs(S, svc::proto::MsgKind::VerifyRequest, Batch);
+  double LintMs = frameRoundTripMs(S, svc::proto::MsgKind::LintRequest, Batch);
+  double TablesColdMs = frameRoundTripMs(
+      S, svc::proto::MsgKind::TablesRequest, svc::proto::encodeTablesRequest(""));
+  double TablesWarmMs =
+      frameRoundTripMs(S, svc::proto::MsgKind::TablesRequest,
+                       svc::proto::encodeTablesRequest(S.tablesHashHex()));
+
+  std::printf("\n--- E12: serve vs rebuild (blob %zu bytes) ---\n",
+              Blob.size());
+  std::printf("build tables (one-shot start):   %8.3f ms\n", BuildMs);
+  std::printf("load served blob (cold client):  %8.3f ms  (%.1fx faster)\n",
+              LoadMs, BuildMs / LoadMs);
+  std::printf("hash negotiation (warm client):  %8.3f ms\n", NegotiateMs);
+  std::printf("frame round-trip: verify(8x1KiB) %8.3f ms, lint %8.3f ms, "
+              "tables cold %8.3f ms, tables warm %8.3f ms\n",
+              VerifyMs, LintMs, TablesColdMs, TablesWarmMs);
+  if (LoadMs >= BuildMs)
+    std::printf("*** load path did NOT beat the rebuild — serve-by-hash "
+                "regressed ***\n");
+
+  std::FILE *Json = stdout;
+  bool OwnFile = false;
+  if (std::getenv("ROCKSALT_BENCH_JSON")) {
+    Json = std::fopen("BENCH_service.json", "a");
+    OwnFile = Json != nullptr;
+    if (!Json)
+      Json = stdout;
+  }
+  auto Line = [&](const char *Metric, double V) {
+    std::fprintf(Json,
+                 "{\"bench\":\"service\",\"metric\":\"%s\",\"value\":%.4f}\n",
+                 Metric, V);
+  };
+  Line("build_tables_ms", BuildMs);
+  Line("load_blob_ms", LoadMs);
+  Line("hash_negotiation_ms", NegotiateMs);
+  Line("frame_verify_8x1k_ms", VerifyMs);
+  Line("frame_lint_8x1k_ms", LintMs);
+  Line("frame_tables_cold_ms", TablesColdMs);
+  Line("frame_tables_warm_ms", TablesWarmMs);
+  std::fprintf(Json,
+               "{\"bench\":\"service\",\"metric\":\"blob_bytes\","
+               "\"value\":%zu}\n",
+               Blob.size());
+  if (OwnFile)
+    std::fclose(Json);
+  return LoadMs < BuildMs ? 0 : 1;
+}

@@ -28,12 +28,32 @@
 // --tables-out FILE also writes the blob; --expect-hash HEX exits
 // nonzero unless the content hash matches — the CI drift gate.
 //
+// --serve turns the process into the long-running verification service
+// (svc/Service.h): framed verify/lint/audit/tables requests over
+// stdin/stdout, or over a Unix-domain socket with --socket PATH (accept
+// loop until a client sends Shutdown). --connect PATH is the matching
+// client: it routes verification (or --lint, --audit, --shutdown) of
+// the given images through a running server. --tables-from PATH fetches
+// the server's policy tables by content hash — with --tables-cache FILE
+// a hash match skips the transfer entirely — and adopts them in-process,
+// skipping the per-process table rebuild for the rest of the run.
+// --serve-smoke forks a server child on a private socket, drives a
+// mixed verify/lint/audit/tables/malformed-frame session against it,
+// cross-checks every response against the in-process one-shot paths,
+// and shuts it down cleanly — the CI service gate.
+//
 // Usage:
 //   validator_cli <image.bin>... [--disassemble] [--explain] [--lint]
 //                                [--jobs N] [--stats]
 //   validator_cli --selftest [--lint] [--jobs N] [--stats]
 //   validator_cli --audit
 //   validator_cli --dump-tables [--tables-out FILE] [--expect-hash HEX]
+//   validator_cli --serve [--socket PATH] [--jobs N] [--stats]
+//   validator_cli --connect PATH [<image.bin>...] [--lint] [--audit]
+//                                [--shutdown]
+//   validator_cli --tables-from PATH [--tables-cache FILE]
+//                                [--expect-hash HEX] [<image.bin>...]
+//   validator_cli --serve-smoke
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,18 +66,29 @@
 #include "nacl/Mutator.h"
 #include "nacl/WorkloadGen.h"
 #include "svc/ParallelVerifier.h"
+#include "svc/Protocol.h"
+#include "svc/Service.h"
 #include "svc/VerifierPool.h"
 #include "x86/FastDecoder.h"
 #include "x86/Printer.h"
 
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace rocksalt;
 
@@ -75,7 +106,130 @@ struct CliOptions {
   std::string TablesOut;   ///< optional output path for the blob
   std::string ExpectHash;  ///< optional pinned content hash (CI gate)
   bool Selftest = false;
+  bool Serve = false;       ///< run the framed verification service
+  std::string SocketPath;   ///< with --serve: listen here instead of stdio
+  std::string ConnectPath;  ///< client mode: a running server's socket
+  bool ShutdownServer = false; ///< with --connect: stop the server after
+  std::string TablesFrom;   ///< fetch + adopt policy tables from a server
+  std::string TablesCache;  ///< local blob cache for the hash negotiation
+  bool ServeSmoke = false;  ///< fork a server and drive a mixed session
 };
+
+// --- Service transport helpers (Unix-domain sockets + framing) ----------
+
+int connectUnix(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int listenUnix(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 8) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+void writeAllFd(int Fd, const std::vector<uint8_t> &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throw std::runtime_error("write error on service socket");
+    }
+    Off += size_t(N);
+  }
+}
+
+void sendFrame(int Fd, svc::proto::MsgKind Kind,
+               const std::vector<uint8_t> &Body) {
+  std::vector<uint8_t> Out;
+  svc::proto::appendFrame(Out, Kind, Body);
+  writeAllFd(Fd, Out);
+}
+
+/// Client-side frame reassembly over a blocking fd.
+class FrameReader {
+public:
+  explicit FrameReader(int Fd) : Fd(Fd) {}
+
+  svc::proto::Frame next() {
+    svc::proto::Frame F;
+    while (!svc::proto::parseFrame(Buf.data(), Buf.size(), &Pos, &F)) {
+      if (Pos) {
+        Buf.erase(Buf.begin(), Buf.begin() + long(Pos));
+        Pos = 0;
+      }
+      uint8_t Tmp[64 * 1024];
+      ssize_t N = ::read(Fd, Tmp, sizeof(Tmp));
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        throw std::runtime_error("read error on service socket");
+      }
+      if (N == 0)
+        throw std::runtime_error("server closed the connection");
+      Buf.insert(Buf.end(), Tmp, Tmp + N);
+    }
+    return F;
+  }
+
+private:
+  int Fd;
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0;
+};
+
+/// Receives one frame and insists on \p Want, surfacing server-side
+/// ErrorResponse text in the exception.
+svc::proto::Frame expectFrame(FrameReader &In, svc::proto::MsgKind Want) {
+  svc::proto::Frame F = In.next();
+  if (F.Kind == svc::proto::MsgKind::ErrorResponse &&
+      Want != svc::proto::MsgKind::ErrorResponse)
+    throw std::runtime_error("server error: " +
+                             svc::proto::decodeErrorResponse(F.Body));
+  if (F.Kind != Want)
+    throw std::runtime_error(std::string("expected ") +
+                             svc::proto::msgKindName(Want) + ", got " +
+                             svc::proto::msgKindName(F.Kind));
+  return F;
+}
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign((std::istreambuf_iterator<char>(In)),
+             std::istreambuf_iterator<char>());
+  return true;
+}
 
 /// Serializes the shipped tables, proves the round-trip is bit-identical
 /// in-process, prints stats + content hash, optionally writes the blob
@@ -245,6 +399,361 @@ int selftest(const CliOptions &Opts, svc::VerifierPool *Pool,
   return Rc;
 }
 
+/// --serve: the long-running verification service. Without --socket the
+/// single session runs over stdin/stdout (all diagnostics go to stderr);
+/// with --socket PATH connections are served sequentially until a client
+/// sends Shutdown.
+int runServer(const CliOptions &Opts) {
+  svc::Metrics M;
+  svc::Service Server(svc::ServiceOptions{Opts.Jobs, &M});
+  int Rc = 0;
+  if (Opts.SocketPath.empty()) {
+    try {
+      Server.serveFd(STDIN_FILENO, STDOUT_FILENO);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "session error: %s\n", E.what());
+      Rc = 1;
+    }
+  } else {
+    int Listen = listenUnix(Opts.SocketPath);
+    if (Listen < 0) {
+      std::fprintf(stderr, "error: cannot listen on %s\n",
+                   Opts.SocketPath.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "serving on %s (%u workers, tables %s)\n",
+                 Opts.SocketPath.c_str(), Server.pool().threadCount(),
+                 Server.tablesHashHex().c_str());
+    bool Shutdown = false;
+    while (!Shutdown) {
+      int Conn = ::accept(Listen, nullptr, nullptr);
+      if (Conn < 0) {
+        if (errno == EINTR)
+          continue;
+        std::fprintf(stderr, "accept error on %s\n", Opts.SocketPath.c_str());
+        Rc = 1;
+        break;
+      }
+      try {
+        Shutdown =
+            Server.serveFd(Conn, Conn) == svc::Service::ServeStatus::Shutdown;
+      } catch (const std::exception &E) {
+        // One hostile session must not take the server down.
+        std::fprintf(stderr, "session error: %s\n", E.what());
+      }
+      ::close(Conn);
+    }
+    ::close(Listen);
+    ::unlink(Opts.SocketPath.c_str());
+  }
+  if (Opts.Stats)
+    std::fprintf(stderr, "--- service metrics ---\n%s", M.dump().c_str());
+  return Rc;
+}
+
+/// --connect: route verify/lint/audit of the given images through a
+/// running server, printing the same shapes as the local one-shot paths.
+int runClient(const CliOptions &Opts) {
+  using svc::proto::MsgKind;
+  int Fd = connectUnix(Opts.ConnectPath);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s\n",
+                 Opts.ConnectPath.c_str());
+    return 2;
+  }
+  FrameReader In(Fd);
+  int Rc = 0;
+  try {
+    if (Opts.Audit) {
+      sendFrame(Fd, MsgKind::AuditRequest, {});
+      svc::proto::AuditVerdict V = svc::proto::decodeAuditResponse(
+          expectFrame(In, MsgKind::AuditResponse).Body);
+      std::printf("%s", V.Render.c_str());
+      Rc = V.Pass ? 0 : 1;
+    }
+    if (!Opts.Files.empty()) {
+      std::vector<std::vector<uint8_t>> Images;
+      for (const std::string &Path : Opts.Files) {
+        Images.emplace_back();
+        if (!readFile(Path, Images.back())) {
+          std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+          ::close(Fd);
+          return 2;
+        }
+      }
+      std::vector<uint8_t> Batch = svc::proto::encodeImageBatch(Images);
+      if (Opts.Lint) {
+        sendFrame(Fd, MsgKind::LintRequest, Batch);
+        std::vector<svc::proto::LintReport> Reports =
+            svc::proto::decodeLintResponse(
+                expectFrame(In, MsgKind::LintResponse).Body);
+        for (size_t I = 0; I < Reports.size(); ++I) {
+          std::printf("%s:\n%s", Opts.Files[I].c_str(),
+                      Reports[I].Render.c_str());
+          Rc |= Reports[I].Errors ? 1 : 0;
+        }
+      } else {
+        sendFrame(Fd, MsgKind::VerifyRequest, Batch);
+        std::vector<svc::proto::VerifyVerdict> Verdicts =
+            svc::proto::decodeVerifyResponse(
+                expectFrame(In, MsgKind::VerifyResponse).Body);
+        for (size_t I = 0; I < Verdicts.size(); ++I) {
+          std::printf("%-40s %s%s%s  (%zu bytes)\n", Opts.Files[I].c_str(),
+                      Verdicts[I].Ok ? "ACCEPT" : "REJECT",
+                      Verdicts[I].Ok ? "" : "  reason: ",
+                      Verdicts[I].Ok
+                          ? ""
+                          : core::rejectReasonName(Verdicts[I].Reason),
+                      Images[I].size());
+          Rc |= Verdicts[I].Ok ? 0 : 1;
+        }
+      }
+    }
+    if (Opts.ShutdownServer) {
+      sendFrame(Fd, MsgKind::ShutdownRequest, {});
+      expectFrame(In, MsgKind::ShutdownResponse);
+      std::printf("server shut down\n");
+    }
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    Rc = 2;
+  }
+  ::close(Fd);
+  return Rc;
+}
+
+/// --tables-from: fetch the server's policy tables by content hash and
+/// adopt them process-wide, skipping the local grammar rebuild. With
+/// --tables-cache FILE the cached blob's hash is offered first, so a
+/// match costs a 74-byte negotiation instead of a ~34 KiB transfer.
+/// Returns <0 on success (the caller continues into normal validation),
+/// else a process exit code.
+int fetchTables(const CliOptions &Opts) {
+  using svc::proto::MsgKind;
+  std::vector<uint8_t> CachedBlob;
+  std::string CachedHash;
+  if (!Opts.TablesCache.empty() && readFile(Opts.TablesCache, CachedBlob)) {
+    try {
+      CachedHash = re::verifyBlobHashHex(CachedBlob);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "note: ignoring corrupt tables cache %s (%s)\n",
+                   Opts.TablesCache.c_str(), E.what());
+      CachedBlob.clear();
+    }
+  }
+
+  int Fd = connectUnix(Opts.TablesFrom);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s\n",
+                 Opts.TablesFrom.c_str());
+    return 2;
+  }
+  int Rc = -1;
+  try {
+    FrameReader In(Fd);
+    sendFrame(Fd, MsgKind::TablesRequest,
+              svc::proto::encodeTablesRequest(CachedHash));
+    svc::proto::TablesReply Reply = svc::proto::decodeTablesResponse(
+        expectFrame(In, MsgKind::TablesResponse).Body);
+
+    const std::vector<uint8_t> *Blob;
+    if (Reply.HashMatched) {
+      std::printf("tables: hash %s matched — cache hit, no transfer\n",
+                  Reply.HashHex.c_str());
+      Blob = &CachedBlob;
+    } else {
+      std::printf("tables: fetched %zu bytes, hash %s\n", Reply.Blob.size(),
+                  Reply.HashHex.c_str());
+      Blob = &Reply.Blob;
+      if (!Opts.TablesCache.empty()) {
+        std::ofstream Out(Opts.TablesCache, std::ios::binary);
+        if (Out.write(reinterpret_cast<const char *>(Reply.Blob.data()),
+                      long(Reply.Blob.size())))
+          std::printf("tables: cached to %s\n", Opts.TablesCache.c_str());
+      }
+    }
+    if (!Opts.ExpectHash.empty() && Reply.HashHex != Opts.ExpectHash) {
+      std::fprintf(stderr,
+                   "error: served tables hash drift\n  expected %s\n"
+                   "  actual   %s\n",
+                   Opts.ExpectHash.c_str(), Reply.HashHex.c_str());
+      ::close(Fd);
+      return 1;
+    }
+
+    auto T0 = std::chrono::steady_clock::now();
+    core::PolicyTables T = core::loadPolicyTables(*Blob, Reply.HashHex);
+    auto T1 = std::chrono::steady_clock::now();
+    bool Adopted = core::adoptPolicyTables(std::move(T));
+    std::printf("tables: loaded in %.3f ms (%s the per-process rebuild)\n",
+                std::chrono::duration<double, std::milli>(T1 - T0).count(),
+                Adopted ? "skipping" : "too late to skip");
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    Rc = 2;
+  }
+  ::close(Fd);
+  return Rc;
+}
+
+/// --serve-smoke: fork a server child on a private socket and drive a
+/// mixed verify/lint/audit/tables/malformed session against it,
+/// cross-checking every response against the in-process one-shot paths.
+/// The CI service gate: exits 0 only if everything agreed and the
+/// server shut down cleanly.
+int serveSmoke() {
+  using svc::proto::MsgKind;
+  char Dir[] = "/tmp/rocksalt_smoke_XXXXXX";
+  if (!::mkdtemp(Dir)) {
+    std::fprintf(stderr, "error: mkdtemp failed\n");
+    return 2;
+  }
+  std::string Sock = std::string(Dir) + "/svc.sock";
+
+  pid_t Child = ::fork(); // before any threads exist in this process
+  if (Child < 0) {
+    std::fprintf(stderr, "error: fork failed\n");
+    return 2;
+  }
+  if (Child == 0) {
+    CliOptions ServerOpts;
+    ServerOpts.SocketPath = Sock;
+    ServerOpts.Jobs = 2;
+    ::_exit(runServer(ServerOpts));
+  }
+
+  auto Fail = [&](const char *What) {
+    std::fprintf(stderr, "serve-smoke FAILED: %s\n", What);
+    ::kill(Child, SIGKILL);
+    ::waitpid(Child, nullptr, 0);
+    ::unlink(Sock.c_str());
+    ::rmdir(Dir);
+    return 1;
+  };
+
+  // The child creates the socket; retry the connect until it is up.
+  int Fd = -1;
+  for (int I = 0; I < 200 && Fd < 0; ++I) {
+    Fd = connectUnix(Sock);
+    if (Fd < 0)
+      ::usleep(25 * 1000);
+  }
+  if (Fd < 0)
+    return Fail("server socket never came up");
+
+  int Rc = 0;
+  try {
+    FrameReader In(Fd);
+
+    // A mixed batch: compliant, mutated, and attacked images.
+    Rng R(7);
+    std::vector<std::vector<uint8_t>> Images;
+    for (uint32_t I = 0; I < 12; ++I) {
+      nacl::WorkloadOptions WO;
+      WO.TargetBytes = 512 + 96 * (I % 4);
+      WO.Seed = 4200 + I;
+      std::vector<uint8_t> Img = nacl::generateWorkload(WO);
+      if (I % 3 == 1)
+        Img = nacl::mutateRandom(Img, R);
+      if (I % 3 == 2)
+        if (auto Bad = nacl::applyAttack(Img, nacl::Attack::InsertRet, R))
+          Img = *Bad;
+      Images.push_back(std::move(Img));
+    }
+
+    // 1. verify — every verdict must equal the local sequential checker.
+    sendFrame(Fd, MsgKind::VerifyRequest,
+              svc::proto::encodeImageBatch(Images));
+    std::vector<svc::proto::VerifyVerdict> Verdicts =
+        svc::proto::decodeVerifyResponse(
+            expectFrame(In, MsgKind::VerifyResponse).Body);
+    core::RockSalt Local;
+    if (Verdicts.size() != Images.size())
+      return Fail("verify verdict count mismatch");
+    for (size_t I = 0; I < Images.size(); ++I) {
+      core::CheckResult CR = Local.check(Images[I]);
+      if (Verdicts[I].Ok != CR.Ok || Verdicts[I].Reason != CR.Reason)
+        return Fail("served verify verdict diverged from one-shot check");
+    }
+    std::printf("smoke: verify ok (%zu images)\n", Images.size());
+
+    // 2. lint — rendered diagnostics must be bit-identical to the local
+    // lint of the same images.
+    std::vector<std::vector<uint8_t>> LintBatch(Images.begin(),
+                                                Images.begin() + 4);
+    sendFrame(Fd, MsgKind::LintRequest,
+              svc::proto::encodeImageBatch(LintBatch));
+    std::vector<svc::proto::LintReport> Lints = svc::proto::decodeLintResponse(
+        expectFrame(In, MsgKind::LintResponse).Body);
+    if (Lints.size() != LintBatch.size())
+      return Fail("lint report count mismatch");
+    for (size_t I = 0; I < LintBatch.size(); ++I) {
+      analysis::CfgLintResult L =
+          analysis::lintImage(core::policyTables(), LintBatch[I]);
+      if (Lints[I].Render != L.render() || Lints[I].Errors != L.Errors)
+        return Fail("served lint diverged from one-shot lint");
+    }
+    std::printf("smoke: lint ok (%zu images)\n", LintBatch.size());
+
+    // 3. audit — the live tables must pass the meta-verifier.
+    sendFrame(Fd, MsgKind::AuditRequest, {});
+    svc::proto::AuditVerdict Audit = svc::proto::decodeAuditResponse(
+        expectFrame(In, MsgKind::AuditResponse).Body);
+    if (!Audit.Pass)
+      return Fail("server-side policy audit failed");
+    std::printf("smoke: audit ok\n");
+
+    // 4. tables — cold fetch must load bit-identical to the local build;
+    // a warm fetch with the hash must short-circuit the transfer.
+    sendFrame(Fd, MsgKind::TablesRequest, svc::proto::encodeTablesRequest(""));
+    svc::proto::TablesReply Cold = svc::proto::decodeTablesResponse(
+        expectFrame(In, MsgKind::TablesResponse).Body);
+    if (Cold.HashMatched || Cold.Blob.empty())
+      return Fail("cold tables fetch did not return a blob");
+    core::PolicyTables Served = core::loadPolicyTables(Cold.Blob, Cold.HashHex);
+    if (core::serializePolicyTables(Served) !=
+        core::serializePolicyTables(core::policyTables()))
+      return Fail("served tables are not bit-identical to the local build");
+    sendFrame(Fd, MsgKind::TablesRequest,
+              svc::proto::encodeTablesRequest(Cold.HashHex));
+    svc::proto::TablesReply Warm = svc::proto::decodeTablesResponse(
+        expectFrame(In, MsgKind::TablesResponse).Body);
+    if (!Warm.HashMatched || !Warm.Blob.empty())
+      return Fail("hash negotiation did not short-circuit the transfer");
+    std::printf("smoke: tables ok (%zu-byte blob, hash %.16s…)\n",
+                Cold.Blob.size(), Cold.HashHex.c_str());
+
+    // 5. malformed body — answered with an error, session survives.
+    sendFrame(Fd, MsgKind::VerifyRequest, {0xFF, 0xFF});
+    if (In.next().Kind != MsgKind::ErrorResponse)
+      return Fail("malformed body was not answered with ErrorResponse");
+    sendFrame(Fd, MsgKind::AuditRequest, {});
+    expectFrame(In, MsgKind::AuditResponse);
+    std::printf("smoke: malformed-body error path ok\n");
+
+    // 6. clean shutdown.
+    sendFrame(Fd, MsgKind::ShutdownRequest, {});
+    expectFrame(In, MsgKind::ShutdownResponse);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "serve-smoke exception: %s\n", E.what());
+    Rc = 1;
+  }
+  ::close(Fd);
+
+  int Status = 0;
+  if (::waitpid(Child, &Status, 0) != Child ||
+      !WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+    std::fprintf(stderr, "serve-smoke FAILED: server exit status %d\n",
+                 Status);
+    Rc = 1;
+  }
+  ::unlink(Sock.c_str());
+  ::rmdir(Dir);
+  if (Rc == 0)
+    std::printf("smoke: clean shutdown — all service paths agree\n");
+  return Rc;
+}
+
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <image.bin>... [--disassemble] [--explain] "
@@ -252,8 +761,14 @@ int usage(const char *Prog) {
                "\n       %s --selftest [--lint] [--jobs N] [--stats]"
                "\n       %s --audit"
                "\n       %s --dump-tables [--tables-out FILE] "
-               "[--expect-hash HEX]\n",
-               Prog, Prog, Prog, Prog);
+               "[--expect-hash HEX]"
+               "\n       %s --serve [--socket PATH] [--jobs N] [--stats]"
+               "\n       %s --connect PATH [<image.bin>...] [--lint] "
+               "[--audit] [--shutdown]"
+               "\n       %s --tables-from PATH [--tables-cache FILE] "
+               "[--expect-hash HEX] [<image.bin>...]"
+               "\n       %s --serve-smoke\n",
+               Prog, Prog, Prog, Prog, Prog, Prog, Prog, Prog);
   return 2;
 }
 
@@ -291,11 +806,50 @@ int main(int argc, char **argv) {
       if (N < 1)
         return usage(argv[0]);
       Opts.Jobs = unsigned(N);
+    } else if (std::strcmp(argv[I], "--serve") == 0) {
+      Opts.Serve = true;
+    } else if (std::strcmp(argv[I], "--socket") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.SocketPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--connect") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.ConnectPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--shutdown") == 0) {
+      Opts.ShutdownServer = true;
+    } else if (std::strcmp(argv[I], "--tables-from") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.TablesFrom = argv[++I];
+    } else if (std::strcmp(argv[I], "--tables-cache") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.TablesCache = argv[++I];
+    } else if (std::strcmp(argv[I], "--serve-smoke") == 0) {
+      Opts.ServeSmoke = true;
     } else if (argv[I][0] == '-') {
       return usage(argv[0]);
     } else {
       Opts.Files.push_back(argv[I]);
     }
+  }
+  if (Opts.ServeSmoke)
+    return serveSmoke();
+  if (Opts.Serve)
+    return runServer(Opts);
+  if (!Opts.ConnectPath.empty())
+    return runClient(Opts);
+  if (!Opts.TablesFrom.empty()) {
+    // Fetch + adopt, then fall through to the normal validation modes
+    // (which now reuse the adopted tables instead of rebuilding).
+    int Rc = fetchTables(Opts);
+    if (Rc >= 0)
+      return Rc;
+    Opts.ExpectHash.clear(); // consumed by the fetch, not dump-tables
+    if (Opts.Files.empty() && !Opts.Selftest && !Opts.Audit &&
+        !Opts.DumpTables)
+      return 0;
   }
   if (Opts.Audit) {
     analysis::AuditReport R = analysis::auditShippedPolicy();

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Style + static-analysis gate over the analysis subsystem (and the DFA
-# algebra it builds on). Runs clang-format in dry-run mode against
-# .clang-format and clang-tidy against .clang-tidy, over src/analysis/
-# and regex/Algebra.*.
+# algebra it builds on) plus the service layer's protocol and server.
+# Runs clang-format in dry-run mode against .clang-format and clang-tidy
+# against .clang-tidy, over src/analysis/, regex/Algebra.*, and the
+# svc/Service + svc/Protocol pair.
 #
 # The gate degrades gracefully: on machines without the clang tooling
 # (the CI container ships only gcc) it reports what it skipped and exits
@@ -21,6 +22,10 @@ $ROOT/src/analysis/CfgLint.h
 $ROOT/src/analysis/CfgLint.cpp
 $ROOT/src/regex/Algebra.h
 $ROOT/src/regex/Algebra.cpp
+$ROOT/src/svc/Protocol.h
+$ROOT/src/svc/Protocol.cpp
+$ROOT/src/svc/Service.h
+$ROOT/src/svc/Service.cpp
 "
 
 STATUS=0

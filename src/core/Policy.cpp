@@ -5,6 +5,8 @@
 #include "regex/Algebra.h"
 #include "regex/TableIO.h"
 
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
 
 using namespace rocksalt;
@@ -198,9 +200,43 @@ PolicyTables core::buildPolicyTables() {
   return T;
 }
 
+namespace {
+
+/// The shared instance behind policyTables()/adoptPolicyTables():
+/// double-checked so the steady-state read is one acquire load. The
+/// pointee is intentionally immortal (exactly like the function-local
+/// static it replaces) — verifiers hold references across shutdown.
+std::atomic<const PolicyTables *> SharedTables{nullptr};
+std::mutex SharedTablesM;
+
+} // namespace
+
 const PolicyTables &core::policyTables() {
-  static const PolicyTables T = buildPolicyTables();
-  return T;
+  if (const PolicyTables *P = SharedTables.load(std::memory_order_acquire))
+    return *P;
+  std::lock_guard<std::mutex> L(SharedTablesM);
+  if (const PolicyTables *P = SharedTables.load(std::memory_order_relaxed))
+    return *P;
+  const PolicyTables *P = new PolicyTables(buildPolicyTables());
+  SharedTables.store(P, std::memory_order_release);
+  return *P;
+}
+
+bool core::adoptPolicyTables(PolicyTables T) {
+  std::lock_guard<std::mutex> L(SharedTablesM);
+  if (SharedTables.load(std::memory_order_relaxed))
+    return false;
+  SharedTables.store(new PolicyTables(std::move(T)),
+                     std::memory_order_release);
+  return true;
+}
+
+PolicyTables core::loadPolicyTables(const std::vector<uint8_t> &Blob,
+                                    std::string_view ExpectHashHex) {
+  if (!ExpectHashHex.empty() && re::verifyBlobHashHex(Blob) != ExpectHashHex)
+    throw std::runtime_error(
+        "policy table blob hash does not match the expected content hash");
+  return deserializePolicyTables(Blob);
 }
 
 std::vector<uint8_t> core::serializePolicyTables(const PolicyTables &T) {

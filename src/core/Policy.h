@@ -25,6 +25,8 @@
 #include "regex/Dfa.h"
 #include "x86/Grammars.h"
 
+#include <string_view>
+
 namespace rocksalt {
 namespace core {
 
@@ -84,8 +86,23 @@ PolicyTables buildPolicyTablesRaw();
 /// once and cached by the verifier.
 PolicyTables buildPolicyTables();
 
-/// Returns a shared, lazily built instance of the tables.
+/// Returns the shared process-wide tables: the adopted instance when
+/// adoptPolicyTables() ran first, else a lazily built one.
 const PolicyTables &policyTables();
+
+/// Parses, structure-checks, and hash-verifies an RSTB blob (e.g. one
+/// served by the verification service's tables endpoint). When
+/// \p ExpectHashHex is non-empty the blob's content address must equal
+/// it exactly. Throws std::runtime_error on any mismatch or corruption.
+PolicyTables loadPolicyTables(const std::vector<uint8_t> &Blob,
+                              std::string_view ExpectHashHex = {});
+
+/// Installs \p T as the shared instance policyTables() serves, letting
+/// a process that obtained tables by blob skip the per-process grammar
+/// rebuild entirely. Must run before the first policyTables() use:
+/// returns false (and changes nothing) when the shared instance has
+/// already materialized.
+bool adoptPolicyTables(PolicyTables T);
 
 /// Serializes \p T into the versioned "RSTB" binary format
 /// (regex/TableIO.h), tables in the fixed order NoControlFlow,

@@ -166,3 +166,20 @@ std::string re::blobHashHex(const std::vector<uint8_t> &Blob) {
   std::memcpy(Stored.data(), Blob.data() + HashOffset, 32);
   return support::Sha256::hex(Stored);
 }
+
+std::string re::verifyBlobHashHex(const std::vector<uint8_t> &Blob) {
+  if (Blob.size() < PayloadOffset)
+    throw std::runtime_error("table blob truncated");
+  if (std::memcmp(Blob.data(), Magic, 4) != 0)
+    throw std::runtime_error("table blob has bad magic");
+  Reader R(Blob, 4);
+  if (R.u32() != TableFormatVersion)
+    throw std::runtime_error("unsupported table format version");
+  std::array<uint8_t, 32> Stored;
+  std::memcpy(Stored.data(), Blob.data() + HashOffset, 32);
+  auto Actual = support::Sha256::hash(Blob.data() + PayloadOffset,
+                                      Blob.size() - PayloadOffset);
+  if (Stored != Actual)
+    throw std::runtime_error("table blob content hash mismatch");
+  return support::Sha256::hex(Stored);
+}

@@ -68,6 +68,13 @@ TableBundle deserializeTables(const std::vector<uint8_t> &Blob);
 /// (does not re-verify it; use deserializeTables for that).
 std::string blobHashHex(const std::vector<uint8_t> &Blob);
 
+/// Recomputes the payload hash and checks it against the header without
+/// materializing any table — the cheap integrity check a transport runs
+/// before caching or re-serving a blob. Throws std::runtime_error on
+/// truncation, bad magic, unsupported version, or hash mismatch;
+/// returns the verified hash in lowercase hex.
+std::string verifyBlobHashHex(const std::vector<uint8_t> &Blob);
+
 } // namespace re
 } // namespace rocksalt
 

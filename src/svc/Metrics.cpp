@@ -3,6 +3,8 @@
 #include "svc/Metrics.h"
 
 #include <bit>
+#include <cassert>
+#include <cmath>
 #include <cstdio>
 
 using namespace rocksalt;
@@ -21,10 +23,21 @@ void Histogram::record(uint64_t V) {
 }
 
 uint64_t Histogram::quantile(double Q) const {
+  // The documented domain is (0, 1]. NaN has no defensible answer (it
+  // used to fall through every comparison and report max()); Q outside
+  // the domain is clamped, so Q <= 0 asks for the minimum observation
+  // instead of fabricating an answer from bucket 0's edge.
+  assert(!std::isnan(Q) && "Histogram::quantile(NaN)");
+  if (std::isnan(Q))
+    return 0;
   uint64_t C = count();
   if (!C)
     return 0;
+  if (Q > 1.0)
+    Q = 1.0;
   double Want = Q * double(C);
+  if (Want < 1.0)
+    Want = 1.0; // clamp Q <= 0 (and tiny Q) to the first observation
   uint64_t Seen = 0;
   for (unsigned I = 0; I < NumBuckets; ++I) {
     Seen += bucket(I);
@@ -114,12 +127,20 @@ std::string Metrics::dump() const {
   dumpScalar(Out, "lint_errors", LintErrors.get());
   dumpScalar(Out, "lint_warnings", LintWarnings.get());
   dumpScalar(Out, "lint_notes", LintNotes.get());
+  dumpScalar(Out, "svc_verify_requests", SvcVerifyRequests.get());
+  dumpScalar(Out, "svc_lint_requests", SvcLintRequests.get());
+  dumpScalar(Out, "svc_audit_requests", SvcAuditRequests.get());
+  dumpScalar(Out, "svc_tables_requests", SvcTablesRequests.get());
+  dumpScalar(Out, "svc_tables_hash_hits", SvcTablesHashHits.get());
+  dumpScalar(Out, "svc_errors", SvcErrors.get());
+  dumpScalar(Out, "svc_sessions", SvcSessions.get());
   dumpScalar(Out, "queue_depth", static_cast<uint64_t>(
                                      QueueDepth.get() < 0 ? 0
                                                           : QueueDepth.get()));
   dumpHistogram(Out, "verify_nanos", VerifyNanos);
   dumpHistogram(Out, "shard_imbalance_permille", ShardImbalancePermille);
   dumpHistogram(Out, "batch_images", BatchImages);
+  dumpHistogram(Out, "svc_request_nanos", SvcRequestNanos);
   return Out;
 }
 
@@ -144,9 +165,17 @@ void Metrics::reset() {
   LintErrors.reset();
   LintWarnings.reset();
   LintNotes.reset();
+  SvcVerifyRequests.reset();
+  SvcLintRequests.reset();
+  SvcAuditRequests.reset();
+  SvcTablesRequests.reset();
+  SvcTablesHashHits.reset();
+  SvcErrors.reset();
+  SvcSessions.reset();
   VerifyNanos.reset();
   ShardImbalancePermille.reset();
   BatchImages.reset();
+  SvcRequestNanos.reset();
 }
 
 Metrics &svc::globalMetrics() {

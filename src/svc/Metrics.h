@@ -78,8 +78,10 @@ public:
   uint64_t bucket(unsigned I) const {
     return Buckets[I].load(std::memory_order_relaxed);
   }
-  /// Upper-bound estimate of the \p Q quantile (0 < Q <= 1): the upper
-  /// edge of the bucket the quantile falls into.
+  /// Upper-bound estimate of the \p Q quantile. Domain (0, 1]:
+  /// out-of-domain Q is clamped into it (Q <= 0 reports the minimum
+  /// observation's bucket edge, Q > 1 the maximum's); NaN asserts in
+  /// debug builds and returns 0 in release.
   uint64_t quantile(double Q) const;
 
   void reset();
@@ -117,10 +119,20 @@ struct Metrics {
   Counter LintWarnings; ///< warning-severity diagnostics emitted
   Counter LintNotes;    ///< note-severity diagnostics emitted
 
+  // Verification service (src/svc/Service).
+  Counter SvcVerifyRequests; ///< verify request frames handled
+  Counter SvcLintRequests;   ///< lint request frames handled
+  Counter SvcAuditRequests;  ///< audit request frames handled
+  Counter SvcTablesRequests; ///< tables request frames handled
+  Counter SvcTablesHashHits; ///< tables requests short-circuited by hash
+  Counter SvcErrors;         ///< malformed bodies answered with an error
+  Counter SvcSessions;       ///< serve-loop sessions completed
+
   // Distributions.
   Histogram VerifyNanos;          ///< wall time per image verification
   Histogram ShardImbalancePermille; ///< 1000 * max shard ns / mean shard ns
   Histogram BatchImages;          ///< images per submit() call
+  Histogram SvcRequestNanos;      ///< wall time per service request frame
 
   /// Plain-text exposition of every metric.
   std::string dump() const;

@@ -1,0 +1,344 @@
+//===- svc/Protocol.cpp - Framed verification service protocol ------------===//
+
+#include "svc/Protocol.h"
+
+#include <cstring>
+
+using namespace rocksalt;
+using namespace rocksalt::svc;
+using namespace rocksalt::svc::proto;
+
+namespace {
+
+constexpr char Magic[4] = {'R', 'S', 'V', 'C'};
+
+bool knownKind(uint8_t K) {
+  switch (MsgKind(K)) {
+  case MsgKind::VerifyRequest:
+  case MsgKind::LintRequest:
+  case MsgKind::AuditRequest:
+  case MsgKind::TablesRequest:
+  case MsgKind::ShutdownRequest:
+  case MsgKind::VerifyResponse:
+  case MsgKind::LintResponse:
+  case MsgKind::AuditResponse:
+  case MsgKind::TablesResponse:
+  case MsgKind::ShutdownResponse:
+  case MsgKind::ErrorResponse:
+    return true;
+  }
+  return false;
+}
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(uint8_t(V));
+  Out.push_back(uint8_t(V >> 8));
+  Out.push_back(uint8_t(V >> 16));
+  Out.push_back(uint8_t(V >> 24));
+}
+
+void putBytes(std::vector<uint8_t> &Out, const void *Data, size_t Len) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  Out.insert(Out.end(), P, P + Len);
+}
+
+/// Bounds-checked little-endian reader over a body; every decoder ends
+/// with done() so trailing bytes are rejected like truncation.
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &Body) : Body(Body) {}
+
+  uint32_t u32() {
+    need(4);
+    uint32_t V = uint32_t(Body[Pos]) | (uint32_t(Body[Pos + 1]) << 8) |
+                 (uint32_t(Body[Pos + 2]) << 16) |
+                 (uint32_t(Body[Pos + 3]) << 24);
+    Pos += 4;
+    return V;
+  }
+
+  uint8_t u8() {
+    need(1);
+    return Body[Pos++];
+  }
+
+  uint8_t flag() {
+    uint8_t V = u8();
+    if (V > 1)
+      throw ProtocolError("frame body flag is not boolean");
+    return V;
+  }
+
+  std::string str(size_t Len) {
+    need(Len);
+    std::string S(reinterpret_cast<const char *>(Body.data() + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+
+  std::vector<uint8_t> bytes(size_t Len) {
+    need(Len);
+    std::vector<uint8_t> V(Body.begin() + long(Pos),
+                           Body.begin() + long(Pos + Len));
+    Pos += Len;
+    return V;
+  }
+
+  void done() const {
+    if (Pos != Body.size())
+      throw ProtocolError("frame body has trailing bytes");
+  }
+
+private:
+  void need(size_t N) {
+    if (Body.size() - Pos < N)
+      throw ProtocolError("frame body truncated");
+  }
+
+  const std::vector<uint8_t> &Body;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+const char *proto::msgKindName(MsgKind K) {
+  switch (K) {
+  case MsgKind::VerifyRequest:
+    return "VerifyRequest";
+  case MsgKind::LintRequest:
+    return "LintRequest";
+  case MsgKind::AuditRequest:
+    return "AuditRequest";
+  case MsgKind::TablesRequest:
+    return "TablesRequest";
+  case MsgKind::ShutdownRequest:
+    return "ShutdownRequest";
+  case MsgKind::VerifyResponse:
+    return "VerifyResponse";
+  case MsgKind::LintResponse:
+    return "LintResponse";
+  case MsgKind::AuditResponse:
+    return "AuditResponse";
+  case MsgKind::TablesResponse:
+    return "TablesResponse";
+  case MsgKind::ShutdownResponse:
+    return "ShutdownResponse";
+  case MsgKind::ErrorResponse:
+    return "ErrorResponse";
+  }
+  return "unknown";
+}
+
+void proto::appendFrame(std::vector<uint8_t> &Out, MsgKind Kind,
+                        const std::vector<uint8_t> &Body) {
+  if (Body.size() > MaxFrameBody)
+    throw ProtocolError("frame body exceeds MaxFrameBody");
+  Out.reserve(Out.size() + FrameHeaderSize + Body.size());
+  putBytes(Out, Magic, 4);
+  Out.push_back(ProtocolVersion);
+  Out.push_back(uint8_t(Kind));
+  putU32(Out, uint32_t(Body.size()));
+  putBytes(Out, Body.data(), Body.size());
+}
+
+bool proto::parseFrame(const uint8_t *Data, size_t Size, size_t *Pos,
+                       Frame *Out) {
+  size_t P = *Pos;
+  size_t Avail = Size - P;
+  // Validate the header prefix byte-by-byte so garbage is rejected as
+  // soon as it can be told apart from a short read.
+  size_t HeadAvail = Avail < 6 ? Avail : 6;
+  for (size_t I = 0; I < HeadAvail; ++I) {
+    uint8_t B = Data[P + I];
+    if (I < 4 && B != uint8_t(Magic[I]))
+      throw ProtocolError("frame has bad magic");
+    if (I == 4 && B != ProtocolVersion)
+      throw ProtocolError("unsupported protocol version");
+    if (I == 5 && !knownKind(B))
+      throw ProtocolError("unknown message kind");
+  }
+  if (Avail < FrameHeaderSize)
+    return false;
+  uint32_t Len = uint32_t(Data[P + 6]) | (uint32_t(Data[P + 7]) << 8) |
+                 (uint32_t(Data[P + 8]) << 16) | (uint32_t(Data[P + 9]) << 24);
+  if (Len > MaxFrameBody)
+    throw ProtocolError("frame body length exceeds MaxFrameBody");
+  if (Avail - FrameHeaderSize < Len)
+    return false;
+  Out->Kind = MsgKind(Data[P + 5]);
+  Out->Body.assign(Data + P + FrameHeaderSize,
+                   Data + P + FrameHeaderSize + Len);
+  *Pos = P + FrameHeaderSize + Len;
+  return true;
+}
+
+std::vector<uint8_t>
+proto::encodeImageBatch(const std::vector<std::vector<uint8_t>> &Images) {
+  std::vector<uint8_t> Out;
+  putU32(Out, uint32_t(Images.size()));
+  for (const std::vector<uint8_t> &Img : Images) {
+    putU32(Out, uint32_t(Img.size()));
+    putBytes(Out, Img.data(), Img.size());
+  }
+  return Out;
+}
+
+std::vector<std::vector<uint8_t>>
+proto::decodeImageBatch(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  uint32_t Count = R.u32();
+  // Each image record is at least 4 bytes; a hostile count cannot force
+  // an allocation larger than the body that carries it.
+  if (Count > Body.size() / 4)
+    throw ProtocolError("image batch count exceeds body size");
+  std::vector<std::vector<uint8_t>> Images;
+  Images.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Size = R.u32();
+    Images.push_back(R.bytes(Size));
+  }
+  R.done();
+  return Images;
+}
+
+std::vector<uint8_t>
+proto::encodeVerifyResponse(const std::vector<VerifyVerdict> &Verdicts) {
+  std::vector<uint8_t> Out;
+  putU32(Out, uint32_t(Verdicts.size()));
+  for (const VerifyVerdict &V : Verdicts) {
+    Out.push_back(V.Ok ? 1 : 0);
+    Out.push_back(uint8_t(V.Reason));
+  }
+  return Out;
+}
+
+std::vector<VerifyVerdict>
+proto::decodeVerifyResponse(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  uint32_t Count = R.u32();
+  if (Count > Body.size() / 2)
+    throw ProtocolError("verify response count exceeds body size");
+  std::vector<VerifyVerdict> Verdicts;
+  Verdicts.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    VerifyVerdict V;
+    V.Ok = R.flag() != 0;
+    uint8_t Reason = R.u8();
+    if (Reason > uint8_t(core::RejectReason::UnalignedBundle))
+      throw ProtocolError("verify response carries unknown reject reason");
+    V.Reason = core::RejectReason(Reason);
+    Verdicts.push_back(V);
+  }
+  R.done();
+  return Verdicts;
+}
+
+std::vector<uint8_t>
+proto::encodeLintResponse(const std::vector<LintReport> &Reports) {
+  std::vector<uint8_t> Out;
+  putU32(Out, uint32_t(Reports.size()));
+  for (const LintReport &L : Reports) {
+    Out.push_back(L.ParseComplete ? 1 : 0);
+    putU32(Out, L.Errors);
+    putU32(Out, L.Warnings);
+    putU32(Out, L.Notes);
+    putU32(Out, uint32_t(L.Render.size()));
+    putBytes(Out, L.Render.data(), L.Render.size());
+  }
+  return Out;
+}
+
+std::vector<LintReport>
+proto::decodeLintResponse(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  uint32_t Count = R.u32();
+  if (Count > Body.size() / 17) // fixed fields per record
+    throw ProtocolError("lint response count exceeds body size");
+  std::vector<LintReport> Reports;
+  Reports.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    LintReport L;
+    L.ParseComplete = R.flag() != 0;
+    L.Errors = R.u32();
+    L.Warnings = R.u32();
+    L.Notes = R.u32();
+    L.Render = R.str(R.u32());
+    Reports.push_back(std::move(L));
+  }
+  R.done();
+  return Reports;
+}
+
+std::vector<uint8_t> proto::encodeAuditResponse(const AuditVerdict &V) {
+  std::vector<uint8_t> Out;
+  Out.push_back(V.Pass ? 1 : 0);
+  putU32(Out, uint32_t(V.Render.size()));
+  putBytes(Out, V.Render.data(), V.Render.size());
+  return Out;
+}
+
+AuditVerdict proto::decodeAuditResponse(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  AuditVerdict V;
+  V.Pass = R.flag() != 0;
+  V.Render = R.str(R.u32());
+  R.done();
+  return V;
+}
+
+std::vector<uint8_t>
+proto::encodeTablesRequest(const std::string &ExpectHashHex) {
+  std::vector<uint8_t> Out;
+  putU32(Out, uint32_t(ExpectHashHex.size()));
+  putBytes(Out, ExpectHashHex.data(), ExpectHashHex.size());
+  return Out;
+}
+
+std::string proto::decodeTablesRequest(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  uint32_t Len = R.u32();
+  if (Len != 0 && Len != 64)
+    throw ProtocolError("tables request hash must be empty or 64 hex chars");
+  std::string Hash = R.str(Len);
+  for (char C : Hash)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')))
+      throw ProtocolError("tables request hash is not lowercase hex");
+  R.done();
+  return Hash;
+}
+
+std::vector<uint8_t> proto::encodeTablesResponse(const TablesReply &T) {
+  std::vector<uint8_t> Out;
+  Out.push_back(T.HashMatched ? 1 : 0);
+  putU32(Out, uint32_t(T.HashHex.size()));
+  putBytes(Out, T.HashHex.data(), T.HashHex.size());
+  putU32(Out, uint32_t(T.Blob.size()));
+  putBytes(Out, T.Blob.data(), T.Blob.size());
+  return Out;
+}
+
+TablesReply proto::decodeTablesResponse(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  TablesReply T;
+  T.HashMatched = R.flag() != 0;
+  T.HashHex = R.str(R.u32());
+  T.Blob = R.bytes(R.u32());
+  R.done();
+  if (T.HashMatched && !T.Blob.empty())
+    throw ProtocolError("tables response carries a blob despite a hash match");
+  return T;
+}
+
+std::vector<uint8_t> proto::encodeErrorResponse(const std::string &Message) {
+  std::vector<uint8_t> Out;
+  putU32(Out, uint32_t(Message.size()));
+  putBytes(Out, Message.data(), Message.size());
+  return Out;
+}
+
+std::string proto::decodeErrorResponse(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  std::string Msg = R.str(R.u32());
+  R.done();
+  return Msg;
+}

@@ -1,0 +1,206 @@
+//===- svc/Service.cpp - Long-running verification service ----------------===//
+
+#include "svc/Service.h"
+
+#include "analysis/CfgLint.h"
+#include "analysis/PolicyAudit.h"
+#include "regex/TableIO.h"
+
+#include <cerrno>
+#include <chrono>
+#include <unistd.h>
+
+using namespace rocksalt;
+using namespace rocksalt::svc;
+
+namespace {
+
+uint64_t nowNanos() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+void writeAll(int Fd, const std::vector<uint8_t> &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throw proto::ProtocolError("write error on session stream");
+    }
+    Off += size_t(N);
+  }
+}
+
+} // namespace
+
+Service::Service(ServiceOptions O)
+    : OwnedMet(O.Met ? nullptr : std::make_unique<Metrics>()),
+      Met(O.Met ? O.Met : OwnedMet.get()),
+      Pool(VerifierPool::Options{O.Threads}, Met),
+      Tables(core::policyTables()),
+      Blob(core::serializePolicyTables(Tables)),
+      BlobHashHex(re::verifyBlobHashHex(Blob)) {}
+
+Service::~Service() = default;
+
+std::vector<proto::VerifyVerdict>
+Service::verify(std::vector<std::vector<uint8_t>> Images) {
+  std::vector<std::future<core::CheckResult>> Futures =
+      Pool.submitOwned(std::move(Images));
+  std::vector<proto::VerifyVerdict> Verdicts;
+  Verdicts.reserve(Futures.size());
+  for (std::future<core::CheckResult> &F : Futures) {
+    core::CheckResult R = F.get();
+    Verdicts.push_back({R.Ok, R.Reason});
+  }
+  return Verdicts;
+}
+
+std::vector<proto::LintReport>
+Service::lint(const std::vector<std::vector<uint8_t>> &Images) {
+  std::vector<analysis::CfgLintResult> Results(Images.size());
+  VerifierPool::TaskGroup G;
+  for (size_t I = 0; I < Images.size(); ++I)
+    Pool.run(G, [this, &Images, &Results, I] {
+      Results[I] = analysis::lintImage(Tables, Images[I], Met);
+    });
+  Pool.wait(G);
+
+  std::vector<proto::LintReport> Reports;
+  Reports.reserve(Results.size());
+  for (const analysis::CfgLintResult &L : Results) {
+    proto::LintReport R;
+    R.ParseComplete = L.ParseComplete;
+    R.Errors = L.Errors;
+    R.Warnings = L.Warnings;
+    R.Notes = L.Notes;
+    R.Render = L.render();
+    Reports.push_back(std::move(R));
+  }
+  return Reports;
+}
+
+proto::AuditVerdict Service::audit() {
+  {
+    std::lock_guard<std::mutex> L(AuditM);
+    if (!AuditRefs)
+      AuditRefs =
+          std::make_unique<analysis::DecoderDfas>(analysis::buildDecoderDfas());
+  }
+  analysis::AuditReport R = analysis::auditPolicy(Tables, *AuditRefs);
+  return {R.Pass, R.render()};
+}
+
+proto::TablesReply Service::tables(const std::string &ExpectHashHex) {
+  proto::TablesReply R;
+  R.HashHex = BlobHashHex;
+  if (!ExpectHashHex.empty() && ExpectHashHex == BlobHashHex) {
+    R.HashMatched = true; // negotiation short-circuit: no blob on the wire
+    Met->SvcTablesHashHits.add();
+  } else {
+    R.Blob = Blob;
+  }
+  return R;
+}
+
+std::vector<uint8_t> Service::handleFrame(const proto::Frame &F,
+                                          bool *ShutdownOut) {
+  using proto::MsgKind;
+  if (ShutdownOut)
+    *ShutdownOut = false;
+  uint64_t T0 = nowNanos();
+  std::vector<uint8_t> Out;
+  try {
+    switch (F.Kind) {
+    case MsgKind::VerifyRequest: {
+      Met->SvcVerifyRequests.add();
+      std::vector<proto::VerifyVerdict> V =
+          verify(proto::decodeImageBatch(F.Body));
+      proto::appendFrame(Out, MsgKind::VerifyResponse,
+                         proto::encodeVerifyResponse(V));
+      break;
+    }
+    case MsgKind::LintRequest: {
+      Met->SvcLintRequests.add();
+      std::vector<std::vector<uint8_t>> Images =
+          proto::decodeImageBatch(F.Body);
+      proto::appendFrame(Out, MsgKind::LintResponse,
+                         proto::encodeLintResponse(lint(Images)));
+      break;
+    }
+    case MsgKind::AuditRequest: {
+      Met->SvcAuditRequests.add();
+      if (!F.Body.empty())
+        throw proto::ProtocolError("audit request body must be empty");
+      proto::appendFrame(Out, MsgKind::AuditResponse,
+                         proto::encodeAuditResponse(audit()));
+      break;
+    }
+    case MsgKind::TablesRequest: {
+      Met->SvcTablesRequests.add();
+      proto::TablesReply R = tables(proto::decodeTablesRequest(F.Body));
+      proto::appendFrame(Out, MsgKind::TablesResponse,
+                         proto::encodeTablesResponse(R));
+      break;
+    }
+    case MsgKind::ShutdownRequest: {
+      if (!F.Body.empty())
+        throw proto::ProtocolError("shutdown request body must be empty");
+      if (ShutdownOut)
+        *ShutdownOut = true;
+      proto::appendFrame(Out, MsgKind::ShutdownResponse, {});
+      break;
+    }
+    default:
+      throw proto::ProtocolError(std::string("frame kind ") +
+                                 proto::msgKindName(F.Kind) +
+                                 " is not a request");
+    }
+  } catch (const proto::ProtocolError &E) {
+    // A decodable frame with a malformed body: answer and keep the
+    // session; only transport-level garbage (parseFrame throws) kills it.
+    Met->SvcErrors.add();
+    Out.clear();
+    proto::appendFrame(Out, MsgKind::ErrorResponse,
+                       proto::encodeErrorResponse(E.what()));
+  }
+  Met->SvcRequestNanos.record(nowNanos() - T0);
+  return Out;
+}
+
+Service::ServeStatus Service::serveFd(int InFd, int OutFd) {
+  std::vector<uint8_t> In;
+  size_t Pos = 0;
+  uint8_t Buf[64 * 1024];
+  proto::Frame F;
+  bool Shutdown = false;
+  while (true) {
+    while (proto::parseFrame(In.data(), In.size(), &Pos, &F)) {
+      writeAll(OutFd, handleFrame(F, &Shutdown));
+      if (Shutdown) {
+        Met->SvcSessions.add();
+        return ServeStatus::Shutdown;
+      }
+    }
+    if (Pos) { // drop consumed frames before the next read grows the buffer
+      In.erase(In.begin(), In.begin() + long(Pos));
+      Pos = 0;
+    }
+    ssize_t N = ::read(InFd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throw proto::ProtocolError("read error on session stream");
+    }
+    if (N == 0) {
+      if (!In.empty())
+        throw proto::ProtocolError("EOF inside a frame");
+      Met->SvcSessions.add();
+      return ServeStatus::PeerClosed;
+    }
+    In.insert(In.end(), Buf, Buf + N);
+  }
+}

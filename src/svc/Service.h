@@ -1,0 +1,131 @@
+//===- svc/Service.h - Long-running verification service -------*- C++ -*-===//
+///
+/// \file
+/// The production shape of the checker: a long-lived, multi-session
+/// verification server in the style of NaCl's validator-in-the-runtime
+/// deployment (Yee et al., Oakland 2009) — the tables are built once,
+/// the pool's workers stay warm, and clients submit request batches over
+/// the framed protocol (svc/Protocol.h) instead of paying per-process
+/// startup. Four request kinds:
+///
+///  * verify — batch verification on the VerifierPool; each image's
+///    buffer is *owned* by the submitted task (submitOne's owned-buffer
+///    overload), so the session's receive buffers can be reused or
+///    freed the moment the request is decoded;
+///  * lint   — per-image CFG recovery + diagnostics (analysis/CfgLint),
+///    fanned out on the pool, counted in the Metrics lint_* family;
+///  * audit  — the policy meta-verifier (analysis/PolicyAudit) run
+///    against the server's *live* tables on demand (a bit-rotted table
+///    fails with a witness while the server is still up);
+///  * tables — the serialized RSTB blob, content-addressed: a client
+///    sends the hash it already has and a match short-circuits the
+///    transfer (hash-only response), so remote checkers skip both the
+///    transfer and the per-process table rebuild.
+///
+/// The in-process API (verify/lint/audit/tables) is the source of
+/// truth; handleFrame and the serveFd loop are a thin codec shell over
+/// it, so transports (socket, pipe, test harness) share one behavior.
+/// Malformed request *bodies* are answered with an ErrorResponse frame
+/// and the session continues; malformed *framing* (bad magic, hostile
+/// length) aborts the session — the stream can no longer be trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SVC_SERVICE_H
+#define ROCKSALT_SVC_SERVICE_H
+
+#include "svc/Protocol.h"
+#include "svc/VerifierPool.h"
+
+#include <memory>
+#include <string>
+
+namespace rocksalt {
+
+namespace analysis {
+struct DecoderDfas;
+}
+
+namespace svc {
+
+struct ServiceOptions {
+  unsigned Threads = 0;   ///< pool size; 0 → hardware_concurrency()
+  Metrics *Met = nullptr; ///< external sink; null → service-owned instance
+};
+
+class Service {
+public:
+  explicit Service(ServiceOptions O = {});
+  ~Service();
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  // --- In-process request API ------------------------------------------
+
+  /// Batch verification. Takes the images by value: ownership moves into
+  /// the pool tasks, so the caller's buffers (e.g. a session's receive
+  /// buffer) carry no lifetime obligation past this call.
+  std::vector<proto::VerifyVerdict>
+  verify(std::vector<std::vector<uint8_t>> Images);
+
+  /// Batch lint. Borrows the images only until return (the fan-out is
+  /// joined inside).
+  std::vector<proto::LintReport>
+  lint(const std::vector<std::vector<uint8_t>> &Images);
+
+  /// Runs the policy meta-verifier against the live tables.
+  proto::AuditVerdict audit();
+
+  /// Content-addressed table distribution: when \p ExpectHashHex equals
+  /// the live tables' hash the reply is hash-only (no blob).
+  proto::TablesReply tables(const std::string &ExpectHashHex);
+
+  // --- Framed transport shell ------------------------------------------
+
+  /// Dispatches one decoded request frame and returns the encoded
+  /// response frame. A malformed body or a non-request kind yields an
+  /// ErrorResponse frame (counted in svc_errors). Sets \p *ShutdownOut
+  /// when the frame was a ShutdownRequest.
+  std::vector<uint8_t> handleFrame(const proto::Frame &F, bool *ShutdownOut);
+
+  /// Why a serve loop returned.
+  enum class ServeStatus {
+    PeerClosed, ///< EOF at a frame boundary: session over, server lives
+    Shutdown,   ///< peer sent ShutdownRequest: stop the server
+  };
+
+  /// Serves one session over a byte-stream fd pair (a connected socket:
+  /// pass the same fd twice; stdin/stdout framing: pass 0 and 1).
+  /// Returns on clean EOF or shutdown; throws proto::ProtocolError on
+  /// malformed framing or mid-frame EOF.
+  ServeStatus serveFd(int InFd, int OutFd);
+
+  // --- Introspection ----------------------------------------------------
+
+  Metrics &metrics() { return *Met; }
+  VerifierPool &pool() { return Pool; }
+  const core::PolicyTables &policyTables() const { return Tables; }
+  /// The serialized live tables (built once at construction).
+  const std::vector<uint8_t> &tablesBlob() const { return Blob; }
+  /// Their content address (lowercase hex SHA-256).
+  const std::string &tablesHashHex() const { return BlobHashHex; }
+
+private:
+  std::unique_ptr<Metrics> OwnedMet; ///< when no external sink was given
+  Metrics *Met;
+  VerifierPool Pool;
+  const core::PolicyTables &Tables;
+  std::vector<uint8_t> Blob;
+  std::string BlobHashHex;
+  /// Decoder reference DFAs for audit, built on first audit request
+  /// (they are an order of magnitude more expensive than the policy
+  /// tables and most sessions never audit).
+  std::unique_ptr<analysis::DecoderDfas> AuditRefs;
+  std::mutex AuditM; ///< guards AuditRefs construction
+};
+
+} // namespace svc
+} // namespace rocksalt
+
+#endif // ROCKSALT_SVC_SERVICE_H

@@ -122,8 +122,14 @@ bool VerifierPool::tryGet(unsigned Self, Task &Out) {
 void VerifierPool::runTask(Task &T) {
   T.Work();
   Met->TasksRun.add();
-  if (T.Group)
-    T.Group->Pending.fetch_sub(1, std::memory_order_release);
+  if (T.Group &&
+      T.Group->Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task of the group: wake blocked waiters. Taking DoneM orders
+    // this notify against a waiter's Pending re-check under the same
+    // lock, so a wakeup cannot slip between its check and its wait.
+    std::lock_guard<std::mutex> L(DoneM);
+    DoneCv.notify_all();
+  }
 }
 
 void VerifierPool::workerLoop(unsigned Id) {
@@ -167,10 +173,22 @@ void VerifierPool::wait(TaskGroup &G) {
   unsigned Self = TlsPool == this ? TlsWorker : threadCount();
   Task T;
   while (G.Pending.load(std::memory_order_acquire) != 0) {
-    if (tryGet(Self, T))
+    if (tryGet(Self, T)) {
       runTask(T);
-    else
-      std::this_thread::yield();
+      continue;
+    }
+    // Nothing queued but the group is still pending: its tasks are
+    // running on other threads. Block on the completion cv instead of
+    // spinning on yield() — on a 1-CPU host the spin steals the core
+    // from the thread actually finishing the task. The bounded wait is
+    // a safety net for wakeups raced by new work; correctness comes
+    // from re-checking Pending under DoneM (runTask notifies under it).
+    std::unique_lock<std::mutex> L(DoneM);
+    if (G.Pending.load(std::memory_order_acquire) == 0)
+      break;
+    if (Queued.load(std::memory_order_acquire) > 0)
+      continue; // new work appeared: go help instead of sleeping
+    DoneCv.wait_for(L, std::chrono::milliseconds(1));
   }
 }
 
@@ -184,15 +202,48 @@ VerifierPool::submit(const std::vector<std::vector<uint8_t>> &Images) {
   return Futures;
 }
 
+std::vector<std::future<core::CheckResult>>
+VerifierPool::submitOwned(std::vector<std::vector<uint8_t>> Images) {
+  Met->BatchImages.record(Images.size());
+  std::vector<std::future<core::CheckResult>> Futures;
+  Futures.reserve(Images.size());
+  for (std::vector<uint8_t> &Img : Images)
+    Futures.push_back(submitOne(std::move(Img)));
+  return Futures;
+}
+
 std::future<core::CheckResult> VerifierPool::submitOne(const uint8_t *Code,
                                                        uint32_t Size) {
+  return submitImpl(nullptr, Code, Size);
+}
+
+std::future<core::CheckResult>
+VerifierPool::submitOne(std::vector<uint8_t> Image) {
+  return submitOne(
+      std::make_shared<const std::vector<uint8_t>>(std::move(Image)));
+}
+
+std::future<core::CheckResult>
+VerifierPool::submitOne(std::shared_ptr<const std::vector<uint8_t>> Image) {
+  const uint8_t *Code = Image->data();
+  uint32_t Size = uint32_t(Image->size());
+  return submitImpl(std::move(Image), Code, Size);
+}
+
+std::future<core::CheckResult>
+VerifierPool::submitImpl(std::shared_ptr<const std::vector<uint8_t>> Owner,
+                         const uint8_t *Code, uint32_t Size) {
   Met->ImagesSubmitted.add();
   auto Promise = std::make_shared<std::promise<core::CheckResult>>();
   std::future<core::CheckResult> F = Promise->get_future();
   const core::PolicyTables *T = &Tables;
   Metrics *M = Met;
   Task Job;
-  Job.Work = [Promise, Code, Size, T, M] {
+  // Owner (when non-null) pins the payload until the task has run: the
+  // capture is the whole lifetime guarantee of the owned path. On the
+  // borrow path Owner is null and the caller's contract (see header)
+  // keeps [Code, Code+Size) alive instead.
+  Job.Work = [Owner = std::move(Owner), Promise, Code, Size, T, M] {
     uint64_t T0 = nowNanos();
     core::RockSalt V(*T);
     core::CheckResult R = V.check(Code, Size);

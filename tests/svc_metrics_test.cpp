@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -101,8 +102,9 @@ TEST(MetricsDump, HistogramBucketsAreCumulativeWithInfTerminator) {
   // Cumulative: non-decreasing counts, strictly increasing finite edges.
   for (size_t I = 0; I + 1 < Lines.size(); ++I) {
     EXPECT_LE(Lines[I].Count, Lines[I + 1].Count);
-    if (Lines[I + 1].Le != "+Inf")
+    if (Lines[I + 1].Le != "+Inf") {
       EXPECT_LT(std::stoull(Lines[I].Le), std::stoull(Lines[I + 1].Le));
+    }
   }
 }
 
@@ -122,6 +124,41 @@ TEST(MetricsDump, OverflowBucketHasNoFiniteEdge) {
     EXPECT_LT(std::stoull(Lines[I].Le), uint64_t(1) << 63);
   }
 }
+
+// Regression: out-of-domain quantile arguments. Q <= 0 used to index
+// before the first observation and Q > 1 past the last; both now clamp
+// into (0, 1], and NaN (which used to fall through every comparison and
+// report max()) is rejected.
+TEST(Histogram, QuantileClampsOutOfDomainArguments) {
+  Histogram H;
+  for (uint64_t V : {1ull, 5ull, 200ull})
+    H.record(V);
+  // Q <= 0 clamps to the first observation's bucket edge, not below it.
+  EXPECT_EQ(H.quantile(0.0), H.quantile(1e-9));
+  EXPECT_EQ(H.quantile(-3.0), H.quantile(1e-9));
+  EXPECT_EQ(H.quantile(0.0), 1u); // 1 lands in bucket 1, edge 1
+  // Q > 1 clamps to the maximum observation's bucket edge.
+  EXPECT_EQ(H.quantile(2.0), H.quantile(1.0));
+  EXPECT_EQ(H.quantile(2.0), 255u); // 200 lands in bucket 8, edge 255
+}
+
+TEST(Histogram, QuantileOnEmptyHistogramIsZero) {
+  Histogram H;
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  EXPECT_EQ(H.quantile(1.0), 0u);
+  EXPECT_EQ(H.quantile(-1.0), 0u);
+}
+
+#ifdef NDEBUG
+// In release builds the NaN assert is compiled out and the documented
+// fallback applies: 0, never a fabricated statistic. (In debug builds
+// the same call trips an assert, which is the intended loud failure.)
+TEST(Histogram, QuantileNaNReturnsZeroWhenAssertsAreOff) {
+  Histogram H;
+  H.record(42);
+  EXPECT_EQ(H.quantile(std::nan("")), 0u);
+}
+#endif
 
 TEST(MetricsDump, FuzzCountersAppearAndReset) {
   Metrics M;
