@@ -42,15 +42,25 @@
 // cross-checks every response against the in-process one-shot paths,
 // and shuts it down cleanly — the CI service gate.
 //
+// --patch OFF:HEX (repeatable) switches an image into the incremental
+// path (src/incr): the image is opened as a mutable handle, each patch
+// overwrites bytes in place and re-verifies only the invalidated
+// chunks. Locally every incremental verdict is cross-checked against a
+// full re-check with both timings printed; with --connect the patches
+// are driven through a running server's image-open/patch/image-close
+// requests instead.
+//
 // Usage:
 //   validator_cli <image.bin>... [--disassemble] [--explain] [--lint]
 //                                [--jobs N] [--stats]
+//   validator_cli <image.bin>... --patch OFF:HEX [--patch OFF:HEX...]
+//                                [--stats]
 //   validator_cli --selftest [--lint] [--jobs N] [--stats]
 //   validator_cli --audit
 //   validator_cli --dump-tables [--tables-out FILE] [--expect-hash HEX]
 //   validator_cli --serve [--socket PATH] [--jobs N] [--stats]
 //   validator_cli --connect PATH [<image.bin>...] [--lint] [--audit]
-//                                [--shutdown]
+//                                [--patch OFF:HEX...] [--shutdown]
 //   validator_cli --tables-from PATH [--tables-cache FILE]
 //                                [--expect-hash HEX] [<image.bin>...]
 //   validator_cli --serve-smoke
@@ -61,6 +71,7 @@
 #include "analysis/PolicyAudit.h"
 #include "core/BaselineChecker.h"
 #include "core/Verifier.h"
+#include "incr/IncrementalVerifier.h"
 #include "regex/TableIO.h"
 #include "fuzz/Minimizer.h"
 #include "nacl/Mutator.h"
@@ -113,7 +124,45 @@ struct CliOptions {
   std::string TablesFrom;   ///< fetch + adopt policy tables from a server
   std::string TablesCache;  ///< local blob cache for the hash negotiation
   bool ServeSmoke = false;  ///< fork a server and drive a mixed session
+  std::vector<std::string> PatchSpecs; ///< OFF:HEX overwrites, in order
 };
+
+/// One parsed --patch OFF:HEX operand.
+struct PatchSpec {
+  uint32_t Offset = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+bool parsePatchSpec(const std::string &S, PatchSpec &Out) {
+  size_t Colon = S.find(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 == S.size())
+    return false;
+  char *End = nullptr;
+  unsigned long long Off = std::strtoull(S.c_str(), &End, 0);
+  if (End != S.c_str() + Colon || Off > UINT32_MAX)
+    return false;
+  Out.Offset = uint32_t(Off);
+  std::string Hex = S.substr(Colon + 1);
+  if (Hex.empty() || Hex.size() % 2)
+    return false;
+  auto Nibble = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  };
+  Out.Bytes.clear();
+  for (size_t I = 0; I < Hex.size(); I += 2) {
+    int Hi = Nibble(Hex[I]), Lo = Nibble(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out.Bytes.push_back(uint8_t(Hi << 4 | Lo));
+  }
+  return true;
+}
 
 // --- Service transport helpers (Unix-domain sockets + framing) ----------
 
@@ -361,6 +410,70 @@ int validate(const std::vector<uint8_t> &Code, const CliOptions &Opts,
   return R.Ok ? 0 : 1;
 }
 
+/// --patch without --connect: open the image with the in-process
+/// incremental verifier, apply each patch with an O(patch) re-verify,
+/// cross-check every verdict (and its bitmaps) against a full
+/// sequential re-check, and print both timings side by side.
+int runPatchesLocal(const std::string &Path, std::vector<uint8_t> Code,
+                    const std::vector<PatchSpec> &Specs, svc::Metrics *M) {
+  core::RockSalt Full;
+  incr::IncrementalVerifier Incr(incr::IncrementalOptions{}, M);
+
+  auto MsBetween = [](std::chrono::steady_clock::time_point A,
+                      std::chrono::steady_clock::time_point B) {
+    return std::chrono::duration<double, std::milli>(B - A).count();
+  };
+
+  incr::IncrResult Open;
+  auto T0 = std::chrono::steady_clock::now();
+  incr::ImageId Id = Incr.open(Code, &Open);
+  auto T1 = std::chrono::steady_clock::now();
+  std::printf("%s: opened %zu bytes as image #%u: %s%s%s  (%.3f ms, %u "
+              "chunks scanned)\n",
+              Path.c_str(), Code.size(), Id, Open.Ok ? "ACCEPT" : "REJECT",
+              Open.Ok ? "" : "  reason: ",
+              Open.Ok ? "" : core::rejectReasonName(Open.Reason),
+              MsBetween(T0, T1), Open.ChunksRescanned);
+
+  int Rc = Open.Ok ? 0 : 1;
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const PatchSpec &P = Specs[I];
+    T0 = std::chrono::steady_clock::now();
+    incr::IncrResult R;
+    try {
+      R = Incr.patch(Id, P.Offset, P.Bytes.data(), uint32_t(P.Bytes.size()));
+    } catch (const std::invalid_argument &E) {
+      std::fprintf(stderr, "  patch %zu at %u: error: %s\n", I + 1, P.Offset,
+                   E.what());
+      return 2;
+    }
+    T1 = std::chrono::steady_clock::now();
+    for (size_t B = 0; B < P.Bytes.size(); ++B)
+      Code[P.Offset + B] = P.Bytes[B];
+    auto T2 = std::chrono::steady_clock::now();
+    core::CheckResult FullR = Full.check(Code);
+    auto T3 = std::chrono::steady_clock::now();
+
+    const core::CheckResult &IR = Incr.lastCheck(Id);
+    bool Agree = IR.Ok == FullR.Ok && IR.Reason == FullR.Reason &&
+                 IR.Valid == FullR.Valid && IR.Target == FullR.Target &&
+                 IR.PairJmp == FullR.PairJmp;
+    std::printf("  patch %zu at %u (%zu bytes): %s%s%s  (incremental %.3f ms "
+                "/ full %.3f ms; %u rescanned, %u cache hits)%s\n",
+                I + 1, P.Offset, P.Bytes.size(),
+                R.Ok ? "ACCEPT" : "REJECT", R.Ok ? "" : "  reason: ",
+                R.Ok ? "" : core::rejectReasonName(R.Reason),
+                MsBetween(T0, T1), MsBetween(T2, T3), R.ChunksRescanned,
+                R.ChunkCacheHits,
+                Agree ? "" : "  *** DIVERGED FROM FULL CHECK ***");
+    if (!Agree)
+      return 1;
+    Rc = R.Ok ? 0 : 1;
+  }
+  Incr.close(Id);
+  return Rc;
+}
+
 int selftest(const CliOptions &Opts, svc::VerifierPool *Pool,
              svc::ParallelVerifier *PV, svc::Metrics *M) {
   nacl::WorkloadOptions WOpts;
@@ -482,7 +595,51 @@ int runClient(const CliOptions &Opts) {
         }
       }
       std::vector<uint8_t> Batch = svc::proto::encodeImageBatch(Images);
-      if (Opts.Lint) {
+      if (!Opts.PatchSpecs.empty()) {
+        // Incremental mode: image-open / patch… / image-close per file.
+        std::vector<PatchSpec> Specs(Opts.PatchSpecs.size());
+        for (size_t I = 0; I < Opts.PatchSpecs.size(); ++I)
+          if (!parsePatchSpec(Opts.PatchSpecs[I], Specs[I])) {
+            std::fprintf(stderr, "error: bad --patch spec %s\n",
+                         Opts.PatchSpecs[I].c_str());
+            ::close(Fd);
+            return 2;
+          }
+        for (size_t F = 0; F < Images.size(); ++F) {
+          sendFrame(Fd, MsgKind::ImageOpenRequest,
+                    svc::proto::encodeImageOpenRequest(Images[F]));
+          svc::proto::ImageOpenReply Open = svc::proto::decodeImageOpenResponse(
+              expectFrame(In, MsgKind::ImageOpenResponse).Body);
+          std::printf("%s: opened %zu bytes as image #%u: %s%s%s\n",
+                      Opts.Files[F].c_str(), Images[F].size(), Open.Image,
+                      Open.V.Ok ? "ACCEPT" : "REJECT",
+                      Open.V.Ok ? "" : "  reason: ",
+                      Open.V.Ok ? ""
+                                : core::rejectReasonName(Open.V.Reason));
+          Rc |= Open.V.Ok ? 0 : 1;
+          for (size_t I = 0; I < Specs.size(); ++I) {
+            svc::proto::PatchRequestBody B;
+            B.Image = Open.Image;
+            B.Offset = Specs[I].Offset;
+            B.Bytes = Specs[I].Bytes;
+            sendFrame(Fd, MsgKind::PatchRequest,
+                      svc::proto::encodePatchRequest(B));
+            svc::proto::PatchReply R = svc::proto::decodePatchResponse(
+                expectFrame(In, MsgKind::PatchResponse).Body);
+            std::printf("  patch %zu at %u (%zu bytes): %s%s%s  "
+                        "(%u rescanned, %u cache hits)\n",
+                        I + 1, B.Offset, B.Bytes.size(),
+                        R.V.Ok ? "ACCEPT" : "REJECT",
+                        R.V.Ok ? "" : "  reason: ",
+                        R.V.Ok ? "" : core::rejectReasonName(R.V.Reason),
+                        R.ChunksRescanned, R.ChunkCacheHits);
+            Rc |= R.V.Ok ? 0 : 1;
+          }
+          sendFrame(Fd, MsgKind::ImageCloseRequest,
+                    svc::proto::encodeImageCloseRequest(Open.Image));
+          expectFrame(In, MsgKind::ImageCloseResponse);
+        }
+      } else if (Opts.Lint) {
         sendFrame(Fd, MsgKind::LintRequest, Batch);
         std::vector<svc::proto::LintReport> Reports =
             svc::proto::decodeLintResponse(
@@ -758,6 +915,8 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <image.bin>... [--disassemble] [--explain] "
                "[--lint] [--jobs N] [--stats]"
+               "\n       %s <image.bin>... --patch OFF:HEX "
+               "[--patch OFF:HEX...] [--stats]"
                "\n       %s --selftest [--lint] [--jobs N] [--stats]"
                "\n       %s --audit"
                "\n       %s --dump-tables [--tables-out FILE] "
@@ -768,7 +927,7 @@ int usage(const char *Prog) {
                "\n       %s --tables-from PATH [--tables-cache FILE] "
                "[--expect-hash HEX] [<image.bin>...]"
                "\n       %s --serve-smoke\n",
-               Prog, Prog, Prog, Prog, Prog, Prog, Prog, Prog);
+               Prog, Prog, Prog, Prog, Prog, Prog, Prog, Prog, Prog);
   return 2;
 }
 
@@ -828,6 +987,10 @@ int main(int argc, char **argv) {
       Opts.TablesCache = argv[++I];
     } else if (std::strcmp(argv[I], "--serve-smoke") == 0) {
       Opts.ServeSmoke = true;
+    } else if (std::strcmp(argv[I], "--patch") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.PatchSpecs.push_back(argv[++I]);
     } else if (argv[I][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -860,6 +1023,31 @@ int main(int argc, char **argv) {
     return dumpTables(Opts);
   if (!Opts.Selftest && Opts.Files.empty())
     return usage(argv[0]);
+
+  if (!Opts.PatchSpecs.empty()) {
+    // Local incremental mode: every verdict is cross-checked against a
+    // full re-check inside runPatchesLocal.
+    std::vector<PatchSpec> Specs(Opts.PatchSpecs.size());
+    for (size_t I = 0; I < Opts.PatchSpecs.size(); ++I)
+      if (!parsePatchSpec(Opts.PatchSpecs[I], Specs[I])) {
+        std::fprintf(stderr, "error: bad --patch spec %s (want OFF:HEX)\n",
+                     Opts.PatchSpecs[I].c_str());
+        return 2;
+      }
+    svc::Metrics M;
+    int Rc = 0;
+    for (const std::string &Path : Opts.Files) {
+      std::vector<uint8_t> Code;
+      if (!readFile(Path, Code)) {
+        std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+        return 2;
+      }
+      Rc |= runPatchesLocal(Path, std::move(Code), Specs, &M);
+    }
+    if (Opts.Stats)
+      std::printf("\n--- service metrics ---\n%s", M.dump().c_str());
+    return Rc;
+  }
 
   svc::Metrics Metrics;
   std::unique_ptr<svc::VerifierPool> Pool;

@@ -2,8 +2,8 @@
 # Style + static-analysis gate over the analysis subsystem (and the DFA
 # algebra it builds on) plus the service layer's protocol and server.
 # Runs clang-format in dry-run mode against .clang-format and clang-tidy
-# against .clang-tidy, over src/analysis/, regex/Algebra.*, and the
-# svc/Service + svc/Protocol pair.
+# against .clang-tidy, over src/analysis/, regex/Algebra.*, the
+# svc/Service + svc/Protocol pair, and src/incr/.
 #
 # The gate degrades gracefully: on machines without the clang tooling
 # (the CI container ships only gcc) it reports what it skipped and exits
@@ -26,6 +26,12 @@ $ROOT/src/svc/Protocol.h
 $ROOT/src/svc/Protocol.cpp
 $ROOT/src/svc/Service.h
 $ROOT/src/svc/Service.cpp
+$ROOT/src/incr/ChunkCache.h
+$ROOT/src/incr/ChunkCache.cpp
+$ROOT/src/incr/ImageStore.h
+$ROOT/src/incr/ImageStore.cpp
+$ROOT/src/incr/IncrementalVerifier.h
+$ROOT/src/incr/IncrementalVerifier.cpp
 "
 
 STATUS=0

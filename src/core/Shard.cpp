@@ -62,6 +62,17 @@ CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
                                   uint32_t Size,
                                   const std::vector<ShardScan> &Shards,
                                   uint64_t *SeamRescans) {
+  std::vector<const ShardScan *> Ptrs;
+  Ptrs.reserve(Shards.size());
+  for (const ShardScan &S : Shards)
+    Ptrs.push_back(&S);
+  return mergeShardScans(T, Code, Size, Ptrs.data(), Ptrs.size(), SeamRescans);
+}
+
+CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
+                                  uint32_t Size,
+                                  const ShardScan *const *Shards,
+                                  size_t NumShards, uint64_t *SeamRescans) {
   CheckResult R;
   R.Valid.assign(Size, 0);
   R.Target.assign(Size, 0);
@@ -69,12 +80,12 @@ CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
 
   uint32_t Pos = 0;
   size_t I = 0;
-  const size_t N = Shards.size();
+  const size_t N = NumShards;
 
   while (Pos < Size) {
-    if (I < N && Shards[I].Begin == Pos) {
+    if (I < N && Shards[I]->Begin == Pos) {
       // In sync: this shard's fresh scan is the sequential chain.
-      const ShardScan &S = Shards[I++];
+      const ShardScan &S = *Shards[I++];
       for (uint32_t P : S.ValidPos)
         R.Valid[P] = 1;
       for (uint32_t P : S.TargetPos)
@@ -111,7 +122,7 @@ CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
       }
     }
     // Shards the chain has overrun contain desynchronized results.
-    while (I < N && Shards[I].Begin < Pos)
+    while (I < N && Shards[I]->Begin < Pos)
       ++I;
   }
 

@@ -85,6 +85,14 @@ CheckResult mergeShardScans(const PolicyTables &T, const uint8_t *Code,
                             uint32_t Size, const std::vector<ShardScan> &Shards,
                             uint64_t *SeamRescans = nullptr);
 
+/// Pointer-span form of the join above: the shards live wherever the
+/// caller keeps them (the incremental verifier merges a mix of cached
+/// and freshly scanned chunks held behind shared_ptrs). Identical
+/// semantics; the vector overload delegates here.
+CheckResult mergeShardScans(const PolicyTables &T, const uint8_t *Code,
+                            uint32_t Size, const ShardScan *const *Shards,
+                            size_t NumShards, uint64_t *SeamRescans = nullptr);
+
 } // namespace core
 } // namespace rocksalt
 

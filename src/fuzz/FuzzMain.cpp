@@ -17,6 +17,7 @@
 #include "fuzz/Minimizer.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/StructuredMutator.h"
+#include "incr/IncrementalVerifier.h"
 #include "nacl/WorkloadGen.h"
 #include "svc/Metrics.h"
 
@@ -40,6 +41,9 @@ struct CliOptions {
   bool Stats = false;      ///< dump the Prometheus metrics text at exit
   bool RunSlow = true;
   bool RunParallel = true;
+  bool Patches = false;    ///< incremental-vs-full patch differential mode
+  uint64_t Images = 500;   ///< --patches: number of base images
+  uint64_t Steps = 20;     ///< --patches: patch steps per image
 };
 
 void usage(const char *Argv0) {
@@ -48,8 +52,13 @@ void usage(const char *Argv0) {
       "usage: %s [--smoke] [--seeds N] [--iters N] [--size N]\n"
       "          [--base-seed N] [--minimize] [--corpus DIR] [--stats]\n"
       "          [--no-slow] [--no-parallel]\n"
+      "          [--patches] [--images N] [--steps N]\n"
       "  --smoke   preset: --seeds 25 --iters 400 --size 384 --minimize\n"
-      "            (10025 images through every verdict path)\n",
+      "            (10025 images through every verdict path)\n"
+      "  --patches incremental-vs-full differential mode: open --images\n"
+      "            base images, apply --steps structured patches each,\n"
+      "            cross-check every incremental verdict (and its\n"
+      "            Valid/Target/PairJmp bitmaps) against a full re-check\n",
       Argv0);
 }
 
@@ -86,6 +95,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.RunSlow = false;
     } else if (A == "--no-parallel") {
       O.RunParallel = false;
+    } else if (A == "--patches") {
+      O.Patches = true;
+    } else if (A == "--images" && NextVal(V)) {
+      O.Images = V;
+    } else if (A == "--steps" && NextVal(V)) {
+      O.Steps = V;
     } else {
       usage(Argv[0]);
       return false;
@@ -118,12 +133,120 @@ void reportDisagreement(const fuzz::OracleReport &Rep, uint64_t WorkloadSeed,
     std::printf("  path %-28s %s\n", D.Path.c_str(), D.Detail.c_str());
 }
 
+/// Compares the incremental verdict to a full sequential re-check of
+/// the same bytes: verdict, reject reason, and the three instrumented
+/// bitmaps must all match bit-for-bit. Returns a description of the
+/// first divergence, or "" on agreement.
+std::string comparePatchVerdicts(const core::CheckResult &Incr,
+                                 const core::CheckResult &Full) {
+  if (Incr.Ok != Full.Ok)
+    return "verdict differs (incremental " +
+           std::string(Incr.Ok ? "ACCEPT" : "REJECT") + ", full " +
+           std::string(Full.Ok ? "ACCEPT" : "REJECT") + ")";
+  if (Incr.Reason != Full.Reason)
+    return std::string("reject reason differs (incremental ") +
+           core::rejectReasonName(Incr.Reason) + ", full " +
+           core::rejectReasonName(Full.Reason) + ")";
+  if (Incr.Valid != Full.Valid)
+    return "Valid bitmap differs";
+  if (Incr.Target != Full.Target)
+    return "Target bitmap differs";
+  if (Incr.PairJmp != Full.PairJmp)
+    return "PairJmp bitmap differs";
+  return "";
+}
+
+/// The incremental-vs-full differential: a long-lived image mutated in
+/// place, re-verified incrementally after every patch and cross-checked
+/// against a full sequential check of the same bytes. Chunk geometry
+/// rotates per image (including the minimum, one bundle per chunk, the
+/// seam-heaviest case) and a quarter of the images are tail-truncated
+/// to a non-bundle-multiple size so final-partial-chunk handling is in
+/// the loop.
+int runPatchDifferential(const CliOptions &O, svc::Metrics &M) {
+  const core::PolicyTables &T = core::policyTables();
+  core::RockSalt Full(T);
+  static const uint32_t ChunkRotation[] = {512, 32, 256, 1024};
+
+  uint64_t Disagreements = 0;
+  uint64_t StepsRun = 0;
+
+  for (uint64_t I = 0; I < O.Images; ++I) {
+    uint64_t Seed = O.BaseSeed + I;
+    nacl::WorkloadOptions WO;
+    WO.TargetBytes = O.Size + uint32_t(I % 5) * 128;
+    WO.Seed = Seed;
+    std::vector<uint8_t> Bytes = nacl::generateWorkload(WO);
+    Rng ImgRng(mutationSeed(Seed, 0));
+    if (I % 4 == 3 && Bytes.size() > core::BundleSize)
+      Bytes.resize(Bytes.size() - 1 - ImgRng.below(core::BundleSize - 1));
+    if (Bytes.empty())
+      continue;
+
+    incr::IncrementalOptions IO;
+    IO.ChunkBytes = ChunkRotation[I % std::size(ChunkRotation)];
+    incr::IncrementalVerifier Incr(T, IO, &M);
+
+    incr::ImageId Id = Incr.open(Bytes);
+    std::string Diff = comparePatchVerdicts(Incr.lastCheck(Id), Full.check(Bytes));
+    if (!Diff.empty()) {
+      ++Disagreements;
+      std::printf("PATCH DISAGREEMENT at image-seed=%llu step=open: %s\n",
+                  static_cast<unsigned long long>(Seed), Diff.c_str());
+    }
+
+    for (uint64_t Step = 1; Step <= O.Steps; ++Step) {
+      Rng StepRng(mutationSeed(Seed, Step));
+      fuzz::PatchOp P = fuzz::nextStructuredPatch(Bytes, StepRng);
+      for (size_t B = 0; B < P.Bytes.size(); ++B)
+        Bytes[P.Offset + B] = P.Bytes[B];
+      Incr.patch(Id, P.Offset, P.Bytes.data(), uint32_t(P.Bytes.size()));
+      ++StepsRun;
+      Diff = comparePatchVerdicts(Incr.lastCheck(Id), Full.check(Bytes));
+      if (!Diff.empty()) {
+        ++Disagreements;
+        std::printf("PATCH DISAGREEMENT at image-seed=%llu step=%llu "
+                    "(%s at %u, %zu bytes, chunk=%u): %s\n",
+                    static_cast<unsigned long long>(Seed),
+                    static_cast<unsigned long long>(Step),
+                    fuzz::patchKindName(P.Kind), P.Offset, P.Bytes.size(),
+                    IO.ChunkBytes, Diff.c_str());
+        std::printf("  repro: --patches --images 1 --base-seed %llu "
+                    "--steps %llu --size %u\n",
+                    static_cast<unsigned long long>(Seed),
+                    static_cast<unsigned long long>(Step), O.Size);
+        std::printf("  image (%zu bytes):\n", Bytes.size());
+        hexDump(Bytes);
+      }
+    }
+    Incr.close(Id);
+  }
+
+  std::printf("fuzz_differential --patches: %llu images, %llu patch steps, "
+              "%llu disagreements (chunk hits %llu, misses %llu, "
+              "evictions %llu)\n",
+              static_cast<unsigned long long>(O.Images),
+              static_cast<unsigned long long>(StepsRun),
+              static_cast<unsigned long long>(Disagreements),
+              static_cast<unsigned long long>(M.IncrChunkHits.get()),
+              static_cast<unsigned long long>(M.IncrChunkMisses.get()),
+              static_cast<unsigned long long>(M.IncrChunkEvictions.get()));
+  if (O.Stats)
+    std::fputs(M.dump().c_str(), stdout);
+  return Disagreements ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions O;
   if (!parseArgs(Argc, Argv, O))
     return 2;
+
+  if (O.Patches) {
+    svc::Metrics M;
+    return runPatchDifferential(O, M);
+  }
 
   svc::Metrics M;
   fuzz::OracleOptions OO;

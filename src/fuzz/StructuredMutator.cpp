@@ -182,6 +182,157 @@ fuzz::applyGrammarMutation(const std::vector<uint8_t> &Code,
   return std::nullopt;
 }
 
+const char *fuzz::patchKindName(PatchKind K) {
+  switch (K) {
+  case PatchKind::BundleLocalEdit:
+    return "bundle-local-edit";
+  case PatchKind::SeamStraddle:
+    return "seam-straddle";
+  case PatchKind::MaskedPairSplit:
+    return "masked-pair-split";
+  case PatchKind::RandomBytes:
+    return "random-bytes";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Legal single instructions a JIT would plausibly emit into a patched
+/// slot, so patch sequences flip between accept and reject instead of
+/// rotting into permanent rejection.
+struct PatchGallery {
+  uint8_t Bytes[6];
+  uint32_t Len;
+};
+const PatchGallery PatchInstrs[] = {
+    {{0x90, 0x90, 0x90, 0x90, 0x90, 0x90}, 6},  // nop sled
+    {{0xB8, 0x44, 0x33, 0x22, 0x11, 0x90}, 6},  // mov eax, imm32; nop
+    {{0x83, 0xE0, 0xE0, 0xFF, 0xE0, 0x90}, 6},  // nacljmp eax; nop
+    {{0xE9, 0x00, 0x00, 0x00, 0x00, 0x90}, 6},  // jmp rel32 +0; nop
+    {{0x81, 0xC3, 0x01, 0x00, 0x00, 0x00}, 6},  // add ebx, imm32
+};
+
+std::optional<fuzz::PatchOp> bundleLocalPatch(const std::vector<uint8_t> &Code,
+                                              Rng &R) {
+  uint32_t Size = uint32_t(Code.size());
+  if (Size == 0)
+    return std::nullopt;
+  uint32_t Bundles = (Size + core::BundleSize - 1) / core::BundleSize;
+  uint32_t B = uint32_t(R.below(Bundles));
+  uint32_t Base = B * core::BundleSize;
+  uint32_t Limit = Base + core::BundleSize < Size ? core::BundleSize
+                                                  : Size - Base;
+  uint32_t Off = uint32_t(R.below(Limit));
+  uint32_t MaxLen = Limit - Off;
+  uint32_t Len = uint32_t(1 + R.below(MaxLen < 8 ? MaxLen : 8));
+  fuzz::PatchOp P;
+  P.Kind = fuzz::PatchKind::BundleLocalEdit;
+  P.Offset = Base + Off;
+  P.Bytes.resize(Len);
+  if (R.below(2)) { // legal bytes half the time: accept/reject both happen
+    const PatchGallery &G = PatchInstrs[R.below(std::size(PatchInstrs))];
+    for (uint32_t I = 0; I < Len; ++I)
+      P.Bytes[I] = G.Bytes[I % G.Len];
+  } else {
+    for (uint32_t I = 0; I < Len; ++I)
+      P.Bytes[I] = uint8_t(R.next());
+  }
+  return P;
+}
+
+std::optional<fuzz::PatchOp> seamStraddlePatch(const std::vector<uint8_t> &Code,
+                                               Rng &R) {
+  uint32_t Size = uint32_t(Code.size());
+  uint32_t Bundles = Size / core::BundleSize;
+  if (Bundles < 2)
+    return std::nullopt;
+  uint32_t Seam = core::BundleSize * uint32_t(1 + R.below(Bundles - 1));
+  const PatchGallery &G = PatchInstrs[R.below(std::size(PatchInstrs))];
+  uint32_t Back = uint32_t(1 + R.below(G.Len - 1));
+  if (Back > Seam || Seam - Back + G.Len > Size)
+    return std::nullopt;
+  fuzz::PatchOp P;
+  P.Kind = fuzz::PatchKind::SeamStraddle;
+  P.Offset = Seam - Back;
+  P.Bytes.assign(G.Bytes, G.Bytes + G.Len);
+  return P;
+}
+
+std::optional<fuzz::PatchOp>
+maskedPairSplitPatch(const std::vector<uint8_t> &Code, Rng &R) {
+  std::vector<uint32_t> Pairs;
+  for (uint32_t I = 0; I + 4 < Code.size(); ++I) {
+    if (Code[I] != 0x83 || (Code[I + 1] & 0xF8) != 0xE0 ||
+        Code[I + 2] != core::SafeMaskByte || Code[I + 3] != 0xFF)
+      continue;
+    uint8_t M2 = Code[I + 4] & 0xF8;
+    if (M2 == 0xE0 || M2 == 0xD0)
+      Pairs.push_back(I);
+  }
+  if (Pairs.empty())
+    return std::nullopt;
+  uint32_t At = Pairs[R.below(Pairs.size())];
+  fuzz::PatchOp P;
+  P.Kind = fuzz::PatchKind::MaskedPairSplit;
+  if (R.below(2)) {
+    // Overwrite only the mask half: the jump half survives unmasked.
+    P.Offset = At;
+    P.Bytes = {0x90, 0x90, 0x90};
+  } else {
+    // Overwrite only the jump half: the mask now guards a nop.
+    P.Offset = At + 3;
+    P.Bytes = {0x90, 0x90};
+  }
+  return P;
+}
+
+fuzz::PatchOp randomBytesPatch(const std::vector<uint8_t> &Code, Rng &R) {
+  uint32_t Size = uint32_t(Code.size());
+  uint32_t Off = uint32_t(R.below(Size));
+  uint32_t MaxLen = Size - Off;
+  uint32_t Len = uint32_t(1 + R.below(MaxLen < 16 ? MaxLen : 16));
+  fuzz::PatchOp P;
+  P.Kind = fuzz::PatchKind::RandomBytes;
+  P.Offset = Off;
+  P.Bytes.resize(Len);
+  for (uint32_t I = 0; I < Len; ++I)
+    P.Bytes[I] = uint8_t(R.next());
+  return P;
+}
+
+} // namespace
+
+std::optional<fuzz::PatchOp>
+fuzz::applyPatchKind(const std::vector<uint8_t> &Code, PatchKind Kind, Rng &R) {
+  if (Code.empty())
+    return std::nullopt;
+  switch (Kind) {
+  case PatchKind::BundleLocalEdit:
+    return bundleLocalPatch(Code, R);
+  case PatchKind::SeamStraddle:
+    return seamStraddlePatch(Code, R);
+  case PatchKind::MaskedPairSplit:
+    return maskedPairSplitPatch(Code, R);
+  case PatchKind::RandomBytes:
+    return randomBytesPatch(Code, R);
+  }
+  return std::nullopt;
+}
+
+fuzz::PatchOp fuzz::nextStructuredPatch(const std::vector<uint8_t> &Code,
+                                        Rng &R) {
+  static const PatchKind Kinds[] = {
+      PatchKind::BundleLocalEdit, PatchKind::BundleLocalEdit,
+      PatchKind::SeamStraddle,    PatchKind::SeamStraddle,
+      PatchKind::MaskedPairSplit, PatchKind::MaskedPairSplit,
+      PatchKind::RandomBytes};
+  PatchKind Kind = Kinds[R.below(std::size(Kinds))];
+  if (auto P = applyPatchKind(Code, Kind, R))
+    return *P;
+  return randomBytesPatch(Code, R);
+}
+
 std::vector<uint8_t> fuzz::mutateStructured(const std::vector<uint8_t> &Code,
                                             Rng &R) {
   // Grammar-directed kinds dominate; the blind fallback keeps the blind

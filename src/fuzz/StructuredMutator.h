@@ -66,6 +66,37 @@ std::vector<uint8_t> mutateStructured(const std::vector<uint8_t> &Code,
 /// mutations aim at. Exposed for tests.
 std::vector<uint32_t> chainPositions(const std::vector<uint8_t> &Code);
 
+/// In-place patches for the incremental (JIT) workload: unlike the
+/// mutations above, these never change the image size — they model a
+/// code cache overwriting previously verified bytes. Kinds target the
+/// places the incremental verifier's chunk/seam logic must get right:
+enum class PatchKind : uint8_t {
+  BundleLocalEdit, ///< rewrite bytes confined to one 32-byte bundle
+  SeamStraddle,    ///< overwrite an instruction across a bundle seam
+  MaskedPairSplit, ///< break exactly one half of a nacljmp pair
+  RandomBytes,     ///< blind overwrite, for coverage of the blind case
+};
+
+const char *patchKindName(PatchKind K);
+
+/// One overwrite: replace [Offset, Offset+Bytes.size()) of the image.
+struct PatchOp {
+  uint32_t Offset = 0;
+  std::vector<uint8_t> Bytes;
+  PatchKind Kind = PatchKind::RandomBytes;
+};
+
+/// Draws a patch of \p Kind against \p Code through \p R. Returns
+/// nullopt when the kind does not apply (no masked pair to split, image
+/// too small to straddle a seam, ...).
+std::optional<PatchOp> applyPatchKind(const std::vector<uint8_t> &Code,
+                                      PatchKind Kind, Rng &R);
+
+/// Draws a patch kind and applies it, falling back to a random-byte
+/// overwrite when the drawn kind does not apply. Never fails on a
+/// non-empty image; deterministic per Rng state.
+PatchOp nextStructuredPatch(const std::vector<uint8_t> &Code, Rng &R);
+
 } // namespace fuzz
 } // namespace rocksalt
 

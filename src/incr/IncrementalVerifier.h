@@ -1,0 +1,149 @@
+//===- incr/IncrementalVerifier.h - O(patch) re-verification ---*- C++ -*-===//
+///
+/// \file
+/// Turns verification of a mutating image from O(image) into O(patch):
+/// the JIT / hot-reload workload where a long-lived sandboxed process
+/// changes a few dozen bytes at a time and needs a fresh verdict per
+/// update.
+///
+/// Protocol per image:
+///
+///   open(bytes)              — register, scan every chunk (cold chunks
+///                              may still hit the cache from identical
+///                              chunks of other images), merge, verdict;
+///   patchBytes(id, off, b[]) — overwrite bytes in place and mark the
+///                              dirty cards of every chunk whose *scan
+///                              window* intersects the patched range
+///                              (windows overhang chunk ends by the DFA
+///                              read bound, so a patch near a chunk
+///                              start also dirties its predecessor);
+///   reverify(id)             — re-scan dirty chunks only (through the
+///                              ChunkCache, so reverting a patch is a
+///                              pure cache hit), then *splice* the
+///                              re-merged window into the maintained
+///                              merge of the last accepted verdict: the
+///                              chain is replayed from the dirty chunk's
+///                              recorded entry position until it lands
+///                              back in sync on an untouched chunk base,
+///                              and only that window's marks change.
+///                              Any reject (and the first verdict) goes
+///                              through the full seam-aware join of
+///                              core/Shard instead, so the verdict stays
+///                              certified bit-identical to
+///                              `RockSalt::check` on the current bytes;
+///   patch(id, off, b[])      — patchBytes + reverify, the service's
+///                              per-request shape;
+///   close(id)                — unregister (cached scans stay shared).
+///
+/// Patches never change an image's size: the sandbox loader maps code
+/// regions once; tier-ups overwrite in place (pad with nops to grow).
+///
+/// Not thread-safe: one instance per session/thread, like
+/// svc::ParallelVerifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_INCR_INCREMENTALVERIFIER_H
+#define ROCKSALT_INCR_INCREMENTALVERIFIER_H
+
+#include "incr/ChunkCache.h"
+#include "incr/ImageStore.h"
+
+namespace rocksalt {
+namespace incr {
+
+struct IncrementalOptions {
+  /// Chunk granularity (cache line of the incremental scheme): smaller
+  /// chunks re-scan less per patch but merge more entries; must be a
+  /// nonzero multiple of core::BundleSize.
+  uint32_t ChunkBytes = 512;
+  ChunkCacheOptions Cache;
+};
+
+/// The verdict plus what the incremental pass actually did — the
+/// observability the service's incr_*/svc_patch_* metrics export.
+/// Deliberately O(1): the full bitmaps of the current verdict stay
+/// inside the verifier (they are the maintained merge) and are read by
+/// reference through `lastCheck`, so a patch verdict never pays an
+/// O(image) copy.
+struct IncrResult {
+  bool Ok = false;
+  core::RejectReason Reason = core::RejectReason::None;
+  uint32_t ChunksRescanned = 0; ///< dirty chunks whose scan was recomputed
+  uint32_t ChunkCacheHits = 0;  ///< dirty chunks satisfied by the cache
+  uint64_t SeamRescans = 0;     ///< verifySteps replayed at chunk seams
+};
+
+class IncrementalVerifier {
+public:
+  explicit IncrementalVerifier(IncrementalOptions O = {},
+                               svc::Metrics *M = nullptr);
+  IncrementalVerifier(const core::PolicyTables &T, IncrementalOptions O = {},
+                      svc::Metrics *M = nullptr);
+
+  IncrementalVerifier(const IncrementalVerifier &) = delete;
+  IncrementalVerifier &operator=(const IncrementalVerifier &) = delete;
+
+  /// Registers \p Bytes and produces its initial verdict.
+  ImageId open(std::vector<uint8_t> Bytes, IncrResult *Out = nullptr);
+
+  /// Overwrites [Offset, Offset+Len) with \p Bytes and marks dirty
+  /// cards; no re-verification. Throws std::invalid_argument on an
+  /// unknown handle, a zero-length patch, or a range that leaves
+  /// [0, size).
+  void patchBytes(ImageId Id, uint32_t Offset, const uint8_t *Bytes,
+                  uint32_t Len);
+
+  /// Re-verifies from the dirty cards; clears them. Throws
+  /// std::invalid_argument on an unknown handle.
+  IncrResult reverify(ImageId Id);
+
+  /// patchBytes + reverify.
+  IncrResult patch(ImageId Id, uint32_t Offset, const uint8_t *Bytes,
+                   uint32_t Len);
+  IncrResult patch(ImageId Id, uint32_t Offset,
+                   const std::vector<uint8_t> &Bytes) {
+    return patch(Id, Offset, Bytes.data(), uint32_t(Bytes.size()));
+  }
+
+  /// The full instrumented result of the image's last re-verification,
+  /// bit-identical to `RockSalt::check` on its current bytes. Valid
+  /// until the image's next reverify/patch/close. Throws
+  /// std::invalid_argument on an unknown handle.
+  const core::CheckResult &lastCheck(ImageId Id);
+
+  /// Unregisters. Throws std::invalid_argument on an unknown handle.
+  void close(ImageId Id);
+
+  ImageStore &store() { return Store; }
+  ChunkCache &cache() { return Cache; }
+  /// The DFA-derived per-step read bound the chunk windows use.
+  uint32_t maxReadBytes() const { return MaxRead; }
+
+private:
+  ImageEntry &entry(ImageId Id);
+  /// O(patch) path: replays the chain across each dirty range and
+  /// splices the window into E.Merge. False when the result is not a
+  /// clean accept (parse failure, finalize violation, no prior accepted
+  /// merge) — the caller then runs the full merge.
+  bool spliceReverify(ImageEntry &E, IncrResult &Res);
+  /// Rebuilds E.Merge's attribution state from an accepted full merge,
+  /// taking ownership of its result.
+  void rebuildMergeState(ImageEntry &E, core::CheckResult &&R);
+
+  const core::PolicyTables &Tables;
+  uint32_t MaxRead;
+  IncrementalOptions Opts;
+  svc::Metrics *Met; ///< may be null
+  ChunkCache Cache;
+  ImageStore Store;
+  std::vector<const core::ShardScan *> MergeScratch; ///< reused per merge
+  std::vector<uint32_t> DirtyIdx;                    ///< reused per reverify
+  std::vector<uint32_t> SegValid, SegPair;           ///< splice scratch
+  std::vector<std::pair<uint32_t, uint32_t>> SegTgt; ///< (chunk, target)
+};
+
+} // namespace incr
+} // namespace rocksalt
+
+#endif // ROCKSALT_INCR_INCREMENTALVERIFIER_H

@@ -134,6 +134,12 @@ std::string Metrics::dump() const {
   dumpScalar(Out, "svc_tables_hash_hits", SvcTablesHashHits.get());
   dumpScalar(Out, "svc_errors", SvcErrors.get());
   dumpScalar(Out, "svc_sessions", SvcSessions.get());
+  dumpScalar(Out, "incr_chunk_hits", IncrChunkHits.get());
+  dumpScalar(Out, "incr_chunk_misses", IncrChunkMisses.get());
+  dumpScalar(Out, "incr_chunk_evictions", IncrChunkEvictions.get());
+  dumpScalar(Out, "svc_image_open_requests", SvcImageOpenRequests.get());
+  dumpScalar(Out, "svc_patch_requests", SvcPatchRequests.get());
+  dumpScalar(Out, "svc_image_close_requests", SvcImageCloseRequests.get());
   dumpScalar(Out, "queue_depth", static_cast<uint64_t>(
                                      QueueDepth.get() < 0 ? 0
                                                           : QueueDepth.get()));
@@ -141,6 +147,7 @@ std::string Metrics::dump() const {
   dumpHistogram(Out, "shard_imbalance_permille", ShardImbalancePermille);
   dumpHistogram(Out, "batch_images", BatchImages);
   dumpHistogram(Out, "svc_request_nanos", SvcRequestNanos);
+  dumpHistogram(Out, "svc_patch_nanos", SvcPatchNanos);
   return Out;
 }
 
@@ -172,10 +179,17 @@ void Metrics::reset() {
   SvcTablesHashHits.reset();
   SvcErrors.reset();
   SvcSessions.reset();
+  IncrChunkHits.reset();
+  IncrChunkMisses.reset();
+  IncrChunkEvictions.reset();
+  SvcImageOpenRequests.reset();
+  SvcPatchRequests.reset();
+  SvcImageCloseRequests.reset();
   VerifyNanos.reset();
   ShardImbalancePermille.reset();
   BatchImages.reset();
   SvcRequestNanos.reset();
+  SvcPatchNanos.reset();
 }
 
 Metrics &svc::globalMetrics() {

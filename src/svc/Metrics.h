@@ -128,11 +128,20 @@ struct Metrics {
   Counter SvcErrors;         ///< malformed bodies answered with an error
   Counter SvcSessions;       ///< serve-loop sessions completed
 
+  // Incremental re-verification (src/incr + the service's patch path).
+  Counter IncrChunkHits;      ///< chunk-cache lookups satisfied
+  Counter IncrChunkMisses;    ///< chunk-cache lookups that re-scanned
+  Counter IncrChunkEvictions; ///< LRU evictions from the chunk cache
+  Counter SvcImageOpenRequests;  ///< image-open request frames handled
+  Counter SvcPatchRequests;      ///< patch request frames handled
+  Counter SvcImageCloseRequests; ///< image-close request frames handled
+
   // Distributions.
   Histogram VerifyNanos;          ///< wall time per image verification
   Histogram ShardImbalancePermille; ///< 1000 * max shard ns / mean shard ns
   Histogram BatchImages;          ///< images per submit() call
   Histogram SvcRequestNanos;      ///< wall time per service request frame
+  Histogram SvcPatchNanos;        ///< wall time per patch re-verification
 
   /// Plain-text exposition of every metric.
   std::string dump() const;

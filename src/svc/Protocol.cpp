@@ -19,11 +19,17 @@ bool knownKind(uint8_t K) {
   case MsgKind::AuditRequest:
   case MsgKind::TablesRequest:
   case MsgKind::ShutdownRequest:
+  case MsgKind::ImageOpenRequest:
+  case MsgKind::PatchRequest:
+  case MsgKind::ImageCloseRequest:
   case MsgKind::VerifyResponse:
   case MsgKind::LintResponse:
   case MsgKind::AuditResponse:
   case MsgKind::TablesResponse:
   case MsgKind::ShutdownResponse:
+  case MsgKind::ImageOpenResponse:
+  case MsgKind::PatchResponse:
+  case MsgKind::ImageCloseResponse:
   case MsgKind::ErrorResponse:
     return true;
   }
@@ -113,6 +119,12 @@ const char *proto::msgKindName(MsgKind K) {
     return "TablesRequest";
   case MsgKind::ShutdownRequest:
     return "ShutdownRequest";
+  case MsgKind::ImageOpenRequest:
+    return "ImageOpenRequest";
+  case MsgKind::PatchRequest:
+    return "PatchRequest";
+  case MsgKind::ImageCloseRequest:
+    return "ImageCloseRequest";
   case MsgKind::VerifyResponse:
     return "VerifyResponse";
   case MsgKind::LintResponse:
@@ -123,6 +135,12 @@ const char *proto::msgKindName(MsgKind K) {
     return "TablesResponse";
   case MsgKind::ShutdownResponse:
     return "ShutdownResponse";
+  case MsgKind::ImageOpenResponse:
+    return "ImageOpenResponse";
+  case MsgKind::PatchResponse:
+    return "PatchResponse";
+  case MsgKind::ImageCloseResponse:
+    return "ImageCloseResponse";
   case MsgKind::ErrorResponse:
     return "ErrorResponse";
   }
@@ -327,6 +345,115 @@ TablesReply proto::decodeTablesResponse(const std::vector<uint8_t> &Body) {
   if (T.HashMatched && !T.Blob.empty())
     throw ProtocolError("tables response carries a blob despite a hash match");
   return T;
+}
+
+namespace {
+
+uint8_t decodeReason(Reader &R) {
+  uint8_t Reason = R.u8();
+  if (Reason > uint8_t(core::RejectReason::UnalignedBundle))
+    throw ProtocolError("response carries unknown reject reason");
+  return Reason;
+}
+
+uint32_t decodeImageHandle(Reader &R) {
+  uint32_t Image = R.u32();
+  if (Image == 0)
+    throw ProtocolError("image handle must be nonzero");
+  return Image;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+proto::encodeImageOpenRequest(const std::vector<uint8_t> &Image) {
+  std::vector<uint8_t> Out;
+  putU32(Out, uint32_t(Image.size()));
+  putBytes(Out, Image.data(), Image.size());
+  return Out;
+}
+
+std::vector<uint8_t>
+proto::decodeImageOpenRequest(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  std::vector<uint8_t> Image = R.bytes(R.u32());
+  R.done();
+  return Image;
+}
+
+std::vector<uint8_t> proto::encodeImageOpenResponse(const ImageOpenReply &O) {
+  std::vector<uint8_t> Out;
+  putU32(Out, O.Image);
+  Out.push_back(O.V.Ok ? 1 : 0);
+  Out.push_back(uint8_t(O.V.Reason));
+  return Out;
+}
+
+ImageOpenReply proto::decodeImageOpenResponse(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  ImageOpenReply O;
+  O.Image = decodeImageHandle(R);
+  O.V.Ok = R.flag() != 0;
+  O.V.Reason = core::RejectReason(decodeReason(R));
+  R.done();
+  return O;
+}
+
+std::vector<uint8_t> proto::encodePatchRequest(const PatchRequestBody &P) {
+  std::vector<uint8_t> Out;
+  putU32(Out, P.Image);
+  putU32(Out, P.Offset);
+  putU32(Out, uint32_t(P.Bytes.size()));
+  putBytes(Out, P.Bytes.data(), P.Bytes.size());
+  return Out;
+}
+
+PatchRequestBody proto::decodePatchRequest(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  PatchRequestBody P;
+  P.Image = decodeImageHandle(R);
+  P.Offset = R.u32();
+  uint32_t Len = R.u32();
+  if (Len == 0)
+    throw ProtocolError("patch length must be nonzero");
+  if (uint64_t(P.Offset) + Len > uint64_t(UINT32_MAX))
+    throw ProtocolError("patch range overflows the 32-bit image space");
+  P.Bytes = R.bytes(Len);
+  R.done();
+  return P;
+}
+
+std::vector<uint8_t> proto::encodePatchResponse(const PatchReply &P) {
+  std::vector<uint8_t> Out;
+  Out.push_back(P.V.Ok ? 1 : 0);
+  Out.push_back(uint8_t(P.V.Reason));
+  putU32(Out, P.ChunksRescanned);
+  putU32(Out, P.ChunkCacheHits);
+  return Out;
+}
+
+PatchReply proto::decodePatchResponse(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  PatchReply P;
+  P.V.Ok = R.flag() != 0;
+  P.V.Reason = core::RejectReason(decodeReason(R));
+  P.ChunksRescanned = R.u32();
+  P.ChunkCacheHits = R.u32();
+  R.done();
+  return P;
+}
+
+std::vector<uint8_t> proto::encodeImageCloseRequest(uint32_t Image) {
+  std::vector<uint8_t> Out;
+  putU32(Out, Image);
+  return Out;
+}
+
+uint32_t proto::decodeImageCloseRequest(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  uint32_t Image = decodeImageHandle(R);
+  R.done();
+  return Image;
 }
 
 std::vector<uint8_t> proto::encodeErrorResponse(const std::string &Message) {

@@ -23,17 +23,28 @@
 ///   Tables      — u32 hash length + lowercase-hex hash chars (empty
 ///                 hash: unconditionally send the blob)
 ///   Shutdown    — empty
+///   ImageOpen   — u32 image size + bytes (registers a mutable image
+///                 with the session's incremental verifier)
+///   Patch       — u32 image handle, u32 offset, u32 length + bytes
+///                 (overwrite-in-place; zero-length and u32-overflowing
+///                 ranges are rejected at the decoder)
+///   ImageClose  — u32 image handle
 ///
 /// Response bodies:
-///   Verify   — u32 count; per image u8 ok + u8 reject reason
-///   Lint     — u32 count; per image u8 parse-complete, u32 errors,
-///              u32 warnings, u32 notes, u32 render length + text
-///   Audit    — u8 pass, u32 render length + text
-///   Tables   — u8 hash-matched, u32 hash length + hex chars,
-///              u32 blob length + RSTB blob (length 0 when the hash
-///              matched: the negotiation short-circuit)
-///   Shutdown — empty
-///   Error    — u32 message length + text
+///   Verify     — u32 count; per image u8 ok + u8 reject reason
+///   Lint       — u32 count; per image u8 parse-complete, u32 errors,
+///                u32 warnings, u32 notes, u32 render length + text
+///   Audit      — u8 pass, u32 render length + text
+///   Tables     — u8 hash-matched, u32 hash length + hex chars,
+///                u32 blob length + RSTB blob (length 0 when the hash
+///                matched: the negotiation short-circuit)
+///   Shutdown   — empty
+///   ImageOpen  — u32 image handle (nonzero), u8 ok + u8 reject reason
+///   Patch      — u8 ok + u8 reject reason, u32 chunks re-scanned,
+///                u32 chunk-cache hits (the re-verified verdict after
+///                the patch, bit-identical to a full re-check)
+///   ImageClose — empty
+///   Error      — u32 message length + text
 ///
 /// Every decoder is strict: truncation, trailing bytes, out-of-range
 /// lengths, and non-boolean flags all throw ProtocolError — a malformed
@@ -74,12 +85,18 @@ enum class MsgKind : uint8_t {
   AuditRequest = 3,
   TablesRequest = 4,
   ShutdownRequest = 5,
+  ImageOpenRequest = 6,
+  PatchRequest = 7,
+  ImageCloseRequest = 8,
   // Responses (request kind | 0x40).
   VerifyResponse = 65,
   LintResponse = 66,
   AuditResponse = 67,
   TablesResponse = 68,
   ShutdownResponse = 69,
+  ImageOpenResponse = 70,
+  PatchResponse = 71,
+  ImageCloseResponse = 72,
   ErrorResponse = 127,
 };
 
@@ -167,6 +184,48 @@ TablesReply decodeTablesResponse(const std::vector<uint8_t> &Body);
 
 std::vector<uint8_t> encodeErrorResponse(const std::string &Message);
 std::string decodeErrorResponse(const std::vector<uint8_t> &Body);
+
+// --- Incremental (image-handle) codecs ---------------------------------
+
+/// Image-open outcome: the session-scoped handle plus the initial
+/// verdict on the image as opened.
+struct ImageOpenReply {
+  uint32_t Image = 0; ///< server-assigned handle, never 0
+  VerifyVerdict V;
+};
+
+/// A decoded patch request: overwrite [Offset, Offset+Bytes.size()) of
+/// the session image \p Image. The decoder rejects a zero handle, a
+/// zero-length patch, and an offset+length that overflows u32 — those
+/// can never name a valid range, so they die before touching state.
+struct PatchRequestBody {
+  uint32_t Image = 0;
+  uint32_t Offset = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Patch outcome: the re-verified verdict plus what the incremental
+/// pass did (the client-visible half of the incr_* metrics).
+struct PatchReply {
+  VerifyVerdict V;
+  uint32_t ChunksRescanned = 0;
+  uint32_t ChunkCacheHits = 0;
+};
+
+std::vector<uint8_t> encodeImageOpenRequest(const std::vector<uint8_t> &Image);
+std::vector<uint8_t> decodeImageOpenRequest(const std::vector<uint8_t> &Body);
+
+std::vector<uint8_t> encodeImageOpenResponse(const ImageOpenReply &R);
+ImageOpenReply decodeImageOpenResponse(const std::vector<uint8_t> &Body);
+
+std::vector<uint8_t> encodePatchRequest(const PatchRequestBody &P);
+PatchRequestBody decodePatchRequest(const std::vector<uint8_t> &Body);
+
+std::vector<uint8_t> encodePatchResponse(const PatchReply &R);
+PatchReply decodePatchResponse(const std::vector<uint8_t> &Body);
+
+std::vector<uint8_t> encodeImageCloseRequest(uint32_t Image);
+uint32_t decodeImageCloseRequest(const std::vector<uint8_t> &Body);
 
 } // namespace proto
 } // namespace svc

@@ -106,7 +106,38 @@ proto::TablesReply Service::tables(const std::string &ExpectHashHex) {
   return R;
 }
 
+Service::Session::Session(Service &S)
+    : Incr(S.policyTables(), incr::IncrementalOptions{}, &S.metrics()) {}
+
+proto::ImageOpenReply Service::imageOpen(Session &Sess,
+                                         std::vector<uint8_t> Image) {
+  incr::IncrResult R;
+  incr::ImageId Id = Sess.incremental().open(std::move(Image), &R);
+  return {Id, {R.Ok, R.Reason}};
+}
+
+proto::PatchReply Service::patch(Session &Sess, uint32_t Image,
+                                 uint32_t Offset,
+                                 const std::vector<uint8_t> &Bytes) {
+  incr::IncrResult R = Sess.incremental().patch(Image, Offset, Bytes.data(),
+                                                uint32_t(Bytes.size()));
+  proto::PatchReply P;
+  P.V = {R.Ok, R.Reason};
+  P.ChunksRescanned = R.ChunksRescanned;
+  P.ChunkCacheHits = R.ChunkCacheHits;
+  return P;
+}
+
+void Service::imageClose(Session &Sess, uint32_t Image) {
+  Sess.incremental().close(Image);
+}
+
 std::vector<uint8_t> Service::handleFrame(const proto::Frame &F,
+                                          bool *ShutdownOut) {
+  return handleFrame(F, nullptr, ShutdownOut);
+}
+
+std::vector<uint8_t> Service::handleFrame(const proto::Frame &F, Session *Sess,
                                           bool *ShutdownOut) {
   using proto::MsgKind;
   if (ShutdownOut)
@@ -154,6 +185,38 @@ std::vector<uint8_t> Service::handleFrame(const proto::Frame &F,
       proto::appendFrame(Out, MsgKind::ShutdownResponse, {});
       break;
     }
+    case MsgKind::ImageOpenRequest: {
+      Met->SvcImageOpenRequests.add();
+      if (!Sess)
+        throw proto::ProtocolError(
+            "image-handle requests require a stateful session");
+      proto::ImageOpenReply R =
+          imageOpen(*Sess, proto::decodeImageOpenRequest(F.Body));
+      proto::appendFrame(Out, MsgKind::ImageOpenResponse,
+                         proto::encodeImageOpenResponse(R));
+      break;
+    }
+    case MsgKind::PatchRequest: {
+      Met->SvcPatchRequests.add();
+      if (!Sess)
+        throw proto::ProtocolError(
+            "image-handle requests require a stateful session");
+      proto::PatchRequestBody B = proto::decodePatchRequest(F.Body);
+      proto::PatchReply R = patch(*Sess, B.Image, B.Offset, B.Bytes);
+      proto::appendFrame(Out, MsgKind::PatchResponse,
+                         proto::encodePatchResponse(R));
+      Met->SvcPatchNanos.record(nowNanos() - T0);
+      break;
+    }
+    case MsgKind::ImageCloseRequest: {
+      Met->SvcImageCloseRequests.add();
+      if (!Sess)
+        throw proto::ProtocolError(
+            "image-handle requests require a stateful session");
+      imageClose(*Sess, proto::decodeImageCloseRequest(F.Body));
+      proto::appendFrame(Out, MsgKind::ImageCloseResponse, {});
+      break;
+    }
     default:
       throw proto::ProtocolError(std::string("frame kind ") +
                                  proto::msgKindName(F.Kind) +
@@ -162,6 +225,13 @@ std::vector<uint8_t> Service::handleFrame(const proto::Frame &F,
   } catch (const proto::ProtocolError &E) {
     // A decodable frame with a malformed body: answer and keep the
     // session; only transport-level garbage (parseFrame throws) kills it.
+    Met->SvcErrors.add();
+    Out.clear();
+    proto::appendFrame(Out, MsgKind::ErrorResponse,
+                       proto::encodeErrorResponse(E.what()));
+  } catch (const std::invalid_argument &E) {
+    // Well-formed request naming a bad image handle or patch range:
+    // same recovery — the session's other handles stay live.
     Met->SvcErrors.add();
     Out.clear();
     proto::appendFrame(Out, MsgKind::ErrorResponse,
@@ -177,9 +247,10 @@ Service::ServeStatus Service::serveFd(int InFd, int OutFd) {
   uint8_t Buf[64 * 1024];
   proto::Frame F;
   bool Shutdown = false;
+  Session Sess(*this); // image handles live and die with this session
   while (true) {
     while (proto::parseFrame(In.data(), In.size(), &Pos, &F)) {
-      writeAll(OutFd, handleFrame(F, &Shutdown));
+      writeAll(OutFd, handleFrame(F, &Sess, &Shutdown));
       if (Shutdown) {
         Met->SvcSessions.add();
         return ServeStatus::Shutdown;

@@ -6,7 +6,7 @@
 /// deployment (Yee et al., Oakland 2009) — the tables are built once,
 /// the pool's workers stay warm, and clients submit request batches over
 /// the framed protocol (svc/Protocol.h) instead of paying per-process
-/// startup. Four request kinds:
+/// startup. Seven request kinds:
 ///
 ///  * verify — batch verification on the VerifierPool; each image's
 ///    buffer is *owned* by the submitted task (submitOne's owned-buffer
@@ -20,11 +20,22 @@
 ///  * tables — the serialized RSTB blob, content-addressed: a client
 ///    sends the hash it already has and a match short-circuits the
 ///    transfer (hash-only response), so remote checkers skip both the
-///    transfer and the per-process table rebuild.
+///    transfer and the per-process table rebuild;
+///  * image-open / patch / image-close — the incremental path for
+///    mutating images (src/incr): open registers an image and returns a
+///    handle plus its initial verdict, each patch overwrites bytes in
+///    place and re-verifies only the chunks the patch invalidated
+///    (verdict bit-identical to a full re-check), close drops the
+///    handle. Handles are *session-scoped*: each serveFd session owns
+///    its own incremental verifier, so a handle can never leak into
+///    another client's session, and the stateful kinds are rejected
+///    with an ErrorResponse when no session state exists (the 2-arg
+///    handleFrame overload used by stateless harnesses).
 ///
-/// The in-process API (verify/lint/audit/tables) is the source of
-/// truth; handleFrame and the serveFd loop are a thin codec shell over
-/// it, so transports (socket, pipe, test harness) share one behavior.
+/// The in-process API (verify/lint/audit/tables/imageOpen/patch/
+/// imageClose) is the source of truth; handleFrame and the serveFd loop
+/// are a thin codec shell over it, so transports (socket, pipe, test
+/// harness) share one behavior.
 /// Malformed request *bodies* are answered with an ErrorResponse frame
 /// and the session continues; malformed *framing* (bad magic, hostile
 /// length) aborts the session — the stream can no longer be trusted.
@@ -34,6 +45,7 @@
 #ifndef ROCKSALT_SVC_SERVICE_H
 #define ROCKSALT_SVC_SERVICE_H
 
+#include "incr/IncrementalVerifier.h"
 #include "svc/Protocol.h"
 #include "svc/VerifierPool.h"
 
@@ -81,12 +93,46 @@ public:
   /// the live tables' hash the reply is hash-only (no blob).
   proto::TablesReply tables(const std::string &ExpectHashHex);
 
+  /// Per-session state for the stateful image-handle requests. One per
+  /// serveFd session (stack-allocated there); harnesses exercising the
+  /// in-process API construct their own.
+  class Session {
+  public:
+    explicit Session(Service &S);
+    incr::IncrementalVerifier &incremental() { return Incr; }
+
+  private:
+    incr::IncrementalVerifier Incr;
+  };
+
+  /// Registers \p Image with the session's incremental verifier and
+  /// returns the handle plus the initial verdict.
+  proto::ImageOpenReply imageOpen(Session &Sess, std::vector<uint8_t> Image);
+
+  /// Overwrites [Offset, Offset+Bytes.size()) of the session image and
+  /// re-verifies incrementally. Throws std::invalid_argument on an
+  /// unknown handle or an out-of-range patch (the frame shell answers
+  /// those with an ErrorResponse and keeps the session).
+  proto::PatchReply patch(Session &Sess, uint32_t Image, uint32_t Offset,
+                          const std::vector<uint8_t> &Bytes);
+
+  /// Drops the session image. Throws std::invalid_argument on an
+  /// unknown handle.
+  void imageClose(Session &Sess, uint32_t Image);
+
   // --- Framed transport shell ------------------------------------------
 
   /// Dispatches one decoded request frame and returns the encoded
-  /// response frame. A malformed body or a non-request kind yields an
-  /// ErrorResponse frame (counted in svc_errors). Sets \p *ShutdownOut
-  /// when the frame was a ShutdownRequest.
+  /// response frame. A malformed body, a non-request kind, or a bad
+  /// image handle yields an ErrorResponse frame (counted in svc_errors)
+  /// and the session survives. Sets \p *ShutdownOut when the frame was
+  /// a ShutdownRequest. \p Sess may be null: the stateful kinds then
+  /// answer with an ErrorResponse.
+  std::vector<uint8_t> handleFrame(const proto::Frame &F, Session *Sess,
+                                   bool *ShutdownOut);
+
+  /// Stateless shell (pre-incremental shape, kept for harnesses that
+  /// never open images): identical, with no session state.
   std::vector<uint8_t> handleFrame(const proto::Frame &F, bool *ShutdownOut);
 
   /// Why a serve loop returned.

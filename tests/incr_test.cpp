@@ -1,0 +1,301 @@
+//===- tests/incr_test.cpp -------------------------------------*- C++ -*-===//
+//
+// The incremental re-verification subsystem: every verdict an
+// IncrementalVerifier produces — after open, after any sequence of
+// patches, across chunk geometries, cache pressure, and accept/reject
+// flips — must be bit-identical to a full RockSalt::check of the
+// image's current bytes (verdict, reject reason, and all three
+// bitmaps). Plus the ChunkCache's LRU/counter contract, the scan-read
+// bound's sanity, and the loud failure of every invalid request.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "incr/IncrementalVerifier.h"
+#include "nacl/WorkloadGen.h"
+#include "support/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+using namespace rocksalt;
+
+namespace {
+
+/// Full-check cross-check: the subsystem's core promise.
+void expectBitIdentical(incr::IncrementalVerifier &V, incr::ImageId Id,
+                        const std::vector<uint8_t> &Bytes, const char *What) {
+  core::RockSalt Full;
+  core::CheckResult F = Full.check(Bytes);
+  const core::CheckResult &I = V.lastCheck(Id);
+  EXPECT_EQ(I.Ok, F.Ok) << What;
+  EXPECT_EQ(I.Reason, F.Reason) << What;
+  EXPECT_EQ(I.Valid, F.Valid) << What;
+  EXPECT_EQ(I.Target, F.Target) << What;
+  EXPECT_EQ(I.PairJmp, F.PairJmp) << What;
+}
+
+std::vector<uint8_t> workload(uint32_t Bytes, uint64_t Seed) {
+  nacl::WorkloadOptions WO;
+  WO.TargetBytes = Bytes;
+  WO.Seed = Seed;
+  return nacl::generateWorkload(WO);
+}
+
+// --- Scan-read bound and cache keys ------------------------------------
+
+TEST(IncrTest, MaxScanReadBytesIsSane) {
+  uint32_t MaxRead = incr::maxScanReadBytes(core::policyTables());
+  // Multi-byte instructions exist, and no policy instruction is longer
+  // than a bundle — the dirty-card arithmetic and the chunk-skip
+  // argument both lean on MaxRead < ChunkBytes (>= BundleSize).
+  EXPECT_GE(MaxRead, 2u);
+  EXPECT_LE(MaxRead, core::BundleSize);
+}
+
+TEST(IncrTest, ChunkKeyCoversGeometryAndContent) {
+  std::vector<uint8_t> A(256, 0x90);
+  uint32_t MR = 8;
+  incr::ChunkKey K = incr::chunkKey(A.data(), 256, 0, 64, MR);
+  // Same window bytes at a different absolute position: different key
+  // (positions and jump targets are absolute).
+  EXPECT_NE(K, incr::chunkKey(A.data(), 256, 64, 128, MR));
+  // Same geometry, different image size: different key (dfaMatch
+  // exhaustion and the target range check read the size).
+  EXPECT_NE(K, incr::chunkKey(A.data(), 128, 0, 64, MR));
+  // A byte outside the scan window [Begin, End-1+MaxRead): same key.
+  std::vector<uint8_t> B = A;
+  B[64 + MR - 1] = 0xC3;
+  EXPECT_EQ(K, incr::chunkKey(B.data(), 256, 0, 64, MR));
+  // A byte inside the window overhang: different key.
+  std::vector<uint8_t> C = A;
+  C[64 + MR - 2] = 0xC3;
+  EXPECT_NE(K, incr::chunkKey(C.data(), 256, 0, 64, MR));
+}
+
+// --- ChunkCache contract ------------------------------------------------
+
+std::shared_ptr<const core::ShardScan> dummyScan(uint32_t Begin) {
+  auto S = std::make_shared<core::ShardScan>();
+  S->reset(Begin, Begin + 32);
+  return S;
+}
+
+incr::ChunkKey keyOf(uint8_t Tag) {
+  incr::ChunkKey K{};
+  K[0] = Tag;
+  return K;
+}
+
+TEST(IncrTest, ChunkCacheLruEvictionAndCounters) {
+  svc::Metrics M;
+  incr::ChunkCacheOptions O;
+  O.MaxEntries = 2;
+  incr::ChunkCache C(O, &M);
+
+  EXPECT_EQ(C.lookup(keyOf(1)), nullptr); // miss
+  C.insert(keyOf(1), dummyScan(0));
+  C.insert(keyOf(2), dummyScan(32));
+  EXPECT_NE(C.lookup(keyOf(1)), nullptr); // hit; 1 now most recent
+  C.insert(keyOf(3), dummyScan(64));      // evicts 2 (LRU), not 1
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_NE(C.lookup(keyOf(1)), nullptr);
+  EXPECT_EQ(C.lookup(keyOf(2)), nullptr);
+  EXPECT_NE(C.lookup(keyOf(3)), nullptr);
+
+  EXPECT_EQ(C.hits(), 3u);
+  EXPECT_EQ(C.misses(), 2u);
+  EXPECT_EQ(C.evictions(), 1u);
+  // Mirrored into the service metrics.
+  EXPECT_EQ(M.IncrChunkHits.get(), 3u);
+  EXPECT_EQ(M.IncrChunkMisses.get(), 2u);
+  EXPECT_EQ(M.IncrChunkEvictions.get(), 1u);
+
+  C.clear();
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_EQ(C.hits(), 3u); // counters keep their totals
+}
+
+TEST(IncrTest, ChunkCacheByteBudgetEvicts) {
+  incr::ChunkCacheOptions O;
+  O.MaxBytes = 1; // any entry overflows: at most one survives insertion
+  incr::ChunkCache C(O);
+  C.insert(keyOf(1), dummyScan(0));
+  auto Held = C.insert(keyOf(2), dummyScan(32));
+  EXPECT_LE(C.size(), 1u);
+  EXPECT_GE(C.evictions(), 1u);
+  // Shared ownership: the caller's pointer survives eviction.
+  EXPECT_NE(Held, nullptr);
+  EXPECT_EQ(Held->Begin, 32u);
+}
+
+// --- Open/patch equivalence --------------------------------------------
+
+TEST(IncrTest, OpenMatchesFullCheckOnMixedImages) {
+  incr::IncrementalVerifier V;
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    std::vector<uint8_t> Img = workload(700, Seed);
+    if (Seed % 2 == 0)
+      Img[Img.size() / 3] = 0xC3; // break half of them
+    incr::IncrResult R;
+    incr::ImageId Id = V.open(Img, &R);
+    EXPECT_EQ(R.ChunksRescanned + R.ChunkCacheHits,
+              V.store().get(Id)->numChunks());
+    expectBitIdentical(V, Id, Img, "open");
+    // A reverify with no dirty cards must not change the verdict.
+    incr::IncrResult R2 = V.reverify(Id);
+    EXPECT_EQ(R2.ChunksRescanned, 0u);
+    EXPECT_EQ(R2.Ok, R.Ok);
+    expectBitIdentical(V, Id, Img, "idle reverify");
+  }
+}
+
+TEST(IncrTest, PatchAtOffsetZero) {
+  std::vector<uint8_t> Img(256, 0x90);
+  incr::IncrementalVerifier V;
+  incr::ImageId Id = V.open(Img);
+  ASSERT_TRUE(V.lastCheck(Id).Ok);
+
+  Img[0] = 0x40; // inc eax
+  incr::IncrResult R = V.patch(Id, 0, Img.data(), 1);
+  EXPECT_TRUE(R.Ok);
+  expectBitIdentical(V, Id, Img, "patch at 0");
+}
+
+TEST(IncrTest, PatchInFinalPartialChunk) {
+  // 1000 bytes with 512-byte chunks: the last chunk is 488 bytes and
+  // the image tail is not bundle-aligned.
+  std::vector<uint8_t> Img(1000, 0x90);
+  incr::IncrementalOptions IO;
+  IO.ChunkBytes = 512;
+  incr::IncrementalVerifier V(IO);
+  incr::ImageId Id = V.open(Img);
+  ASSERT_TRUE(V.lastCheck(Id).Ok);
+
+  Img[999] = 0x40;
+  V.patch(Id, 999, &Img[999], 1);
+  expectBitIdentical(V, Id, Img, "patch last byte");
+
+  Img[511] = 0x40; // straddles the chunk seam's scan window
+  V.patch(Id, 511, &Img[511], 1);
+  expectBitIdentical(V, Id, Img, "patch at seam");
+}
+
+TEST(IncrTest, AcceptRejectAcceptFlipRehitsCache) {
+  std::vector<uint8_t> Img(512, 0x90);
+  incr::IncrementalVerifier V;
+  incr::ImageId Id = V.open(Img);
+  ASSERT_TRUE(V.lastCheck(Id).Ok);
+
+  // ret parses under no grammar of the aligned policy: reject.
+  uint8_t Ret = 0xC3, Orig = 0x90;
+  Img[100] = Ret;
+  incr::IncrResult R1 = V.patch(Id, 100, &Ret, 1);
+  EXPECT_FALSE(R1.Ok);
+  EXPECT_EQ(R1.Reason, core::RejectReason::NoParse);
+  expectBitIdentical(V, Id, Img, "reject flip");
+
+  // Revert: the chunk's original-content scan is still cached.
+  Img[100] = Orig;
+  incr::IncrResult R2 = V.patch(Id, 100, &Orig, 1);
+  EXPECT_TRUE(R2.Ok);
+  EXPECT_GE(R2.ChunkCacheHits, 1u);
+  EXPECT_EQ(R2.ChunksRescanned, 0u);
+  expectBitIdentical(V, Id, Img, "revert flip");
+}
+
+TEST(IncrTest, RandomPatchSequencesStayBitIdentical) {
+  // Edge-geometry sweep: one-bundle chunks maximize seams; a tail-
+  // truncated image keeps the final partial chunk in the loop.
+  for (uint32_t CB : {32u, 128u}) {
+    std::vector<uint8_t> Img = workload(900, 7 + CB);
+    Img.resize(Img.size() - 13); // non-bundle-multiple tail
+    incr::IncrementalOptions IO;
+    IO.ChunkBytes = CB;
+    incr::IncrementalVerifier V(IO);
+    incr::ImageId Id = V.open(Img);
+    expectBitIdentical(V, Id, Img, "open");
+
+    Rng R(1234 + CB);
+    for (int Step = 0; Step < 60; ++Step) {
+      uint32_t Len = 1 + uint32_t(R.below(12));
+      if (Len > Img.size())
+        Len = uint32_t(Img.size());
+      uint32_t Off = uint32_t(R.below(Img.size() - Len + 1));
+      std::vector<uint8_t> Patch(Len);
+      for (auto &B : Patch)
+        B = R.below(4) ? uint8_t(0x90) : uint8_t(R.next());
+      for (uint32_t I = 0; I < Len; ++I)
+        Img[Off + I] = Patch[I];
+      V.patch(Id, Off, Patch);
+      expectBitIdentical(V, Id, Img, "random step");
+    }
+    V.close(Id);
+  }
+}
+
+TEST(IncrTest, IdenticalChunksShareAcrossImages) {
+  std::vector<uint8_t> Img(2048, 0x90);
+  incr::IncrementalVerifier V;
+  incr::ImageId A = V.open(Img);
+  incr::IncrResult R;
+  incr::ImageId B = V.open(Img, &R);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(V.store().count(), 2u);
+  // Every chunk of the second image is already cached (same content,
+  // same geometry), including by the first image's own interior chunks.
+  EXPECT_EQ(R.ChunksRescanned, 0u);
+  EXPECT_EQ(R.ChunkCacheHits, V.store().get(B)->numChunks());
+
+  V.close(A);
+  EXPECT_EQ(V.store().count(), 1u);
+  uint8_t X = 0x40;
+  Img[5] = X;
+  V.patch(B, 5, &X, 1); // survivor still verifies after the close
+  expectBitIdentical(V, B, Img, "after sibling close");
+}
+
+// --- Invalid requests fail loudly --------------------------------------
+
+TEST(IncrTest, InvalidRequestsThrow) {
+  incr::IncrementalOptions Bad;
+  Bad.ChunkBytes = core::BundleSize + 1; // not a bundle multiple
+  EXPECT_THROW(incr::IncrementalVerifier{Bad}, std::invalid_argument);
+  Bad.ChunkBytes = 0;
+  EXPECT_THROW(incr::IncrementalVerifier{Bad}, std::invalid_argument);
+
+  incr::IncrementalVerifier V;
+  std::vector<uint8_t> Img(64, 0x90);
+  incr::ImageId Id = V.open(Img);
+  uint8_t B = 0x90;
+
+  EXPECT_THROW(V.patch(Id, 0, &B, 0), std::invalid_argument);  // zero-length
+  EXPECT_THROW(V.patch(Id, 64, &B, 1), std::invalid_argument); // off the end
+  EXPECT_THROW(V.patch(Id, 60, &B, 5), std::invalid_argument); // leaves image
+  EXPECT_THROW(V.patch(Id + 1, 0, &B, 1), std::invalid_argument);
+  EXPECT_THROW(V.reverify(Id + 1), std::invalid_argument);
+  EXPECT_THROW(V.lastCheck(Id + 1), std::invalid_argument);
+  EXPECT_THROW(V.close(Id + 1), std::invalid_argument);
+
+  // The failed calls left the image intact.
+  EXPECT_TRUE(V.lastCheck(Id).Ok);
+  V.close(Id);
+  EXPECT_THROW(V.close(Id), std::invalid_argument); // double close
+  EXPECT_EQ(V.store().count(), 0u);
+}
+
+TEST(IncrTest, EmptyImageOpensAndAccepts) {
+  incr::IncrementalVerifier V;
+  incr::IncrResult R;
+  incr::ImageId Id = V.open({}, &R);
+  EXPECT_TRUE(R.Ok);
+  std::vector<uint8_t> Empty;
+  expectBitIdentical(V, Id, Empty, "empty image");
+  uint8_t B = 0x90;
+  EXPECT_THROW(V.patch(Id, 0, &B, 1), std::invalid_argument);
+  V.close(Id);
+}
+
+} // namespace
