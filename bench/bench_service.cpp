@@ -9,23 +9,32 @@
 // request kind, and emits one JSON line per quantity (appended to
 // BENCH_service.json when ROCKSALT_BENCH_JSON is set, else stdout).
 //
-// The acceptance line: load_blob_ms must beat build_tables_ms — that is
-// the entire point of tables-by-hash distribution.
+// The acceptance lines: load_blob_ms must beat build_tables_ms — that is
+// the entire point of tables-by-hash distribution — and the 8-client
+// aggregate socket throughput must be at least the single-session
+// throughput (E14: the event loop must convert concurrency into
+// throughput, not serialize it away).
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Policy.h"
 #include "nacl/WorkloadGen.h"
 #include "regex/TableIO.h"
+#include "svc/EventLoop.h"
 #include "svc/Protocol.h"
 #include "svc/Service.h"
 
 #include <benchmark/benchmark.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 using namespace rocksalt;
@@ -89,9 +98,95 @@ double frameRoundTripMs(svc::Service &S, svc::proto::MsgKind Kind,
   });
 }
 
+/// One client session for E14: \p Rounds verify round trips of \p Image
+/// over a blocking socket, lock-step request/response.
+void clientRounds(const std::string &Sock, const std::vector<uint8_t> &Image,
+                  int Rounds) {
+  int Fd = svc::connectUnixSocket(Sock);
+  std::vector<uint8_t> Req;
+  svc::proto::appendFrame(Req, svc::proto::MsgKind::VerifyRequest,
+                          svc::proto::encodeImageBatch({Image}));
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0;
+  svc::proto::Frame F;
+  uint8_t Tmp[16 * 1024];
+  for (int R = 0; R < Rounds; ++R) {
+    size_t Off = 0;
+    while (Off < Req.size()) {
+      ssize_t N = ::send(Fd, Req.data() + Off, Req.size() - Off, MSG_NOSIGNAL);
+      if (N <= 0)
+        std::abort();
+      Off += size_t(N);
+    }
+    while (!svc::proto::parseFrame(Buf.data(), Buf.size(), &Pos, &F)) {
+      if (Pos) {
+        Buf.erase(Buf.begin(), Buf.begin() + long(Pos));
+        Pos = 0;
+      }
+      ssize_t N = ::read(Fd, Tmp, sizeof(Tmp));
+      if (N <= 0)
+        std::abort();
+      Buf.insert(Buf.end(), Tmp, Tmp + N);
+    }
+  }
+  ::close(Fd);
+}
+
+/// E14 phase: \p Clients lock-step sessions (plus optionally one stalled
+/// reader that requests work and never reads) against a fresh event-loop
+/// server; returns aggregate verified MB/s.
+double concurrentMbps(unsigned Clients, int RoundsPerClient, bool AddStalled) {
+  char Dir[] = "/tmp/rocksalt_bench_XXXXXX";
+  if (!::mkdtemp(Dir))
+    std::abort();
+  std::string Sock = std::string(Dir) + "/svc.sock";
+
+  svc::Metrics Met;
+  svc::Service Server(svc::ServiceOptions{2, &Met});
+  svc::EventLoop Loop(Server, svc::listenUnixSocket(Sock));
+  std::thread Runner([&] { Loop.run(); });
+
+  nacl::WorkloadOptions WO;
+  WO.TargetBytes = 4096;
+  WO.Seed = 12000;
+  std::vector<uint8_t> Image = nacl::generateWorkload(WO);
+
+  int Stalled = -1;
+  if (AddStalled) {
+    Stalled = svc::connectUnixSocket(Sock);
+    std::vector<uint8_t> Req;
+    svc::proto::appendFrame(Req, svc::proto::MsgKind::VerifyRequest,
+                            svc::proto::encodeImageBatch({Image}));
+    for (int I = 0; I < 4; ++I)
+      (void)!::send(Stalled, Req.data(), Req.size(), MSG_NOSIGNAL);
+    // ...and never read: its queued responses must not slow anyone else.
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back(clientRounds, Sock, std::cref(Image),
+                         RoundsPerClient);
+  for (auto &T : Threads)
+    T.join();
+  auto T1 = std::chrono::steady_clock::now();
+
+  if (Stalled >= 0)
+    ::close(Stalled);
+  Loop.requestStop();
+  Runner.join();
+  ::unlink(Sock.c_str());
+  ::rmdir(Dir);
+
+  double Secs = std::chrono::duration<double>(T1 - T0).count();
+  double Bytes = double(Image.size()) * Clients * RoundsPerClient;
+  return Bytes / (1024.0 * 1024.0) / Secs;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  std::signal(SIGPIPE, SIG_IGN); // the stalled-reader phase drops mid-stream
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -143,6 +238,23 @@ int main(int argc, char **argv) {
     std::printf("*** load path did NOT beat the rebuild — serve-by-hash "
                 "regressed ***\n");
 
+  // E14: N concurrent lock-step clients against the event loop, equal
+  // total work per phase (4 KiB verifies over a Unix socket).
+  const int TotalRounds = 640;
+  double Mbps1 = concurrentMbps(1, TotalRounds, false);
+  double Mbps8 = concurrentMbps(8, TotalRounds / 8, false);
+  double Mbps8S = concurrentMbps(8, TotalRounds / 8, true);
+  std::printf("\n--- E14: concurrent sessions (event loop, 4 KiB verifies) "
+              "---\n");
+  std::printf("1 client:             %8.2f MB/s aggregate\n", Mbps1);
+  std::printf("8 clients:            %8.2f MB/s aggregate (%.2fx)\n", Mbps8,
+              Mbps8 / Mbps1);
+  std::printf("8 clients + stalled:  %8.2f MB/s aggregate\n", Mbps8S);
+  bool ConcurrencyRegressed = Mbps8 < Mbps1;
+  if (ConcurrencyRegressed)
+    std::printf("*** 8-client aggregate fell below a single session — the "
+                "event loop serialized the work ***\n");
+
   std::FILE *Json = stdout;
   bool OwnFile = false;
   if (std::getenv("ROCKSALT_BENCH_JSON")) {
@@ -163,11 +275,14 @@ int main(int argc, char **argv) {
   Line("frame_lint_8x1k_ms", LintMs);
   Line("frame_tables_cold_ms", TablesColdMs);
   Line("frame_tables_warm_ms", TablesWarmMs);
+  Line("concurrent_1_mbps", Mbps1);
+  Line("concurrent_8_mbps", Mbps8);
+  Line("concurrent_8_stalled_mbps", Mbps8S);
   std::fprintf(Json,
                "{\"bench\":\"service\",\"metric\":\"blob_bytes\","
                "\"value\":%zu}\n",
                Blob.size());
   if (OwnFile)
     std::fclose(Json);
-  return LoadMs < BuildMs ? 0 : 1;
+  return (LoadMs < BuildMs && !ConcurrencyRegressed) ? 0 : 1;
 }

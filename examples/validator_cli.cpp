@@ -30,10 +30,11 @@
 //
 // --serve turns the process into the long-running verification service
 // (svc/Service.h): framed verify/lint/audit/tables requests over
-// stdin/stdout, or over a Unix-domain socket with --socket PATH (accept
-// loop until a client sends Shutdown). --connect PATH is the matching
-// client: it routes verification (or --lint, --audit, --shutdown) of
-// the given images through a running server. --tables-from PATH fetches
+// stdin/stdout, or over a Unix-domain socket with --socket PATH, where
+// the event loop (svc/EventLoop.h) serves every connected client
+// concurrently until one sends Shutdown. --connect PATH is the matching
+// client: it routes verification (or --lint, --audit, --metrics,
+// --shutdown) of the given images through a running server. --tables-from PATH fetches
 // the server's policy tables by content hash — with --tables-cache FILE
 // a hash match skips the transfer entirely — and adopts them in-process,
 // skipping the per-process table rebuild for the rest of the run.
@@ -60,7 +61,8 @@
 //   validator_cli --dump-tables [--tables-out FILE] [--expect-hash HEX]
 //   validator_cli --serve [--socket PATH] [--jobs N] [--stats]
 //   validator_cli --connect PATH [<image.bin>...] [--lint] [--audit]
-//                                [--patch OFF:HEX...] [--shutdown]
+//                                [--patch OFF:HEX...] [--metrics]
+//                                [--shutdown]
 //   validator_cli --tables-from PATH [--tables-cache FILE]
 //                                [--expect-hash HEX] [<image.bin>...]
 //   validator_cli --serve-smoke
@@ -76,6 +78,7 @@
 #include "fuzz/Minimizer.h"
 #include "nacl/Mutator.h"
 #include "nacl/WorkloadGen.h"
+#include "svc/EventLoop.h"
 #include "svc/ParallelVerifier.h"
 #include "svc/Protocol.h"
 #include "svc/Service.h"
@@ -120,6 +123,7 @@ struct CliOptions {
   bool Serve = false;       ///< run the framed verification service
   std::string SocketPath;   ///< with --serve: listen here instead of stdio
   std::string ConnectPath;  ///< client mode: a running server's socket
+  bool MetricsReq = false;  ///< with --connect: scrape the server's metrics
   bool ShutdownServer = false; ///< with --connect: stop the server after
   std::string TablesFrom;   ///< fetch + adopt policy tables from a server
   std::string TablesCache;  ///< local blob cache for the hash negotiation
@@ -167,41 +171,11 @@ bool parsePatchSpec(const std::string &S, PatchSpec &Out) {
 // --- Service transport helpers (Unix-domain sockets + framing) ----------
 
 int connectUnix(const std::string &Path) {
-  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return -1;
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  if (Path.size() >= sizeof(Addr.sun_path)) {
-    ::close(Fd);
+  try {
+    return svc::connectUnixSocket(Path);
+  } catch (const std::exception &) {
     return -1;
   }
-  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
-    ::close(Fd);
-    return -1;
-  }
-  return Fd;
-}
-
-int listenUnix(const std::string &Path) {
-  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return -1;
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  if (Path.size() >= sizeof(Addr.sun_path)) {
-    ::close(Fd);
-    return -1;
-  }
-  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
-  ::unlink(Path.c_str());
-  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
-      ::listen(Fd, 8) != 0) {
-    ::close(Fd);
-    return -1;
-  }
-  return Fd;
 }
 
 void writeAllFd(int Fd, const std::vector<uint8_t> &Data) {
@@ -514,9 +488,14 @@ int selftest(const CliOptions &Opts, svc::VerifierPool *Pool,
 
 /// --serve: the long-running verification service. Without --socket the
 /// single session runs over stdin/stdout (all diagnostics go to stderr);
-/// with --socket PATH connections are served sequentially until a client
-/// sends Shutdown.
+/// with --socket PATH the event loop (svc/EventLoop.h) multiplexes every
+/// connected client concurrently until one sends Shutdown.
 int runServer(const CliOptions &Opts) {
+  // The stdio transport writes with plain write(); without this a client
+  // that exits mid-reply would kill the server with SIGPIPE instead of
+  // an EPIPE the serve loop can survive. The socket path additionally
+  // sends with MSG_NOSIGNAL (belt and braces for any fd it misses).
+  std::signal(SIGPIPE, SIG_IGN);
   svc::Metrics M;
   svc::Service Server(svc::ServiceOptions{Opts.Jobs, &M});
   int Rc = 0;
@@ -528,35 +507,18 @@ int runServer(const CliOptions &Opts) {
       Rc = 1;
     }
   } else {
-    int Listen = listenUnix(Opts.SocketPath);
-    if (Listen < 0) {
-      std::fprintf(stderr, "error: cannot listen on %s\n",
-                   Opts.SocketPath.c_str());
-      return 2;
+    try {
+      int Listen = svc::listenUnixSocket(Opts.SocketPath,
+                                         Server.options().Backlog);
+      std::fprintf(stderr, "serving on %s (%u workers, tables %s)\n",
+                   Opts.SocketPath.c_str(), Server.pool().threadCount(),
+                   Server.tablesHashHex().c_str());
+      svc::EventLoop Loop(Server, Listen);
+      Loop.run();
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "error: %s\n", E.what());
+      Rc = 2;
     }
-    std::fprintf(stderr, "serving on %s (%u workers, tables %s)\n",
-                 Opts.SocketPath.c_str(), Server.pool().threadCount(),
-                 Server.tablesHashHex().c_str());
-    bool Shutdown = false;
-    while (!Shutdown) {
-      int Conn = ::accept(Listen, nullptr, nullptr);
-      if (Conn < 0) {
-        if (errno == EINTR)
-          continue;
-        std::fprintf(stderr, "accept error on %s\n", Opts.SocketPath.c_str());
-        Rc = 1;
-        break;
-      }
-      try {
-        Shutdown =
-            Server.serveFd(Conn, Conn) == svc::Service::ServeStatus::Shutdown;
-      } catch (const std::exception &E) {
-        // One hostile session must not take the server down.
-        std::fprintf(stderr, "session error: %s\n", E.what());
-      }
-      ::close(Conn);
-    }
-    ::close(Listen);
     ::unlink(Opts.SocketPath.c_str());
   }
   if (Opts.Stats)
@@ -665,6 +627,12 @@ int runClient(const CliOptions &Opts) {
           Rc |= Verdicts[I].Ok ? 0 : 1;
         }
       }
+    }
+    if (Opts.MetricsReq) {
+      sendFrame(Fd, MsgKind::MetricsRequest, {});
+      std::printf("%s", svc::proto::decodeMetricsResponse(
+                            expectFrame(In, MsgKind::MetricsResponse).Body)
+                            .c_str());
     }
     if (Opts.ShutdownServer) {
       sendFrame(Fd, MsgKind::ShutdownRequest, {});
@@ -888,7 +856,53 @@ int serveSmoke() {
     expectFrame(In, MsgKind::AuditResponse);
     std::printf("smoke: malformed-body error path ok\n");
 
-    // 6. clean shutdown.
+    // 6. a second concurrent session — must be answered while the first
+    // session is still open (the sequential accept loop would park it
+    // until this session closed, and this phase would hang).
+    int Fd2 = connectUnix(Sock);
+    if (Fd2 < 0)
+      return Fail("second concurrent connection refused");
+    {
+      FrameReader In2(Fd2);
+      sendFrame(Fd2, MsgKind::VerifyRequest,
+                svc::proto::encodeImageBatch({Images[0]}));
+      std::vector<svc::proto::VerifyVerdict> V2 =
+          svc::proto::decodeVerifyResponse(
+              expectFrame(In2, MsgKind::VerifyResponse).Body);
+      core::CheckResult CR = Local.check(Images[0]);
+      if (V2.size() != 1 || V2[0].Ok != CR.Ok)
+        return Fail("second session's verdict diverged");
+    }
+    ::close(Fd2);
+    std::printf("smoke: concurrent second session ok\n");
+
+    // 7. a client that dies between request and reply — the old server
+    // took a SIGPIPE writing the reply and the whole process died; now
+    // only that session drops and everyone else keeps being served.
+    int Fd3 = connectUnix(Sock);
+    if (Fd3 < 0)
+      return Fail("third connection refused");
+    sendFrame(Fd3, MsgKind::VerifyRequest,
+              svc::proto::encodeImageBatch(Images));
+    ::close(Fd3); // gone before the reply: the server's send sees EPIPE
+    sendFrame(Fd, MsgKind::AuditRequest, {});
+    expectFrame(In, MsgKind::AuditResponse);
+    std::printf("smoke: client-killed-mid-reply survived\n");
+
+    // 8. metrics scrape — the counters this very session bumped must be
+    // visible in the exposition.
+    sendFrame(Fd, MsgKind::MetricsRequest, {});
+    std::string Expo = svc::proto::decodeMetricsResponse(
+        expectFrame(In, MsgKind::MetricsResponse).Body);
+    for (const char *Want :
+         {"svc_verify_requests", "svc_sessions_active", "svc_bytes_in"})
+      if (Expo.find(Want) == std::string::npos)
+        return Fail("metrics exposition is missing an expected metric");
+    if (Expo.find("svc_verify_requests 0\n") != std::string::npos)
+      return Fail("metrics exposition did not count this session's verifies");
+    std::printf("smoke: metrics scrape ok (%zu bytes)\n", Expo.size());
+
+    // 9. clean shutdown.
     sendFrame(Fd, MsgKind::ShutdownRequest, {});
     expectFrame(In, MsgKind::ShutdownResponse);
   } catch (const std::exception &E) {
@@ -923,7 +937,7 @@ int usage(const char *Prog) {
                "[--expect-hash HEX]"
                "\n       %s --serve [--socket PATH] [--jobs N] [--stats]"
                "\n       %s --connect PATH [<image.bin>...] [--lint] "
-               "[--audit] [--shutdown]"
+               "[--audit] [--metrics] [--shutdown]"
                "\n       %s --tables-from PATH [--tables-cache FILE] "
                "[--expect-hash HEX] [<image.bin>...]"
                "\n       %s --serve-smoke\n",
@@ -975,6 +989,8 @@ int main(int argc, char **argv) {
       if (I + 1 >= argc)
         return usage(argv[0]);
       Opts.ConnectPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--metrics") == 0) {
+      Opts.MetricsReq = true;
     } else if (std::strcmp(argv[I], "--shutdown") == 0) {
       Opts.ShutdownServer = true;
     } else if (std::strcmp(argv[I], "--tables-from") == 0) {

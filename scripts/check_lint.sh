@@ -26,6 +26,10 @@ $ROOT/src/svc/Protocol.h
 $ROOT/src/svc/Protocol.cpp
 $ROOT/src/svc/Service.h
 $ROOT/src/svc/Service.cpp
+$ROOT/src/svc/SessionConn.h
+$ROOT/src/svc/SessionConn.cpp
+$ROOT/src/svc/EventLoop.h
+$ROOT/src/svc/EventLoop.cpp
 $ROOT/src/incr/ChunkCache.h
 $ROOT/src/incr/ChunkCache.cpp
 $ROOT/src/incr/ImageStore.h

@@ -1,0 +1,240 @@
+//===- svc/EventLoop.cpp - Event-driven multi-session serve loop ----------===//
+
+#include "svc/EventLoop.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace rocksalt;
+using namespace rocksalt::svc;
+
+namespace {
+
+int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void setNonblocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+} // namespace
+
+EventLoop::EventLoop(Service &Svc, int ListenFd, EventLoopOptions O)
+    : Svc(Svc), Met(Svc.metrics()), Opts(O), ListenFd(ListenFd) {
+  setNonblocking(ListenFd);
+  int P[2];
+  if (::pipe2(P, O_NONBLOCK | O_CLOEXEC) != 0)
+    throw std::runtime_error("event loop: pipe2 failed");
+  WakeRd = P[0];
+  WakeWr = P[1];
+}
+
+EventLoop::~EventLoop() {
+  // In-flight pool tasks reference their SessionConn and the wake pipe;
+  // join them before either goes away.
+  Svc.pool().wait(DispatchG);
+  Conns.clear();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  ::close(WakeRd);
+  ::close(WakeWr);
+}
+
+void EventLoop::requestStop() {
+  StopFlag.store(true, std::memory_order_release);
+  // Self-pipe write is async-signal-safe; EAGAIN (pipe full) still wakes.
+  uint8_t B = 1;
+  (void)!::write(WakeWr, &B, 1);
+}
+
+void EventLoop::beginDrain() {
+  if (Draining)
+    return;
+  Draining = true;
+  DrainDeadlineNs = nowNs() + int64_t(Opts.DrainTimeoutMs) * 1000000;
+  if (ListenFd >= 0) {
+    ::close(ListenFd); // stop accepting; queued SYNs get RST, which is
+    ListenFd = -1;     // the documented drain contract
+  }
+}
+
+void EventLoop::acceptSome() {
+  while (Conns.size() < Opts.MaxSessions) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd >= 0) {
+      int WakeFd = WakeWr;
+      Conns.push_back(std::make_unique<SessionConn>(
+          Svc, Fd, Opts.SessionBudgetBytes, [WakeFd] {
+            uint8_t B = 1;
+            (void)!::write(WakeFd, &B, 1);
+          }));
+      Met.SvcSessionsActive.add();
+      continue;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    Met.SvcAcceptErrors.add();
+    if (errno == ECONNABORTED || errno == EPROTO)
+      continue; // the peer gave up while queued; nothing to serve
+    // Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) and anything
+    // unexpected: keep the server alive. The listen fd stays readable
+    // while the backlog holds connections we cannot accept, so it must
+    // leave the poll set until the backoff expires or poll() spins hot.
+    std::fprintf(stderr, "rsvc: accept: %s; backing off %ums\n",
+                 std::strerror(errno), Opts.AcceptBackoffMs);
+    Met.SvcAcceptBackoffs.add();
+    BackoffUntilNs = nowNs() + int64_t(Opts.AcceptBackoffMs) * 1000000;
+    return;
+  }
+}
+
+EventLoop::Status EventLoop::run() {
+  std::vector<pollfd> Pfds;
+  while (true) {
+    if (StopFlag.load(std::memory_order_acquire))
+      beginDrain();
+
+    // Reap first so Conns.size() reflects live sessions before the
+    // MaxSessions/accept decision below.
+    for (size_t I = 0; I < Conns.size();) {
+      if (Conns[I]->reapable(Draining)) {
+        Met.SvcSessions.add();
+        Met.SvcSessionsActive.sub();
+        Conns.erase(Conns.begin() + long(I));
+      } else {
+        ++I;
+      }
+    }
+
+    if (Draining && Conns.empty())
+      return SawShutdown ? Status::Shutdown : Status::Stopped;
+
+    int64_t Now = nowNs();
+    if (Draining && Now >= DrainDeadlineNs) {
+      // Overdue: finish what is running (the conns are referenced by
+      // their tasks), then cut every straggler regardless of unflushed
+      // responses.
+      Svc.pool().wait(DispatchG);
+      for (size_t I = 0; I < Conns.size(); ++I) {
+        Met.SvcSessions.add();
+        Met.SvcSessionsActive.sub();
+      }
+      Conns.clear();
+      return SawShutdown ? Status::Shutdown : Status::Stopped;
+    }
+
+    Pfds.clear();
+    Pfds.push_back({WakeRd, POLLIN, 0});
+    bool InBackoff = BackoffUntilNs > Now;
+    size_t ListenSlot = size_t(-1);
+    if (!Draining && ListenFd >= 0 && !InBackoff &&
+        Conns.size() < Opts.MaxSessions) {
+      ListenSlot = Pfds.size();
+      Pfds.push_back({ListenFd, POLLIN, 0});
+    }
+    size_t ConnBase = Pfds.size();
+    for (auto &C : Conns)
+      Pfds.push_back({C->fd(), C->events(Draining), 0});
+
+    int TimeoutMs = -1;
+    if (InBackoff)
+      TimeoutMs = int((BackoffUntilNs - Now) / 1000000) + 1;
+    if (Draining) {
+      int DrainMs = int((DrainDeadlineNs - Now) / 1000000) + 1;
+      if (TimeoutMs < 0 || DrainMs < TimeoutMs)
+        TimeoutMs = DrainMs;
+    }
+
+    int N = ::poll(Pfds.data(), nfds_t(Pfds.size()), TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throw std::runtime_error("event loop: poll failed");
+    }
+
+    if (Pfds[0].revents & POLLIN) {
+      uint8_t Buf[256];
+      while (::read(WakeRd, Buf, sizeof(Buf)) > 0)
+        ;
+    }
+
+    if (ListenSlot != size_t(-1) && (Pfds[ListenSlot].revents & POLLIN))
+      acceptSome();
+
+    for (size_t I = 0; I < Conns.size() && ConnBase + I < Pfds.size(); ++I) {
+      short Re = Pfds[ConnBase + I].revents;
+      if (Re & POLLOUT)
+        Conns[I]->onWritable();
+      // POLLHUP surfaces as recv()==0 and POLLERR as a recv error, so
+      // both route through the ordinary read path.
+      if (Re & (POLLIN | POLLHUP | POLLERR))
+        Conns[I]->onReadable();
+    }
+
+    bool ShutdownSeen = false;
+    for (auto &C : Conns) {
+      C->tryDispatch(Svc.pool(), DispatchG, !Draining);
+      ShutdownSeen |= C->shutdownSeen();
+    }
+    if (ShutdownSeen && !Draining) {
+      SawShutdown = true;
+      beginDrain();
+    }
+  }
+}
+
+int svc::listenUnixSocket(const std::string &Path, int Backlog) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    throw std::runtime_error("socket path too long: " + Path);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    throw std::runtime_error("cannot create socket");
+  ::unlink(Path.c_str()); // replace a stale socket from a dead server
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    throw std::runtime_error("cannot bind " + Path);
+  }
+  if (::listen(Fd, Backlog > 0 ? Backlog : SOMAXCONN) != 0) {
+    ::close(Fd);
+    throw std::runtime_error("cannot listen on " + Path);
+  }
+  return Fd;
+}
+
+int svc::connectUnixSocket(const std::string &Path) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    throw std::runtime_error("socket path too long: " + Path);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    throw std::runtime_error("cannot create socket");
+  while (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+         0) {
+    if (errno == EINTR)
+      continue;
+    ::close(Fd);
+    throw std::runtime_error("cannot connect to " + Path);
+  }
+  return Fd;
+}

@@ -1,0 +1,112 @@
+//===- svc/EventLoop.h - Event-driven multi-session serve loop -*- C++ -*-===//
+///
+/// \file
+/// The concurrent serve loop: one thread poll(2)s the listen fd plus
+/// every live session fd and multiplexes the sessions onto the
+/// service's VerifierPool. `Service::serveFd` handles exactly one
+/// connection at a time — a slow client parks the whole server — so
+/// this layer lifts each connection into a svc/SessionConn.h object and
+/// keeps them all in flight:
+///
+///  * accept: nonblocking accept4 with errno triage. EINTR retries,
+///    ECONNABORTED/EPROTO skip the half-dead connection (counted in
+///    svc_accept_errors), and resource exhaustion (EMFILE/ENFILE/
+///    ENOBUFS/ENOMEM) logs once, stops polling the listen fd for
+///    AcceptBackoffMs, and resumes — the old loop treated every one of
+///    these as fatal and stopped serving;
+///  * dispatch: each session's parsed frame becomes a pool task running
+///    `Service::handleFrame`; per-session frames stay serial (image
+///    handles need no locks, responses stay ordered), cross-session
+///    frames run concurrently;
+///  * backpressure: a session whose queued responses exceed
+///    SessionBudgetBytes is neither read nor dispatched until its
+///    client drains (svc_backpressure_pauses), so one stalled reader
+///    bounds its own memory instead of the server's;
+///  * drain: a ShutdownRequest closes the listen fd, lets in-flight
+///    frames finish and write queues flush, then reaps every session —
+///    bounded by DrainTimeoutMs, after which stragglers are cut.
+///
+/// The loop wakes on fd readiness and on a self-pipe kicked by
+/// completing pool tasks, so responses computed on worker threads are
+/// flushed without polling timeouts doing the work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SVC_EVENTLOOP_H
+#define ROCKSALT_SVC_EVENTLOOP_H
+
+#include "svc/SessionConn.h"
+
+#include <memory>
+#include <string>
+
+namespace rocksalt {
+namespace svc {
+
+struct EventLoopOptions {
+  /// Per-session outbound byte budget; reads pause above it.
+  size_t SessionBudgetBytes = 1 << 20;
+  /// Accepted connections beyond this park in the listen backlog.
+  unsigned MaxSessions = 1024;
+  /// How long the listen fd sits out of the poll set after EMFILE-class
+  /// accept failures.
+  unsigned AcceptBackoffMs = 50;
+  /// Upper bound on the graceful drain after a ShutdownRequest; overdue
+  /// sessions are force-closed.
+  unsigned DrainTimeoutMs = 5000;
+};
+
+class EventLoop {
+public:
+  /// Takes ownership of \p ListenFd (a bound, listening socket; made
+  /// nonblocking here). Sessions dispatch onto \p Svc's pool.
+  EventLoop(Service &Svc, int ListenFd, EventLoopOptions O = {});
+  ~EventLoop();
+
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+  /// Why run() returned.
+  enum class Status {
+    Shutdown, ///< a session sent ShutdownRequest; drain completed
+    Stopped,  ///< requestStop() was called; drain completed
+  };
+
+  /// Serves until a ShutdownRequest or requestStop(), then drains.
+  Status run();
+
+  /// Async-signal- and cross-thread-safe stop request: the loop wakes,
+  /// stops accepting, drains, and run() returns Status::Stopped.
+  void requestStop();
+
+private:
+  void acceptSome();
+  void beginDrain();
+
+  Service &Svc;
+  Metrics &Met;
+  EventLoopOptions Opts;
+  int ListenFd;
+  int WakeRd = -1, WakeWr = -1; ///< self-pipe: pool tasks kick the loop
+  std::vector<std::unique_ptr<SessionConn>> Conns;
+  VerifierPool::TaskGroup DispatchG; ///< joined before destruction
+  bool Draining = false;
+  bool SawShutdown = false;
+  int64_t DrainDeadlineNs = 0;
+  int64_t BackoffUntilNs = 0; ///< listen fd excluded from poll until then
+  std::atomic<bool> StopFlag{false};
+};
+
+/// Binds and listens on a unix-domain socket at \p Path (unlinking any
+/// stale socket first). \p Backlog 0 means SOMAXCONN. Returns the fd;
+/// throws std::runtime_error on failure.
+int listenUnixSocket(const std::string &Path, int Backlog = 0);
+
+/// Connects to the unix-domain socket at \p Path. Returns the fd;
+/// throws std::runtime_error on failure.
+int connectUnixSocket(const std::string &Path);
+
+} // namespace svc
+} // namespace rocksalt
+
+#endif // ROCKSALT_SVC_EVENTLOOP_H

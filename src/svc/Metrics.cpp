@@ -105,7 +105,7 @@ void dumpHistogram(std::string &Out, const char *Name, const Histogram &H) {
 
 } // namespace
 
-std::string Metrics::dump() const {
+std::string Metrics::exposition() const {
   std::string Out;
   Out.reserve(2048);
   dumpScalar(Out, "images_submitted", ImagesSubmitted.get());
@@ -134,6 +134,17 @@ std::string Metrics::dump() const {
   dumpScalar(Out, "svc_tables_hash_hits", SvcTablesHashHits.get());
   dumpScalar(Out, "svc_errors", SvcErrors.get());
   dumpScalar(Out, "svc_sessions", SvcSessions.get());
+  dumpScalar(Out, "svc_metrics_requests", SvcMetricsRequests.get());
+  dumpScalar(Out, "svc_sessions_active",
+             static_cast<uint64_t>(SvcSessionsActive.get() < 0
+                                       ? 0
+                                       : SvcSessionsActive.get()));
+  dumpScalar(Out, "svc_bytes_in", SvcBytesIn.get());
+  dumpScalar(Out, "svc_bytes_out", SvcBytesOut.get());
+  dumpScalar(Out, "svc_accept_errors", SvcAcceptErrors.get());
+  dumpScalar(Out, "svc_accept_backoffs", SvcAcceptBackoffs.get());
+  dumpScalar(Out, "svc_backpressure_pauses", SvcBackpressurePauses.get());
+  dumpScalar(Out, "svc_peer_drops", SvcPeerDrops.get());
   dumpScalar(Out, "incr_chunk_hits", IncrChunkHits.get());
   dumpScalar(Out, "incr_chunk_misses", IncrChunkMisses.get());
   dumpScalar(Out, "incr_chunk_evictions", IncrChunkEvictions.get());
@@ -179,6 +190,14 @@ void Metrics::reset() {
   SvcTablesHashHits.reset();
   SvcErrors.reset();
   SvcSessions.reset();
+  SvcMetricsRequests.reset();
+  SvcSessionsActive.reset();
+  SvcBytesIn.reset();
+  SvcBytesOut.reset();
+  SvcAcceptErrors.reset();
+  SvcAcceptBackoffs.reset();
+  SvcBackpressurePauses.reset();
+  SvcPeerDrops.reset();
   IncrChunkHits.reset();
   IncrChunkMisses.reset();
   IncrChunkEvictions.reset();

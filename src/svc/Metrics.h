@@ -127,6 +127,16 @@ struct Metrics {
   Counter SvcTablesHashHits; ///< tables requests short-circuited by hash
   Counter SvcErrors;         ///< malformed bodies answered with an error
   Counter SvcSessions;       ///< serve-loop sessions completed
+  Counter SvcMetricsRequests; ///< metrics scrape frames handled
+
+  // Event-driven multi-session serving (src/svc/EventLoop).
+  Gauge SvcSessionsActive;       ///< sessions currently multiplexed
+  Counter SvcBytesIn;            ///< request bytes read off session fds
+  Counter SvcBytesOut;           ///< response bytes written to session fds
+  Counter SvcAcceptErrors;       ///< accept() failures (all non-EINTR errnos)
+  Counter SvcAcceptBackoffs;     ///< EMFILE/ENFILE backoff periods entered
+  Counter SvcBackpressurePauses; ///< sessions whose reads paused on budget
+  Counter SvcPeerDrops;          ///< sessions dropped on EPIPE/ECONNRESET
 
   // Incremental re-verification (src/incr + the service's patch path).
   Counter IncrChunkHits;      ///< chunk-cache lookups satisfied
@@ -143,8 +153,14 @@ struct Metrics {
   Histogram SvcRequestNanos;      ///< wall time per service request frame
   Histogram SvcPatchNanos;        ///< wall time per patch re-verification
 
-  /// Plain-text exposition of every metric.
-  std::string dump() const;
+  /// Plain-text exposition of every metric: one `name value` line per
+  /// scalar, Prometheus-style cumulative `name_bucket{le="..."}` lines
+  /// per histogram — the scrape format served by the MetricsRequest
+  /// frame kind and `validator_cli --connect --metrics`.
+  std::string exposition() const;
+
+  /// Back-compat alias for exposition() (--stats, benches, tests).
+  std::string dump() const { return exposition(); }
 
   /// Zeroes everything (tests and benches between phases).
   void reset();

@@ -22,6 +22,7 @@ bool knownKind(uint8_t K) {
   case MsgKind::ImageOpenRequest:
   case MsgKind::PatchRequest:
   case MsgKind::ImageCloseRequest:
+  case MsgKind::MetricsRequest:
   case MsgKind::VerifyResponse:
   case MsgKind::LintResponse:
   case MsgKind::AuditResponse:
@@ -30,6 +31,7 @@ bool knownKind(uint8_t K) {
   case MsgKind::ImageOpenResponse:
   case MsgKind::PatchResponse:
   case MsgKind::ImageCloseResponse:
+  case MsgKind::MetricsResponse:
   case MsgKind::ErrorResponse:
     return true;
   }
@@ -125,6 +127,8 @@ const char *proto::msgKindName(MsgKind K) {
     return "PatchRequest";
   case MsgKind::ImageCloseRequest:
     return "ImageCloseRequest";
+  case MsgKind::MetricsRequest:
+    return "MetricsRequest";
   case MsgKind::VerifyResponse:
     return "VerifyResponse";
   case MsgKind::LintResponse:
@@ -141,6 +145,8 @@ const char *proto::msgKindName(MsgKind K) {
     return "PatchResponse";
   case MsgKind::ImageCloseResponse:
     return "ImageCloseResponse";
+  case MsgKind::MetricsResponse:
+    return "MetricsResponse";
   case MsgKind::ErrorResponse:
     return "ErrorResponse";
   }
@@ -454,6 +460,21 @@ uint32_t proto::decodeImageCloseRequest(const std::vector<uint8_t> &Body) {
   uint32_t Image = decodeImageHandle(R);
   R.done();
   return Image;
+}
+
+std::vector<uint8_t>
+proto::encodeMetricsResponse(const std::string &Exposition) {
+  std::vector<uint8_t> Out;
+  putU32(Out, uint32_t(Exposition.size()));
+  putBytes(Out, Exposition.data(), Exposition.size());
+  return Out;
+}
+
+std::string proto::decodeMetricsResponse(const std::vector<uint8_t> &Body) {
+  Reader R(Body);
+  std::string Text = R.str(R.u32());
+  R.done();
+  return Text;
 }
 
 std::vector<uint8_t> proto::encodeErrorResponse(const std::string &Message) {

@@ -29,6 +29,7 @@
 ///                 (overwrite-in-place; zero-length and u32-overflowing
 ///                 ranges are rejected at the decoder)
 ///   ImageClose  — u32 image handle
+///   Metrics     — empty (scrape the server's live counters)
 ///
 /// Response bodies:
 ///   Verify     — u32 count; per image u8 ok + u8 reject reason
@@ -44,6 +45,8 @@
 ///                u32 chunk-cache hits (the re-verified verdict after
 ///                the patch, bit-identical to a full re-check)
 ///   ImageClose — empty
+///   Metrics    — u32 text length + the one-metric-per-line exposition
+///                (svc/Metrics.h, Metrics::exposition())
 ///   Error      — u32 message length + text
 ///
 /// Every decoder is strict: truncation, trailing bytes, out-of-range
@@ -88,6 +91,7 @@ enum class MsgKind : uint8_t {
   ImageOpenRequest = 6,
   PatchRequest = 7,
   ImageCloseRequest = 8,
+  MetricsRequest = 9,
   // Responses (request kind | 0x40).
   VerifyResponse = 65,
   LintResponse = 66,
@@ -97,6 +101,7 @@ enum class MsgKind : uint8_t {
   ImageOpenResponse = 70,
   PatchResponse = 71,
   ImageCloseResponse = 72,
+  MetricsResponse = 73,
   ErrorResponse = 127,
 };
 
@@ -226,6 +231,11 @@ PatchReply decodePatchResponse(const std::vector<uint8_t> &Body);
 
 std::vector<uint8_t> encodeImageCloseRequest(uint32_t Image);
 uint32_t decodeImageCloseRequest(const std::vector<uint8_t> &Body);
+
+/// Metrics scrape: the response body is the plain-text exposition, one
+/// metric per line (the request body is empty).
+std::vector<uint8_t> encodeMetricsResponse(const std::string &Exposition);
+std::string decodeMetricsResponse(const std::vector<uint8_t> &Body);
 
 } // namespace proto
 } // namespace svc

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace rocksalt;
@@ -22,12 +23,25 @@ uint64_t nowNanos() {
 }
 
 void writeAll(int Fd, const std::vector<uint8_t> &Data) {
+  // send(MSG_NOSIGNAL) so a client that closed its socket mid-reply
+  // yields EPIPE here instead of a process-killing SIGPIPE. Non-socket
+  // fds (the stdio transport) report ENOTSOCK and fall back to write();
+  // that path relies on the caller ignoring SIGPIPE (runServer does).
+  bool Socket = true;
   size_t Off = 0;
   while (Off < Data.size()) {
-    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    ssize_t N =
+        Socket ? ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL)
+               : ::write(Fd, Data.data() + Off, Data.size() - Off);
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (Socket && errno == ENOTSOCK) {
+        Socket = false;
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET)
+        throw proto::ProtocolError("peer closed the stream mid-reply");
       throw proto::ProtocolError("write error on session stream");
     }
     Off += size_t(N);
@@ -37,7 +51,7 @@ void writeAll(int Fd, const std::vector<uint8_t> &Data) {
 } // namespace
 
 Service::Service(ServiceOptions O)
-    : OwnedMet(O.Met ? nullptr : std::make_unique<Metrics>()),
+    : Opts(O), OwnedMet(O.Met ? nullptr : std::make_unique<Metrics>()),
       Met(O.Met ? O.Met : OwnedMet.get()),
       Pool(VerifierPool::Options{O.Threads}, Met),
       Tables(core::policyTables()),
@@ -48,14 +62,31 @@ Service::~Service() = default;
 
 std::vector<proto::VerifyVerdict>
 Service::verify(std::vector<std::vector<uint8_t>> Images) {
-  std::vector<std::future<core::CheckResult>> Futures =
-      Pool.submitOwned(std::move(Images));
-  std::vector<proto::VerifyVerdict> Verdicts;
-  Verdicts.reserve(Futures.size());
-  for (std::future<core::CheckResult> &F : Futures) {
-    core::CheckResult R = F.get();
-    Verdicts.push_back({R.Ok, R.Reason});
+  // TaskGroup + wait() instead of futures: wait() *helps* (the waiter
+  // drains queued tasks), so a pool worker that is itself executing a
+  // session's handleFrame — the event loop dispatches whole frames onto
+  // the pool — makes progress on its own fan-out instead of blocking a
+  // worker slot. With future::get() here, N sessions' verify frames on
+  // an N-thread pool would deadlock: every worker parked on a future
+  // whose task sits behind it in a queue. The images live on this
+  // frame's stack until wait() returns, so borrowing is safe.
+  Met->BatchImages.record(Images.size());
+  std::vector<core::CheckResult> Results(Images.size());
+  VerifierPool::TaskGroup G;
+  for (size_t I = 0; I < Images.size(); ++I) {
+    Met->ImagesSubmitted.add();
+    Pool.run(G, [this, &Images, &Results, I] {
+      uint64_t T0 = nowNanos();
+      core::RockSalt V(Tables);
+      Results[I] = V.check(Images[I].data(), uint32_t(Images[I].size()));
+      recordOutcome(*Met, Results[I], Images[I].size(), nowNanos() - T0);
+    });
   }
+  Pool.wait(G);
+  std::vector<proto::VerifyVerdict> Verdicts;
+  Verdicts.reserve(Results.size());
+  for (const core::CheckResult &R : Results)
+    Verdicts.push_back({R.Ok, R.Reason});
   return Verdicts;
 }
 
@@ -175,6 +206,14 @@ std::vector<uint8_t> Service::handleFrame(const proto::Frame &F, Session *Sess,
       proto::TablesReply R = tables(proto::decodeTablesRequest(F.Body));
       proto::appendFrame(Out, MsgKind::TablesResponse,
                          proto::encodeTablesResponse(R));
+      break;
+    }
+    case MsgKind::MetricsRequest: {
+      Met->SvcMetricsRequests.add();
+      if (!F.Body.empty())
+        throw proto::ProtocolError("metrics request body must be empty");
+      proto::appendFrame(Out, MsgKind::MetricsResponse,
+                         proto::encodeMetricsResponse(metricsText()));
       break;
     }
     case MsgKind::ShutdownRequest: {

@@ -30,12 +30,18 @@
 ///    its own incremental verifier, so a handle can never leak into
 ///    another client's session, and the stateful kinds are rejected
 ///    with an ErrorResponse when no session state exists (the 2-arg
-///    handleFrame overload used by stateless harnesses).
+///    handleFrame overload used by stateless harnesses);
+///  * metrics — the live counter/histogram exposition
+///    (Metrics::exposition()), one metric per line, for scrapers and
+///    `validator_cli --connect --metrics`.
 ///
 /// The in-process API (verify/lint/audit/tables/imageOpen/patch/
-/// imageClose) is the source of truth; handleFrame and the serveFd loop
-/// are a thin codec shell over it, so transports (socket, pipe, test
-/// harness) share one behavior.
+/// imageClose/metricsText) is the source of truth; handleFrame and the
+/// serveFd loop are a thin codec shell over it, so transports (socket,
+/// pipe, test harness) share one behavior. handleFrame is safe to call
+/// concurrently for *different* sessions (the event-driven serve layer,
+/// svc/EventLoop.h, dispatches many sessions onto the pool at once);
+/// frames of one session must stay serialized by the caller.
 /// Malformed request *bodies* are answered with an ErrorResponse frame
 /// and the session continues; malformed *framing* (bad magic, hostile
 /// length) aborts the session — the stream can no longer be trusted.
@@ -63,6 +69,10 @@ namespace svc {
 struct ServiceOptions {
   unsigned Threads = 0;   ///< pool size; 0 → hardware_concurrency()
   Metrics *Met = nullptr; ///< external sink; null → service-owned instance
+  /// listen(2) backlog for socket transports; 0 → SOMAXCONN. The old
+  /// hardcoded backlog of 8 refused connections the moment a handful of
+  /// clients arrived together.
+  int Backlog = 0;
 };
 
 class Service {
@@ -92,6 +102,9 @@ public:
   /// Content-addressed table distribution: when \p ExpectHashHex equals
   /// the live tables' hash the reply is hash-only (no blob).
   proto::TablesReply tables(const std::string &ExpectHashHex);
+
+  /// The scrapeable metrics exposition (one metric per line).
+  std::string metricsText() const { return Met->exposition(); }
 
   /// Per-session state for the stateful image-handle requests. One per
   /// serveFd session (stack-allocated there); harnesses exercising the
@@ -151,6 +164,7 @@ public:
 
   Metrics &metrics() { return *Met; }
   VerifierPool &pool() { return Pool; }
+  const ServiceOptions &options() const { return Opts; }
   const core::PolicyTables &policyTables() const { return Tables; }
   /// The serialized live tables (built once at construction).
   const std::vector<uint8_t> &tablesBlob() const { return Blob; }
@@ -158,6 +172,7 @@ public:
   const std::string &tablesHashHex() const { return BlobHashHex; }
 
 private:
+  ServiceOptions Opts;
   std::unique_ptr<Metrics> OwnedMet; ///< when no external sink was given
   Metrics *Met;
   VerifierPool Pool;

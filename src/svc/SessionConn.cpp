@@ -1,0 +1,193 @@
+//===- svc/SessionConn.cpp - One multiplexed RSVC session -----------------===//
+
+#include "svc/SessionConn.h"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace rocksalt;
+using namespace rocksalt::svc;
+
+SessionConn::SessionConn(Service &Svc, int Fd, size_t BudgetBytes,
+                         std::function<void()> Wake)
+    : Svc(Svc), Met(Svc.metrics()), Fd(Fd), Budget(BudgetBytes),
+      Wake(std::move(Wake)), Sess(Svc) {}
+
+SessionConn::~SessionConn() { ::close(Fd); }
+
+void SessionConn::markDead(bool PeerDrop) {
+  if (Dead)
+    return;
+  Dead = true;
+  if (PeerDrop)
+    Met.SvcPeerDrops.add();
+}
+
+short SessionConn::events(bool Draining) {
+  bool HaveOut;
+  size_t Queued;
+  {
+    std::lock_guard<std::mutex> L(M);
+    HaveOut = !OutQ.empty();
+    Queued = OutBytes;
+  }
+  short E = 0;
+  if (Dead)
+    return E;
+  if (HaveOut)
+    E |= POLLOUT;
+  if (Draining || ReadEof)
+    return E;
+  // Backpressure: a session whose queued responses exceed the budget
+  // stops being read (and, via tryDispatch, stops being served) until
+  // the client drains its end. One pause event is counted per edge.
+  if (Queued > Budget || HasPending) {
+    if (Queued > Budget && !Paused) {
+      Paused = true;
+      Met.SvcBackpressurePauses.add();
+    }
+    return E;
+  }
+  Paused = false;
+  return E | POLLIN;
+}
+
+void SessionConn::onReadable() {
+  if (Dead || ReadEof)
+    return;
+  uint8_t Buf[64 * 1024];
+  ssize_t N;
+  do {
+    N = ::recv(Fd, Buf, sizeof(Buf), 0);
+  } while (N < 0 && errno == EINTR);
+  if (N < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    markDead(errno == ECONNRESET);
+    return;
+  }
+  if (N == 0) {
+    ReadEof = true;
+    return;
+  }
+  Met.SvcBytesIn.add(uint64_t(N));
+  In.insert(In.end(), Buf, Buf + N);
+}
+
+void SessionConn::parsePending() {
+  if (HasPending || Dead)
+    return;
+  size_t Pos = 0;
+  try {
+    HasPending = proto::parseFrame(In.data(), In.size(), &Pos, &Pending);
+  } catch (const proto::ProtocolError &) {
+    // Malformed framing: the stream can no longer be trusted — same
+    // policy as serveFd, except only this session dies, not the loop.
+    markDead(false);
+    return;
+  }
+  if (HasPending)
+    In.erase(In.begin(), In.begin() + long(Pos));
+  else if (ReadEof && !In.empty())
+    markDead(false); // EOF inside a frame: the peer walked away mid-send
+}
+
+void SessionConn::tryDispatch(VerifierPool &Pool, VerifierPool::TaskGroup &G,
+                              bool Allow) {
+  parsePending();
+  if (Dead || !HasPending || !Allow)
+    return;
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (InFlightFlag)
+      return;
+    if (OutBytes > Budget)
+      return; // backpressure also gates dispatch, not just reads
+    InFlightFlag = true;
+  }
+  HasPending = false;
+  // The task's last touch of `this` happens under M with InFlightFlag
+  // still observable; the wake runs on a by-value copy so the loop may
+  // reap the connection the moment it sees the flag drop.
+  Pool.run(G, [this, F = std::move(Pending),
+               WakeCopy = Wake]() mutable {
+    std::vector<uint8_t> Resp;
+    bool Shutdown = false;
+    bool Failed = false;
+    try {
+      Resp = Svc.handleFrame(F, &Sess, &Shutdown);
+    } catch (...) {
+      Failed = true; // handleFrame's own catches answer protocol errors;
+                     // anything past them (OOM) forfeits the session
+    }
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Failed) {
+        TaskFailed = true;
+      } else {
+        OutBytes += Resp.size();
+        OutQ.push_back(std::move(Resp));
+        ShutdownFlag |= Shutdown;
+      }
+      InFlightFlag = false;
+    }
+    WakeCopy();
+  });
+  Pending = proto::Frame{};
+}
+
+void SessionConn::onWritable() {
+  if (Dead)
+    return;
+  std::unique_lock<std::mutex> L(M);
+  while (!OutQ.empty()) {
+    const std::vector<uint8_t> &Front = OutQ.front();
+    ssize_t N = ::send(Fd, Front.data() + OutHead, Front.size() - OutHead,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return;
+      L.unlock();
+      // EPIPE here is the client that died between request and reply —
+      // the bug that used to SIGPIPE the whole server.
+      markDead(errno == EPIPE || errno == ECONNRESET);
+      return;
+    }
+    Met.SvcBytesOut.add(uint64_t(N));
+    OutHead += size_t(N);
+    OutBytes -= size_t(N);
+    if (OutHead == Front.size()) {
+      OutQ.pop_front();
+      OutHead = 0;
+    }
+  }
+}
+
+bool SessionConn::shutdownSeen() {
+  std::lock_guard<std::mutex> L(M);
+  return ShutdownFlag;
+}
+
+bool SessionConn::inFlight() {
+  std::lock_guard<std::mutex> L(M);
+  return InFlightFlag;
+}
+
+bool SessionConn::reapable(bool Draining) {
+  std::lock_guard<std::mutex> L(M);
+  if (InFlightFlag)
+    return false; // the pool task still references this object
+  if (TaskFailed)
+    Dead = true;
+  if (Dead)
+    return true;
+  if (!OutQ.empty())
+    return false;
+  if (Draining)
+    return true; // flushed and idle: drain does not wait for peer EOF
+  return ReadEof && !HasPending && In.empty();
+}

@@ -1,0 +1,128 @@
+//===- svc/SessionConn.h - One multiplexed RSVC session --------*- C++ -*-===//
+///
+/// \file
+/// The per-connection half of the event-driven serve layer
+/// (svc/EventLoop.h): everything `Service::serveFd` kept on its stack —
+/// the inbound parse buffer, the image-handle `Service::Session`, and
+/// the response stream — lifted into an object so one thread can
+/// multiplex many of them. Each connection owns:
+///
+///  * an inbound buffer + at most one parsed-but-undispatched frame
+///    (inbound memory is bounded by one frame plus a read chunk);
+///  * a `Service::Session` (image handles stay session-scoped exactly
+///    as in the sequential loop);
+///  * an outbound write queue drained on POLLOUT, with a byte budget:
+///    when queued responses exceed the budget the session's reads pause
+///    (backpressure) until the client drains its side.
+///
+/// Frames dispatch onto the service's VerifierPool one-at-a-time per
+/// session: the loop thread parses and enqueues a pool task, the task
+/// runs `Service::handleFrame` and appends the encoded response to the
+/// write queue, and only then may the next frame of the same session
+/// dispatch. Sessions are serialized with themselves (the image-handle
+/// state needs no locks) and concurrent with each other.
+///
+/// Threading: the loop thread owns the fd, the inbound buffer, and the
+/// pending frame. The write queue, the in-flight flag, and the shutdown
+/// flag are shared with the completing pool task under `M`. All sends
+/// use MSG_NOSIGNAL, so a client that vanishes mid-reply yields EPIPE
+/// (the session dies, counted in svc_peer_drops) instead of SIGPIPE
+/// (the process dies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_SVC_SESSIONCONN_H
+#define ROCKSALT_SVC_SESSIONCONN_H
+
+#include "svc/Service.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace rocksalt {
+namespace svc {
+
+class SessionConn {
+public:
+  /// Takes ownership of \p Fd (nonblocking). \p Wake is invoked (from a
+  /// pool thread) after a dispatched frame's response is queued, so the
+  /// event loop re-polls; it must outlive the loop, not the connection —
+  /// the completing task calls a by-value copy.
+  SessionConn(Service &Svc, int Fd, size_t BudgetBytes,
+              std::function<void()> Wake);
+  ~SessionConn(); ///< closes the fd
+
+  SessionConn(const SessionConn &) = delete;
+  SessionConn &operator=(const SessionConn &) = delete;
+
+  int fd() const { return Fd; }
+
+  /// poll(2) events this session currently wants. Draining sessions
+  /// only flush (no reads, no new dispatches).
+  short events(bool Draining);
+
+  /// Drains the socket into the inbound buffer (single bounded read per
+  /// wakeup; level-triggered poll re-signals leftover bytes).
+  void onReadable();
+
+  /// Flushes the outbound queue until EAGAIN or empty.
+  void onWritable();
+
+  /// Dispatches the pending frame onto \p Pool if the session has no
+  /// frame in flight and its write queue is under budget. \p Allow
+  /// false (draining) parks pending frames forever.
+  void tryDispatch(VerifierPool &Pool, VerifierPool::TaskGroup &G,
+                   bool Allow);
+
+  /// True once a handled frame was a ShutdownRequest.
+  bool shutdownSeen();
+
+  /// True while a dispatched frame has not yet completed; the loop must
+  /// not destroy an in-flight connection.
+  bool inFlight();
+
+  /// True when the session is over and the object can be destroyed.
+  /// Normal completion needs peer EOF + empty queues; under \p Draining
+  /// a flushed, idle session is reaped without waiting for the peer.
+  bool reapable(bool Draining);
+
+  /// True when the session ended abnormally (protocol garbage, peer
+  /// reset, EPIPE mid-reply).
+  bool dead() const { return Dead; }
+
+private:
+  void markDead(bool PeerDrop);
+  void parsePending(); ///< In → Pending (at most one frame buffered)
+
+  Service &Svc;
+  Metrics &Met;
+  int Fd;
+  size_t Budget;
+  std::function<void()> Wake;
+
+  // Loop-thread-only state.
+  Service::Session Sess;  ///< image handles live and die with this conn
+  std::vector<uint8_t> In;
+  proto::Frame Pending;
+  bool HasPending = false;
+  bool ReadEof = false;
+  bool Dead = false;
+  bool Paused = false; ///< reads currently paused on the byte budget
+
+  // Shared with the completing pool task.
+  std::mutex M;
+  std::deque<std::vector<uint8_t>> OutQ;
+  size_t OutHead = 0;  ///< bytes of OutQ.front() already written
+  size_t OutBytes = 0; ///< total queued outbound bytes (backpressure)
+  bool InFlightFlag = false;
+  bool ShutdownFlag = false;
+  bool TaskFailed = false; ///< handleFrame threw past its own catches
+};
+
+} // namespace svc
+} // namespace rocksalt
+
+#endif // ROCKSALT_SVC_SESSIONCONN_H

@@ -1,0 +1,436 @@
+//===- tests/svc_eventloop_test.cpp ----------------------------*- C++ -*-===//
+//
+// The event-driven multi-session serve loop (svc/EventLoop.h): two
+// interleaved socket sessions with pipelined frames, image handles that
+// must not leak across sessions, a stalled reader that must not block
+// anyone else, backpressure pauses on the per-session byte budget, a
+// client killed between request and reply (the SIGPIPE regression), an
+// EMFILE-starved accept loop that must recover after backoff, graceful
+// drain on shutdown, and the metrics scrape. Each test runs a real
+// EventLoop on a real Unix socket in a background thread — this is the
+// concurrency gate, and it is wired into the TSan tree like every other
+// test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "nacl/Mutator.h"
+#include "nacl/WorkloadGen.h"
+#include "svc/EventLoop.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace rocksalt;
+using svc::proto::Frame;
+using svc::proto::MsgKind;
+
+namespace {
+
+std::vector<uint8_t> compliantImage(uint32_t Seed, uint32_t Bytes = 384) {
+  nacl::WorkloadOptions WO;
+  WO.TargetBytes = Bytes;
+  WO.Seed = Seed;
+  return nacl::generateWorkload(WO);
+}
+
+void sendFrame(int Fd, MsgKind Kind, const std::vector<uint8_t> &Body) {
+  std::vector<uint8_t> Out;
+  svc::proto::appendFrame(Out, Kind, Body);
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    ASSERT_GE(N, 0) << "send failed";
+    Off += size_t(N);
+  }
+}
+
+/// Blocking client-side frame reassembly (test half of the wire).
+class FrameReader {
+public:
+  explicit FrameReader(int Fd) : Fd(Fd) {}
+
+  Frame next() {
+    Frame F;
+    while (!svc::proto::parseFrame(Buf.data(), Buf.size(), &Pos, &F)) {
+      if (Pos) {
+        Buf.erase(Buf.begin(), Buf.begin() + long(Pos));
+        Pos = 0;
+      }
+      uint8_t Tmp[64 * 1024];
+      ssize_t N = ::read(Fd, Tmp, sizeof(Tmp));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        throw std::runtime_error("server closed the connection");
+      Buf.insert(Buf.end(), Tmp, Tmp + N);
+    }
+    return F;
+  }
+
+private:
+  int Fd;
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0;
+};
+
+/// A Service + EventLoop on a private socket, run()ing in a background
+/// thread until the fixture tears down (via ShutdownRequest or
+/// requestStop()).
+class LoopFixture {
+public:
+  explicit LoopFixture(svc::EventLoopOptions LO = {}, unsigned Threads = 2)
+      : Server(svc::ServiceOptions{Threads, &Met}) {
+    char Dir[] = "/tmp/rocksalt_evl_XXXXXX";
+    EXPECT_NE(::mkdtemp(Dir), nullptr);
+    SockPath = std::string(Dir) + "/svc.sock";
+    DirPath = Dir;
+    Loop = std::make_unique<svc::EventLoop>(
+        Server, svc::listenUnixSocket(SockPath), LO);
+    Runner = std::thread([this] { Result = Loop->run(); });
+  }
+
+  ~LoopFixture() {
+    if (Runner.joinable()) {
+      Loop->requestStop();
+      Runner.join();
+    }
+    Loop.reset();
+    ::unlink(SockPath.c_str());
+    ::rmdir(DirPath.c_str());
+  }
+
+  int connect() {
+    try {
+      return svc::connectUnixSocket(SockPath);
+    } catch (const std::exception &) {
+      return -1; // e.g. the listener is gone after a drain
+    }
+  }
+  void join() { Runner.join(); }
+
+  svc::Metrics Met;
+  svc::Service Server;
+  std::unique_ptr<svc::EventLoop> Loop;
+  std::thread Runner;
+  svc::EventLoop::Status Result = svc::EventLoop::Status::Stopped;
+  std::string SockPath, DirPath;
+};
+
+/// Spins until \p Pred holds or ~5s elapse (counters are bumped on the
+/// loop/pool threads, so tests observing them must wait, not assert).
+template <typename P> bool eventually(P Pred) {
+  for (int I = 0; I < 500; ++I) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Pred();
+}
+
+} // namespace
+
+// Two sessions, each pipelining several verify requests before reading
+// anything back: responses must come back in order per session, with
+// verdicts identical to the one-shot checker, while the sessions overlap
+// in time.
+TEST(EventLoopTest, InterleavedPipelinedSessions) {
+  LoopFixture L;
+  int A = L.connect(), B = L.connect();
+  ASSERT_GE(A, 0);
+  ASSERT_GE(B, 0);
+
+  Rng R(11);
+  std::vector<std::vector<uint8_t>> ImgsA, ImgsB;
+  for (uint32_t I = 0; I < 4; ++I) {
+    ImgsA.push_back(compliantImage(500 + I));
+    std::vector<uint8_t> Bad = compliantImage(600 + I);
+    if (auto Mut = nacl::applyAttack(Bad, nacl::Attack::InsertRet, R))
+      Bad = *Mut;
+    ImgsB.push_back(std::move(Bad));
+  }
+  // Interleave the sends: A, B, A, B, ... with no reads in between.
+  for (uint32_t I = 0; I < 4; ++I) {
+    sendFrame(A, MsgKind::VerifyRequest,
+              svc::proto::encodeImageBatch({ImgsA[I]}));
+    sendFrame(B, MsgKind::VerifyRequest,
+              svc::proto::encodeImageBatch({ImgsB[I]}));
+  }
+
+  core::RockSalt Local;
+  FrameReader RdA(A), RdB(B);
+  for (uint32_t I = 0; I < 4; ++I) {
+    Frame FA = RdA.next();
+    ASSERT_EQ(FA.Kind, MsgKind::VerifyResponse);
+    auto VA = svc::proto::decodeVerifyResponse(FA.Body);
+    ASSERT_EQ(VA.size(), 1u);
+    EXPECT_EQ(VA[0].Ok, Local.check(ImgsA[I]).Ok) << "A response " << I;
+
+    Frame FB = RdB.next();
+    ASSERT_EQ(FB.Kind, MsgKind::VerifyResponse);
+    auto VB = svc::proto::decodeVerifyResponse(FB.Body);
+    ASSERT_EQ(VB.size(), 1u);
+    EXPECT_EQ(VB[0].Ok, Local.check(ImgsB[I]).Ok) << "B response " << I;
+  }
+  ::close(A);
+  ::close(B);
+  EXPECT_TRUE(eventually([&] { return L.Met.SvcSessions.get() >= 2; }));
+}
+
+// Image handles are session-scoped: a handle opened on session A must be
+// unknown to session B (an ErrorResponse, not a patch of A's image),
+// while A keeps patching it successfully.
+TEST(EventLoopTest, ImageHandlesDoNotLeakAcrossSessions) {
+  LoopFixture L;
+  int A = L.connect(), B = L.connect();
+  ASSERT_GE(A, 0);
+  ASSERT_GE(B, 0);
+  FrameReader RdA(A), RdB(B);
+
+  std::vector<uint8_t> Img = compliantImage(700);
+  sendFrame(A, MsgKind::ImageOpenRequest,
+            svc::proto::encodeImageOpenRequest(Img));
+  Frame FO = RdA.next();
+  ASSERT_EQ(FO.Kind, MsgKind::ImageOpenResponse);
+  svc::proto::ImageOpenReply Open =
+      svc::proto::decodeImageOpenResponse(FO.Body);
+  ASSERT_TRUE(Open.V.Ok);
+
+  // B tries to patch A's handle: its own session has never opened it.
+  svc::proto::PatchRequestBody P;
+  P.Image = Open.Image;
+  P.Offset = 0;
+  P.Bytes = {0x90};
+  sendFrame(B, MsgKind::PatchRequest, svc::proto::encodePatchRequest(P));
+  EXPECT_EQ(RdB.next().Kind, MsgKind::ErrorResponse);
+
+  // A's handle is untouched and still patchable.
+  sendFrame(A, MsgKind::PatchRequest, svc::proto::encodePatchRequest(P));
+  Frame FP = RdA.next();
+  ASSERT_EQ(FP.Kind, MsgKind::PatchResponse);
+  EXPECT_TRUE(svc::proto::decodePatchResponse(FP.Body).V.Ok);
+
+  ::close(A);
+  ::close(B);
+}
+
+// A session that requests work and then never reads its socket must not
+// delay anyone else: a second session's round trips complete while the
+// first one's responses sit queued.
+TEST(EventLoopTest, StalledReaderDoesNotBlockOtherSessions) {
+  LoopFixture L;
+  int Stalled = L.connect(), Live = L.connect();
+  ASSERT_GE(Stalled, 0);
+  ASSERT_GE(Live, 0);
+
+  std::vector<uint8_t> Img = compliantImage(800);
+  for (int I = 0; I < 8; ++I)
+    sendFrame(Stalled, MsgKind::VerifyRequest,
+              svc::proto::encodeImageBatch({Img}));
+  // Never read Stalled. The live session must keep making progress.
+  FrameReader Rd(Live);
+  for (int I = 0; I < 8; ++I) {
+    sendFrame(Live, MsgKind::VerifyRequest,
+              svc::proto::encodeImageBatch({Img}));
+    Frame F = Rd.next();
+    ASSERT_EQ(F.Kind, MsgKind::VerifyResponse);
+    EXPECT_TRUE(svc::proto::decodeVerifyResponse(F.Body)[0].Ok);
+  }
+  ::close(Live);
+  // Drain the stalled session only now — the responses were computed
+  // while it dawdled, not on demand.
+  FrameReader RdS(Stalled);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(RdS.next().Kind, MsgKind::VerifyResponse);
+  ::close(Stalled);
+}
+
+// With a tiny per-session budget, pipelined cold tables fetches (each
+// reply is a ~38 KiB blob) must trip the backpressure pause at least
+// once — and every reply must still arrive intact once the client reads.
+TEST(EventLoopTest, BackpressurePausesOnBudget) {
+  svc::EventLoopOptions LO;
+  LO.SessionBudgetBytes = 1024; // far below one tables reply
+  LoopFixture L(LO);
+  int Fd = L.connect();
+  ASSERT_GE(Fd, 0);
+
+  const int Requests = 6;
+  for (int I = 0; I < Requests; ++I)
+    sendFrame(Fd, MsgKind::TablesRequest, svc::proto::encodeTablesRequest(""));
+  // Let the server hit the budget before we start draining.
+  EXPECT_TRUE(
+      eventually([&] { return L.Met.SvcBackpressurePauses.get() >= 1; }));
+
+  FrameReader Rd(Fd);
+  for (int I = 0; I < Requests; ++I) {
+    Frame F = Rd.next();
+    ASSERT_EQ(F.Kind, MsgKind::TablesResponse);
+    svc::proto::TablesReply R = svc::proto::decodeTablesResponse(F.Body);
+    EXPECT_FALSE(R.Blob.empty()) << "reply " << I;
+    EXPECT_EQ(R.HashHex, L.Server.tablesHashHex());
+  }
+  ::close(Fd);
+}
+
+// The SIGPIPE regression: a client that sends a request and exits before
+// the reply lands must cost exactly its own session (svc_peer_drops),
+// never the process — other sessions keep round-tripping.
+TEST(EventLoopTest, ClientKilledMidReplyOnlyDropsItsSession) {
+  LoopFixture L;
+  int Doomed = L.connect();
+  ASSERT_GE(Doomed, 0);
+  std::vector<uint8_t> Img = compliantImage(900, 2048);
+  sendFrame(Doomed, MsgKind::VerifyRequest,
+            svc::proto::encodeImageBatch({Img, Img, Img}));
+  ::close(Doomed); // dead before the reply: the server's send gets EPIPE
+
+  int Live = L.connect();
+  ASSERT_GE(Live, 0);
+  FrameReader Rd(Live);
+  sendFrame(Live, MsgKind::VerifyRequest, svc::proto::encodeImageBatch({Img}));
+  EXPECT_EQ(Rd.next().Kind, MsgKind::VerifyResponse);
+  // The doomed session must be reaped as a peer drop (EPIPE on send or
+  // reset on read), not crash the loop.
+  EXPECT_TRUE(eventually([&] { return L.Met.SvcPeerDrops.get() >= 1; }));
+  ::close(Live);
+}
+
+// Accept-side EMFILE resilience: with the fd soft limit clamped to the
+// table's current size, an incoming connection parks in the backlog and
+// accept4 fails EMFILE. The loop must log + back off (svc_accept_backoffs)
+// instead of dying, and serve the connection once the limit is restored.
+TEST(EventLoopTest, AcceptRecoversFromEmfile) {
+  svc::EventLoopOptions LO;
+  LO.AcceptBackoffMs = 20;
+  LoopFixture L(LO);
+
+  // Reserve the client socket *before* clamping the limit.
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+
+  rlimit Old{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &Old), 0);
+  int Next = ::dup(0); // the lowest fd a successful accept4 would return
+  ASSERT_GE(Next, 0);
+  ::close(Next);
+  rlimit Clamped = Old;
+  Clamped.rlim_cur = rlim_t(Next);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &Clamped), 0);
+
+  // connect(2) completes against the listen backlog without an accept.
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  ASSERT_LT(L.SockPath.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, L.SockPath.c_str(), L.SockPath.size() + 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+
+  bool BackedOff =
+      eventually([&] { return L.Met.SvcAcceptBackoffs.get() >= 1; });
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &Old), 0); // restore before asserting
+  EXPECT_TRUE(BackedOff);
+
+  // After the backoff expires the same connection must be served.
+  FrameReader Rd(Fd);
+  sendFrame(Fd, MsgKind::AuditRequest, {});
+  EXPECT_EQ(Rd.next().Kind, MsgKind::AuditResponse);
+  EXPECT_GE(L.Met.SvcAcceptErrors.get(), 1u);
+  ::close(Fd);
+}
+
+// Graceful drain: a ShutdownRequest on one session stops the listener
+// and flushes every other session's queued responses before run()
+// returns Status::Shutdown.
+TEST(EventLoopTest, ShutdownDrainsInFlightSessions) {
+  LoopFixture L;
+  int Worker = L.connect(), Ctl = L.connect();
+  ASSERT_GE(Worker, 0);
+  ASSERT_GE(Ctl, 0);
+
+  std::vector<uint8_t> Img = compliantImage(1000);
+  FrameReader RdW(Worker);
+  for (int I = 0; I < 4; ++I)
+    sendFrame(Worker, MsgKind::VerifyRequest,
+              svc::proto::encodeImageBatch({Img}));
+  // Confirm the worker session is live and being served before the
+  // shutdown races in.
+  EXPECT_EQ(RdW.next().Kind, MsgKind::VerifyResponse);
+
+  FrameReader RdCtl(Ctl);
+  sendFrame(Ctl, MsgKind::ShutdownRequest, {});
+  EXPECT_EQ(RdCtl.next().Kind, MsgKind::ShutdownResponse);
+
+  // In-flight frames finish and their responses flush before the drain
+  // closes the session; frames still parked in the parse buffer are
+  // dropped — so read until EOF and accept any prefix of the remaining
+  // three responses.
+  try {
+    for (int I = 0; I < 3; ++I)
+      EXPECT_EQ(RdW.next().Kind, MsgKind::VerifyResponse);
+  } catch (const std::runtime_error &) {
+    // EOF: the drain closed the session after flushing what was done.
+  }
+
+  L.join();
+  EXPECT_EQ(L.Result, svc::EventLoop::Status::Shutdown);
+  EXPECT_EQ(L.connect(), -1); // listener is gone after the drain
+  ::close(Worker);
+  ::close(Ctl);
+}
+
+// requestStop() from another thread: run() returns Status::Stopped after
+// draining, without any client involvement.
+TEST(EventLoopTest, RequestStopStopsTheLoop) {
+  LoopFixture L;
+  int Fd = L.connect();
+  ASSERT_GE(Fd, 0);
+  FrameReader Rd(Fd);
+  sendFrame(Fd, MsgKind::AuditRequest, {});
+  EXPECT_EQ(Rd.next().Kind, MsgKind::AuditResponse);
+  L.Loop->requestStop();
+  L.join();
+  EXPECT_EQ(L.Result, svc::EventLoop::Status::Stopped);
+  ::close(Fd);
+}
+
+// The metrics scrape over the wire: the exposition must reflect the very
+// requests this session made, and the active-session gauge must count
+// this connection.
+TEST(EventLoopTest, MetricsScrapeReflectsSession) {
+  LoopFixture L;
+  int Fd = L.connect();
+  ASSERT_GE(Fd, 0);
+  FrameReader Rd(Fd);
+
+  std::vector<uint8_t> Img = compliantImage(1100);
+  sendFrame(Fd, MsgKind::VerifyRequest, svc::proto::encodeImageBatch({Img}));
+  ASSERT_EQ(Rd.next().Kind, MsgKind::VerifyResponse);
+
+  sendFrame(Fd, MsgKind::MetricsRequest, {});
+  Frame F = Rd.next();
+  ASSERT_EQ(F.Kind, MsgKind::MetricsResponse);
+  std::string Expo = svc::proto::decodeMetricsResponse(F.Body);
+  EXPECT_NE(Expo.find("svc_verify_requests 1\n"), std::string::npos) << Expo;
+  EXPECT_NE(Expo.find("svc_sessions_active 1\n"), std::string::npos) << Expo;
+  EXPECT_NE(Expo.find("svc_metrics_requests 1\n"), std::string::npos);
+
+  // A nonempty body is a malformed request, answered without killing
+  // the session.
+  sendFrame(Fd, MsgKind::MetricsRequest, {0x01});
+  EXPECT_EQ(Rd.next().Kind, MsgKind::ErrorResponse);
+  sendFrame(Fd, MsgKind::MetricsRequest, {});
+  EXPECT_EQ(Rd.next().Kind, MsgKind::MetricsResponse);
+  ::close(Fd);
+}

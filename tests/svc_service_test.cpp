@@ -344,6 +344,41 @@ TEST(ProtocolTest, ImageBatchRoundTrips) {
   EXPECT_EQ(svc::proto::decodeImageBatch(Body), Images);
 }
 
+TEST(ProtocolTest, MetricsResponseRoundTripsAndRejectsGarbage) {
+  std::string Expo = "svc_sessions 3\nsvc_bytes_in 12345\n";
+  std::vector<uint8_t> Body = svc::proto::encodeMetricsResponse(Expo);
+  EXPECT_EQ(svc::proto::decodeMetricsResponse(Body), Expo);
+  EXPECT_EQ(svc::proto::decodeMetricsResponse(
+                svc::proto::encodeMetricsResponse("")),
+            "");
+  // Truncated length prefix, truncated payload, and trailing junk.
+  EXPECT_THROW(svc::proto::decodeMetricsResponse({1, 0, 0}), ProtocolError);
+  std::vector<uint8_t> Short(Body.begin(), Body.end() - 1);
+  EXPECT_THROW(svc::proto::decodeMetricsResponse(Short), ProtocolError);
+  std::vector<uint8_t> Long = Body;
+  Long.push_back(0x00);
+  EXPECT_THROW(svc::proto::decodeMetricsResponse(Long), ProtocolError);
+}
+
+TEST(ServiceTest, MetricsRequestReturnsLiveExposition) {
+  svc::Service S(svc::ServiceOptions{2, nullptr});
+  std::vector<std::vector<uint8_t>> Images = mixedImages(3, 1200);
+  dispatch(S, MsgKind::VerifyRequest, svc::proto::encodeImageBatch(Images));
+
+  Frame F = dispatch(S, MsgKind::MetricsRequest, {});
+  ASSERT_EQ(F.Kind, MsgKind::MetricsResponse);
+  std::string Expo = svc::proto::decodeMetricsResponse(F.Body);
+  EXPECT_NE(Expo.find("svc_verify_requests 1\n"), std::string::npos);
+  EXPECT_NE(Expo.find("images_verified 3\n"), std::string::npos);
+  // The request itself is counted before the render, so the scrape
+  // observes itself.
+  EXPECT_NE(Expo.find("svc_metrics_requests 1\n"), std::string::npos);
+
+  // A nonempty body is malformed: ErrorResponse, session survives.
+  Frame E = dispatch(S, MsgKind::MetricsRequest, {0xAB});
+  EXPECT_EQ(E.Kind, MsgKind::ErrorResponse);
+}
+
 // --- serveFd: a full session over a socketpair --------------------------
 
 TEST(ServiceTest, ServeFdSessionSurvivesBadBodiesAndShutsDownCleanly) {
