@@ -14,10 +14,16 @@
 // --explain shrinks a rejected image to the minimal byte sequence that
 // is still rejected for the same reason (the fuzz harness's
 // delta-debugging minimizer) and prints it — the offending construct on
-// a nop sled instead of a needle in a 4 KB image.
+// a nop sled instead of a needle in a 4 KB image — followed by the
+// violation families: the k shortest strings each policy table *does*
+// accept (regex kShortestAccepted), so the rejection sits next to the
+// nearest constructs the policy would have allowed.
 //
 // --lint recovers the control-flow graph the policy implies for each
 // image and prints severity-graded diagnostics (see analysis/CfgLint.h);
+// --lint-json prints the same diagnostics machine-readably, one JSON
+// object per line (kind, severity, offset, containing CFG node span and
+// reaching guard), for editor and CI integration.
 // --audit runs the policy meta-verifier over the shipped DFA tables
 // (disjointness, decoder inclusion, health, minimization) and exits
 // nonzero if any obligation fails.
@@ -49,13 +55,16 @@
 // chunks. Locally every incremental verdict is cross-checked against a
 // full re-check with both timings printed; with --connect the patches
 // are driven through a running server's image-open/patch/image-close
-// requests instead.
+// requests instead. Adding --lint maintains the incremental linter
+// beside the verifier: each patch re-lints in O(patch window), locally
+// cross-checked against a fresh full lint (both timings printed), and
+// over the wire via the patch request's want-lint flag.
 //
 // Usage:
 //   validator_cli <image.bin>... [--disassemble] [--explain] [--lint]
-//                                [--jobs N] [--stats]
+//                                [--lint-json] [--jobs N] [--stats]
 //   validator_cli <image.bin>... --patch OFF:HEX [--patch OFF:HEX...]
-//                                [--stats]
+//                                [--lint] [--stats]
 //   validator_cli --selftest [--lint] [--jobs N] [--stats]
 //   validator_cli --audit
 //   validator_cli --dump-tables [--tables-out FILE] [--expect-hash HEX]
@@ -70,10 +79,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CfgLint.h"
+#include "analysis/Dataflow.h"
 #include "analysis/PolicyAudit.h"
 #include "core/BaselineChecker.h"
 #include "core/Verifier.h"
 #include "incr/IncrementalVerifier.h"
+#include "regex/Algebra.h"
 #include "regex/TableIO.h"
 #include "fuzz/Minimizer.h"
 #include "nacl/Mutator.h"
@@ -86,6 +97,7 @@
 #include "x86/FastDecoder.h"
 #include "x86/Printer.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -115,6 +127,7 @@ struct CliOptions {
   bool Disasm = false;
   bool Explain = false; ///< minimize rejected images to their core
   bool Lint = false;    ///< recover + lint the implied CFG per image
+  bool LintJson = false; ///< same diagnostics, one JSON object per line
   bool Audit = false;   ///< meta-verify the shipped policy tables
   bool DumpTables = false; ///< serialize + round-trip the shipped tables
   std::string TablesOut;   ///< optional output path for the blob
@@ -323,6 +336,96 @@ void disassemble(const std::vector<uint8_t> &Code,
   }
 }
 
+/// Escapes \p S into a JSON string literal body.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+/// The machine-readable twin of CfgLintResult::render(): one JSON
+/// object per diagnostic per line — kind, severity, byte offset, the
+/// containing CFG node's span with its reaching-mask guard (null when
+/// the offset falls outside every recovered node), and the detail text.
+std::string lintJsonLines(const analysis::CfgLintResult &L) {
+  std::string Out;
+  char Buf[96];
+  for (const analysis::LintDiag &D : L.Diags) {
+    Out += "{\"kind\":\"";
+    Out += analysis::lintKindName(D.Kind);
+    Out += "\",\"severity\":\"";
+    Out += analysis::lintSeverityName(D.Sev);
+    std::snprintf(Buf, sizeof(Buf), "\",\"offset\":%u,", D.Offset);
+    Out += Buf;
+    const analysis::CfgNode *N = nullptr;
+    for (const analysis::CfgNode &C : L.Nodes)
+      if (C.Begin <= D.Offset && D.Offset < C.End) {
+        N = &C;
+        break;
+      }
+    if (N) {
+      std::snprintf(Buf, sizeof(Buf), "\"node\":{\"begin\":%u,\"end\":%u",
+                    N->Begin, N->End);
+      Out += Buf;
+      size_t Idx = size_t(N - L.Nodes.data());
+      uint32_t G =
+          Idx < L.Guard.size() ? L.Guard[Idx] : analysis::kGuardUnknown;
+      Out += ",\"guard\":";
+      if (G == analysis::kGuardUnknown)
+        Out += "null";
+      else if (G == analysis::kGuardNone)
+        Out += "\"none\"";
+      else if (G == analysis::kGuardMany)
+        Out += "\"many\"";
+      else {
+        std::snprintf(Buf, sizeof(Buf), "%u", G);
+        Out += Buf;
+      }
+      Out += "},";
+    } else {
+      Out += "\"node\":null,";
+    }
+    Out += "\"detail\":\"" + jsonEscape(D.Detail) + "\"}\n";
+  }
+  return Out;
+}
+
+/// The violation families: per policy table, the k shortest strings the
+/// table *accepts* in length-then-lex order — shown next to a minimized
+/// rejection so the offending bytes sit beside the nearest constructs
+/// the policy would have allowed.
+void printAcceptedFamilies(unsigned K) {
+  const core::PolicyTables &T = core::policyTables();
+  const struct {
+    const char *Name;
+    const re::Dfa *D;
+  } Tables[] = {{"NoControlFlow", &T.NoControlFlow},
+                {"DirectJump", &T.DirectJump},
+                {"MaskedJump", &T.MaskedJump}};
+  std::printf("  accepted families (%u shortest per policy table):\n", K);
+  for (const auto &N : Tables) {
+    std::vector<std::vector<uint8_t>> W = re::kShortestAccepted(*N.D, K);
+    std::printf("    %-14s", N.Name);
+    for (size_t I = 0; I < W.size(); ++I) {
+      std::printf("%s", I ? "  |" : " ");
+      for (uint8_t B : W[I])
+        std::printf(" %02x", B);
+    }
+    std::printf("\n");
+  }
+}
+
 /// Shrinks a rejected image to the smallest byte sequence RockSalt still
 /// rejects for the same reason, and shows it.
 void explainRejection(const std::vector<uint8_t> &Code,
@@ -341,6 +444,7 @@ void explainRejection(const std::vector<uint8_t> &Code,
     std::printf(" %02x", B);
   std::printf("\n");
   disassemble(MR.Image, V.check(MR.Image));
+  printAcceptedFamilies(3);
 }
 
 /// One image through RockSalt (sequential or chunk-parallel) plus the
@@ -376,10 +480,13 @@ int validate(const std::vector<uint8_t> &Code, const CliOptions &Opts,
     disassemble(Code, R);
   if (Opts.Explain && !R.Ok && !Code.empty())
     explainRejection(Code, R);
-  if (Opts.Lint && !Code.empty()) {
+  if ((Opts.Lint || Opts.LintJson) && !Code.empty()) {
     analysis::CfgLintResult L =
         analysis::lintImage(core::policyTables(), Code, M);
-    std::printf("%s", L.render().c_str());
+    if (Opts.Lint)
+      std::printf("%s", L.render().c_str());
+    if (Opts.LintJson)
+      std::printf("%s", lintJsonLines(L).c_str());
   }
   return R.Ok ? 0 : 1;
 }
@@ -387,11 +494,16 @@ int validate(const std::vector<uint8_t> &Code, const CliOptions &Opts,
 /// --patch without --connect: open the image with the in-process
 /// incremental verifier, apply each patch with an O(patch) re-verify,
 /// cross-check every verdict (and its bitmaps) against a full
-/// sequential re-check, and print both timings side by side.
+/// sequential re-check, and print both timings side by side. With
+/// \p Lint the incremental linter rides along: every patch re-lints in
+/// O(patch window) and the report is cross-checked byte-for-byte
+/// against a fresh full lint of the patched image.
 int runPatchesLocal(const std::string &Path, std::vector<uint8_t> Code,
-                    const std::vector<PatchSpec> &Specs, svc::Metrics *M) {
+                    const std::vector<PatchSpec> &Specs, bool Lint,
+                    svc::Metrics *M) {
   core::RockSalt Full;
   incr::IncrementalVerifier Incr(incr::IncrementalOptions{}, M);
+  analysis::IncrementalLinter Linter(core::policyTables(), M);
 
   auto MsBetween = [](std::chrono::steady_clock::time_point A,
                       std::chrono::steady_clock::time_point B) {
@@ -408,6 +520,11 @@ int runPatchesLocal(const std::string &Path, std::vector<uint8_t> Code,
               Open.Ok ? "" : "  reason: ",
               Open.Ok ? "" : core::rejectReasonName(Open.Reason),
               MsBetween(T0, T1), Open.ChunksRescanned);
+  if (Lint) {
+    Linter.open(Id, Code.data(), uint32_t(Code.size()),
+                incr::IncrementalOptions{}.ChunkBytes);
+    std::printf("%s", Linter.render(Id).c_str());
+  }
 
   int Rc = Open.Ok ? 0 : 1;
   for (size_t I = 0; I < Specs.size(); ++I) {
@@ -442,8 +559,28 @@ int runPatchesLocal(const std::string &Path, std::vector<uint8_t> Code,
                 Agree ? "" : "  *** DIVERGED FROM FULL CHECK ***");
     if (!Agree)
       return 1;
+    if (Lint) {
+      T0 = std::chrono::steady_clock::now();
+      analysis::IncrementalLinter::Summary LS =
+          Linter.relint(Id, Code.data(), uint32_t(Code.size()), R);
+      T1 = std::chrono::steady_clock::now();
+      T2 = std::chrono::steady_clock::now();
+      analysis::CfgLintResult FullL =
+          analysis::lintImage(core::policyTables(), Code);
+      T3 = std::chrono::steady_clock::now();
+      bool LintAgree = Linter.render(Id) == FullL.render();
+      std::printf("    lint: %u errors, %u warnings, %u notes  (incremental "
+                  "%.3f ms%s / full %.3f ms)%s\n",
+                  LS.Errors, LS.Warnings, LS.Notes, MsBetween(T0, T1),
+                  LS.FastPath ? ", fast path" : "", MsBetween(T2, T3),
+                  LintAgree ? "" : "  *** LINT DIVERGED FROM FULL LINT ***");
+      if (!LintAgree)
+        return 1;
+    }
     Rc = R.Ok ? 0 : 1;
   }
+  if (Lint)
+    Linter.close(Id);
   Incr.close(Id);
   return Rc;
 }
@@ -584,6 +721,7 @@ int runClient(const CliOptions &Opts) {
             B.Image = Open.Image;
             B.Offset = Specs[I].Offset;
             B.Bytes = Specs[I].Bytes;
+            B.WantLint = Opts.Lint;
             sendFrame(Fd, MsgKind::PatchRequest,
                       svc::proto::encodePatchRequest(B));
             svc::proto::PatchReply R = svc::proto::decodePatchResponse(
@@ -595,6 +733,8 @@ int runClient(const CliOptions &Opts) {
                         R.V.Ok ? "" : "  reason: ",
                         R.V.Ok ? "" : core::rejectReasonName(R.V.Reason),
                         R.ChunksRescanned, R.ChunkCacheHits);
+            if (R.HasLint)
+              std::printf("%s", R.Lint.Render.c_str());
             Rc |= R.V.Ok ? 0 : 1;
           }
           sendFrame(Fd, MsgKind::ImageCloseRequest,
@@ -722,8 +862,9 @@ int fetchTables(const CliOptions &Opts) {
 }
 
 /// --serve-smoke: fork a server child on a private socket and drive a
-/// mixed verify/lint/audit/tables/malformed session against it,
-/// cross-checking every response against the in-process one-shot paths.
+/// mixed verify/lint/audit/tables/patch-lint/malformed session against
+/// it, cross-checking every response against the in-process one-shot
+/// paths.
 /// The CI service gate: exits 0 only if everything agreed and the
 /// server shut down cleanly.
 int serveSmoke() {
@@ -848,7 +989,50 @@ int serveSmoke() {
     std::printf("smoke: tables ok (%zu-byte blob, hash %.16s…)\n",
                 Cold.Blob.size(), Cold.HashHex.c_str());
 
-    // 5. malformed body — answered with an error, session survives.
+    // 5. incremental patch with want-lint — open a compliant image,
+    // patch it twice asking for the lint report, and require each
+    // served report to be byte-identical to a fresh local lint of the
+    // patched bytes (the first request seeds the session's lint state,
+    // the second takes the incremental relint path).
+    {
+      std::vector<uint8_t> Mut = Images[0];
+      sendFrame(Fd, MsgKind::ImageOpenRequest,
+                svc::proto::encodeImageOpenRequest(Mut));
+      svc::proto::ImageOpenReply Open = svc::proto::decodeImageOpenResponse(
+          expectFrame(In, MsgKind::ImageOpenResponse).Body);
+      if (!Open.V.Ok)
+        return Fail("compliant image was rejected at image-open");
+      for (uint32_t Step = 0; Step < 2; ++Step) {
+        svc::proto::PatchRequestBody B;
+        B.Image = Open.Image;
+        B.Offset = 32 + 16 * Step;
+        B.Bytes = {0x90, 0x90, 0x90, 0x90};
+        B.WantLint = true;
+        for (size_t K = 0; K < B.Bytes.size(); ++K)
+          Mut[B.Offset + K] = B.Bytes[K];
+        sendFrame(Fd, MsgKind::PatchRequest,
+                  svc::proto::encodePatchRequest(B));
+        svc::proto::PatchReply PR = svc::proto::decodePatchResponse(
+            expectFrame(In, MsgKind::PatchResponse).Body);
+        analysis::CfgLintResult L =
+            analysis::lintImage(core::policyTables(), Mut);
+        if (!PR.HasLint || PR.Lint.Render != L.render() ||
+            PR.Lint.Errors != L.Errors || PR.Lint.Warnings != L.Warnings ||
+            PR.Lint.Notes != L.Notes)
+          return Fail("served patch lint diverged from a fresh local lint");
+        // The machine-readable rendering must stay one line per diag.
+        std::string Json = lintJsonLines(L);
+        if (size_t(std::count(Json.begin(), Json.end(), '\n')) !=
+            L.Diags.size())
+          return Fail("lint-json line count diverged from the diagnostics");
+      }
+      sendFrame(Fd, MsgKind::ImageCloseRequest,
+                svc::proto::encodeImageCloseRequest(Open.Image));
+      expectFrame(In, MsgKind::ImageCloseResponse);
+      std::printf("smoke: patch lint ok (2 patches, reports identical)\n");
+    }
+
+    // 6. malformed body — answered with an error, session survives.
     sendFrame(Fd, MsgKind::VerifyRequest, {0xFF, 0xFF});
     if (In.next().Kind != MsgKind::ErrorResponse)
       return Fail("malformed body was not answered with ErrorResponse");
@@ -856,7 +1040,7 @@ int serveSmoke() {
     expectFrame(In, MsgKind::AuditResponse);
     std::printf("smoke: malformed-body error path ok\n");
 
-    // 6. a second concurrent session — must be answered while the first
+    // 7. a second concurrent session — must be answered while the first
     // session is still open (the sequential accept loop would park it
     // until this session closed, and this phase would hang).
     int Fd2 = connectUnix(Sock);
@@ -876,7 +1060,7 @@ int serveSmoke() {
     ::close(Fd2);
     std::printf("smoke: concurrent second session ok\n");
 
-    // 7. a client that dies between request and reply — the old server
+    // 8. a client that dies between request and reply — the old server
     // took a SIGPIPE writing the reply and the whole process died; now
     // only that session drops and everyone else keeps being served.
     int Fd3 = connectUnix(Sock);
@@ -889,7 +1073,7 @@ int serveSmoke() {
     expectFrame(In, MsgKind::AuditResponse);
     std::printf("smoke: client-killed-mid-reply survived\n");
 
-    // 8. metrics scrape — the counters this very session bumped must be
+    // 9. metrics scrape — the counters this very session bumped must be
     // visible in the exposition.
     sendFrame(Fd, MsgKind::MetricsRequest, {});
     std::string Expo = svc::proto::decodeMetricsResponse(
@@ -902,7 +1086,7 @@ int serveSmoke() {
       return Fail("metrics exposition did not count this session's verifies");
     std::printf("smoke: metrics scrape ok (%zu bytes)\n", Expo.size());
 
-    // 9. clean shutdown.
+    // 10. clean shutdown.
     sendFrame(Fd, MsgKind::ShutdownRequest, {});
     expectFrame(In, MsgKind::ShutdownResponse);
   } catch (const std::exception &E) {
@@ -928,9 +1112,9 @@ int serveSmoke() {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s <image.bin>... [--disassemble] [--explain] "
-               "[--lint] [--jobs N] [--stats]"
+               "[--lint] [--lint-json] [--jobs N] [--stats]"
                "\n       %s <image.bin>... --patch OFF:HEX "
-               "[--patch OFF:HEX...] [--stats]"
+               "[--patch OFF:HEX...] [--lint] [--stats]"
                "\n       %s --selftest [--lint] [--jobs N] [--stats]"
                "\n       %s --audit"
                "\n       %s --dump-tables [--tables-out FILE] "
@@ -958,6 +1142,8 @@ int main(int argc, char **argv) {
       Opts.Explain = true;
     } else if (std::strcmp(argv[I], "--lint") == 0) {
       Opts.Lint = true;
+    } else if (std::strcmp(argv[I], "--lint-json") == 0) {
+      Opts.LintJson = true;
     } else if (std::strcmp(argv[I], "--audit") == 0) {
       Opts.Audit = true;
     } else if (std::strcmp(argv[I], "--dump-tables") == 0) {
@@ -1058,7 +1244,7 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
         return 2;
       }
-      Rc |= runPatchesLocal(Path, std::move(Code), Specs, &M);
+      Rc |= runPatchesLocal(Path, std::move(Code), Specs, Opts.Lint, &M);
     }
     if (Opts.Stats)
       std::printf("\n--- service metrics ---\n%s", M.dump().c_str());

@@ -1,13 +1,20 @@
 //===- analysis/CfgLint.cpp - Sandbox CFG recovery and lint ---------------===//
+//
+// Naming, severity grading, and rendering for the lint diagnostics. The
+// recovery and analysis itself lives in analysis/Dataflow.cpp: lintImage
+// here is the sequential front end (chain re-scan) feeding the shared
+// lintCfg back half.
+//
+//===----------------------------------------------------------------------===//
 
 #include "analysis/CfgLint.h"
 
-#include <algorithm>
+#include "analysis/Dataflow.h"
+
 #include <cstdio>
 
 using namespace rocksalt;
 using namespace rocksalt::analysis;
-using core::StepKind;
 
 const char *analysis::lintSeverityName(LintSeverity S) {
   switch (S) {
@@ -57,234 +64,40 @@ LintSeverity analysis::lintKindSeverity(LintKind K) {
   return LintSeverity::Note;
 }
 
-namespace {
-
-/// Classifies a just-matched step into its CFG edge shape.
-void classifyNode(CfgNode &N, const uint8_t *Code) {
-  switch (N.Kind) {
-  case StepKind::NoControlFlow:
-    N.Fallthrough = true;
-    break;
-  case StepKind::DirectJump: {
-    uint8_t B0 = Code[N.Begin];
-    if (B0 == 0xEB || B0 == 0xE9) {
-      // JMP rel8/rel32: unconditional, no fallthrough.
-    } else if (B0 == 0xE8) {
-      N.IsCall = true;
-      N.Fallthrough = true; // the return point
-    } else {
-      // Jcc rel8 (70..7F) or 0F 8x rel32.
-      N.Fallthrough = true;
-    }
-    break;
-  }
-  case StepKind::MaskedJump: {
-    // The jump half is the last two bytes: FF /4 (jmp) or FF /2 (call).
-    uint8_t ModRM = Code[N.End - 1];
-    unsigned RegField = (ModRM >> 3) & 7;
-    N.IndirectOut = true;
-    if (RegField == 2) {
-      N.IsCall = true;
-      N.Fallthrough = true; // the return point
-    }
-    break;
-  }
-  case StepKind::Fail:
-    break;
-  }
+void analysis::renderLintDiagLine(std::string &Out, const LintDiag &D) {
+  char Buf[320];
+  std::snprintf(Buf, sizeof(Buf), "  %-7s @%04x %s: %s\n",
+                lintSeverityName(D.Sev), D.Offset, lintKindName(D.Kind),
+                D.Detail.c_str());
+  Out += Buf;
 }
 
-} // namespace
+void analysis::renderLintSummaryLine(std::string &Out, size_t Nodes,
+                                     uint32_t Reachable, uint32_t ExtReachable,
+                                     uint32_t ReachableProcs, uint32_t Procs,
+                                     uint32_t Errors, uint32_t Warnings,
+                                     uint32_t Notes, bool ParseComplete) {
+  char Buf[320];
+  std::snprintf(Buf, sizeof(Buf),
+                "  lint: %zu nodes (%u direct-reachable, %u ext-reachable), "
+                "%u/%u procs live, %u errors, %u warnings, %u notes%s\n",
+                Nodes, Reachable, ExtReachable, ReachableProcs, Procs, Errors,
+                Warnings, Notes, ParseComplete ? "" : " [parse incomplete]");
+  Out += Buf;
+}
 
 std::string CfgLintResult::render() const {
   std::string Out;
-  char Buf[320];
-  for (const LintDiag &D : Diags) {
-    std::snprintf(Buf, sizeof(Buf), "  %-7s @%04x %s: %s\n",
-                  lintSeverityName(D.Sev), D.Offset, lintKindName(D.Kind),
-                  D.Detail.c_str());
-    Out += Buf;
-  }
-  std::snprintf(Buf, sizeof(Buf),
-                "  lint: %zu nodes (%u reachable by direct flow), "
-                "%u errors, %u warnings, %u notes%s\n",
-                Nodes.size(), ReachableNodes, Errors, Warnings, Notes,
-                ParseComplete ? "" : " [parse incomplete]");
-  Out += Buf;
+  for (const LintDiag &D : Diags)
+    renderLintDiagLine(Out, D);
+  renderLintSummaryLine(Out, Nodes.size(), ReachableNodes, ExtReachableNodes,
+                        ReachableProcs, Procs, Errors, Warnings, Notes,
+                        ParseComplete);
   return Out;
 }
 
 CfgLintResult analysis::lintImage(const core::PolicyTables &T,
                                   const uint8_t *Code, uint32_t Size,
                                   svc::Metrics *M) {
-  CfgLintResult R;
-
-  //===------------------------------------------------------------------===//
-  // 1. Recover nodes by re-running the Figure-5 match chain.
-  //===------------------------------------------------------------------===//
-  uint32_t Pos = 0;
-  uint32_t ParsedEnd = Size;
-  R.ParseComplete = true;
-  while (Pos < Size) {
-    CfgNode N;
-    N.Begin = Pos;
-    uint32_t Dest = 0;
-    N.Kind = core::verifyStep(T, Code, &Pos, Size, &Dest);
-    if (N.Kind == StepKind::Fail) {
-      R.ParseComplete = false;
-      ParsedEnd = N.Begin;
-      R.Diags.push_back({LintSeverity::Error, LintKind::ParseStuck, N.Begin,
-                         "no policy grammar matches at this offset; "
-                         "the image tail is unanalyzed"});
-      break;
-    }
-    N.End = Pos;
-    if (N.Kind == StepKind::DirectJump) {
-      N.HasTarget = true;
-      N.Target = Dest;
-    }
-    classifyNode(N, Code);
-    R.Nodes.push_back(N);
-  }
-
-  //===------------------------------------------------------------------===//
-  // 2. Node lookup and direct-flow reachability (fallthrough + direct
-  //    branch edges; indirect transfers contribute no edges — any
-  //    bundle start is a potential indirect entry, which is exactly why
-  //    unreachability is only a Note).
-  //===------------------------------------------------------------------===//
-  std::vector<uint32_t> NodeAt(Size, UINT32_MAX);
-  for (uint32_t I = 0; I < R.Nodes.size(); ++I)
-    NodeAt[R.Nodes[I].Begin] = I;
-
-  R.Reachable.assign(R.Nodes.size(), 0);
-  if (!R.Nodes.empty()) {
-    std::vector<uint32_t> Stack{0};
-    R.Reachable[0] = 1;
-    while (!Stack.empty()) {
-      uint32_t I = Stack.back();
-      Stack.pop_back();
-      const CfgNode &N = R.Nodes[I];
-      if (N.Fallthrough && I + 1 < R.Nodes.size() && !R.Reachable[I + 1]) {
-        R.Reachable[I + 1] = 1;
-        Stack.push_back(I + 1);
-      }
-      if (N.HasTarget && N.Target < Size && NodeAt[N.Target] != UINT32_MAX) {
-        uint32_t J = NodeAt[N.Target];
-        if (!R.Reachable[J]) {
-          R.Reachable[J] = 1;
-          Stack.push_back(J);
-        }
-      }
-    }
-  }
-  for (uint8_t Rch : R.Reachable)
-    R.ReachableNodes += Rch;
-
-  //===------------------------------------------------------------------===//
-  // 3. Diagnostics.
-  //===------------------------------------------------------------------===//
-  char Buf[192];
-
-  // Bundle boundaries must be instruction starts (Error), and should be
-  // reachable (Note) — each within the parsed region.
-  for (uint32_t B = 0; B < ParsedEnd; B += core::BundleSize) {
-    if (NodeAt[B] == UINT32_MAX) {
-      std::snprintf(Buf, sizeof(Buf),
-                    "bundle %u starts inside an instruction — every 32-byte "
-                    "boundary must be an instruction start",
-                    B / core::BundleSize);
-      R.Diags.push_back(
-          {LintSeverity::Error, LintKind::UnalignedBundleStart, B, Buf});
-    } else if (!R.Reachable[NodeAt[B]]) {
-      std::snprintf(Buf, sizeof(Buf),
-                    "bundle %u is unreachable by direct flow (it remains an "
-                    "indirect-entry candidate, as every bundle start is)",
-                    B / core::BundleSize);
-      R.Diags.push_back(
-          {LintSeverity::Note, LintKind::UnreachableBundle, B, Buf});
-    }
-  }
-
-  // Direct-branch targets must land on node starts; landing inside a
-  // masked pair is the sharpest hazard (it bypasses or splits the mask).
-  for (const CfgNode &N : R.Nodes) {
-    if (!N.HasTarget)
-      continue;
-    uint32_t Tgt = N.Target;
-    if (Tgt < Size && NodeAt[Tgt] != UINT32_MAX)
-      continue; // a well-formed edge
-    // Find the node containing the target, if any.
-    const CfgNode *Container = nullptr;
-    if (Tgt < ParsedEnd && !R.Nodes.empty()) {
-      auto It = std::upper_bound(
-          R.Nodes.begin(), R.Nodes.end(), Tgt,
-          [](uint32_t V, const CfgNode &Node) { return V < Node.Begin; });
-      if (It != R.Nodes.begin())
-        Container = &*--It;
-    }
-    if (Container && Container->Kind == StepKind::MaskedJump &&
-        Tgt > Container->Begin && Tgt < Container->End) {
-      std::snprintf(Buf, sizeof(Buf),
-                    "direct branch targets %04x, inside the masked pair "
-                    "[%04x,%04x) — entering there bypasses the mask",
-                    Tgt, Container->Begin, Container->End);
-      R.Diags.push_back({LintSeverity::Error, LintKind::BranchIntoMaskedPair,
-                         N.Begin, Buf});
-    } else {
-      std::snprintf(Buf, sizeof(Buf),
-                    "direct branch targets %04x, which is not an "
-                    "instruction start",
-                    Tgt);
-      R.Diags.push_back(
-          {LintSeverity::Error, LintKind::BranchIntoInterior, N.Begin, Buf});
-    }
-  }
-
-  // Call discipline and dead masked pairs.
-  for (uint32_t I = 0; I < R.Nodes.size(); ++I) {
-    const CfgNode &N = R.Nodes[I];
-    if (N.IsCall && (N.End % core::BundleSize) != 0) {
-      std::snprintf(Buf, sizeof(Buf),
-                    "call returns to %04x, which is not bundle-aligned — a "
-                    "policy-compliant masked return cannot come back here",
-                    N.End);
-      R.Diags.push_back(
-          {LintSeverity::Warning, LintKind::CallRetNotSeam, N.Begin, Buf});
-    }
-    if (N.Kind == StepKind::MaskedJump && !R.Reachable[I]) {
-      std::snprintf(Buf, sizeof(Buf),
-                    "masked pair [%04x,%04x) lies in direct-flow-unreachable "
-                    "code — the indirect transfer protects nothing live",
-                    N.Begin, N.End);
-      R.Diags.push_back(
-          {LintSeverity::Warning, LintKind::DeadMaskedPair, N.Begin, Buf});
-    }
-  }
-
-  std::stable_sort(
-      R.Diags.begin(), R.Diags.end(),
-      [](const LintDiag &A, const LintDiag &B) { return A.Offset < B.Offset; });
-
-  for (const LintDiag &D : R.Diags) {
-    switch (D.Sev) {
-    case LintSeverity::Error:
-      R.Errors++;
-      break;
-    case LintSeverity::Warning:
-      R.Warnings++;
-      break;
-    case LintSeverity::Note:
-      R.Notes++;
-      break;
-    }
-  }
-
-  if (M) {
-    M->LintImages.add();
-    M->LintErrors.add(R.Errors);
-    M->LintWarnings.add(R.Warnings);
-    M->LintNotes.add(R.Notes);
-  }
-  return R;
+  return lintCfg(recoverCfg(T, Code, Size), Size, M);
 }

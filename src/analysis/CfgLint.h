@@ -84,13 +84,33 @@ struct CfgLintResult {
   bool ParseComplete = false;     ///< chain scan covered the whole image
   std::vector<CfgNode> Nodes;     ///< in address order
   std::vector<uint8_t> Reachable; ///< per node: direct-flow reachable from 0
+  /// Per node: reachable once computed transfers are closed over (any
+  /// live indirect transfer makes every bundle start a live target).
+  std::vector<uint8_t> ExtReachable;
+  /// Per node: the reaching-mask analysis value in force after the node
+  /// (a masked-pair Begin offset, or one of the kGuard* lattice points
+  /// declared in analysis/Dataflow.h).
+  std::vector<uint32_t> Guard;
   std::vector<LintDiag> Diags;    ///< severity-graded, address-ordered
   uint32_t Errors = 0, Warnings = 0, Notes = 0;
   uint32_t ReachableNodes = 0;
+  uint32_t ExtReachableNodes = 0;
+  uint32_t LiveIndirectOuts = 0;  ///< ext-reachable computed transfers
+  uint32_t Procs = 0;             ///< recovered call-graph procedures
+  uint32_t ReachableProcs = 0;    ///< ... interprocedurally reachable
 
   /// Renders "severity @offset: kind: detail" lines plus a summary.
   std::string render() const;
 };
+
+/// Rendering primitives shared by `CfgLintResult::render` and the
+/// incremental linter's O(diagnostics) render, so the two stay
+/// byte-identical: one diagnostic line, and the trailing summary line.
+void renderLintDiagLine(std::string &Out, const LintDiag &D);
+void renderLintSummaryLine(std::string &Out, size_t Nodes, uint32_t Reachable,
+                           uint32_t ExtReachable, uint32_t ReachableProcs,
+                           uint32_t Procs, uint32_t Errors, uint32_t Warnings,
+                           uint32_t Notes, bool ParseComplete);
 
 /// Recovers the CFG of \p Code under tables \p T and lints it. When \p M
 /// is non-null the diagnostic counts are added to the service metrics

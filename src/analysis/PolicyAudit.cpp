@@ -39,6 +39,18 @@ struct NamedDfa {
   const re::Dfa *D;
 };
 
+/// Attaches the counterexample family to a failed finding: the 3
+/// shortest members of the offending product language (the violation
+/// class, not just its least member), both as raw strings in F.Family
+/// and as a rendered "family:" tail on F.Detail.
+void attachFamily(AuditFinding &F, const re::Dfa &A, const re::Dfa &B,
+                  re::SetOp Op) {
+  F.Family = re::kShortestAccepted(re::productDfa(A, B, Op), 3);
+  F.Detail += "; family:";
+  for (size_t I = 0; I < F.Family.size(); ++I)
+    F.Detail += (I ? " | " : " ") + hexBytes(F.Family[I]);
+}
+
 AuditFinding disjointCheck(const NamedDfa &A, const NamedDfa &B) {
   AuditFinding F;
   F.Check = std::string("disjoint(") + A.Name + "," + B.Name + ")";
@@ -52,6 +64,7 @@ AuditFinding disjointCheck(const NamedDfa &A, const NamedDfa &B) {
     F.Detail = "both languages accept the " +
                std::to_string(F.Witness.size()) +
                "-byte string: " + hexBytes(F.Witness);
+    attachFamily(F, *A.D, *B.D, re::SetOp::Intersect);
   }
   return F;
 }
@@ -70,6 +83,7 @@ AuditFinding inclusionCheck(const NamedDfa &A, const re::Dfa &Decoder,
     F.Witness = std::move(*W);
     F.Detail = std::string("policy accepts a string outside the ") +
                DecoderName + " language: " + hexBytes(F.Witness);
+    attachFamily(F, *A.D, Decoder, re::SetOp::Difference);
   }
   return F;
 }
@@ -105,6 +119,7 @@ AuditFinding minimizeCheck(const NamedDfa &A, const re::Dfa &Min) {
     F.Pass = false;
     F.Witness = std::move(*W);
     F.Detail = "minimized table disagrees on: " + hexBytes(F.Witness);
+    attachFamily(F, *A.D, Min, re::SetOp::SymmetricDiff);
   }
   return F;
 }

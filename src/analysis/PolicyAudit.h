@@ -70,6 +70,11 @@ struct AuditFinding {
   bool Pass = false;
   std::string Detail;           ///< human-readable explanation
   std::vector<uint8_t> Witness; ///< counterexample byte string (on failure)
+  /// The counterexample *family*: up to 3 shortest members of the
+  /// offending product language in length-then-lex order (the first, when
+  /// present, equals Witness). One witness shows that an obligation
+  /// fails; the family shows the shape of the violation class.
+  std::vector<std::vector<uint8_t>> Family;
 };
 
 /// Per-table structural statistics.

@@ -10,8 +10,15 @@
 /// failure report names the seed and iteration, and the printed repro
 /// command replays exactly that image.
 ///
+/// --patches switches to the incremental-vs-full verifier differential
+/// (long-lived images mutated in place); --lint to the three-engine
+/// lint differential, holding the sequential, shard-derived, and
+/// incrementally maintained lint of every mutated image to
+/// byte-identical rendered reports.
+///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Dataflow.h"
 #include "core/Verifier.h"
 #include "fuzz/Corpus.h"
 #include "fuzz/Minimizer.h"
@@ -42,8 +49,9 @@ struct CliOptions {
   bool RunSlow = true;
   bool RunParallel = true;
   bool Patches = false;    ///< incremental-vs-full patch differential mode
-  uint64_t Images = 500;   ///< --patches: number of base images
-  uint64_t Steps = 20;     ///< --patches: patch steps per image
+  bool LintDiff = false;   ///< three-engine lint differential mode
+  uint64_t Images = 500;   ///< --patches/--lint: number of base images
+  uint64_t Steps = 20;     ///< --patches/--lint: patch steps per image
 };
 
 void usage(const char *Argv0) {
@@ -52,13 +60,17 @@ void usage(const char *Argv0) {
       "usage: %s [--smoke] [--seeds N] [--iters N] [--size N]\n"
       "          [--base-seed N] [--minimize] [--corpus DIR] [--stats]\n"
       "          [--no-slow] [--no-parallel]\n"
-      "          [--patches] [--images N] [--steps N]\n"
+      "          [--patches | --lint] [--images N] [--steps N]\n"
       "  --smoke   preset: --seeds 25 --iters 400 --size 384 --minimize\n"
       "            (10025 images through every verdict path)\n"
       "  --patches incremental-vs-full differential mode: open --images\n"
       "            base images, apply --steps structured patches each,\n"
       "            cross-check every incremental verdict (and its\n"
-      "            Valid/Target/PairJmp bitmaps) against a full re-check\n",
+      "            Valid/Target/PairJmp bitmaps) against a full re-check\n"
+      "  --lint    three-engine lint differential: sequential lintImage,\n"
+      "            the shard-derived lint (rotating shard counts), and\n"
+      "            the incremental linter must render byte-identical\n"
+      "            reports for every mutated image\n",
       Argv0);
 }
 
@@ -97,6 +109,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.RunParallel = false;
     } else if (A == "--patches") {
       O.Patches = true;
+    } else if (A == "--lint") {
+      O.LintDiff = true;
     } else if (A == "--images" && NextVal(V)) {
       O.Images = V;
     } else if (A == "--steps" && NextVal(V)) {
@@ -236,12 +250,132 @@ int runPatchDifferential(const CliOptions &O, svc::Metrics &M) {
   return Disagreements ? 1 : 0;
 }
 
+/// The three-engine lint differential: long-lived images mutated in
+/// place, and after every patch the sequential lint, the shard-derived
+/// lint (rotating shard counts), and the incrementally maintained lint
+/// must all render byte-identical reports. Chunk geometry rotates like
+/// the patch differential's; a quarter of the images are tail-truncated
+/// so incomplete-parse lint states stay in the loop. Also counts, per
+/// structured-patch kind, how many steps actually flipped the
+/// diagnostic counts — the coverage signal for the lint-directed kinds.
+int runLintDifferential(const CliOptions &O, svc::Metrics &M) {
+  const core::PolicyTables &T = core::policyTables();
+  static const uint32_t ChunkRotation[] = {512, 32, 256, 1024};
+  static const uint32_t ShardRotation[] = {1, 2, 3, 5, 8};
+  static const fuzz::PatchKind AllKinds[] = {
+      fuzz::PatchKind::BundleLocalEdit,  fuzz::PatchKind::SeamStraddle,
+      fuzz::PatchKind::MaskedPairSplit,  fuzz::PatchKind::RandomBytes,
+      fuzz::PatchKind::DeadPairRevive,   fuzz::PatchKind::CallSeamMisalign,
+      fuzz::PatchKind::BranchIntoPair};
+
+  uint64_t Disagreements = 0;
+  uint64_t Compared = 0;
+  uint64_t Flipped[std::size(AllKinds)] = {};
+  uint64_t Drawn[std::size(AllKinds)] = {};
+
+  auto ReportLintDiff = [&](uint64_t Seed, uint64_t Step, const char *Engine,
+                            const std::vector<uint8_t> &Bytes) {
+    ++Disagreements;
+    std::printf("LINT DISAGREEMENT at image-seed=%llu step=%llu: %s render "
+                "differs from sequential lintImage\n",
+                static_cast<unsigned long long>(Seed),
+                static_cast<unsigned long long>(Step), Engine);
+    std::printf("  repro: --lint --images 1 --base-seed %llu --steps %llu "
+                "--size %u\n",
+                static_cast<unsigned long long>(Seed),
+                static_cast<unsigned long long>(Step), O.Size);
+    std::printf("  image (%zu bytes):\n", Bytes.size());
+    hexDump(Bytes);
+  };
+
+  for (uint64_t I = 0; I < O.Images; ++I) {
+    uint64_t Seed = O.BaseSeed + I;
+    nacl::WorkloadOptions WO;
+    WO.TargetBytes = O.Size + uint32_t(I % 5) * 128;
+    WO.Seed = Seed;
+    std::vector<uint8_t> Bytes = nacl::generateWorkload(WO);
+    Rng ImgRng(mutationSeed(Seed, 0));
+    if (I % 4 == 3 && Bytes.size() > core::BundleSize)
+      Bytes.resize(Bytes.size() - 1 - ImgRng.below(core::BundleSize - 1));
+    if (Bytes.empty())
+      continue;
+
+    incr::IncrementalOptions IO;
+    IO.ChunkBytes = ChunkRotation[I % std::size(ChunkRotation)];
+    incr::IncrementalVerifier Incr(T, IO, &M);
+    analysis::IncrementalLinter Lint(T, &M);
+
+    incr::ImageId Id = Incr.open(Bytes);
+    Lint.open(Id, Bytes.data(), uint32_t(Bytes.size()), IO.ChunkBytes);
+
+    analysis::CfgLintResult Seq = analysis::lintImage(T, Bytes);
+    std::string SeqRender = Seq.render();
+    uint32_t PrevE = Seq.Errors, PrevW = Seq.Warnings, PrevN = Seq.Notes;
+
+    for (uint64_t Step = 0; Step <= O.Steps; ++Step) {
+      if (Step) {
+        Rng StepRng(mutationSeed(Seed, Step));
+        fuzz::PatchOp P = fuzz::nextStructuredPatch(Bytes, StepRng);
+        for (size_t B = 0; B < P.Bytes.size(); ++B)
+          Bytes[P.Offset + B] = P.Bytes[B];
+        incr::IncrResult R =
+            Incr.patch(Id, P.Offset, P.Bytes.data(), uint32_t(P.Bytes.size()));
+        Lint.relint(Id, Bytes.data(), uint32_t(Bytes.size()), R);
+        Seq = analysis::lintImage(T, Bytes);
+        SeqRender = Seq.render();
+        ++Drawn[size_t(P.Kind)];
+        if (Seq.Errors != PrevE || Seq.Warnings != PrevW || Seq.Notes != PrevN)
+          ++Flipped[size_t(P.Kind)];
+        PrevE = Seq.Errors;
+        PrevW = Seq.Warnings;
+        PrevN = Seq.Notes;
+      }
+
+      uint32_t Shards =
+          ShardRotation[(I + Step) % std::size(ShardRotation)];
+      analysis::CfgLintResult Shd = analysis::lintImageFromShards(
+          T, Bytes.data(), uint32_t(Bytes.size()), Shards, &M);
+      ++Compared;
+      if (Shd.render() != SeqRender || Shd.Errors != Seq.Errors ||
+          Shd.Warnings != Seq.Warnings || Shd.Notes != Seq.Notes)
+        ReportLintDiff(Seed, Step, "shard-derived lint", Bytes);
+      if (Lint.render(Id) != SeqRender)
+        ReportLintDiff(Seed, Step, "incremental lint", Bytes);
+    }
+    Lint.close(Id);
+    Incr.close(Id);
+  }
+
+  std::printf("fuzz_differential --lint: %llu images, %llu lint comparisons "
+              "x3 engines, %llu disagreements (incr relints %llu, fast "
+              "paths %llu)\n",
+              static_cast<unsigned long long>(O.Images),
+              static_cast<unsigned long long>(Compared),
+              static_cast<unsigned long long>(Disagreements),
+              static_cast<unsigned long long>(M.LintIncrRelints.get()),
+              static_cast<unsigned long long>(M.LintIncrFastPath.get()));
+  std::printf("  diag flips by patch kind:");
+  for (size_t K = 0; K < std::size(AllKinds); ++K)
+    std::printf(" %s %llu/%llu%s", fuzz::patchKindName(AllKinds[K]),
+                static_cast<unsigned long long>(Flipped[K]),
+                static_cast<unsigned long long>(Drawn[K]),
+                K + 1 < std::size(AllKinds) ? "," : "\n");
+  if (O.Stats)
+    std::fputs(M.dump().c_str(), stdout);
+  return Disagreements ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions O;
   if (!parseArgs(Argc, Argv, O))
     return 2;
+
+  if (O.LintDiff) {
+    svc::Metrics M;
+    return runLintDifferential(O, M);
+  }
 
   if (O.Patches) {
     svc::Metrics M;

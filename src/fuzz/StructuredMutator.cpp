@@ -2,6 +2,7 @@
 
 #include "fuzz/StructuredMutator.h"
 
+#include "analysis/CfgLint.h"
 #include "core/Verifier.h"
 #include "nacl/Mutator.h"
 
@@ -192,6 +193,12 @@ const char *fuzz::patchKindName(PatchKind K) {
     return "masked-pair-split";
   case PatchKind::RandomBytes:
     return "random-bytes";
+  case PatchKind::DeadPairRevive:
+    return "dead-pair-revive";
+  case PatchKind::CallSeamMisalign:
+    return "call-seam-misalign";
+  case PatchKind::BranchIntoPair:
+    return "branch-into-pair";
   }
   return "?";
 }
@@ -287,6 +294,105 @@ maskedPairSplitPatch(const std::vector<uint8_t> &Code, Rng &R) {
   return P;
 }
 
+/// Encodes a 2-byte jmp rel8 at \p At reaching \p Target, or nullopt
+/// when the displacement does not fit.
+std::optional<fuzz::PatchOp> jmpRel8Patch(uint32_t At, uint32_t Target,
+                                          fuzz::PatchKind Kind) {
+  int64_t Rel = int64_t(Target) - (int64_t(At) + 2);
+  if (Rel < -128 || Rel > 127)
+    return std::nullopt;
+  fuzz::PatchOp P;
+  P.Kind = Kind;
+  P.Offset = At;
+  P.Bytes = {0xEB, uint8_t(int8_t(Rel))};
+  return P;
+}
+
+/// Lint-directed: point a short jmp from a direct-reachable node at a
+/// masked pair the lint flagged dead, so the DeadMaskedPair warning
+/// flips off (and the pair's bundle stops being an unreachable note).
+std::optional<fuzz::PatchOp>
+deadPairRevivePatch(const std::vector<uint8_t> &Code, Rng &R) {
+  analysis::CfgLintResult L =
+      analysis::lintImage(core::policyTables(), Code);
+  std::vector<uint32_t> Dead;
+  for (const analysis::LintDiag &D : L.Diags)
+    if (D.Kind == analysis::LintKind::DeadMaskedPair)
+      Dead.push_back(D.Offset);
+  if (Dead.empty())
+    return std::nullopt;
+  uint32_t Pair = Dead[R.below(Dead.size())];
+  std::vector<uint32_t> Sites;
+  for (size_t I = 0; I < L.Nodes.size(); ++I) {
+    const analysis::CfgNode &N = L.Nodes[I];
+    if (!L.Reachable[I] || N.End - N.Begin < 2)
+      continue;
+    int64_t Rel = int64_t(Pair) - (int64_t(N.Begin) + 2);
+    if (Rel >= -128 && Rel <= 127)
+      Sites.push_back(N.Begin);
+  }
+  if (Sites.empty())
+    return std::nullopt;
+  return jmpRel8Patch(Sites[R.below(Sites.size())], Pair,
+                      fuzz::PatchKind::DeadPairRevive);
+}
+
+/// Lint-directed: overwrite a 5-byte node whose end is off the bundle
+/// seam with a direct call to a bundle start, so CallRetNotSeam flips
+/// on while the branch target itself stays policy-legal.
+std::optional<fuzz::PatchOp>
+callSeamMisalignPatch(const std::vector<uint8_t> &Code, Rng &R) {
+  uint32_t Size = uint32_t(Code.size());
+  if (Size < core::BundleSize)
+    return std::nullopt;
+  analysis::CfgLintResult L =
+      analysis::lintImage(core::policyTables(), Code);
+  std::vector<uint32_t> Sites;
+  for (const analysis::CfgNode &N : L.Nodes)
+    if (N.End - N.Begin >= 5 && N.Begin + 5 <= Size &&
+        (N.Begin + 5) % core::BundleSize != 0)
+      Sites.push_back(N.Begin);
+  if (Sites.empty())
+    return std::nullopt;
+  uint32_t At = Sites[R.below(Sites.size())];
+  uint32_t Target = core::BundleSize * uint32_t(R.below(Size / core::BundleSize));
+  int64_t Rel = int64_t(Target) - (int64_t(At) + 5);
+  fuzz::PatchOp P;
+  P.Kind = fuzz::PatchKind::CallSeamMisalign;
+  P.Offset = At;
+  P.Bytes = {0xE8, uint8_t(Rel), uint8_t(Rel >> 8), uint8_t(Rel >> 16),
+             uint8_t(Rel >> 24)};
+  return P;
+}
+
+/// Lint-directed: short-jmp into a masked pair's jump half — the
+/// classic unguarded-jump attack BranchIntoMaskedPair exists to catch.
+std::optional<fuzz::PatchOp>
+branchIntoPairPatch(const std::vector<uint8_t> &Code, Rng &R) {
+  analysis::CfgLintResult L =
+      analysis::lintImage(core::policyTables(), Code);
+  std::vector<uint32_t> Pairs;
+  for (const analysis::CfgNode &N : L.Nodes)
+    if (N.IndirectOut && N.End - N.Begin == 5)
+      Pairs.push_back(N.Begin);
+  if (Pairs.empty())
+    return std::nullopt;
+  uint32_t Pair = Pairs[R.below(Pairs.size())];
+  uint32_t Target = Pair + 3; // the FF /4-or-/2 jump half's first byte
+  std::vector<uint32_t> Sites;
+  for (const analysis::CfgNode &N : L.Nodes) {
+    if (N.End - N.Begin < 2 || N.Begin == Pair)
+      continue;
+    int64_t Rel = int64_t(Target) - (int64_t(N.Begin) + 2);
+    if (Rel >= -128 && Rel <= 127)
+      Sites.push_back(N.Begin);
+  }
+  if (Sites.empty())
+    return std::nullopt;
+  return jmpRel8Patch(Sites[R.below(Sites.size())], Target,
+                      fuzz::PatchKind::BranchIntoPair);
+}
+
 fuzz::PatchOp randomBytesPatch(const std::vector<uint8_t> &Code, Rng &R) {
   uint32_t Size = uint32_t(Code.size());
   uint32_t Off = uint32_t(R.below(Size));
@@ -316,6 +422,12 @@ fuzz::applyPatchKind(const std::vector<uint8_t> &Code, PatchKind Kind, Rng &R) {
     return maskedPairSplitPatch(Code, R);
   case PatchKind::RandomBytes:
     return randomBytesPatch(Code, R);
+  case PatchKind::DeadPairRevive:
+    return deadPairRevivePatch(Code, R);
+  case PatchKind::CallSeamMisalign:
+    return callSeamMisalignPatch(Code, R);
+  case PatchKind::BranchIntoPair:
+    return branchIntoPairPatch(Code, R);
   }
   return std::nullopt;
 }
@@ -326,7 +438,8 @@ fuzz::PatchOp fuzz::nextStructuredPatch(const std::vector<uint8_t> &Code,
       PatchKind::BundleLocalEdit, PatchKind::BundleLocalEdit,
       PatchKind::SeamStraddle,    PatchKind::SeamStraddle,
       PatchKind::MaskedPairSplit, PatchKind::MaskedPairSplit,
-      PatchKind::RandomBytes};
+      PatchKind::RandomBytes,     PatchKind::DeadPairRevive,
+      PatchKind::CallSeamMisalign, PatchKind::BranchIntoPair};
   PatchKind Kind = Kinds[R.below(std::size(Kinds))];
   if (auto P = applyPatchKind(Code, Kind, R))
     return *P;

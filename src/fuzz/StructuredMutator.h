@@ -75,6 +75,16 @@ enum class PatchKind : uint8_t {
   SeamStraddle,    ///< overwrite an instruction across a bundle seam
   MaskedPairSplit, ///< break exactly one half of a nacljmp pair
   RandomBytes,     ///< blind overwrite, for coverage of the blind case
+  // Lint-directed kinds: each aims to flip a specific diagnostic of
+  // analysis/CfgLint, so the lint differential exercises the engines on
+  // images whose diagnostic sets actually change between steps instead
+  // of only on verdict flips.
+  DeadPairRevive,   ///< jmp from live code to a dead masked pair
+                    ///< (flips the DeadMaskedPair warning off)
+  CallSeamMisalign, ///< plant a direct call whose return point misses
+                    ///< the bundle seam (flips CallRetNotSeam on)
+  BranchIntoPair,   ///< retarget a direct branch into a masked pair's
+                    ///< jump half (flips BranchIntoMaskedPair on)
 };
 
 const char *patchKindName(PatchKind K);

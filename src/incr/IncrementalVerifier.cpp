@@ -113,6 +113,8 @@ IncrResult IncrementalVerifier::reverify(ImageId Id) {
     // Full path: first verdict, rejects, and fast-path bailouts. The
     // seam-aware join is the certified-bit-identical reference.
     Res.SeamRescans = 0; // drop any partial splice's count
+    Res.Spliced = false;
+    Res.Windows.clear(); // and any windows a bailed-out splice appended
     MergeScratch.clear();
     MergeScratch.reserve(E.numChunks());
     for (const auto &S : E.Chunks)
@@ -211,6 +213,16 @@ bool IncrementalVerifier::spliceReverify(ImageEntry &E, IncrResult &Res) {
       }
     }
 
+    // Window descriptor for downstream incremental consumers (the
+    // linter): does any direct branch currently land strictly inside
+    // the window? TargetCnt still reflects the pre-splice chain here.
+    bool InteriorBefore = false;
+    for (uint32_t P = Pos0 + 1; P < WEnd; ++P)
+      if (M.TargetCnt[P]) {
+        InteriorBefore = true;
+        break;
+      }
+
     // Splice [Pos0, WEnd): retire the covered chunks' old target
     // contributions, clear the window's positional marks, apply the new.
     for (uint32_t C = D; C < CEnd; ++C) {
@@ -243,11 +255,22 @@ bool IncrementalVerifier::spliceReverify(ImageEntry &E, IncrResult &Res) {
       if (!M.R.Valid[CT.second])
         return false;
 
+    // The post-splice interior-target scan sees the applied chain.
+    bool InteriorAfter = false;
+    for (uint32_t P = Pos0 + 1; P < WEnd; ++P)
+      if (M.TargetCnt[P]) {
+        InteriorAfter = true;
+        break;
+      }
+    if (Pos0 < WEnd)
+      Res.Windows.push_back({Pos0, WEnd, InteriorBefore, InteriorAfter});
+
     NextUncovered = CEnd;
   }
 
   Res.Ok = true;
   Res.Reason = core::RejectReason::None;
+  Res.Spliced = true;
   return true;
 }
 

@@ -60,18 +60,39 @@ struct IncrementalOptions {
   ChunkCacheOptions Cache;
 };
 
+/// One spliced re-verification window: the chain was replayed over
+/// [Begin, End) and only that range's marks changed. Begin and End are
+/// chain positions in both the old and the new match chain, so a
+/// consumer maintaining per-node state (the incremental linter) can
+/// splice its own window in. The InteriorTargets* flags report whether
+/// any direct branch landed strictly inside (Begin, End) before /
+/// after the splice — when both are false and the window is pure
+/// straight-line code, nothing outside the window can observe it.
+struct SpliceWindow {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  bool InteriorTargetsBefore = false;
+  bool InteriorTargetsAfter = false;
+};
+
 /// The verdict plus what the incremental pass actually did — the
 /// observability the service's incr_*/svc_patch_* metrics export.
-/// Deliberately O(1): the full bitmaps of the current verdict stay
+/// O(#dirty ranges): the full bitmaps of the current verdict stay
 /// inside the verifier (they are the maintained merge) and are read by
 /// reference through `lastCheck`, so a patch verdict never pays an
-/// O(image) copy.
+/// O(image) copy; only the splice-window descriptors travel out.
 struct IncrResult {
   bool Ok = false;
   core::RejectReason Reason = core::RejectReason::None;
   uint32_t ChunksRescanned = 0; ///< dirty chunks whose scan was recomputed
   uint32_t ChunkCacheHits = 0;  ///< dirty chunks satisfied by the cache
   uint64_t SeamRescans = 0;     ///< verifySteps replayed at chunk seams
+  /// True when the verdict came from the O(patch) splice path; Windows
+  /// then lists every replayed window. False means a full merge ran
+  /// (first verdict, any reject, or a splice bail-out) and Windows is
+  /// empty.
+  bool Spliced = false;
+  std::vector<SpliceWindow> Windows;
 };
 
 class IncrementalVerifier {

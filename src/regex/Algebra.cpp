@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <queue>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -198,6 +199,57 @@ Dfa re::productDfa(const Dfa &A, const Dfa &B, SetOp Op) {
 
 std::optional<std::vector<uint8_t>> re::shortestAccepted(const Dfa &D) {
   return shortestTo(D, [&D](uint32_t S) { return D.Accepts[S] != 0; });
+}
+
+std::vector<std::vector<uint8_t>> re::kShortestAccepted(const Dfa &D,
+                                                        unsigned K) {
+  std::vector<std::vector<uint8_t>> Out;
+  if (K == 0 || D.numStates() == 0)
+    return Out;
+  uint32_t N = static_cast<uint32_t>(D.numStates());
+
+  // Best-first enumeration of prefixes: a heap entry is (string, state
+  // the string drives the DFA to), ordered by length then bytes. The
+  // DFA is deterministic, so string -> walk is a bijection and every
+  // string is generated at most once (by extending its unique proper
+  // prefix); popping in (length, lex) order therefore yields exactly
+  // the k shortest members, distinct and ordered. Standard k-shortest-
+  // walks bound: each state needs at most K pops, so the frontier stays
+  // O(K * N * 256) even on cyclic (infinite-language) DFAs; pruning to
+  // live states makes the heap drain on finite languages instead of
+  // wandering dead regions forever.
+  struct Entry {
+    std::vector<uint8_t> Str;
+    uint32_t State;
+  };
+  auto Later = [](const Entry &A, const Entry &B) {
+    if (A.Str.size() != B.Str.size())
+      return A.Str.size() > B.Str.size();
+    return A.Str > B.Str; // max-heap: "worse" = lexicographically larger
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(Later)> Heap(Later);
+  std::vector<uint8_t> Live = liveMask(D);
+  std::vector<uint32_t> Pops(N, 0);
+
+  if (Live[D.Start])
+    Heap.push({{}, D.Start});
+  while (!Heap.empty() && Out.size() < K) {
+    Entry E = Heap.top();
+    Heap.pop();
+    if (Pops[E.State]++ >= K)
+      continue;
+    if (D.Accepts[E.State])
+      Out.push_back(E.Str);
+    for (unsigned C = 0; C < 256; ++C) {
+      uint32_t T = D.Table[E.State][C];
+      if (!Live[T] || Pops[T] >= K)
+        continue;
+      Entry Next{E.Str, T};
+      Next.Str.push_back(static_cast<uint8_t>(C));
+      Heap.push(std::move(Next));
+    }
+  }
+  return Out;
 }
 
 bool re::languageEmpty(const Dfa &D) { return !shortestAccepted(D); }

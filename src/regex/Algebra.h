@@ -60,6 +60,17 @@ std::vector<uint8_t> liveMask(const Dfa &D);
 /// L(D) is empty. The empty vector means D accepts the empty string.
 std::optional<std::vector<uint8_t>> shortestAccepted(const Dfa &D);
 
+/// The \p K shortest members of L(D), ordered by length and then
+/// byte-lexicographically (so the first entry, when present, equals
+/// `shortestAccepted`). Returns fewer than \p K strings when |L(D)| < K
+/// (in particular an empty vector for the empty language), and the
+/// strings are pairwise distinct — a DFA walk is a string, so the
+/// best-first enumeration below never produces duplicates. This is the
+/// counterexample-*family* extractor: where a failed obligation used to
+/// come back as one witness, enumerating the k nearest members of the
+/// offending product language shows the shape of the violation class.
+std::vector<std::vector<uint8_t>> kShortestAccepted(const Dfa &D, unsigned K);
+
 /// True iff L(D) is empty.
 bool languageEmpty(const Dfa &D);
 

@@ -127,6 +127,11 @@ std::string Metrics::exposition() const {
   dumpScalar(Out, "lint_errors", LintErrors.get());
   dumpScalar(Out, "lint_warnings", LintWarnings.get());
   dumpScalar(Out, "lint_notes", LintNotes.get());
+  dumpScalar(Out, "lint_live_indirect_outs", LintLiveIndirectOuts.get());
+  dumpScalar(Out, "lint_dead_pairs", LintDeadPairs.get());
+  dumpScalar(Out, "lint_offseam_calls", LintOffSeamCalls.get());
+  dumpScalar(Out, "lint_incr_relints", LintIncrRelints.get());
+  dumpScalar(Out, "lint_incr_fastpath", LintIncrFastPath.get());
   dumpScalar(Out, "svc_verify_requests", SvcVerifyRequests.get());
   dumpScalar(Out, "svc_lint_requests", SvcLintRequests.get());
   dumpScalar(Out, "svc_audit_requests", SvcAuditRequests.get());
@@ -159,6 +164,7 @@ std::string Metrics::exposition() const {
   dumpHistogram(Out, "batch_images", BatchImages);
   dumpHistogram(Out, "svc_request_nanos", SvcRequestNanos);
   dumpHistogram(Out, "svc_patch_nanos", SvcPatchNanos);
+  dumpHistogram(Out, "analysis_dataflow_nanos", AnalysisDataflowNanos);
   return Out;
 }
 
@@ -183,6 +189,11 @@ void Metrics::reset() {
   LintErrors.reset();
   LintWarnings.reset();
   LintNotes.reset();
+  LintLiveIndirectOuts.reset();
+  LintDeadPairs.reset();
+  LintOffSeamCalls.reset();
+  LintIncrRelints.reset();
+  LintIncrFastPath.reset();
   SvcVerifyRequests.reset();
   SvcLintRequests.reset();
   SvcAuditRequests.reset();
@@ -209,6 +220,7 @@ void Metrics::reset() {
   BatchImages.reset();
   SvcRequestNanos.reset();
   SvcPatchNanos.reset();
+  AnalysisDataflowNanos.reset();
 }
 
 Metrics &svc::globalMetrics() {

@@ -119,6 +119,13 @@ struct Metrics {
   Counter LintWarnings; ///< warning-severity diagnostics emitted
   Counter LintNotes;    ///< note-severity diagnostics emitted
 
+  // Whole-image dataflow lint (src/analysis/Dataflow).
+  Counter LintLiveIndirectOuts; ///< ext-reachable computed transfers seen
+  Counter LintDeadPairs;        ///< dead-masked-pair diagnostics emitted
+  Counter LintOffSeamCalls;     ///< call-ret-not-seam diagnostics emitted
+  Counter LintIncrRelints;      ///< incremental re-lints performed
+  Counter LintIncrFastPath;     ///< ... that took the O(window) fast path
+
   // Verification service (src/svc/Service).
   Counter SvcVerifyRequests; ///< verify request frames handled
   Counter SvcLintRequests;   ///< lint request frames handled
@@ -152,6 +159,7 @@ struct Metrics {
   Histogram BatchImages;          ///< images per submit() call
   Histogram SvcRequestNanos;      ///< wall time per service request frame
   Histogram SvcPatchNanos;        ///< wall time per patch re-verification
+  Histogram AnalysisDataflowNanos; ///< wall time per dataflow pass pipeline
 
   /// Plain-text exposition of every metric: one `name value` line per
   /// scalar, Prometheus-style cumulative `name_bucket{le="..."}` lines

@@ -411,6 +411,7 @@ std::vector<uint8_t> proto::encodePatchRequest(const PatchRequestBody &P) {
   putU32(Out, P.Offset);
   putU32(Out, uint32_t(P.Bytes.size()));
   putBytes(Out, P.Bytes.data(), P.Bytes.size());
+  Out.push_back(P.WantLint ? 1 : 0);
   return Out;
 }
 
@@ -425,6 +426,7 @@ PatchRequestBody proto::decodePatchRequest(const std::vector<uint8_t> &Body) {
   if (uint64_t(P.Offset) + Len > uint64_t(UINT32_MAX))
     throw ProtocolError("patch range overflows the 32-bit image space");
   P.Bytes = R.bytes(Len);
+  P.WantLint = R.flag() != 0;
   R.done();
   return P;
 }
@@ -435,6 +437,15 @@ std::vector<uint8_t> proto::encodePatchResponse(const PatchReply &P) {
   Out.push_back(uint8_t(P.V.Reason));
   putU32(Out, P.ChunksRescanned);
   putU32(Out, P.ChunkCacheHits);
+  Out.push_back(P.HasLint ? 1 : 0);
+  if (P.HasLint) {
+    Out.push_back(P.Lint.ParseComplete ? 1 : 0);
+    putU32(Out, P.Lint.Errors);
+    putU32(Out, P.Lint.Warnings);
+    putU32(Out, P.Lint.Notes);
+    putU32(Out, uint32_t(P.Lint.Render.size()));
+    putBytes(Out, P.Lint.Render.data(), P.Lint.Render.size());
+  }
   return Out;
 }
 
@@ -445,6 +456,14 @@ PatchReply proto::decodePatchResponse(const std::vector<uint8_t> &Body) {
   P.V.Reason = core::RejectReason(decodeReason(R));
   P.ChunksRescanned = R.u32();
   P.ChunkCacheHits = R.u32();
+  P.HasLint = R.flag() != 0;
+  if (P.HasLint) {
+    P.Lint.ParseComplete = R.flag() != 0;
+    P.Lint.Errors = R.u32();
+    P.Lint.Warnings = R.u32();
+    P.Lint.Notes = R.u32();
+    P.Lint.Render = R.str(R.u32());
+  }
   R.done();
   return P;
 }

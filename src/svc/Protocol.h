@@ -207,14 +207,22 @@ struct PatchRequestBody {
   uint32_t Image = 0;
   uint32_t Offset = 0;
   std::vector<uint8_t> Bytes;
+  /// Ask the server to re-lint the patched image incrementally and
+  /// attach the report to the reply (a trailing flag byte on the wire).
+  bool WantLint = false;
 };
 
 /// Patch outcome: the re-verified verdict plus what the incremental
-/// pass did (the client-visible half of the incr_* metrics).
+/// pass did (the client-visible half of the incr_* metrics). When the
+/// request set WantLint, HasLint is true and Lint carries the
+/// incrementally maintained report — bit-identical to a fresh
+/// `lintImage` of the image's current bytes.
 struct PatchReply {
   VerifyVerdict V;
   uint32_t ChunksRescanned = 0;
   uint32_t ChunkCacheHits = 0;
+  bool HasLint = false;
+  LintReport Lint;
 };
 
 std::vector<uint8_t> encodeImageOpenRequest(const std::vector<uint8_t> &Image);

@@ -138,7 +138,8 @@ proto::TablesReply Service::tables(const std::string &ExpectHashHex) {
 }
 
 Service::Session::Session(Service &S)
-    : Incr(S.policyTables(), incr::IncrementalOptions{}, &S.metrics()) {}
+    : Incr(S.policyTables(), incr::IncrementalOptions{}, &S.metrics()),
+      Lint(S.policyTables(), &S.metrics()) {}
 
 proto::ImageOpenReply Service::imageOpen(Session &Sess,
                                          std::vector<uint8_t> Image) {
@@ -149,18 +150,34 @@ proto::ImageOpenReply Service::imageOpen(Session &Sess,
 
 proto::PatchReply Service::patch(Session &Sess, uint32_t Image,
                                  uint32_t Offset,
-                                 const std::vector<uint8_t> &Bytes) {
+                                 const std::vector<uint8_t> &Bytes,
+                                 bool WantLint) {
   incr::IncrResult R = Sess.incremental().patch(Image, Offset, Bytes.data(),
                                                 uint32_t(Bytes.size()));
   proto::PatchReply P;
   P.V = {R.Ok, R.Reason};
   P.ChunksRescanned = R.ChunksRescanned;
   P.ChunkCacheHits = R.ChunkCacheHits;
+  if (WantLint) {
+    const incr::ImageEntry *E = Sess.incremental().store().get(Image);
+    analysis::IncrementalLinter &L = Sess.linter();
+    analysis::IncrementalLinter::Summary S =
+        L.tracks(Image)
+            ? L.relint(Image, E->Bytes.data(), E->size(), R)
+            : L.open(Image, E->Bytes.data(), E->size(), E->ChunkBytes);
+    P.HasLint = true;
+    P.Lint.ParseComplete = S.ParseComplete;
+    P.Lint.Errors = S.Errors;
+    P.Lint.Warnings = S.Warnings;
+    P.Lint.Notes = S.Notes;
+    P.Lint.Render = L.render(Image);
+  }
   return P;
 }
 
 void Service::imageClose(Session &Sess, uint32_t Image) {
   Sess.incremental().close(Image);
+  Sess.linter().close(Image); // no-op when lint was never requested
 }
 
 std::vector<uint8_t> Service::handleFrame(const proto::Frame &F,
@@ -241,7 +258,8 @@ std::vector<uint8_t> Service::handleFrame(const proto::Frame &F, Session *Sess,
         throw proto::ProtocolError(
             "image-handle requests require a stateful session");
       proto::PatchRequestBody B = proto::decodePatchRequest(F.Body);
-      proto::PatchReply R = patch(*Sess, B.Image, B.Offset, B.Bytes);
+      proto::PatchReply R =
+          patch(*Sess, B.Image, B.Offset, B.Bytes, B.WantLint);
       proto::appendFrame(Out, MsgKind::PatchResponse,
                          proto::encodePatchResponse(R));
       Met->SvcPatchNanos.record(nowNanos() - T0);

@@ -51,6 +51,7 @@
 #ifndef ROCKSALT_SVC_SERVICE_H
 #define ROCKSALT_SVC_SERVICE_H
 
+#include "analysis/Dataflow.h"
 #include "incr/IncrementalVerifier.h"
 #include "svc/Protocol.h"
 #include "svc/VerifierPool.h"
@@ -113,9 +114,13 @@ public:
   public:
     explicit Session(Service &S);
     incr::IncrementalVerifier &incremental() { return Incr; }
+    analysis::IncrementalLinter &linter() { return Lint; }
 
   private:
     incr::IncrementalVerifier Incr;
+    /// Lint state maintained beside the verifier, populated lazily per
+    /// image on the first patch that asks for a lint report.
+    analysis::IncrementalLinter Lint;
   };
 
   /// Registers \p Image with the session's incremental verifier and
@@ -123,11 +128,15 @@ public:
   proto::ImageOpenReply imageOpen(Session &Sess, std::vector<uint8_t> Image);
 
   /// Overwrites [Offset, Offset+Bytes.size()) of the session image and
-  /// re-verifies incrementally. Throws std::invalid_argument on an
-  /// unknown handle or an out-of-range patch (the frame shell answers
-  /// those with an ErrorResponse and keeps the session).
+  /// re-verifies incrementally. With \p WantLint the session's
+  /// incremental linter re-lints in O(patch window) (first request per
+  /// image pays a full lint to seed the state) and the reply carries
+  /// the report. Throws std::invalid_argument on an unknown handle or
+  /// an out-of-range patch (the frame shell answers those with an
+  /// ErrorResponse and keeps the session).
   proto::PatchReply patch(Session &Sess, uint32_t Image, uint32_t Offset,
-                          const std::vector<uint8_t> &Bytes);
+                          const std::vector<uint8_t> &Bytes,
+                          bool WantLint = false);
 
   /// Drops the session image. Throws std::invalid_argument on an
   /// unknown handle.

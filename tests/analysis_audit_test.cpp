@@ -99,6 +99,16 @@ TEST(PolicyAudit, OverlapCorruptionYieldsByteExactWitness) {
   // The witness really is in both languages — replay it.
   EXPECT_TRUE(accepts(T.NoControlFlow, D->Witness));
   EXPECT_TRUE(accepts(T.DirectJump, D->Witness));
+  // The counterexample family enumerates the violation class: the first
+  // member is the witness itself and every member replays in both
+  // languages.
+  ASSERT_FALSE(D->Family.empty());
+  EXPECT_EQ(D->Family[0], D->Witness);
+  for (const std::vector<uint8_t> &S : D->Family) {
+    EXPECT_TRUE(accepts(T.NoControlFlow, S));
+    EXPECT_TRUE(accepts(T.DirectJump, S));
+  }
+  EXPECT_NE(D->Detail.find("family:"), std::string::npos) << D->Detail;
   // The untouched obligations still pass.
   const AuditFinding *M = R.find("disjoint(MaskedJump,DirectJump)");
   ASSERT_NE(M, nullptr);
@@ -125,6 +135,14 @@ TEST(PolicyAudit, DecoderDriftYieldsWitness) {
   EXPECT_EQ(D->Witness[0], 0xF1u);
   EXPECT_TRUE(accepts(T.NoControlFlow, D->Witness));
   EXPECT_FALSE(accepts(decoders().One, D->Witness));
+  // Every family member is policy-accepted yet undecodable (here the
+  // injected byte is the entire difference language).
+  ASSERT_FALSE(D->Family.empty());
+  EXPECT_EQ(D->Family[0], D->Witness);
+  for (const std::vector<uint8_t> &S : D->Family) {
+    EXPECT_TRUE(accepts(T.NoControlFlow, S));
+    EXPECT_FALSE(accepts(decoders().One, S));
+  }
 }
 
 TEST(PolicyAudit, DeadStateCorruptionFailsHealth) {

@@ -270,6 +270,70 @@ TEST(Health, DetectsLiveFlaggedReject) {
   EXPECT_GT(H.LiveFlaggedReject, 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// k-shortest witness enumeration.
+//===----------------------------------------------------------------------===//
+
+TEST(KShortest, LengthThenLexOrderPinned) {
+  Factory F;
+  // L = a(b|c)* — infinite language with a dense short prefix tree.
+  Dfa D = buildDfa(F, F.cat(F.byteLit('a'),
+                            F.star(F.alt(F.byteLit('b'), F.byteLit('c')))));
+  auto W = kShortestAccepted(D, 7);
+  ASSERT_EQ(W.size(), 7u);
+  EXPECT_EQ(W[0], bytes({'a'}));
+  EXPECT_EQ(W[1], bytes({'a', 'b'}));
+  EXPECT_EQ(W[2], bytes({'a', 'c'}));
+  EXPECT_EQ(W[3], bytes({'a', 'b', 'b'}));
+  EXPECT_EQ(W[4], bytes({'a', 'b', 'c'}));
+  EXPECT_EQ(W[5], bytes({'a', 'c', 'b'}));
+  EXPECT_EQ(W[6], bytes({'a', 'c', 'c'}));
+  // Every witness is a member, the first equals shortestAccepted, and
+  // the list is strictly increasing in (length, lex) order — hence
+  // pairwise distinct.
+  auto First = shortestAccepted(D);
+  ASSERT_TRUE(First.has_value());
+  EXPECT_EQ(W[0], *First);
+  for (size_t I = 0; I < W.size(); ++I) {
+    EXPECT_TRUE(accepts(D, W[I])) << "witness " << I;
+    if (I) {
+      bool Ordered = W[I - 1].size() < W[I].size() ||
+                     (W[I - 1].size() == W[I].size() && W[I - 1] < W[I]);
+      EXPECT_TRUE(Ordered) << "witness " << I;
+    }
+  }
+}
+
+TEST(KShortest, FiniteLanguageDrainsBelowK) {
+  Factory F;
+  // |L| = 3: enumeration must stop at 3 no matter how many were asked.
+  Dfa D = buildDfa(F, F.altN({lit(F, {'x'}), lit(F, {'y', 'z'}),
+                              lit(F, {'y', 'y', 'y'})}));
+  auto W = kShortestAccepted(D, 100);
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_EQ(W[0], bytes({'x'}));
+  EXPECT_EQ(W[1], bytes({'y', 'z'}));
+  EXPECT_EQ(W[2], bytes({'y', 'y', 'y'}));
+}
+
+TEST(KShortest, EmptyLanguageAndZeroK) {
+  Factory F;
+  Dfa Empty = buildDfa(F, F.voidRe());
+  EXPECT_TRUE(kShortestAccepted(Empty, 5).empty());
+  Dfa D = buildDfa(F, lit(F, {'a'}));
+  EXPECT_TRUE(kShortestAccepted(D, 0).empty());
+}
+
+TEST(KShortest, EpsilonIsTheShortestMember) {
+  Factory F;
+  Dfa D = buildDfa(F, F.star(F.byteLit('q')));
+  auto W = kShortestAccepted(D, 3);
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_TRUE(W[0].empty()); // the empty string
+  EXPECT_EQ(W[1], bytes({'q'}));
+  EXPECT_EQ(W[2], bytes({'q', 'q'}));
+}
+
 TEST(Product, OversizedProductThrows) {
   // Two DFAs whose reachable product would exceed the uint16_t id space
   // cannot be represented; the construction must refuse, not wrap.

@@ -82,6 +82,11 @@ TEST(SvcIncrTest, IncrCodecsRoundTrip) {
   EXPECT_EQ(P2.Image, 3u);
   EXPECT_EQ(P2.Offset, 96u);
   EXPECT_EQ(P2.Bytes, P.Bytes);
+  EXPECT_FALSE(P2.WantLint);
+  P.WantLint = true;
+  EXPECT_TRUE(
+      svc::proto::decodePatchRequest(svc::proto::encodePatchRequest(P))
+          .WantLint);
 
   svc::proto::PatchReply R;
   R.V = {true, core::RejectReason::None};
@@ -92,6 +97,22 @@ TEST(SvcIncrTest, IncrCodecsRoundTrip) {
   EXPECT_TRUE(R2.V.Ok);
   EXPECT_EQ(R2.ChunksRescanned, 2u);
   EXPECT_EQ(R2.ChunkCacheHits, 1u);
+  EXPECT_FALSE(R2.HasLint);
+
+  // The optional lint report round-trips when attached.
+  R.HasLint = true;
+  R.Lint.ParseComplete = true;
+  R.Lint.Errors = 0;
+  R.Lint.Warnings = 1;
+  R.Lint.Notes = 2;
+  R.Lint.Render = "  lint: ...\n";
+  svc::proto::PatchReply R3 =
+      svc::proto::decodePatchResponse(svc::proto::encodePatchResponse(R));
+  ASSERT_TRUE(R3.HasLint);
+  EXPECT_TRUE(R3.Lint.ParseComplete);
+  EXPECT_EQ(R3.Lint.Warnings, 1u);
+  EXPECT_EQ(R3.Lint.Notes, 2u);
+  EXPECT_EQ(R3.Lint.Render, R.Lint.Render);
 
   EXPECT_EQ(svc::proto::decodeImageCloseRequest(
                 svc::proto::encodeImageCloseRequest(9)),
@@ -188,6 +209,60 @@ TEST(SvcIncrTest, SessionOpenPatchCloseMatchesFullCheck) {
   EXPECT_EQ(M.SvcImageCloseRequests.get(), 1u);
   EXPECT_EQ(M.SvcPatchNanos.count(), 8u);
   EXPECT_GT(M.IncrChunkMisses.get(), 0u);
+}
+
+TEST(SvcIncrTest, PatchWithWantLintCarriesFreshIdenticalReport) {
+  svc::Metrics M;
+  svc::Service S(svc::ServiceOptions{2, &M});
+  svc::Service::Session Sess(S);
+
+  std::vector<uint8_t> Img = workload(800, 77);
+  svc::proto::ImageOpenReply O = svc::proto::decodeImageOpenResponse(
+      dispatch(S, &Sess, MsgKind::ImageOpenRequest,
+               svc::proto::encodeImageOpenRequest(Img))
+          .Body);
+  ASSERT_TRUE(O.V.Ok);
+
+  // Two lint-carrying patches: the first seeds the session's lint state
+  // (a full lint), the second goes through the incremental relint. Both
+  // reports must be byte-identical to a fresh lintImage of the mutated
+  // bytes.
+  for (uint32_t Step = 0; Step < 2; ++Step) {
+    svc::proto::PatchRequestBody P;
+    P.Image = O.Image;
+    P.Offset = 64 + 8 * Step;
+    P.Bytes.assign(4, 0x90);
+    P.WantLint = true;
+    for (uint32_t I = 0; I < P.Bytes.size(); ++I)
+      Img[P.Offset + I] = P.Bytes[I];
+    svc::proto::PatchReply R = svc::proto::decodePatchResponse(
+        dispatch(S, &Sess, MsgKind::PatchRequest,
+                 svc::proto::encodePatchRequest(P))
+            .Body);
+    ASSERT_TRUE(R.HasLint) << "step " << Step;
+    analysis::CfgLintResult Fresh = analysis::lintImage(S.policyTables(), Img);
+    EXPECT_EQ(R.Lint.Render, Fresh.render()) << "step " << Step;
+    EXPECT_EQ(R.Lint.Errors, Fresh.Errors) << "step " << Step;
+    EXPECT_EQ(R.Lint.Warnings, Fresh.Warnings) << "step " << Step;
+    EXPECT_EQ(R.Lint.Notes, Fresh.Notes) << "step " << Step;
+    EXPECT_EQ(R.Lint.ParseComplete, Fresh.ParseComplete) << "step " << Step;
+  }
+  EXPECT_EQ(M.LintIncrRelints.get(), 1u); // only the second patch relints
+
+  // A lint-less patch attaches no report.
+  svc::proto::PatchRequestBody P;
+  P.Image = O.Image;
+  P.Offset = 0;
+  P.Bytes = {0x90};
+  Img[0] = 0x90;
+  EXPECT_FALSE(svc::proto::decodePatchResponse(
+                   dispatch(S, &Sess, MsgKind::PatchRequest,
+                            svc::proto::encodePatchRequest(P))
+                       .Body)
+                   .HasLint);
+
+  dispatch(S, &Sess, MsgKind::ImageCloseRequest,
+           svc::proto::encodeImageCloseRequest(O.Image));
 }
 
 TEST(SvcIncrTest, BadHandleAndBadRangeAnswerErrorAndSessionSurvives) {
