@@ -8,8 +8,18 @@
 // ncval-style baseline, and throughput is around or above a million
 // instructions per second.
 //
-// Rows: RockSalt vs Baseline across image sizes; counters report MB/s
-// and instructions/s.
+// Experiment E16 (this repo): the fused cache-resident engine vs the
+// legacy three-table engine. The fused transition array (18.75 KiB,
+// 8-bit ids) plus run skipping replaces the legacy per-byte walk in
+// every production path; this bench measures both engines on the same
+// 1 MiB accepted image, certifies verdict lockstep on the bench corpus,
+// emits the measured trajectory as JSON lines (BENCH_checker.json when
+// ROCKSALT_BENCH_JSON is set), and **exits non-zero when the fused
+// path stops beating the legacy path by the pinned factor** — the
+// regression gate for the verify hot loop.
+//
+// Rows: RockSalt (fused) vs legacy vs Baseline across image sizes;
+// counters report MB/s and instructions/s.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,13 +29,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <vector>
 
 using namespace rocksalt;
 
 namespace {
+
+/// The fused path must sustain at least this multiple of the legacy
+/// engine's MB/s on the 1 MiB accepted image (the ISSUE-9 acceptance
+/// bar). Measured headroom is far above it; the gate catches a fused
+/// fast path that silently degrades to the per-byte walk.
+constexpr double FusedSpeedupGate = 2.0;
 
 /// Shared corpus across benchmark runs (one image per size).
 const std::vector<uint8_t> &imageOfSize(uint32_t Bytes) {
@@ -49,13 +68,41 @@ uint64_t instrCountOf(const std::vector<uint8_t> &Code) {
   return N;
 }
 
+/// Median wall time of Fn over Reps runs, in milliseconds.
+template <typename F> double medianMs(F Fn, int Reps = 15) {
+  std::vector<double> Ms;
+  Ms.reserve(Reps);
+  for (int I = 0; I < Reps; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    auto T1 = std::chrono::steady_clock::now();
+    Ms.push_back(std::chrono::duration<double, std::milli>(T1 - T0).count());
+  }
+  std::nth_element(Ms.begin(), Ms.begin() + Reps / 2, Ms.end());
+  return Ms[Reps / 2];
+}
+
 void benchRockSalt(benchmark::State &State) {
   const std::vector<uint8_t> &Code =
       imageOfSize(static_cast<uint32_t>(State.range(0)));
-  core::RockSalt V;
+  core::RockSalt V; // the fused production engine
   uint64_t Instrs = instrCountOf(Code);
   for (auto _ : State) {
     bool Ok = V.verify(Code);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * Code.size());
+  State.counters["instr/s"] = benchmark::Counter(
+      double(Instrs) * State.iterations(), benchmark::Counter::kIsRate);
+}
+
+void benchLegacy(benchmark::State &State) {
+  const std::vector<uint8_t> &Code =
+      imageOfSize(static_cast<uint32_t>(State.range(0)));
+  const core::PolicyTables &T = core::policyTables();
+  uint64_t Instrs = instrCountOf(Code);
+  for (auto _ : State) {
+    bool Ok = core::verifyImage(T, Code.data(), uint32_t(Code.size()));
     benchmark::DoNotOptimize(Ok);
   }
   State.SetBytesProcessed(int64_t(State.iterations()) * Code.size());
@@ -79,15 +126,17 @@ void benchBaseline(benchmark::State &State) {
 } // namespace
 
 BENCHMARK(benchRockSalt)->Arg(4096)->Arg(65536)->Arg(1 << 20)->Arg(4 << 20);
+BENCHMARK(benchLegacy)->Arg(4096)->Arg(65536)->Arg(1 << 20)->Arg(4 << 20);
 BENCHMARK(benchBaseline)->Arg(4096)->Arg(65536)->Arg(1 << 20)->Arg(4 << 20);
 
-/// The paper's headline comparison, printed once as a table row: one
-/// large image (the 200 kLoC-program stand-in), both checkers, and the
-/// speedup factor (the paper reports 0.90 s / 0.24 s = 3.75x).
+/// The paper's headline comparison plus the fused-vs-legacy gate,
+/// printed once as tables; JSON trajectory appended to
+/// BENCH_checker.json when ROCKSALT_BENCH_JSON is set.
 int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
+  // --- E1: paper Table (section 3.3) reproduction -----------------------
   const std::vector<uint8_t> &Code = imageOfSize(4 << 20);
   uint64_t Instrs = instrCountOf(Code);
   core::RockSalt V;
@@ -101,6 +150,10 @@ int main(int argc, char **argv) {
     return std::chrono::duration<double>(End - Start).count() / Reps;
   };
   double RockSecs = TimeIt([&] { return V.verify(Code); });
+  double LegacySecs = TimeIt([&] {
+    return core::verifyImage(core::policyTables(), Code.data(),
+                             uint32_t(Code.size()));
+  });
   double BaseSecs = TimeIt([&] { return core::baselineVerify(Code); });
 
   std::printf("\n--- E1: paper Table (section 3.3) reproduction ---\n");
@@ -108,13 +161,105 @@ int main(int argc, char **argv) {
               Code.size() / 1048576.0,
               static_cast<unsigned long long>(Instrs));
   std::printf("%-22s %10s %16s\n", "checker", "seconds", "instr/sec");
-  std::printf("%-22s %10.4f %16.0f\n", "rocksalt (DFA)", RockSecs,
+  std::printf("%-22s %10.4f %16.0f\n", "rocksalt (fused DFA)", RockSecs,
               Instrs / RockSecs);
+  std::printf("%-22s %10.4f %16.0f\n", "rocksalt (legacy DFA)", LegacySecs,
+              Instrs / LegacySecs);
   std::printf("%-22s %10.4f %16.0f\n", "baseline (ncval-style)", BaseSecs,
               Instrs / BaseSecs);
-  std::printf("speedup: %.2fx (paper: 0.90s vs 0.24s = 3.75x)\n",
+  std::printf("speedup vs baseline: %.2fx (paper: 0.90s vs 0.24s = 3.75x)\n",
               BaseSecs / RockSecs);
   std::printf("paper claim ~1M instr/s: %s\n",
               Instrs / RockSecs >= 1e6 ? "met" : "NOT met");
+
+  // --- E16: fused vs legacy on the 1 MiB accepted image -----------------
+  const std::vector<uint8_t> &Img = imageOfSize(1 << 20);
+  const core::PolicyTables &T = core::policyTables();
+  const core::FusedPolicy &P = core::fusedPolicyTables();
+  double MiB = Img.size() / 1048576.0;
+
+  // Lockstep sanity first: a fused engine that got fast by deciding
+  // differently must fail here, not pass the throughput gate.
+  core::CheckResult FusedR = V.check(Img);
+  core::CheckResult LegacyR = core::checkLegacy(T, Img.data(),
+                                                uint32_t(Img.size()));
+  bool Lockstep = FusedR.Ok == LegacyR.Ok && FusedR.Reason == LegacyR.Reason &&
+                  FusedR.Valid == LegacyR.Valid &&
+                  FusedR.Target == LegacyR.Target &&
+                  FusedR.PairJmp == LegacyR.PairJmp;
+
+  double FuseBuildMs =
+      medianMs([&] { benchmark::DoNotOptimize(core::buildFusedPolicy(T)); });
+  double FusedMs = medianMs([&] {
+    benchmark::DoNotOptimize(
+        core::verifyImage(P, Img.data(), uint32_t(Img.size())));
+  });
+  double FusedCheckMs = medianMs([&] {
+    benchmark::DoNotOptimize(V.check(Img).Ok);
+  });
+  double LegacyMs = medianMs([&] {
+    benchmark::DoNotOptimize(
+        core::verifyImage(T, Img.data(), uint32_t(Img.size())));
+  });
+  double FusedMBs = MiB / (FusedMs / 1e3);
+  double LegacyMBs = MiB / (LegacyMs / 1e3);
+  double Speedup = LegacyMs / FusedMs;
+
+  std::printf("\n--- E16: fused cache-resident engine vs legacy ---\n");
+  std::printf("image: %.1f MiB accepted workload; fused table %.2f KiB "
+              "(legacy %.1f KiB), safe bytes %u/256, run skip %s\n",
+              MiB, P.F.Trans.size() / 1024.0,
+              (core::NoControlFlowStates + core::DirectJumpStates +
+               core::MaskedJumpStates) *
+                  256 * 2 / 1024.0,
+              P.SafeCount, P.RunSkip ? "on" : "off");
+  std::printf("%-28s %10s %12s\n", "engine", "ms/image", "MB/s");
+  std::printf("%-28s %10.3f %12.1f\n", "fused verifyImage", FusedMs, FusedMBs);
+  std::printf("%-28s %10.3f %12.1f\n", "fused check (instrumented)",
+              FusedCheckMs, MiB / (FusedCheckMs / 1e3));
+  std::printf("%-28s %10.3f %12.1f\n", "legacy verifyImage", LegacyMs,
+              LegacyMBs);
+  std::printf("fused policy build: %.3f ms (once per process)\n", FuseBuildMs);
+  std::printf("fused speedup: %.2fx (gate: >= %.1fx), lockstep: %s\n",
+              Speedup, FusedSpeedupGate, Lockstep ? "bit-identical" : "BROKEN");
+
+  // JSON trajectory (same convention as bench_dfa_gen).
+  std::FILE *Json = stdout;
+  bool OwnFile = false;
+  if (std::getenv("ROCKSALT_BENCH_JSON")) {
+    Json = std::fopen("BENCH_checker.json", "a");
+    OwnFile = Json != nullptr;
+    if (!Json)
+      Json = stdout;
+  }
+  std::fprintf(Json,
+               "{\"bench\":\"checker\",\"metric\":\"e1_4mib_secs\","
+               "\"fused\":%.4f,\"legacy\":%.4f,\"baseline\":%.4f,"
+               "\"instr_per_sec\":%.0f}\n",
+               RockSecs, LegacySecs, BaseSecs, Instrs / RockSecs);
+  std::fprintf(Json,
+               "{\"bench\":\"checker\",\"metric\":\"e16_1mib\","
+               "\"fused_ms\":%.3f,\"fused_check_ms\":%.3f,"
+               "\"legacy_ms\":%.3f,\"fused_mb_s\":%.1f,\"legacy_mb_s\":%.1f,"
+               "\"speedup\":%.2f,\"fuse_build_ms\":%.3f,"
+               "\"safe_bytes\":%u,\"lockstep\":%s}\n",
+               FusedMs, FusedCheckMs, LegacyMs, FusedMBs, LegacyMBs, Speedup,
+               FuseBuildMs, P.SafeCount, Lockstep ? "true" : "false");
+  if (OwnFile)
+    std::fclose(Json);
+
+  // --- The regression gate ---------------------------------------------
+  if (!Lockstep) {
+    std::fprintf(stderr, "FAIL: fused and legacy engines disagree on the "
+                         "bench image\n");
+    return 1;
+  }
+  if (Speedup < FusedSpeedupGate) {
+    std::fprintf(stderr,
+                 "FAIL: fused path %.2fx vs legacy, below the %.1fx gate "
+                 "(fused %.1f MB/s, legacy %.1f MB/s)\n",
+                 Speedup, FusedSpeedupGate, FusedMBs, LegacyMBs);
+    return 1;
+  }
   return 0;
 }

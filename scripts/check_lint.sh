@@ -2,8 +2,9 @@
 # Style + static-analysis gate over the analysis subsystem (and the DFA
 # algebra it builds on) plus the service layer's protocol and server.
 # Runs clang-format in dry-run mode against .clang-format and clang-tidy
-# against .clang-tidy, over src/analysis/, regex/Algebra.*, the
-# svc/Service + svc/Protocol pair, and src/incr/.
+# against .clang-tidy, over src/analysis/, regex/Algebra.* and
+# regex/FusedTables.*, the svc/Service + svc/Protocol pair, and
+# src/incr/.
 #
 # The gate degrades gracefully: on machines without the clang tooling
 # (the CI container ships only gcc) it reports what it skipped and exits
@@ -24,6 +25,8 @@ $ROOT/src/analysis/Dataflow.h
 $ROOT/src/analysis/Dataflow.cpp
 $ROOT/src/regex/Algebra.h
 $ROOT/src/regex/Algebra.cpp
+$ROOT/src/regex/FusedTables.h
+$ROOT/src/regex/FusedTables.cpp
 $ROOT/src/svc/Protocol.h
 $ROOT/src/svc/Protocol.cpp
 $ROOT/src/svc/Service.h

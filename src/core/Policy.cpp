@@ -222,6 +222,109 @@ const PolicyTables &core::policyTables() {
   return *P;
 }
 
+FusedPolicy core::buildFusedPolicy(const PolicyTables &T) {
+  FusedPolicy P;
+  P.F = re::fuseDfas({&T.MaskedJump, &T.NoControlFlow, &T.DirectJump});
+
+  const uint8_t *MjRow =
+      &P.F.Trans[size_t(P.F.Starts[FusedMaskedJump]) * 256];
+  const uint8_t *NcfRow =
+      &P.F.Trans[size_t(P.F.Starts[FusedNoControlFlow]) * 256];
+  const uint8_t *DjRow =
+      &P.F.Trans[size_t(P.F.Starts[FusedDirectJump]) * 256];
+  for (uint32_t B = 0; B < 256; ++B) {
+    uint8_t MjFl = P.F.Flags[MjRow[B]];
+    uint8_t NcfFl = P.F.Flags[NcfRow[B]];
+    bool MjDead = (MjFl & re::FusedReject) != 0;
+    bool DjDead = P.F.rejects(DjRow[B]);
+    // dfaMatch checks reject before accept, so a safe byte's
+    // NoControlFlow landing must be a non-rejecting accept.
+    bool NcfOneByte = !(NcfFl & re::FusedReject) && (NcfFl & re::FusedAccept);
+    P.SafeByte[B] = MjDead && NcfOneByte ? 1 : 0;
+    P.MjAliveByte[B] = MjDead ? 0 : 1;
+    // Exceptional: the step could resolve as MaskedJump or DirectJump.
+    // A safe byte is never exceptional even when DirectJump is alive on
+    // it — the one-byte NoControlFlow accept outranks DirectJump in the
+    // Figure-5 chain order.
+    P.ExcByte[B] = (!MjDead || (!DjDead && !P.SafeByte[B])) ? 1 : 0;
+  }
+
+  // Second-byte resolution: among the DirectJump-only exceptional
+  // bytes, those whose DirectJump landing state dies on at least one
+  // second byte can be re-admitted to the sweep when the actual second
+  // byte kills the jump (the two-byte opcode prefix 0F: only 0F 8x is
+  // a jump). All such bytes must share one landing state to share the
+  // one Exc2Dead table; pick the state reached from the most byte
+  // values (ties to the smallest id) and leave the rest hard.
+  {
+    std::array<uint32_t, re::MaxFusedStates> Votes{};
+    for (uint32_t B = 0; B < 256; ++B) {
+      if (!P.ExcByte[B] || P.MjAliveByte[B])
+        continue;
+      uint8_t D1 = DjRow[B];
+      if (P.F.rejects(D1))
+        continue; // exceptional for other reasons; not a DJ-only byte
+      // A one-byte DirectJump accept must stay hard: the chain could
+      // resolve it as a jump when NoControlFlow fails, and its fused
+      // row is a restart row (FusedTables pass 4), not a real one.
+      if (P.F.accepts(D1))
+        continue;
+      bool AnyDead = false;
+      for (uint32_t B1 = 0; B1 < 256 && !AnyDead; ++B1)
+        AnyDead = P.F.rejects(P.F.step(D1, uint8_t(B1)));
+      if (AnyDead)
+        ++Votes[D1];
+    }
+    uint32_t Best = re::MaxFusedStates, BestVotes = 0;
+    for (uint32_t S = 0; S < re::MaxFusedStates; ++S)
+      if (Votes[S] > BestVotes) {
+        Best = S;
+        BestVotes = Votes[S];
+      }
+    if (Best != re::MaxFusedStates) {
+      P.Exc2State = Best;
+      for (uint32_t B1 = 0; B1 < 256; ++B1)
+        P.Exc2Dead[B1] =
+            P.F.rejects(P.F.step(uint8_t(Best), uint8_t(B1))) ? 1 : 0;
+      for (uint32_t B = 0; B < 256; ++B)
+        if (P.ExcByte[B] && !P.MjAliveByte[B] && DjRow[B] == Best)
+          P.ExcByte[B] = 2;
+    }
+  }
+
+  for (uint32_t B = 0; B < 256; ++B) {
+    P.SafeCount += P.SafeByte[B];
+    P.MjAliveCount += P.MjAliveByte[B];
+    P.ExcCount += P.ExcByte[B] != 0;
+    P.Exc2Count += P.ExcByte[B] == 2;
+  }
+  P.RunSkip = P.SafeCount >= RunSkipMinSafeBytes;
+  return P;
+}
+
+namespace {
+
+/// The shared fused instance, same immortal double-checked shape as
+/// SharedTables above. Built strictly after (and from) the shared
+/// PolicyTables, so an adoptPolicyTables() that beat the first
+/// policyTables() use is honored here too.
+std::atomic<const FusedPolicy *> SharedFused{nullptr};
+std::mutex SharedFusedM;
+
+} // namespace
+
+const FusedPolicy &core::fusedPolicyTables() {
+  if (const FusedPolicy *P = SharedFused.load(std::memory_order_acquire))
+    return *P;
+  const PolicyTables &T = policyTables();
+  std::lock_guard<std::mutex> L(SharedFusedM);
+  if (const FusedPolicy *P = SharedFused.load(std::memory_order_relaxed))
+    return *P;
+  const FusedPolicy *P = new FusedPolicy(buildFusedPolicy(T));
+  SharedFused.store(P, std::memory_order_release);
+  return *P;
+}
+
 bool core::adoptPolicyTables(PolicyTables T) {
   std::lock_guard<std::mutex> L(SharedTablesM);
   if (SharedTables.load(std::memory_order_relaxed))

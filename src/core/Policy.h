@@ -23,8 +23,10 @@
 #define ROCKSALT_CORE_POLICY_H
 
 #include "regex/Dfa.h"
+#include "regex/FusedTables.h"
 #include "x86/Grammars.h"
 
+#include <array>
 #include <string_view>
 
 namespace rocksalt {
@@ -70,6 +72,84 @@ struct PolicyTables {
 constexpr uint32_t NoControlFlowStates = 42;
 constexpr uint32_t DirectJumpStates = 8;
 constexpr uint32_t MaskedJumpStates = 25;
+
+/// Indices of the policy DFAs inside the fused transition array, in the
+/// Figure-5 match-priority order (MaskedJump is tried first, then
+/// NoControlFlow, then DirectJump).
+enum FusedSub : unsigned {
+  FusedMaskedJump = 0,
+  FusedNoControlFlow = 1,
+  FusedDirectJump = 2
+};
+
+/// Run skipping only engages when the chain-start safe-byte class is
+/// dense enough that runs actually occur; below this many safe byte
+/// values the per-position class probe is pure overhead.
+constexpr uint32_t RunSkipMinSafeBytes = 8;
+
+/// The verify fast path's working set: the three policy DFAs fused into
+/// one L1-resident 8-bit transition array (regex/FusedTables.h) plus
+/// the per-byte chain-entry classes derived from the start-state rows.
+///
+/// SafeByte[b] is the *chain-safe* class — the self-loop byte set of
+/// the virtual chain-start superstate: b is safe iff MaskedJump's first
+/// transition on b is a reject AND NoControlFlow's first transition on
+/// b is an accept. At any chain position whose byte is safe, the whole
+/// Figure-5 step is decided by that byte alone: MaskedJump can never
+/// match (dfaMatch dies on its first byte), NoControlFlow matches its
+/// shortest prefix — exactly one byte — and DirectJump is never
+/// consulted. The step is "NoControlFlow, length 1" for ANY suffix, so
+/// a run of safe bytes can be scanned with wide loads and marked
+/// wholesale without touching the DFA at all.
+///
+/// MjAliveByte[b] complements it on the slow side: b keeps the
+/// MaskedJump attempt alive (only the few mask-prefix bytes do), so the
+/// chain step can skip the whole MaskedJump walk for every other byte.
+///
+/// ExcByte[b] is the *chain-exceptional* class driving the verify inner
+/// loop's branchless NoControlFlow sweep: b is exceptional iff a chain
+/// step starting on it could resolve as anything but a NoControlFlow
+/// match. Non-exceptional (ExcByte[b] == 0) means MaskedJump's and
+/// DirectJump's first transitions on b both reject (or b is safe, where
+/// the one-byte NoControlFlow accept outranks DirectJump in the
+/// Figure-5 order), so the step's verdict is exactly "NoControlFlow
+/// match or whole-chain fail" and the sweep may walk the NoControlFlow
+/// DFA alone, restarting on accept without consulting the other two
+/// tables. ExcByte[b] == 2 is the second-byte-resolvable subclass: b
+/// keeps only DirectJump alive, landing it in the shared Exc2State,
+/// and Exc2Dead[b1] tells whether the actual second byte kills it (the
+/// two-byte opcode prefix 0F on the shipped tables: only 0F 8x is a
+/// jump, every other second byte is ordinary NoControlFlow). A start
+/// with ExcByte 2 and a dead second byte stays in the sweep; 1 means
+/// the full chain must run.
+///
+/// All classes are exact, derived from the tables — never heuristic —
+/// which is why the fused engine stays bit-identical to the legacy one.
+struct FusedPolicy {
+  re::FusedTables F;
+  std::array<uint8_t, 256> SafeByte{};
+  std::array<uint8_t, 256> MjAliveByte{};
+  std::array<uint8_t, 256> ExcByte{};
+  std::array<uint8_t, 256> Exc2Dead{};
+  uint32_t SafeCount = 0;    ///< |SafeByte|
+  uint32_t MjAliveCount = 0; ///< |MjAliveByte|
+  uint32_t ExcCount = 0;     ///< bytes with ExcByte != 0
+  uint32_t Exc2Count = 0;    ///< bytes with ExcByte == 2
+  /// Fused DirectJump state every ExcByte==2 start byte lands in (the
+  /// one Exc2Dead is derived from); MaxFusedStates when the class is
+  /// empty.
+  uint32_t Exc2State = re::MaxFusedStates;
+  bool RunSkip = false;      ///< SafeCount >= RunSkipMinSafeBytes
+};
+
+/// Fuses \p T into the verify fast path's layout. Deterministic; pure
+/// table preprocessing (roughly 20 KiB of writes — microseconds).
+FusedPolicy buildFusedPolicy(const PolicyTables &T);
+
+/// The shared fused form of policyTables(): built lazily once, after
+/// (and from) whatever table set the process adopted or built. The
+/// production verifier entry points all drive this instance.
+const FusedPolicy &fusedPolicyTables();
 
 /// Builds the policy grammars in \p F. (Regexes are interned in F, so the
 /// factory must outlive the result.)

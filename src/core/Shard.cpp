@@ -9,6 +9,8 @@
 
 #include "core/Shard.h"
 
+#include "core/NcfSweep.h"
+
 using namespace rocksalt;
 using namespace rocksalt::core;
 
@@ -35,6 +37,82 @@ void core::scanShard(const PolicyTables &T, const uint8_t *Code, uint32_t Size,
     }
   }
   S.StopPos = Pos;
+}
+
+void core::scanShard(const FusedPolicy &P, const uint8_t *Code, uint32_t Size,
+                     ShardScan &S) {
+  uint32_t Pos = S.Begin;
+  // ValidPos is written through a branchless cursor shared by all three
+  // lanes, so allocate its upper bound once: at most one start per byte
+  // of [Begin, End), plus one slot absorbing the sweep's dead writes
+  // for an instruction straddling S.End (the cursor stops advancing at
+  // mid-instruction bytes, so they all land just past the last start).
+  S.ValidPos.resize(size_t(S.End - S.Begin) + 1);
+  uint32_t *Dst = S.ValidPos.data();
+  size_t N = 0;
+  while (Pos < S.End) {
+    // Run skipping, clamped to the shard limit: each safe byte is a
+    // one-byte NoControlFlow step for any suffix, so the fresh chain
+    // marks every position in the run and — when the run reaches S.End
+    // — stops exactly at S.End, just like the per-byte scan.
+    if (P.RunSkip && P.SafeByte[Code[Pos]]) {
+      uint32_t RunEnd = safeRunEnd(P, Code, Pos, S.End);
+      for (uint32_t Q = Pos; Q < RunEnd; ++Q)
+        Dst[N++] = Q;
+      Pos = RunEnd;
+      continue;
+    }
+    // The branchless NoControlFlow sweep (core/NcfSweep.h): every start
+    // it records lies in [Pos, S.End) — it stops at starts past the
+    // limit — and it records no targets or pair jumps (non-exceptional
+    // steps are NoControlFlow matches by construction), so the scan
+    // lists stay identical to the per-step loop's.
+    if (P.ExcByte[Code[Pos]] != 1) {
+      detail::SweepStop St = detail::ncfSweepImpl<true>(
+          P, Code, Size, S.End, &Pos, [Dst, &N](uint32_t Q, uint8_t IsStart) {
+            Dst[N] = Q;
+            N += IsStart;
+          });
+      switch (St) {
+      case detail::SweepStop::ExcStart:
+        break; // full chain handles the exceptional start below
+      case detail::SweepStop::Bound:
+      case detail::SweepStop::CleanEnd:
+        continue; // Pos >= S.End (or == Size): outer loop exits
+      case detail::SweepStop::Fail:
+        S.Failed = true;
+        S.StopPos = Pos; // the failing instruction's start
+        S.ValidPos.resize(N);
+        return;
+      }
+    }
+    Dst[N++] = Pos;
+    uint32_t Dest = 0;
+    switch (verifyStep(P, Code, &Pos, Size, &Dest)) {
+    case StepKind::MaskedJump:
+      S.PairJmpPos.push_back(Pos - MaskedJumpHalfLen);
+      break;
+    case StepKind::NoControlFlow:
+      break;
+    case StepKind::DirectJump:
+      S.TargetPos.push_back(Dest);
+      break;
+    case StepKind::Fail:
+      S.Failed = true;
+      S.StopPos = Pos;
+      S.ValidPos.resize(N);
+      return;
+    }
+  }
+  S.StopPos = Pos;
+  S.ValidPos.resize(N);
+#if defined(__GNUC__)
+  // Seam prefetch: when the same worker goes on to scan (or the merge
+  // goes on to replay) the adjacent shard, its first line is already
+  // inbound.
+  if (S.End < Size)
+    __builtin_prefetch(Code + S.End);
+#endif
 }
 
 void core::partitionShards(uint32_t Size, uint32_t NumShards,
@@ -69,10 +147,26 @@ CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
   return mergeShardScans(T, Code, Size, Ptrs.data(), Ptrs.size(), SeamRescans);
 }
 
-CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
+CheckResult core::mergeShardScans(const FusedPolicy &P, const uint8_t *Code,
                                   uint32_t Size,
-                                  const ShardScan *const *Shards,
-                                  size_t NumShards, uint64_t *SeamRescans) {
+                                  const std::vector<ShardScan> &Shards,
+                                  uint64_t *SeamRescans) {
+  std::vector<const ShardScan *> Ptrs;
+  Ptrs.reserve(Shards.size());
+  for (const ShardScan &S : Shards)
+    Ptrs.push_back(&S);
+  return mergeShardScans(P, Code, Size, Ptrs.data(), Ptrs.size(), SeamRescans);
+}
+
+namespace {
+
+// One merge body serves both engines: verifyStep is overloaded on the
+// table type, so the seam re-check resolves to whichever engine the
+// caller merges with.
+template <typename Engine>
+CheckResult mergeImpl(const Engine &T, const uint8_t *Code, uint32_t Size,
+                      const ShardScan *const *Shards, size_t NumShards,
+                      uint64_t *SeamRescans) {
   CheckResult R;
   R.Valid.assign(Size, 0);
   R.Target.assign(Size, 0);
@@ -128,4 +222,20 @@ CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
 
   finalizeCheck(R);
   return R;
+}
+
+} // namespace
+
+CheckResult core::mergeShardScans(const PolicyTables &T, const uint8_t *Code,
+                                  uint32_t Size,
+                                  const ShardScan *const *Shards,
+                                  size_t NumShards, uint64_t *SeamRescans) {
+  return mergeImpl(T, Code, Size, Shards, NumShards, SeamRescans);
+}
+
+CheckResult core::mergeShardScans(const FusedPolicy &P, const uint8_t *Code,
+                                  uint32_t Size,
+                                  const ShardScan *const *Shards,
+                                  size_t NumShards, uint64_t *SeamRescans) {
+  return mergeImpl(P, Code, Size, Shards, NumShards, SeamRescans);
 }

@@ -68,6 +68,16 @@ struct ShardScan {
 void scanShard(const PolicyTables &T, const uint8_t *Code, uint32_t Size,
                ShardScan &S);
 
+/// Fused-engine shard scan: identical positions and stop behavior to
+/// the legacy overload, with the run-skipping fast path for safe-byte
+/// runs (clamped to S.End — each safe byte is a one-byte step, so the
+/// fresh chain stops exactly where the per-byte scan would) and a
+/// prefetch of the next shard's first line across the seam. Wide loads
+/// never read at or past S.End, so the chunk cache's scan-window
+/// contract (incr/ChunkCache.h) is untouched.
+void scanShard(const FusedPolicy &P, const uint8_t *Code, uint32_t Size,
+               ShardScan &S);
+
 /// Splits [0, Size) into \p NumShards bundle-aligned shards, filling
 /// \p Shards (reusing its elements' buffers). The actual count may be
 /// lower for small images; every shard is non-empty.
@@ -90,6 +100,16 @@ CheckResult mergeShardScans(const PolicyTables &T, const uint8_t *Code,
 /// and freshly scanned chunks held behind shared_ptrs). Identical
 /// semantics; the vector overload delegates here.
 CheckResult mergeShardScans(const PolicyTables &T, const uint8_t *Code,
+                            uint32_t Size, const ShardScan *const *Shards,
+                            size_t NumShards, uint64_t *SeamRescans = nullptr);
+
+/// Fused-engine joins: same seam-aware replay, with seam re-checks
+/// stepping the fused verifyStep. Mixing engines between scan and merge
+/// is fine — both produce the sequential chain's positions.
+CheckResult mergeShardScans(const FusedPolicy &P, const uint8_t *Code,
+                            uint32_t Size, const std::vector<ShardScan> &Shards,
+                            uint64_t *SeamRescans = nullptr);
+CheckResult mergeShardScans(const FusedPolicy &P, const uint8_t *Code,
                             uint32_t Size, const ShardScan *const *Shards,
                             size_t NumShards, uint64_t *SeamRescans = nullptr);
 

@@ -11,9 +11,30 @@
 // run the identical chain from any resume position; the sequential
 // entry points below are thin loops over it.
 //
+// Both engines live here. The legacy overloads (PolicyTables&) walk the
+// three separate uint16-id tables per byte — the paper's C, verbatim —
+// and survive as the differential reference (`checkLegacy`). The fused
+// overloads (FusedPolicy&) make the identical decisions over the
+// 18.75 KiB fused 8-bit array, with four exact accelerations: the
+// chain-safe one-byte fast return, the MjAliveByte gate that skips the
+// MaskedJump walk when its first transition already rejects, the
+// run-skipping scan (`safeRunEnd`) that marks whole safe-byte runs
+// valid without entering the chain at all, and the branchless
+// NoControlFlow sweep (`ncfSweep`) that streams every non-exceptional
+// stretch through the single fused table with one load per byte —
+// restart rows make instruction-boundary restarts free — handing back
+// to the full Figure-5 chain only at ExcByte-flagged starts. DESIGN.md
+// section 15 states the equivalence argument; the fuzz harness's
+// `--fused` mode and tests/fused_tables_test.cpp enforce it
+// bit-for-bit.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Verifier.h"
+
+#include "core/NcfSweep.h"
+
+#include <algorithm>
 
 using namespace rocksalt;
 using namespace rocksalt::core;
@@ -81,6 +102,36 @@ StepKind core::verifyStep(const PolicyTables &T, const uint8_t *Code,
   return StepKind::Fail;
 }
 
+StepKind core::verifyStep(const FusedPolicy &P, const uint8_t *Code,
+                          uint32_t *Pos, uint32_t Size, uint32_t *TargetOut) {
+  uint32_t SavedPos = *Pos;
+  if (SavedPos < Size) {
+    uint8_t B0 = Code[SavedPos];
+    // Chain-safe byte: MaskedJump's first transition rejects and
+    // NoControlFlow's accepts, so the whole chain step is decided here
+    // — "NoControlFlow, length 1" — for any suffix.
+    if (P.SafeByte[B0]) {
+      ++*Pos;
+      return StepKind::NoControlFlow;
+    }
+    // MjAliveByte gate: when MaskedJump's first transition on B0 is a
+    // reject, dfaMatch over it returns false after one step — skip the
+    // walk entirely. Exact: an alive first transition (continue OR
+    // accept) still takes the full fused walk.
+    if (P.MjAliveByte[B0] &&
+        re::fusedMatch(P.F, FusedMaskedJump, Code, Pos, Size))
+      return StepKind::MaskedJump;
+  }
+  if (re::fusedMatch(P.F, FusedNoControlFlow, Code, Pos, Size))
+    return StepKind::NoControlFlow;
+  if (re::fusedMatch(P.F, FusedDirectJump, Code, Pos, Size)) {
+    if (extractTarget(Code, SavedPos, *Pos, Size, TargetOut))
+      return StepKind::DirectJump;
+    *Pos = SavedPos;
+  }
+  return StepKind::Fail;
+}
+
 const char *core::rejectReasonName(RejectReason R) {
   switch (R) {
   case RejectReason::None:
@@ -97,19 +148,27 @@ const char *core::rejectReasonName(RejectReason R) {
 
 void core::finalizeCheck(CheckResult &R) {
   uint32_t Size = static_cast<uint32_t>(R.Valid.size());
-  R.Ok = true;
+  // Branchless violation sweep first: the common (accepting) image pays
+  // one vectorizable pass instead of a data-dependent branch per byte.
+  uint8_t AnyBad = 0;
+  for (uint32_t I = 0; I < Size; ++I)
+    AnyBad |= uint8_t(R.Target[I] & (R.Valid[I] ^ 1));
+  for (uint32_t I = 0; I < Size; I += BundleSize)
+    AnyBad |= uint8_t(R.Valid[I] ^ 1);
+  if (!AnyBad) {
+    R.Ok = true;
+    R.Reason = RejectReason::None;
+    return;
+  }
+  // Some violation exists: replay the exact scan to pin the reason
+  // (first violating position; bad-target outranks alignment there).
+  R.Ok = false;
   R.Reason = RejectReason::None;
-  for (uint32_t I = 0; I < Size; ++I) {
-    if (R.Target[I] && !R.Valid[I]) {
-      R.Ok = false;
-      if (R.Reason == RejectReason::None)
-        R.Reason = RejectReason::BadTarget;
-    }
-    if (!(I & (BundleSize - 1)) && !R.Valid[I]) {
-      R.Ok = false;
-      if (R.Reason == RejectReason::None)
-        R.Reason = RejectReason::UnalignedBundle;
-    }
+  for (uint32_t I = 0; I < Size && R.Reason == RejectReason::None; ++I) {
+    if (R.Target[I] && !R.Valid[I])
+      R.Reason = RejectReason::BadTarget;
+    else if (!(I & (BundleSize - 1)) && !R.Valid[I])
+      R.Reason = RejectReason::UnalignedBundle;
   }
 }
 
@@ -141,7 +200,80 @@ bool core::verifyImage(const PolicyTables &T, const uint8_t *Code,
   return Ok;
 }
 
-CheckResult RockSalt::check(const uint8_t *Code, uint32_t Size) const {
+namespace {
+
+using detail::SweepStop;
+
+/// The sequential entry points' form of the sweep (core/NcfSweep.h):
+/// whole-image limit, instruction starts marked into the \p Valid
+/// bitmap, no fail-position tracking (the callers only need the
+/// verdict). Never returns SweepStop::Bound.
+SweepStop ncfSweep(const FusedPolicy &P, const uint8_t *Code, uint32_t Size,
+                   uint32_t *Pos, uint8_t *Valid) {
+  return detail::ncfSweepImpl<false>(
+      P, Code, Size, Size, Pos,
+      [Valid](uint32_t Q, uint8_t IsStart) { Valid[Q] = IsStart; });
+}
+
+} // namespace
+
+bool core::verifyImage(const FusedPolicy &P, const uint8_t *Code,
+                       uint32_t Size) {
+  uint32_t Pos = 0;
+  std::vector<uint8_t> Valid(Size, 0);
+  // Direct jumps are sparse; a destination list beats a second
+  // image-sized bitmap (no 1 MiB clear, no full-image final pass).
+  std::vector<uint32_t> Targets;
+
+  while (Pos < Size) {
+    uint8_t B0 = Code[Pos];
+    // Run skipping: a run of chain-safe bytes is a sequence of one-byte
+    // NoControlFlow steps whatever follows it, so every position in the
+    // run is an instruction start — mark wholesale and jump past.
+    if (P.RunSkip && P.SafeByte[B0]) {
+      uint32_t End = safeRunEnd(P, Code, Pos, Size);
+      std::fill(Valid.begin() + Pos, Valid.begin() + End, uint8_t(1));
+      Pos = End;
+      continue;
+    }
+    if (P.ExcByte[B0] != 1) {
+      switch (ncfSweep(P, Code, Size, &Pos, Valid.data())) {
+      case SweepStop::ExcStart:
+        break; // full chain handles the exceptional start below
+      case SweepStop::Bound:   // unreachable: Limit == Size
+      case SweepStop::CleanEnd:
+        continue; // Pos == Size: outer loop exits
+      case SweepStop::Fail:
+        return false;
+      }
+    }
+    Valid[Pos] = 1;
+    uint32_t Dest = 0;
+    switch (verifyStep(P, Code, &Pos, Size, &Dest)) {
+    case StepKind::MaskedJump:
+    case StepKind::NoControlFlow:
+      break;
+    case StepKind::DirectJump:
+      Targets.push_back(Dest);
+      break;
+    case StepKind::Fail:
+      return false;
+    }
+  }
+
+  uint8_t Aligned = 1;
+  for (uint32_t I = 0; I < Size; I += BundleSize)
+    Aligned &= Valid[I];
+  if (!Aligned)
+    return false;
+  for (uint32_t T : Targets)
+    if (!Valid[T])
+      return false;
+  return true;
+}
+
+CheckResult core::checkLegacy(const PolicyTables &T, const uint8_t *Code,
+                              uint32_t Size) {
   CheckResult R;
   R.Valid.assign(Size, 0);
   R.Target.assign(Size, 0);
@@ -151,7 +283,66 @@ CheckResult RockSalt::check(const uint8_t *Code, uint32_t Size) const {
   while (Pos < Size) {
     R.Valid[Pos] = 1;
     uint32_t Dest = 0;
-    switch (verifyStep(Tables, Code, &Pos, Size, &Dest)) {
+    switch (verifyStep(T, Code, &Pos, Size, &Dest)) {
+    case StepKind::MaskedJump:
+      // The jump half is the last two bytes of the matched pair,
+      // whatever the mask half's length.
+      R.PairJmp[Pos - MaskedJumpHalfLen] = 1;
+      break;
+    case StepKind::NoControlFlow:
+      break;
+    case StepKind::DirectJump:
+      R.Target[Dest] = 1;
+      break;
+    case StepKind::Fail:
+      R.Ok = false;
+      R.Reason = RejectReason::NoParse;
+      return R;
+    }
+  }
+
+  finalizeCheck(R);
+  return R;
+}
+
+CheckResult RockSalt::check(const uint8_t *Code, uint32_t Size) const {
+  CheckResult R;
+  R.Valid.assign(Size, 0);
+  R.Target.assign(Size, 0);
+  R.PairJmp.assign(Size, 0);
+
+  const FusedPolicy &P = Fused;
+  uint32_t Pos = 0;
+  while (Pos < Size) {
+    uint8_t B0 = Code[Pos];
+    // Safe-byte runs: a run never contains a masked-jump pair or a
+    // direct jump (both classes are excluded from SafeByte by
+    // construction), so PairJmp/Target stay untouched across it.
+    if (P.RunSkip && P.SafeByte[B0]) {
+      uint32_t End = safeRunEnd(P, Code, Pos, Size);
+      std::fill(R.Valid.begin() + Pos, R.Valid.begin() + End, uint8_t(1));
+      Pos = End;
+      continue;
+    }
+    // The branchless NoControlFlow sweep covers every step the full
+    // chain could only ever resolve as NoControlFlow; it never touches
+    // PairJmp/Target, so the instrumented result is identical.
+    if (P.ExcByte[B0] != 1) {
+      switch (ncfSweep(P, Code, Size, &Pos, R.Valid.data())) {
+      case SweepStop::ExcStart:
+        break;
+      case SweepStop::Bound:   // unreachable: Limit == Size
+      case SweepStop::CleanEnd:
+        continue;
+      case SweepStop::Fail:
+        R.Ok = false;
+        R.Reason = RejectReason::NoParse;
+        return R;
+      }
+    }
+    R.Valid[Pos] = 1;
+    uint32_t Dest = 0;
+    switch (verifyStep(P, Code, &Pos, Size, &Dest)) {
     case StepKind::MaskedJump:
       // The jump half is the last two bytes of the matched pair,
       // whatever the mask half's length.

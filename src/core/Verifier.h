@@ -2,9 +2,25 @@
 ///
 /// \file
 /// The RockSalt verifier: a direct port of the paper's Figures 5 and 6.
-/// The run-time trusted computing base is `dfaMatch` plus `verifyImage` —
-/// under a hundred lines of table-walking code; everything interesting
-/// lives in the generated DFA tables (core/Policy.h).
+/// The run-time trusted computing base is the table-walking code below;
+/// everything interesting lives in the generated DFA tables
+/// (core/Policy.h).
+///
+/// Two engines implement the same Figure-5 decision procedure:
+///
+///  * the **legacy** engine — `dfaMatch` over the three separate
+///    uint16-id tables, per byte, exactly the C of the paper's
+///    Figure 6. Kept as the differential reference (`checkLegacy`);
+///
+///  * the **fused** engine — one L1-resident 8-bit transition array
+///    (core::FusedPolicy) with a run-skipping fast path for the
+///    straight-line common case. This is what `RockSalt`, the parallel
+///    verifier, and the incremental verifier drive in production.
+///
+/// The two are certified bit-identical (verdict, reject reason, and the
+/// Valid/Target/PairJmp bitmaps) by tests/fused_tables_test.cpp and the
+/// `fused_equivalence` fuzz gate; DESIGN.md section 15 gives the
+/// argument for why the equivalence holds by construction.
 ///
 /// `check` is an instrumented variant returning the `valid` and `target`
 /// arrays plus the positions of the jump halves of masked-jump pairs;
@@ -19,6 +35,7 @@
 #include "core/Policy.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace rocksalt {
@@ -47,6 +64,50 @@ StepKind verifyStep(const PolicyTables &T, const uint8_t *Code, uint32_t *Pos,
 /// policy.
 bool verifyImage(const PolicyTables &T, const uint8_t *Code, uint32_t Size);
 
+/// Fused-engine verifyStep: the identical Figure-5 chain over the fused
+/// transition array. Bit-identical decisions and *Pos movement to the
+/// legacy overload above — the chain-safe fast return and the
+/// MjAliveByte gate are exact consequences of the start-state rows
+/// (core/Policy.h). This is the resumable entry point the fused shard
+/// scanner and the incremental verifier drive.
+StepKind verifyStep(const FusedPolicy &P, const uint8_t *Code, uint32_t *Pos,
+                    uint32_t Size, uint32_t *TargetOut);
+
+/// Fused-engine Figure 5 with the run-skipping fast path.
+bool verifyImage(const FusedPolicy &P, const uint8_t *Code, uint32_t Size);
+
+/// Run skipping: scans forward from \p Pos while bytes stay in the
+/// chain-safe class, returning the first position whose byte is unsafe
+/// (or \p Limit). Every position in [Pos, result) is a one-byte
+/// NoControlFlow step for ANY suffix, so the caller may mark them all
+/// valid without consulting the DFA. Eight flag gathers are AND-folded
+/// per iteration so the branch runs once per 8 bytes on long runs; the
+/// bound checks are written `Limit - Q >= 8` (never `Q + 8 <= Limit`)
+/// so they cannot wrap, and no byte at or past Limit is ever read —
+/// shard and chunk-cache read-window contracts are preserved.
+inline uint32_t safeRunEnd(const FusedPolicy &P, const uint8_t *Code,
+                           uint32_t Pos, uint32_t Limit) {
+  const uint8_t *Safe = P.SafeByte.data();
+  uint32_t Q = Pos;
+  while (Limit - Q >= 8 && Q < Limit) {
+    const uint8_t *B = Code + Q;
+    uint8_t All = uint8_t(Safe[B[0]] & Safe[B[1]] & Safe[B[2]] & Safe[B[3]] &
+                          Safe[B[4]] & Safe[B[5]] & Safe[B[6]] & Safe[B[7]]);
+    if (!All)
+      break;
+    Q += 8;
+#if defined(__GNUC__)
+    // On long runs, pull the next cache line in while the AND-folds of
+    // the current one retire.
+    if (!((Q - Pos) & 63) && Limit - Q >= 64)
+      __builtin_prefetch(Code + Q + 64);
+#endif
+  }
+  while (Q < Limit && Safe[Code[Q]])
+    ++Q;
+  return Q;
+}
+
 /// Why an image was rejected (None when accepted).
 enum class RejectReason : uint8_t {
   None,          ///< accepted
@@ -72,17 +133,36 @@ struct CheckResult {
 /// scan failures set NoParse before reaching this).
 void finalizeCheck(CheckResult &R);
 
-/// The checker with its cached tables.
+/// The instrumented check over the LEGACY engine (three separate
+/// uint16-id tables, per-byte dfaMatch). This is the differential
+/// reference the fused engine is certified against; the fuzz harness's
+/// `--fused` mode runs it in lockstep with RockSalt::check on every
+/// image and demands bit-identical results.
+CheckResult checkLegacy(const PolicyTables &T, const uint8_t *Code,
+                        uint32_t Size);
+
+/// The checker with its cached tables. Drives the fused engine; the
+/// default constructor shares the process-wide fused singleton, the
+/// FusedPolicy constructor borrows a caller-owned fused form (what the
+/// long-lived services hold), and the PolicyTables constructor fuses a
+/// private copy — use it only for one-off table sets (tests, loaded
+/// blobs), not in per-request paths.
 class RockSalt {
-  const PolicyTables &Tables;
+  std::shared_ptr<const FusedPolicy> Owned; ///< only for the fusing ctor
+  const FusedPolicy &Fused;
 
 public:
-  RockSalt() : Tables(policyTables()) {}
-  explicit RockSalt(const PolicyTables &T) : Tables(T) {}
+  RockSalt() : Fused(fusedPolicyTables()) {}
+  explicit RockSalt(const FusedPolicy &P) : Fused(P) {}
+  explicit RockSalt(const PolicyTables &T)
+      : Owned(std::make_shared<const FusedPolicy>(buildFusedPolicy(T))),
+        Fused(*Owned) {}
+
+  const FusedPolicy &fused() const { return Fused; }
 
   /// The production entry point (Figure 5).
   bool verify(const uint8_t *Code, uint32_t Size) const {
-    return verifyImage(Tables, Code, Size);
+    return verifyImage(Fused, Code, Size);
   }
   bool verify(const std::vector<uint8_t> &Code) const {
     return verify(Code.data(), static_cast<uint32_t>(Code.size()));

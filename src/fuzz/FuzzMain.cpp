@@ -14,11 +14,16 @@
 /// (long-lived images mutated in place); --lint to the three-engine
 /// lint differential, holding the sequential, shard-derived, and
 /// incrementally maintained lint of every mutated image to
-/// byte-identical rendered reports.
+/// byte-identical rendered reports; --fused to the fused-vs-legacy
+/// engine lockstep that certifies the cache-resident fused transition
+/// array (and its run-skipping fast path) bit-identical to the paper's
+/// three-table per-byte checker on every mutated image, sequentially
+/// and through the shard scan/merge under rotating shard counts.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Dataflow.h"
+#include "core/Shard.h"
 #include "core/Verifier.h"
 #include "fuzz/Corpus.h"
 #include "fuzz/Minimizer.h"
@@ -50,6 +55,7 @@ struct CliOptions {
   bool RunParallel = true;
   bool Patches = false;    ///< incremental-vs-full patch differential mode
   bool LintDiff = false;   ///< three-engine lint differential mode
+  bool FusedDiff = false;  ///< fused-vs-legacy engine lockstep mode
   uint64_t Images = 500;   ///< --patches/--lint: number of base images
   uint64_t Steps = 20;     ///< --patches/--lint: patch steps per image
 };
@@ -60,7 +66,7 @@ void usage(const char *Argv0) {
       "usage: %s [--smoke] [--seeds N] [--iters N] [--size N]\n"
       "          [--base-seed N] [--minimize] [--corpus DIR] [--stats]\n"
       "          [--no-slow] [--no-parallel]\n"
-      "          [--patches | --lint] [--images N] [--steps N]\n"
+      "          [--patches | --lint | --fused] [--images N] [--steps N]\n"
       "  --smoke   preset: --seeds 25 --iters 400 --size 384 --minimize\n"
       "            (10025 images through every verdict path)\n"
       "  --patches incremental-vs-full differential mode: open --images\n"
@@ -70,7 +76,12 @@ void usage(const char *Argv0) {
       "  --lint    three-engine lint differential: sequential lintImage,\n"
       "            the shard-derived lint (rotating shard counts), and\n"
       "            the incremental linter must render byte-identical\n"
-      "            reports for every mutated image\n",
+      "            reports for every mutated image\n"
+      "  --fused   fused-vs-legacy lockstep: the fused cache-resident\n"
+      "            engine (RockSalt::check, bare verifyImage, and the\n"
+      "            fused shard scan+merge under rotating shard counts)\n"
+      "            must reproduce the legacy three-table checker's full\n"
+      "            instrumented result on every mutated image\n",
       Argv0);
 }
 
@@ -111,6 +122,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Patches = true;
     } else if (A == "--lint") {
       O.LintDiff = true;
+    } else if (A == "--fused") {
+      O.FusedDiff = true;
     } else if (A == "--images" && NextVal(V)) {
       O.Images = V;
     } else if (A == "--steps" && NextVal(V)) {
@@ -147,25 +160,27 @@ void reportDisagreement(const fuzz::OracleReport &Rep, uint64_t WorkloadSeed,
     std::printf("  path %-28s %s\n", D.Path.c_str(), D.Detail.c_str());
 }
 
-/// Compares the incremental verdict to a full sequential re-check of
-/// the same bytes: verdict, reject reason, and the three instrumented
-/// bitmaps must all match bit-for-bit. Returns a description of the
-/// first divergence, or "" on agreement.
-std::string comparePatchVerdicts(const core::CheckResult &Incr,
-                                 const core::CheckResult &Full) {
-  if (Incr.Ok != Full.Ok)
-    return "verdict differs (incremental " +
-           std::string(Incr.Ok ? "ACCEPT" : "REJECT") + ", full " +
-           std::string(Full.Ok ? "ACCEPT" : "REJECT") + ")";
-  if (Incr.Reason != Full.Reason)
-    return std::string("reject reason differs (incremental ") +
-           core::rejectReasonName(Incr.Reason) + ", full " +
-           core::rejectReasonName(Full.Reason) + ")";
-  if (Incr.Valid != Full.Valid)
+/// Compares an engine's instrumented result against the reference
+/// result for the same bytes: verdict, reject reason, and the three
+/// instrumented bitmaps must all match bit-for-bit. Returns a
+/// description of the first divergence, or "" on agreement. Shared by
+/// the --patches mode (incremental vs full) and the --fused mode
+/// (fused vs legacy).
+std::string comparePatchVerdicts(const core::CheckResult &Got,
+                                 const core::CheckResult &Ref) {
+  if (Got.Ok != Ref.Ok)
+    return "verdict differs (got " +
+           std::string(Got.Ok ? "ACCEPT" : "REJECT") + ", reference " +
+           std::string(Ref.Ok ? "ACCEPT" : "REJECT") + ")";
+  if (Got.Reason != Ref.Reason)
+    return std::string("reject reason differs (got ") +
+           core::rejectReasonName(Got.Reason) + ", reference " +
+           core::rejectReasonName(Ref.Reason) + ")";
+  if (Got.Valid != Ref.Valid)
     return "Valid bitmap differs";
-  if (Incr.Target != Full.Target)
+  if (Got.Target != Ref.Target)
     return "Target bitmap differs";
-  if (Incr.PairJmp != Full.PairJmp)
+  if (Got.PairJmp != Ref.PairJmp)
     return "PairJmp bitmap differs";
   return "";
 }
@@ -365,6 +380,105 @@ int runLintDifferential(const CliOptions &O, svc::Metrics &M) {
   return Disagreements ? 1 : 0;
 }
 
+/// The fused-vs-legacy engine lockstep: every mutated image runs
+/// through the legacy three-table per-byte checker (`checkLegacy`, the
+/// reference) and through the fused engine three ways — the sequential
+/// instrumented check, the bare Figure-5 boolean, and the fused shard
+/// scan + seam-aware merge under rotating shard counts (so run skipping
+/// is exercised against shard limits, not just image ends). All fused
+/// results must be bit-identical to the reference: verdict, reject
+/// reason, and the Valid/Target/PairJmp bitmaps. A quarter of the
+/// iterations tail-truncate the image to a non-bundle-multiple size so
+/// the run-skip tail and truncated-instruction rejects stay in the
+/// loop.
+int runFusedDifferential(const CliOptions &O, svc::Metrics &M) {
+  const core::PolicyTables &T = core::policyTables();
+  const core::FusedPolicy &FP = core::fusedPolicyTables();
+  core::RockSalt Fused(FP);
+  static const uint32_t ShardRotation[] = {1, 2, 3, 5, 8};
+
+  uint64_t Disagreements = 0;
+  uint64_t ImagesRun = 0;
+  std::vector<core::ShardScan> Shards; // reused scratch
+
+  auto ReportFusedDiff = [&](uint64_t Seed, uint64_t Iter, const char *Path,
+                             const std::string &Detail,
+                             const std::vector<uint8_t> &Img) {
+    ++Disagreements;
+    std::printf("FUSED DISAGREEMENT at seed=%llu iter=%llu: %s: %s\n",
+                static_cast<unsigned long long>(Seed),
+                static_cast<unsigned long long>(Iter), Path, Detail.c_str());
+    std::printf("  repro: --fused --seeds 1 --base-seed %llu --iters %llu "
+                "--size %u\n",
+                static_cast<unsigned long long>(Seed),
+                static_cast<unsigned long long>(Iter), O.Size);
+    std::printf("  image (%zu bytes):\n", Img.size());
+    hexDump(Img);
+  };
+
+  for (uint64_t S = 0; S < O.Seeds; ++S) {
+    uint64_t WorkloadSeed = O.BaseSeed + S;
+    nacl::WorkloadOptions WO;
+    WO.TargetBytes = O.Size;
+    WO.Seed = WorkloadSeed;
+    std::vector<uint8_t> Base = nacl::generateWorkload(WO);
+    std::vector<uint8_t> Cur = Base;
+
+    for (uint64_t Iter = 0; Iter <= O.Iters; ++Iter) {
+      if (Iter) {
+        if (Iter % 8 == 1)
+          Cur = Base;
+        Rng MutRng(mutationSeed(WorkloadSeed, Iter));
+        Cur = fuzz::mutateStructured(Cur, MutRng);
+      }
+      std::vector<uint8_t> Img = Cur;
+      Rng JitRng(mutationSeed(WorkloadSeed, Iter) ^ 0xF05EDull);
+      if (Iter % 4 == 3 && Img.size() > core::BundleSize)
+        Img.resize(Img.size() - 1 - JitRng.below(core::BundleSize - 1));
+      uint32_t Size = uint32_t(Img.size());
+      ++ImagesRun;
+
+      core::CheckResult Ref = core::checkLegacy(T, Img.data(), Size);
+
+      std::string Diff = comparePatchVerdicts(Fused.check(Img), Ref);
+      if (!Diff.empty())
+        ReportFusedDiff(WorkloadSeed, Iter, "fused check", Diff, Img);
+
+      if (core::verifyImage(FP, Img.data(), Size) != Ref.Ok)
+        ReportFusedDiff(WorkloadSeed, Iter, "fused verifyImage",
+                        Ref.Ok ? "verdict REJECT (reference ACCEPT)"
+                               : "verdict ACCEPT (reference REJECT)",
+                        Img);
+
+      uint32_t NumShards =
+          ShardRotation[(S + Iter) % std::size(ShardRotation)];
+      core::partitionShards(Size, NumShards, Shards);
+      for (core::ShardScan &Sh : Shards)
+        core::scanShard(FP, Img.data(), Size, Sh);
+      Diff = comparePatchVerdicts(
+          core::mergeShardScans(FP, Img.data(), Size, Shards), Ref);
+      if (!Diff.empty()) {
+        char Path[48];
+        std::snprintf(Path, sizeof(Path), "fused shard merge [shards=%u]",
+                      NumShards);
+        ReportFusedDiff(WorkloadSeed, Iter, Path, Diff, Img);
+      }
+    }
+  }
+
+  std::printf("fuzz_differential --fused: %llu images x3 fused paths, "
+              "%llu disagreements (seeds %llu..%llu, %llu iters each, "
+              "%u bytes)\n",
+              static_cast<unsigned long long>(ImagesRun),
+              static_cast<unsigned long long>(Disagreements),
+              static_cast<unsigned long long>(O.BaseSeed),
+              static_cast<unsigned long long>(O.BaseSeed + O.Seeds - 1),
+              static_cast<unsigned long long>(O.Iters), O.Size);
+  if (O.Stats)
+    std::fputs(M.dump().c_str(), stdout);
+  return Disagreements ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -380,6 +494,11 @@ int main(int Argc, char **Argv) {
   if (O.Patches) {
     svc::Metrics M;
     return runPatchDifferential(O, M);
+  }
+
+  if (O.FusedDiff) {
+    svc::Metrics M;
+    return runFusedDifferential(O, M);
   }
 
   svc::Metrics M;

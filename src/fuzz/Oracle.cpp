@@ -100,10 +100,22 @@ OracleReport DifferentialOracle::run(const uint8_t *Code, uint32_t Size) {
       Rep.Disagreements.push_back({PathFmt, std::move(Detail)});
   };
 
-  // Bare Figure-5 boolean must match its own instrumented variant.
+  // The legacy per-byte engine (the paper's C, verbatim) against the
+  // fused reference — the full instrumented result, not just the
+  // verdict. This is the certification that the fused layout + run
+  // skipping changed no decision.
+  Note("legacy", compareFull(Rep.Reference,
+                             core::checkLegacy(core::policyTables(), Code,
+                                               Size)));
+
+  // Bare Figure-5 booleans must match the instrumented verdict, on
+  // both engines.
   bool Bare = core::verifyImage(core::policyTables(), Code, Size);
   if (Bare != Rep.Reference.Ok)
     Note("verifyImage", boolMismatch(Rep.Reference.Ok, Bare));
+  bool BareFused = core::verifyImage(core::fusedPolicyTables(), Code, Size);
+  if (BareFused != Rep.Reference.Ok)
+    Note("verifyImage[fused]", boolMismatch(Rep.Reference.Ok, BareFused));
 
   bool Base = core::baselineVerify(Code, Size);
   if (Base != Rep.Reference.Ok)

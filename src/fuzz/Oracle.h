@@ -2,13 +2,15 @@
 ///
 /// \file
 /// The paper's soundness story rests on one function — the Figure-5
-/// checker — but this repository has four independent implementations of
-/// its decision: the DFA-table checker (`core::RockSalt::check`), the
-/// ncval-style hand decoder (`core::baselineVerify`), the derivative
-/// re-derivation path (`core::slowVerify` / `core::SlowContext`), and
-/// the chunk-parallel service (`svc::ParallelVerifier`). The oracle runs
-/// one image through all four — the parallel path under several shard
-/// geometries and thread counts — and reports every way they diverge:
+/// checker — but this repository has five independent implementations of
+/// its decision: the fused-table checker (`core::RockSalt::check`, the
+/// production fast path), the legacy three-table per-byte checker
+/// (`core::checkLegacy`, the paper's C verbatim), the ncval-style hand
+/// decoder (`core::baselineVerify`), the derivative re-derivation path
+/// (`core::slowVerify` / `core::SlowContext`), and the chunk-parallel
+/// service (`svc::ParallelVerifier`). The oracle runs one image through
+/// all of them — the parallel path under several shard geometries and
+/// thread counts — and reports every way they diverge:
 /// verdict, reject reason, or the Valid/Target/PairJmp bitmaps (for the
 /// paths that produce them). Related ISA-model efforts (Goel et al.'s
 /// x86isa books) get their confidence from exactly this kind of

@@ -26,8 +26,8 @@ IncrementalVerifier::IncrementalVerifier(IncrementalOptions O, svc::Metrics *M)
 
 IncrementalVerifier::IncrementalVerifier(const core::PolicyTables &T,
                                          IncrementalOptions O, svc::Metrics *M)
-    : Tables(T), MaxRead(maxScanReadBytes(T)), Opts(O), Met(M),
-      Cache(O.Cache, M) {
+    : Tables(T), Fused(core::buildFusedPolicy(T)), MaxRead(maxScanReadBytes(T)),
+      Opts(O), Met(M), Cache(O.Cache, M) {
   if (Opts.ChunkBytes == 0 || Opts.ChunkBytes % core::BundleSize != 0)
     throw std::invalid_argument(
         "incremental chunk granularity must be a nonzero multiple of the "
@@ -101,7 +101,7 @@ IncrResult IncrementalVerifier::reverify(ImageId Id) {
     } else {
       auto Fresh = std::make_shared<core::ShardScan>();
       Fresh->reset(Begin, End);
-      scanShard(Tables, Code, Size, *Fresh);
+      scanShard(Fused, Code, Size, *Fresh);
       Scan = Cache.insert(K, std::move(Fresh));
       ++Res.ChunksRescanned;
     }
@@ -120,7 +120,7 @@ IncrResult IncrementalVerifier::reverify(ImageId Id) {
     for (const auto &S : E.Chunks)
       MergeScratch.push_back(S.get());
     core::CheckResult Full = core::mergeShardScans(
-        Tables, Code, Size, MergeScratch.data(), MergeScratch.size(),
+        Fused, Code, Size, MergeScratch.data(), MergeScratch.size(),
         &Res.SeamRescans);
     Res.Ok = Full.Ok;
     Res.Reason = Full.Reason;
@@ -198,7 +198,7 @@ bool IncrementalVerifier::spliceReverify(ImageEntry &E, IncrResult &Res) {
         ++Res.SeamRescans;
         SegValid.push_back(Pos);
         uint32_t Dest = 0;
-        switch (core::verifyStep(Tables, Code, &Pos, Size, &Dest)) {
+        switch (core::verifyStep(Fused, Code, &Pos, Size, &Dest)) {
         case core::StepKind::MaskedJump:
           SegPair.push_back(Pos - core::MaskedJumpHalfLen);
           break;
@@ -308,7 +308,7 @@ void IncrementalVerifier::rebuildMergeState(ImageEntry &E,
     } else {
       uint32_t StepChunk = Pos / CB;
       uint32_t Dest = 0;
-      switch (core::verifyStep(Tables, Code, &Pos, Size, &Dest)) {
+      switch (core::verifyStep(Fused, Code, &Pos, Size, &Dest)) {
       case core::StepKind::DirectJump:
         M.SegTargets[StepChunk].push_back(Dest);
         ++M.TargetCnt[Dest];

@@ -153,6 +153,10 @@ private:
   void rebuildMergeState(ImageEntry &E, core::CheckResult &&R);
 
   const core::PolicyTables &Tables;
+  /// The fused form of Tables, built once per verifier: chunk scans,
+  /// splice replays, and full merges all drive it (the legacy Tables
+  /// stay for the read-bound derivation and for identity/debugging).
+  core::FusedPolicy Fused;
   uint32_t MaxRead;
   IncrementalOptions Opts;
   svc::Metrics *Met; ///< may be null

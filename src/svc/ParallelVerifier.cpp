@@ -18,7 +18,7 @@ uint64_t nowNanos() {
 } // namespace
 
 ParallelVerifier::ParallelVerifier(VerifierPool &P, ParallelVerifierOptions O)
-    : Pool(P), Opts(O), Tables(core::policyTables()) {}
+    : Pool(P), Opts(O), Fused(core::fusedPolicyTables()) {}
 
 uint32_t ParallelVerifier::shardCountFor(uint32_t Size) const {
   uint32_t Max = Opts.MaxShards ? Opts.MaxShards
@@ -50,7 +50,7 @@ core::CheckResult ParallelVerifier::check(const uint8_t *Code, uint32_t Size) {
     Jobs.resize(N);
     VerifierPool::TaskGroup G;
     for (uint32_t I = 0; I < N; ++I) {
-      Jobs[I].T = &Tables;
+      Jobs[I].T = &Fused;
       Jobs[I].Code = Code;
       Jobs[I].Size = Size;
       Jobs[I].Scan = &Shards[I];
@@ -71,7 +71,7 @@ core::CheckResult ParallelVerifier::check(const uint8_t *Code, uint32_t Size) {
     if (Sum)
       M.ShardImbalancePermille.record(Max * 1000 * N / Sum);
   } else if (N == 1) {
-    core::scanShard(Tables, Code, Size, Shards[0]);
+    core::scanShard(Fused, Code, Size, Shards[0]);
   }
   M.ShardsScanned.add(N);
 
@@ -82,7 +82,7 @@ core::CheckResult ParallelVerifier::check(const uint8_t *Code, uint32_t Size) {
     R = spliceParallel(Size);
   } else {
     uint64_t Rescans = 0;
-    R = core::mergeShardScans(Tables, Code, Size, Shards, &Rescans);
+    R = core::mergeShardScans(Fused, Code, Size, Shards, &Rescans);
     M.SeamRescans.add(Rescans);
   }
   recordOutcome(M, R, Size, nowNanos() - T0);

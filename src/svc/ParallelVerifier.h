@@ -56,7 +56,7 @@ public:
 
 private:
   struct ShardJob {
-    const core::PolicyTables *T = nullptr;
+    const core::FusedPolicy *T = nullptr;
     const uint8_t *Code = nullptr;
     uint32_t Size = 0;
     core::ShardScan *Scan = nullptr;
@@ -82,7 +82,9 @@ private:
 
   VerifierPool &Pool;
   ParallelVerifierOptions Opts;
-  const core::PolicyTables &Tables;
+  /// The fused verify fast path (the process-wide singleton): every
+  /// shard scan and seam re-check drives the L1-resident fused array.
+  const core::FusedPolicy &Fused;
   std::vector<core::ShardScan> Shards; ///< reused scratch
   std::vector<ShardJob> Jobs;          ///< reused scratch
   std::vector<SpliceJob> SpliceJobs;   ///< reused scratch

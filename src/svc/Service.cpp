@@ -54,7 +54,7 @@ Service::Service(ServiceOptions O)
     : Opts(O), OwnedMet(O.Met ? nullptr : std::make_unique<Metrics>()),
       Met(O.Met ? O.Met : OwnedMet.get()),
       Pool(VerifierPool::Options{O.Threads}, Met),
-      Tables(core::policyTables()),
+      Tables(core::policyTables()), Fused(core::fusedPolicyTables()),
       Blob(core::serializePolicyTables(Tables)),
       BlobHashHex(re::verifyBlobHashHex(Blob)) {}
 
@@ -77,7 +77,7 @@ Service::verify(std::vector<std::vector<uint8_t>> Images) {
     Met->ImagesSubmitted.add();
     Pool.run(G, [this, &Images, &Results, I] {
       uint64_t T0 = nowNanos();
-      core::RockSalt V(Tables);
+      core::RockSalt V(Fused);
       Results[I] = V.check(Images[I].data(), uint32_t(Images[I].size()));
       recordOutcome(*Met, Results[I], Images[I].size(), nowNanos() - T0);
     });

@@ -186,6 +186,10 @@ private:
   Metrics *Met;
   VerifierPool Pool;
   const core::PolicyTables &Tables;
+  /// The fused verify fast path the verify endpoint drives (the legacy
+  /// Tables stay for blob serving, lint, and audit, which consume the
+  /// per-table form).
+  const core::FusedPolicy &Fused;
   std::vector<uint8_t> Blob;
   std::string BlobHashHex;
   /// Decoder reference DFAs for audit, built on first audit request

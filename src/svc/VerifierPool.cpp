@@ -49,7 +49,7 @@ void svc::recordOutcome(Metrics &M, const core::CheckResult &R, uint64_t Bytes,
 VerifierPool::VerifierPool() : VerifierPool(Options()) {}
 
 VerifierPool::VerifierPool(Options O, Metrics *M)
-    : Met(M ? M : &globalMetrics()), Tables(core::policyTables()) {
+    : Met(M ? M : &globalMetrics()), Fused(core::fusedPolicyTables()) {
   unsigned N = O.Threads ? O.Threads : std::thread::hardware_concurrency();
   if (N < 1)
     N = 1;
@@ -236,7 +236,7 @@ VerifierPool::submitImpl(std::shared_ptr<const std::vector<uint8_t>> Owner,
   Met->ImagesSubmitted.add();
   auto Promise = std::make_shared<std::promise<core::CheckResult>>();
   std::future<core::CheckResult> F = Promise->get_future();
-  const core::PolicyTables *T = &Tables;
+  const core::FusedPolicy *T = &Fused;
   Metrics *M = Met;
   Task Job;
   // Owner (when non-null) pins the payload until the task has run: the

@@ -147,7 +147,9 @@ private:
   std::mutex DoneM;            ///< with DoneCv: group-completion wakeups
   std::condition_variable DoneCv;
   Metrics *Met;
-  const core::PolicyTables &Tables;
+  /// The fused verify fast path: built once process-wide; every batch
+  /// verify job borrows it (never fusing per task).
+  const core::FusedPolicy &Fused;
 };
 
 } // namespace svc
