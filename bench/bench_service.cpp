@@ -18,6 +18,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Policy.h"
+#include "core/TableRegistry.h"
+#include "mips/MipsPolicy.h"
 #include "nacl/WorkloadGen.h"
 #include "regex/TableIO.h"
 #include "svc/EventLoop.h"
@@ -225,6 +227,22 @@ int main(int argc, char **argv) {
       frameRoundTripMs(S, svc::proto::MsgKind::TablesRequest,
                        svc::proto::encodeTablesRequest(S.tablesHashHex()));
 
+  // The mixed-ISA negotiation phase: with the MIPS tenant registered,
+  // a v2 client selects tables by ISA tag (cold = full blob transfer,
+  // warm = 64-byte hash confirm), and a v1 client whose cached hash
+  // names the MIPS entry gets a cross-entry hash confirmation through
+  // the original wire shape — no blob, no rebuild.
+  const core::TableEntry &MipsE = mips::mipsTableEntry();
+  double MipsColdMs = frameRoundTripMs(
+      S, svc::proto::MsgKind::TablesRequest,
+      svc::proto::encodeTablesRequest("", core::IsaMips));
+  double MipsWarmMs = frameRoundTripMs(
+      S, svc::proto::MsgKind::TablesRequest,
+      svc::proto::encodeTablesRequest(MipsE.HashHex, core::IsaMips));
+  double CrossHashMs = frameRoundTripMs(
+      S, svc::proto::MsgKind::TablesRequest,
+      svc::proto::encodeTablesRequest(MipsE.HashHex));
+
   std::printf("\n--- E12: serve vs rebuild (blob %zu bytes) ---\n",
               Blob.size());
   std::printf("build tables (one-shot start):   %8.3f ms\n", BuildMs);
@@ -234,6 +252,9 @@ int main(int argc, char **argv) {
   std::printf("frame round-trip: verify(8x1KiB) %8.3f ms, lint %8.3f ms, "
               "tables cold %8.3f ms, tables warm %8.3f ms\n",
               VerifyMs, LintMs, TablesColdMs, TablesWarmMs);
+  std::printf("mixed-isa tables: mips cold %8.3f ms (blob %zu bytes), "
+              "mips warm %8.3f ms, v1-wire cross-hash confirm %8.3f ms\n",
+              MipsColdMs, MipsE.Blob.size(), MipsWarmMs, CrossHashMs);
   if (LoadMs >= BuildMs)
     std::printf("*** load path did NOT beat the rebuild — serve-by-hash "
                 "regressed ***\n");
@@ -275,6 +296,10 @@ int main(int argc, char **argv) {
   Line("frame_lint_8x1k_ms", LintMs);
   Line("frame_tables_cold_ms", TablesColdMs);
   Line("frame_tables_warm_ms", TablesWarmMs);
+  Line("frame_tables_mips_cold_ms", MipsColdMs);
+  Line("frame_tables_mips_warm_ms", MipsWarmMs);
+  Line("frame_tables_cross_hash_ms", CrossHashMs);
+  Line("mips_blob_bytes", double(MipsE.Blob.size()));
   Line("concurrent_1_mbps", Mbps1);
   Line("concurrent_8_mbps", Mbps8);
   Line("concurrent_8_stalled_mbps", Mbps8S);

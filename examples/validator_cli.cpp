@@ -28,11 +28,20 @@
 // (disjointness, decoder inclusion, health, minimization) and exits
 // nonzero if any obligation fails.
 //
-// --dump-tables serializes the shipped tables into the versioned "RSTB"
-// format (regex/TableIO.h), verifies the in-process round-trip is
-// bit-identical, and prints per-table stats plus the content hash.
+// --isa x86|mips selects which registry entry (core/TableRegistry.h)
+// the table-facing modes operate on: --isa mips checks images with the
+// MIPS policy checker (mips/MipsPolicy.h), audits the MIPS tables under
+// the same 13 obligations, and dumps/loads MIPS-tagged RSTB blobs.
+// x86-only diagnostics (--disassemble, --explain, --lint) are rejected
+// under --isa mips.
+//
+// --dump-tables serializes the selected ISA's tables into the versioned
+// "RSTB" format (regex/TableIO.h), verifies the in-process round-trip
+// is bit-identical, and prints per-table stats plus the content hash.
 // --tables-out FILE also writes the blob; --expect-hash HEX exits
-// nonzero unless the content hash matches — the CI drift gate.
+// nonzero unless the content hash matches — the CI drift gate. --raw
+// dumps the unminimized tables instead (a distinct content hash, used
+// by the late-adoption regression gate).
 //
 // --serve turns the process into the long-running verification service
 // (svc/Service.h): framed verify/lint/audit/tables requests over
@@ -43,7 +52,12 @@
 // --shutdown) of the given images through a running server. --tables-from PATH fetches
 // the server's policy tables by content hash — with --tables-cache FILE
 // a hash match skips the transfer entirely — and adopts them in-process,
-// skipping the per-process table rebuild for the rest of the run.
+// skipping the per-process table rebuild for the rest of the run. When
+// PATH is a regular file instead of a socket, the RSTB blob is loaded
+// straight from disk (same tag/hash discipline, no server needed); with
+// --isa mips either source resolves the MIPS registry entry. Adoption
+// happens through the table registry: adopting a table set that differs
+// from one already in use is a hard error, never a silent no-op.
 // --serve-smoke forks a server child on a private socket, drives a
 // mixed verify/lint/audit/tables/malformed-frame session against it,
 // cross-checks every response against the in-process one-shot paths,
@@ -66,14 +80,16 @@
 //   validator_cli <image.bin>... --patch OFF:HEX [--patch OFF:HEX...]
 //                                [--lint] [--stats]
 //   validator_cli --selftest [--lint] [--jobs N] [--stats]
-//   validator_cli --audit
-//   validator_cli --dump-tables [--tables-out FILE] [--expect-hash HEX]
+//   validator_cli --audit [--isa x86|mips]
+//   validator_cli --dump-tables [--isa x86|mips] [--raw]
+//                                [--tables-out FILE] [--expect-hash HEX]
 //   validator_cli --serve [--socket PATH] [--jobs N] [--stats]
 //   validator_cli --connect PATH [<image.bin>...] [--lint] [--audit]
 //                                [--patch OFF:HEX...] [--metrics]
 //                                [--shutdown]
-//   validator_cli --tables-from PATH [--tables-cache FILE]
-//                                [--expect-hash HEX] [<image.bin>...]
+//   validator_cli --tables-from PATH|FILE [--isa x86|mips]
+//                                [--tables-cache FILE] [--expect-hash HEX]
+//                                [<image.bin>...]
 //   validator_cli --serve-smoke
 //
 //===----------------------------------------------------------------------===//
@@ -82,8 +98,10 @@
 #include "analysis/Dataflow.h"
 #include "analysis/PolicyAudit.h"
 #include "core/BaselineChecker.h"
+#include "core/TableRegistry.h"
 #include "core/Verifier.h"
 #include "incr/IncrementalVerifier.h"
+#include "mips/MipsPolicy.h"
 #include "regex/Algebra.h"
 #include "regex/TableIO.h"
 #include "fuzz/Minimizer.h"
@@ -129,7 +147,9 @@ struct CliOptions {
   bool Lint = false;    ///< recover + lint the implied CFG per image
   bool LintJson = false; ///< same diagnostics, one JSON object per line
   bool Audit = false;   ///< meta-verify the shipped policy tables
+  std::string Isa = "x86"; ///< registry entry the table modes act on
   bool DumpTables = false; ///< serialize + round-trip the shipped tables
+  bool RawTables = false;  ///< with --dump-tables: the unminimized tables
   std::string TablesOut;   ///< optional output path for the blob
   std::string ExpectHash;  ///< optional pinned content hash (CI gate)
   bool Selftest = false;
@@ -267,15 +287,34 @@ bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
   return true;
 }
 
-/// Serializes the shipped tables, proves the round-trip is bit-identical
-/// in-process, prints stats + content hash, optionally writes the blob
-/// and enforces a pinned hash. Returns a process exit code.
+/// Serializes the selected ISA's tables, proves the round-trip is
+/// bit-identical in-process, prints stats + content hash, optionally
+/// writes the blob and enforces a pinned hash. Returns a process exit
+/// code. With --raw the unminimized tables are dumped instead — a
+/// distinct content hash from the registry entry's, which the
+/// late-adoption regression gate relies on.
 int dumpTables(const CliOptions &Opts) {
-  const core::PolicyTables &T = core::policyTables();
-  std::vector<uint8_t> Blob = core::serializePolicyTables(T);
+  const bool Mips = Opts.Isa == core::IsaMips;
+  core::PolicyTables Raw;
+  const core::PolicyTables *T;
+  std::vector<uint8_t> Blob;
+  std::string RegistryHash;
+  if (Opts.RawTables) {
+    Raw = Mips ? mips::buildMipsPolicyTablesRaw() : core::buildPolicyTablesRaw();
+    T = &Raw;
+    Blob = core::serializePolicyTables(Raw, Opts.Isa, core::PolicySetNacl);
+  } else {
+    const core::TableEntry &E =
+        Mips ? mips::mipsTableEntry() : core::defaultTableEntry();
+    T = E.Tables;
+    Blob = E.Blob;
+    RegistryHash = E.HashHex;
+  }
 
-  core::PolicyTables Back = core::deserializePolicyTables(Blob);
-  std::vector<uint8_t> Blob2 = core::serializePolicyTables(Back);
+  core::PolicyTables Back =
+      core::deserializePolicyTables(Blob, Opts.Isa, core::PolicySetNacl);
+  std::vector<uint8_t> Blob2 =
+      core::serializePolicyTables(Back, Opts.Isa, core::PolicySetNacl);
   if (Blob != Blob2) {
     std::fprintf(stderr,
                  "error: serialize/deserialize round-trip is not "
@@ -285,12 +324,20 @@ int dumpTables(const CliOptions &Opts) {
   }
 
   std::string Hash = re::blobHashHex(Blob);
-  std::printf("format:  RSTB v%u, %zu bytes\n", re::TableFormatVersion,
-              Blob.size());
+  if (!RegistryHash.empty() && Hash != RegistryHash) {
+    std::fprintf(stderr,
+                 "error: registry entry hash %s disagrees with the "
+                 "recomputed blob hash %s\n",
+                 RegistryHash.c_str(), Hash.c_str());
+    return 1;
+  }
+  std::printf("format:  RSTB v%u, %zu bytes (%s/%s%s)\n",
+              re::TableFormatVersion, Blob.size(), Opts.Isa.c_str(),
+              core::PolicySetNacl, Opts.RawTables ? ", raw" : "");
   std::printf("tables:  NoControlFlow %zu states, DirectJump %zu states, "
               "MaskedJump %zu states\n",
-              T.NoControlFlow.numStates(), T.DirectJump.numStates(),
-              T.MaskedJump.numStates());
+              T->NoControlFlow.numStates(), T->DirectJump.numStates(),
+              T->MaskedJump.numStates());
   std::printf("hash:    %s\n", Hash.c_str());
   std::printf("roundtrip: bit-identical\n");
 
@@ -491,6 +538,23 @@ int validate(const std::vector<uint8_t> &Code, const CliOptions &Opts,
   return R.Ok ? 0 : 1;
 }
 
+/// One image through the MIPS policy checker (mips/MipsPolicy.h): the
+/// same Figure-5 walk as validate(), against the registry's MIPS entry
+/// with the 16-byte bundle finalize. The x86-only diagnostics
+/// (disassembly, explain, lint) do not apply here.
+int validateMips(const std::vector<uint8_t> &Code) {
+  auto T0 = std::chrono::steady_clock::now();
+  core::CheckResult R = mips::checkMips(Code.data(), uint32_t(Code.size()));
+  auto T1 = std::chrono::steady_clock::now();
+  double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  std::printf("image: %zu bytes (%zu bundles, mips)\n", Code.size(),
+              Code.size() / mips::MipsBundleSize);
+  std::printf("  rocksalt (mips):  %s  (%.3f ms)%s%s\n",
+              R.Ok ? "ACCEPT" : "REJECT", Ms, R.Ok ? "" : "  reason: ",
+              R.Ok ? "" : core::rejectReasonName(R.Reason));
+  return R.Ok ? 0 : 1;
+}
+
 /// --patch without --connect: open the image with the in-process
 /// incremental verifier, apply each patch with an O(patch) re-verify,
 /// cross-check every verdict (and its bitmaps) against a full
@@ -633,6 +697,11 @@ int runServer(const CliOptions &Opts) {
   // an EPIPE the serve loop can survive. The socket path additionally
   // sends with MSG_NOSIGNAL (belt and braces for any fd it misses).
   std::signal(SIGPIPE, SIG_IGN);
+  // Register the second ISA before serving: the tables endpoint serves
+  // any registry entry, so a multi-ISA server must populate the
+  // registry up front (clients asking for an unregistered ISA get an
+  // ErrorResponse, not a lazily built table set).
+  mips::mipsTableEntry();
   svc::Metrics M;
   svc::Service Server(svc::ServiceOptions{Opts.Jobs, &M});
   int Rc = 0;
@@ -787,14 +856,61 @@ int runClient(const CliOptions &Opts) {
   return Rc;
 }
 
+/// Loads + adopts a table blob into the registry under Opts.Isa and
+/// prints what happened. The load enforces the blob's ISA/policy-set
+/// tag (an x86 run rejects a mips-tagged blob at the header) and the
+/// adoption either takes effect or throws — an adopted set can never
+/// silently lose to a table set already in use. Returns <0 on success,
+/// else an exit code.
+int adoptBlob(const CliOptions &Opts, const std::vector<uint8_t> &Blob,
+              const std::string &ExpectHash, const char *Source) {
+  try {
+    auto T0 = std::chrono::steady_clock::now();
+    core::PolicyTables T =
+        core::loadPolicyTables(Blob, ExpectHash, Opts.Isa,
+                               core::PolicySetNacl);
+    auto T1 = std::chrono::steady_clock::now();
+    core::adoptPolicyTables(std::move(T), Opts.Isa, core::PolicySetNacl);
+    const core::TableEntry *E =
+        core::TableRegistry::instance().byKey(Opts.Isa, core::PolicySetNacl);
+    std::string FileHash = re::blobHashHex(Blob);
+    std::printf("tables: loaded %s blob in %.3f ms, adopted as %s/%s "
+                "(registry hash %s%s)\n",
+                Source,
+                std::chrono::duration<double, std::milli>(T1 - T0).count(),
+                Opts.Isa.c_str(), core::PolicySetNacl,
+                E ? E->HashHex.c_str() : "?",
+                E && E->HashHex == FileHash
+                    ? ", bit-identical round-trip"
+                    : "");
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 1;
+  }
+  return -1;
+}
+
 /// --tables-from: fetch the server's policy tables by content hash and
 /// adopt them process-wide, skipping the local grammar rebuild. With
 /// --tables-cache FILE the cached blob's hash is offered first, so a
 /// match costs a 74-byte negotiation instead of a ~34 KiB transfer.
-/// Returns <0 on success (the caller continues into normal validation),
-/// else a process exit code.
+/// When the operand is a regular file rather than a socket, the blob is
+/// read straight from disk — the offline half of the distribution path,
+/// same tag and hash discipline. Returns <0 on success (the caller
+/// continues into normal validation), else a process exit code.
 int fetchTables(const CliOptions &Opts) {
   using svc::proto::MsgKind;
+
+  struct stat St;
+  if (::stat(Opts.TablesFrom.c_str(), &St) == 0 && S_ISREG(St.st_mode)) {
+    std::vector<uint8_t> Blob;
+    if (!readFile(Opts.TablesFrom, Blob)) {
+      std::fprintf(stderr, "error: cannot read %s\n", Opts.TablesFrom.c_str());
+      return 2;
+    }
+    return adoptBlob(Opts, Blob, Opts.ExpectHash, Opts.TablesFrom.c_str());
+  }
+
   std::vector<uint8_t> CachedBlob;
   std::string CachedHash;
   if (!Opts.TablesCache.empty() && readFile(Opts.TablesCache, CachedBlob)) {
@@ -816,8 +932,11 @@ int fetchTables(const CliOptions &Opts) {
   int Rc = -1;
   try {
     FrameReader In(Fd);
+    // The default ISA keeps the original wire shape (no selector field)
+    // so this client stays byte-compatible with pre-registry servers.
     sendFrame(Fd, MsgKind::TablesRequest,
-              svc::proto::encodeTablesRequest(CachedHash));
+              svc::proto::encodeTablesRequest(
+                  CachedHash, Opts.Isa == core::IsaX86 ? "" : Opts.Isa));
     svc::proto::TablesReply Reply = svc::proto::decodeTablesResponse(
         expectFrame(In, MsgKind::TablesResponse).Body);
 
@@ -846,13 +965,7 @@ int fetchTables(const CliOptions &Opts) {
       return 1;
     }
 
-    auto T0 = std::chrono::steady_clock::now();
-    core::PolicyTables T = core::loadPolicyTables(*Blob, Reply.HashHex);
-    auto T1 = std::chrono::steady_clock::now();
-    bool Adopted = core::adoptPolicyTables(std::move(T));
-    std::printf("tables: loaded in %.3f ms (%s the per-process rebuild)\n",
-                std::chrono::duration<double, std::milli>(T1 - T0).count(),
-                Adopted ? "skipping" : "too late to skip");
+    Rc = adoptBlob(Opts, *Blob, Reply.HashHex, "served");
   } catch (const std::exception &E) {
     std::fprintf(stderr, "error: %s\n", E.what());
     Rc = 2;
@@ -989,6 +1102,51 @@ int serveSmoke() {
     std::printf("smoke: tables ok (%zu-byte blob, hash %.16s…)\n",
                 Cold.Blob.size(), Cold.HashHex.c_str());
 
+    // 4b. multi-ISA table negotiation — the server registered its MIPS
+    // entry at startup, so the selector must serve a mips-tagged blob
+    // (distinct hash), a warm selector fetch must short-circuit, the
+    // *old* wire shape carrying the mips hash must still be confirmed
+    // by hash, and an ISA nobody registered must be an error.
+    sendFrame(Fd, MsgKind::TablesRequest,
+              svc::proto::encodeTablesRequest("", "mips"));
+    svc::proto::TablesReply MipsCold = svc::proto::decodeTablesResponse(
+        expectFrame(In, MsgKind::TablesResponse).Body);
+    if (MipsCold.HashMatched || MipsCold.Blob.empty())
+      return Fail("cold mips tables fetch did not return a blob");
+    if (MipsCold.HashHex == Cold.HashHex)
+      return Fail("mips tables hash collides with the x86 hash");
+    core::PolicyTables MipsServed = core::loadPolicyTables(
+        MipsCold.Blob, MipsCold.HashHex, core::IsaMips, core::PolicySetNacl);
+    (void)MipsServed;
+    bool X86LoadRejected = false;
+    try {
+      core::loadPolicyTables(MipsCold.Blob, MipsCold.HashHex);
+    } catch (const std::exception &) {
+      X86LoadRejected = true;
+    }
+    if (!X86LoadRejected)
+      return Fail("an x86 load accepted the mips-tagged blob");
+    sendFrame(Fd, MsgKind::TablesRequest,
+              svc::proto::encodeTablesRequest(MipsCold.HashHex, "mips"));
+    svc::proto::TablesReply MipsWarm = svc::proto::decodeTablesResponse(
+        expectFrame(In, MsgKind::TablesResponse).Body);
+    if (!MipsWarm.HashMatched || !MipsWarm.Blob.empty())
+      return Fail("mips hash negotiation did not short-circuit");
+    sendFrame(Fd, MsgKind::TablesRequest,
+              svc::proto::encodeTablesRequest(MipsCold.HashHex));
+    svc::proto::TablesReply OldWire = svc::proto::decodeTablesResponse(
+        expectFrame(In, MsgKind::TablesResponse).Body);
+    if (!OldWire.HashMatched || OldWire.HashHex != MipsCold.HashHex)
+      return Fail("old wire shape did not resolve the mips hash by content");
+    sendFrame(Fd, MsgKind::TablesRequest,
+              svc::proto::encodeTablesRequest("", "sparc"));
+    if (In.next().Kind != MsgKind::ErrorResponse)
+      return Fail("an unregistered ISA was not answered with an error");
+    sendFrame(Fd, MsgKind::AuditRequest, {});
+    expectFrame(In, MsgKind::AuditResponse);
+    std::printf("smoke: multi-isa tables ok (mips hash %.16s…)\n",
+                MipsCold.HashHex.c_str());
+
     // 5. incremental patch with want-lint — open a compliant image,
     // patch it twice asking for the lint report, and require each
     // served report to be byte-identical to a fresh local lint of the
@@ -1116,14 +1274,14 @@ int usage(const char *Prog) {
                "\n       %s <image.bin>... --patch OFF:HEX "
                "[--patch OFF:HEX...] [--lint] [--stats]"
                "\n       %s --selftest [--lint] [--jobs N] [--stats]"
-               "\n       %s --audit"
-               "\n       %s --dump-tables [--tables-out FILE] "
-               "[--expect-hash HEX]"
+               "\n       %s --audit [--isa x86|mips]"
+               "\n       %s --dump-tables [--isa x86|mips] [--raw] "
+               "[--tables-out FILE] [--expect-hash HEX]"
                "\n       %s --serve [--socket PATH] [--jobs N] [--stats]"
                "\n       %s --connect PATH [<image.bin>...] [--lint] "
                "[--audit] [--metrics] [--shutdown]"
-               "\n       %s --tables-from PATH [--tables-cache FILE] "
-               "[--expect-hash HEX] [<image.bin>...]"
+               "\n       %s --tables-from PATH|FILE [--isa x86|mips] "
+               "[--tables-cache FILE] [--expect-hash HEX] [<image.bin>...]"
                "\n       %s --serve-smoke\n",
                Prog, Prog, Prog, Prog, Prog, Prog, Prog, Prog, Prog);
   return 2;
@@ -1146,8 +1304,19 @@ int main(int argc, char **argv) {
       Opts.LintJson = true;
     } else if (std::strcmp(argv[I], "--audit") == 0) {
       Opts.Audit = true;
+    } else if (std::strcmp(argv[I], "--isa") == 0) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.Isa = argv[++I];
+      if (Opts.Isa != core::IsaX86 && Opts.Isa != core::IsaMips) {
+        std::fprintf(stderr, "error: unknown --isa %s (want x86 or mips)\n",
+                     Opts.Isa.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[I], "--dump-tables") == 0) {
       Opts.DumpTables = true;
+    } else if (std::strcmp(argv[I], "--raw") == 0) {
+      Opts.RawTables = true;
     } else if (std::strcmp(argv[I], "--tables-out") == 0) {
       if (I + 1 >= argc)
         return usage(argv[0]);
@@ -1199,6 +1368,13 @@ int main(int argc, char **argv) {
       Opts.Files.push_back(argv[I]);
     }
   }
+  // Test hook for the late-adoption regression gate: force the default
+  // tables into use before any --tables-from adoption runs, so adopting
+  // a different table set must hard-fail (registry conflict) instead of
+  // silently losing the race the old singleton allowed.
+  if (const char *Env = std::getenv("ROCKSALT_EARLY_TABLES"))
+    if (Env[0] == '1')
+      (void)core::policyTables();
   if (Opts.ServeSmoke)
     return serveSmoke();
   if (Opts.Serve)
@@ -1217,7 +1393,9 @@ int main(int argc, char **argv) {
       return 0;
   }
   if (Opts.Audit) {
-    analysis::AuditReport R = analysis::auditShippedPolicy();
+    analysis::AuditReport R = Opts.Isa == core::IsaMips
+                                  ? analysis::auditMipsPolicy()
+                                  : analysis::auditShippedPolicy();
     std::printf("%s", R.render().c_str());
     return R.Pass ? 0 : 1;
   }
@@ -1225,6 +1403,26 @@ int main(int argc, char **argv) {
     return dumpTables(Opts);
   if (!Opts.Selftest && Opts.Files.empty())
     return usage(argv[0]);
+
+  if (Opts.Isa == core::IsaMips) {
+    if (Opts.Disasm || Opts.Explain || Opts.Lint || Opts.LintJson ||
+        Opts.Selftest || !Opts.PatchSpecs.empty() || Opts.Jobs) {
+      std::fprintf(stderr,
+                   "error: --isa mips supports plain image checks only "
+                   "(the requested mode is x86-specific)\n");
+      return 2;
+    }
+    int Rc = 0;
+    for (const std::string &Path : Opts.Files) {
+      std::vector<uint8_t> Code;
+      if (!readFile(Path, Code)) {
+        std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+        return 2;
+      }
+      Rc |= validateMips(Code);
+    }
+    return Rc;
+  }
 
   if (!Opts.PatchSpecs.empty()) {
     // Local incremental mode: every verdict is cross-checked against a

@@ -2,9 +2,10 @@
 # Style + static-analysis gate over the analysis subsystem (and the DFA
 # algebra it builds on) plus the service layer's protocol and server.
 # Runs clang-format in dry-run mode against .clang-format and clang-tidy
-# against .clang-tidy, over src/analysis/, regex/Algebra.* and
-# regex/FusedTables.*, the svc/Service + svc/Protocol pair, and
-# src/incr/.
+# against .clang-tidy, over src/analysis/, regex/Algebra.*,
+# regex/FusedTables.* and regex/TableIO.*, the svc/Service +
+# svc/Protocol pair, src/incr/, the core/TableRegistry, and the MIPS
+# policy layer.
 #
 # The gate degrades gracefully: on machines without the clang tooling
 # (the CI container ships only gcc) it reports what it skipped and exits
@@ -27,6 +28,12 @@ $ROOT/src/regex/Algebra.h
 $ROOT/src/regex/Algebra.cpp
 $ROOT/src/regex/FusedTables.h
 $ROOT/src/regex/FusedTables.cpp
+$ROOT/src/regex/TableIO.h
+$ROOT/src/regex/TableIO.cpp
+$ROOT/src/core/TableRegistry.h
+$ROOT/src/core/TableRegistry.cpp
+$ROOT/src/mips/MipsPolicy.h
+$ROOT/src/mips/MipsPolicy.cpp
 $ROOT/src/svc/Protocol.h
 $ROOT/src/svc/Protocol.cpp
 $ROOT/src/svc/Service.h

@@ -2,6 +2,7 @@
 
 #include "analysis/PolicyAudit.h"
 
+#include "mips/MipsPolicy.h"
 #include "x86/Grammars.h"
 
 #include <chrono>
@@ -25,6 +26,15 @@ std::string analysis::hexBytes(const std::vector<uint8_t> &Bytes) {
 DecoderDfas analysis::buildDecoderDfas() {
   re::Factory F;
   re::Regex One = x86::x86Grammars().Full.strip(F);
+  DecoderDfas X;
+  X.One = re::buildDfa(F, One);
+  X.Pair = re::buildDfa(F, F.cat(One, One));
+  return X;
+}
+
+DecoderDfas analysis::buildMipsDecoderDfas() {
+  re::Factory F;
+  re::Regex One = mips::mipsDecoderRegex(F);
   DecoderDfas X;
   X.One = re::buildDfa(F, One);
   X.Pair = re::buildDfa(F, F.cat(One, One));
@@ -218,4 +228,8 @@ AuditReport analysis::auditPolicy(const core::PolicyTables &T,
 
 AuditReport analysis::auditShippedPolicy() {
   return auditPolicy(core::policyTables(), buildDecoderDfas());
+}
+
+AuditReport analysis::auditMipsPolicy() {
+  return auditPolicy(*mips::mipsTableEntry().Tables, buildMipsDecoderDfas());
 }

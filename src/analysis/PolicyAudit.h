@@ -54,15 +54,20 @@ namespace analysis {
 /// largest DFA has 61 states").
 constexpr uint32_t PaperMaxPolicyStates = 61;
 
-/// Reference DFAs for the decodable x86 language, built from the
-/// stripped top-level decoder grammar (prefixes included).
+/// Reference DFAs for a decodable instruction language, built from a
+/// stripped top-level decoder grammar (prefixes included for x86).
 struct DecoderDfas {
-  re::Dfa One;  ///< exactly one prefixed instruction
-  re::Dfa Pair; ///< exactly two prefixed instructions (masked-jump shape)
+  re::Dfa One;  ///< exactly one instruction
+  re::Dfa Pair; ///< exactly two instructions (masked-jump shape)
 };
 
 /// Builds both reference DFAs from x86::x86Grammars().Full.
 DecoderDfas buildDecoderDfas();
+
+/// Builds both reference DFAs from the MIPS decoder grammar
+/// (mips::mipsDecoderRegex) — the audit itself is ISA-generic, only
+/// the decoder references differ.
+DecoderDfas buildMipsDecoderDfas();
 
 /// One audit obligation's outcome.
 struct AuditFinding {
@@ -107,6 +112,11 @@ AuditReport auditPolicy(const core::PolicyTables &T, const DecoderDfas &X);
 /// Audits the shipped tables (core::policyTables()) against freshly
 /// built decoder references. This is the CI gate.
 AuditReport auditShippedPolicy();
+
+/// Audits the registry's MIPS tables (mips::mipsTableEntry()) against
+/// the MIPS decoder references — the same 13 obligations as x86
+/// (`mips_meta_audit` gate).
+AuditReport auditMipsPolicy();
 
 /// Hex rendering of a witness byte string ("70 00").
 std::string hexBytes(const std::vector<uint8_t> &Bytes);

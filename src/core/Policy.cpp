@@ -2,11 +2,10 @@
 
 #include "core/Policy.h"
 
+#include "core/TableRegistry.h"
 #include "regex/Algebra.h"
 #include "regex/TableIO.h"
 
-#include <atomic>
-#include <mutex>
 #include <stdexcept>
 
 using namespace rocksalt;
@@ -200,26 +199,8 @@ PolicyTables core::buildPolicyTables() {
   return T;
 }
 
-namespace {
-
-/// The shared instance behind policyTables()/adoptPolicyTables():
-/// double-checked so the steady-state read is one acquire load. The
-/// pointee is intentionally immortal (exactly like the function-local
-/// static it replaces) — verifiers hold references across shutdown.
-std::atomic<const PolicyTables *> SharedTables{nullptr};
-std::mutex SharedTablesM;
-
-} // namespace
-
 const PolicyTables &core::policyTables() {
-  if (const PolicyTables *P = SharedTables.load(std::memory_order_acquire))
-    return *P;
-  std::lock_guard<std::mutex> L(SharedTablesM);
-  if (const PolicyTables *P = SharedTables.load(std::memory_order_relaxed))
-    return *P;
-  const PolicyTables *P = new PolicyTables(buildPolicyTables());
-  SharedTables.store(P, std::memory_order_release);
-  return *P;
+  return *defaultTableEntry().Tables;
 }
 
 FusedPolicy core::buildFusedPolicy(const PolicyTables &T) {
@@ -302,54 +283,51 @@ FusedPolicy core::buildFusedPolicy(const PolicyTables &T) {
   return P;
 }
 
-namespace {
-
-/// The shared fused instance, same immortal double-checked shape as
-/// SharedTables above. Built strictly after (and from) the shared
-/// PolicyTables, so an adoptPolicyTables() that beat the first
-/// policyTables() use is honored here too.
-std::atomic<const FusedPolicy *> SharedFused{nullptr};
-std::mutex SharedFusedM;
-
-} // namespace
-
 const FusedPolicy &core::fusedPolicyTables() {
-  if (const FusedPolicy *P = SharedFused.load(std::memory_order_acquire))
-    return *P;
-  const PolicyTables &T = policyTables();
-  std::lock_guard<std::mutex> L(SharedFusedM);
-  if (const FusedPolicy *P = SharedFused.load(std::memory_order_relaxed))
-    return *P;
-  const FusedPolicy *P = new FusedPolicy(buildFusedPolicy(T));
-  SharedFused.store(P, std::memory_order_release);
-  return *P;
+  // The fused form lives on the registry entry, built at registration
+  // time from the entry's own tables — there is no second cache that
+  // could disagree with policyTables() after an adoption.
+  return *defaultTableEntry().Fused;
 }
 
-bool core::adoptPolicyTables(PolicyTables T) {
-  std::lock_guard<std::mutex> L(SharedTablesM);
-  if (SharedTables.load(std::memory_order_relaxed))
-    return false;
-  SharedTables.store(new PolicyTables(std::move(T)),
-                     std::memory_order_release);
+bool core::adoptPolicyTables(PolicyTables T, std::string_view Isa,
+                             std::string_view PolicySet) {
+  TableRegistry::instance().adopt(
+      TableKey{std::string(Isa), std::string(PolicySet),
+               re::TableFormatVersion},
+      std::move(T));
   return true;
 }
 
 PolicyTables core::loadPolicyTables(const std::vector<uint8_t> &Blob,
-                                    std::string_view ExpectHashHex) {
+                                    std::string_view ExpectHashHex,
+                                    std::string_view ExpectIsa,
+                                    std::string_view ExpectPolicySet) {
   if (!ExpectHashHex.empty() && re::verifyBlobHashHex(Blob) != ExpectHashHex)
     throw std::runtime_error(
         "policy table blob hash does not match the expected content hash");
-  return deserializePolicyTables(Blob);
+  return deserializePolicyTables(Blob, ExpectIsa, ExpectPolicySet);
+}
+
+std::vector<uint8_t> core::serializePolicyTables(const PolicyTables &T,
+                                                 std::string_view Isa,
+                                                 std::string_view PolicySet) {
+  return re::serializeTables({{"NoControlFlow", &T.NoControlFlow},
+                              {"DirectJump", &T.DirectJump},
+                              {"MaskedJump", &T.MaskedJump}},
+                             Isa, PolicySet);
 }
 
 std::vector<uint8_t> core::serializePolicyTables(const PolicyTables &T) {
-  return re::serializeTables({{"NoControlFlow", &T.NoControlFlow},
-                              {"DirectJump", &T.DirectJump},
-                              {"MaskedJump", &T.MaskedJump}});
+  return serializePolicyTables(T, IsaX86, PolicySetNacl);
 }
 
-PolicyTables core::deserializePolicyTables(const std::vector<uint8_t> &Blob) {
-  re::TableBundle Bundle = re::deserializeTables(Blob);
+PolicyTables
+core::deserializePolicyTables(const std::vector<uint8_t> &Blob,
+                              std::string_view ExpectIsa,
+                              std::string_view ExpectPolicySet) {
+  re::TableBundle Bundle =
+      re::deserializeTables(Blob, ExpectIsa, ExpectPolicySet);
   if (Bundle.Tables.size() != 3 ||
       Bundle.Tables[0].first != "NoControlFlow" ||
       Bundle.Tables[1].first != "DirectJump" ||
@@ -364,4 +342,10 @@ PolicyTables core::deserializePolicyTables(const std::vector<uint8_t> &Blob) {
 
 std::string core::policyTableHashHex(const PolicyTables &T) {
   return re::blobHashHex(serializePolicyTables(T));
+}
+
+std::string core::policyTableHashHex(const PolicyTables &T,
+                                     std::string_view Isa,
+                                     std::string_view PolicySet) {
+  return re::blobHashHex(serializePolicyTables(T, Isa, PolicySet));
 }

@@ -146,9 +146,11 @@ struct FusedPolicy {
 /// table preprocessing (roughly 20 KiB of writes — microseconds).
 FusedPolicy buildFusedPolicy(const PolicyTables &T);
 
-/// The shared fused form of policyTables(): built lazily once, after
-/// (and from) whatever table set the process adopted or built. The
-/// production verifier entry points all drive this instance.
+/// The fused form of policyTables(): the default x86 registry entry's
+/// Fused member (core/TableRegistry.h). Fused at registration time
+/// from the exact tables policyTables() returns — the two can never
+/// disagree, even after an adoptPolicyTables(). The production
+/// verifier entry points all drive this instance.
 const FusedPolicy &fusedPolicyTables();
 
 /// Builds the policy grammars in \p F. (Regexes are interned in F, so the
@@ -166,37 +168,59 @@ PolicyTables buildPolicyTablesRaw();
 /// once and cached by the verifier.
 PolicyTables buildPolicyTables();
 
-/// Returns the shared process-wide tables: the adopted instance when
-/// adoptPolicyTables() ran first, else a lazily built one.
+/// Returns the default x86 tables — the x86/"nacl" entry of the
+/// process-wide core::TableRegistry: the adopted instance when
+/// adoptPolicyTables() registered first, else a lazily built one.
 const PolicyTables &policyTables();
 
 /// Parses, structure-checks, and hash-verifies an RSTB blob (e.g. one
 /// served by the verification service's tables endpoint). When
 /// \p ExpectHashHex is non-empty the blob's content address must equal
-/// it exactly. Throws std::runtime_error on any mismatch or corruption.
+/// it exactly. The blob's ISA / policy-set tags must match
+/// \p ExpectIsa / \p ExpectPolicySet (pass the MIPS tags to load a
+/// MIPS blob; the defaults reject anything that is not x86/nacl at the
+/// header). Throws std::runtime_error on any mismatch or corruption.
 PolicyTables loadPolicyTables(const std::vector<uint8_t> &Blob,
-                              std::string_view ExpectHashHex = {});
+                              std::string_view ExpectHashHex = {},
+                              std::string_view ExpectIsa = "x86",
+                              std::string_view ExpectPolicySet = "nacl");
 
-/// Installs \p T as the shared instance policyTables() serves, letting
-/// a process that obtained tables by blob skip the per-process grammar
-/// rebuild entirely. Must run before the first policyTables() use:
-/// returns false (and changes nothing) when the shared instance has
-/// already materialized.
-bool adoptPolicyTables(PolicyTables T);
+/// Registers \p T as the (Isa, PolicySet) entry of the table registry,
+/// letting a process that obtained tables by blob skip the per-process
+/// grammar rebuild entirely. Succeeds (returns true) when the key is
+/// free, or when it is already bound to tables with the same canonical
+/// content hash (idempotent). Throws std::runtime_error — it never
+/// silently loses the race with first use — when a *different* table
+/// set is already registered and in use under that key.
+bool adoptPolicyTables(PolicyTables T, std::string_view Isa = "x86",
+                       std::string_view PolicySet = "nacl");
 
 /// Serializes \p T into the versioned "RSTB" binary format
-/// (regex/TableIO.h), tables in the fixed order NoControlFlow,
-/// DirectJump, MaskedJump. Byte-identical for identical tables.
+/// (regex/TableIO.h) under the given identity tags, tables in the
+/// fixed order NoControlFlow, DirectJump, MaskedJump. Byte-identical
+/// for identical tables and tags. The one-argument form writes the
+/// default x86/"nacl" tags.
+std::vector<uint8_t> serializePolicyTables(const PolicyTables &T,
+                                           std::string_view Isa,
+                                           std::string_view PolicySet);
 std::vector<uint8_t> serializePolicyTables(const PolicyTables &T);
 
 /// Parses a blob produced by serializePolicyTables, re-verifying the
-/// embedded content hash and structure. Throws std::runtime_error on
-/// any corruption or on unexpected table names/order.
-PolicyTables deserializePolicyTables(const std::vector<uint8_t> &Blob);
+/// embedded content hash, structure, and identity tags (defaults
+/// expect x86/"nacl"; pass other tags — or empty to accept any — for
+/// other ISAs). Throws std::runtime_error on any corruption, tag
+/// mismatch, or unexpected table names/order.
+PolicyTables deserializePolicyTables(const std::vector<uint8_t> &Blob,
+                                     std::string_view ExpectIsa = "x86",
+                                     std::string_view ExpectPolicySet = "nacl");
 
 /// The content-address (SHA-256, lowercase hex) of the serialized form
-/// of \p T — the cache key CI pins against drift.
+/// of \p T — the cache key CI pins against drift. The one-argument
+/// form addresses the default x86/"nacl" serialization; the tagged
+/// form addresses any ISA's.
 std::string policyTableHashHex(const PolicyTables &T);
+std::string policyTableHashHex(const PolicyTables &T, std::string_view Isa,
+                               std::string_view PolicySet);
 
 /// The form names included in NoControlFlow (exposed for the workload
 /// generator, which emits only policy-legal instructions, and for tests).

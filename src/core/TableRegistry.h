@@ -1,0 +1,138 @@
+//===- core/TableRegistry.h - Multi-ISA policy table registry --*- C++ -*-===//
+///
+/// \file
+/// The process-wide registry of compiled policy table sets, keyed by
+/// (ISA, policy-set, serialization format version) and content-addressed
+/// by the SHA-256 of each entry's canonical RSTB blob. It replaces the
+/// old `policyTables()` / `fusedPolicyTables()` singleton pair, which
+/// hard-wired "the one x86 table set" into the process and hid two real
+/// identity bugs:
+///
+///  * an `adoptPolicyTables()` that lost the race with first use
+///    silently returned false, so a `--tables-from` client could verify
+///    against freshly built tables instead of the file it named;
+///  * the fused fast-path form was cached in a *second* independent
+///    singleton, so after an adoption the fused tables could disagree
+///    with the legacy ones they were supposedly fused from.
+///
+/// The registry fixes both by construction. Every entry is immutable
+/// and immortal (verifiers hold references across shutdown, exactly
+/// like the singletons it replaces), and registration is atomic: the
+/// canonical blob, its hash, and the fused form are all derived from
+/// the tables inside the registry lock, so an entry's Tables, Fused,
+/// Blob, and HashHex can never refer to different table sets. A key is
+/// bound to exactly one content hash for the life of the process —
+/// re-registering the same tables is an idempotent no-op, registering
+/// *different* tables under a taken key throws with both hashes.
+///
+/// The x86/"nacl" entry is the pre-registered default tenant (built
+/// lazily on first use, exactly as before); `mips::mipsTableEntry()`
+/// registers the second. The verification service serves any
+/// registered entry over the wire by ISA or content hash
+/// (svc/Service.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKSALT_CORE_TABLEREGISTRY_H
+#define ROCKSALT_CORE_TABLEREGISTRY_H
+
+#include "core/Policy.h"
+#include "regex/TableIO.h"
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocksalt {
+namespace core {
+
+/// Canonical identity tags. The ISA tag names the instruction set the
+/// tables decode; the policy-set tag names the sandbox discipline they
+/// enforce. Both are embedded in the hashed RSTB v2 header, so a blob's
+/// content address commits to its identity.
+constexpr const char *IsaX86 = "x86";
+constexpr const char *IsaMips = "mips";
+constexpr const char *PolicySetNacl = "nacl";
+
+/// The registry key: which ISA, which policy set, which serialization
+/// format the entry's canonical blob uses.
+struct TableKey {
+  std::string Isa;
+  std::string PolicySet;
+  uint32_t Format = re::TableFormatVersion;
+
+  bool operator==(const TableKey &O) const {
+    return Isa == O.Isa && PolicySet == O.PolicySet && Format == O.Format;
+  }
+};
+
+/// One registered table set. Immutable and immortal once registered;
+/// all five members are derived from the same PolicyTables instance
+/// under the registry lock, so they can never disagree.
+struct TableEntry {
+  TableKey Key;
+  /// The legacy three-table form the Figure-5 chain walks.
+  const PolicyTables *Tables = nullptr;
+  /// The fused fast-path form — built at registration time from
+  /// *these* tables (fuse-on-register), never cached separately.
+  const FusedPolicy *Fused = nullptr;
+  /// The canonical RSTB v2 serialization, ISA/policy-set tagged.
+  std::vector<uint8_t> Blob;
+  /// SHA-256 of the blob payload, lowercase hex — the entry's content
+  /// address, what the service's tables negotiation compares against.
+  std::string HashHex;
+};
+
+/// The process-wide registry. All methods are thread-safe; lookups
+/// return stable pointers that remain valid forever.
+class TableRegistry {
+public:
+  static TableRegistry &instance();
+
+  /// Returns the entry for \p K, building (then fusing, serializing,
+  /// and hashing) it via \p Build on first use. Builds run under the
+  /// registry lock so concurrent first uses do exactly one build, as
+  /// the old double-checked singleton did.
+  const TableEntry &getOrBuild(const TableKey &K, PolicyTables (*Build)());
+
+  /// Registers \p T under \p K. If the key is free the entry is
+  /// inserted and returned. If the key is already bound to tables with
+  /// the same canonical content hash, the existing entry is returned
+  /// (idempotent — adopting the tables the process already runs is not
+  /// an error). If the key is bound to *different* tables, throws
+  /// std::runtime_error naming both content hashes: late adoption
+  /// never silently loses to first use.
+  const TableEntry &adopt(const TableKey &K, PolicyTables T);
+
+  /// The entry registered under (Isa, PolicySet) at the current format
+  /// version, or nullptr. Never builds.
+  const TableEntry *byKey(std::string_view Isa,
+                          std::string_view PolicySet) const;
+
+  /// The entry whose canonical blob has the given content address, or
+  /// nullptr — how the service resolves a hash-bearing tables request
+  /// against every registered ISA. Never builds.
+  const TableEntry *byHash(std::string_view HashHex) const;
+
+  /// Snapshot of every registered entry (stable pointers).
+  std::vector<const TableEntry *> entries() const;
+
+private:
+  TableRegistry() = default;
+  const TableEntry *findLocked(const TableKey &K) const;
+  const TableEntry &insertLocked(const TableKey &K, PolicyTables T);
+
+  mutable std::mutex M;
+  std::vector<const TableEntry *> Entries;
+};
+
+/// The default x86/"nacl" entry — what `policyTables()` /
+/// `fusedPolicyTables()` now serve. Built on first use unless
+/// `adoptPolicyTables()` registered a blob-loaded set first.
+const TableEntry &defaultTableEntry();
+
+} // namespace core
+} // namespace rocksalt
+
+#endif // ROCKSALT_CORE_TABLEREGISTRY_H

@@ -146,14 +146,14 @@ const char *core::rejectReasonName(RejectReason R) {
   return "?";
 }
 
-void core::finalizeCheck(CheckResult &R) {
+void core::finalizeCheck(CheckResult &R, uint32_t Bundle) {
   uint32_t Size = static_cast<uint32_t>(R.Valid.size());
   // Branchless violation sweep first: the common (accepting) image pays
   // one vectorizable pass instead of a data-dependent branch per byte.
   uint8_t AnyBad = 0;
   for (uint32_t I = 0; I < Size; ++I)
     AnyBad |= uint8_t(R.Target[I] & (R.Valid[I] ^ 1));
-  for (uint32_t I = 0; I < Size; I += BundleSize)
+  for (uint32_t I = 0; I < Size; I += Bundle)
     AnyBad |= uint8_t(R.Valid[I] ^ 1);
   if (!AnyBad) {
     R.Ok = true;
@@ -167,7 +167,7 @@ void core::finalizeCheck(CheckResult &R) {
   for (uint32_t I = 0; I < Size && R.Reason == RejectReason::None; ++I) {
     if (R.Target[I] && !R.Valid[I])
       R.Reason = RejectReason::BadTarget;
-    else if (!(I & (BundleSize - 1)) && !R.Valid[I])
+    else if (!(I & (Bundle - 1)) && !R.Valid[I])
       R.Reason = RejectReason::UnalignedBundle;
   }
 }

@@ -130,8 +130,11 @@ struct CheckResult {
 /// The final pass of Figure 5 over an already-scanned image: every
 /// direct-jump target and every bundle boundary must be an instruction
 /// start. Sets R.Ok and R.Reason (assumes the scan itself succeeded;
-/// scan failures set NoParse before reaching this).
-void finalizeCheck(CheckResult &R);
+/// scan failures set NoParse before reaching this). \p Bundle must be
+/// a power of two; it defaults to the x86 policy's 32 and is
+/// parameterized so other ISAs' checkers (mips/MipsPolicy.h, bundle
+/// 16) can reuse the pass.
+void finalizeCheck(CheckResult &R, uint32_t Bundle = BundleSize);
 
 /// The instrumented check over the LEGACY engine (three separate
 /// uint16-id tables, per-byte dfaMatch). This is the differential

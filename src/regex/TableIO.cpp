@@ -28,6 +28,16 @@ void putU16(std::vector<uint8_t> &Out, uint16_t V) {
   Out.push_back(uint8_t(V >> 8));
 }
 
+bool validTag(std::string_view Tag) {
+  if (Tag.empty() || Tag.size() > MaxTableTagLen)
+    return false;
+  for (char C : Tag)
+    if (!((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') || C == '_' ||
+          C == '-'))
+      return false;
+  return true;
+}
+
 /// Bounds-checked little-endian reader over the blob.
 class Reader {
 public:
@@ -74,15 +84,40 @@ private:
   size_t Pos;
 };
 
+/// Reads one identity tag (u32 length + bytes) with the same charset
+/// and length discipline the writer enforces.
+std::string readTag(Reader &R, const char *What) {
+  uint32_t Len = R.u32();
+  if (Len == 0 || Len > MaxTableTagLen)
+    throw std::runtime_error(std::string("table blob ") + What +
+                             " tag has bad length");
+  std::string Tag = R.str(Len);
+  if (!validTag(Tag))
+    throw std::runtime_error(std::string("table blob ") + What +
+                             " tag has bad characters");
+  return Tag;
+}
+
 } // namespace
 
 std::vector<uint8_t> re::serializeTables(
-    const std::vector<std::pair<std::string, const Dfa *>> &Tables) {
+    const std::vector<std::pair<std::string, const Dfa *>> &Tables,
+    std::string_view Isa, std::string_view PolicySet) {
+  if (!validTag(Isa))
+    throw std::runtime_error("bad ISA tag for table serialization");
+  if (!validTag(PolicySet))
+    throw std::runtime_error("bad policy-set tag for table serialization");
+
   std::vector<uint8_t> Out;
   Out.insert(Out.end(), Magic, Magic + 4);
   putU32(Out, TableFormatVersion);
   putU32(Out, uint32_t(Tables.size()));
   Out.resize(PayloadOffset); // hash placeholder, filled below
+
+  putU32(Out, uint32_t(Isa.size()));
+  Out.insert(Out.end(), Isa.begin(), Isa.end());
+  putU32(Out, uint32_t(PolicySet.size()));
+  Out.insert(Out.end(), PolicySet.begin(), PolicySet.end());
 
   for (const auto &[Name, D] : Tables) {
     putU32(Out, uint32_t(Name.size()));
@@ -104,7 +139,9 @@ std::vector<uint8_t> re::serializeTables(
   return Out;
 }
 
-TableBundle re::deserializeTables(const std::vector<uint8_t> &Blob) {
+TableBundle re::deserializeTables(const std::vector<uint8_t> &Blob,
+                                  std::string_view ExpectIsa,
+                                  std::string_view ExpectPolicySet) {
   if (Blob.size() < PayloadOffset)
     throw std::runtime_error("table blob truncated");
   if (std::memcmp(Blob.data(), Magic, 4) != 0)
@@ -113,7 +150,7 @@ TableBundle re::deserializeTables(const std::vector<uint8_t> &Blob) {
   Reader R(Blob, 4);
   TableBundle Bundle;
   Bundle.Version = R.u32();
-  if (Bundle.Version != TableFormatVersion)
+  if (Bundle.Version != TableFormatVersion && Bundle.Version != TableFormatV1)
     throw std::runtime_error("unsupported table format version");
   uint32_t Count = R.u32();
 
@@ -125,6 +162,25 @@ TableBundle re::deserializeTables(const std::vector<uint8_t> &Blob) {
   if (Stored != Actual)
     throw std::runtime_error("table blob content hash mismatch");
   Bundle.HashHex = support::Sha256::hex(Stored);
+
+  // Identity tags: explicit in v2, implied for legacy v1 blobs (which
+  // all predate the multi-ISA registry). Checked before any table
+  // payload is read so a wrong-ISA blob is rejected at the header.
+  if (Bundle.Version == TableFormatV1) {
+    Bundle.Isa = TableV1ImpliedIsa;
+    Bundle.PolicySet = TableV1ImpliedPolicySet;
+  } else {
+    Bundle.Isa = readTag(R, "ISA");
+    Bundle.PolicySet = readTag(R, "policy-set");
+  }
+  if (!ExpectIsa.empty() && Bundle.Isa != ExpectIsa)
+    throw std::runtime_error("table blob is tagged for ISA '" + Bundle.Isa +
+                             "' but '" + std::string(ExpectIsa) +
+                             "' tables were expected");
+  if (!ExpectPolicySet.empty() && Bundle.PolicySet != ExpectPolicySet)
+    throw std::runtime_error(
+        "table blob is tagged for policy set '" + Bundle.PolicySet +
+        "' but '" + std::string(ExpectPolicySet) + "' was expected");
 
   for (uint32_t T = 0; T < Count; ++T) {
     uint32_t NameLen = R.u32();
@@ -173,7 +229,8 @@ std::string re::verifyBlobHashHex(const std::vector<uint8_t> &Blob) {
   if (std::memcmp(Blob.data(), Magic, 4) != 0)
     throw std::runtime_error("table blob has bad magic");
   Reader R(Blob, 4);
-  if (R.u32() != TableFormatVersion)
+  uint32_t Version = R.u32();
+  if (Version != TableFormatVersion && Version != TableFormatV1)
     throw std::runtime_error("unsupported table format version");
   std::array<uint8_t, 32> Stored;
   std::memcpy(Stored.data(), Blob.data() + HashOffset, 32);

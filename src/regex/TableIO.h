@@ -8,14 +8,17 @@
 /// SHA-256 doubles as a cache key and a drift detector: CI pins the hash
 /// and fails when a grammar edit changes the accepted language.
 ///
-/// Layout (all integers little-endian; see DESIGN.md section 10):
+/// Format v2 layout (all integers little-endian; see DESIGN.md
+/// section 16):
 ///
 ///   offset  size  field
 ///   0       4     magic "RSTB"
-///   4       4     format version (currently 1)
+///   4       4     format version (currently 2)
 ///   8       4     table count N
 ///   12      32    SHA-256 over every byte after this field
-///   44      ...   N table records, each:
+///   44      ...   u32 ISA tag length, ISA tag bytes ("x86", "mips", ...)
+///                 u32 policy-set tag length, policy-set tag bytes
+///   ...     ...   N table records, each:
 ///                   u32 name length, name bytes (no terminator)
 ///                   u32 start state
 ///                   u32 state count S
@@ -23,9 +26,17 @@
 ///                   S u8 accept flags (0/1)
 ///                   S u8 reject flags (0/1)
 ///
-/// Deserialization re-verifies the magic, version, hash, flag values,
-/// and that every transition target is < S; any mismatch throws — a
-/// truncated or bit-flipped blob never silently yields a table.
+/// The ISA and policy-set tags live INSIDE the hashed region: two table
+/// sets that differ only in their tag have different content addresses,
+/// so a MIPS blob can never be cache-confused with an x86 one. Format
+/// v1 (no tags) is still read for compatibility — every v1 blob
+/// predates the multi-ISA registry, so a v1 read reports the implied
+/// "x86"/"nacl" tags (pinned by a golden-blob test).
+///
+/// Deserialization re-verifies the magic, version, hash, tags, flag
+/// values, and that every transition target is < S; any mismatch throws
+/// at the first divergent byte — a truncated, bit-flipped, or
+/// wrong-ISA blob never silently yields a table.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +46,7 @@
 #include "regex/Dfa.h"
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -43,26 +55,47 @@ namespace re {
 
 /// The current serialization format version. Bump on any layout change;
 /// readers reject versions they do not understand.
-constexpr uint32_t TableFormatVersion = 1;
+constexpr uint32_t TableFormatVersion = 2;
+
+/// The legacy tagless format, still accepted on read (its blobs all
+/// predate the multi-ISA registry and are implied "x86"/"nacl").
+constexpr uint32_t TableFormatV1 = 1;
+
+/// Tags implied by a v1 blob, and the longest tag a v2 header may carry
+/// (a hostile length cannot balloon the reader).
+constexpr const char *TableV1ImpliedIsa = "x86";
+constexpr const char *TableV1ImpliedPolicySet = "nacl";
+constexpr uint32_t MaxTableTagLen = 32;
 
 /// A deserialized bundle: the format version it was written with, the
-/// content hash carried in the header (hex), and the named tables in
-/// file order.
+/// identity tags (implied for v1 blobs), the content hash carried in
+/// the header (hex), and the named tables in file order.
 struct TableBundle {
   uint32_t Version = 0;
+  std::string Isa;
+  std::string PolicySet;
   std::string HashHex;
   std::vector<std::pair<std::string, Dfa>> Tables;
 };
 
-/// Serializes the named tables. Deterministic: the same tables in the
-/// same order always produce the same bytes (and therefore hash).
+/// Serializes the named tables under the given identity tags (current
+/// format). Deterministic: the same tables and tags in the same order
+/// always produce the same bytes (and therefore hash). Tags must be
+/// nonempty and at most MaxTableTagLen bytes of [a-z0-9_-].
 std::vector<uint8_t>
-serializeTables(const std::vector<std::pair<std::string, const Dfa *>> &Tables);
+serializeTables(const std::vector<std::pair<std::string, const Dfa *>> &Tables,
+                std::string_view Isa, std::string_view PolicySet);
 
-/// Parses and fully validates a blob. Throws std::runtime_error with a
-/// specific message on bad magic, unsupported version, hash mismatch,
-/// truncation, out-of-range transition targets, or non-boolean flags.
-TableBundle deserializeTables(const std::vector<uint8_t> &Blob);
+/// Parses and fully validates a blob (v2, or v1 with implied tags).
+/// When \p ExpectIsa / \p ExpectPolicySet are nonempty the blob's tags
+/// must equal them — the check runs before any table payload is read,
+/// so a wrong-ISA blob is rejected at the header. Throws
+/// std::runtime_error with a specific message on bad magic, unsupported
+/// version, hash mismatch, tag mismatch, truncation, out-of-range
+/// transition targets, or non-boolean flags.
+TableBundle deserializeTables(const std::vector<uint8_t> &Blob,
+                              std::string_view ExpectIsa = {},
+                              std::string_view ExpectPolicySet = {});
 
 /// The content hash of a serialized blob, as carried in its header
 /// (does not re-verify it; use deserializeTables for that).

@@ -2,6 +2,8 @@
 
 #include "svc/Protocol.h"
 
+#include "regex/TableIO.h"
+
 #include <cstring>
 
 using namespace rocksalt;
@@ -96,6 +98,8 @@ public:
     if (Pos != Body.size())
       throw ProtocolError("frame body has trailing bytes");
   }
+
+  bool atEnd() const { return Pos == Body.size(); }
 
 private:
   void need(size_t N) {
@@ -311,24 +315,43 @@ AuditVerdict proto::decodeAuditResponse(const std::vector<uint8_t> &Body) {
 }
 
 std::vector<uint8_t>
-proto::encodeTablesRequest(const std::string &ExpectHashHex) {
+proto::encodeTablesRequest(const std::string &ExpectHashHex,
+                           const std::string &Isa) {
   std::vector<uint8_t> Out;
   putU32(Out, uint32_t(ExpectHashHex.size()));
   putBytes(Out, ExpectHashHex.data(), ExpectHashHex.size());
+  // The ISA selector is an appended extension: omitted entirely for the
+  // default entry, so the no-selector encoding is byte-identical to the
+  // original wire shape.
+  if (!Isa.empty()) {
+    putU32(Out, uint32_t(Isa.size()));
+    putBytes(Out, Isa.data(), Isa.size());
+  }
   return Out;
 }
 
-std::string proto::decodeTablesRequest(const std::vector<uint8_t> &Body) {
+TablesRequestBody proto::decodeTablesRequest(const std::vector<uint8_t> &Body) {
   Reader R(Body);
   uint32_t Len = R.u32();
   if (Len != 0 && Len != 64)
     throw ProtocolError("tables request hash must be empty or 64 hex chars");
-  std::string Hash = R.str(Len);
-  for (char C : Hash)
+  TablesRequestBody T;
+  T.ExpectHashHex = R.str(Len);
+  for (char C : T.ExpectHashHex)
     if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')))
       throw ProtocolError("tables request hash is not lowercase hex");
+  if (!R.atEnd()) {
+    uint32_t IsaLen = R.u32();
+    if (IsaLen == 0 || IsaLen > re::MaxTableTagLen)
+      throw ProtocolError("tables request ISA selector has bad length");
+    T.Isa = R.str(IsaLen);
+    for (char C : T.Isa)
+      if (!((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') || C == '_' ||
+            C == '-'))
+        throw ProtocolError("tables request ISA selector has bad characters");
+  }
   R.done();
-  return Hash;
+  return T;
 }
 
 std::vector<uint8_t> proto::encodeTablesResponse(const TablesReply &T) {

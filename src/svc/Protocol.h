@@ -164,6 +164,19 @@ struct TablesReply {
   std::vector<uint8_t> Blob;
 };
 
+/// Tables request: the client's cached content hash (empty when it has
+/// none) plus an optional ISA selector naming which registry entry it
+/// wants. The selector is an appended extension field — a request
+/// without one is the original v1 wire shape and resolves to the
+/// default x86 entry (or, when the hash names any registered entry, to
+/// that entry), so old clients keep working unchanged against a
+/// multi-ISA server and old servers reject ISA-bearing requests
+/// loudly (trailing bytes) rather than mis-serving them.
+struct TablesRequestBody {
+  std::string ExpectHashHex;
+  std::string Isa;
+};
+
 std::vector<uint8_t>
 encodeImageBatch(const std::vector<std::vector<uint8_t>> &Images);
 std::vector<std::vector<uint8_t>>
@@ -181,8 +194,9 @@ std::vector<LintReport> decodeLintResponse(const std::vector<uint8_t> &Body);
 std::vector<uint8_t> encodeAuditResponse(const AuditVerdict &V);
 AuditVerdict decodeAuditResponse(const std::vector<uint8_t> &Body);
 
-std::vector<uint8_t> encodeTablesRequest(const std::string &ExpectHashHex);
-std::string decodeTablesRequest(const std::vector<uint8_t> &Body);
+std::vector<uint8_t> encodeTablesRequest(const std::string &ExpectHashHex,
+                                         const std::string &Isa = {});
+TablesRequestBody decodeTablesRequest(const std::vector<uint8_t> &Body);
 
 std::vector<uint8_t> encodeTablesResponse(const TablesReply &R);
 TablesReply decodeTablesResponse(const std::vector<uint8_t> &Body);

@@ -4,6 +4,7 @@
 
 #include "analysis/CfgLint.h"
 #include "analysis/PolicyAudit.h"
+#include "core/TableRegistry.h"
 #include "regex/TableIO.h"
 
 #include <cerrno>
@@ -125,11 +126,39 @@ proto::AuditVerdict Service::audit() {
   return {R.Pass, R.render()};
 }
 
-proto::TablesReply Service::tables(const std::string &ExpectHashHex) {
+proto::TablesReply Service::tables(const std::string &ExpectHashHex,
+                                   const std::string &Isa) {
   proto::TablesReply R;
+  if (!Isa.empty()) {
+    // Explicit selector: serve that ISA's registry entry or fail loudly
+    // (a ProtocolError becomes an ErrorResponse; the session survives).
+    const core::TableEntry *E =
+        core::TableRegistry::instance().byKey(Isa, core::PolicySetNacl);
+    if (!E)
+      throw proto::ProtocolError("no policy tables registered for ISA '" +
+                                 Isa + "'");
+    R.HashHex = E->HashHex;
+    if (!ExpectHashHex.empty() && ExpectHashHex == E->HashHex) {
+      R.HashMatched = true;
+      Met->SvcTablesHashHits.add();
+    } else {
+      R.Blob = E->Blob;
+    }
+    return R;
+  }
   R.HashHex = BlobHashHex;
   if (!ExpectHashHex.empty() && ExpectHashHex == BlobHashHex) {
     R.HashMatched = true; // negotiation short-circuit: no blob on the wire
+    Met->SvcTablesHashHits.add();
+  } else if (const core::TableEntry *E =
+                 ExpectHashHex.empty()
+                     ? nullptr
+                     : core::TableRegistry::instance().byHash(ExpectHashHex)) {
+    // Old wire shape, but the client's cached hash names *some* other
+    // registered entry — confirm it by hash instead of force-feeding the
+    // x86 blob (multi-ISA clients pre-dating the selector field).
+    R.HashHex = E->HashHex;
+    R.HashMatched = true;
     Met->SvcTablesHashHits.add();
   } else {
     R.Blob = Blob;
@@ -220,7 +249,8 @@ std::vector<uint8_t> Service::handleFrame(const proto::Frame &F, Session *Sess,
     }
     case MsgKind::TablesRequest: {
       Met->SvcTablesRequests.add();
-      proto::TablesReply R = tables(proto::decodeTablesRequest(F.Body));
+      proto::TablesRequestBody TR = proto::decodeTablesRequest(F.Body);
+      proto::TablesReply R = tables(TR.ExpectHashHex, TR.Isa);
       proto::appendFrame(Out, MsgKind::TablesResponse,
                          proto::encodeTablesResponse(R));
       break;

@@ -100,9 +100,16 @@ public:
   /// Runs the policy meta-verifier against the live tables.
   proto::AuditVerdict audit();
 
-  /// Content-addressed table distribution: when \p ExpectHashHex equals
-  /// the live tables' hash the reply is hash-only (no blob).
-  proto::TablesReply tables(const std::string &ExpectHashHex);
+  /// Content-addressed table distribution over the whole table registry
+  /// (core/TableRegistry.h). With an empty \p Isa the behavior is the
+  /// original wire contract: the reply names the default x86 entry, and
+  /// a matching \p ExpectHashHex — against the x86 hash *or* any other
+  /// registered entry's hash — short-circuits to a hash-only reply (no
+  /// blob). A non-empty \p Isa selects that ISA's nacl-policy entry
+  /// explicitly; an ISA nobody registered with the server yields a
+  /// ProtocolError (an ErrorResponse on the wire, session survives).
+  proto::TablesReply tables(const std::string &ExpectHashHex,
+                            const std::string &Isa = {});
 
   /// The scrapeable metrics exposition (one metric per line).
   std::string metricsText() const { return Met->exposition(); }

@@ -1,0 +1,194 @@
+//===- tests/core_registry_test.cpp ---------------------------*- C++ -*-===//
+//
+// The multi-ISA table registry (core/TableRegistry.h): keyed and
+// content-addressed lookup, fuse-on-register identity (an entry's
+// Tables/Fused/Blob/HashHex can never disagree), adoption semantics
+// (idempotent on equal content, hard failure on conflict — never a
+// silent loss), and thread-safety of the whole surface under concurrent
+// first use. The concurrency test doubles as the TSan-tree gate
+// (registry_concurrent_under_tsan in tests/CMakeLists.txt).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TableRegistry.h"
+#include "mips/MipsPolicy.h"
+#include "regex/TableIO.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace rocksalt;
+using namespace rocksalt::core;
+
+namespace {
+
+int CountedBuilds = 0;
+PolicyTables countedBuild() {
+  ++CountedBuilds;
+  return mips::buildMipsPolicyTables();
+}
+
+TEST(TableRegistry, DefaultEntryIsTheX86Tenant) {
+  const TableEntry &E = defaultTableEntry();
+  EXPECT_EQ(E.Key.Isa, IsaX86);
+  EXPECT_EQ(E.Key.PolicySet, PolicySetNacl);
+  EXPECT_EQ(E.Key.Format, re::TableFormatVersion);
+
+  // The legacy singleton accessors are now views of this entry, so the
+  // fused fast path and the per-table form can never diverge again.
+  EXPECT_EQ(E.Tables, &policyTables());
+  EXPECT_EQ(E.Fused, &fusedPolicyTables());
+
+  // Blob and hash were derived from the same tables at registration.
+  EXPECT_EQ(E.HashHex, re::blobHashHex(E.Blob));
+  EXPECT_EQ(E.HashHex, re::verifyBlobHashHex(E.Blob));
+  EXPECT_EQ(E.Blob, serializePolicyTables(*E.Tables));
+
+  EXPECT_EQ(TableRegistry::instance().byKey(IsaX86, PolicySetNacl), &E);
+  EXPECT_EQ(TableRegistry::instance().byHash(E.HashHex), &E);
+}
+
+TEST(TableRegistry, MipsEntryRegistersBesideX86) {
+  const TableEntry &M = mips::mipsTableEntry();
+  const TableEntry &X = defaultTableEntry();
+  EXPECT_EQ(M.Key.Isa, IsaMips);
+  EXPECT_EQ(M.Key.PolicySet, PolicySetNacl);
+  EXPECT_NE(&M, &X);
+  EXPECT_NE(M.HashHex, X.HashHex);
+  EXPECT_EQ(TableRegistry::instance().byKey(IsaMips, PolicySetNacl), &M);
+  EXPECT_EQ(TableRegistry::instance().byHash(M.HashHex), &M);
+
+  // The mips blob carries mips identity tags.
+  re::TableBundle B = re::deserializeTables(M.Blob);
+  EXPECT_EQ(B.Isa, IsaMips);
+  EXPECT_EQ(B.PolicySet, PolicySetNacl);
+}
+
+TEST(TableRegistry, GetOrBuildBuildsExactlyOnce) {
+  TableKey K{IsaMips, "idempotence-probe", re::TableFormatVersion};
+  CountedBuilds = 0;
+  const TableEntry &A = TableRegistry::instance().getOrBuild(K, countedBuild);
+  const TableEntry &B = TableRegistry::instance().getOrBuild(K, countedBuild);
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(CountedBuilds, 1);
+  EXPECT_EQ(TableRegistry::instance().byKey(IsaMips, "idempotence-probe"), &A);
+}
+
+TEST(TableRegistry, ByHashResolvesEveryEntry) {
+  (void)defaultTableEntry();
+  (void)mips::mipsTableEntry();
+  std::vector<const TableEntry *> All = TableRegistry::instance().entries();
+  ASSERT_GE(All.size(), 2u);
+  std::set<std::string> Hashes;
+  for (const TableEntry *E : All) {
+    EXPECT_EQ(TableRegistry::instance().byHash(E->HashHex), E);
+    Hashes.insert(E->HashHex);
+  }
+  // Content addresses are unique across the registry.
+  EXPECT_EQ(Hashes.size(), All.size());
+  EXPECT_EQ(TableRegistry::instance().byHash(std::string(64, '0')), nullptr);
+}
+
+TEST(TableRegistry, AdoptIsIdempotentOnEqualContent) {
+  const TableEntry &Live = defaultTableEntry();
+  // Re-adopting tables with the live entry's exact content is a no-op
+  // returning the existing entry — a --tables-from of the blob the
+  // process already runs must not fail.
+  const TableEntry &Again = TableRegistry::instance().adopt(
+      TableKey{IsaX86, PolicySetNacl, re::TableFormatVersion},
+      buildPolicyTables());
+  EXPECT_EQ(&Again, &Live);
+  EXPECT_EQ(&policyTables(), Live.Tables);
+}
+
+TEST(TableRegistry, AdoptConflictThrowsNamingBothHashes) {
+  const TableEntry &Live = defaultTableEntry();
+  // The unminimized tables serialize to a different canonical blob, so
+  // adopting them after first use is the exact bug the old singleton
+  // hid (it returned false and kept verifying with the built tables).
+  PolicyTables Raw = buildPolicyTablesRaw();
+  std::string RawHash = policyTableHashHex(Raw);
+  ASSERT_NE(RawHash, Live.HashHex);
+  try {
+    TableRegistry::instance().adopt(
+        TableKey{IsaX86, PolicySetNacl, re::TableFormatVersion},
+        std::move(Raw));
+    FAIL() << "conflicting adoption did not throw";
+  } catch (const std::runtime_error &E) {
+    std::string What = E.what();
+    EXPECT_NE(What.find(Live.HashHex), std::string::npos) << What;
+    EXPECT_NE(What.find(RawHash), std::string::npos) << What;
+  }
+  // The live entry is untouched by the failed adoption.
+  EXPECT_EQ(&defaultTableEntry(), &Live);
+  EXPECT_EQ(TableRegistry::instance().byKey(IsaX86, PolicySetNacl), &Live);
+}
+
+TEST(TableRegistry, AdoptUnderFreshKeyInsertsFullEntry) {
+  const TableEntry &E = TableRegistry::instance().adopt(
+      TableKey{IsaX86, "raw-probe", re::TableFormatVersion},
+      buildPolicyTablesRaw());
+  EXPECT_NE(E.Tables, nullptr);
+  EXPECT_NE(E.Fused, nullptr); // fused at registration, not on demand
+  EXPECT_EQ(E.HashHex, re::blobHashHex(E.Blob));
+  // The blob is tagged with the adopted identity.
+  re::TableBundle B = re::deserializeTables(E.Blob, IsaX86, "raw-probe");
+  EXPECT_EQ(B.Isa, IsaX86);
+  EXPECT_EQ(B.PolicySet, "raw-probe");
+  EXPECT_EQ(TableRegistry::instance().byKey(IsaX86, "raw-probe"), &E);
+}
+
+// The race-certification gate (run under ROCKSALT_SANITIZE=thread as
+// registry_concurrent_under_tsan): many threads hammer first-time
+// registration, keyed/hash lookup, the legacy accessors, and
+// idempotent adoption at once. Every thread must observe the same
+// immortal entry pointers, and TSan must see no races on the way.
+TEST(TableRegistry, ConcurrentFirstUseAndLookupIsRaceFree) {
+  constexpr int Threads = 8, Iters = 25;
+  std::atomic<const TableEntry *> X86Seen{nullptr}, MipsSeen{nullptr};
+  std::atomic<int> Failures{0};
+
+  auto Work = [&](int Tid) {
+    for (int I = 0; I < Iters; ++I) {
+      const TableEntry &X = defaultTableEntry();
+      const TableEntry &M = mips::mipsTableEntry();
+
+      const TableEntry *PrevX = X86Seen.exchange(&X);
+      const TableEntry *PrevM = MipsSeen.exchange(&M);
+      if ((PrevX && PrevX != &X) || (PrevM && PrevM != &M))
+        ++Failures;
+
+      if (&policyTables() != X.Tables || &fusedPolicyTables() != X.Fused)
+        ++Failures;
+      if (TableRegistry::instance().byHash(M.HashHex) != &M ||
+          TableRegistry::instance().byKey(IsaX86, PolicySetNacl) != &X)
+        ++Failures;
+      if (TableRegistry::instance().entries().size() < 2)
+        ++Failures;
+
+      // Odd threads also exercise the idempotent-adopt path while the
+      // others read — the lock must serialize hash derivation against
+      // lookups without ever returning a second entry for the key.
+      if ((Tid & 1) && I % 8 == 0) {
+        const TableEntry &A = TableRegistry::instance().adopt(
+            TableKey{IsaX86, PolicySetNacl, re::TableFormatVersion},
+            buildPolicyTables());
+        if (&A != &X)
+          ++Failures;
+      }
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back(Work, T);
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+} // namespace

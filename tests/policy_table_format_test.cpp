@@ -2,9 +2,11 @@
 //
 // The versioned policy-table format (regex/TableIO.h) as a CI gate:
 // round-trip bit-identity, the pinned golden content hash, rejection of
-// corrupted/truncated blobs, and the differential gate proving the
-// minimized shipped tables decide exactly as the legacy raw tables on
-// every image in the fuzz reproducer corpus.
+// corrupted/truncated blobs, the RSTB v2 ISA/policy-set tag discipline
+// (mismatches rejected at the header, legacy v1 blobs pinned by a
+// golden-hash writer), and the differential gate proving the minimized
+// shipped tables decide exactly as the legacy raw tables on every image
+// in the fuzz reproducer corpus.
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +39,14 @@ namespace {
 /// and copy the printed hash here (and into the EXPECTED_HASH of the
 /// table_hash_drift ctest gate in tests/CMakeLists.txt).
 constexpr const char *GoldenHash =
+    "05fc276c046e485711f8203340f0ab5273f312d054bbdb48a2e148eb0417e8db";
+
+/// The content-address the same tables carried in RSTB v1 (no identity
+/// tags in the hashed payload). Pinned so the v1-reading compatibility
+/// path — blobs produced by pre-registry builds — can never silently
+/// drift: WriteV1Blob below re-derives a v1 blob from the shipped
+/// tables and must land on exactly this hash.
+constexpr const char *GoldenHashV1 =
     "604048c7dfe681dbbaef0aa6e60650ec1387d6cc69cec9c1e0f90e2312bc571b";
 
 const PolicyTables &shipped() { return policyTables(); }
@@ -46,6 +56,48 @@ std::vector<uint8_t> shippedBlob() { return serializePolicyTables(shipped()); }
 bool sameDfa(const re::Dfa &A, const re::Dfa &B) {
   return A.Start == B.Start && A.Table == B.Table && A.Accepts == B.Accepts &&
          A.Rejects == B.Rejects;
+}
+
+/// A from-scratch RSTB v1 writer: the pre-registry format — same record
+/// layout, version 1, and *no* identity tags in the hashed payload.
+/// Lives here (not in TableIO) so the shipped reader's v1 path is
+/// exercised against an independent producer, exactly like a blob from
+/// an old build.
+std::vector<uint8_t> writeV1Blob(const PolicyTables &T) {
+  auto PutU32 = [](std::vector<uint8_t> &Out, uint32_t V) {
+    Out.push_back(uint8_t(V));
+    Out.push_back(uint8_t(V >> 8));
+    Out.push_back(uint8_t(V >> 16));
+    Out.push_back(uint8_t(V >> 24));
+  };
+  const std::pair<const char *, const re::Dfa *> Tables[] = {
+      {"NoControlFlow", &T.NoControlFlow},
+      {"DirectJump", &T.DirectJump},
+      {"MaskedJump", &T.MaskedJump}};
+
+  std::vector<uint8_t> Out = {'R', 'S', 'T', 'B'};
+  PutU32(Out, 1); // RSTB v1
+  PutU32(Out, 3);
+  Out.resize(44); // 32-byte hash placeholder at offset 12
+  for (const auto &[Name, D] : Tables) {
+    std::string_view N(Name);
+    PutU32(Out, uint32_t(N.size()));
+    Out.insert(Out.end(), N.begin(), N.end());
+    PutU32(Out, D->Start);
+    PutU32(Out, uint32_t(D->numStates()));
+    for (const auto &Row : D->Table)
+      for (uint16_t Target : Row) {
+        Out.push_back(uint8_t(Target));
+        Out.push_back(uint8_t(Target >> 8));
+      }
+    for (uint8_t A : D->Accepts)
+      Out.push_back(A ? 1 : 0);
+    for (uint8_t R : D->Rejects)
+      Out.push_back(R ? 1 : 0);
+  }
+  auto Digest = support::Sha256::hash(Out.data() + 44, Out.size() - 44);
+  std::copy(Digest.begin(), Digest.end(), Out.begin() + 12);
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -106,6 +158,8 @@ TEST(TableFormat, HeaderFieldsAndShippedSizes) {
   re::TableBundle Bundle = re::deserializeTables(shippedBlob());
   EXPECT_EQ(Bundle.Version, re::TableFormatVersion);
   EXPECT_EQ(Bundle.HashHex, GoldenHash);
+  EXPECT_EQ(Bundle.Isa, re::TableV1ImpliedIsa);
+  EXPECT_EQ(Bundle.PolicySet, re::TableV1ImpliedPolicySet);
   ASSERT_EQ(Bundle.Tables.size(), 3u);
   EXPECT_EQ(Bundle.Tables[0].first, "NoControlFlow");
   EXPECT_EQ(Bundle.Tables[0].second.numStates(), NoControlFlowStates);
@@ -159,6 +213,75 @@ TEST(TableFormat, TrailingBytesRejected) {
   std::vector<uint8_t> Blob = shippedBlob();
   Blob.push_back(0x00);
   EXPECT_THROW(re::deserializeTables(Blob), std::runtime_error);
+}
+
+//===----------------------------------------------------------------------===//
+// RSTB v2 identity tags: mismatches die at the header, v1 blobs imply
+// x86/nacl and stay readable bit-for-bit (pinned by a golden hash).
+//===----------------------------------------------------------------------===//
+
+TEST(TableFormat, IsaTagMismatchRejectedAtHeader) {
+  // The same tables serialized under a different ISA tag: an x86 load
+  // must reject it with a diagnostic naming both sides, and must do so
+  // from the header alone — before any table record is parsed.
+  std::vector<uint8_t> Blob = serializePolicyTables(shipped(), "mips", "nacl");
+  try {
+    deserializePolicyTables(Blob); // default expectation: x86/nacl
+    FAIL() << "wrong-ISA blob was accepted";
+  } catch (const std::runtime_error &E) {
+    EXPECT_NE(std::string(E.what()).find("tagged for ISA 'mips'"),
+              std::string::npos)
+        << E.what();
+    EXPECT_NE(std::string(E.what()).find("'x86'"), std::string::npos)
+        << E.what();
+  }
+  // The right expectation reads it back fine.
+  PolicyTables T2 = deserializePolicyTables(Blob, "mips", "nacl");
+  EXPECT_TRUE(sameDfa(T2.MaskedJump, shipped().MaskedJump));
+}
+
+TEST(TableFormat, PolicySetTagMismatchRejected) {
+  std::vector<uint8_t> Blob = serializePolicyTables(shipped(), "x86", "strict");
+  EXPECT_THROW(deserializePolicyTables(Blob), std::runtime_error);
+  PolicyTables T2 = deserializePolicyTables(Blob, "x86", "strict");
+  EXPECT_TRUE(sameDfa(T2.NoControlFlow, shipped().NoControlFlow));
+}
+
+TEST(TableFormat, BadTagRejectedAtSerialization) {
+  EXPECT_THROW(serializePolicyTables(shipped(), "X86", "nacl"),
+               std::runtime_error); // uppercase outside the tag charset
+  EXPECT_THROW(serializePolicyTables(shipped(), "", "nacl"),
+               std::runtime_error);
+  EXPECT_THROW(serializePolicyTables(shipped(),
+                                     std::string(re::MaxTableTagLen + 1, 'a'),
+                                     "nacl"),
+               std::runtime_error);
+}
+
+TEST(TableFormat, V1GoldenBlobStillReads) {
+  // A v1 blob written by an independent local writer from the shipped
+  // tables: the pre-registry format. Its content hash is pinned — the
+  // v1 layout may never drift — and the reader must accept it, implying
+  // the x86/nacl identity, with bit-identical tables.
+  std::vector<uint8_t> V1 = writeV1Blob(shipped());
+  EXPECT_EQ(re::blobHashHex(V1), GoldenHashV1);
+  EXPECT_EQ(re::verifyBlobHashHex(V1), GoldenHashV1);
+
+  re::TableBundle Bundle = re::deserializeTables(V1);
+  EXPECT_EQ(Bundle.Version, re::TableFormatV1);
+  EXPECT_EQ(Bundle.Isa, "x86");
+  EXPECT_EQ(Bundle.PolicySet, "nacl");
+  ASSERT_EQ(Bundle.Tables.size(), 3u);
+  EXPECT_TRUE(sameDfa(Bundle.Tables[0].second, shipped().NoControlFlow));
+  EXPECT_TRUE(sameDfa(Bundle.Tables[1].second, shipped().DirectJump));
+  EXPECT_TRUE(sameDfa(Bundle.Tables[2].second, shipped().MaskedJump));
+
+  // The core loader path too: a v1 blob satisfies an x86/nacl
+  // expectation (implied tags) but can never satisfy a mips one.
+  PolicyTables T2 = loadPolicyTables(V1, GoldenHashV1);
+  EXPECT_TRUE(sameDfa(T2.MaskedJump, shipped().MaskedJump));
+  EXPECT_THROW(loadPolicyTables(V1, GoldenHashV1, "mips", "nacl"),
+               std::runtime_error);
 }
 
 //===----------------------------------------------------------------------===//

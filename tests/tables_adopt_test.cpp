@@ -1,0 +1,114 @@
+//===- tests/tables_adopt_test.cpp ----------------------------*- C++ -*-===//
+//
+// Adoption semantics end to end, through the public core/Policy.h
+// surface: tables adopted before first use become *the* process tables
+// (legacy accessor AND fused fast path — the two can no longer be
+// cached apart), adopting the same content later is an idempotent
+// success, and adopting different content after first use hard-fails.
+// The fused/legacy lockstep sweep over a mutated workload corpus pins
+// the fuse-on-register invariant behaviorally: the fused engine the
+// adoption installed must decide bit-for-bit like the legacy tables it
+// was fused from.
+//
+// Test order matters in a shared-process run: AdoptBeforeFirstUseWins
+// must be the first table access in this binary. Under ctest each TEST
+// runs in its own process (gtest_discover_tests), which is the real
+// gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TableRegistry.h"
+#include "core/Verifier.h"
+#include "nacl/Mutator.h"
+#include "nacl/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace rocksalt;
+using namespace rocksalt::core;
+
+namespace {
+
+/// Bit-for-bit comparison of two instrumented results.
+void expectSameResult(const CheckResult &A, const CheckResult &B,
+                      uint32_t Seed, uint32_t Step) {
+  EXPECT_EQ(A.Ok, B.Ok) << "seed " << Seed << " step " << Step;
+  EXPECT_EQ(A.Reason, B.Reason) << "seed " << Seed << " step " << Step;
+  EXPECT_EQ(A.Valid, B.Valid) << "seed " << Seed << " step " << Step;
+  EXPECT_EQ(A.Target, B.Target) << "seed " << Seed << " step " << Step;
+  EXPECT_EQ(A.PairJmp, B.PairJmp) << "seed " << Seed << " step " << Step;
+}
+
+TEST(TableAdoption, AdoptBeforeFirstUseWins) {
+  // Nothing in this process has touched the default entry yet, so the
+  // raw (unminimized) tables must win the key outright…
+  PolicyTables Raw = buildPolicyTablesRaw();
+  uint32_t RawNcfStates = uint32_t(Raw.NoControlFlow.numStates());
+  ASSERT_NE(RawNcfStates, uint32_t(NoControlFlowStates))
+      << "raw tables unexpectedly minimal — this test needs distinct sets";
+  EXPECT_TRUE(adoptPolicyTables(std::move(Raw)));
+
+  // …and every accessor must now serve the adopted set, fused included.
+  EXPECT_EQ(policyTables().NoControlFlow.numStates(), RawNcfStates);
+  const TableEntry &E = defaultTableEntry();
+  EXPECT_EQ(E.Tables, &policyTables());
+  EXPECT_EQ(E.Fused, &fusedPolicyTables());
+
+  // Building the normal (minimized) tables now and adopting them must
+  // hard-fail: the adopted raw set is in use.
+  EXPECT_THROW(adoptPolicyTables(buildPolicyTables()), std::runtime_error);
+
+  // The fused form was derived from the adopted tables at registration.
+  // Drive both engines across a mutated corpus and demand bit-identical
+  // instrumented results — the divergence the old second singleton
+  // allowed after adoption.
+  RockSalt Fast(*E.Fused);
+  for (uint32_t Seed = 1; Seed <= 6; ++Seed) {
+    nacl::WorkloadOptions WO;
+    WO.TargetBytes = 512;
+    WO.Seed = 1000 + Seed;
+    std::vector<uint8_t> Img = nacl::generateWorkload(WO);
+    Rng R(Seed);
+    for (uint32_t Step = 0; Step < 40; ++Step) {
+      CheckResult Legacy =
+          checkLegacy(*E.Tables, Img.data(), uint32_t(Img.size()));
+      CheckResult Fused = Fast.check(Img.data(), uint32_t(Img.size()));
+      expectSameResult(Legacy, Fused, WO.Seed, Step);
+      Img = nacl::mutateRandom(Img, R);
+    }
+  }
+}
+
+TEST(TableAdoption, AdoptAfterFirstUseOfSameContentSucceeds) {
+  (void)policyTables(); // force first use
+  // Adopt whichever build matches the live content so this test is
+  // order-independent in a shared process (an earlier test may have
+  // installed the raw set).
+  std::string LiveHash = defaultTableEntry().HashHex;
+  PolicyTables Same = buildPolicyTables();
+  if (policyTableHashHex(Same) != LiveHash)
+    Same = buildPolicyTablesRaw();
+  ASSERT_EQ(policyTableHashHex(Same), LiveHash);
+  EXPECT_TRUE(adoptPolicyTables(std::move(Same)));
+  EXPECT_EQ(defaultTableEntry().HashHex, LiveHash);
+}
+
+TEST(TableAdoption, AdoptAfterFirstUseOfDifferentContentThrows) {
+  (void)policyTables(); // force first use
+  // Whatever is live, pick the candidate that differs from it so this
+  // test is order-independent within a shared process.
+  std::string LiveHash = defaultTableEntry().HashHex;
+  PolicyTables Minimized = buildPolicyTables();
+  PolicyTables Raw = buildPolicyTablesRaw();
+  PolicyTables Other = policyTableHashHex(Minimized) == LiveHash
+                           ? std::move(Raw)
+                           : std::move(Minimized);
+  ASSERT_NE(policyTableHashHex(Other), LiveHash);
+  EXPECT_THROW(adoptPolicyTables(std::move(Other)), std::runtime_error);
+  // The live tables survive the failed adoption untouched.
+  EXPECT_EQ(defaultTableEntry().HashHex, LiveHash);
+}
+
+} // namespace
